@@ -1,0 +1,18 @@
+//! Ablation (§4.4/§6.2.3): the hashed checking table vs associative
+//! checking queues of several depths — the paper estimates the 2K-entry
+//! table is roughly equivalent to a 16-entry queue in replay rate.
+
+use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
+use dmdc_core::experiments::{checking_queue_ablation_on, PolicyKind};
+use dmdc_ooo::CoreConfig;
+use dmdc_workloads::full_suite;
+
+fn main() {
+    let suite = full_suite(scale_from_env());
+    let ablation = checking_queue_ablation_on(&suite, &CoreConfig::config2(), &[4, 8, 16, 32]);
+    println!("{}", ablation.render());
+
+    let mut c = criterion();
+    bench_policy_throughput(&mut c, "sim/checking-queue16", PolicyKind::CheckingQueue { entries: 16 });
+    finish(c);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 3 (YLA filtering vs bloom filters with the H0 hash).
+
+use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
+use dmdc_core::experiments::{fig3, PolicyKind};
+
+fn main() {
+    println!("{}", fig3(scale_from_env()).render());
+
+    let mut c = criterion();
+    bench_policy_throughput(&mut c, "sim/bloom256", PolicyKind::Bloom { entries: 256 });
+    finish(c);
+}

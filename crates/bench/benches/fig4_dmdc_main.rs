@@ -1,0 +1,14 @@
+//! Regenerates Figure 4 (DMDC LQ energy savings, slowdown and total energy
+//! savings across the three machine configurations).
+
+use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
+use dmdc_core::experiments::{fig4, PolicyKind};
+
+fn main() {
+    println!("{}", fig4(scale_from_env()).render());
+
+    let mut c = criterion();
+    bench_policy_throughput(&mut c, "sim/dmdc-global", PolicyKind::DmdcGlobal);
+    bench_policy_throughput(&mut c, "sim/baseline", PolicyKind::Baseline);
+    finish(c);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 5 (slowdown of local vs global DMDC, three configs).
+
+use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
+use dmdc_core::experiments::{fig5, PolicyKind};
+
+fn main() {
+    println!("{}", fig5(scale_from_env()).render());
+
+    let mut c = criterion();
+    bench_policy_throughput(&mut c, "sim/dmdc-local", PolicyKind::DmdcLocal);
+    finish(c);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 4 (checking-window statistics under local DMDC).
+
+use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
+use dmdc_core::experiments::{table4, PolicyKind};
+
+fn main() {
+    println!("{}", table4(scale_from_env()).render());
+
+    let mut c = criterion();
+    bench_policy_throughput(&mut c, "sim/dmdc-local-window", PolicyKind::DmdcLocal);
+    finish(c);
+}

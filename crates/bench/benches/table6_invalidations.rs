@@ -1,0 +1,13 @@
+//! Regenerates Table 6 (impact of injected external invalidations on the
+//! coherence-enabled DMDC design).
+
+use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
+use dmdc_core::experiments::{table6, PolicyKind};
+
+fn main() {
+    println!("{}", table6(scale_from_env()).render());
+
+    let mut c = criterion();
+    bench_policy_throughput(&mut c, "sim/dmdc-coherent", PolicyKind::DmdcCoherent);
+    finish(c);
+}

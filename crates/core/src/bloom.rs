@@ -1,0 +1,273 @@
+//! Bloom-filter search filtering (Sethumadhavan et al. \[18\]) — the
+//! address-only comparator of the paper's Figure 3.
+//!
+//! A counting bloom filter tracks the quad-word addresses of issued,
+//! in-flight loads. A resolving store whose filter entry is zero provably
+//! has no issued younger load to a conflicting address (no false
+//! negatives), so the LQ search is skipped. Unlike YLA filtering, the
+//! filter knows nothing about *timing*: a store is searched whenever any
+//! in-flight load aliases its entry, even one that is older.
+
+use dmdc_types::{Addr, Age, MemSpan};
+
+use dmdc_ooo::{
+    search_lq_for_premature_loads, CheckOutcome, CommitInfo, CommitKind, LoadQueue, MemDepPolicy,
+    PolicyCtx, ReplayKind, StoreResolution,
+};
+
+/// A counting bloom filter over quad-word addresses with the H0 hash of
+/// \[18\] (a plain bit-field selection of the block address).
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_core::CountingBloom;
+/// use dmdc_types::Addr;
+///
+/// let mut bf = CountingBloom::new(64);
+/// bf.insert(Addr(0x100));
+/// assert!(bf.may_contain(Addr(0x100)));
+/// bf.remove(Addr(0x100));
+/// assert!(!bf.may_contain(Addr(0x100)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    counters: Vec<u32>,
+}
+
+impl CountingBloom {
+    /// Creates a filter with `entries` counters (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: u32) -> CountingBloom {
+        assert!(entries.is_power_of_two(), "bloom filter size must be a power of two");
+        CountingBloom { counters: vec![0; entries as usize] }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the filter has no counters (never true).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The H0 hash: low bits of the quad-word address.
+    #[inline]
+    fn index(&self, addr: Addr) -> usize {
+        (addr.quad_word() as usize) & (self.counters.len() - 1)
+    }
+
+    /// Records an address.
+    pub fn insert(&mut self, addr: Addr) {
+        let i = self.index(addr);
+        self.counters[i] += 1;
+    }
+
+    /// Removes one previously inserted occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow — removing something never inserted is a
+    /// tracking bug in the caller.
+    pub fn remove(&mut self, addr: Addr) {
+        let i = self.index(addr);
+        assert!(self.counters[i] > 0, "counting bloom underflow at entry {i}");
+        self.counters[i] -= 1;
+    }
+
+    /// Whether any tracked address aliases `addr`'s entry.
+    pub fn may_contain(&self, addr: Addr) -> bool {
+        self.counters[self.index(addr)] > 0
+    }
+}
+
+/// The bloom-filtered conventional design of \[18\], used as the Figure 3
+/// comparison point against YLA filtering.
+#[derive(Debug, Clone)]
+pub struct BloomPolicy {
+    filter: CountingBloom,
+    /// Issued loads currently accounted in the filter, oldest first —
+    /// the bookkeeping a real design keeps implicitly in the LQ.
+    tracked: Vec<(Age, Addr)>,
+    name: String,
+}
+
+impl BloomPolicy {
+    /// A policy with a `entries`-counter filter.
+    pub fn new(entries: u32) -> BloomPolicy {
+        BloomPolicy {
+            filter: CountingBloom::new(entries),
+            tracked: Vec::new(),
+            name: format!("bloom-{entries}"),
+        }
+    }
+}
+
+impl MemDepPolicy for BloomPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_load_issue(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        safe: bool,
+        _lq: &mut LoadQueue,
+    ) -> Option<Age> {
+        if safe {
+            ctx.stats.safe_loads += 1;
+        } else {
+            ctx.stats.unsafe_loads += 1;
+        }
+        self.filter.insert(span.addr);
+        ctx.energy.bloom_writes += 1;
+        self.tracked.push((age, span.addr));
+        None
+    }
+
+    fn on_store_resolve(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        lq: &LoadQueue,
+    ) -> StoreResolution {
+        ctx.energy.bloom_reads += 1;
+        if !self.filter.may_contain(span.addr) {
+            ctx.stats.safe_stores += 1;
+            return StoreResolution { safe: true, replay_from: None };
+        }
+        ctx.stats.unsafe_stores += 1;
+        ctx.energy.lq_cam_searches += 1;
+        let replay_from = search_lq_for_premature_loads(lq, age, span);
+        if replay_from.is_some() {
+            ctx.stats.replays.record(ReplayKind::TrueViolation);
+        }
+        StoreResolution { safe: false, replay_from }
+    }
+
+    fn on_commit(&mut self, ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
+        if info.kind == CommitKind::Load {
+            debug_assert!(info.value_correct, "bloom filtering let a stale load commit");
+            // The committing load leaves the in-flight window.
+            if let Some(pos) = self.tracked.iter().position(|&(a, _)| a == info.age) {
+                let (_, addr) = self.tracked.remove(pos);
+                self.filter.remove(addr);
+                ctx.energy.bloom_writes += 1;
+            }
+        }
+        CheckOutcome::Ok
+    }
+
+    fn on_squash(&mut self, ctx: &mut PolicyCtx<'_>, youngest_surviving: Age) {
+        while let Some(&(age, addr)) = self.tracked.last() {
+            if age.is_younger_than(youngest_surviving) {
+                self.filter.remove(addr);
+                ctx.energy.bloom_writes += 1;
+                self.tracked.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_ooo::{EnergyCounters, PolicyStats};
+    use dmdc_types::{AccessSize, Cycle};
+
+    fn span(addr: u64) -> MemSpan {
+        MemSpan::new(Addr(addr), AccessSize::B8)
+    }
+
+    #[test]
+    fn counting_semantics() {
+        let mut bf = CountingBloom::new(8);
+        bf.insert(Addr(0x100));
+        bf.insert(Addr(0x100));
+        bf.remove(Addr(0x100));
+        assert!(bf.may_contain(Addr(0x100)), "one occurrence remains");
+        bf.remove(Addr(0x100));
+        assert!(!bf.may_contain(Addr(0x100)));
+    }
+
+    #[test]
+    fn aliasing_produces_false_positives_only() {
+        let mut bf = CountingBloom::new(4);
+        bf.insert(Addr(0x00)); // qw 0 -> entry 0
+        assert!(bf.may_contain(Addr(0x00)));
+        // qw 4 -> entry 0 as well: false positive, never a false negative.
+        assert!(bf.may_contain(Addr(4 * 8)));
+        assert!(!bf.may_contain(Addr(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_is_a_bug() {
+        CountingBloom::new(4).remove(Addr(0));
+    }
+
+    #[test]
+    fn policy_filters_when_no_alias() {
+        let mut p = BloomPolicy::new(64);
+        let mut e = EnergyCounters::default();
+        let mut s = PolicyStats::default();
+        let mut lq = LoadQueue::new(8);
+        let mut ctx = PolicyCtx { cycle: Cycle(0), energy: &mut e, stats: &mut s };
+        lq.allocate(Age(10));
+        lq.entry_mut(Age(10)).unwrap().issued = true;
+        lq.entry_mut(Age(10)).unwrap().span = Some(span(0x100));
+        p.on_load_issue(&mut ctx, Age(10), span(0x100), false, &mut lq);
+
+        // Different address, no alias in a 64-entry filter: filtered.
+        let r = p.on_store_resolve(&mut ctx, Age(5), span(0x108), &lq);
+        assert!(r.safe);
+        // Same address: must search, and — unlike YLA — even a *younger*
+        // store is searched because the filter has no timing information.
+        let r = p.on_store_resolve(&mut ctx, Age(11), span(0x100), &lq);
+        assert!(!r.safe);
+        assert_eq!(r.replay_from, None, "no younger issued load than age 11");
+        let r = p.on_store_resolve(&mut ctx, Age(5), span(0x100), &lq);
+        assert_eq!(r.replay_from, Some(Age(10)));
+        assert_eq!(e.lq_cam_searches, 2);
+    }
+
+    #[test]
+    fn commit_and_squash_drain_the_filter() {
+        let mut p = BloomPolicy::new(64);
+        let mut e = EnergyCounters::default();
+        let mut s = PolicyStats::default();
+        let mut lq = LoadQueue::new(8);
+        let mut ctx = PolicyCtx { cycle: Cycle(0), energy: &mut e, stats: &mut s };
+        p.on_load_issue(&mut ctx, Age(10), span(0x100), true, &mut lq);
+        p.on_load_issue(&mut ctx, Age(11), span(0x200), true, &mut lq);
+        p.on_load_issue(&mut ctx, Age(12), span(0x310), true, &mut lq);
+
+        // Squash kills ages > 10.
+        p.on_squash(&mut ctx, Age(10));
+        assert!(p.filter.may_contain(Addr(0x100)));
+        assert!(!p.filter.may_contain(Addr(0x200)));
+        assert!(!p.filter.may_contain(Addr(0x310)));
+
+        // Commit removes the survivor.
+        let info = CommitInfo {
+            age: Age(10),
+            kind: CommitKind::Load,
+            span: Some(span(0x100)),
+            safe_load: true,
+            value_correct: true,
+            issue_cycle: Some(Cycle(1)),
+        };
+        assert_eq!(p.on_commit(&mut ctx, &info), CheckOutcome::Ok);
+        assert!(!p.filter.may_contain(Addr(0x100)));
+    }
+}

@@ -1,0 +1,791 @@
+//! Delayed Memory Dependence Checking (paper §4): the associative load
+//! queue is gone. YLA registers classify stores at resolve time; unsafe
+//! stores mark a hashed *checking table* at commit; loads committing inside
+//! the checking window index the table and replay on a hit.
+//!
+//! The implementation carries the paper's full design space:
+//!
+//! * **global vs. local** end-of-window tracking (§4.4): global updates the
+//!   `end_check` register at store *resolve*, merging overlapping windows;
+//!   local remembers each store's boundary and publishes it at *commit*;
+//! * **safe loads** (§4.2): a load that issued with every older store
+//!   address resolved bypasses the commit-time check;
+//! * **4-bit sub-quad-word bitmaps** (§4.4) to discriminate access widths;
+//! * **INV bits** (§4.3) for write-serialization under external
+//!   invalidations, with the second cache-line-interleaved YLA set.
+//!
+//! Every replay is classified against the paper's Table 3 taxonomy using
+//! the simulator's value oracle plus per-entry marker metadata (which
+//! stores marked the entry, when they resolved, and where their own window
+//! ended).
+
+use std::collections::BTreeMap;
+
+use dmdc_types::{Addr, Age, Cycle, MemSpan};
+
+use dmdc_ooo::{
+    CheckOutcome, CommitInfo, CommitKind, CoreConfig, LoadQueue, MemDepPolicy, PolicyCtx,
+    ReplayKind, StoreResolution,
+};
+
+use crate::yla::{Interleave, YlaBank};
+
+/// Configuration of a [`DmdcPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmdcConfig {
+    /// Checking-table entries (a power of two).
+    pub table_entries: u32,
+    /// Quad-word-interleaved YLA registers (the paper uses 8).
+    pub yla_regs: u32,
+    /// Cache-line-interleaved YLA registers (coherence support; 8 in the
+    /// paper).
+    pub line_yla_regs: u32,
+    /// Cache-line size for the second YLA set and invalidation marking.
+    pub line_bytes: u64,
+    /// `true` = local DMDC (per-store windows published at commit);
+    /// `false` = global (shared register updated at resolve).
+    pub local_windows: bool,
+    /// Whether the safe-load optimization is enabled (§4.2). Disabling it
+    /// roughly doubles false replays per the paper — kept as a knob for the
+    /// ablation bench.
+    pub safe_loads: bool,
+    /// Whether INV-bit coherence support is active. Must be `true` to run
+    /// with injected invalidations.
+    pub coherence: bool,
+}
+
+impl DmdcConfig {
+    /// The paper's default (global) configuration for a machine config:
+    /// its checking-table size, 8+8 YLA registers, safe loads on.
+    pub fn global(core: &CoreConfig) -> DmdcConfig {
+        DmdcConfig {
+            table_entries: core.checking_table_entries,
+            yla_regs: 8,
+            line_yla_regs: 8,
+            line_bytes: core.l2.line_bytes,
+            local_windows: false,
+            safe_loads: true,
+            coherence: false,
+        }
+    }
+
+    /// The local-window variant (§4.4).
+    pub fn local(core: &CoreConfig) -> DmdcConfig {
+        DmdcConfig { local_windows: true, ..DmdcConfig::global(core) }
+    }
+
+    /// Enables INV-bit coherence support (consuming builder).
+    pub fn with_coherence(mut self) -> DmdcConfig {
+        self.coherence = true;
+        self
+    }
+
+    /// Disables the safe-load optimization (consuming builder, for the
+    /// ablation study).
+    pub fn without_safe_loads(mut self) -> DmdcConfig {
+        self.safe_loads = false;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Marker {
+    age: Age,
+    span: MemSpan,
+    resolve_cycle: Cycle,
+    own_end: Age,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TableEntry {
+    gen: u64,
+    /// Store-set bitmap (the WRT bits of §4.3, one per half-word).
+    wrt: u8,
+    /// Invalidation bitmap (INV bits).
+    inv: u8,
+    /// INV bits promoted to WRT by a first load (§4.3).
+    wrt_inv: u8,
+    /// Classification metadata: which stores marked this entry.
+    markers: Vec<Marker>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    span: MemSpan,
+    own_end: Age,
+    resolve_cycle: Cycle,
+}
+
+/// The DMDC policy. See the module docs for the design; construct with
+/// [`DmdcPolicy::new`] from a [`DmdcConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_core::{DmdcConfig, DmdcPolicy};
+/// use dmdc_ooo::{CoreConfig, MemDepPolicy};
+///
+/// let p = DmdcPolicy::new(DmdcConfig::global(&CoreConfig::config2()));
+/// assert!(!p.needs_associative_lq(), "DMDC's LQ is a FIFO of hash keys");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DmdcPolicy {
+    cfg: DmdcConfig,
+    qw_ylas: YlaBank,
+    line_ylas: YlaBank,
+    table: Vec<TableEntry>,
+    gen: u64,
+    active: bool,
+    end_check: Age,
+    pending: BTreeMap<Age, PendingStore>,
+    cur_window_stores: u64,
+    last_commit_age: Age,
+    name: String,
+}
+
+impl DmdcPolicy {
+    /// Builds the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table or register counts are not powers of two.
+    pub fn new(cfg: DmdcConfig) -> DmdcPolicy {
+        assert!(cfg.table_entries.is_power_of_two(), "checking table must be a power of two");
+        let name = format!(
+            "dmdc-{}-{}{}",
+            if cfg.local_windows { "local" } else { "global" },
+            cfg.table_entries,
+            if cfg.coherence { "-coh" } else { "" },
+        );
+        DmdcPolicy {
+            qw_ylas: YlaBank::new(cfg.yla_regs, Interleave::QuadWord),
+            line_ylas: YlaBank::new(cfg.line_yla_regs, Interleave::CacheLine(cfg.line_bytes)),
+            table: vec![TableEntry::default(); cfg.table_entries as usize],
+            gen: 1,
+            active: false,
+            end_check: Age::OLDEST,
+            pending: BTreeMap::new(),
+            cur_window_stores: 0,
+            last_commit_age: Age::OLDEST,
+            name,
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn index(&self, addr: Addr) -> usize {
+        (addr.quad_word() as usize) & (self.table.len() - 1)
+    }
+
+    /// Access an entry, lazily resetting it if it belongs to a cleared
+    /// generation (the flash-clear implementation).
+    fn entry_mut(&mut self, idx: usize) -> &mut TableEntry {
+        let gen = self.gen;
+        let e = &mut self.table[idx];
+        if e.gen != gen {
+            e.gen = gen;
+            e.wrt = 0;
+            e.inv = 0;
+            e.wrt_inv = 0;
+            e.markers.clear();
+        }
+        e
+    }
+
+    fn activate(&mut self, ctx: &mut PolicyCtx<'_>) {
+        self.active = true;
+        self.cur_window_stores = 0;
+        ctx.stats.checking_windows += 1;
+    }
+
+    fn terminate(&mut self, ctx: &mut PolicyCtx<'_>) {
+        self.active = false;
+        self.gen += 1; // flash-clears the table (and its markers)
+        ctx.energy.table_clears += 1;
+        if self.cur_window_stores == 1 {
+            ctx.stats.single_store_windows += 1;
+        }
+        self.end_check = Age::OLDEST;
+    }
+
+    fn mark_table(&mut self, ctx: &mut PolicyCtx<'_>, age: Age, ps: PendingStore) {
+        let idx = self.index(ps.span.addr);
+        let marker = Marker { age, span: ps.span, resolve_cycle: ps.resolve_cycle, own_end: ps.own_end };
+        let e = self.entry_mut(idx);
+        e.wrt |= ps.span.quad_word_bitmap();
+        e.markers.push(marker);
+        ctx.energy.table_writes += 1;
+    }
+
+    /// Table 3 taxonomy. Called on a WRT hit; `info.value_correct` is the
+    /// simulator's oracle.
+    fn classify(&self, info: &CommitInfo, idx: usize) -> ReplayKind {
+        if !info.value_correct {
+            return ReplayKind::TrueViolation;
+        }
+        let span = info.span.expect("loads carry a span");
+        let lbm = span.quad_word_bitmap();
+        let e = &self.table[idx];
+        debug_assert_eq!(e.gen, self.gen);
+        let candidates: Vec<&Marker> =
+            e.markers.iter().filter(|m| m.span.quad_word_bitmap() & lbm != 0).collect();
+        debug_assert!(!candidates.is_empty(), "a WRT hit implies a marking store");
+        debug_assert!(
+            candidates.iter().all(|m| m.age.is_older_than(info.age)),
+            "marking stores committed before the load, so they are older"
+        );
+        let in_own_window = |m: &&Marker| info.age <= m.own_end;
+        let addr_match: Vec<&&Marker> =
+            candidates.iter().filter(|m| m.span.overlaps(span)).collect();
+        if !addr_match.is_empty() {
+            // Value was correct, so this is the timing approximation at
+            // work (a silent store lands here too; see DESIGN.md).
+            if addr_match.iter().any(|m| in_own_window(m)) {
+                ReplayKind::FalseAddrMatchX
+            } else {
+                ReplayKind::FalseAddrMatchY
+            }
+        } else {
+            // Same table entry, different address: the hashing (or bitmap
+            // granularity) approximation.
+            let issue = info.issue_cycle.expect("committed loads issued");
+            if candidates.iter().any(|m| issue < m.resolve_cycle) {
+                ReplayKind::FalseHashBefore
+            } else if candidates.iter().any(in_own_window) {
+                ReplayKind::FalseHashX
+            } else {
+                ReplayKind::FalseHashY
+            }
+        }
+    }
+}
+
+impl MemDepPolicy for DmdcPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn needs_associative_lq(&self) -> bool {
+        false
+    }
+
+    fn on_load_issue(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        safe: bool,
+        _lq: &mut LoadQueue,
+    ) -> Option<Age> {
+        if safe {
+            ctx.stats.safe_loads += 1;
+        } else {
+            ctx.stats.unsafe_loads += 1;
+        }
+        self.qw_ylas.update(span.addr, age);
+        ctx.energy.yla_writes += 1;
+        if self.cfg.coherence {
+            self.line_ylas.update(span.addr, age);
+            ctx.energy.yla_writes += 1;
+        }
+        None
+    }
+
+    fn on_store_resolve(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        _lq: &LoadQueue,
+    ) -> StoreResolution {
+        ctx.energy.yla_reads += 1;
+        let mut safe = self.qw_ylas.is_safe_store(span.addr, age);
+        if self.cfg.coherence {
+            // Safe if *either* set records only older loads (§4.3).
+            ctx.energy.yla_reads += 1;
+            safe = safe || self.line_ylas.is_safe_store(span.addr, age);
+        }
+        if safe {
+            ctx.stats.safe_stores += 1;
+            return StoreResolution { safe: true, replay_from: None };
+        }
+        ctx.stats.unsafe_stores += 1;
+        let own_end = self.qw_ylas.value_for(span.addr);
+        if !self.cfg.local_windows {
+            // Global DMDC: push the shared register forward at issue time.
+            self.end_check = self.end_check.max(own_end);
+        }
+        self.pending.insert(age, PendingStore { span, own_end, resolve_cycle: ctx.cycle });
+        StoreResolution { safe: false, replay_from: None }
+    }
+
+    fn on_commit(&mut self, ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
+        // Strict overshoot: the boundary load never committed (it was
+        // squashed), so the window is over before this instruction — this
+        // also guarantees a replayed-and-refetched load cannot loop.
+        if self.active && info.age.is_younger_than(self.end_check) {
+            self.terminate(ctx);
+        }
+        let mut outcome = CheckOutcome::Ok;
+        match info.kind {
+            CommitKind::Store => {
+                if let Some(ps) = self.pending.remove(&info.age) {
+                    if self.cfg.local_windows {
+                        // Local DMDC: publish this store's own boundary now.
+                        self.end_check = self.end_check.max(ps.own_end);
+                    }
+                    self.mark_table(ctx, info.age, ps);
+                    if !self.active {
+                        self.activate(ctx);
+                    }
+                    self.cur_window_stores += 1;
+                    ctx.stats.window_unsafe_stores += 1;
+                }
+            }
+            CommitKind::Load if self.active => {
+                ctx.stats.window_loads += 1;
+                if info.safe_load {
+                    ctx.stats.window_safe_loads += 1;
+                }
+                let bypass = info.safe_load && self.cfg.safe_loads;
+                if bypass {
+                    ctx.stats.safe_load_check_bypasses += 1;
+                }
+                if !bypass || self.cfg.coherence {
+                    let span = info.span.expect("loads carry a span");
+                    let idx = self.index(span.addr);
+                    let lbm = span.quad_word_bitmap();
+                    ctx.energy.table_reads += 1;
+                    // Lazily reset a stale-generation entry before reading.
+                    self.entry_mut(idx);
+                    let e = &mut self.table[idx];
+                    if !bypass && e.wrt & lbm != 0 {
+                        let kind = self.classify(info, idx);
+                        ctx.stats.replays.record(kind);
+                        outcome = CheckOutcome::Replay;
+                    } else if self.cfg.coherence && e.wrt_inv & lbm != 0 {
+                        // Second same-location load in the window: enforce
+                        // write serialization. Clear the bits so the
+                        // refetched load does not loop.
+                        e.wrt_inv &= !lbm;
+                        e.inv &= !lbm;
+                        ctx.stats.replays.record(ReplayKind::Coherence);
+                        outcome = CheckOutcome::Replay;
+                    } else if self.cfg.coherence && e.inv & lbm != 0 {
+                        // First load after the invalidation: promote.
+                        e.wrt_inv |= e.inv & lbm;
+                        ctx.energy.table_writes += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        if self.active {
+            ctx.stats.window_instructions += 1;
+        }
+        if outcome == CheckOutcome::Ok {
+            self.last_commit_age = info.age;
+        }
+        // Inclusive boundary: the end_check load itself is checked above,
+        // then the window closes.
+        if self.active && !info.age.is_older_than(self.end_check) {
+            self.terminate(ctx);
+        }
+        outcome
+    }
+
+    fn on_squash(&mut self, _ctx: &mut PolicyCtx<'_>, youngest_surviving: Age) {
+        self.qw_ylas.on_squash(youngest_surviving);
+        self.line_ylas.on_squash(youngest_surviving);
+        // Unsafe stores younger than the survivor will never commit.
+        self.pending.retain(|&age, _| !age.is_younger_than(youngest_surviving));
+        // The global end_check register is deliberately *not* rolled back:
+        // the paper's global design only ever pushes it forward (§4.4).
+    }
+
+    fn on_invalidation(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        line_addr: Addr,
+        line_bytes: u64,
+        _lq: &mut LoadQueue,
+    ) -> Option<Age> {
+        assert!(self.cfg.coherence, "DMDC built without coherence support received an invalidation");
+        ctx.stats.invalidations += 1;
+        ctx.energy.yla_reads += 1;
+        let line_end = self.line_ylas.value_for(line_addr);
+        if !line_end.is_younger_than(self.last_commit_age) {
+            // Every load the line-YLA recorded has already committed: no
+            // in-flight pair can violate write serialization.
+            return None;
+        }
+        self.end_check = self.end_check.max(line_end);
+        let base = line_addr.align_down(line_bytes);
+        for i in 0..(line_bytes / 8) {
+            let idx = self.index(base + i * 8);
+            let e = self.entry_mut(idx);
+            e.inv = 0xF;
+            ctx.energy.table_writes += 1;
+        }
+        if !self.active {
+            self.activate(ctx);
+        }
+        None
+    }
+
+    fn on_cycle(&mut self, ctx: &mut PolicyCtx<'_>) {
+        if self.active {
+            ctx.stats.checking_mode_cycles += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_ooo::{EnergyCounters, PolicyStats};
+    use dmdc_types::AccessSize;
+
+    fn span(addr: u64, bytes: u64) -> MemSpan {
+        MemSpan::new(Addr(addr), AccessSize::from_bytes(bytes).unwrap())
+    }
+
+    struct Harness {
+        p: DmdcPolicy,
+        e: EnergyCounters,
+        s: PolicyStats,
+        lq: LoadQueue,
+        cycle: Cycle,
+    }
+
+    impl Harness {
+        fn new(cfg: DmdcConfig) -> Harness {
+            Harness {
+                p: DmdcPolicy::new(cfg),
+                e: EnergyCounters::default(),
+                s: PolicyStats::default(),
+                lq: LoadQueue::new(64),
+                cycle: Cycle(0),
+            }
+        }
+
+        fn small() -> Harness {
+            Harness::new(DmdcConfig {
+                table_entries: 16,
+                yla_regs: 4,
+                line_yla_regs: 4,
+                line_bytes: 64,
+                local_windows: false,
+                safe_loads: true,
+                coherence: false,
+            })
+        }
+
+        fn load_issue(&mut self, age: u64, sp: MemSpan, safe: bool) {
+            self.cycle.tick();
+            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
+            assert_eq!(self.p.on_load_issue(&mut ctx, Age(age), sp, safe, &mut self.lq), None);
+        }
+
+        fn store_resolve(&mut self, age: u64, sp: MemSpan) -> bool {
+            self.cycle.tick();
+            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
+            let r = self.p.on_store_resolve(&mut ctx, Age(age), sp, &self.lq);
+            assert_eq!(r.replay_from, None, "DMDC never replays at resolve");
+            r.safe
+        }
+
+        fn commit_store(&mut self, age: u64, sp: MemSpan) {
+            self.cycle.tick();
+            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
+            let info = CommitInfo {
+                age: Age(age),
+                kind: CommitKind::Store,
+                span: Some(sp),
+                safe_load: false,
+                value_correct: true,
+                issue_cycle: Some(self.cycle),
+            };
+            assert_eq!(self.p.on_commit(&mut ctx, &info), CheckOutcome::Ok);
+        }
+
+        fn commit_load(&mut self, age: u64, sp: MemSpan, safe: bool, value_correct: bool, issued_at: u64) -> CheckOutcome {
+            self.cycle.tick();
+            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
+            let info = CommitInfo {
+                age: Age(age),
+                kind: CommitKind::Load,
+                span: Some(sp),
+                safe_load: safe,
+                value_correct,
+                issue_cycle: Some(Cycle(issued_at)),
+            };
+            self.p.on_commit(&mut ctx, &info)
+        }
+
+        fn commit_other(&mut self, age: u64) {
+            self.cycle.tick();
+            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
+            let info = CommitInfo {
+                age: Age(age),
+                kind: CommitKind::Other,
+                span: None,
+                safe_load: false,
+                value_correct: true,
+                issue_cycle: None,
+            };
+            assert_eq!(self.p.on_commit(&mut ctx, &info), CheckOutcome::Ok);
+        }
+    }
+
+    #[test]
+    fn safe_store_skips_everything() {
+        let mut h = Harness::small();
+        h.load_issue(10, span(0x100, 8), false);
+        assert!(h.store_resolve(11, span(0x100, 8)), "younger store is safe");
+        h.commit_store(11, span(0x100, 8));
+        assert!(!h.p.active, "safe stores never open a window");
+        assert_eq!(h.e.table_writes, 0);
+    }
+
+    #[test]
+    fn premature_load_replays_at_commit() {
+        let mut h = Harness::small();
+        // Load age 10 issues to 0x100 before store age 5 resolves.
+        h.load_issue(10, span(0x100, 8), false);
+        assert!(!h.store_resolve(5, span(0x100, 8)), "younger load issued: unsafe");
+        // Program order commits: store 5 first (opens the window)...
+        h.commit_store(5, span(0x100, 8));
+        assert!(h.p.active);
+        // ...intervening instruction...
+        h.commit_other(7);
+        assert!(h.p.active, "window extends to the load");
+        // ...then the stale load must replay.
+        let out = h.commit_load(10, span(0x100, 8), false, false, 1);
+        assert_eq!(out, CheckOutcome::Replay);
+        assert_eq!(h.s.replays.true_violation, 1);
+    }
+
+    #[test]
+    fn window_terminates_at_end_check_and_clears_table() {
+        let mut h = Harness::small();
+        h.load_issue(10, span(0x100, 8), false);
+        h.store_resolve(5, span(0x100, 8));
+        h.commit_store(5, span(0x100, 8));
+        // A correct-value load at the boundary: false replay (addr match).
+        let out = h.commit_load(10, span(0x100, 8), false, true, 99);
+        assert_eq!(out, CheckOutcome::Replay, "table hit replays even when value was fine");
+        assert!(h.s.replays.false_total() >= 1);
+        // The refetched load gets a fresh, younger age; the window has
+        // terminated (strict overshoot) and the table is clear.
+        let out = h.commit_load(20, span(0x100, 8), false, true, 100);
+        assert_eq!(out, CheckOutcome::Ok, "no livelock after replay");
+        assert!(!h.p.active);
+        assert_eq!(h.e.table_clears, 1);
+    }
+
+    #[test]
+    fn safe_loads_bypass_the_check() {
+        let mut h = Harness::small();
+        h.load_issue(10, span(0x100, 8), false);
+        h.store_resolve(5, span(0x100, 8));
+        h.commit_store(5, span(0x100, 8));
+        // A *safe* load to the same address sails through.
+        let out = h.commit_load(9, span(0x100, 8), true, true, 50);
+        assert_eq!(out, CheckOutcome::Ok);
+        assert_eq!(h.s.safe_load_check_bypasses, 1);
+        assert_eq!(h.e.table_reads, 0, "bypass saves the table read");
+    }
+
+    #[test]
+    fn disabled_safe_loads_still_make_progress() {
+        let cfg = DmdcConfig {
+            table_entries: 16,
+            yla_regs: 4,
+            line_yla_regs: 4,
+            line_bytes: 64,
+            local_windows: false,
+            safe_loads: false,
+            coherence: false,
+        };
+        let mut h = Harness::new(cfg);
+        h.load_issue(10, span(0x100, 8), false);
+        h.store_resolve(5, span(0x100, 8));
+        h.commit_store(5, span(0x100, 8));
+        let out = h.commit_load(10, span(0x100, 8), true, true, 50);
+        assert_eq!(out, CheckOutcome::Replay, "without the optimization, safe loads replay too");
+        // Refetched with a fresh age: overshoot terminates the window first.
+        let out = h.commit_load(21, span(0x100, 8), true, true, 51);
+        assert_eq!(out, CheckOutcome::Ok);
+    }
+
+    #[test]
+    fn bitmap_discriminates_widths() {
+        let mut h = Harness::small();
+        h.load_issue(10, span(0x100, 2), false);
+        h.store_resolve(5, span(0x104, 2));
+        h.commit_store(5, span(0x104, 2));
+        // Same quad word, disjoint half-words: no replay.
+        let out = h.commit_load(9, span(0x100, 2), false, true, 50);
+        assert_eq!(out, CheckOutcome::Ok, "bitmaps keep disjoint halves apart");
+        // Overlapping half-word does hit.
+        h.load_issue(30, span(0x104, 2), false);
+        h.store_resolve(25, span(0x104, 2));
+        h.commit_store(25, span(0x104, 2));
+        let out = h.commit_load(30, span(0x104, 2), false, true, 51);
+        assert_eq!(out, CheckOutcome::Replay);
+    }
+
+    #[test]
+    fn hash_conflicts_classified_as_such() {
+        let mut h = Harness::small(); // 16-entry table: qw 0 and qw 16 collide
+        let a = span(0x100, 8); // qw 0x20
+        let b = span(0x100 + 16 * 8, 8); // qw 0x30 -> same index mod 16
+        assert_eq!(h.p.index(a.addr), h.p.index(b.addr), "test requires a collision");
+        h.load_issue(10, a, false);
+        h.store_resolve(5, b);
+        h.commit_store(5, b);
+        let out = h.commit_load(10, a, false, true, 99);
+        assert_eq!(out, CheckOutcome::Replay);
+        assert_eq!(h.s.replays.false_hash_x + h.s.replays.false_hash_y + h.s.replays.false_hash_before, 1);
+        assert_eq!(h.s.replays.false_addr_x + h.s.replays.false_addr_y, 0);
+    }
+
+    #[test]
+    fn hash_before_vs_after_classification() {
+        let mut h = Harness::small();
+        let a = span(0x100, 8);
+        let b = span(0x100 + 16 * 8, 8);
+        h.load_issue(10, a, false);
+        // Store resolves at some cycle; the load issued earlier (cycle 1).
+        h.store_resolve(5, b);
+        h.commit_store(5, b);
+        let out = h.commit_load(10, a, false, true, 1);
+        assert_eq!(out, CheckOutcome::Replay);
+        assert_eq!(h.s.replays.false_hash_before, 1, "load issued before the store resolved");
+    }
+
+    #[test]
+    fn merged_windows_classified_as_y() {
+        let mut h = Harness::small();
+        // Store S1 (age 5) conflicts with load L1 (age 10): own window ends at 10.
+        h.load_issue(10, span(0x200, 8), false);
+        h.store_resolve(5, span(0x200, 8));
+        // Store S2 (age 12) conflicts with load L2 (age 20): pushes the
+        // global end_check to 20.
+        h.load_issue(20, span(0x300, 8), false);
+        h.store_resolve(12, span(0x300, 8));
+        h.commit_store(5, span(0x200, 8));
+        h.commit_load(10, span(0x200, 8), true, true, 0); // safe: bypasses
+        h.commit_store(12, span(0x300, 8));
+        // Load age 15 to S1's address: outside S1's own window (ends at 10)
+        // but inside the merged one. Issued after S1 resolved.
+        let out = h.commit_load(15, span(0x200, 8), false, true, 1_000);
+        assert_eq!(out, CheckOutcome::Replay);
+        assert_eq!(h.s.replays.false_addr_y, 1, "{:?}", h.s.replays);
+    }
+
+    #[test]
+    fn local_windows_shrink_the_merge() {
+        let core = CoreConfig::config2();
+        let mut h = Harness::new(DmdcConfig { table_entries: 16, yla_regs: 4, ..DmdcConfig::local(&core) });
+        // Same scenario as merged_windows_classified_as_y, but local DMDC
+        // publishes S1's boundary (10) at S1's commit; S2 has not committed
+        // yet, so the window closes at age 10 and the age-15 load escapes.
+        h.load_issue(10, span(0x200, 8), false);
+        h.store_resolve(5, span(0x200, 8));
+        h.load_issue(20, span(0x300, 8), false);
+        h.store_resolve(12, span(0x300, 8));
+        h.commit_store(5, span(0x200, 8));
+        h.commit_load(10, span(0x200, 8), true, true, 0);
+        assert!(!h.p.active, "local window closed at its own boundary");
+        let out = h.commit_load(15, span(0x200, 8), false, true, 1_000);
+        assert_eq!(out, CheckOutcome::Ok, "no false replay outside the local window");
+        assert_eq!(h.s.replays.false_total(), 0);
+    }
+
+    #[test]
+    fn squash_discards_pending_stores_and_repairs_ylas() {
+        let mut h = Harness::small();
+        h.load_issue(10, span(0x100, 8), false);
+        h.store_resolve(5, span(0x100, 8));
+        {
+            let mut ctx = PolicyCtx { cycle: h.cycle, energy: &mut h.e, stats: &mut h.s };
+            h.p.on_squash(&mut ctx, Age(4));
+        }
+        // The squashed store never commits; committing past it is fine.
+        h.commit_other(30);
+        assert!(!h.p.active, "squashed unsafe store never opened a window");
+        // YLA repaired to the survivor age: a store at age 6 is now safe.
+        assert!(h.store_resolve(6, span(0x100, 8)));
+    }
+
+    #[test]
+    fn invalidation_flow_enforces_write_serialization() {
+        let core = CoreConfig::config2();
+        let mut h = Harness::new(
+            DmdcConfig { table_entries: 64, yla_regs: 4, line_yla_regs: 4, line_bytes: 64, ..DmdcConfig::global(&core) }
+                .with_coherence(),
+        );
+        // Two loads to the same line in flight; invalidation in between.
+        h.load_issue(10, span(0x1000, 8), true);
+        h.load_issue(12, span(0x1008, 8), true);
+        {
+            let mut ctx = PolicyCtx { cycle: h.cycle, energy: &mut h.e, stats: &mut h.s };
+            let r = h.p.on_invalidation(&mut ctx, Addr(0x1000), 64, &mut h.lq);
+            assert_eq!(r, None);
+        }
+        assert!(h.p.active, "invalidation opens a checking window");
+        // First load commits: INV promotes to WRT, no replay (safe-load
+        // bypass does not protect against coherence checks).
+        let out = h.commit_load(10, span(0x1000, 8), true, true, 1);
+        assert_eq!(out, CheckOutcome::Ok);
+        // Second load to the same location: replay.
+        let out = h.commit_load(12, span(0x1000, 8), true, true, 2);
+        assert_eq!(out, CheckOutcome::Replay);
+        assert_eq!(h.s.replays.coherence, 1);
+    }
+
+    #[test]
+    fn invalidation_with_no_inflight_loads_is_ignored() {
+        let core = CoreConfig::config2();
+        let mut h = Harness::new(DmdcConfig::global(&core).with_coherence());
+        h.commit_other(50); // last_commit_age = 50
+        {
+            let mut ctx = PolicyCtx { cycle: h.cycle, energy: &mut h.e, stats: &mut h.s };
+            h.p.on_invalidation(&mut ctx, Addr(0x1000), 128, &mut h.lq);
+        }
+        assert!(!h.p.active, "no recorded in-flight load: nothing to check");
+    }
+
+    #[test]
+    fn window_stats_accumulate() {
+        let mut h = Harness::small();
+        h.load_issue(10, span(0x100, 8), false);
+        h.store_resolve(5, span(0x100, 8));
+        h.commit_store(5, span(0x100, 8));
+        h.commit_other(6);
+        h.commit_other(7);
+        h.commit_load(9, span(0x900, 8), true, true, 3);
+        h.commit_load(10, span(0x100, 8), true, true, 3); // safe: bypass, terminates window
+        assert_eq!(h.s.checking_windows, 1);
+        assert_eq!(h.s.single_store_windows, 1);
+        assert_eq!(h.s.window_instructions, 5);
+        assert_eq!(h.s.window_loads, 2);
+        assert_eq!(h.s.window_safe_loads, 2);
+        assert!(!h.p.active);
+    }
+
+    #[test]
+    fn checking_mode_cycles_counted() {
+        let mut h = Harness::small();
+        h.load_issue(10, span(0x100, 8), false);
+        h.store_resolve(5, span(0x100, 8));
+        h.commit_store(5, span(0x100, 8));
+        for _ in 0..4 {
+            let mut ctx = PolicyCtx { cycle: h.cycle, energy: &mut h.e, stats: &mut h.s };
+            h.p.on_cycle(&mut ctx);
+        }
+        assert_eq!(h.s.checking_mode_cycles, 4);
+    }
+}

@@ -1,0 +1,1136 @@
+//! Regenerators for every table and figure in the paper's evaluation
+//! (§6), plus the ablations DESIGN.md calls out.
+//!
+//! Each `figN`/`tableN` function runs the full INT and FP suites through
+//! the simulator with the appropriate policies and aggregates exactly the
+//! rows the paper reports. Every halting run is verified against the
+//! functional emulator's architectural state — an experiment that produced
+//! numbers from a corrupted simulation panics instead of reporting.
+//!
+//! The `*_on` variants take an explicit workload slice so tests (and
+//! impatient users) can run reduced sets; the plain variants build the full
+//! suite at the requested [`Scale`].
+
+use dmdc_energy::{EnergyModel, StructureGeometry};
+use dmdc_isa::Emulator;
+use dmdc_ooo::{
+    BaselinePolicy, CoreConfig, MemDepPolicy, SimOptions, SimStats, Simulator,
+};
+use dmdc_workloads::{full_suite, Group, Scale, Workload};
+
+use crate::report::{f1, f2, pct, GroupStat, Table};
+use crate::{BloomPolicy, CheckingQueuePolicy, DmdcConfig, DmdcPolicy, Interleave, YlaPolicy};
+
+/// Which dependence-checking design to instantiate for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// Conventional CAM load queue.
+    Baseline,
+    /// Conventional design with POWER4-style coherence searches.
+    BaselineCoherent,
+    /// YLA filtering in front of the CAM LQ.
+    Yla {
+        /// Register count.
+        regs: u32,
+        /// Quad-word (`false`) or cache-line (`true`) interleaving.
+        line_interleaved: bool,
+    },
+    /// Bloom-filter search filtering (\[18\]).
+    Bloom {
+        /// Filter entries.
+        entries: u32,
+    },
+    /// DMDC with the global end-check register.
+    DmdcGlobal,
+    /// DMDC with local (per-store) windows.
+    DmdcLocal,
+    /// Global DMDC with INV-bit coherence support.
+    DmdcCoherent,
+    /// Global DMDC with the safe-load optimization disabled (ablation).
+    DmdcNoSafeLoads,
+    /// DMDC with the associative checking queue instead of the table.
+    CheckingQueue {
+        /// Queue entries.
+        entries: u32,
+    },
+}
+
+impl PolicyKind {
+    /// Builds the policy for a machine configuration.
+    pub fn build(&self, config: &CoreConfig) -> Box<dyn MemDepPolicy> {
+        match *self {
+            PolicyKind::Baseline => Box::new(BaselinePolicy::new()),
+            PolicyKind::BaselineCoherent => {
+                Box::new(BaselinePolicy::with_coherence(config.l2.line_bytes))
+            }
+            PolicyKind::Yla { regs, line_interleaved } => {
+                let il = if line_interleaved {
+                    Interleave::CacheLine(config.l2.line_bytes)
+                } else {
+                    Interleave::QuadWord
+                };
+                Box::new(YlaPolicy::new(regs, il))
+            }
+            PolicyKind::Bloom { entries } => Box::new(BloomPolicy::new(entries)),
+            PolicyKind::DmdcGlobal => Box::new(DmdcPolicy::new(DmdcConfig::global(config))),
+            PolicyKind::DmdcLocal => Box::new(DmdcPolicy::new(DmdcConfig::local(config))),
+            PolicyKind::DmdcCoherent => {
+                Box::new(DmdcPolicy::new(DmdcConfig::global(config).with_coherence()))
+            }
+            PolicyKind::DmdcNoSafeLoads => {
+                Box::new(DmdcPolicy::new(DmdcConfig::global(config).without_safe_loads()))
+            }
+            PolicyKind::CheckingQueue { entries } => {
+                Box::new(CheckingQueuePolicy::new(config, entries))
+            }
+        }
+    }
+
+    /// The energy-model geometry matching this design.
+    pub fn geometry(&self, config: &CoreConfig) -> StructureGeometry {
+        match *self {
+            PolicyKind::Baseline | PolicyKind::BaselineCoherent => {
+                StructureGeometry::conventional(config)
+            }
+            PolicyKind::Yla { regs, .. } => StructureGeometry::yla_filtered(config, regs),
+            PolicyKind::Bloom { entries } => StructureGeometry::bloom_filtered(config, entries),
+            PolicyKind::DmdcGlobal | PolicyKind::DmdcLocal | PolicyKind::DmdcNoSafeLoads => {
+                StructureGeometry::dmdc(config, 8)
+            }
+            PolicyKind::DmdcCoherent => StructureGeometry::dmdc(config, 16),
+            PolicyKind::CheckingQueue { entries } => {
+                StructureGeometry::checking_queue(config, entries, 8)
+            }
+        }
+    }
+}
+
+/// One verified simulation run.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Suite membership.
+    pub group: Group,
+    /// Full statistics.
+    pub stats: SimStats,
+}
+
+/// Runs `workload` under `policy_kind` on `config`, verifying the final
+/// architectural state against the functional emulator when the run halts.
+///
+/// # Panics
+///
+/// Panics if the simulation's architectural state diverges from the
+/// emulator — the simulation would be meaningless, so this is fatal.
+pub fn run_workload(
+    workload: &Workload,
+    config: &CoreConfig,
+    policy_kind: &PolicyKind,
+    opts: SimOptions,
+) -> Run {
+    let policy = policy_kind.build(config);
+    let mut sim = Simulator::new(&workload.program, config.clone(), policy);
+    let result = sim
+        .run(opts)
+        .unwrap_or_else(|e| panic!("{} under {policy_kind:?} on {}: {e}", workload.name, config.name));
+    if result.halted {
+        let mut emu = Emulator::new(&workload.program);
+        emu.run(u64::MAX).expect("workloads halt under emulation");
+        assert_eq!(
+            result.checksum,
+            emu.state_checksum(),
+            "golden-state mismatch: {} under {policy_kind:?} on {}",
+            workload.name,
+            config.name
+        );
+    }
+    Run { workload: workload.name, group: workload.group, stats: result.stats }
+}
+
+fn group_stat<F: Fn(&Run) -> f64>(runs: &[Run], group: Group, f: F) -> GroupStat {
+    let vals: Vec<f64> = runs.iter().filter(|r| r.group == group).map(f).collect();
+    GroupStat::of(&vals)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: LQ searches filtered vs. number and interleaving of YLAs.
+// ---------------------------------------------------------------------------
+
+/// One Figure 2 bar.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// "quad-word" or "cache-line".
+    pub interleave: &'static str,
+    /// YLA register count.
+    pub regs: u32,
+    /// Suite.
+    pub group: Group,
+    /// Fraction of store LQ searches filtered (mean with range).
+    pub filtered: GroupStat,
+}
+
+/// Figure 2 data.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// All bars.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Regenerates Figure 2 on an explicit workload set.
+pub fn fig2_on(workloads: &[Workload], config: &CoreConfig) -> Fig2 {
+    let mut rows = Vec::new();
+    for (interleave, line) in [("quad-word", false), ("cache-line", true)] {
+        for regs in [1u32, 2, 4, 8, 16] {
+            let kind = PolicyKind::Yla { regs, line_interleaved: line };
+            let runs: Vec<Run> = workloads
+                .iter()
+                .map(|w| run_workload(w, config, &kind, SimOptions::default()))
+                .collect();
+            for group in [Group::Int, Group::Fp] {
+                rows.push(Fig2Row {
+                    interleave,
+                    regs,
+                    group,
+                    filtered: group_stat(&runs, group, |r| r.stats.policy.store_filter_rate()),
+                });
+            }
+        }
+    }
+    Fig2 { rows }
+}
+
+/// Regenerates Figure 2 at the given scale on config 2.
+pub fn fig2(scale: Scale) -> Fig2 {
+    fig2_on(&full_suite(scale), &CoreConfig::config2())
+}
+
+impl Fig2 {
+    /// Renders the figure data as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Figure 2: % of LQ searches filtered by YLA count and interleaving");
+        t.headers(["interleave", "regs", "group", "filtered mean [min, max]"]);
+        for r in &self.rows {
+            t.row([
+                r.interleave.to_string(),
+                r.regs.to_string(),
+                r.group.to_string(),
+                r.filtered.pct_range(),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: YLA filtering vs. bloom filters.
+// ---------------------------------------------------------------------------
+
+/// One Figure 3 bar.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Design label ("yla-1", "bloom-256", ...).
+    pub design: String,
+    /// Suite.
+    pub group: Group,
+    /// Filter rate.
+    pub filtered: GroupStat,
+}
+
+/// Figure 3 data.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// All bars.
+    pub rows: Vec<Fig3Row>,
+}
+
+/// Regenerates Figure 3 on an explicit workload set.
+pub fn fig3_on(workloads: &[Workload], config: &CoreConfig) -> Fig3 {
+    let mut designs: Vec<(String, PolicyKind)> = vec![
+        ("yla-1".into(), PolicyKind::Yla { regs: 1, line_interleaved: false }),
+        ("yla-8".into(), PolicyKind::Yla { regs: 8, line_interleaved: false }),
+    ];
+    for entries in [32u32, 64, 128, 256, 512, 1024] {
+        designs.push((format!("bloom-{entries}"), PolicyKind::Bloom { entries }));
+    }
+    let mut rows = Vec::new();
+    for (design, kind) in designs {
+        let runs: Vec<Run> = workloads
+            .iter()
+            .map(|w| run_workload(w, config, &kind, SimOptions::default()))
+            .collect();
+        for group in [Group::Int, Group::Fp] {
+            rows.push(Fig3Row {
+                design: design.clone(),
+                group,
+                filtered: group_stat(&runs, group, |r| r.stats.policy.store_filter_rate()),
+            });
+        }
+    }
+    Fig3 { rows }
+}
+
+/// Regenerates Figure 3 at the given scale on config 2.
+pub fn fig3(scale: Scale) -> Fig3 {
+    fig3_on(&full_suite(scale), &CoreConfig::config2())
+}
+
+impl Fig3 {
+    /// Renders the figure data as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Figure 3: filtering of YLA vs bloom filters (H0 hash)");
+        t.headers(["design", "group", "filtered mean [min, max]"]);
+        for r in &self.rows {
+            t.row([r.design.clone(), r.group.to_string(), r.filtered.pct_range()]);
+        }
+        t.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: DMDC main results (LQ energy, slowdown, total energy; 3 configs).
+// ---------------------------------------------------------------------------
+
+/// One Figure 4 cluster.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Machine configuration name.
+    pub config: &'static str,
+    /// Suite.
+    pub group: Group,
+    /// LQ-functionality energy savings vs. the conventional design.
+    pub lq_savings: GroupStat,
+    /// Execution-time increase (negative = speedup).
+    pub slowdown: GroupStat,
+    /// Processor-wide net energy savings.
+    pub total_savings: GroupStat,
+}
+
+/// Figure 4 data.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// All clusters.
+    pub rows: Vec<Fig4Row>,
+}
+
+/// Per-workload comparison of a design against the baseline run.
+#[derive(Debug, Clone, Copy)]
+struct Comparison {
+    slowdown: f64,
+    lq_savings: f64,
+    total_savings: f64,
+}
+
+fn compare(
+    config: &CoreConfig,
+    base: &SimStats,
+    base_kind: &PolicyKind,
+    new: &SimStats,
+    new_kind: &PolicyKind,
+) -> Comparison {
+    let base_e = EnergyModel::with_geometry(base_kind.geometry(config)).evaluate(base);
+    let new_e = EnergyModel::with_geometry(new_kind.geometry(config)).evaluate(new);
+    Comparison {
+        slowdown: new.cycles as f64 / base.cycles as f64 - 1.0,
+        lq_savings: 1.0 - new_e.lq_functionality() / base_e.lq_functionality(),
+        total_savings: 1.0 - new_e.total() / base_e.total(),
+    }
+}
+
+/// Regenerates Figure 4 on an explicit workload set across the given
+/// configurations.
+pub fn fig4_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig4 {
+    let base_kind = PolicyKind::Baseline;
+    let dmdc_kind = PolicyKind::DmdcGlobal;
+    let mut rows = Vec::new();
+    for config in configs {
+        let comparisons: Vec<(Group, Comparison)> = workloads
+            .iter()
+            .map(|w| {
+                let base = run_workload(w, config, &base_kind, SimOptions::default());
+                let dmdc = run_workload(w, config, &dmdc_kind, SimOptions::default());
+                (w.group, compare(config, &base.stats, &base_kind, &dmdc.stats, &dmdc_kind))
+            })
+            .collect();
+        for group in [Group::Int, Group::Fp] {
+            let of = |f: &dyn Fn(&Comparison) -> f64| {
+                let vals: Vec<f64> =
+                    comparisons.iter().filter(|(g, _)| *g == group).map(|(_, c)| f(c)).collect();
+                GroupStat::of(&vals)
+            };
+            rows.push(Fig4Row {
+                config: config.name,
+                group,
+                lq_savings: of(&|c| c.lq_savings),
+                slowdown: of(&|c| c.slowdown),
+                total_savings: of(&|c| c.total_savings),
+            });
+        }
+    }
+    Fig4 { rows }
+}
+
+/// Regenerates Figure 4 at the given scale on all three configurations.
+pub fn fig4(scale: Scale) -> Fig4 {
+    fig4_on(&full_suite(scale), &CoreConfig::all())
+}
+
+impl Fig4 {
+    /// Renders the figure data as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Figure 4: DMDC LQ energy savings, slowdown, total energy savings");
+        t.headers(["config", "group", "LQ savings", "slowdown", "total savings"]);
+        for r in &self.rows {
+            t.row([
+                r.config.to_string(),
+                r.group.to_string(),
+                r.lq_savings.pct_range(),
+                r.slowdown.pct_range(),
+                r.total_savings.pct_range(),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §6.1 energy note: YLA-8 alone (32.4% LQ energy, ~1.7% core-wide in paper).
+// ---------------------------------------------------------------------------
+
+/// The §6.1 YLA-only energy result.
+#[derive(Debug, Clone)]
+pub struct YlaEnergy {
+    /// Per-group LQ-functionality savings of YLA-8 filtering.
+    pub lq_savings: Vec<(Group, GroupStat)>,
+    /// Per-group processor-wide savings.
+    pub total_savings: Vec<(Group, GroupStat)>,
+}
+
+/// Regenerates the §6.1 YLA-8 energy numbers on an explicit workload set.
+pub fn yla_energy_on(workloads: &[Workload], config: &CoreConfig) -> YlaEnergy {
+    let base_kind = PolicyKind::Baseline;
+    let yla_kind = PolicyKind::Yla { regs: 8, line_interleaved: false };
+    let comparisons: Vec<(Group, Comparison)> = workloads
+        .iter()
+        .map(|w| {
+            let base = run_workload(w, config, &base_kind, SimOptions::default());
+            let yla = run_workload(w, config, &yla_kind, SimOptions::default());
+            (w.group, compare(config, &base.stats, &base_kind, &yla.stats, &yla_kind))
+        })
+        .collect();
+    let agg = |f: &dyn Fn(&Comparison) -> f64| {
+        [Group::Int, Group::Fp]
+            .into_iter()
+            .map(|g| {
+                let vals: Vec<f64> =
+                    comparisons.iter().filter(|(gg, _)| *gg == g).map(|(_, c)| f(c)).collect();
+                (g, GroupStat::of(&vals))
+            })
+            .collect::<Vec<_>>()
+    };
+    YlaEnergy { lq_savings: agg(&|c| c.lq_savings), total_savings: agg(&|c| c.total_savings) }
+}
+
+/// Regenerates the §6.1 YLA-8 energy numbers at the given scale (config 2).
+pub fn yla_energy(scale: Scale) -> YlaEnergy {
+    yla_energy_on(&full_suite(scale), &CoreConfig::config2())
+}
+
+impl YlaEnergy {
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("§6.1: energy savings from YLA-8 filtering alone");
+        t.headers(["group", "LQ savings", "total savings"]);
+        for ((g, lq), (_, total)) in self.lq_savings.iter().zip(&self.total_savings) {
+            t.row([g.to_string(), lq.pct_range(), total.pct_range()]);
+        }
+        t.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables 2 & 4: checking-window statistics (global & local DMDC).
+// ---------------------------------------------------------------------------
+
+/// One window-statistics row.
+#[derive(Debug, Clone)]
+pub struct WindowRow {
+    /// Suite.
+    pub group: Group,
+    /// Mean committed instructions per checking window.
+    pub instructions: f64,
+    /// Mean committed loads per window.
+    pub loads: f64,
+    /// Mean safe loads per window.
+    pub safe_loads: f64,
+    /// Fraction of cycles spent in checking mode.
+    pub checking_cycle_frac: f64,
+    /// Fraction of windows containing a single unsafe store.
+    pub single_store_frac: f64,
+}
+
+/// Table 2 / Table 4 data.
+#[derive(Debug, Clone)]
+pub struct WindowTable {
+    /// `true` = local DMDC (Table 4).
+    pub local: bool,
+    /// Per-group rows.
+    pub rows: Vec<WindowRow>,
+}
+
+/// Regenerates checking-window statistics on an explicit workload set.
+pub fn window_stats_on(workloads: &[Workload], config: &CoreConfig, local: bool) -> WindowTable {
+    let kind = if local { PolicyKind::DmdcLocal } else { PolicyKind::DmdcGlobal };
+    let runs: Vec<Run> = workloads
+        .iter()
+        .map(|w| run_workload(w, config, &kind, SimOptions::default()))
+        .collect();
+    let per_window = |r: &Run, total: u64| {
+        let windows = r.stats.policy.checking_windows.max(1);
+        total as f64 / windows as f64
+    };
+    let rows = [Group::Int, Group::Fp]
+        .into_iter()
+        .map(|group| WindowRow {
+            group,
+            instructions: group_stat(&runs, group, |r| per_window(r, r.stats.policy.window_instructions)).mean,
+            loads: group_stat(&runs, group, |r| per_window(r, r.stats.policy.window_loads)).mean,
+            safe_loads: group_stat(&runs, group, |r| per_window(r, r.stats.policy.window_safe_loads)).mean,
+            checking_cycle_frac: group_stat(&runs, group, |r| {
+                r.stats.policy.checking_mode_cycles as f64 / r.stats.cycles.max(1) as f64
+            })
+            .mean,
+            single_store_frac: group_stat(&runs, group, |r| {
+                r.stats.policy.single_store_windows as f64
+                    / r.stats.policy.checking_windows.max(1) as f64
+            })
+            .mean,
+        })
+        .collect();
+    WindowTable { local, rows }
+}
+
+/// Table 2 (global DMDC) at the given scale, config 2.
+pub fn table2(scale: Scale) -> WindowTable {
+    window_stats_on(&full_suite(scale), &CoreConfig::config2(), false)
+}
+
+/// Table 4 (local DMDC) at the given scale, config 2.
+pub fn table4(scale: Scale) -> WindowTable {
+    window_stats_on(&full_suite(scale), &CoreConfig::config2(), true)
+}
+
+impl WindowTable {
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        let title = if self.local {
+            "Table 4: checking-window statistics (local DMDC)"
+        } else {
+            "Table 2: checking-window statistics (global DMDC)"
+        };
+        let mut t = Table::new(title);
+        t.headers(["group", "instructions", "loads", "safe loads", "% cycles checking", "% 1-store windows"]);
+        for r in &self.rows {
+            t.row([
+                r.group.to_string(),
+                f1(r.instructions),
+                f1(r.loads),
+                f2(r.safe_loads),
+                pct(r.checking_cycle_frac),
+                pct(r.single_store_frac),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables 3 & 5: false-replay breakdown per million committed instructions.
+// ---------------------------------------------------------------------------
+
+/// One false-replay-breakdown row (events per million commits).
+#[derive(Debug, Clone)]
+pub struct ReplayRow {
+    /// Suite.
+    pub group: Group,
+    /// Address match, load in the store's own window (X).
+    pub addr_x: f64,
+    /// Address match, merged windows (Y).
+    pub addr_y: f64,
+    /// Hash conflict, load issued before the store resolved.
+    pub hash_before: f64,
+    /// Hash conflict, X.
+    pub hash_x: f64,
+    /// Hash conflict, Y.
+    pub hash_y: f64,
+    /// Total false replays.
+    pub false_total: f64,
+    /// True violations (for reference; the paper excludes them).
+    pub true_violations: f64,
+}
+
+/// Table 3 / Table 5 data.
+#[derive(Debug, Clone)]
+pub struct ReplayTable {
+    /// `true` = local DMDC (Table 5).
+    pub local: bool,
+    /// Per-group rows.
+    pub rows: Vec<ReplayRow>,
+}
+
+/// Regenerates the false-replay breakdown on an explicit workload set.
+pub fn replay_breakdown_on(workloads: &[Workload], config: &CoreConfig, local: bool) -> ReplayTable {
+    let kind = if local { PolicyKind::DmdcLocal } else { PolicyKind::DmdcGlobal };
+    let runs: Vec<Run> = workloads
+        .iter()
+        .map(|w| run_workload(w, config, &kind, SimOptions::default()))
+        .collect();
+    let rows = [Group::Int, Group::Fp]
+        .into_iter()
+        .map(|group| {
+            let pm = |f: &dyn Fn(&Run) -> u64| {
+                group_stat(&runs, group, |r| r.stats.per_million(f(r))).mean
+            };
+            ReplayRow {
+                group,
+                addr_x: pm(&|r| r.stats.policy.replays.false_addr_x),
+                addr_y: pm(&|r| r.stats.policy.replays.false_addr_y),
+                hash_before: pm(&|r| r.stats.policy.replays.false_hash_before),
+                hash_x: pm(&|r| r.stats.policy.replays.false_hash_x),
+                hash_y: pm(&|r| r.stats.policy.replays.false_hash_y),
+                false_total: pm(&|r| r.stats.policy.replays.false_total()),
+                true_violations: pm(&|r| r.stats.policy.replays.true_violation),
+            }
+        })
+        .collect();
+    ReplayTable { local, rows }
+}
+
+/// Table 3 (global DMDC) at the given scale, config 2.
+pub fn table3(scale: Scale) -> ReplayTable {
+    replay_breakdown_on(&full_suite(scale), &CoreConfig::config2(), false)
+}
+
+/// Table 5 (local DMDC) at the given scale, config 2.
+pub fn table5(scale: Scale) -> ReplayTable {
+    replay_breakdown_on(&full_suite(scale), &CoreConfig::config2(), true)
+}
+
+impl ReplayTable {
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        let title = if self.local {
+            "Table 5: false replays per 1M commits (local DMDC)"
+        } else {
+            "Table 3: false replays per 1M commits (global DMDC)"
+        };
+        let mut t = Table::new(title);
+        t.headers(["group", "addr X", "addr Y", "hash before", "hash X", "hash Y", "false total", "(true)"]);
+        for r in &self.rows {
+            t.row([
+                r.group.to_string(),
+                f1(r.addr_x),
+                f1(r.addr_y),
+                f1(r.hash_before),
+                f1(r.hash_x),
+                f1(r.hash_y),
+                f1(r.false_total),
+                f1(r.true_violations),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: slowdown, global vs local DMDC, three configurations.
+// ---------------------------------------------------------------------------
+
+/// One Figure 5 cluster.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Machine configuration.
+    pub config: &'static str,
+    /// Suite.
+    pub group: Group,
+    /// Global-DMDC slowdown vs. baseline.
+    pub global_slowdown: GroupStat,
+    /// Local-DMDC slowdown vs. baseline.
+    pub local_slowdown: GroupStat,
+}
+
+/// Figure 5 data.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// All clusters.
+    pub rows: Vec<Fig5Row>,
+}
+
+/// Regenerates Figure 5 on an explicit workload set.
+pub fn fig5_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig5 {
+    let mut rows = Vec::new();
+    for config in configs {
+        let mut per: Vec<(Group, f64, f64)> = Vec::new();
+        for w in workloads {
+            let base = run_workload(w, config, &PolicyKind::Baseline, SimOptions::default());
+            let global = run_workload(w, config, &PolicyKind::DmdcGlobal, SimOptions::default());
+            let local = run_workload(w, config, &PolicyKind::DmdcLocal, SimOptions::default());
+            per.push((
+                w.group,
+                global.stats.cycles as f64 / base.stats.cycles as f64 - 1.0,
+                local.stats.cycles as f64 / base.stats.cycles as f64 - 1.0,
+            ));
+        }
+        for group in [Group::Int, Group::Fp] {
+            let g: Vec<f64> = per.iter().filter(|(gg, ..)| *gg == group).map(|&(_, g, _)| g).collect();
+            let l: Vec<f64> = per.iter().filter(|(gg, ..)| *gg == group).map(|&(_, _, l)| l).collect();
+            rows.push(Fig5Row {
+                config: config.name,
+                group,
+                global_slowdown: GroupStat::of(&g),
+                local_slowdown: GroupStat::of(&l),
+            });
+        }
+    }
+    Fig5 { rows }
+}
+
+/// Regenerates Figure 5 at the given scale on all three configurations.
+pub fn fig5(scale: Scale) -> Fig5 {
+    fig5_on(&full_suite(scale), &CoreConfig::all())
+}
+
+impl Fig5 {
+    /// Renders the figure data as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Figure 5: slowdown of global vs local DMDC");
+        t.headers(["config", "group", "global slowdown", "local slowdown"]);
+        for r in &self.rows {
+            t.row([
+                r.config.to_string(),
+                r.group.to_string(),
+                r.global_slowdown.pct_range(),
+                r.local_slowdown.pct_range(),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 6: impact of external invalidations.
+// ---------------------------------------------------------------------------
+
+/// One Table 6 row.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Suite.
+    pub group: Group,
+    /// Injected invalidations per 1000 cycles.
+    pub rate: f64,
+    /// Fraction of cycles in checking mode.
+    pub checking_cycle_frac: f64,
+    /// Checking-window size relative to the zero-invalidation run.
+    pub rel_window: f64,
+    /// False-replay rate relative to the zero-invalidation run.
+    pub rel_false_replays: f64,
+    /// Slowdown vs. the conventional baseline without invalidations.
+    pub slowdown: f64,
+}
+
+/// Table 6 data.
+#[derive(Debug, Clone)]
+pub struct Table6 {
+    /// Rows, grouped by suite then rate.
+    pub rows: Vec<Table6Row>,
+}
+
+/// Regenerates Table 6 on an explicit workload set.
+pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> Table6 {
+    // Baseline timing reference (no coherence, as in the paper's baseline).
+    let base_runs: Vec<Run> = workloads
+        .iter()
+        .map(|w| run_workload(w, config, &PolicyKind::Baseline, SimOptions::default()))
+        .collect();
+
+    // The zero-rate DMDC run normalizes the relative columns.
+    let mut rows = Vec::new();
+    let mut reference: Vec<Run> = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        let opts = SimOptions { inval_per_kcycle: rate, inval_seed: 42, ..SimOptions::default() };
+        let runs: Vec<Run> = workloads
+            .iter()
+            .map(|w| run_workload(w, config, &PolicyKind::DmdcCoherent, opts))
+            .collect();
+        if i == 0 {
+            reference = runs.clone();
+        }
+        for group in [Group::Int, Group::Fp] {
+            let window_size = |rs: &[Run]| {
+                group_stat(rs, group, |r| {
+                    r.stats.policy.window_instructions as f64
+                        / r.stats.policy.checking_windows.max(1) as f64
+                })
+                .mean
+            };
+            let false_rate = |rs: &[Run]| {
+                group_stat(rs, group, |r| r.stats.per_million(r.stats.policy.replays.false_total()))
+                    .mean
+            };
+            // Floors keep the relative columns meaningful when the
+            // zero-invalidation run has (near-)zero events, as FP does.
+            let ref_window = window_size(&reference).max(1.0);
+            let ref_false = false_rate(&reference).max(1.0);
+            let checking = group_stat(&runs, group, |r| {
+                r.stats.policy.checking_mode_cycles as f64 / r.stats.cycles.max(1) as f64
+            })
+            .mean;
+            // Mean slowdown pairs each workload's run with its baseline.
+            let slowdowns: Vec<f64> = runs
+                .iter()
+                .zip(&base_runs)
+                .filter(|(r, _)| r.group == group)
+                .map(|(r, b)| r.stats.cycles as f64 / b.stats.cycles as f64 - 1.0)
+                .collect();
+            rows.push(Table6Row {
+                group,
+                rate,
+                checking_cycle_frac: checking,
+                rel_window: window_size(&runs).max(1.0) / ref_window,
+                rel_false_replays: false_rate(&runs).max(1.0) / ref_false,
+                slowdown: GroupStat::of(&slowdowns).mean,
+            });
+        }
+    }
+    Table6 { rows }
+}
+
+/// Regenerates Table 6 at the given scale on config 2 with the paper's
+/// rates (0, 1, 10, 100 invalidations per 1000 cycles).
+pub fn table6(scale: Scale) -> Table6 {
+    table6_on(&full_suite(scale), &CoreConfig::config2(), &[0.0, 1.0, 10.0, 100.0])
+}
+
+impl Table6 {
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Table 6: impact of external invalidations on DMDC");
+        t.headers(["group", "inv/1k cycles", "% cycles checking", "rel window", "rel false replays", "slowdown"]);
+        for r in &self.rows {
+            t.row([
+                r.group.to_string(),
+                f1(r.rate),
+                pct(r.checking_cycle_frac),
+                f2(r.rel_window),
+                f2(r.rel_false_replays),
+                pct(r.slowdown),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ablations.
+// ---------------------------------------------------------------------------
+
+/// Checking-queue vs. hash-table ablation (§4.4/§6.2.3).
+#[derive(Debug, Clone)]
+pub struct CheckingQueueAblation {
+    /// (design label, group, false replays per 1M, slowdown vs baseline).
+    pub rows: Vec<(String, Group, f64, f64)>,
+}
+
+/// Compares the hash table against associative queues of several depths.
+pub fn checking_queue_ablation_on(
+    workloads: &[Workload],
+    config: &CoreConfig,
+    queue_sizes: &[u32],
+) -> CheckingQueueAblation {
+    let base_runs: Vec<Run> = workloads
+        .iter()
+        .map(|w| run_workload(w, config, &PolicyKind::Baseline, SimOptions::default()))
+        .collect();
+    let mut designs = vec![(format!("table-{}", config.checking_table_entries), PolicyKind::DmdcGlobal)];
+    for &entries in queue_sizes {
+        designs.push((format!("queue-{entries}"), PolicyKind::CheckingQueue { entries }));
+    }
+    let mut rows = Vec::new();
+    for (label, kind) in designs {
+        let runs: Vec<Run> = workloads
+            .iter()
+            .map(|w| run_workload(w, config, &kind, SimOptions::default()))
+            .collect();
+        for group in [Group::Int, Group::Fp] {
+            let false_pm =
+                group_stat(&runs, group, |r| r.stats.per_million(r.stats.policy.replays.false_total()))
+                    .mean;
+            let slowdowns: Vec<f64> = runs
+                .iter()
+                .zip(&base_runs)
+                .filter(|(r, _)| r.group == group)
+                .map(|(r, b)| r.stats.cycles as f64 / b.stats.cycles as f64 - 1.0)
+                .collect();
+            rows.push((label.clone(), group, false_pm, GroupStat::of(&slowdowns).mean));
+        }
+    }
+    CheckingQueueAblation { rows }
+}
+
+impl CheckingQueueAblation {
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Ablation: hash table vs associative checking queue");
+        t.headers(["design", "group", "false replays / 1M", "slowdown"]);
+        for (label, group, fr, sd) in &self.rows {
+            t.row([label.clone(), group.to_string(), f1(*fr), pct(*sd)]);
+        }
+        t.to_string()
+    }
+}
+
+/// Checking-table size sweep (§6.2.2: "increasing the size of the checking
+/// table will have limited effectiveness due to diminishing returns").
+#[derive(Debug, Clone)]
+pub struct TableSizeAblation {
+    /// (table entries, group, false replays per 1M, hash-conflict replays
+    /// per 1M).
+    pub rows: Vec<(u32, Group, f64, f64)>,
+}
+
+/// Sweeps the checking-table size under global DMDC.
+pub fn table_size_ablation_on(
+    workloads: &[Workload],
+    config: &CoreConfig,
+    sizes: &[u32],
+) -> TableSizeAblation {
+    let mut rows = Vec::new();
+    for &entries in sizes {
+        let mut cfg = config.clone();
+        cfg.checking_table_entries = entries;
+        let runs: Vec<Run> = workloads
+            .iter()
+            .map(|w| run_workload(w, &cfg, &PolicyKind::DmdcGlobal, SimOptions::default()))
+            .collect();
+        for group in [Group::Int, Group::Fp] {
+            let false_pm = group_stat(&runs, group, |r| {
+                r.stats.per_million(r.stats.policy.replays.false_total())
+            })
+            .mean;
+            let hash_pm = group_stat(&runs, group, |r| {
+                r.stats.per_million(
+                    r.stats.policy.replays.false_hash_before
+                        + r.stats.policy.replays.false_hash_x
+                        + r.stats.policy.replays.false_hash_y,
+                )
+            })
+            .mean;
+            rows.push((entries, group, false_pm, hash_pm));
+        }
+    }
+    TableSizeAblation { rows }
+}
+
+impl TableSizeAblation {
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Ablation: checking-table size vs false replays");
+        t.headers(["entries", "group", "false replays / 1M", "hash-conflict part"]);
+        for (entries, group, fr, hash) in &self.rows {
+            t.row([entries.to_string(), group.to_string(), f1(*fr), f1(*hash)]);
+        }
+        t.to_string()
+    }
+}
+
+/// Safe-load ablation (§6.2.2: "without safe loads, replays will double").
+#[derive(Debug, Clone)]
+pub struct SafeLoadAblation {
+    /// (group, false replays/1M with safe loads, without).
+    pub rows: Vec<(Group, f64, f64)>,
+}
+
+/// Measures the false-replay reduction the safe-load logic provides.
+pub fn safe_load_ablation_on(workloads: &[Workload], config: &CoreConfig) -> SafeLoadAblation {
+    let with: Vec<Run> = workloads
+        .iter()
+        .map(|w| run_workload(w, config, &PolicyKind::DmdcGlobal, SimOptions::default()))
+        .collect();
+    let without: Vec<Run> = workloads
+        .iter()
+        .map(|w| run_workload(w, config, &PolicyKind::DmdcNoSafeLoads, SimOptions::default()))
+        .collect();
+    let rows = [Group::Int, Group::Fp]
+        .into_iter()
+        .map(|group| {
+            let f = |rs: &[Run]| {
+                group_stat(rs, group, |r| r.stats.per_million(r.stats.policy.replays.false_total()))
+                    .mean
+            };
+            (group, f(&with), f(&without))
+        })
+        .collect();
+    SafeLoadAblation { rows }
+}
+
+impl SafeLoadAblation {
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Ablation: safe-load detection (false replays / 1M)");
+        t.headers(["group", "with safe loads", "without"]);
+        for (g, w, wo) in &self.rows {
+            t.row([g.to_string(), f1(*w), f1(*wo)]);
+        }
+        t.to_string()
+    }
+}
+
+/// §3 store-queue filtering: fraction of loads older than every in-flight
+/// store (paper: "about 20%"), plus the measured effect of actually
+/// enabling the oldest-store-age register (the paper's deferred extension).
+#[derive(Debug, Clone)]
+pub struct SqFilterPotential {
+    /// Per-group: (bypassable fraction, SQ searches saved when the filter
+    /// is enabled, timing change when enabled — must be zero).
+    pub rows: Vec<(Group, GroupStat, GroupStat, GroupStat)>,
+}
+
+/// Measures the §3 SQ-filtering opportunity and exercises the filter.
+pub fn sq_filter_potential_on(workloads: &[Workload], config: &CoreConfig) -> SqFilterPotential {
+    let baseline_runs: Vec<Run> = workloads
+        .iter()
+        .map(|w| run_workload(w, config, &PolicyKind::Baseline, SimOptions::default()))
+        .collect();
+    let mut filtered_config = config.clone();
+    filtered_config.sq_age_filter = true;
+    let filtered_runs: Vec<Run> = workloads
+        .iter()
+        .map(|w| run_workload(w, &filtered_config, &PolicyKind::Baseline, SimOptions::default()))
+        .collect();
+    let rows = [Group::Int, Group::Fp]
+        .into_iter()
+        .map(|group| {
+            let potential = group_stat(&baseline_runs, group, |r| {
+                r.stats.sq_filterable_loads as f64 / r.stats.energy.sq_cam_searches.max(1) as f64
+            });
+            let saved: Vec<f64> = baseline_runs
+                .iter()
+                .zip(&filtered_runs)
+                .filter(|(b, _)| b.group == group)
+                .map(|(b, f)| {
+                    1.0 - f.stats.energy.sq_cam_searches as f64
+                        / b.stats.energy.sq_cam_searches.max(1) as f64
+                })
+                .collect();
+            let slowdown: Vec<f64> = baseline_runs
+                .iter()
+                .zip(&filtered_runs)
+                .filter(|(b, _)| b.group == group)
+                .map(|(b, f)| f.stats.cycles as f64 / b.stats.cycles as f64 - 1.0)
+                .collect();
+            (group, potential, GroupStat::of(&saved), GroupStat::of(&slowdown))
+        })
+        .collect();
+    SqFilterPotential { rows }
+}
+
+impl SqFilterPotential {
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        let mut t =
+            Table::new("§3: oldest-store-age SQ filtering (potential and measured effect)");
+        t.headers(["group", "bypassable loads", "SQ searches saved", "timing change"]);
+        for (g, potential, saved, slowdown) in &self.rows {
+            t.row([
+                g.to_string(),
+                potential.pct_range(),
+                pct(saved.mean),
+                pct(slowdown.mean),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_workloads::{fp_suite, int_suite};
+
+    /// A tiny two-workload set (one INT, one FP) for harness smoke tests.
+    fn mini_suite() -> Vec<Workload> {
+        vec![
+            int_suite(Scale::Smoke).remove(6), // histo: dependence-heavy
+            fp_suite(Scale::Smoke).remove(1),  // saxpy: regular FP
+        ]
+    }
+
+    #[test]
+    fn run_workload_verifies_against_emulator() {
+        let w = &mini_suite()[0];
+        let r = run_workload(w, &CoreConfig::config2(), &PolicyKind::DmdcGlobal, SimOptions::default());
+        assert!(r.stats.committed > 1_000);
+    }
+
+    #[test]
+    fn fig2_shape_more_regs_filter_more() {
+        let suite = mini_suite();
+        let fig = fig2_on(&suite, &CoreConfig::config2());
+        assert_eq!(fig.rows.len(), 2 * 5 * 2);
+        let qw_int: Vec<&Fig2Row> = fig
+            .rows
+            .iter()
+            .filter(|r| r.interleave == "quad-word" && r.group == Group::Int)
+            .collect();
+        assert!(
+            qw_int.last().unwrap().filtered.mean >= qw_int.first().unwrap().filtered.mean,
+            "16 YLAs must filter at least as much as 1"
+        );
+        assert!(!fig.render().is_empty());
+    }
+
+    #[test]
+    fn fig4_reports_all_groups_and_configs() {
+        let suite = mini_suite();
+        let fig = fig4_on(&suite, &[CoreConfig::config1()]);
+        assert_eq!(fig.rows.len(), 2);
+        for row in &fig.rows {
+            assert!(row.lq_savings.mean > 0.5, "DMDC must slash LQ energy, got {:?}", row.lq_savings);
+            assert!(row.slowdown.mean.abs() < 0.25, "slowdown should be small, got {:?}", row.slowdown);
+        }
+        assert!(fig.render().contains("config1"));
+    }
+
+    #[test]
+    fn window_and_replay_tables_have_both_groups() {
+        let suite = mini_suite();
+        let wt = window_stats_on(&suite, &CoreConfig::config2(), false);
+        assert_eq!(wt.rows.len(), 2);
+        let rt = replay_breakdown_on(&suite, &CoreConfig::config2(), false);
+        assert_eq!(rt.rows.len(), 2);
+        assert!(!wt.render().is_empty());
+        assert!(!rt.render().is_empty());
+    }
+
+    #[test]
+    fn table6_zero_rate_is_the_reference() {
+        let suite = mini_suite();
+        let t = table6_on(&suite, &CoreConfig::config2(), &[0.0, 10.0]);
+        assert_eq!(t.rows.len(), 4);
+        for row in t.rows.iter().take(2) {
+            assert!((row.rel_window - 1.0).abs() < 1e-9 || row.rel_window == 0.0);
+        }
+        assert!(t.render().contains("inv/1k"));
+    }
+
+    #[test]
+    fn sq_filter_potential_is_sane() {
+        let suite = mini_suite();
+        let p = sq_filter_potential_on(&suite, &CoreConfig::config2());
+        for (_, potential, saved, slowdown) in &p.rows {
+            assert!((0.0..=1.0).contains(&potential.mean));
+            assert!((0.0..=1.0).contains(&saved.mean));
+            assert_eq!(slowdown.mean, 0.0, "the SQ filter is timing-neutral");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Plain-text table rendering for experiment output, aligned to be
+//! compared side by side with the paper's tables and figure data.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_core::report::Table;
+///
+/// let mut t = Table::new("demo");
+/// t.headers(["name", "value"]);
+/// t.row(["x".to_string(), "1".to_string()]);
+/// let s = t.to_string();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("name"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title.
+    pub fn new(title: impl Into<String>) -> Table {
+        Table { title: title.into(), headers: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Sets the column headers.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width disagrees with the headers.
+    pub fn row<I>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let row: Vec<String> = cells.into_iter().collect();
+        assert!(
+            self.headers.is_empty() || row.len() == self.headers.len(),
+            "row has {} cells, headers have {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Exports the table as RFC-4180-style CSV (quoting cells that contain
+    /// commas, quotes or newlines), headers first. Handy for plotting the
+    /// regenerated figures.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        if !self.headers.is_empty() {
+            out.push_str(&self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        if !self.headers.is_empty() {
+            for (i, h) in self.headers.iter().enumerate() {
+                write!(f, "{:<w$}  ", h, w = widths[i])?;
+            }
+            writeln!(f)?;
+            for (i, _) in self.headers.iter().enumerate() {
+                write!(f, "{}  ", "-".repeat(widths[i]))?;
+            }
+            writeln!(f)?;
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                write!(f, "{:<w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage, e.g. `0.953 -> "95.3%"`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Mean / min / max of a sample (the paper's bars with "I-beam" ranges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupStat {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl GroupStat {
+    /// Computes the statistic over a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn of(values: &[f64]) -> GroupStat {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        GroupStat { mean, min, max }
+    }
+
+    /// Renders as `mean [min, max]` percentages.
+    pub fn pct_range(&self) -> String {
+        format!("{} [{}, {}]", pct(self.mean), pct(self.min), pct(self.max))
+    }
+}
+
+impl fmt::Display for GroupStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} [{:.3}, {:.3}]", self.mean, self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("t");
+        t.headers(["a", "bbbb"]);
+        t.row(["xxxxx".to_string(), "1".to_string()]);
+        t.row(["y".to_string(), "22".to_string()]);
+        let s = t.to_string();
+        assert!(s.contains("== t =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5, "{s}");
+        assert!(lines[1].starts_with("a    "), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("t");
+        t.headers(["a", "b"]);
+        t.row(["only-one".to_string()]);
+    }
+
+    #[test]
+    fn group_stat_math() {
+        let g = GroupStat::of(&[0.1, 0.5, 0.3]);
+        assert!((g.mean - 0.3).abs() < 1e-12);
+        assert_eq!(g.min, 0.1);
+        assert_eq!(g.max, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        GroupStat::of(&[]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.9534), "95.3%");
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f1(2.34), "2.3");
+        let g = GroupStat::of(&[0.5]);
+        assert_eq!(g.pct_range(), "50.0% [50.0%, 50.0%]");
+    }
+
+    #[test]
+    fn csv_export_quotes_correctly() {
+        let mut t = Table::new("t");
+        t.headers(["a", "b"]);
+        t.row(["plain".to_string(), "with, comma".to_string()]);
+        t.row(["has \"quote\"".to_string(), "x".to_string()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with, comma\"");
+        assert_eq!(lines[2], "\"has \"\"quote\"\"\",x");
+    }
+
+    #[test]
+    fn table_len_and_empty() {
+        let mut t = Table::new("t");
+        assert!(t.is_empty());
+        t.row(["x".to_string()]);
+        assert_eq!(t.len(), 1);
+    }
+}

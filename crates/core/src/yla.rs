@@ -1,0 +1,323 @@
+//! YLA-based filtering (paper §3): a small bank of *Youngest issued Load
+//! Age* registers, interleaved by address bits, that lets most resolving
+//! stores skip the associative load-queue search.
+
+use dmdc_types::{Addr, Age, MemSpan};
+
+use dmdc_ooo::{
+    search_lq_for_premature_loads, CheckOutcome, CommitInfo, CommitKind, LoadQueue, MemDepPolicy,
+    PolicyCtx, ReplayKind, StoreResolution,
+};
+
+/// How a YLA bank spreads addresses across its registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interleave {
+    /// By quad-word address bits — the paper's choice for store-load
+    /// checking (Figure 2 shows it dominating line interleaving).
+    QuadWord,
+    /// By cache-line address bits (needed to bound invalidation-triggered
+    /// checking windows, §4.3).
+    CacheLine(u64),
+}
+
+/// A bank of YLA registers.
+///
+/// Register `i` holds the age of the youngest load issued so far whose
+/// address maps to bank `i`; [`Age::OLDEST`] means "no load has issued".
+/// A store is *safe* when it is younger than its bank's register: no
+/// younger load to any conflicting address can have issued.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_core::{Interleave, YlaBank};
+/// use dmdc_types::{Addr, Age};
+///
+/// let mut bank = YlaBank::new(8, Interleave::QuadWord);
+/// bank.update(Addr(0x100), Age(10));
+/// assert!(!bank.is_safe_store(Addr(0x100), Age(5)), "younger load has issued");
+/// assert!(bank.is_safe_store(Addr(0x100), Age(11)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct YlaBank {
+    regs: Vec<Age>,
+    interleave: Interleave,
+}
+
+impl YlaBank {
+    /// Creates a bank of `count` registers (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is not a power of two, or if a cache-line
+    /// interleave has a non-power-of-two line size.
+    pub fn new(count: u32, interleave: Interleave) -> YlaBank {
+        assert!(count.is_power_of_two(), "YLA register count must be a power of two");
+        if let Interleave::CacheLine(bytes) = interleave {
+            assert!(bytes.is_power_of_two(), "line size must be a power of two");
+        }
+        YlaBank { regs: vec![Age::OLDEST; count as usize], interleave }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the bank has no registers (never true; see [`YlaBank::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    fn bank_of(&self, addr: Addr) -> usize {
+        let block = match self.interleave {
+            Interleave::QuadWord => addr.quad_word(),
+            Interleave::CacheLine(bytes) => addr.cache_line(bytes),
+        };
+        (block as usize) & (self.regs.len() - 1)
+    }
+
+    /// Records an issuing load.
+    pub fn update(&mut self, addr: Addr, age: Age) {
+        let b = self.bank_of(addr);
+        if age.is_younger_than(self.regs[b]) {
+            self.regs[b] = age;
+        }
+    }
+
+    /// The recorded youngest-load age for `addr`'s bank (the checking-window
+    /// boundary DMDC uses).
+    pub fn value_for(&self, addr: Addr) -> Age {
+        self.regs[self.bank_of(addr)]
+    }
+
+    /// Whether a store resolving at `age` to `addr` is provably safe.
+    pub fn is_safe_store(&self, addr: Addr, age: Age) -> bool {
+        self.value_for(addr).is_older_than(age)
+    }
+
+    /// Squash repair (paper §3): clamp every register down to the age of
+    /// the youngest surviving instruction. Registers older than that are
+    /// left alone — lowering further would be unsound, not just
+    /// ineffective.
+    pub fn on_squash(&mut self, youngest_surviving: Age) {
+        for r in &mut self.regs {
+            if r.is_younger_than(youngest_surviving) {
+                *r = youngest_surviving;
+            }
+        }
+    }
+}
+
+/// The YLA-filtered conventional design: an associative LQ whose searches
+/// are gated by a [`YlaBank`]. This is the paper's §3 design, evaluated in
+/// Figures 2 and 3.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_core::{Interleave, YlaPolicy};
+/// use dmdc_ooo::MemDepPolicy;
+///
+/// let p = YlaPolicy::new(8, Interleave::QuadWord);
+/// assert!(p.needs_associative_lq());
+/// assert!(p.name().contains("yla"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct YlaPolicy {
+    bank: YlaBank,
+    name: String,
+}
+
+impl YlaPolicy {
+    /// A filter with `regs` registers and the given interleaving, in front
+    /// of a conventional CAM load queue.
+    pub fn new(regs: u32, interleave: Interleave) -> YlaPolicy {
+        let kind = match interleave {
+            Interleave::QuadWord => "qw",
+            Interleave::CacheLine(_) => "line",
+        };
+        YlaPolicy { bank: YlaBank::new(regs, interleave), name: format!("yla-{regs}-{kind}") }
+    }
+}
+
+impl MemDepPolicy for YlaPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_load_issue(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        safe: bool,
+        _lq: &mut LoadQueue,
+    ) -> Option<Age> {
+        if safe {
+            ctx.stats.safe_loads += 1;
+        } else {
+            ctx.stats.unsafe_loads += 1;
+        }
+        self.bank.update(span.addr, age);
+        ctx.energy.yla_writes += 1;
+        None
+    }
+
+    fn on_store_resolve(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        lq: &LoadQueue,
+    ) -> StoreResolution {
+        ctx.energy.yla_reads += 1;
+        if self.bank.is_safe_store(span.addr, age) {
+            ctx.stats.safe_stores += 1;
+            return StoreResolution { safe: true, replay_from: None };
+        }
+        ctx.stats.unsafe_stores += 1;
+        ctx.energy.lq_cam_searches += 1;
+        let replay_from = search_lq_for_premature_loads(lq, age, span);
+        if replay_from.is_some() {
+            ctx.stats.replays.record(ReplayKind::TrueViolation);
+        }
+        StoreResolution { safe: false, replay_from }
+    }
+
+    fn on_commit(&mut self, _ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
+        if info.kind == CommitKind::Load {
+            debug_assert!(info.value_correct, "YLA filtering let a stale load commit");
+        }
+        CheckOutcome::Ok
+    }
+
+    fn on_squash(&mut self, _ctx: &mut PolicyCtx<'_>, youngest_surviving: Age) {
+        self.bank.on_squash(youngest_surviving);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_ooo::{EnergyCounters, PolicyStats};
+    use dmdc_types::{AccessSize, Cycle};
+
+    fn span(addr: u64, bytes: u64) -> MemSpan {
+        MemSpan::new(Addr(addr), AccessSize::from_bytes(bytes).unwrap())
+    }
+
+    #[test]
+    fn bank_tracks_youngest_per_bank() {
+        let mut b = YlaBank::new(4, Interleave::QuadWord);
+        b.update(Addr(0x00), Age(10)); // qw 0 -> bank 0
+        b.update(Addr(0x08), Age(20)); // qw 1 -> bank 1
+        b.update(Addr(0x00), Age(5)); // older: must not regress
+        assert_eq!(b.value_for(Addr(0x00)), Age(10));
+        assert_eq!(b.value_for(Addr(0x08)), Age(20));
+        assert_eq!(b.value_for(Addr(0x10)), Age::OLDEST, "bank 2 untouched");
+    }
+
+    #[test]
+    fn safety_is_per_bank() {
+        let mut b = YlaBank::new(4, Interleave::QuadWord);
+        b.update(Addr(0x00), Age(10));
+        // Bank 0: store older than 10 is unsafe, younger is safe.
+        assert!(!b.is_safe_store(Addr(0x04), Age(9)), "same quad word, younger load issued");
+        assert!(b.is_safe_store(Addr(0x00), Age(11)));
+        // Bank 1 never saw a load: everything is safe.
+        assert!(b.is_safe_store(Addr(0x08), Age(1)));
+    }
+
+    #[test]
+    fn aliasing_across_banks_is_conservative() {
+        // With 2 banks, quad words 0 and 2 share bank 0: a load to qw 2
+        // makes stores to qw 0 unsafe. Conservative, never unsound.
+        let mut b = YlaBank::new(2, Interleave::QuadWord);
+        b.update(Addr(0x10), Age(50)); // qw 2 -> bank 0
+        assert!(!b.is_safe_store(Addr(0x00), Age(40)));
+    }
+
+    #[test]
+    fn line_interleaving_groups_by_line() {
+        let mut b = YlaBank::new(4, Interleave::CacheLine(128));
+        b.update(Addr(0x100), Age(10)); // line 2 -> bank 2
+        assert!(!b.is_safe_store(Addr(0x17F), Age(5)), "same 128B line");
+        assert!(b.is_safe_store(Addr(0x180), Age(5)), "next line, bank 3");
+    }
+
+    #[test]
+    fn squash_clamps_only_younger_registers() {
+        let mut b = YlaBank::new(2, Interleave::QuadWord);
+        b.update(Addr(0x00), Age(100));
+        b.update(Addr(0x08), Age(10));
+        b.on_squash(Age(50));
+        assert_eq!(b.value_for(Addr(0x00)), Age(50), "clamped down");
+        assert_eq!(b.value_for(Addr(0x08)), Age(10), "older register untouched");
+    }
+
+    #[test]
+    fn more_registers_filter_no_less() {
+        // Identical access stream: an 8-register bank must classify at
+        // least as many stores safe as a 1-register bank.
+        let stream: Vec<(u64, u64)> = (0..200)
+            .map(|i| (0x1000 + (i * 37 % 64) * 8, i + 1))
+            .collect();
+        let mut safe1 = 0;
+        let mut safe8 = 0;
+        let mut b1 = YlaBank::new(1, Interleave::QuadWord);
+        let mut b8 = YlaBank::new(8, Interleave::QuadWord);
+        for &(addr, age) in &stream {
+            if age % 3 == 0 {
+                // a store resolving slightly older than current age
+                let store_age = Age(age.saturating_sub(2).max(1));
+                if b1.is_safe_store(Addr(addr), store_age) {
+                    safe1 += 1;
+                }
+                if b8.is_safe_store(Addr(addr), store_age) {
+                    safe8 += 1;
+                }
+            } else {
+                b1.update(Addr(addr), Age(age));
+                b8.update(Addr(addr), Age(age));
+            }
+        }
+        assert!(safe8 >= safe1, "8 regs ({safe8}) must filter >= 1 reg ({safe1})");
+    }
+
+    #[test]
+    fn policy_filters_and_counts() {
+        let mut p = YlaPolicy::new(8, Interleave::QuadWord);
+        let mut e = EnergyCounters::default();
+        let mut s = PolicyStats::default();
+        let mut lq = LoadQueue::new(8);
+        let mut ctx = PolicyCtx { cycle: Cycle(0), energy: &mut e, stats: &mut s };
+
+        // Load at age 10 to 0x100.
+        lq.allocate(Age(10));
+        lq.entry_mut(Age(10)).unwrap().issued = true;
+        lq.entry_mut(Age(10)).unwrap().span = Some(span(0x100, 8));
+        p.on_load_issue(&mut ctx, Age(10), span(0x100, 8), false, &mut lq);
+
+        // Store younger than the load: safe, no search.
+        let r = p.on_store_resolve(&mut ctx, Age(11), span(0x100, 8), &lq);
+        assert!(r.safe);
+        assert_eq!(r.replay_from, None);
+
+        // Store older than the load, same bank: must search and find it.
+        let r = p.on_store_resolve(&mut ctx, Age(5), span(0x100, 8), &lq);
+        assert!(!r.safe);
+        assert_eq!(r.replay_from, Some(Age(10)));
+        assert_eq!(e.lq_cam_searches, 1, "only the unsafe store searched");
+        assert_eq!(s.safe_stores, 1);
+        assert_eq!(s.unsafe_stores, 1);
+        assert_eq!(e.yla_writes, 1);
+        assert_eq!(e.yla_reads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bank_count_validated() {
+        YlaBank::new(3, Interleave::QuadWord);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests driving the DMDC policy through randomized — but
+//! protocol-respecting — event streams, checking its own invariants
+//! directly (the simulator-level tests check end-to-end correctness; these
+//! pin the policy's contract in isolation).
+
+use dmdc_core::{DmdcConfig, DmdcPolicy};
+use dmdc_ooo::{
+    CheckOutcome, CommitInfo, CommitKind, CoreConfig, EnergyCounters, LoadQueue, MemDepPolicy,
+    PolicyCtx, PolicyStats,
+};
+use dmdc_types::{AccessSize, Addr, Age, Cycle, MemSpan};
+use proptest::prelude::*;
+
+/// A protocol-respecting random scenario: loads issue at random points with
+/// random quad-word addresses; stores resolve with a random (possibly
+/// older) age; everything commits in age order.
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// (is_store, qw) per program-order slot.
+    slots: Vec<(bool, u64)>,
+    /// For loads: how many slots *later* they issue (out-of-order slack).
+    issue_slack: Vec<u64>,
+    safe_loads: bool,
+    local: bool,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        prop::collection::vec((any::<bool>(), 0u64..32), 5..120),
+        prop::collection::vec(0u64..6, 5..120),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(slots, issue_slack, safe_loads, local)| Scenario {
+            slots,
+            issue_slack,
+            safe_loads,
+            local,
+        })
+}
+
+/// Drives the policy through the scenario and returns
+/// (replays, windows_opened, windows_closed_by_end).
+fn drive(s: &Scenario) -> (u64, u64, PolicyStats) {
+    let core = CoreConfig::config2();
+    let mut cfg = DmdcConfig { table_entries: 64, yla_regs: 4, ..DmdcConfig::global(&core) };
+    cfg.local_windows = s.local;
+    cfg.safe_loads = s.safe_loads;
+    let mut p = DmdcPolicy::new(cfg);
+    let mut energy = EnergyCounters::default();
+    let mut stats = PolicyStats::default();
+    let mut lq = LoadQueue::new(256);
+    let mut cycle = Cycle(0);
+
+    // Phase 1: issue/resolve, roughly in order with slack for loads.
+    let n = s.slots.len();
+    for (i, &(is_store, qw)) in s.slots.iter().enumerate() {
+        cycle.tick();
+        let age = Age((i as u64 + 1) * 2);
+        let span = MemSpan::new(Addr(0x1000 + qw * 8), AccessSize::B8);
+        let mut ctx = PolicyCtx { cycle, energy: &mut energy, stats: &mut stats };
+        if is_store {
+            // A store may resolve "late": model by resolving with its own
+            // age after younger loads already issued (handled naturally by
+            // the interleaving below).
+            let r = p.on_store_resolve(&mut ctx, age, span, &lq);
+            assert!(r.replay_from.is_none(), "DMDC never replays at resolve");
+        } else {
+            let slack = s.issue_slack[i % s.issue_slack.len()];
+            // Larger slack = issued later (here immediately; slack instead
+            // randomizes the *safe* classification).
+            let safe = slack == 0;
+            p.on_load_issue(&mut ctx, age, span, safe, &mut lq);
+        }
+    }
+
+    // Phase 2: commit everything in order; count replays. A replayed
+    // instruction is refetched with a fresh younger age and must commit.
+    let mut replays = 0u64;
+    let mut next_age = (n as u64 + 2) * 2;
+    let mut pending: Vec<(Age, bool, u64, bool)> = s
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(i, &(is_store, qw))| {
+            let slack = s.issue_slack[i % s.issue_slack.len()];
+            (Age((i as u64 + 1) * 2), is_store, qw, !is_store && slack == 0)
+        })
+        .collect();
+    let mut idx = 0;
+    let mut guard = 0;
+    while idx < pending.len() {
+        guard += 1;
+        assert!(guard < 100_000, "policy livelocked");
+        let (age, is_store, qw, safe) = pending[idx];
+        cycle.tick();
+        let span = MemSpan::new(Addr(0x1000 + qw * 8), AccessSize::B8);
+        let info = CommitInfo {
+            age,
+            kind: if is_store { CommitKind::Store } else { CommitKind::Load },
+            span: Some(span),
+            safe_load: safe,
+            value_correct: true,
+            issue_cycle: Some(Cycle(1)),
+        };
+        let mut ctx = PolicyCtx { cycle, energy: &mut energy, stats: &mut stats };
+        match p.on_commit(&mut ctx, &info) {
+            CheckOutcome::Ok => idx += 1,
+            CheckOutcome::Replay => {
+                assert!(!is_store, "stores never replay");
+                replays += 1;
+                // Refetch: new age, and now trivially safe (all older
+                // stores committed) — mirrors the simulator's behavior.
+                {
+                    let mut ctx2 = PolicyCtx { cycle, energy: &mut energy, stats: &mut stats };
+                    p.on_squash(&mut ctx2, Age(age.0 - 1));
+                }
+                next_age += 2;
+                pending[idx] = (Age(next_age), false, qw, true);
+            }
+        }
+    }
+    (replays, stats.checking_windows, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The commit stream always makes progress: every replayed load commits
+    /// on its second attempt (safe-load or overshoot termination), so total
+    /// replays are bounded by the number of loads.
+    #[test]
+    fn every_instruction_eventually_commits(s in scenario_strategy()) {
+        let loads = s.slots.iter().filter(|&&(st, _)| !st).count() as u64;
+        let (replays, _, _) = drive(&s);
+        prop_assert!(replays <= loads, "{replays} replays for {loads} loads");
+    }
+
+    /// With value_correct always true, every replay is classified as false
+    /// (never a true violation), and the taxonomy totals add up.
+    #[test]
+    fn replay_taxonomy_is_consistent(s in scenario_strategy()) {
+        let (replays, _, stats) = drive(&s);
+        prop_assert_eq!(stats.replays.true_violation, 0);
+        prop_assert_eq!(stats.replays.false_total(), replays);
+    }
+
+    /// Window bookkeeping: single-store windows never exceed total windows,
+    /// and window loads bound window safe loads.
+    #[test]
+    fn window_counters_are_coherent(s in scenario_strategy()) {
+        let (_, windows, stats) = drive(&s);
+        prop_assert!(stats.single_store_windows <= windows);
+        prop_assert!(stats.window_safe_loads <= stats.window_loads);
+        prop_assert!(stats.window_unsafe_stores >= windows.min(1) * (windows > 0) as u64);
+    }
+
+    /// Safe loads never replay when the optimization is on.
+    #[test]
+    fn safe_loads_never_replay(mut s in scenario_strategy()) {
+        s.safe_loads = true;
+        // Make *every* load safe.
+        for slack in &mut s.issue_slack {
+            *slack = 0;
+        }
+        let (replays, _, _) = drive(&s);
+        prop_assert_eq!(replays, 0, "safe loads must bypass the check");
+    }
+}

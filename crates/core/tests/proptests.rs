@@ -1,0 +1,134 @@
+//! Property-based tests for the paper's mechanisms: YLA safety is *sound*
+//! (a store classified safe never has a prematurely issued younger
+//! consumer), bloom filtering never produces false negatives, and squash
+//! repair keeps both sound.
+
+use dmdc_core::{CountingBloom, Interleave, YlaBank};
+use dmdc_types::{Addr, Age};
+use proptest::prelude::*;
+
+/// A scripted event stream over a small address space.
+#[derive(Debug, Clone)]
+enum Event {
+    /// A load issues (address, monotonic age assigned by the driver).
+    Load(u64),
+    /// A store resolves at the current age to this address; the driver
+    /// checks the bank's verdict against ground truth.
+    Store(u64),
+    /// Squash everything younger than half the current age.
+    Squash,
+}
+
+fn event_strategy() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..64).prop_map(Event::Load),
+            (0u64..64).prop_map(Event::Store),
+            Just(Event::Squash),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Soundness: whenever the bank declares a store safe, ground truth
+    /// must agree that no *surviving issued* load younger than the store
+    /// touches the same quad word. (The bank may be conservative — calling
+    /// safe stores unsafe — but never the reverse.)
+    #[test]
+    fn yla_safety_is_sound(events in event_strategy(), regs in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)]) {
+        let mut bank = YlaBank::new(regs, Interleave::QuadWord);
+        let mut issued: Vec<(u64, Age)> = Vec::new(); // (qw, age) ground truth
+        let mut age = Age(0);
+        for ev in events {
+            age = age.next();
+            match ev {
+                Event::Load(qw) => {
+                    bank.update(Addr(qw * 8), age);
+                    issued.push((qw, age));
+                }
+                Event::Store(qw) => {
+                    // The store resolves *older* than the current frontier
+                    // half the time, modeling late address resolution.
+                    let store_age = if age.0 % 2 == 0 { Age(age.0 / 2) } else { age };
+                    if bank.is_safe_store(Addr(qw * 8), store_age) {
+                        let violation = issued
+                            .iter()
+                            .any(|&(lqw, lage)| lqw == qw && lage.is_younger_than(store_age));
+                        prop_assert!(
+                            !violation,
+                            "bank said safe but a younger load to qw {qw} had issued"
+                        );
+                    }
+                }
+                Event::Squash => {
+                    let survivor = Age(age.0 / 2);
+                    bank.on_squash(survivor);
+                    issued.retain(|&(_, lage)| !lage.is_younger_than(survivor));
+                }
+            }
+        }
+    }
+
+    /// The bloom filter never reports "absent" for a tracked address
+    /// (false positives allowed, false negatives never).
+    #[test]
+    fn bloom_has_no_false_negatives(
+        ops in prop::collection::vec((any::<bool>(), 0u64..256), 1..300),
+        entries in prop_oneof![Just(8u32), Just(32), Just(128)],
+    ) {
+        let mut bf = CountingBloom::new(entries);
+        let mut multiset: std::collections::HashMap<u64, u32> = Default::default();
+        for (insert, qw) in ops {
+            if insert {
+                bf.insert(Addr(qw * 8));
+                *multiset.entry(qw).or_default() += 1;
+            } else if let Some(c) = multiset.get_mut(&qw) {
+                if *c > 0 {
+                    bf.remove(Addr(qw * 8));
+                    *c -= 1;
+                }
+            }
+            for (&tracked, &count) in &multiset {
+                if count > 0 {
+                    prop_assert!(
+                        bf.may_contain(Addr(tracked * 8)),
+                        "false negative for qw {tracked}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// More YLA registers never flag more stores unsafe than fewer
+    /// registers on the same event stream (refinement monotonicity).
+    #[test]
+    fn more_yla_registers_filter_no_less(events in event_strategy()) {
+        let mut small = YlaBank::new(1, Interleave::QuadWord);
+        let mut large = YlaBank::new(8, Interleave::QuadWord);
+        let mut age = Age(0);
+        for ev in events {
+            age = age.next();
+            match ev {
+                Event::Load(qw) => {
+                    small.update(Addr(qw * 8), age);
+                    large.update(Addr(qw * 8), age);
+                }
+                Event::Store(qw) => {
+                    let store_age = Age(age.0 / 2 + 1);
+                    if small.is_safe_store(Addr(qw * 8), store_age) {
+                        prop_assert!(
+                            large.is_safe_store(Addr(qw * 8), store_age),
+                            "an 8-bank YLA must refine the 1-bank verdict"
+                        );
+                    }
+                }
+                Event::Squash => {
+                    let survivor = Age(age.0 / 2);
+                    small.on_squash(survivor);
+                    large.on_squash(survivor);
+                }
+            }
+        }
+    }
+}

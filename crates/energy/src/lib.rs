@@ -1,0 +1,40 @@
+//! Analytical energy model for the DMDC reproduction — the role Wattch \[3\]
+//! plays in the paper.
+//!
+//! The paper reports *normalized* energy (percent savings), so the model
+//! only needs to get relative scaling right:
+//!
+//! * a CAM search drives a match line per entry across the full tag width,
+//!   so its energy grows linearly with `entries × tag_bits`;
+//! * an indexed SRAM access pays wordline/bitline energy for one row plus a
+//!   logarithmic decode term;
+//! * discrete registers (YLA) cost a small constant per access;
+//! * a flash clear costs a small per-entry reset;
+//! * the rest of the core is modeled as an envelope of energy per cycle
+//!   plus energy per committed instruction, scaled with machine size so the
+//!   LQ's share of total power grows from config 1 to config 3 as the paper
+//!   describes (§6.2.1, third point).
+//!
+//! Absolute numbers are in arbitrary "energy units" (calibrated so that the
+//! conventional LQ consumes a plausible 3–9% of core energy across the three
+//! configurations); every reported result is a ratio.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmdc_energy::EnergyModel;
+//! use dmdc_ooo::{CoreConfig, SimStats};
+//!
+//! let model = EnergyModel::for_config(&CoreConfig::config2());
+//! let mut stats = SimStats::default();
+//! stats.cycles = 1000;
+//! stats.committed = 2000;
+//! stats.energy.lq_cam_searches = 500;
+//! let breakdown = model.evaluate(&stats);
+//! assert!(breakdown.lq > 0.0);
+//! assert!(breakdown.total() > breakdown.lq);
+//! ```
+
+mod model;
+
+pub use model::{EnergyBreakdown, EnergyModel, EnergyParams, StructureGeometry};

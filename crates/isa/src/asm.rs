@@ -1,0 +1,669 @@
+//! A two-pass text assembler for the mini ISA.
+//!
+//! Syntax is RISC-V-flavoured: one instruction per line, `#` comments,
+//! `label:` definitions, `offset(base)` memory operands. Registers are
+//! `x0`–`x31` (alias `zero` for `x0`) and `f0`–`f31`.
+//!
+//! Supported pseudo-instructions: `li` (one or two real instructions
+//! depending on the immediate), `mv`, `fmv`, `neg`, `not`, `j`, `jr`,
+//! `bgt`, `ble`, `bgtu`, `bleu`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dmdc_types::AccessSize;
+
+use crate::inst::{AluOp, BranchCond, FcmpCond, FpuOp, Inst};
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+
+/// An assembly error with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The assembler. Stateless today; a struct so options can grow without
+/// breaking the API.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_isa::Assembler;
+///
+/// let program = Assembler::new()
+///     .assemble("li x1, 3\naddi x1, x1, 4\nhalt")?;
+/// assert_eq!(program.len(), 3);
+/// # Ok::<(), dmdc_isa::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    _private: (),
+}
+
+/// An instruction whose control-flow target may still be a label.
+#[derive(Debug, Clone)]
+enum Pending {
+    Ready(Inst),
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, label: String, line: usize },
+    Jal { rd: Reg, label: String, line: usize },
+}
+
+impl Assembler {
+    /// Creates an assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Assembles `src` into a program named `"asm"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] encountered.
+    pub fn assemble(&self, src: &str) -> Result<Program, AsmError> {
+        self.assemble_named("asm", src)
+    }
+
+    /// Assembles `src` into a program with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] encountered.
+    pub fn assemble_named(&self, name: &str, src: &str) -> Result<Program, AsmError> {
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        let mut pending: Vec<Pending> = Vec::new();
+
+        for (line_no, raw) in src.lines().enumerate() {
+            let line_no = line_no + 1;
+            let mut text = raw;
+            if let Some(i) = text.find('#') {
+                text = &text[..i];
+            }
+            let mut text = text.trim();
+
+            // Peel off leading labels.
+            while let Some(colon) = text.find(':') {
+                let (label, rest) = text.split_at(colon);
+                let label = label.trim();
+                if label.is_empty() || !is_ident(label) {
+                    return Err(err(line_no, format!("bad label `{label}`")));
+                }
+                if labels.insert(label.to_string(), pending.len() as u32).is_some() {
+                    return Err(err(line_no, format!("duplicate label `{label}`")));
+                }
+                text = rest[1..].trim();
+            }
+            if text.is_empty() {
+                continue;
+            }
+            parse_inst(text, line_no, &mut pending)?;
+        }
+
+        if pending.is_empty() {
+            return Err(err(0, "empty program".to_string()));
+        }
+        if pending.len() >= (1 << 16) {
+            return Err(err(0, format!("program too large: {} instructions", pending.len())));
+        }
+
+        let insts = pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::Ready(i) => Ok(i),
+                Pending::Branch { cond, rs1, rs2, label, line } => {
+                    let target = *labels
+                        .get(&label)
+                        .ok_or_else(|| err(line, format!("undefined label `{label}`")))?;
+                    Ok(Inst::Branch { cond, rs1, rs2, target })
+                }
+                Pending::Jal { rd, label, line } => {
+                    let target = *labels
+                        .get(&label)
+                        .ok_or_else(|| err(line, format!("undefined label `{label}`")))?;
+                    Ok(Inst::Jal { rd, target })
+                }
+            })
+            .collect::<Result<Vec<_>, AsmError>>()?;
+
+        Ok(Program::new(name, insts))
+    }
+}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError { line, msg: msg.into() }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    if tok == "zero" {
+        return Ok(Reg::ZERO);
+    }
+    let idx = tok
+        .strip_prefix('x')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| err(line, format!("expected integer register, got `{tok}`")))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_freg(tok: &str, line: usize) -> Result<FReg, AsmError> {
+    let idx = tok
+        .strip_prefix('f')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| err(line, format!("expected fp register, got `{tok}`")))?;
+    Ok(FReg::new(idx))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad integer `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_imm16(tok: &str, line: usize) -> Result<i16, AsmError> {
+    let v = parse_int(tok, line)?;
+    i16::try_from(v).map_err(|_| err(line, format!("immediate {v} does not fit in 16 bits")))
+}
+
+/// Parses `offset(base)`.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i16, Reg), AsmError> {
+    let open = tok.find('(').ok_or_else(|| err(line, format!("expected offset(base), got `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| err(line, format!("unbalanced parens in `{tok}`")))?;
+    let off_str = tok[..open].trim();
+    let offset = if off_str.is_empty() { 0 } else { parse_imm16(off_str, line)? };
+    let base = parse_reg(tok[open + 1..close].trim(), line)?;
+    Ok((offset, base))
+}
+
+fn alu_op_from_name(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn branch_cond_from_name(name: &str) -> Option<BranchCond> {
+    Some(match name {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        "bgeu" => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn fpu_op_from_name(name: &str) -> Option<FpuOp> {
+    Some(match name {
+        "fadd" => FpuOp::Fadd,
+        "fsub" => FpuOp::Fsub,
+        "fmul" => FpuOp::Fmul,
+        "fdiv" => FpuOp::Fdiv,
+        "fmin" => FpuOp::Fmin,
+        "fmax" => FpuOp::Fmax,
+        _ => return None,
+    })
+}
+
+fn load_from_name(name: &str) -> Option<(AccessSize, bool)> {
+    Some(match name {
+        "lb" => (AccessSize::B1, true),
+        "lbu" => (AccessSize::B1, false),
+        "lh" => (AccessSize::B2, true),
+        "lhu" => (AccessSize::B2, false),
+        "lw" => (AccessSize::B4, true),
+        "lwu" => (AccessSize::B4, false),
+        "ld" => (AccessSize::B8, true),
+        _ => return None,
+    })
+}
+
+fn store_from_name(name: &str) -> Option<AccessSize> {
+    Some(match name {
+        "sb" => AccessSize::B1,
+        "sh" => AccessSize::B2,
+        "sw" => AccessSize::B4,
+        "sd" => AccessSize::B8,
+        _ => return None,
+    })
+}
+
+fn parse_inst(text: &str, line: usize, out: &mut Vec<Pending>) -> Result<(), AsmError> {
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim()).collect()
+    };
+
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+
+    // Register-register ALU.
+    if let Some(op) = alu_op_from_name(mnemonic) {
+        want(3)?;
+        out.push(Pending::Ready(Inst::Alu {
+            op,
+            rd: parse_reg(ops[0], line)?,
+            rs1: parse_reg(ops[1], line)?,
+            rs2: parse_reg(ops[2], line)?,
+        }));
+        return Ok(());
+    }
+    // Register-immediate ALU: `<op>i`, with `sltui` for sltu.
+    if let Some(base) = mnemonic.strip_suffix('i') {
+        if let Some(op) = alu_op_from_name(base) {
+            want(3)?;
+            out.push(Pending::Ready(Inst::AluImm {
+                op,
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                imm: parse_imm16(ops[2], line)?,
+            }));
+            return Ok(());
+        }
+    }
+    if let Some((size, signed)) = load_from_name(mnemonic) {
+        want(2)?;
+        let rd = parse_reg(ops[0], line)?;
+        let (offset, base) = parse_mem_operand(ops[1], line)?;
+        out.push(Pending::Ready(Inst::Load { size, signed, rd, base, offset }));
+        return Ok(());
+    }
+    if let Some(size) = store_from_name(mnemonic) {
+        want(2)?;
+        let src = parse_reg(ops[0], line)?;
+        let (offset, base) = parse_mem_operand(ops[1], line)?;
+        out.push(Pending::Ready(Inst::Store { size, src, base, offset }));
+        return Ok(());
+    }
+    if let Some(op) = fpu_op_from_name(mnemonic) {
+        want(3)?;
+        out.push(Pending::Ready(Inst::Fpu {
+            op,
+            fd: parse_freg(ops[0], line)?,
+            fs1: parse_freg(ops[1], line)?,
+            fs2: parse_freg(ops[2], line)?,
+        }));
+        return Ok(());
+    }
+    if let Some(cond) = branch_cond_from_name(mnemonic) {
+        want(3)?;
+        out.push(Pending::Branch {
+            cond,
+            rs1: parse_reg(ops[0], line)?,
+            rs2: parse_reg(ops[1], line)?,
+            label: ops[2].to_string(),
+            line,
+        });
+        return Ok(());
+    }
+
+    match mnemonic {
+        "lui" => {
+            want(2)?;
+            out.push(Pending::Ready(Inst::Lui {
+                rd: parse_reg(ops[0], line)?,
+                imm: parse_imm16(ops[1], line)?,
+            }));
+        }
+        "li" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let v = parse_int(ops[1], line)?;
+            expand_li(rd, v, line, out)?;
+        }
+        "flw" | "fld" => {
+            want(2)?;
+            let size = if mnemonic == "flw" { AccessSize::B4 } else { AccessSize::B8 };
+            let fd = parse_freg(ops[0], line)?;
+            let (offset, base) = parse_mem_operand(ops[1], line)?;
+            out.push(Pending::Ready(Inst::FLoad { size, fd, base, offset }));
+        }
+        "fsw" | "fsd" => {
+            want(2)?;
+            let size = if mnemonic == "fsw" { AccessSize::B4 } else { AccessSize::B8 };
+            let src = parse_freg(ops[0], line)?;
+            let (offset, base) = parse_mem_operand(ops[1], line)?;
+            out.push(Pending::Ready(Inst::FStore { size, src, base, offset }));
+        }
+        "fsqrt" => {
+            want(2)?;
+            let fd = parse_freg(ops[0], line)?;
+            let fs1 = parse_freg(ops[1], line)?;
+            out.push(Pending::Ready(Inst::Fpu { op: FpuOp::Fsqrt, fd, fs1, fs2: fs1 }));
+        }
+        "feq" | "flt" | "fle" => {
+            want(3)?;
+            let cond = match mnemonic {
+                "feq" => FcmpCond::Feq,
+                "flt" => FcmpCond::Flt,
+                _ => FcmpCond::Fle,
+            };
+            out.push(Pending::Ready(Inst::Fcmp {
+                cond,
+                rd: parse_reg(ops[0], line)?,
+                fs1: parse_freg(ops[1], line)?,
+                fs2: parse_freg(ops[2], line)?,
+            }));
+        }
+        "i2f" => {
+            want(2)?;
+            out.push(Pending::Ready(Inst::IntToFp {
+                fd: parse_freg(ops[0], line)?,
+                rs: parse_reg(ops[1], line)?,
+            }));
+        }
+        "f2i" => {
+            want(2)?;
+            out.push(Pending::Ready(Inst::FpToInt {
+                rd: parse_reg(ops[0], line)?,
+                fs: parse_freg(ops[1], line)?,
+            }));
+        }
+        // Reversed-operand branch pseudos.
+        "bgt" | "ble" | "bgtu" | "bleu" => {
+            want(3)?;
+            let cond = match mnemonic {
+                "bgt" => BranchCond::Lt,
+                "ble" => BranchCond::Ge,
+                "bgtu" => BranchCond::Ltu,
+                _ => BranchCond::Geu,
+            };
+            out.push(Pending::Branch {
+                cond,
+                rs1: parse_reg(ops[1], line)?,
+                rs2: parse_reg(ops[0], line)?,
+                label: ops[2].to_string(),
+                line,
+            });
+        }
+        "jal" => {
+            want(2)?;
+            out.push(Pending::Jal {
+                rd: parse_reg(ops[0], line)?,
+                label: ops[1].to_string(),
+                line,
+            });
+        }
+        "j" => {
+            want(1)?;
+            out.push(Pending::Jal { rd: Reg::ZERO, label: ops[0].to_string(), line });
+        }
+        "jalr" => {
+            want(2)?;
+            out.push(Pending::Ready(Inst::Jalr {
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+            }));
+        }
+        "jr" => {
+            want(1)?;
+            out.push(Pending::Ready(Inst::Jalr { rd: Reg::ZERO, rs1: parse_reg(ops[0], line)? }));
+        }
+        "mv" => {
+            want(2)?;
+            out.push(Pending::Ready(Inst::AluImm {
+                op: AluOp::Add,
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                imm: 0,
+            }));
+        }
+        "fmv" => {
+            want(2)?;
+            let fd = parse_freg(ops[0], line)?;
+            let fs = parse_freg(ops[1], line)?;
+            out.push(Pending::Ready(Inst::Fpu { op: FpuOp::Fmin, fd, fs1: fs, fs2: fs }));
+        }
+        "neg" => {
+            want(2)?;
+            out.push(Pending::Ready(Inst::Alu {
+                op: AluOp::Sub,
+                rd: parse_reg(ops[0], line)?,
+                rs1: Reg::ZERO,
+                rs2: parse_reg(ops[1], line)?,
+            }));
+        }
+        "not" => {
+            want(2)?;
+            out.push(Pending::Ready(Inst::AluImm {
+                op: AluOp::Xor,
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                imm: -1,
+            }));
+        }
+        "nop" => {
+            want(0)?;
+            out.push(Pending::Ready(Inst::Nop));
+        }
+        "halt" => {
+            want(0)?;
+            out.push(Pending::Ready(Inst::Halt));
+        }
+        _ => return Err(err(line, format!("unknown mnemonic `{mnemonic}`"))),
+    }
+    Ok(())
+}
+
+/// Expands `li rd, v` into one `addi` or a `lui`+`addi` pair.
+fn expand_li(rd: Reg, v: i64, line: usize, out: &mut Vec<Pending>) -> Result<(), AsmError> {
+    if let Ok(imm) = i16::try_from(v) {
+        out.push(Pending::Ready(Inst::AluImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm }));
+        return Ok(());
+    }
+    let lo = v as i16;
+    let hi = (v - lo as i64) >> 16;
+    let hi = i16::try_from(hi)
+        .map_err(|_| err(line, format!("li immediate {v} out of two-instruction range")))?;
+    out.push(Pending::Ready(Inst::Lui { rd, imm: hi }));
+    if lo != 0 {
+        out.push(Pending::Ready(Inst::AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo }));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::Emulator;
+
+    fn asm(src: &str) -> Program {
+        Assembler::new().assemble(src).expect("assembles")
+    }
+
+    fn asm_err(src: &str) -> AsmError {
+        Assembler::new().assemble(src).expect_err("should fail")
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = asm(
+            "start: beq x0, x0, end
+                    nop
+             end:   bne x0, x1, start
+                    halt",
+        );
+        assert_eq!(p.fetch(0), Some(Inst::Branch { cond: BranchCond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, target: 2 }));
+        assert_eq!(p.fetch(2), Some(Inst::Branch { cond: BranchCond::Ne, rs1: Reg::ZERO, rs2: Reg::new(1), target: 0 }));
+    }
+
+    #[test]
+    fn label_on_its_own_line() {
+        let p = asm("top:\n  j top\n  halt");
+        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::ZERO, target: 0 }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = asm("# header\n\n  nop # trailing\n  halt");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn li_small_is_single_instruction() {
+        let p = asm("li x1, -5\nhalt");
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::AluImm { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::ZERO, imm: -5 })
+        );
+    }
+
+    #[test]
+    fn li_large_expands_and_evaluates() {
+        for &v in &[0x1234_5678i64, -0x1234_5678, 0x7FFF_0000, 65536, 0x10000 - 1, 0x8000] {
+            let src = format!("li x1, {v}\nhalt");
+            let p = asm(&src);
+            let mut e = Emulator::new(&p);
+            e.run(10).unwrap();
+            assert_eq!(e.int_reg(1) as i64, v, "li {v:#x}");
+        }
+    }
+
+    #[test]
+    fn li_out_of_range_is_error() {
+        let e = asm_err("li x1, 0x100000000\nhalt");
+        assert!(e.msg.contains("out of two-instruction range"), "{e}");
+    }
+
+    #[test]
+    fn mem_operands_parse() {
+        let p = asm("lw x1, 8(x2)\nsw x1, -4(x3)\nld x4, (x5)\nhalt");
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Load { size: AccessSize::B4, signed: true, rd: Reg::new(1), base: Reg::new(2), offset: 8 })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(Inst::Store { size: AccessSize::B4, src: Reg::new(1), base: Reg::new(3), offset: -4 })
+        );
+        assert_eq!(
+            p.fetch(2),
+            Some(Inst::Load { size: AccessSize::B8, signed: true, rd: Reg::new(4), base: Reg::new(5), offset: 0 })
+        );
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let p = asm("mv x1, x2\nneg x3, x4\nnot x5, x6\njr x31\nhalt");
+        assert_eq!(p.fetch(0), Some(Inst::AluImm { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), imm: 0 }));
+        assert_eq!(p.fetch(1), Some(Inst::Alu { op: AluOp::Sub, rd: Reg::new(3), rs1: Reg::ZERO, rs2: Reg::new(4) }));
+        assert_eq!(p.fetch(2), Some(Inst::AluImm { op: AluOp::Xor, rd: Reg::new(5), rs1: Reg::new(6), imm: -1 }));
+        assert_eq!(p.fetch(3), Some(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::new(31) }));
+    }
+
+    #[test]
+    fn reversed_branch_pseudos() {
+        let p = asm("t: bgt x1, x2, t\nble x1, x2, t\nhalt");
+        assert_eq!(p.fetch(0), Some(Inst::Branch { cond: BranchCond::Lt, rs1: Reg::new(2), rs2: Reg::new(1), target: 0 }));
+        assert_eq!(p.fetch(1), Some(Inst::Branch { cond: BranchCond::Ge, rs1: Reg::new(2), rs2: Reg::new(1), target: 0 }));
+    }
+
+    #[test]
+    fn zero_alias() {
+        let p = asm("add x1, zero, zero\nhalt");
+        assert_eq!(p.fetch(0), Some(Inst::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::ZERO, rs2: Reg::ZERO }));
+    }
+
+    #[test]
+    fn fp_mnemonics() {
+        let p = asm("fadd f1, f2, f3\nfsqrt f4, f5\nfeq x1, f1, f2\ni2f f0, x1\nf2i x2, f0\nfmv f6, f7\nhalt");
+        assert_eq!(p.fetch(0), Some(Inst::Fpu { op: FpuOp::Fadd, fd: FReg::new(1), fs1: FReg::new(2), fs2: FReg::new(3) }));
+        assert_eq!(p.fetch(1), Some(Inst::Fpu { op: FpuOp::Fsqrt, fd: FReg::new(4), fs1: FReg::new(5), fs2: FReg::new(5) }));
+        assert_eq!(p.fetch(5), Some(Inst::Fpu { op: FpuOp::Fmin, fd: FReg::new(6), fs1: FReg::new(7), fs2: FReg::new(7) }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(asm_err("nop\nbogus x1\nhalt").line, 2);
+        assert_eq!(asm_err("addi x1, x2\nhalt").line, 1);
+        assert_eq!(asm_err("lw x1, 4[x2]\nhalt").line, 1);
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let e = asm_err("beq x0, x0, nowhere\nhalt");
+        assert!(e.msg.contains("undefined label"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = asm_err("a: nop\na: halt");
+        assert!(e.msg.contains("duplicate label"), "{e}");
+    }
+
+    #[test]
+    fn bad_register_is_error() {
+        assert!(asm_err("add x1, x2, x32\nhalt").msg.contains("register"));
+        assert!(asm_err("fadd f1, f2, x3\nhalt").msg.contains("fp register"));
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        let e = asm_err("addi x1, x0, 40000\nhalt");
+        assert!(e.msg.contains("does not fit"), "{e}");
+    }
+
+    #[test]
+    fn empty_program_is_error() {
+        let e = asm_err("# nothing here\n");
+        assert!(e.msg.contains("empty program"), "{e}");
+    }
+
+    #[test]
+    fn sltui_parses() {
+        let p = asm("sltui x1, x2, 10\nhalt");
+        assert_eq!(p.fetch(0), Some(Inst::AluImm { op: AluOp::Sltu, rd: Reg::new(1), rs1: Reg::new(2), imm: 10 }));
+    }
+}

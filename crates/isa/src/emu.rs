@@ -1,0 +1,497 @@
+use std::fmt;
+
+use dmdc_types::{AccessSize, Addr, MemSpan};
+
+use crate::inst::Inst;
+use crate::mem::SparseMemory;
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+
+/// Error conditions the functional emulator can hit.
+///
+/// All of them indicate a broken *workload* (or a broken timing model when
+/// the same checks fire there), not a recoverable runtime situation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// The program counter left the text segment without halting.
+    PcOutOfRange { pc: u32 },
+    /// A memory access was not naturally aligned. The ISA requires natural
+    /// alignment so no access ever straddles a quad word (which the DMDC
+    /// bitmap logic relies on).
+    Misaligned { pc: u32, addr: Addr, size: AccessSize },
+    /// The instruction limit was reached before the program halted.
+    InstructionLimit { executed: u64 },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::PcOutOfRange { pc } => write!(f, "pc @{pc} left the text segment"),
+            EmuError::Misaligned { pc, addr, size } => {
+                write!(f, "misaligned {size} access to {addr} at pc @{pc}")
+            }
+            EmuError::InstructionLimit { executed } => {
+                write!(f, "program did not halt within {executed} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// One architecturally retired instruction, as reported by [`Emulator::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retired {
+    /// Instruction index that executed.
+    pub pc: u32,
+    /// Instruction index control transferred to.
+    pub next_pc: u32,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// For memory instructions, the span accessed.
+    pub mem: Option<MemSpan>,
+    /// For conditional branches, whether the branch was taken.
+    pub taken: Option<bool>,
+}
+
+/// The architectural-level interpreter: the golden reference every timing
+/// simulation must agree with.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_isa::{Assembler, Emulator};
+///
+/// let p = Assembler::new().assemble("li x1, 7\nmuli x2, x1, 6\nhalt").unwrap();
+/// let mut emu = Emulator::new(&p);
+/// emu.run(100).unwrap();
+/// assert_eq!(emu.int_reg(2), 42);
+/// assert!(emu.halted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Emulator<'p> {
+    program: &'p Program,
+    int_regs: [u64; Reg::COUNT],
+    fp_regs: [f64; FReg::COUNT],
+    mem: SparseMemory,
+    pc: u32,
+    halted: bool,
+    retired: u64,
+}
+
+impl<'p> Emulator<'p> {
+    /// Creates an emulator positioned at the program's entry point, with the
+    /// program's initial data loaded.
+    pub fn new(program: &'p Program) -> Emulator<'p> {
+        Emulator {
+            program,
+            int_regs: [0; Reg::COUNT],
+            fp_regs: [0.0; FReg::COUNT],
+            mem: program.initial_memory(),
+            pc: program.entry(),
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Current value of integer register `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn int_reg(&self, index: u8) -> u64 {
+        self.int_regs[Reg::new(index).index()]
+    }
+
+    /// Current value of FP register `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn fp_reg(&self, index: u8) -> f64 {
+        self.fp_regs[FReg::new(index).index()]
+    }
+
+    /// The memory image.
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Whether the program has executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of retired instructions so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// A checksum over the full architectural state (registers + memory).
+    /// The timing simulator computes the same function over its committed
+    /// state; equality is the golden-state invariant.
+    pub fn state_checksum(&self) -> u64 {
+        arch_checksum(&self.int_regs, &self.fp_regs, &self.mem)
+    }
+
+    fn write_int(&mut self, rd: Reg, value: u64) {
+        if !rd.is_zero() {
+            self.int_regs[rd.index()] = value;
+        }
+    }
+
+    fn ea(&self, base: Reg, offset: i16) -> Addr {
+        Addr(self.int_regs[base.index()]).wrapping_offset(offset as i64)
+    }
+
+    fn check_aligned(&self, addr: Addr, size: AccessSize) -> Result<(), EmuError> {
+        if addr.is_aligned(size.bytes()) {
+            Ok(())
+        } else {
+            Err(EmuError::Misaligned { pc: self.pc, addr, size })
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`]. After `halt`, further steps return the final
+    /// `Retired` for the halt instruction without advancing.
+    pub fn step(&mut self) -> Result<Retired, EmuError> {
+        let pc = self.pc;
+        let was_halted = self.halted;
+        let inst = self.program.fetch(pc).ok_or(EmuError::PcOutOfRange { pc })?;
+        let mut next_pc = pc + 1;
+        let mut mem_span = None;
+        let mut taken = None;
+
+        match inst {
+            Inst::Nop => {}
+            Inst::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.int_regs[rs1.index()], self.int_regs[rs2.index()]);
+                self.write_int(rd, v);
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.int_regs[rs1.index()], imm as i64 as u64);
+                self.write_int(rd, v);
+            }
+            Inst::Lui { rd, imm } => {
+                self.write_int(rd, ((imm as i64) << 16) as u64);
+            }
+            Inst::Load { size, signed, rd, base, offset } => {
+                let addr = self.ea(base, offset);
+                self.check_aligned(addr, size)?;
+                let raw = self.mem.read(addr, size);
+                let v = if signed { sign_extend(raw, size) } else { raw };
+                self.write_int(rd, v);
+                mem_span = Some(MemSpan::new(addr, size));
+            }
+            Inst::Store { size, src, base, offset } => {
+                let addr = self.ea(base, offset);
+                self.check_aligned(addr, size)?;
+                self.mem.write(addr, size, self.int_regs[src.index()]);
+                mem_span = Some(MemSpan::new(addr, size));
+            }
+            Inst::FLoad { size, fd, base, offset } => {
+                let addr = self.ea(base, offset);
+                self.check_aligned(addr, size)?;
+                let raw = self.mem.read(addr, size);
+                self.fp_regs[fd.index()] = fp_from_bits(raw, size);
+                mem_span = Some(MemSpan::new(addr, size));
+            }
+            Inst::FStore { size, src, base, offset } => {
+                let addr = self.ea(base, offset);
+                self.check_aligned(addr, size)?;
+                self.mem.write(addr, size, fp_to_bits(self.fp_regs[src.index()], size));
+                mem_span = Some(MemSpan::new(addr, size));
+            }
+            Inst::Fpu { op, fd, fs1, fs2 } => {
+                self.fp_regs[fd.index()] = op.eval(self.fp_regs[fs1.index()], self.fp_regs[fs2.index()]);
+            }
+            Inst::Fcmp { cond, rd, fs1, fs2 } => {
+                let v = cond.eval(self.fp_regs[fs1.index()], self.fp_regs[fs2.index()]) as u64;
+                self.write_int(rd, v);
+            }
+            Inst::IntToFp { fd, rs } => {
+                self.fp_regs[fd.index()] = self.int_regs[rs.index()] as i64 as f64;
+            }
+            Inst::FpToInt { rd, fs } => {
+                self.write_int(rd, fp_to_int(self.fp_regs[fs.index()]));
+            }
+            Inst::Branch { cond, rs1, rs2, target } => {
+                let t = cond.eval(self.int_regs[rs1.index()], self.int_regs[rs2.index()]);
+                taken = Some(t);
+                if t {
+                    next_pc = target;
+                }
+            }
+            Inst::Jal { rd, target } => {
+                self.write_int(rd, (pc + 1) as u64);
+                next_pc = target;
+            }
+            Inst::Jalr { rd, rs1 } => {
+                let target = self.int_regs[rs1.index()] as u32;
+                self.write_int(rd, (pc + 1) as u64);
+                next_pc = target;
+            }
+        }
+
+        self.pc = next_pc;
+        if !was_halted {
+            self.retired += 1;
+        }
+        Ok(Retired { pc, next_pc, inst, mem: mem_span, taken })
+    }
+
+    /// Runs until `halt` or `max_insts` retired instructions.
+    ///
+    /// Returns the number of retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmuError`] from [`Emulator::step`]; reaching the limit
+    /// without halting is [`EmuError::InstructionLimit`].
+    pub fn run(&mut self, max_insts: u64) -> Result<u64, EmuError> {
+        while !self.halted {
+            if self.retired >= max_insts {
+                return Err(EmuError::InstructionLimit { executed: self.retired });
+            }
+            self.step()?;
+        }
+        Ok(self.retired)
+    }
+}
+
+/// Sign-extends the low bytes of `raw` to 64 bits.
+pub fn sign_extend(raw: u64, size: AccessSize) -> u64 {
+    match size {
+        AccessSize::B1 => raw as u8 as i8 as i64 as u64,
+        AccessSize::B2 => raw as u16 as i16 as i64 as u64,
+        AccessSize::B4 => raw as u32 as i32 as i64 as u64,
+        AccessSize::B8 => raw,
+    }
+}
+
+/// Interprets raw little-endian bytes as an FP value (`f32` widened for
+/// 4-byte accesses).
+pub fn fp_from_bits(raw: u64, size: AccessSize) -> f64 {
+    match size {
+        AccessSize::B4 => f32::from_bits(raw as u32) as f64,
+        AccessSize::B8 => f64::from_bits(raw),
+        _ => unreachable!("fp accesses are 4 or 8 bytes"),
+    }
+}
+
+/// Converts an FP value to its memory representation (`f32` narrowed for
+/// 4-byte accesses).
+pub fn fp_to_bits(value: f64, size: AccessSize) -> u64 {
+    match size {
+        AccessSize::B4 => (value as f32).to_bits() as u64,
+        AccessSize::B8 => value.to_bits(),
+        _ => unreachable!("fp accesses are 4 or 8 bytes"),
+    }
+}
+
+/// Truncating, saturating double→signed-integer conversion; NaN maps to 0.
+pub fn fp_to_int(value: f64) -> u64 {
+    if value.is_nan() {
+        0
+    } else if value >= i64::MAX as f64 {
+        i64::MAX as u64
+    } else if value <= i64::MIN as f64 {
+        i64::MIN as u64
+    } else {
+        value as i64 as u64
+    }
+}
+
+/// The architectural-state checksum shared by the emulator and the timing
+/// simulator's committed state.
+pub fn arch_checksum(int_regs: &[u64; 32], fp_regs: &[f64; 32], mem: &SparseMemory) -> u64 {
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &r in int_regs {
+        for b in r.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    for &r in fp_regs {
+        for b in r.to_bits().to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h ^ mem.checksum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    fn run_asm(src: &str) -> Emulator<'_> {
+        // Leak the program so the emulator can borrow it in a helper; tests
+        // only create a handful.
+        let p = Box::leak(Box::new(Assembler::new().assemble(src).expect("assembles")));
+        let mut e = Emulator::new(p);
+        e.run(1_000_000).expect("runs to halt");
+        e
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        let e = run_asm(
+            "        li   x1, 10
+                     li   x2, 0
+             loop:   add  x2, x2, x1
+                     addi x1, x1, -1
+                     bne  x1, x0, loop
+                     halt",
+        );
+        assert_eq!(e.int_reg(2), 55);
+    }
+
+    #[test]
+    fn memory_roundtrip_with_sizes() {
+        let e = run_asm(
+            "        li   x1, 0x1000
+                     li   x2, -2
+                     sw   x2, 0(x1)
+                     lw   x3, 0(x1)
+                     lwu  x4, 0(x1)
+                     lh   x5, 0(x1)
+                     lhu  x6, 0(x1)
+                     lb   x7, 0(x1)
+                     lbu  x8, 0(x1)
+                     halt",
+        );
+        assert_eq!(e.int_reg(3) as i64, -2);
+        assert_eq!(e.int_reg(4), 0xFFFF_FFFE);
+        assert_eq!(e.int_reg(5) as i64, -2);
+        assert_eq!(e.int_reg(6), 0xFFFE);
+        assert_eq!(e.int_reg(7) as i64, -2);
+        assert_eq!(e.int_reg(8), 0xFE);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let e = run_asm(
+            "        li   x1, 9
+                     i2f  f1, x1
+                     fsqrt f2, f1
+                     li   x2, 0x2000
+                     fsd  f2, 0(x2)
+                     fld  f3, 0(x2)
+                     f2i  x3, f3
+                     halt",
+        );
+        assert_eq!(e.int_reg(3), 3);
+        assert_eq!(e.fp_reg(3), 3.0);
+    }
+
+    #[test]
+    fn fp_word_accesses_narrow_to_f32() {
+        let e = run_asm(
+            "        li   x1, 0x3000
+                     li   x2, 1
+                     i2f  f1, x2
+                     li   x3, 3
+                     i2f  f2, x3
+                     fdiv f3, f1, f2
+                     fsw  f3, 0(x1)
+                     flw  f4, 0(x1)
+                     halt",
+        );
+        assert_eq!(e.fp_reg(4), (1.0f32 / 3.0f32) as f64);
+    }
+
+    #[test]
+    fn jal_and_jalr_build_a_call() {
+        let e = run_asm(
+            "        li   x10, 5
+                     jal  x31, double
+                     add  x11, x10, x0
+                     halt
+             double: add  x10, x10, x10
+                     jr   x31",
+        );
+        assert_eq!(e.int_reg(11), 10);
+    }
+
+    #[test]
+    fn misaligned_access_errors() {
+        let p = Assembler::new()
+            .assemble("li x1, 0x1001\nlw x2, 0(x1)\nhalt")
+            .unwrap();
+        let mut e = Emulator::new(&p);
+        let err = e.run(100).unwrap_err();
+        assert!(matches!(err, EmuError::Misaligned { .. }), "{err}");
+    }
+
+    #[test]
+    fn runaway_program_hits_limit() {
+        let p = Assembler::new().assemble("loop: j loop\nhalt").unwrap();
+        let mut e = Emulator::new(&p);
+        let err = e.run(1000).unwrap_err();
+        assert_eq!(err, EmuError::InstructionLimit { executed: 1000 });
+    }
+
+    #[test]
+    fn x0_is_immutable() {
+        let e = run_asm("addi x0, x0, 5\nadd x1, x0, x0\nhalt");
+        assert_eq!(e.int_reg(1), 0);
+    }
+
+    #[test]
+    fn checksum_reflects_state() {
+        let a = run_asm("li x1, 1\nhalt");
+        let b = run_asm("li x1, 2\nhalt");
+        let c = run_asm("li x1, 1\nhalt");
+        assert_ne!(a.state_checksum(), b.state_checksum());
+        assert_eq!(a.state_checksum(), c.state_checksum());
+    }
+
+    #[test]
+    fn fp_to_int_saturates() {
+        assert_eq!(fp_to_int(f64::NAN), 0);
+        assert_eq!(fp_to_int(1e300), i64::MAX as u64);
+        assert_eq!(fp_to_int(-1e300), i64::MIN as u64);
+        assert_eq!(fp_to_int(-2.9), (-2i64) as u64);
+    }
+
+    #[test]
+    fn step_after_halt_is_stable() {
+        let p = Assembler::new().assemble("halt").unwrap();
+        let mut e = Emulator::new(&p);
+        e.step().unwrap();
+        assert!(e.halted());
+        let retired = e.retired();
+        e.step().unwrap();
+        assert_eq!(e.retired(), retired, "halt does not retire twice");
+        assert_eq!(e.pc(), 0);
+    }
+
+    #[test]
+    fn taken_flag_reported() {
+        let p = Assembler::new()
+            .assemble("li x1, 1\nbeq x1, x0, skip\nbne x1, x0, skip\nskip: halt")
+            .unwrap();
+        let mut e = Emulator::new(&p);
+        // li expands to one instruction here (fits i16).
+        e.step().unwrap();
+        let not_taken = e.step().unwrap();
+        assert_eq!(not_taken.taken, Some(false));
+        let taken = e.step().unwrap();
+        assert_eq!(taken.taken, Some(true));
+        assert_eq!(taken.next_pc, 3);
+    }
+}

@@ -1,0 +1,515 @@
+//! Fixed 32-bit binary encoding of [`Inst`].
+//!
+//! Layout (bit 31 is the MSB):
+//!
+//! ```text
+//! opcode[31:26] | a[25:21] | b[20:16] | c[15:11] | low[10:0]
+//! ```
+//!
+//! Register-register forms put `rd/rs1/rs2` in `a/b/c` and a function code
+//! in `low[4:0]`; immediate forms put a 16-bit immediate in bits `[15:0]`.
+//! Branch targets are absolute instruction indices (16 bits), `jal` targets
+//! get 21 bits. The encoding exists so instruction fetch operates on real
+//! bytes and so the round-trip property `decode(encode(i)) == i` can be
+//! tested.
+
+use core::fmt;
+
+use dmdc_types::AccessSize;
+
+use crate::inst::{AluOp, BranchCond, FcmpCond, FpuOp, Inst};
+use crate::reg::{FReg, Reg};
+
+/// Error returned by [`decode`] on a malformed instruction word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+    reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_NOP: u32 = 0;
+const OP_HALT: u32 = 1;
+const OP_ALU: u32 = 2;
+const OP_ALU_IMM_BASE: u32 = 3; // ..=15, one per AluOp
+const OP_LUI: u32 = 16;
+const OP_LOAD_BASE: u32 = 17; // +0 B1s, +1 B1u, +2 B2s, +3 B2u, +4 B4s, +5 B4u, +6 B8
+const OP_STORE_BASE: u32 = 24; // +0 B1, +1 B2, +2 B4, +3 B8
+const OP_FLW: u32 = 28;
+const OP_FLD: u32 = 29;
+const OP_FSW: u32 = 30;
+const OP_FSD: u32 = 31;
+const OP_FPU: u32 = 32;
+const OP_FCMP: u32 = 33;
+const OP_I2F: u32 = 34;
+const OP_F2I: u32 = 35;
+const OP_BRANCH_BASE: u32 = 36; // ..=41, one per BranchCond
+const OP_JAL: u32 = 42;
+const OP_JALR: u32 = 43;
+
+fn alu_code(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Div => 3,
+        AluOp::Rem => 4,
+        AluOp::And => 5,
+        AluOp::Or => 6,
+        AluOp::Xor => 7,
+        AluOp::Sll => 8,
+        AluOp::Srl => 9,
+        AluOp::Sra => 10,
+        AluOp::Slt => 11,
+        AluOp::Sltu => 12,
+    }
+}
+
+fn alu_from_code(code: u32) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Div,
+        4 => AluOp::Rem,
+        5 => AluOp::And,
+        6 => AluOp::Or,
+        7 => AluOp::Xor,
+        8 => AluOp::Sll,
+        9 => AluOp::Srl,
+        10 => AluOp::Sra,
+        11 => AluOp::Slt,
+        12 => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn fpu_code(op: FpuOp) -> u32 {
+    match op {
+        FpuOp::Fadd => 0,
+        FpuOp::Fsub => 1,
+        FpuOp::Fmul => 2,
+        FpuOp::Fdiv => 3,
+        FpuOp::Fsqrt => 4,
+        FpuOp::Fmin => 5,
+        FpuOp::Fmax => 6,
+    }
+}
+
+fn fpu_from_code(code: u32) -> Option<FpuOp> {
+    Some(match code {
+        0 => FpuOp::Fadd,
+        1 => FpuOp::Fsub,
+        2 => FpuOp::Fmul,
+        3 => FpuOp::Fdiv,
+        4 => FpuOp::Fsqrt,
+        5 => FpuOp::Fmin,
+        6 => FpuOp::Fmax,
+        _ => return None,
+    })
+}
+
+fn fcmp_code(c: FcmpCond) -> u32 {
+    match c {
+        FcmpCond::Feq => 0,
+        FcmpCond::Flt => 1,
+        FcmpCond::Fle => 2,
+    }
+}
+
+fn fcmp_from_code(code: u32) -> Option<FcmpCond> {
+    Some(match code {
+        0 => FcmpCond::Feq,
+        1 => FcmpCond::Flt,
+        2 => FcmpCond::Fle,
+        _ => return None,
+    })
+}
+
+fn branch_code(c: BranchCond) -> u32 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn branch_from_code(code: u32) -> Option<BranchCond> {
+    Some(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn load_opcode(size: AccessSize, signed: bool) -> u32 {
+    let s = match size {
+        AccessSize::B1 => 0,
+        AccessSize::B2 => 2,
+        AccessSize::B4 => 4,
+        AccessSize::B8 => 6,
+    };
+    // B8 has a single form; signedness is irrelevant at full width.
+    if size == AccessSize::B8 {
+        OP_LOAD_BASE + 6
+    } else {
+        OP_LOAD_BASE + s + if signed { 0 } else { 1 }
+    }
+}
+
+fn store_opcode(size: AccessSize) -> u32 {
+    OP_STORE_BASE
+        + match size {
+            AccessSize::B1 => 0,
+            AccessSize::B2 => 1,
+            AccessSize::B4 => 2,
+            AccessSize::B8 => 3,
+        }
+}
+
+#[inline]
+fn pack(opcode: u32, a: u32, b: u32, c: u32, low: u32) -> u32 {
+    debug_assert!(opcode < 64 && a < 32 && b < 32 && c < 32 && low < (1 << 11));
+    (opcode << 26) | (a << 21) | (b << 16) | (c << 11) | low
+}
+
+#[inline]
+fn pack_imm(opcode: u32, a: u32, b: u32, imm: i16) -> u32 {
+    (opcode << 26) | (a << 21) | (b << 16) | (imm as u16 as u32)
+}
+
+/// Encodes an instruction into its 32-bit machine word.
+///
+/// # Panics
+///
+/// Panics if a branch target exceeds 16 bits or a `jal` target exceeds 21
+/// bits. The assembler validates targets before encoding; constructing such
+/// an instruction by hand is a program-construction bug.
+pub fn encode(inst: Inst) -> u32 {
+    match inst {
+        Inst::Nop => pack(OP_NOP, 0, 0, 0, 0),
+        Inst::Halt => pack(OP_HALT, 0, 0, 0, 0),
+        Inst::Alu { op, rd, rs1, rs2 } => pack(
+            OP_ALU,
+            rd.index() as u32,
+            rs1.index() as u32,
+            rs2.index() as u32,
+            alu_code(op),
+        ),
+        Inst::AluImm { op, rd, rs1, imm } => {
+            pack_imm(OP_ALU_IMM_BASE + alu_code(op), rd.index() as u32, rs1.index() as u32, imm)
+        }
+        Inst::Lui { rd, imm } => pack_imm(OP_LUI, rd.index() as u32, 0, imm),
+        Inst::Load { size, signed, rd, base, offset } => {
+            pack_imm(load_opcode(size, signed), rd.index() as u32, base.index() as u32, offset)
+        }
+        Inst::Store { size, src, base, offset } => {
+            pack_imm(store_opcode(size), src.index() as u32, base.index() as u32, offset)
+        }
+        Inst::FLoad { size, fd, base, offset } => {
+            let op = if size == AccessSize::B4 { OP_FLW } else { OP_FLD };
+            assert!(matches!(size, AccessSize::B4 | AccessSize::B8), "fp loads are 4 or 8 bytes");
+            pack_imm(op, fd.index() as u32, base.index() as u32, offset)
+        }
+        Inst::FStore { size, src, base, offset } => {
+            let op = if size == AccessSize::B4 { OP_FSW } else { OP_FSD };
+            assert!(matches!(size, AccessSize::B4 | AccessSize::B8), "fp stores are 4 or 8 bytes");
+            pack_imm(op, src.index() as u32, base.index() as u32, offset)
+        }
+        Inst::Fpu { op, fd, fs1, fs2 } => pack(
+            OP_FPU,
+            fd.index() as u32,
+            fs1.index() as u32,
+            fs2.index() as u32,
+            fpu_code(op),
+        ),
+        Inst::Fcmp { cond, rd, fs1, fs2 } => pack(
+            OP_FCMP,
+            rd.index() as u32,
+            fs1.index() as u32,
+            fs2.index() as u32,
+            fcmp_code(cond),
+        ),
+        Inst::IntToFp { fd, rs } => pack(OP_I2F, fd.index() as u32, rs.index() as u32, 0, 0),
+        Inst::FpToInt { rd, fs } => pack(OP_F2I, rd.index() as u32, fs.index() as u32, 0, 0),
+        Inst::Branch { cond, rs1, rs2, target } => {
+            assert!(target < (1 << 16), "branch target out of encodable range: {target}");
+            (OP_BRANCH_BASE + branch_code(cond)) << 26
+                | (rs1.index() as u32) << 21
+                | (rs2.index() as u32) << 16
+                | target
+        }
+        Inst::Jal { rd, target } => {
+            assert!(target < (1 << 21), "jal target out of encodable range: {target}");
+            (OP_JAL << 26) | ((rd.index() as u32) << 21) | target
+        }
+        Inst::Jalr { rd, rs1 } => pack(OP_JALR, rd.index() as u32, rs1.index() as u32, 0, 0),
+    }
+}
+
+/// Decodes a 32-bit machine word back into an [`Inst`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or a function code is not part of
+/// the encoding.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let err = |reason| DecodeError { word, reason };
+    let opcode = word >> 26;
+    let a = ((word >> 21) & 31) as u8;
+    let b = ((word >> 16) & 31) as u8;
+    let c = ((word >> 11) & 31) as u8;
+    let low = word & 0x7FF;
+    let imm = (word & 0xFFFF) as u16 as i16;
+
+    Ok(match opcode {
+        OP_NOP => Inst::Nop,
+        OP_HALT => Inst::Halt,
+        OP_ALU => Inst::Alu {
+            op: alu_from_code(low & 31).ok_or_else(|| err("bad ALU function code"))?,
+            rd: Reg::new(a),
+            rs1: Reg::new(b),
+            rs2: Reg::new(c),
+        },
+        o if (OP_ALU_IMM_BASE..OP_LUI).contains(&o) => Inst::AluImm {
+            op: alu_from_code(o - OP_ALU_IMM_BASE).expect("range-checked"),
+            rd: Reg::new(a),
+            rs1: Reg::new(b),
+            imm,
+        },
+        OP_LUI => Inst::Lui { rd: Reg::new(a), imm },
+        o if (OP_LOAD_BASE..OP_LOAD_BASE + 7).contains(&o) => {
+            let v = o - OP_LOAD_BASE;
+            let (size, signed) = match v {
+                0 => (AccessSize::B1, true),
+                1 => (AccessSize::B1, false),
+                2 => (AccessSize::B2, true),
+                3 => (AccessSize::B2, false),
+                4 => (AccessSize::B4, true),
+                5 => (AccessSize::B4, false),
+                6 => (AccessSize::B8, true),
+                _ => unreachable!(),
+            };
+            Inst::Load { size, signed, rd: Reg::new(a), base: Reg::new(b), offset: imm }
+        }
+        o if (OP_STORE_BASE..OP_STORE_BASE + 4).contains(&o) => {
+            let size = match o - OP_STORE_BASE {
+                0 => AccessSize::B1,
+                1 => AccessSize::B2,
+                2 => AccessSize::B4,
+                3 => AccessSize::B8,
+                _ => unreachable!(),
+            };
+            Inst::Store { size, src: Reg::new(a), base: Reg::new(b), offset: imm }
+        }
+        OP_FLW => Inst::FLoad { size: AccessSize::B4, fd: FReg::new(a), base: Reg::new(b), offset: imm },
+        OP_FLD => Inst::FLoad { size: AccessSize::B8, fd: FReg::new(a), base: Reg::new(b), offset: imm },
+        OP_FSW => Inst::FStore { size: AccessSize::B4, src: FReg::new(a), base: Reg::new(b), offset: imm },
+        OP_FSD => Inst::FStore { size: AccessSize::B8, src: FReg::new(a), base: Reg::new(b), offset: imm },
+        OP_FPU => Inst::Fpu {
+            op: fpu_from_code(low & 31).ok_or_else(|| err("bad FPU function code"))?,
+            fd: FReg::new(a),
+            fs1: FReg::new(b),
+            fs2: FReg::new(c),
+        },
+        OP_FCMP => Inst::Fcmp {
+            cond: fcmp_from_code(low & 31).ok_or_else(|| err("bad FCMP function code"))?,
+            rd: Reg::new(a),
+            fs1: FReg::new(b),
+            fs2: FReg::new(c),
+        },
+        OP_I2F => Inst::IntToFp { fd: FReg::new(a), rs: Reg::new(b) },
+        OP_F2I => Inst::FpToInt { rd: Reg::new(a), fs: FReg::new(b) },
+        o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => Inst::Branch {
+            cond: branch_from_code(o - OP_BRANCH_BASE).expect("range-checked"),
+            rs1: Reg::new(a),
+            rs2: Reg::new(b),
+            target: word & 0xFFFF,
+        },
+        OP_JAL => Inst::Jal { rd: Reg::new(a), target: word & 0x1F_FFFF },
+        OP_JALR => Inst::Jalr { rd: Reg::new(a), rs1: Reg::new(b) },
+        _ => return Err(err("unknown opcode")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reg_strategy() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg::new)
+    }
+
+    fn freg_strategy() -> impl Strategy<Value = FReg> {
+        (0u8..32).prop_map(FReg::new)
+    }
+
+    fn alu_op_strategy() -> impl Strategy<Value = AluOp> {
+        prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::Mul),
+            Just(AluOp::Div),
+            Just(AluOp::Rem),
+            Just(AluOp::And),
+            Just(AluOp::Or),
+            Just(AluOp::Xor),
+            Just(AluOp::Sll),
+            Just(AluOp::Srl),
+            Just(AluOp::Sra),
+            Just(AluOp::Slt),
+            Just(AluOp::Sltu),
+        ]
+    }
+
+    fn size_strategy() -> impl Strategy<Value = AccessSize> {
+        prop_oneof![
+            Just(AccessSize::B1),
+            Just(AccessSize::B2),
+            Just(AccessSize::B4),
+            Just(AccessSize::B8)
+        ]
+    }
+
+    fn inst_strategy() -> impl Strategy<Value = Inst> {
+        prop_oneof![
+            Just(Inst::Nop),
+            Just(Inst::Halt),
+            (alu_op_strategy(), reg_strategy(), reg_strategy(), reg_strategy())
+                .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+            (alu_op_strategy(), reg_strategy(), reg_strategy(), any::<i16>())
+                .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+            (reg_strategy(), any::<i16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+            (size_strategy(), any::<bool>(), reg_strategy(), reg_strategy(), any::<i16>()).prop_map(
+                |(size, signed, rd, base, offset)| Inst::Load {
+                    size,
+                    // B8 collapses signed/unsigned into one opcode.
+                    signed: signed || size == AccessSize::B8,
+                    rd,
+                    base,
+                    offset
+                }
+            ),
+            (size_strategy(), reg_strategy(), reg_strategy(), any::<i16>())
+                .prop_map(|(size, src, base, offset)| Inst::Store { size, src, base, offset }),
+            (any::<bool>(), freg_strategy(), reg_strategy(), any::<i16>()).prop_map(
+                |(wide, fd, base, offset)| Inst::FLoad {
+                    size: if wide { AccessSize::B8 } else { AccessSize::B4 },
+                    fd,
+                    base,
+                    offset
+                }
+            ),
+            (any::<bool>(), freg_strategy(), reg_strategy(), any::<i16>()).prop_map(
+                |(wide, src, base, offset)| Inst::FStore {
+                    size: if wide { AccessSize::B8 } else { AccessSize::B4 },
+                    src,
+                    base,
+                    offset
+                }
+            ),
+            (
+                prop_oneof![
+                    Just(FpuOp::Fadd),
+                    Just(FpuOp::Fsub),
+                    Just(FpuOp::Fmul),
+                    Just(FpuOp::Fdiv),
+                    Just(FpuOp::Fsqrt),
+                    Just(FpuOp::Fmin),
+                    Just(FpuOp::Fmax)
+                ],
+                freg_strategy(),
+                freg_strategy(),
+                freg_strategy()
+            )
+                .prop_map(|(op, fd, fs1, fs2)| Inst::Fpu { op, fd, fs1, fs2 }),
+            (
+                prop_oneof![Just(FcmpCond::Feq), Just(FcmpCond::Flt), Just(FcmpCond::Fle)],
+                reg_strategy(),
+                freg_strategy(),
+                freg_strategy()
+            )
+                .prop_map(|(cond, rd, fs1, fs2)| Inst::Fcmp { cond, rd, fs1, fs2 }),
+            (freg_strategy(), reg_strategy()).prop_map(|(fd, rs)| Inst::IntToFp { fd, rs }),
+            (reg_strategy(), freg_strategy()).prop_map(|(rd, fs)| Inst::FpToInt { rd, fs }),
+            (
+                prop_oneof![
+                    Just(BranchCond::Eq),
+                    Just(BranchCond::Ne),
+                    Just(BranchCond::Lt),
+                    Just(BranchCond::Ge),
+                    Just(BranchCond::Ltu),
+                    Just(BranchCond::Geu)
+                ],
+                reg_strategy(),
+                reg_strategy(),
+                0u32..(1 << 16)
+            )
+                .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
+            (reg_strategy(), 0u32..(1 << 21)).prop_map(|(rd, target)| Inst::Jal { rd, target }),
+            (reg_strategy(), reg_strategy()).prop_map(|(rd, rs1)| Inst::Jalr { rd, rs1 }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(inst in inst_strategy()) {
+            let word = encode(inst);
+            let back = decode(word).expect("encoded word must decode");
+            prop_assert_eq!(inst, back);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        let word = 63u32 << 26;
+        assert!(decode(word).is_err());
+        let msg = decode(word).unwrap_err().to_string();
+        assert!(msg.contains("unknown opcode"), "{msg}");
+    }
+
+    #[test]
+    fn bad_function_codes_are_errors() {
+        // ALU with funct 31.
+        assert!(decode((OP_ALU << 26) | 31).is_err());
+        // FPU with funct 20.
+        assert!(decode((OP_FPU << 26) | 20).is_err());
+        // FCMP with funct 9.
+        assert!(decode((OP_FCMP << 26) | 9).is_err());
+    }
+
+    #[test]
+    fn specific_encodings_are_stable() {
+        // A couple of pinned encodings guard against accidental layout drift.
+        assert_eq!(encode(Inst::Nop), 0);
+        assert_eq!(encode(Inst::Halt), 1 << 26);
+        let add = Inst::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), rs2: Reg::new(3) };
+        assert_eq!(encode(add), (2 << 26) | (1 << 21) | (2 << 16) | (3 << 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "branch target out of encodable range")]
+    fn oversized_branch_target_panics() {
+        encode(Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            target: 1 << 16,
+        });
+    }
+}

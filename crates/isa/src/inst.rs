@@ -1,0 +1,534 @@
+use core::fmt;
+
+use dmdc_types::AccessSize;
+
+use crate::reg::{ArchReg, FReg, Reg};
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (low 64 bits).
+    Mul,
+    /// Signed division; division by zero yields all-ones (RISC-V semantics).
+    Div,
+    /// Signed remainder; remainder by zero yields the dividend.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift (by low 6 bits of the second operand).
+    Sll,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Set-if-less-than, signed (result 0 or 1).
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two 64-bit values.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                let (a, b) = (a as i64, b as i64);
+                if b == 0 {
+                    u64::MAX
+                } else if a == i64::MIN && b == -1 {
+                    a as u64
+                } else {
+                    (a / b) as u64
+                }
+            }
+            AluOp::Rem => {
+                let (a, b) = (a as i64, b as i64);
+                if b == 0 {
+                    a as u64
+                } else if a == i64::MIN && b == -1 {
+                    0
+                } else {
+                    (a % b) as u64
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a << (b & 63),
+            AluOp::Srl => a >> (b & 63),
+            AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+
+    /// Whether the operation uses the long-latency multiplier/divider unit.
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Rem)
+    }
+}
+
+/// Floating-point operations (on IEEE doubles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// Addition.
+    Fadd,
+    /// Subtraction.
+    Fsub,
+    /// Multiplication.
+    Fmul,
+    /// Division.
+    Fdiv,
+    /// Square root of the first operand (second operand ignored).
+    Fsqrt,
+    /// Minimum.
+    Fmin,
+    /// Maximum.
+    Fmax,
+}
+
+impl FpuOp {
+    /// Evaluates the operation.
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpuOp::Fadd => a + b,
+            FpuOp::Fsub => a - b,
+            FpuOp::Fmul => a * b,
+            FpuOp::Fdiv => a / b,
+            FpuOp::Fsqrt => a.sqrt(),
+            FpuOp::Fmin => a.min(b),
+            FpuOp::Fmax => a.max(b),
+        }
+    }
+
+    /// Whether the operation uses the long-latency FP multiply/divide unit.
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, FpuOp::Fmul | FpuOp::Fdiv | FpuOp::Fsqrt)
+    }
+}
+
+/// Branch comparison conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two 64-bit register values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// One machine instruction.
+///
+/// Branch and jump targets are *absolute instruction indices* into the
+/// program text; the assembler resolves labels to these. Memory offsets are
+/// byte displacements added to a base register.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_isa::{AluOp, Inst, InstClass, Reg};
+///
+/// let i = Inst::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), rs2: Reg::new(3) };
+/// assert_eq!(i.class(), InstClass::IntAlu);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    /// Three-register integer ALU operation: `rd = rs1 op rs2`.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Register-immediate integer ALU operation: `rd = rs1 op imm`.
+    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i16 },
+    /// Load upper immediate: `rd = imm << 16`.
+    Lui { rd: Reg, imm: i16 },
+    /// Integer load: `rd = sign/zero-extend(mem[rs1 + offset])`.
+    Load { size: AccessSize, signed: bool, rd: Reg, base: Reg, offset: i16 },
+    /// Integer store: `mem[rs1 + offset] = low bytes of rs`.
+    Store { size: AccessSize, src: Reg, base: Reg, offset: i16 },
+    /// FP load (4 bytes load an `f32` widened to `f64`; 8 bytes an `f64`).
+    FLoad { size: AccessSize, fd: FReg, base: Reg, offset: i16 },
+    /// FP store (4 bytes store the value narrowed to `f32`).
+    FStore { size: AccessSize, src: FReg, base: Reg, offset: i16 },
+    /// Three-register FP operation: `fd = fs1 op fs2`.
+    Fpu { op: FpuOp, fd: FReg, fs1: FReg, fs2: FReg },
+    /// FP compare into an integer register: `rd = (fs1 < fs2)` (Flt) or
+    /// `(fs1 <= fs2)` (Fle) or `(fs1 == fs2)` (Feq); selected by `cond`.
+    Fcmp { cond: FcmpCond, rd: Reg, fs1: FReg, fs2: FReg },
+    /// Convert signed integer to double: `fd = rs as f64`.
+    IntToFp { fd: FReg, rs: Reg },
+    /// Convert double to signed integer (truncating, saturating): `rd = fs as i64`.
+    FpToInt { rd: Reg, fs: FReg },
+    /// Conditional branch to absolute instruction index `target`.
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: u32 },
+    /// Unconditional jump; `rd` receives the return instruction index
+    /// (`pc + 1`). Use `x0` to discard.
+    Jal { rd: Reg, target: u32 },
+    /// Indirect jump to the instruction index held in `rs1`; `rd` receives
+    /// `pc + 1`.
+    Jalr { rd: Reg, rs1: Reg },
+    /// Stop the program.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// FP comparison conditions for [`Inst::Fcmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FcmpCond {
+    /// Equal.
+    Feq,
+    /// Less-than.
+    Flt,
+    /// Less-or-equal.
+    Fle,
+}
+
+impl FcmpCond {
+    /// Evaluates the comparison; any NaN operand makes it false.
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            FcmpCond::Feq => a == b,
+            FcmpCond::Flt => a < b,
+            FcmpCond::Fle => a <= b,
+        }
+    }
+}
+
+/// The execution class of an instruction, used to route it to an issue
+/// queue and functional unit in the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Single-cycle integer ALU (also address generation and branches).
+    IntAlu,
+    /// Integer multiply/divide.
+    IntMulDiv,
+    /// FP add/sub/min/max/compare/convert.
+    FpAlu,
+    /// FP multiply/divide/sqrt.
+    FpMulDiv,
+    /// Memory load (integer or FP destination).
+    Load,
+    /// Memory store.
+    Store,
+    /// Control transfer (branch or jump).
+    Branch,
+    /// Program end marker.
+    Halt,
+    /// No-op.
+    Nop,
+}
+
+impl InstClass {
+    /// Whether this class dispatches to the floating-point issue queue.
+    pub fn is_fp_queue(self) -> bool {
+        matches!(self, InstClass::FpAlu | InstClass::FpMulDiv)
+    }
+}
+
+impl Inst {
+    /// The execution class of this instruction.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Alu { op, .. } | Inst::AluImm { op, .. } => {
+                if op.is_long_latency() {
+                    InstClass::IntMulDiv
+                } else {
+                    InstClass::IntAlu
+                }
+            }
+            Inst::Lui { .. } => InstClass::IntAlu,
+            Inst::Load { .. } | Inst::FLoad { .. } => InstClass::Load,
+            Inst::Store { .. } | Inst::FStore { .. } => InstClass::Store,
+            Inst::Fpu { op, .. } => {
+                if op.is_long_latency() {
+                    InstClass::FpMulDiv
+                } else {
+                    InstClass::FpAlu
+                }
+            }
+            Inst::Fcmp { .. } | Inst::IntToFp { .. } | Inst::FpToInt { .. } => InstClass::FpAlu,
+            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. } => InstClass::Branch,
+            Inst::Halt => InstClass::Halt,
+            Inst::Nop => InstClass::Nop,
+        }
+    }
+
+    /// The architectural registers this instruction reads, in operand order.
+    pub fn sources(&self) -> SourceList {
+        let mut s = SourceList::default();
+        match *self {
+            Inst::Alu { rs1, rs2, .. } => {
+                s.push(ArchReg::Int(rs1));
+                s.push(ArchReg::Int(rs2));
+            }
+            Inst::AluImm { rs1, .. } => s.push(ArchReg::Int(rs1)),
+            Inst::Lui { .. } => {}
+            Inst::Load { base, .. } | Inst::FLoad { base, .. } => s.push(ArchReg::Int(base)),
+            Inst::Store { src, base, .. } => {
+                s.push(ArchReg::Int(base));
+                s.push(ArchReg::Int(src));
+            }
+            Inst::FStore { src, base, .. } => {
+                s.push(ArchReg::Int(base));
+                s.push(ArchReg::Fp(src));
+            }
+            Inst::Fpu { fs1, fs2, .. } => {
+                s.push(ArchReg::Fp(fs1));
+                s.push(ArchReg::Fp(fs2));
+            }
+            Inst::Fcmp { fs1, fs2, .. } => {
+                s.push(ArchReg::Fp(fs1));
+                s.push(ArchReg::Fp(fs2));
+            }
+            Inst::IntToFp { rs, .. } => s.push(ArchReg::Int(rs)),
+            Inst::FpToInt { fs, .. } => s.push(ArchReg::Fp(fs)),
+            Inst::Branch { rs1, rs2, .. } => {
+                s.push(ArchReg::Int(rs1));
+                s.push(ArchReg::Int(rs2));
+            }
+            Inst::Jal { .. } => {}
+            Inst::Jalr { rs1, .. } => s.push(ArchReg::Int(rs1)),
+            Inst::Halt | Inst::Nop => {}
+        }
+        s
+    }
+
+    /// The architectural register this instruction writes, if any.
+    ///
+    /// Writes to `x0` are reported as `None` — they are architectural no-ops
+    /// and the rename stage must not allocate for them.
+    pub fn dest(&self) -> Option<ArchReg> {
+        let d = match *self {
+            Inst::Alu { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::Lui { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Fcmp { rd, .. }
+            | Inst::FpToInt { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. } => ArchReg::Int(rd),
+            Inst::FLoad { fd, .. } | Inst::Fpu { fd, .. } | Inst::IntToFp { fd, .. } => ArchReg::Fp(fd),
+            Inst::Store { .. } | Inst::FStore { .. } | Inst::Branch { .. } | Inst::Halt | Inst::Nop => {
+                return None
+            }
+        };
+        if d.is_int_zero() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// For memory instructions, the access width; otherwise `None`.
+    pub fn mem_size(&self) -> Option<AccessSize> {
+        match *self {
+            Inst::Load { size, .. }
+            | Inst::Store { size, .. }
+            | Inst::FLoad { size, .. }
+            | Inst::FStore { size, .. } => Some(size),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        self.class() == InstClass::Branch
+    }
+
+    /// Whether this is a *conditional* branch (predictable direction).
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+}
+
+/// A fixed-capacity list of source registers (at most two in this ISA).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourceList {
+    regs: [Option<ArchReg>; 2],
+    len: usize,
+}
+
+impl SourceList {
+    fn push(&mut self, r: ArchReg) {
+        self.regs[self.len] = Some(r);
+        self.len += 1;
+    }
+
+    /// Iterates over the sources in operand order.
+    pub fn iter(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.regs[..self.len].iter().map(|r| r.expect("filled slot"))
+    }
+
+    /// Number of sources (0–2).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the instruction reads no registers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op:?} {rd}, {rs1}, {rs2}"),
+            Inst::AluImm { op, rd, rs1, imm } => write!(f, "{op:?}i {rd}, {rs1}, {imm}"),
+            Inst::Lui { rd, imm } => write!(f, "Lui {rd}, {imm}"),
+            Inst::Load { size, signed, rd, base, offset } => {
+                write!(f, "Load{size}{} {rd}, {offset}({base})", if signed { "s" } else { "u" })
+            }
+            Inst::Store { size, src, base, offset } => write!(f, "Store{size} {src}, {offset}({base})"),
+            Inst::FLoad { size, fd, base, offset } => write!(f, "FLoad{size} {fd}, {offset}({base})"),
+            Inst::FStore { size, src, base, offset } => write!(f, "FStore{size} {src}, {offset}({base})"),
+            Inst::Fpu { op, fd, fs1, fs2 } => write!(f, "{op:?} {fd}, {fs1}, {fs2}"),
+            Inst::Fcmp { cond, rd, fs1, fs2 } => write!(f, "{cond:?} {rd}, {fs1}, {fs2}"),
+            Inst::IntToFp { fd, rs } => write!(f, "IntToFp {fd}, {rs}"),
+            Inst::FpToInt { rd, fs } => write!(f, "FpToInt {rd}, {fs}"),
+            Inst::Branch { cond, rs1, rs2, target } => write!(f, "B{cond:?} {rs1}, {rs2}, @{target}"),
+            Inst::Jal { rd, target } => write!(f, "Jal {rd}, @{target}"),
+            Inst::Jalr { rd, rs1 } => write!(f, "Jalr {rd}, {rs1}"),
+            Inst::Halt => write!(f, "Halt"),
+            Inst::Nop => write!(f, "Nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval_basics() {
+        assert_eq!(AluOp::Add.eval(3, 4), 7);
+        assert_eq!(AluOp::Sub.eval(3, 4), (-1i64) as u64);
+        assert_eq!(AluOp::Mul.eval(6, 7), 42);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn alu_division_edge_cases() {
+        assert_eq!(AluOp::Div.eval(7, 0), u64::MAX, "div by zero is all-ones");
+        assert_eq!(AluOp::Rem.eval(7, 0), 7, "rem by zero is the dividend");
+        assert_eq!(AluOp::Div.eval(i64::MIN as u64, (-1i64) as u64), i64::MIN as u64);
+        assert_eq!(AluOp::Rem.eval(i64::MIN as u64, (-1i64) as u64), 0);
+        assert_eq!(AluOp::Div.eval((-7i64) as u64, 2), (-3i64) as u64);
+    }
+
+    #[test]
+    fn alu_shifts_mask_amount() {
+        assert_eq!(AluOp::Sll.eval(1, 64), 1, "shift amount is mod 64");
+        assert_eq!(AluOp::Srl.eval((-8i64) as u64, 1), ((-8i64) as u64) >> 1);
+        assert_eq!(AluOp::Sra.eval((-8i64) as u64, 1), (-4i64) as u64);
+    }
+
+    #[test]
+    fn alu_compares() {
+        assert_eq!(AluOp::Slt.eval((-1i64) as u64, 0), 1);
+        assert_eq!(AluOp::Sltu.eval((-1i64) as u64, 0), 0);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.eval(5, 5));
+        assert!(BranchCond::Ne.eval(5, 6));
+        assert!(BranchCond::Lt.eval((-1i64) as u64, 0));
+        assert!(!BranchCond::Ltu.eval((-1i64) as u64, 0));
+        assert!(BranchCond::Ge.eval(0, (-1i64) as u64));
+        assert!(BranchCond::Geu.eval((-1i64) as u64, 0));
+    }
+
+    #[test]
+    fn fpu_eval() {
+        assert_eq!(FpuOp::Fadd.eval(1.5, 2.5), 4.0);
+        assert_eq!(FpuOp::Fsqrt.eval(9.0, 0.0), 3.0);
+        assert!(FpuOp::Fsqrt.eval(-1.0, 0.0).is_nan());
+        assert_eq!(FpuOp::Fmin.eval(1.0, 2.0), 1.0);
+        assert_eq!(FpuOp::Fmax.eval(1.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn fcmp_nan_is_false() {
+        assert!(!FcmpCond::Feq.eval(f64::NAN, f64::NAN));
+        assert!(!FcmpCond::Flt.eval(f64::NAN, 1.0));
+        assert!(FcmpCond::Fle.eval(1.0, 1.0));
+    }
+
+    #[test]
+    fn classes_route_correctly() {
+        let r = Reg::new(1);
+        let fr = FReg::new(1);
+        assert_eq!(Inst::Alu { op: AluOp::Add, rd: r, rs1: r, rs2: r }.class(), InstClass::IntAlu);
+        assert_eq!(Inst::Alu { op: AluOp::Div, rd: r, rs1: r, rs2: r }.class(), InstClass::IntMulDiv);
+        assert_eq!(Inst::Fpu { op: FpuOp::Fadd, fd: fr, fs1: fr, fs2: fr }.class(), InstClass::FpAlu);
+        assert_eq!(Inst::Fpu { op: FpuOp::Fdiv, fd: fr, fs1: fr, fs2: fr }.class(), InstClass::FpMulDiv);
+        assert!(InstClass::FpAlu.is_fp_queue());
+        assert!(!InstClass::Load.is_fp_queue());
+    }
+
+    #[test]
+    fn dest_hides_x0_writes() {
+        let i = Inst::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::new(1), imm: 1 };
+        assert_eq!(i.dest(), None);
+        let j = Inst::Jal { rd: Reg::ZERO, target: 0 };
+        assert_eq!(j.dest(), None);
+    }
+
+    #[test]
+    fn store_sources_include_data_and_base() {
+        let s = Inst::Store {
+            size: AccessSize::B4,
+            src: Reg::new(2),
+            base: Reg::new(3),
+            offset: 8,
+        };
+        let srcs: Vec<_> = s.sources().iter().collect();
+        assert_eq!(srcs, vec![ArchReg::Int(Reg::new(3)), ArchReg::Int(Reg::new(2))]);
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.mem_size(), Some(AccessSize::B4));
+    }
+
+    #[test]
+    fn control_detection() {
+        let b = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, target: 0 };
+        assert!(b.is_control());
+        assert!(b.is_cond_branch());
+        let j = Inst::Jal { rd: Reg::ZERO, target: 0 };
+        assert!(j.is_control());
+        assert!(!j.is_cond_branch());
+        assert!(!Inst::Nop.is_control());
+    }
+}

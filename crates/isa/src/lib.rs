@@ -1,0 +1,52 @@
+//! A small RISC instruction set, assembler and functional emulator.
+//!
+//! The DMDC paper evaluates on SPEC CPU2000 binaries running under
+//! SimpleScalar's PISA. Neither is available here, so this crate provides the
+//! substrate the reproduction's workloads are written in:
+//!
+//! * [`Inst`] — a load/store RISC ISA with 32 integer and 32 floating-point
+//!   registers, 1/2/4/8-byte memory accesses, integer and floating-point
+//!   arithmetic and compare-and-branch control flow.
+//! * [`encode`]/[`decode`] — a fixed 32-bit binary encoding (round-trippable,
+//!   property-tested) so instruction fetch has real bytes to read.
+//! * [`Assembler`] — a two-pass text assembler with labels, used by the
+//!   workload crate to keep benchmark kernels readable.
+//! * [`Emulator`] — an architectural-level interpreter. The timing simulator
+//!   executes values through physical registers on its own; the emulator is
+//!   the *golden reference* that every timing run must match.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmdc_isa::{Assembler, Emulator, Program};
+//!
+//! let program = Assembler::new()
+//!     .assemble(
+//!         "        li   x1, 5
+//!                  li   x2, 0
+//!          loop:   add  x2, x2, x1
+//!                  addi x1, x1, -1
+//!                  bne  x1, x0, loop
+//!                  halt",
+//!     )
+//!     .unwrap();
+//! let mut emu = Emulator::new(&program);
+//! emu.run(10_000).unwrap();
+//! assert_eq!(emu.int_reg(2), 5 + 4 + 3 + 2 + 1);
+//! ```
+
+mod asm;
+mod emu;
+mod encode;
+mod inst;
+mod mem;
+mod program;
+mod reg;
+
+pub use asm::{AsmError, Assembler};
+pub use emu::{arch_checksum, fp_from_bits, fp_to_bits, fp_to_int, sign_extend, EmuError, Emulator, Retired};
+pub use encode::{decode, encode, DecodeError};
+pub use inst::{AluOp, BranchCond, FpuOp, Inst, InstClass};
+pub use mem::SparseMemory;
+pub use program::{Program, TEXT_BASE};
+pub use reg::{ArchReg, FReg, Reg};

@@ -1,0 +1,206 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dmdc_types::{AccessSize, Addr};
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse, page-granular byte-addressable memory.
+///
+/// Pages materialize on first touch and read as zero before that. Values are
+/// little-endian. Both the functional emulator and the timing simulator's
+/// committed memory use this type, so the golden-state comparison can simply
+/// compare [`SparseMemory::checksum`] values.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_isa::SparseMemory;
+/// use dmdc_types::{AccessSize, Addr};
+///
+/// let mut m = SparseMemory::new();
+/// m.write(Addr(0x1000), AccessSize::B4, 0xDEAD_BEEF);
+/// assert_eq!(m.read(Addr(0x1000), AccessSize::B4), 0xDEAD_BEEF);
+/// assert_eq!(m.read(Addr(0x1002), AccessSize::B2), 0xDEAD);
+/// assert_eq!(m.read(Addr(0x2000), AccessSize::B8), 0, "untouched memory is zero");
+/// ```
+#[derive(Clone, Default)]
+pub struct SparseMemory {
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr.0 >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: Addr) -> u8 {
+        match self.pages.get(&(addr.0 >> PAGE_SHIFT)) {
+            Some(p) => p[(addr.0 as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: Addr, value: u8) {
+        let off = (addr.0 as usize) & (PAGE_SIZE - 1);
+        self.page_mut(addr)[off] = value;
+    }
+
+    /// Reads a little-endian value of the given width, zero-extended to 64
+    /// bits.
+    pub fn read(&self, addr: Addr, size: AccessSize) -> u64 {
+        let mut v = 0u64;
+        for i in 0..size.bytes() {
+            v |= (self.read_byte(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes of `value`, little-endian.
+    pub fn write(&mut self, addr: Addr, size: AccessSize, value: u64) {
+        for i in 0..size.bytes() {
+            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(addr + i as u64, b);
+        }
+    }
+
+    /// Number of pages that have been touched.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// An order-independent FNV-1a checksum over all touched, non-zero
+    /// content. Two memories with the same logical contents (regardless of
+    /// which zero pages were materialized) produce the same checksum.
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for (&page_no, page) in &self.pages {
+            if page.iter().all(|&b| b == 0) {
+                continue; // a touched-but-zero page is indistinguishable from absent
+            }
+            for b in page_no.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+            for &b in page.iter() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+
+    /// The page-aligned base addresses of all touched pages, in order.
+    /// Invalidation injection samples target addresses from this footprint.
+    pub fn touched_pages(&self) -> Vec<Addr> {
+        self.pages.keys().map(|&p| Addr(p << PAGE_SHIFT)).collect()
+    }
+}
+
+impl fmt::Debug for SparseMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SparseMemory")
+            .field("pages", &self.pages.len())
+            .field("checksum", &format_args!("{:#x}", self.checksum()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_touch() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read(Addr(0), AccessSize::B8), 0);
+        assert_eq!(m.read_byte(Addr(12345)), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write(Addr(0x100), AccessSize::B8, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_byte(Addr(0x100)), 0x08);
+        assert_eq!(m.read_byte(Addr(0x107)), 0x01);
+        assert_eq!(m.read(Addr(0x100), AccessSize::B8), 0x0102_0304_0506_0708);
+        assert_eq!(m.read(Addr(0x100), AccessSize::B4), 0x0506_0708);
+    }
+
+    #[test]
+    fn narrow_write_preserves_neighbors() {
+        let mut m = SparseMemory::new();
+        m.write(Addr(0x200), AccessSize::B8, u64::MAX);
+        m.write(Addr(0x202), AccessSize::B2, 0);
+        assert_eq!(m.read(Addr(0x200), AccessSize::B8), 0xFFFF_FFFF_0000_FFFF);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SparseMemory::new();
+        let addr = Addr((1 << PAGE_SHIFT) - 4);
+        m.write(addr, AccessSize::B8, 0xAABB_CCDD_EEFF_1122);
+        assert_eq!(m.read(addr, AccessSize::B8), 0xAABB_CCDD_EEFF_1122);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn write_truncates_to_size() {
+        let mut m = SparseMemory::new();
+        m.write(Addr(0), AccessSize::B1, 0x1234);
+        assert_eq!(m.read(Addr(0), AccessSize::B8), 0x34);
+    }
+
+    #[test]
+    fn checksum_ignores_zero_pages() {
+        let mut a = SparseMemory::new();
+        let mut b = SparseMemory::new();
+        a.write(Addr(0x1000), AccessSize::B4, 77);
+        b.write(Addr(0x1000), AccessSize::B4, 77);
+        b.write(Addr(0x9000), AccessSize::B1, 0); // touches a page with zero
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn checksum_distinguishes_content_and_location() {
+        let mut a = SparseMemory::new();
+        let mut b = SparseMemory::new();
+        a.write(Addr(0x1000), AccessSize::B4, 77);
+        b.write(Addr(0x1000), AccessSize::B4, 78);
+        assert_ne!(a.checksum(), b.checksum());
+
+        let mut c = SparseMemory::new();
+        c.write(Addr(0x2000), AccessSize::B4, 77);
+        assert_ne!(a.checksum(), c.checksum());
+    }
+
+    #[test]
+    fn write_bytes_bulk() {
+        let mut m = SparseMemory::new();
+        m.write_bytes(Addr(0x10), &[1, 2, 3, 4]);
+        assert_eq!(m.read(Addr(0x10), AccessSize::B4), 0x0403_0201);
+    }
+
+    #[test]
+    fn touched_pages_reports_footprint() {
+        let mut m = SparseMemory::new();
+        m.write_byte(Addr(0x1000), 1);
+        m.write_byte(Addr(0x5000), 1);
+        assert_eq!(m.touched_pages(), vec![Addr(0x1000), Addr(0x5000)]);
+    }
+}

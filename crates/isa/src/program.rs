@@ -1,0 +1,179 @@
+use std::fmt;
+
+use dmdc_types::Addr;
+
+use crate::inst::Inst;
+use crate::mem::SparseMemory;
+
+/// Base address of the text segment. Instruction `pc` lives at
+/// `TEXT_BASE + 4 * pc`, which is what the instruction cache is probed with.
+pub const TEXT_BASE: u64 = 0x0040_0000;
+
+/// An executable program: text, initial data and an entry point.
+///
+/// Programs come out of the [`Assembler`](crate::Assembler) or are built
+/// directly from [`Inst`] vectors; workloads attach initial data segments
+/// before handing the program to the emulator or the timing simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_isa::{Inst, Program};
+/// use dmdc_types::Addr;
+///
+/// let p = Program::new("demo", vec![Inst::Halt])
+///     .with_data(Addr(0x1_0000), vec![1, 2, 3, 4]);
+/// assert_eq!(p.len(), 1);
+/// let mem = p.initial_memory();
+/// assert_eq!(mem.read_byte(Addr(0x1_0000)), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    data: Vec<(Addr, Vec<u8>)>,
+    entry: u32,
+}
+
+impl Program {
+    /// Creates a program from raw instructions, entry point 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` is empty: a program must at least halt.
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Program {
+        assert!(!insts.is_empty(), "a program needs at least one instruction");
+        Program { name: name.into(), insts, data: Vec::new(), entry: 0 }
+    }
+
+    /// Adds an initial data segment (consuming builder).
+    pub fn with_data(mut self, base: Addr, bytes: Vec<u8>) -> Program {
+        self.data.push((base, bytes));
+        self
+    }
+
+    /// Sets the entry instruction index (consuming builder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range.
+    pub fn with_entry(mut self, entry: u32) -> Program {
+        assert!((entry as usize) < self.insts.len(), "entry point out of range");
+        self.entry = entry;
+        self
+    }
+
+    /// The program's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at index `pc`, or `None` past the end of text.
+    pub fn fetch(&self, pc: u32) -> Option<Inst> {
+        self.insts.get(pc as usize).copied()
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the text segment is empty (never true: see [`Program::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The entry instruction index.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// All instructions, in text order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The byte address of instruction `pc` in the simulated address space
+    /// (what the I-cache sees).
+    pub fn text_addr(pc: u32) -> Addr {
+        Addr(TEXT_BASE + 4 * pc as u64)
+    }
+
+    /// Builds the initial memory image: all data segments applied to a fresh
+    /// [`SparseMemory`].
+    pub fn initial_memory(&self) -> SparseMemory {
+        let mut mem = SparseMemory::new();
+        for (base, bytes) in &self.data {
+            mem.write_bytes(*base, bytes);
+        }
+        mem
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} ({} insts, entry @{})", self.name, self.insts.len(), self.entry)?;
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "  {i:5}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, Inst};
+    use crate::reg::Reg;
+
+    fn halt_program() -> Program {
+        Program::new("t", vec![Inst::Nop, Inst::Halt])
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = halt_program();
+        assert_eq!(p.fetch(0), Some(Inst::Nop));
+        assert_eq!(p.fetch(1), Some(Inst::Halt));
+        assert_eq!(p.fetch(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_program_rejected() {
+        Program::new("t", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry point out of range")]
+    fn bad_entry_rejected() {
+        halt_program().with_entry(5);
+    }
+
+    #[test]
+    fn text_addresses_are_word_spaced() {
+        assert_eq!(Program::text_addr(0), Addr(TEXT_BASE));
+        assert_eq!(Program::text_addr(3), Addr(TEXT_BASE + 12));
+    }
+
+    #[test]
+    fn initial_memory_applies_segments() {
+        let p = halt_program()
+            .with_data(Addr(0x1000), vec![0xAA])
+            .with_data(Addr(0x2000), vec![0xBB, 0xCC]);
+        let mem = p.initial_memory();
+        assert_eq!(mem.read_byte(Addr(0x1000)), 0xAA);
+        assert_eq!(mem.read_byte(Addr(0x2001)), 0xCC);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let p = Program::new(
+            "d",
+            vec![Inst::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), rs2: Reg::new(3) }],
+        );
+        let s = p.to_string();
+        assert!(s.contains("program d"));
+        assert!(s.contains("Add x1, x2, x3"));
+    }
+}

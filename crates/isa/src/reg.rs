@@ -1,0 +1,196 @@
+use core::fmt;
+
+/// An integer architectural register, `x0`–`x31`.
+///
+/// `x0` is hardwired to zero: writes are discarded, reads return 0.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_isa::Reg;
+///
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "x5");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Number of integer architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates `x{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!((index as usize) < Reg::COUNT, "integer register out of range: {index}");
+        Reg(index)
+    }
+
+    /// The register number, `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A floating-point architectural register, `f0`–`f31`.
+///
+/// FP registers hold IEEE-754 doubles; word-sized FP accesses convert
+/// through `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_isa::FReg;
+///
+/// assert_eq!(FReg::new(3).to_string(), "f3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Number of floating-point architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates `f{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> FReg {
+        assert!((index as usize) < FReg::COUNT, "fp register out of range: {index}");
+        FReg(index)
+    }
+
+    /// The register number, `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Either register file's register — the currency of the rename stage.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_isa::{ArchReg, Reg};
+///
+/// let r = ArchReg::Int(Reg::new(1));
+/// assert!(!r.is_int_zero());
+/// assert!(ArchReg::Int(Reg::ZERO).is_int_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchReg {
+    /// An integer register.
+    Int(Reg),
+    /// A floating-point register.
+    Fp(FReg),
+}
+
+impl ArchReg {
+    /// Whether this is the integer zero register (which is never renamed).
+    #[inline]
+    pub fn is_int_zero(self) -> bool {
+        matches!(self, ArchReg::Int(r) if r.is_zero())
+    }
+
+    /// A dense index over both files: integer registers map to `0..32`,
+    /// floating-point to `32..64`. Used by rename map tables.
+    #[inline]
+    pub fn flat_index(self) -> usize {
+        match self {
+            ArchReg::Int(r) => r.index(),
+            ArchReg::Fp(r) => Reg::COUNT + r.index(),
+        }
+    }
+
+    /// Total number of flat indices ([`ArchReg::flat_index`] range).
+    pub const FLAT_COUNT: usize = Reg::COUNT + FReg::COUNT;
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchReg::Int(r) => write!(f, "{r}"),
+            ArchReg::Fp(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_bounds() {
+        assert_eq!(Reg::new(31).index(), 31);
+        assert_eq!(FReg::new(31).index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_rejects_32() {
+        Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_rejects_32() {
+        FReg::new(32);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert!(ArchReg::Int(Reg::ZERO).is_int_zero());
+        assert!(!ArchReg::Fp(FReg::new(0)).is_int_zero());
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_disjoint() {
+        let mut seen = [false; ArchReg::FLAT_COUNT];
+        for i in 0..32 {
+            seen[ArchReg::Int(Reg::new(i)).flat_index()] = true;
+        }
+        for i in 0..32 {
+            seen[ArchReg::Fp(FReg::new(i)).flat_index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(9).to_string(), "x9");
+        assert_eq!(FReg::new(9).to_string(), "f9");
+        assert_eq!(ArchReg::Fp(FReg::new(2)).to_string(), "f2");
+    }
+}

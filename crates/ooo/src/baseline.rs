@@ -1,0 +1,248 @@
+//! The conventional CAM-based load-queue policy (paper §2): every resolving
+//! store searches the LQ associatively for younger, already-issued loads to
+//! an overlapping address and replays the oldest match. With coherence
+//! enabled, external invalidations also search the LQ to mark matching
+//! loads, and every issuing load searches for younger marked same-line
+//! entries (the POWER4 scheme \[22\]).
+
+use dmdc_types::{Age, MemSpan};
+
+use crate::lsq::{CheckOutcome, CommitInfo, CommitKind, LoadQueue, MemDepPolicy, PolicyCtx, StoreResolution};
+use crate::stats::ReplayKind;
+
+/// The conventional associative load-queue design.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_ooo::{BaselinePolicy, MemDepPolicy};
+///
+/// let p = BaselinePolicy::new();
+/// assert!(p.needs_associative_lq());
+/// assert_eq!(p.name(), "baseline");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BaselinePolicy {
+    /// Line size used for invalidation matching (set when coherence is on).
+    coherence_line_bytes: Option<u64>,
+}
+
+impl BaselinePolicy {
+    /// A baseline without coherence traffic handling (the paper's default
+    /// baseline, §6.2.4).
+    pub fn new() -> BaselinePolicy {
+        BaselinePolicy { coherence_line_bytes: None }
+    }
+
+    /// A baseline that also enforces load-load ordering against external
+    /// invalidations at the given line granularity.
+    pub fn with_coherence(line_bytes: u64) -> BaselinePolicy {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        BaselinePolicy { coherence_line_bytes: Some(line_bytes) }
+    }
+}
+
+/// Searches `lq` for the oldest entry younger than `age` that has issued to
+/// a span overlapping `span`. Shared by the baseline and the YLA-filtered
+/// designs (which perform the identical search when the filter misses).
+pub fn search_lq_for_premature_loads(lq: &LoadQueue, age: Age, span: MemSpan) -> Option<Age> {
+    lq.iter()
+        .filter(|e| e.age.is_younger_than(age) && e.issued)
+        .find(|e| e.span.is_some_and(|s| s.overlaps(span)))
+        .map(|e| e.age)
+}
+
+impl MemDepPolicy for BaselinePolicy {
+    fn name(&self) -> &str {
+        "baseline"
+    }
+
+    fn on_load_issue(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        safe: bool,
+        lq: &mut LoadQueue,
+    ) -> Option<Age> {
+        if safe {
+            ctx.stats.safe_loads += 1;
+        } else {
+            ctx.stats.unsafe_loads += 1;
+        }
+        let line_bytes = self.coherence_line_bytes?;
+        // POWER4-style load-load ordering: every load searches the LQ for a
+        // younger, issued, invalidation-marked load to the same line.
+        ctx.energy.lq_cam_searches += 1;
+        let line = span.addr.cache_line(line_bytes);
+        let replay = lq
+            .iter()
+            .filter(|e| e.age.is_younger_than(age) && e.issued && e.inv_marked)
+            .find(|e| e.span.is_some_and(|s| s.addr.cache_line(line_bytes) == line))
+            .map(|e| e.age);
+        if replay.is_some() {
+            ctx.stats.replays.record(ReplayKind::Coherence);
+        }
+        replay
+    }
+
+    fn on_store_resolve(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        lq: &LoadQueue,
+    ) -> StoreResolution {
+        // The conventional design searches unconditionally.
+        ctx.energy.lq_cam_searches += 1;
+        ctx.stats.unsafe_stores += 1;
+        let replay_from = search_lq_for_premature_loads(lq, age, span);
+        if replay_from.is_some() {
+            // The baseline cannot tell a value-changing violation from a
+            // harmless overlap; it conservatively replays either way, so we
+            // account these as true violations (they are the design's raison
+            // d'être and are rare either way).
+            ctx.stats.replays.record(ReplayKind::TrueViolation);
+        }
+        StoreResolution { safe: false, replay_from }
+    }
+
+    fn on_commit(&mut self, _ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
+        if info.kind == CommitKind::Load {
+            debug_assert!(
+                info.value_correct,
+                "baseline let a stale load (age {}) reach commit",
+                info.age
+            );
+        }
+        CheckOutcome::Ok
+    }
+
+    fn on_squash(&mut self, _ctx: &mut PolicyCtx<'_>, _youngest_surviving: Age) {}
+
+    fn on_invalidation(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        line_addr: dmdc_types::Addr,
+        _line_bytes: u64,
+        lq: &mut LoadQueue,
+    ) -> Option<Age> {
+        let line_bytes = self
+            .coherence_line_bytes
+            .expect("invalidations injected into a baseline built without coherence support");
+        ctx.stats.invalidations += 1;
+        // The invalidation searches the whole LQ and marks matching loads.
+        ctx.energy.lq_cam_searches += 1;
+        let target = line_addr.cache_line(line_bytes);
+        for e in lq.iter_mut() {
+            if e.issued && e.span.is_some_and(|s| s.addr.cache_line(line_bytes) == target) {
+                e.inv_marked = true;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{EnergyCounters, PolicyStats};
+    use dmdc_types::{AccessSize, Addr, Cycle};
+
+    fn span(addr: u64, bytes: u64) -> MemSpan {
+        MemSpan::new(Addr(addr), AccessSize::from_bytes(bytes).unwrap())
+    }
+
+    fn ctx<'a>(e: &'a mut EnergyCounters, s: &'a mut PolicyStats) -> PolicyCtx<'a> {
+        PolicyCtx { cycle: Cycle(0), energy: e, stats: s }
+    }
+
+    fn issued_lq(entries: &[(u64, u64, u64)]) -> LoadQueue {
+        // (age, addr, bytes)
+        let mut lq = LoadQueue::new(16);
+        for &(age, addr, bytes) in entries {
+            lq.allocate(Age(age));
+            let e = lq.entry_mut(Age(age)).unwrap();
+            e.issued = true;
+            e.span = Some(span(addr, bytes));
+            e.issue_cycle = Some(Cycle(1));
+        }
+        lq
+    }
+
+    #[test]
+    fn store_resolve_finds_oldest_younger_overlap() {
+        let lq = issued_lq(&[(2, 0x100, 4), (5, 0x200, 4), (8, 0x200, 4)]);
+        let mut e = EnergyCounters::default();
+        let mut s = PolicyStats::default();
+        let mut p = BaselinePolicy::new();
+        let r = p.on_store_resolve(&mut ctx(&mut e, &mut s), Age(3), span(0x200, 4), &lq);
+        assert_eq!(r.replay_from, Some(Age(5)), "oldest younger overlapping load");
+        assert!(!r.safe);
+        assert_eq!(e.lq_cam_searches, 1);
+        assert_eq!(s.replays.true_violation, 1);
+    }
+
+    #[test]
+    fn store_resolve_ignores_older_and_unissued() {
+        let mut lq = issued_lq(&[(2, 0x200, 4)]);
+        lq.allocate(Age(9)); // not issued
+        let mut e = EnergyCounters::default();
+        let mut s = PolicyStats::default();
+        let mut p = BaselinePolicy::new();
+        let r = p.on_store_resolve(&mut ctx(&mut e, &mut s), Age(3), span(0x200, 4), &lq);
+        assert_eq!(r.replay_from, None);
+    }
+
+    #[test]
+    fn partial_overlap_still_replays() {
+        let lq = issued_lq(&[(5, 0x102, 4)]);
+        let mut e = EnergyCounters::default();
+        let mut s = PolicyStats::default();
+        let mut p = BaselinePolicy::new();
+        let r = p.on_store_resolve(&mut ctx(&mut e, &mut s), Age(3), span(0x100, 4), &lq);
+        assert_eq!(r.replay_from, Some(Age(5)));
+    }
+
+    #[test]
+    fn load_issue_without_coherence_does_nothing() {
+        let mut lq = issued_lq(&[(5, 0x100, 4)]);
+        let mut e = EnergyCounters::default();
+        let mut s = PolicyStats::default();
+        let mut p = BaselinePolicy::new();
+        let r = p.on_load_issue(&mut ctx(&mut e, &mut s), Age(2), span(0x100, 4), true, &mut lq);
+        assert_eq!(r, None);
+        assert_eq!(e.lq_cam_searches, 0);
+        assert_eq!(s.safe_loads, 1);
+    }
+
+    #[test]
+    fn coherence_marks_and_replays_younger_load() {
+        let mut lq = issued_lq(&[(5, 0x1040, 4), (9, 0x2000, 4)]);
+        let mut e = EnergyCounters::default();
+        let mut s = PolicyStats::default();
+        let mut p = BaselinePolicy::with_coherence(128);
+        // Invalidation for the line containing 0x1040.
+        let r = p.on_invalidation(&mut ctx(&mut e, &mut s), Addr(0x1000), 128, &mut lq);
+        assert_eq!(r, None);
+        assert!(lq.entry(Age(5)).unwrap().inv_marked);
+        assert!(!lq.entry(Age(9)).unwrap().inv_marked);
+        // Now an *older* load to the same line issues: the write-serialization
+        // sequence of §2 — replay from the younger marked load.
+        let r = p.on_load_issue(&mut ctx(&mut e, &mut s), Age(3), span(0x1000, 8), false, &mut lq);
+        assert_eq!(r, Some(Age(5)));
+        assert_eq!(s.replays.coherence, 1);
+        // A load to a different line does not trip it.
+        let r = p.on_load_issue(&mut ctx(&mut e, &mut s), Age(4), span(0x3000, 8), false, &mut lq);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "without coherence support")]
+    fn invalidation_without_coherence_is_a_bug() {
+        let mut lq = LoadQueue::new(4);
+        let mut e = EnergyCounters::default();
+        let mut s = PolicyStats::default();
+        BaselinePolicy::new().on_invalidation(&mut ctx(&mut e, &mut s), Addr(0), 128, &mut lq);
+    }
+}

@@ -1,0 +1,280 @@
+//! Machine configuration, mirroring Table 1 of the paper.
+
+/// Parameters of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in cycles (from the start of the access).
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not an exact power-of-two split.
+    pub fn sets(&self) -> u64 {
+        let sets = self.size_bytes / (self.ways as u64 * self.line_bytes);
+        assert!(sets.is_power_of_two(), "cache sets must be a power of two, got {sets}");
+        sets
+    }
+}
+
+/// Full machine configuration.
+///
+/// Defaults come from the paper's *config 2* (the configuration all detailed
+/// results are reported on); [`CoreConfig::config1`], [`CoreConfig::config2`]
+/// and [`CoreConfig::config3`] give the three scaling points of Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_ooo::CoreConfig;
+///
+/// let c = CoreConfig::config2();
+/// assert_eq!(c.rob_size, 256);
+/// assert_eq!(c.lq_size, 96);
+/// assert_eq!(c.checking_table_entries, 2048);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Human-readable name ("config1" .. "config3").
+    pub name: &'static str,
+    /// Fetch/decode width (instructions per cycle).
+    pub fetch_width: u32,
+    /// Rename/dispatch width.
+    pub dispatch_width: u32,
+    /// Issue width (total across queues).
+    pub issue_width: u32,
+    /// Commit width.
+    pub commit_width: u32,
+    /// Reorder buffer entries.
+    pub rob_size: u32,
+    /// Integer issue-queue entries.
+    pub int_iq_size: u32,
+    /// Floating-point issue-queue entries.
+    pub fp_iq_size: u32,
+    /// Load-queue entries.
+    pub lq_size: u32,
+    /// Store-queue entries.
+    pub sq_size: u32,
+    /// Integer physical registers.
+    pub int_regs: u32,
+    /// Floating-point physical registers.
+    pub fp_regs: u32,
+    /// Simple integer ALUs.
+    pub int_alu_units: u32,
+    /// Integer multiply/divide units.
+    pub int_muldiv_units: u32,
+    /// FP adders (also handle compares/converts).
+    pub fp_alu_units: u32,
+    /// FP multiply/divide units.
+    pub fp_muldiv_units: u32,
+    /// L1 data-cache ports (shared by load issue and store commit).
+    pub dcache_ports: u32,
+    /// Branch misprediction penalty: cycles fetch stays silent after a
+    /// squash, on top of the refill of the front-end pipeline.
+    pub mispredict_penalty: u64,
+    /// Cycles from fetch to rename-eligibility (front-end depth).
+    pub frontend_latency: u64,
+    /// gshare table entries.
+    pub gshare_entries: u32,
+    /// gshare history bits.
+    pub gshare_history_bits: u32,
+    /// Bimodal table entries.
+    pub bimodal_entries: u32,
+    /// Meta chooser table entries.
+    pub meta_entries: u32,
+    /// BTB entries (total, 4-way).
+    pub btb_entries: u32,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+    /// Integer ALU latency.
+    pub int_alu_latency: u64,
+    /// Integer multiply latency.
+    pub int_mul_latency: u64,
+    /// Integer divide latency.
+    pub int_div_latency: u64,
+    /// FP add latency.
+    pub fp_alu_latency: u64,
+    /// FP multiply latency.
+    pub fp_mul_latency: u64,
+    /// FP divide/sqrt latency.
+    pub fp_div_latency: u64,
+    /// Store-to-load forwarding latency.
+    pub forward_latency: u64,
+    /// Cycles a rejected load sleeps before retrying.
+    pub reject_retry_delay: u64,
+    /// Oldest-store-age SQ filtering (paper §3, "filtering for stores"):
+    /// a load older than every in-flight store skips the SQ forwarding
+    /// search entirely. Off by default — the paper measures the potential
+    /// (~20% of loads) but leaves the SQ design conventional.
+    pub sq_age_filter: bool,
+    /// DMDC checking-table entries (used by policies that have one).
+    pub checking_table_entries: u32,
+}
+
+impl CoreConfig {
+    fn base(name: &'static str) -> CoreConfig {
+        CoreConfig {
+            name,
+            fetch_width: 8,
+            dispatch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            rob_size: 256,
+            int_iq_size: 48,
+            fp_iq_size: 48,
+            lq_size: 96,
+            sq_size: 48,
+            int_regs: 200,
+            fp_regs: 200,
+            int_alu_units: 8,
+            int_muldiv_units: 2,
+            fp_alu_units: 8,
+            fp_muldiv_units: 2,
+            dcache_ports: 2,
+            mispredict_penalty: 4,
+            frontend_latency: 3,
+            gshare_entries: 8192,
+            gshare_history_bits: 13,
+            bimodal_entries: 4096,
+            meta_entries: 8192,
+            btb_entries: 4096,
+            l1i: CacheConfig { size_bytes: 64 << 10, ways: 1, line_bytes: 64, latency: 2 },
+            l1d: CacheConfig { size_bytes: 32 << 10, ways: 2, line_bytes: 64, latency: 2 },
+            l2: CacheConfig { size_bytes: 1 << 20, ways: 8, line_bytes: 128, latency: 15 },
+            memory_latency: 120,
+            int_alu_latency: 1,
+            int_mul_latency: 3,
+            int_div_latency: 20,
+            fp_alu_latency: 2,
+            fp_mul_latency: 4,
+            fp_div_latency: 12,
+            forward_latency: 2,
+            reject_retry_delay: 3,
+            sq_age_filter: false,
+            checking_table_entries: 2048,
+        }
+    }
+
+    /// Paper config 1: ROB 128, LQ/SQ 48/32, IQ 32/32, 100+100 registers,
+    /// 1K-entry checking table.
+    pub fn config1() -> CoreConfig {
+        CoreConfig {
+            rob_size: 128,
+            int_iq_size: 32,
+            fp_iq_size: 32,
+            lq_size: 48,
+            sq_size: 32,
+            int_regs: 100,
+            fp_regs: 100,
+            checking_table_entries: 1024,
+            ..CoreConfig::base("config1")
+        }
+    }
+
+    /// Paper config 2 (the default reporting configuration): ROB 256,
+    /// LQ/SQ 96/48, IQ 48/48, 200+200 registers, 2K-entry checking table.
+    pub fn config2() -> CoreConfig {
+        CoreConfig::base("config2")
+    }
+
+    /// Paper config 3: ROB 512, LQ/SQ 192/64, IQ 64/64, 400+400 registers,
+    /// 4K-entry checking table.
+    pub fn config3() -> CoreConfig {
+        CoreConfig {
+            rob_size: 512,
+            int_iq_size: 64,
+            fp_iq_size: 64,
+            lq_size: 192,
+            sq_size: 64,
+            int_regs: 400,
+            fp_regs: 400,
+            checking_table_entries: 4096,
+            ..CoreConfig::base("config3")
+        }
+    }
+
+    /// All three paper configurations, in order.
+    pub fn all() -> [CoreConfig; 3] {
+        [CoreConfig::config1(), CoreConfig::config2(), CoreConfig::config3()]
+    }
+
+    /// Validates internal consistency (register files large enough to map
+    /// all architectural registers, queue sizes non-zero, cache geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on an inconsistent configuration.
+    pub fn validate(&self) {
+        assert!(self.int_regs >= 32 + 1, "need at least 33 int physical registers");
+        assert!(self.fp_regs >= 32 + 1, "need at least 33 fp physical registers");
+        assert!(self.rob_size > 0 && self.lq_size > 0 && self.sq_size > 0);
+        assert!(self.fetch_width > 0 && self.issue_width > 0 && self.commit_width > 0);
+        assert!(self.checking_table_entries.is_power_of_two(), "checking table must be a power of two");
+        let _ = self.l1i.sets();
+        let _ = self.l1d.sets();
+        let _ = self.l2.sets();
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig::config2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1() {
+        let c1 = CoreConfig::config1();
+        assert_eq!((c1.rob_size, c1.lq_size, c1.sq_size), (128, 48, 32));
+        assert_eq!(c1.checking_table_entries, 1024);
+        let c2 = CoreConfig::config2();
+        assert_eq!((c2.rob_size, c2.lq_size, c2.sq_size), (256, 96, 48));
+        let c3 = CoreConfig::config3();
+        assert_eq!((c3.rob_size, c3.lq_size, c3.sq_size), (512, 192, 64));
+        assert_eq!(c3.int_regs, 400);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for c in CoreConfig::all() {
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn cache_sets_computed() {
+        let c = CoreConfig::config2();
+        assert_eq!(c.l1d.sets(), (32 << 10) / (2 * 64));
+        assert_eq!(c.l2.sets(), (1 << 20) / (8 * 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_cache_geometry_panics() {
+        CacheConfig { size_bytes: 3000, ways: 1, line_bytes: 64, latency: 1 }.sets();
+    }
+
+    #[test]
+    fn default_is_config2() {
+        assert_eq!(CoreConfig::default(), CoreConfig::config2());
+    }
+}

@@ -1,0 +1,218 @@
+//! Dataflow execution semantics shared by the issue stage: computes an
+//! instruction's result from its (physical-register) operand values.
+//!
+//! Memory instructions only compute their effective address here; the load
+//! value path and store data capture live in the core, which owns memory
+//! and the store queue.
+
+use dmdc_isa::{fp_from_bits, fp_to_bits, sign_extend, Inst};
+use dmdc_types::{AccessSize, Addr};
+
+use crate::regs::RegValue;
+
+/// The outcome of executing one instruction on its operand values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOutcome {
+    /// Register result, if the instruction produces one (loads excluded —
+    /// their value arrives from the memory path).
+    pub result: Option<RegValue>,
+    /// Effective address for memory instructions.
+    pub ea: Option<Addr>,
+    /// For control instructions: the actual next instruction index.
+    pub next_pc: Option<u32>,
+    /// For conditional branches: the actual direction.
+    pub taken: Option<bool>,
+}
+
+/// Executes `inst` (fetched at `pc`) over `srcs`, the operand values in
+/// [`Inst::sources`] order.
+///
+/// # Panics
+///
+/// Panics if the operand count or types do not match the instruction — a
+/// rename-stage bug, not a runtime condition.
+pub fn compute(inst: Inst, pc: u32, srcs: &[RegValue]) -> ExecOutcome {
+    let mut out = ExecOutcome { result: None, ea: None, next_pc: None, taken: None };
+    match inst {
+        Inst::Nop | Inst::Halt => {}
+        Inst::Alu { op, .. } => {
+            out.result = Some(RegValue::Int(op.eval(srcs[0].as_int(), srcs[1].as_int())));
+        }
+        Inst::AluImm { op, .. } => {
+            out.result = Some(RegValue::Int(op.eval(srcs[0].as_int(), imm_ext(inst))));
+        }
+        Inst::Lui { imm, .. } => {
+            out.result = Some(RegValue::Int(((imm as i64) << 16) as u64));
+        }
+        Inst::Load { offset, .. } | Inst::FLoad { offset, .. } => {
+            out.ea = Some(Addr(srcs[0].as_int()).wrapping_offset(offset as i64));
+        }
+        Inst::Store { offset, .. } | Inst::FStore { offset, .. } => {
+            // sources() order: [base, data]
+            out.ea = Some(Addr(srcs[0].as_int()).wrapping_offset(offset as i64));
+        }
+        Inst::Fpu { op, .. } => {
+            out.result = Some(RegValue::Fp(op.eval(srcs[0].as_fp(), srcs[1].as_fp())));
+        }
+        Inst::Fcmp { cond, .. } => {
+            out.result = Some(RegValue::Int(cond.eval(srcs[0].as_fp(), srcs[1].as_fp()) as u64));
+        }
+        Inst::IntToFp { .. } => {
+            out.result = Some(RegValue::Fp(srcs[0].as_int() as i64 as f64));
+        }
+        Inst::FpToInt { .. } => {
+            out.result = Some(RegValue::Int(dmdc_isa::fp_to_int(srcs[0].as_fp())));
+        }
+        Inst::Branch { cond, target, .. } => {
+            let taken = cond.eval(srcs[0].as_int(), srcs[1].as_int());
+            out.taken = Some(taken);
+            out.next_pc = Some(if taken { target } else { pc + 1 });
+        }
+        Inst::Jal { target, .. } => {
+            out.result = Some(RegValue::Int((pc + 1) as u64));
+            out.next_pc = Some(target);
+        }
+        Inst::Jalr { .. } => {
+            out.result = Some(RegValue::Int((pc + 1) as u64));
+            out.next_pc = Some(srcs[0].as_int() as u32);
+        }
+    }
+    out
+}
+
+fn imm_ext(inst: Inst) -> u64 {
+    match inst {
+        Inst::AluImm { imm, .. } => imm as i64 as u64,
+        _ => unreachable!(),
+    }
+}
+
+/// Converts a load's raw little-endian memory bytes into its register value
+/// (sign/zero extension for integer loads, bit reinterpretation for FP).
+pub fn load_value(inst: Inst, raw: u64) -> RegValue {
+    match inst {
+        Inst::Load { size, signed, .. } => {
+            RegValue::Int(if signed { sign_extend(raw, size) } else { raw })
+        }
+        Inst::FLoad { size, .. } => RegValue::Fp(fp_from_bits(raw, size)),
+        _ => panic!("load_value on a non-load"),
+    }
+}
+
+/// Converts a store's data register value into raw little-endian memory
+/// bytes (low `size` bytes valid).
+pub fn store_raw(inst: Inst, data: RegValue) -> u64 {
+    match inst {
+        Inst::Store { size, .. } => data.as_int() & size_mask(size),
+        Inst::FStore { size, .. } => fp_to_bits(data.as_fp(), size),
+        _ => panic!("store_raw on a non-store"),
+    }
+}
+
+/// A mask covering the low `size` bytes.
+pub fn size_mask(size: AccessSize) -> u64 {
+    match size {
+        AccessSize::B8 => u64::MAX,
+        s => (1u64 << (8 * s.bytes())) - 1,
+    }
+}
+
+/// Extracts the bytes a load span reads out of a containing store's raw
+/// value (both little-endian; `offset` is `load.addr - store.addr`).
+pub fn extract_forwarded(store_raw: u64, offset: u64, load_size: AccessSize) -> u64 {
+    (store_raw >> (8 * offset)) & size_mask(load_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_isa::{AluOp, BranchCond, FReg, FpuOp, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn alu_and_imm() {
+        let i = Inst::Alu { op: AluOp::Sub, rd: r(1), rs1: r(2), rs2: r(3) };
+        let o = compute(i, 0, &[RegValue::Int(10), RegValue::Int(4)]);
+        assert_eq!(o.result, Some(RegValue::Int(6)));
+
+        let i = Inst::AluImm { op: AluOp::Add, rd: r(1), rs1: r(2), imm: -3 };
+        let o = compute(i, 0, &[RegValue::Int(10)]);
+        assert_eq!(o.result, Some(RegValue::Int(7)));
+    }
+
+    #[test]
+    fn branch_direction_and_targets() {
+        let b = Inst::Branch { cond: BranchCond::Lt, rs1: r(1), rs2: r(2), target: 42 };
+        let taken = compute(b, 7, &[RegValue::Int(1), RegValue::Int(2)]);
+        assert_eq!(taken.taken, Some(true));
+        assert_eq!(taken.next_pc, Some(42));
+        let not = compute(b, 7, &[RegValue::Int(2), RegValue::Int(2)]);
+        assert_eq!(not.next_pc, Some(8));
+    }
+
+    #[test]
+    fn jumps_link() {
+        let j = Inst::Jal { rd: r(31), target: 100 };
+        let o = compute(j, 9, &[]);
+        assert_eq!(o.result, Some(RegValue::Int(10)));
+        assert_eq!(o.next_pc, Some(100));
+        let jr = Inst::Jalr { rd: r(0), rs1: r(31) };
+        let o = compute(jr, 50, &[RegValue::Int(10)]);
+        assert_eq!(o.next_pc, Some(10));
+    }
+
+    #[test]
+    fn memory_effective_addresses() {
+        let l = Inst::Load { size: AccessSize::B4, signed: true, rd: r(1), base: r(2), offset: -8 };
+        let o = compute(l, 0, &[RegValue::Int(0x100)]);
+        assert_eq!(o.ea, Some(Addr(0xF8)));
+        let s = Inst::Store { size: AccessSize::B8, src: r(1), base: r(2), offset: 16 };
+        let o = compute(s, 0, &[RegValue::Int(0x100), RegValue::Int(7)]);
+        assert_eq!(o.ea, Some(Addr(0x110)));
+    }
+
+    #[test]
+    fn fp_ops() {
+        let f = Inst::Fpu { op: FpuOp::Fmul, fd: FReg::new(1), fs1: FReg::new(2), fs2: FReg::new(3) };
+        let o = compute(f, 0, &[RegValue::Fp(1.5), RegValue::Fp(2.0)]);
+        assert_eq!(o.result, Some(RegValue::Fp(3.0)));
+    }
+
+    #[test]
+    fn load_value_conversions() {
+        let lw = Inst::Load { size: AccessSize::B4, signed: true, rd: r(1), base: r(2), offset: 0 };
+        assert_eq!(load_value(lw, 0xFFFF_FFFF).as_int() as i64, -1);
+        let lwu = Inst::Load { size: AccessSize::B4, signed: false, rd: r(1), base: r(2), offset: 0 };
+        assert_eq!(load_value(lwu, 0xFFFF_FFFF).as_int(), 0xFFFF_FFFF);
+        let fld = Inst::FLoad { size: AccessSize::B8, fd: FReg::new(0), base: r(2), offset: 0 };
+        assert_eq!(load_value(fld, 2.5f64.to_bits()).as_fp(), 2.5);
+    }
+
+    #[test]
+    fn store_raw_conversions() {
+        let sw = Inst::Store { size: AccessSize::B4, src: r(1), base: r(2), offset: 0 };
+        assert_eq!(store_raw(sw, RegValue::Int(0x1_2345_6789)), 0x2345_6789);
+        let fsw = Inst::FStore { size: AccessSize::B4, src: FReg::new(1), base: r(2), offset: 0 };
+        assert_eq!(store_raw(fsw, RegValue::Fp(1.5)), (1.5f32).to_bits() as u64);
+    }
+
+    #[test]
+    fn forwarding_extraction() {
+        // Store 8 bytes 0x0102030405060708 at 0x100; load 2 bytes at 0x102.
+        let raw = 0x0102_0304_0506_0708u64;
+        assert_eq!(extract_forwarded(raw, 2, AccessSize::B2), 0x0506);
+        assert_eq!(extract_forwarded(raw, 0, AccessSize::B8), raw);
+        assert_eq!(extract_forwarded(raw, 7, AccessSize::B1), 0x01);
+    }
+
+    #[test]
+    fn size_masks() {
+        assert_eq!(size_mask(AccessSize::B1), 0xFF);
+        assert_eq!(size_mask(AccessSize::B2), 0xFFFF);
+        assert_eq!(size_mask(AccessSize::B4), 0xFFFF_FFFF);
+        assert_eq!(size_mask(AccessSize::B8), u64::MAX);
+    }
+}

@@ -1,0 +1,56 @@
+//! An execution-driven out-of-order processor simulator.
+//!
+//! This crate is the substrate the DMDC reproduction evaluates on — the
+//! role SimpleScalar's `sim-outorder` plays in the paper. It models an
+//! 8-wide machine with register renaming over physical register files, a
+//! combined bimodal/gshare branch predictor with a BTB, a two-level cache
+//! hierarchy, issue queues with oldest-first select, and an age-ordered
+//! load/store queue pair with store-to-load forwarding and load rejection.
+//!
+//! Values really flow through the pipeline: wrong-path instructions execute
+//! with whatever register values they see, and loads that issue past
+//! unresolved older stores genuinely read stale memory. Memory-order
+//! recovery is delegated to a pluggable [`MemDepPolicy`] — the conventional
+//! CAM-searched load queue ([`BaselinePolicy`]) lives here; the paper's YLA
+//! filtering and DMDC designs live in the `dmdc-core` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmdc_isa::Assembler;
+//! use dmdc_ooo::{BaselinePolicy, CoreConfig, SimOptions, Simulator};
+//!
+//! let program = Assembler::new()
+//!     .assemble("li x1, 0x1000\nli x2, 9\nsw x2, 0(x1)\nlw x3, 0(x1)\nhalt")
+//!     .unwrap();
+//! let mut sim = Simulator::new(&program, CoreConfig::config2(), Box::new(BaselinePolicy::new()));
+//! let result = sim.run(SimOptions::default()).unwrap();
+//! assert!(result.halted);
+//! assert_eq!(result.stats.loads, 1);
+//! assert_eq!(result.stats.stores, 1);
+//! ```
+
+mod baseline;
+mod bpred;
+mod cache;
+mod config;
+mod core;
+mod exec;
+mod lsq;
+mod regs;
+mod stats;
+mod trace;
+
+pub use baseline::{search_lq_for_premature_loads, BaselinePolicy};
+pub use bpred::{BranchPredictor, Btb, HistorySnapshot};
+pub use cache::{Cache, MemoryHierarchy};
+pub use config::{CacheConfig, CoreConfig};
+pub use core::{SimError, SimOptions, SimResult, Simulator};
+pub use exec::{compute, extract_forwarded, load_value, size_mask, store_raw, ExecOutcome};
+pub use lsq::{
+    CheckOutcome, CommitInfo, CommitKind, LoadEntry, LoadQueue, MemDepPolicy, PolicyCtx,
+    StoreEntry, StoreQueue, StoreResolution,
+};
+pub use regs::{Operand, PhysReg, RegFiles, RegValue};
+pub use stats::{CacheStats, EnergyCounters, PolicyStats, ReplayBreakdown, ReplayKind, SimStats};
+pub use trace::{PipelineTrace, Stage, TraceEvent};

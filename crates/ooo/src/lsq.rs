@@ -1,0 +1,491 @@
+//! Load/store queues and the [`MemDepPolicy`] trait — the seam where the
+//! paper's mechanisms plug into the core.
+//!
+//! The core owns the authoritative queues (they gate rename and drive
+//! forwarding); a policy decides *how dependence violations are detected*:
+//! the conventional design searches the load queue associatively at store
+//! resolve, YLA filtering skips provably safe searches, and DMDC replaces
+//! the search with commit-time table checks. Policies report structure
+//! accesses through [`PolicyCtx`] so the energy model can price each design.
+
+use dmdc_types::{Age, Cycle, MemSpan};
+
+use crate::stats::{EnergyCounters, PolicyStats};
+
+/// One load-queue entry. Allocated in program order at rename; filled in at
+/// issue.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadEntry {
+    /// The load's age.
+    pub age: Age,
+    /// Address span, known once the load has issued.
+    pub span: Option<MemSpan>,
+    /// Whether the load has issued (address generated, memory accessed).
+    pub issued: bool,
+    /// Safe-load bit: at issue, every older store in the SQ had a resolved
+    /// address, so no store-load replay can ever hit this load (paper §4.2).
+    pub safe: bool,
+    /// Scratch bit for policies (conventional coherence uses it as the
+    /// invalidation mark of \[22\]).
+    pub inv_marked: bool,
+    /// Cycle of the load's (final) issue.
+    pub issue_cycle: Option<Cycle>,
+}
+
+/// The load queue: an age-ordered FIFO of [`LoadEntry`].
+///
+/// Whether it is *searched associatively* is the policy's business; the
+/// queue itself only models occupancy and provides iteration.
+#[derive(Debug, Clone, Default)]
+pub struct LoadQueue {
+    entries: std::collections::VecDeque<LoadEntry>,
+    capacity: usize,
+}
+
+impl LoadQueue {
+    /// Creates a queue with the given capacity.
+    pub fn new(capacity: usize) -> LoadQueue {
+        LoadQueue { entries: std::collections::VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Entries currently allocated.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no loads are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether an allocation would overflow.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Allocates an entry at the tail (rename order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or ages are not monotonic — both core
+    /// bugs, not runtime conditions.
+    pub fn allocate(&mut self, age: Age) {
+        assert!(!self.is_full(), "load queue overflow");
+        if let Some(back) = self.entries.back() {
+            assert!(back.age.is_older_than(age), "load queue ages must be monotonic");
+        }
+        self.entries.push_back(LoadEntry {
+            age,
+            span: None,
+            issued: false,
+            safe: false,
+            inv_marked: false,
+            issue_cycle: None,
+        });
+    }
+
+    /// Mutable access to the entry with the given age.
+    pub fn entry_mut(&mut self, age: Age) -> Option<&mut LoadEntry> {
+        let idx = self.entries.binary_search_by_key(&age, |e| e.age).ok()?;
+        Some(&mut self.entries[idx])
+    }
+
+    /// Shared access to the entry with the given age.
+    pub fn entry(&self, age: Age) -> Option<&LoadEntry> {
+        let idx = self.entries.binary_search_by_key(&age, |e| e.age).ok()?;
+        Some(&self.entries[idx])
+    }
+
+    /// Pops the head entry, which must have the given age (commit order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is missing or has a different age.
+    pub fn pop_head(&mut self, age: Age) -> LoadEntry {
+        let head = self.entries.pop_front().expect("popping empty load queue");
+        assert_eq!(head.age, age, "load queue commit order violated");
+        head
+    }
+
+    /// Drops every entry with `age >= first_squashed`.
+    pub fn squash(&mut self, first_squashed: Age) {
+        while let Some(back) = self.entries.back() {
+            if back.age >= first_squashed {
+                self.entries.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &LoadEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates entries oldest-first, mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut LoadEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+/// One store-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreEntry {
+    /// The store's age.
+    pub age: Age,
+    /// Address span, known once address generation completed.
+    pub span: Option<MemSpan>,
+    /// Raw little-endian data bytes (low `span.size` bytes valid) once the
+    /// data operand is ready. Captured lazily by the core from the physical
+    /// register file.
+    pub data: Option<u64>,
+    /// Whether the store was classified *safe* at resolve time by the
+    /// active policy (recorded in the SQ per paper §4.1 step 1).
+    pub safe: bool,
+}
+
+/// The store queue: age-ordered, with resolved-address forwarding handled by
+/// the core (conventional in every design the paper considers).
+#[derive(Debug, Clone, Default)]
+pub struct StoreQueue {
+    entries: std::collections::VecDeque<StoreEntry>,
+    capacity: usize,
+}
+
+impl StoreQueue {
+    /// Creates a queue with the given capacity.
+    pub fn new(capacity: usize) -> StoreQueue {
+        StoreQueue { entries: std::collections::VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Entries currently allocated.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no stores are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether an allocation would overflow.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Allocates an entry at the tail (rename order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow or non-monotonic ages (core bugs).
+    pub fn allocate(&mut self, age: Age) {
+        assert!(!self.is_full(), "store queue overflow");
+        if let Some(back) = self.entries.back() {
+            assert!(back.age.is_older_than(age), "store queue ages must be monotonic");
+        }
+        self.entries.push_back(StoreEntry { age, span: None, data: None, safe: false });
+    }
+
+    /// Mutable access to the entry with the given age.
+    pub fn entry_mut(&mut self, age: Age) -> Option<&mut StoreEntry> {
+        let idx = self.entries.binary_search_by_key(&age, |e| e.age).ok()?;
+        Some(&mut self.entries[idx])
+    }
+
+    /// Shared access to the entry with the given age.
+    pub fn entry(&self, age: Age) -> Option<&StoreEntry> {
+        let idx = self.entries.binary_search_by_key(&age, |e| e.age).ok()?;
+        Some(&self.entries[idx])
+    }
+
+    /// Pops the head entry, which must have the given age (commit order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is missing or has a different age.
+    pub fn pop_head(&mut self, age: Age) -> StoreEntry {
+        let head = self.entries.pop_front().expect("popping empty store queue");
+        assert_eq!(head.age, age, "store queue commit order violated");
+        head
+    }
+
+    /// Drops every entry with `age >= first_squashed`.
+    pub fn squash(&mut self, first_squashed: Age) {
+        while let Some(back) = self.entries.back() {
+            if back.age >= first_squashed {
+                self.entries.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &StoreEntry> {
+        self.entries.iter()
+    }
+
+    /// True if every store older than `age` has a resolved address — the
+    /// safe-load condition of paper §4.2 (Figure 1(b) logic).
+    pub fn all_older_resolved(&self, age: Age) -> bool {
+        self.entries.iter().take_while(|e| e.age.is_older_than(age)).all(|e| e.span.is_some())
+    }
+
+    /// The youngest store older than `age` whose resolved span overlaps
+    /// `span` — the forwarding candidate. Returns `None` when no resolved
+    /// older store overlaps (the load may still be speculating past
+    /// *unresolved* stores).
+    pub fn youngest_older_overlap(&self, age: Age, span: MemSpan) -> Option<&StoreEntry> {
+        self.entries
+            .iter()
+            .take_while(|e| e.age.is_older_than(age))
+            .filter(|e| e.span.is_some_and(|s| s.overlaps(span)))
+            .last()
+    }
+}
+
+/// Mutable context handed to every policy hook: the cycle clock plus the
+/// shared statistics sinks.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    /// Current cycle.
+    pub cycle: Cycle,
+    /// Structure-access counters (energy accounting).
+    pub energy: &'a mut EnergyCounters,
+    /// Policy statistics (filter rates, windows, replay taxonomy).
+    pub stats: &'a mut PolicyStats,
+}
+
+/// What a committing instruction looks like to the policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitInfo {
+    /// The instruction's age.
+    pub age: Age,
+    /// Broad kind.
+    pub kind: CommitKind,
+    /// For loads/stores, the accessed span.
+    pub span: Option<MemSpan>,
+    /// For loads, the safe-load bit.
+    pub safe_load: bool,
+    /// For loads: whether the value obtained at execution equals committed
+    /// memory right now (all older stores have committed). `false` means
+    /// the load is stale and *must* be replayed.
+    pub value_correct: bool,
+    /// For loads, the final issue cycle.
+    pub issue_cycle: Option<Cycle>,
+}
+
+/// Commit-time instruction kinds the policies distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitKind {
+    /// A memory load.
+    Load,
+    /// A memory store.
+    Store,
+    /// Anything else.
+    Other,
+}
+
+/// A policy's verdict on a committing instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Let it commit.
+    Ok,
+    /// Squash at this instruction and refetch it (only meaningful for
+    /// loads). The [`crate::stats::ReplayKind`] was already recorded by the
+    /// policy.
+    Replay,
+}
+
+/// The memory-dependence enforcement policy: conventional CAM search, YLA
+/// filtering, DMDC, or any other design.
+///
+/// Hook-call contract (enforced by the core):
+///
+/// * `on_load_issue` — after the core fills the load's LQ entry; may demand
+///   an immediate replay (conventional load-load coherence).
+/// * `on_store_resolve` — when a store's address generation completes; may
+///   demand an immediate replay of a premature load (conventional design).
+/// * `on_commit` — for **every** committing instruction, in program order;
+///   a `Replay` verdict squashes at that instruction (DMDC's delayed check).
+/// * `on_squash` — after any squash; `youngest_surviving` is the age of the
+///   youngest instruction left in the pipeline (YLA repair hook).
+/// * `on_invalidation` — an external coherence invalidation arrived.
+/// * `on_cycle` — once per simulated cycle (checking-mode cycle counting).
+///
+/// The **safety contract**: if a committing load has `value_correct ==
+/// false`, some policy hook must have arranged for `Replay`; the core
+/// panics otherwise, because committing a stale load corrupts architectural
+/// state. (The conventional design discharges this at `on_store_resolve`
+/// time instead — by the time a premature load reaches commit it has been
+/// squashed and re-executed.)
+pub trait MemDepPolicy {
+    /// Display name used in reports.
+    fn name(&self) -> &str;
+
+    /// Whether the design requires an associative (CAM) load queue. DMDC
+    /// returns `false`: its LQ is a FIFO of hash keys, which also lets the
+    /// core lift the in-flight-load limit to the ROB size (paper §6.2.1).
+    fn needs_associative_lq(&self) -> bool {
+        true
+    }
+
+    /// A load issued. Returns `Some(age)` to replay from that age now.
+    fn on_load_issue(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        safe: bool,
+        lq: &mut LoadQueue,
+    ) -> Option<Age>;
+
+    /// A store's address resolved. Returns `Some(age)` to replay from that
+    /// age now. Must set the store's `safe` classification via the returned
+    /// [`StoreResolution`].
+    fn on_store_resolve(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        lq: &LoadQueue,
+    ) -> StoreResolution;
+
+    /// An instruction is committing.
+    fn on_commit(&mut self, ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome;
+
+    /// The pipeline squashed everything younger than `youngest_surviving`.
+    fn on_squash(&mut self, ctx: &mut PolicyCtx<'_>, youngest_surviving: Age);
+
+    /// An external invalidation for the cache line at `line_addr` (size
+    /// `line_bytes`) arrived. Returns `Some(age)` to replay from that age
+    /// now.
+    fn on_invalidation(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        line_addr: dmdc_types::Addr,
+        line_bytes: u64,
+        lq: &mut LoadQueue,
+    ) -> Option<Age> {
+        let _ = (ctx, line_addr, line_bytes, lq);
+        None
+    }
+
+    /// Called once per simulated cycle.
+    fn on_cycle(&mut self, ctx: &mut PolicyCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+/// Result of [`MemDepPolicy::on_store_resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreResolution {
+    /// Whether the store was classified safe (recorded in the SQ entry).
+    pub safe: bool,
+    /// If `Some`, squash from this age now (a detected premature load).
+    pub replay_from: Option<Age>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_types::{AccessSize, Addr};
+
+    fn span(addr: u64, bytes: u64) -> MemSpan {
+        MemSpan::new(Addr(addr), AccessSize::from_bytes(bytes).unwrap())
+    }
+
+    #[test]
+    fn load_queue_alloc_pop_order() {
+        let mut lq = LoadQueue::new(4);
+        lq.allocate(Age(1));
+        lq.allocate(Age(5));
+        assert_eq!(lq.len(), 2);
+        assert!(!lq.is_full());
+        let e = lq.pop_head(Age(1));
+        assert_eq!(e.age, Age(1));
+        assert_eq!(lq.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn load_queue_rejects_out_of_order_ages() {
+        let mut lq = LoadQueue::new(4);
+        lq.allocate(Age(5));
+        lq.allocate(Age(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn load_queue_overflow_panics() {
+        let mut lq = LoadQueue::new(1);
+        lq.allocate(Age(1));
+        lq.allocate(Age(2));
+    }
+
+    #[test]
+    fn load_queue_squash_drops_young() {
+        let mut lq = LoadQueue::new(8);
+        for a in [1u64, 3, 7, 9] {
+            lq.allocate(Age(a));
+        }
+        lq.squash(Age(7));
+        let ages: Vec<_> = lq.iter().map(|e| e.age.0).collect();
+        assert_eq!(ages, vec![1, 3]);
+    }
+
+    #[test]
+    fn load_queue_entry_lookup() {
+        let mut lq = LoadQueue::new(8);
+        lq.allocate(Age(2));
+        lq.allocate(Age(4));
+        lq.entry_mut(Age(4)).unwrap().issued = true;
+        assert!(lq.entry(Age(4)).unwrap().issued);
+        assert!(!lq.entry(Age(2)).unwrap().issued);
+        assert!(lq.entry(Age(3)).is_none());
+    }
+
+    #[test]
+    fn store_queue_forwarding_candidate() {
+        let mut sq = StoreQueue::new(8);
+        sq.allocate(Age(1));
+        sq.allocate(Age(3));
+        sq.allocate(Age(5));
+        sq.entry_mut(Age(1)).unwrap().span = Some(span(0x100, 8));
+        sq.entry_mut(Age(3)).unwrap().span = Some(span(0x100, 4));
+        // Age 5 unresolved.
+        let cand = sq.youngest_older_overlap(Age(7), span(0x100, 4)).unwrap();
+        assert_eq!(cand.age, Age(3), "youngest resolved older overlap wins");
+        // A load older than every store sees no candidate.
+        assert!(sq.youngest_older_overlap(Age(0), span(0x100, 4)).is_none());
+        // Non-overlapping span.
+        assert!(sq.youngest_older_overlap(Age(7), span(0x900, 4)).is_none());
+    }
+
+    #[test]
+    fn store_queue_safe_load_condition() {
+        let mut sq = StoreQueue::new(8);
+        sq.allocate(Age(1));
+        sq.allocate(Age(3));
+        sq.entry_mut(Age(1)).unwrap().span = Some(span(0x100, 8));
+        assert!(!sq.all_older_resolved(Age(5)), "age 3 unresolved");
+        assert!(sq.all_older_resolved(Age(2)), "only age 1 is older and it resolved");
+        sq.entry_mut(Age(3)).unwrap().span = Some(span(0x200, 8));
+        assert!(sq.all_older_resolved(Age(5)));
+        assert!(sq.all_older_resolved(Age(0)), "no older stores at all");
+    }
+
+    #[test]
+    fn store_queue_squash_and_pop() {
+        let mut sq = StoreQueue::new(8);
+        for a in [2u64, 4, 6] {
+            sq.allocate(Age(a));
+        }
+        sq.squash(Age(4));
+        assert_eq!(sq.len(), 1);
+        let e = sq.pop_head(Age(2));
+        assert_eq!(e.age, Age(2));
+        assert!(sq.is_empty());
+    }
+}

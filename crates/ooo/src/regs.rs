@@ -1,0 +1,372 @@
+//! Physical register files, free lists and rename map tables.
+//!
+//! Values flow through the physical registers exactly as in a real core, so
+//! speculative (and wrong-path) instructions compute with whatever values
+//! the registers hold at issue time — which is what lets premature loads
+//! return genuinely stale data and lets the YLA machinery be exercised by
+//! wrong-path loads, as the paper discusses in §3.
+
+use dmdc_isa::ArchReg;
+
+/// A physical register: file selector + index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysReg {
+    /// `true` = floating-point file.
+    pub fp: bool,
+    /// Index within the file.
+    pub idx: u16,
+}
+
+/// A renamed source operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// The hardwired integer zero register.
+    Zero,
+    /// A physical register.
+    Phys(PhysReg),
+}
+
+/// An FP or integer value in transit through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RegValue {
+    /// Integer (or raw-bits) value.
+    Int(u64),
+    /// Floating-point value.
+    Fp(f64),
+}
+
+impl RegValue {
+    /// The integer interpretation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an FP value (type confusion is a core bug).
+    pub fn as_int(self) -> u64 {
+        match self {
+            RegValue::Int(v) => v,
+            RegValue::Fp(_) => panic!("expected integer register value"),
+        }
+    }
+
+    /// The FP interpretation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an integer value.
+    pub fn as_fp(self) -> f64 {
+        match self {
+            RegValue::Fp(v) => v,
+            RegValue::Int(_) => panic!("expected fp register value"),
+        }
+    }
+}
+
+/// Both physical register files plus speculative and retirement map tables.
+#[derive(Debug, Clone)]
+pub struct RegFiles {
+    int_vals: Vec<u64>,
+    int_ready: Vec<bool>,
+    int_free: Vec<u16>,
+    fp_vals: Vec<f64>,
+    fp_ready: Vec<bool>,
+    fp_free: Vec<u16>,
+    spec_map: [PhysReg; ArchReg::FLAT_COUNT],
+    retire_map: [PhysReg; ArchReg::FLAT_COUNT],
+}
+
+impl RegFiles {
+    /// Creates the register files. The first 32 physical registers of each
+    /// file are bound to the architectural registers (value 0, ready);
+    /// the rest populate the free lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either file has fewer than 33 registers.
+    pub fn new(int_regs: u32, fp_regs: u32) -> RegFiles {
+        assert!(int_regs > 32 && fp_regs > 32, "need more physical than architectural registers");
+        let mut spec = [PhysReg { fp: false, idx: 0 }; ArchReg::FLAT_COUNT];
+        for (i, slot) in spec.iter_mut().enumerate() {
+            *slot = if i < 32 {
+                PhysReg { fp: false, idx: i as u16 }
+            } else {
+                PhysReg { fp: true, idx: (i - 32) as u16 }
+            };
+        }
+        RegFiles {
+            int_vals: vec![0; int_regs as usize],
+            int_ready: {
+                let mut r = vec![false; int_regs as usize];
+                r[..32].fill(true);
+                r
+            },
+            int_free: (32..int_regs as u16).rev().collect(),
+            fp_vals: vec![0.0; fp_regs as usize],
+            fp_ready: {
+                let mut r = vec![false; fp_regs as usize];
+                r[..32].fill(true);
+                r
+            },
+            fp_free: (32..fp_regs as u16).rev().collect(),
+            spec_map: spec,
+            retire_map: spec,
+        }
+    }
+
+    /// Free integer registers remaining.
+    pub fn int_free_count(&self) -> usize {
+        self.int_free.len()
+    }
+
+    /// Free FP registers remaining.
+    pub fn fp_free_count(&self) -> usize {
+        self.fp_free.len()
+    }
+
+    /// The current speculative mapping of an architectural register.
+    pub fn lookup_spec(&self, arch: ArchReg) -> PhysReg {
+        self.spec_map[arch.flat_index()]
+    }
+
+    /// The current retirement mapping of an architectural register.
+    pub fn lookup_retire(&self, arch: ArchReg) -> PhysReg {
+        self.retire_map[arch.flat_index()]
+    }
+
+    /// Renames a source operand (integer `x0` becomes [`Operand::Zero`]).
+    pub fn rename_source(&self, arch: ArchReg) -> Operand {
+        if arch.is_int_zero() {
+            Operand::Zero
+        } else {
+            Operand::Phys(self.lookup_spec(arch))
+        }
+    }
+
+    /// Allocates a fresh destination register for `arch`, updating the
+    /// speculative map. Returns `(new, previous_spec_mapping)` or `None` if
+    /// the relevant free list is empty (rename must stall).
+    pub fn allocate_dest(&mut self, arch: ArchReg) -> Option<(PhysReg, PhysReg)> {
+        debug_assert!(!arch.is_int_zero(), "x0 is never renamed");
+        let fp = matches!(arch, ArchReg::Fp(_));
+        let idx = if fp { self.fp_free.pop()? } else { self.int_free.pop()? };
+        let new = PhysReg { fp, idx };
+        if fp {
+            self.fp_ready[idx as usize] = false;
+        } else {
+            self.int_ready[idx as usize] = false;
+        }
+        let prev = std::mem::replace(&mut self.spec_map[arch.flat_index()], new);
+        Some((new, prev))
+    }
+
+    /// Whether an operand's value is available.
+    pub fn is_ready(&self, op: Operand) -> bool {
+        match op {
+            Operand::Zero => true,
+            Operand::Phys(p) => {
+                if p.fp {
+                    self.fp_ready[p.idx as usize]
+                } else {
+                    self.int_ready[p.idx as usize]
+                }
+            }
+        }
+    }
+
+    /// Reads an operand's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the operand is not ready.
+    pub fn read(&self, op: Operand) -> RegValue {
+        debug_assert!(self.is_ready(op), "reading a not-ready register");
+        match op {
+            Operand::Zero => RegValue::Int(0),
+            Operand::Phys(p) => {
+                if p.fp {
+                    RegValue::Fp(self.fp_vals[p.idx as usize])
+                } else {
+                    RegValue::Int(self.int_vals[p.idx as usize])
+                }
+            }
+        }
+    }
+
+    /// Writes a result and marks the register ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a file/value type mismatch.
+    pub fn write(&mut self, p: PhysReg, value: RegValue) {
+        match (p.fp, value) {
+            (false, RegValue::Int(v)) => {
+                self.int_vals[p.idx as usize] = v;
+                self.int_ready[p.idx as usize] = true;
+            }
+            (true, RegValue::Fp(v)) => {
+                self.fp_vals[p.idx as usize] = v;
+                self.fp_ready[p.idx as usize] = true;
+            }
+            _ => panic!("register file / value type mismatch"),
+        }
+    }
+
+    /// Returns a register to its free list (squash of its producer, or
+    /// retirement of the next writer of the same architectural register).
+    pub fn free(&mut self, p: PhysReg) {
+        if p.fp {
+            debug_assert!(!self.fp_free.contains(&p.idx), "double free of fp p{}", p.idx);
+            self.fp_free.push(p.idx);
+        } else {
+            debug_assert!(!self.int_free.contains(&p.idx), "double free of int p{}", p.idx);
+            self.int_free.push(p.idx);
+        }
+    }
+
+    /// Commits a destination mapping: the retirement map now points at
+    /// `new`, and the register previously mapped there is freed.
+    pub fn retire_dest(&mut self, arch: ArchReg, new: PhysReg) {
+        let prev = std::mem::replace(&mut self.retire_map[arch.flat_index()], new);
+        self.free(prev);
+    }
+
+    /// Resets the speculative map to the retirement map (squash recovery
+    /// step 1; the core then replays the mappings of surviving speculative
+    /// instructions by walking the ROB).
+    pub fn reset_spec_to_retire(&mut self) {
+        self.spec_map = self.retire_map;
+    }
+
+    /// Re-applies a surviving instruction's destination mapping during
+    /// squash recovery.
+    pub fn reapply_spec(&mut self, arch: ArchReg, p: PhysReg) {
+        self.spec_map[arch.flat_index()] = p;
+    }
+
+    /// Architectural integer register values per the retirement map.
+    pub fn arch_int_values(&self) -> [u64; 32] {
+        let mut out = [0u64; 32];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let p = self.retire_map[i];
+            debug_assert!(!p.fp);
+            *slot = self.int_vals[p.idx as usize];
+        }
+        out
+    }
+
+    /// Architectural FP register values per the retirement map.
+    pub fn arch_fp_values(&self) -> [f64; 32] {
+        let mut out = [0.0f64; 32];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let p = self.retire_map[32 + i];
+            debug_assert!(p.fp);
+            *slot = self.fp_vals[p.idx as usize];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_isa::{FReg, Reg};
+
+    fn int(i: u8) -> ArchReg {
+        ArchReg::Int(Reg::new(i))
+    }
+
+    fn fp(i: u8) -> ArchReg {
+        ArchReg::Fp(FReg::new(i))
+    }
+
+    #[test]
+    fn initial_state_maps_identity_and_ready() {
+        let rf = RegFiles::new(40, 40);
+        assert_eq!(rf.lookup_spec(int(5)), PhysReg { fp: false, idx: 5 });
+        assert_eq!(rf.lookup_spec(fp(5)), PhysReg { fp: true, idx: 5 });
+        assert!(rf.is_ready(Operand::Phys(PhysReg { fp: false, idx: 5 })));
+        assert_eq!(rf.int_free_count(), 8);
+        assert_eq!(rf.read(Operand::Zero), RegValue::Int(0));
+    }
+
+    #[test]
+    fn rename_write_read_cycle() {
+        let mut rf = RegFiles::new(40, 40);
+        let (new, prev) = rf.allocate_dest(int(3)).unwrap();
+        assert_eq!(prev, PhysReg { fp: false, idx: 3 });
+        assert!(!rf.is_ready(Operand::Phys(new)));
+        assert_eq!(rf.lookup_spec(int(3)), new);
+        rf.write(new, RegValue::Int(77));
+        assert!(rf.is_ready(Operand::Phys(new)));
+        assert_eq!(rf.read(Operand::Phys(new)).as_int(), 77);
+    }
+
+    #[test]
+    fn x0_sources_rename_to_zero() {
+        let rf = RegFiles::new(40, 40);
+        assert_eq!(rf.rename_source(int(0)), Operand::Zero);
+        assert!(matches!(rf.rename_source(int(1)), Operand::Phys(_)));
+    }
+
+    #[test]
+    fn free_list_exhaustion_returns_none() {
+        let mut rf = RegFiles::new(34, 34);
+        assert!(rf.allocate_dest(int(1)).is_some());
+        assert!(rf.allocate_dest(int(2)).is_some());
+        assert!(rf.allocate_dest(int(3)).is_none(), "free list exhausted");
+        assert!(rf.allocate_dest(fp(1)).is_some(), "fp file independent");
+    }
+
+    #[test]
+    fn retire_frees_previous_mapping() {
+        let mut rf = RegFiles::new(40, 40);
+        let (new, _prev) = rf.allocate_dest(int(3)).unwrap();
+        rf.write(new, RegValue::Int(1));
+        let before = rf.int_free_count();
+        rf.retire_dest(int(3), new);
+        assert_eq!(rf.int_free_count(), before + 1, "old phys 3 returned to free list");
+        assert_eq!(rf.lookup_retire(int(3)), new);
+    }
+
+    #[test]
+    fn squash_recovery_restores_mappings() {
+        let mut rf = RegFiles::new(40, 40);
+        let (a, _) = rf.allocate_dest(int(3)).unwrap();
+        let (b, _) = rf.allocate_dest(int(3)).unwrap();
+        assert_eq!(rf.lookup_spec(int(3)), b);
+        // Squash both: free b then a, reset to retirement.
+        rf.free(b);
+        rf.free(a);
+        rf.reset_spec_to_retire();
+        assert_eq!(rf.lookup_spec(int(3)), PhysReg { fp: false, idx: 3 });
+    }
+
+    #[test]
+    fn reapply_spec_replays_survivor() {
+        let mut rf = RegFiles::new(40, 40);
+        let (a, _) = rf.allocate_dest(int(3)).unwrap();
+        rf.reset_spec_to_retire();
+        rf.reapply_spec(int(3), a);
+        assert_eq!(rf.lookup_spec(int(3)), a);
+    }
+
+    #[test]
+    fn arch_values_follow_retirement_map() {
+        let mut rf = RegFiles::new(40, 40);
+        let (new, _) = rf.allocate_dest(int(7)).unwrap();
+        rf.write(new, RegValue::Int(99));
+        assert_eq!(rf.arch_int_values()[7], 0, "not retired yet");
+        rf.retire_dest(int(7), new);
+        assert_eq!(rf.arch_int_values()[7], 99);
+        let (nf, _) = rf.allocate_dest(fp(2)).unwrap();
+        rf.write(nf, RegValue::Fp(2.5));
+        rf.retire_dest(fp(2), nf);
+        assert_eq!(rf.arch_fp_values()[2], 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_confusion_panics() {
+        let mut rf = RegFiles::new(40, 40);
+        rf.write(PhysReg { fp: true, idx: 35 }, RegValue::Int(1));
+    }
+}

@@ -1,0 +1,294 @@
+//! Simulation statistics, including the structure-access counters the
+//! energy model consumes and the checking-window / false-replay statistics
+//! the paper's tables report.
+
+/// Per-structure access counters. The energy model (crate `dmdc-energy`)
+/// multiplies these by per-event energies derived from structure geometry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyCounters {
+    /// Associative searches of the load queue (CAM match across all entries).
+    pub lq_cam_searches: u64,
+    /// Load-queue entry allocations/writes (both CAM and FIFO designs).
+    pub lq_writes: u64,
+    /// Associative searches of the store queue (forwarding CAM).
+    pub sq_cam_searches: u64,
+    /// Store-queue entry writes.
+    pub sq_writes: u64,
+    /// Checking-table indexed reads.
+    pub table_reads: u64,
+    /// Checking-table indexed writes.
+    pub table_writes: u64,
+    /// Checking-table flash clears (whole-table events).
+    pub table_clears: u64,
+    /// YLA register reads.
+    pub yla_reads: u64,
+    /// YLA register writes.
+    pub yla_writes: u64,
+    /// Bloom-filter reads.
+    pub bloom_reads: u64,
+    /// Bloom-filter writes (increments/decrements).
+    pub bloom_writes: u64,
+    /// Associative checking-queue searches.
+    pub cq_searches: u64,
+    /// Associative checking-queue writes.
+    pub cq_writes: u64,
+}
+
+/// Classification of a replay triggered by the dependence-checking logic.
+///
+/// `True*` replays repair an actual memory-order violation (the load had
+/// returned a stale value). The `False*` variants are the paper's Table 3
+/// taxonomy: replays caused by DMDC's address (hashing) or timing
+/// approximations, split by whether the load issued before or after the
+/// store resolved, and — for loads that issued after — whether the load fell
+/// in the store's own checking window (X) or was only checked because
+/// windows merged (Y).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplayKind {
+    /// The load's value was genuinely stale: a required replay.
+    TrueViolation,
+    /// False: same (sub-quad-word) address, load issued after the store
+    /// resolved, load inside the store's own checking window (Table 3 "X").
+    FalseAddrMatchX,
+    /// False: same address, load issued after the store resolved, load only
+    /// checked because checking windows merged (Table 3 "Y").
+    FalseAddrMatchY,
+    /// False: different address hashed to the same table entry, load issued
+    /// before the store resolved.
+    FalseHashBefore,
+    /// False: hash conflict, load issued after the store, inside the store's
+    /// own window (X).
+    FalseHashX,
+    /// False: hash conflict, load issued after the store, merged windows (Y).
+    FalseHashY,
+    /// Replay forced by coherence handling (invalidation WRT promotion or
+    /// checking-queue overflow); not part of the Table 3 taxonomy.
+    Coherence,
+}
+
+/// Aggregated replay counts by [`ReplayKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayBreakdown {
+    /// True violations repaired.
+    pub true_violation: u64,
+    /// See [`ReplayKind::FalseAddrMatchX`].
+    pub false_addr_x: u64,
+    /// See [`ReplayKind::FalseAddrMatchY`].
+    pub false_addr_y: u64,
+    /// See [`ReplayKind::FalseHashBefore`].
+    pub false_hash_before: u64,
+    /// See [`ReplayKind::FalseHashX`].
+    pub false_hash_x: u64,
+    /// See [`ReplayKind::FalseHashY`].
+    pub false_hash_y: u64,
+    /// See [`ReplayKind::Coherence`].
+    pub coherence: u64,
+}
+
+impl ReplayBreakdown {
+    /// Records one replay of the given kind.
+    pub fn record(&mut self, kind: ReplayKind) {
+        match kind {
+            ReplayKind::TrueViolation => self.true_violation += 1,
+            ReplayKind::FalseAddrMatchX => self.false_addr_x += 1,
+            ReplayKind::FalseAddrMatchY => self.false_addr_y += 1,
+            ReplayKind::FalseHashBefore => self.false_hash_before += 1,
+            ReplayKind::FalseHashX => self.false_hash_x += 1,
+            ReplayKind::FalseHashY => self.false_hash_y += 1,
+            ReplayKind::Coherence => self.coherence += 1,
+        }
+    }
+
+    /// Total false replays (everything except true violations).
+    pub fn false_total(&self) -> u64 {
+        self.false_addr_x
+            + self.false_addr_y
+            + self.false_hash_before
+            + self.false_hash_x
+            + self.false_hash_y
+            + self.coherence
+    }
+
+    /// Total replays of any kind.
+    pub fn total(&self) -> u64 {
+        self.true_violation + self.false_total()
+    }
+}
+
+/// Statistics a dependence policy accumulates through its hooks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PolicyStats {
+    /// Stores classified safe at resolve time (LQ search / checking skipped).
+    pub safe_stores: u64,
+    /// Stores classified unsafe (search or delayed checking required).
+    pub unsafe_stores: u64,
+    /// Loads marked safe at issue (all older store addresses resolved).
+    pub safe_loads: u64,
+    /// Loads not safe at issue.
+    pub unsafe_loads: u64,
+    /// Replay classification.
+    pub replays: ReplayBreakdown,
+    /// Cycles with DMDC checking mode active.
+    pub checking_mode_cycles: u64,
+    /// Number of checking windows (activation→termination periods).
+    pub checking_windows: u64,
+    /// Windows that contained exactly one unsafe store.
+    pub single_store_windows: u64,
+    /// Total committed instructions inside checking windows.
+    pub window_instructions: u64,
+    /// Total committed loads inside checking windows.
+    pub window_loads: u64,
+    /// Committed loads inside windows that were safe loads.
+    pub window_safe_loads: u64,
+    /// Unsafe stores committed inside checking windows (>= windows).
+    pub window_unsafe_stores: u64,
+    /// External invalidations delivered to the policy.
+    pub invalidations: u64,
+    /// Loads whose commit-time check was skipped thanks to the safe-load bit.
+    pub safe_load_check_bypasses: u64,
+}
+
+impl PolicyStats {
+    /// Fraction of stores filtered (safe) out of all resolved stores.
+    pub fn store_filter_rate(&self) -> f64 {
+        let total = self.safe_stores + self.unsafe_stores;
+        if total == 0 {
+            0.0
+        } else {
+            self.safe_stores as f64 / total as f64
+        }
+    }
+
+    /// Fraction of loads that were safe at issue.
+    pub fn safe_load_rate(&self) -> f64 {
+        let total = self.safe_loads + self.unsafe_loads;
+        if total == 0 {
+            0.0
+        } else {
+            self.safe_loads as f64 / total as f64
+        }
+    }
+}
+
+/// Cache hit/miss counters for one level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; zero if never accessed.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Everything a simulation run reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed instructions (including the final halt).
+    pub committed: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Committed conditional branches.
+    pub branches: u64,
+    /// Mispredicted committed conditional branches plus mispredicted
+    /// indirect-jump targets.
+    pub mispredicts: u64,
+    /// Pipeline squashes due to dependence replays.
+    pub replay_squashes: u64,
+    /// Loads rejected by the store queue (unforwardable overlap) and retried.
+    pub load_rejections: u64,
+    /// Loads that issued older than every in-flight store (the oldest-store
+    /// age register of paper §3 could have skipped their SQ search).
+    pub sq_filterable_loads: u64,
+    /// Instructions fetched (including wrong-path).
+    pub fetched: u64,
+    /// Instructions squashed after renaming (wrong-path or replay shadow).
+    pub squashed: u64,
+    /// Structure-access counters for the energy model.
+    pub energy: EnergyCounters,
+    /// Policy-level statistics.
+    pub policy: PolicyStats,
+    /// L1I cache behaviour.
+    pub l1i: CacheStats,
+    /// L1D cache behaviour.
+    pub l1d: CacheStats,
+    /// L2 cache behaviour.
+    pub l2: CacheStats,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Events per million committed instructions.
+    pub fn per_million(&self, events: u64) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            events as f64 * 1.0e6 / self.committed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_breakdown_records_and_totals() {
+        let mut b = ReplayBreakdown::default();
+        b.record(ReplayKind::TrueViolation);
+        b.record(ReplayKind::FalseAddrMatchX);
+        b.record(ReplayKind::FalseAddrMatchY);
+        b.record(ReplayKind::FalseHashBefore);
+        b.record(ReplayKind::FalseHashX);
+        b.record(ReplayKind::FalseHashY);
+        b.record(ReplayKind::Coherence);
+        assert_eq!(b.false_total(), 6);
+        assert_eq!(b.total(), 7);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let p = PolicyStats::default();
+        assert_eq!(p.store_filter_rate(), 0.0);
+        assert_eq!(p.safe_load_rate(), 0.0);
+        let c = CacheStats::default();
+        assert_eq!(c.miss_rate(), 0.0);
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.per_million(5), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let p = PolicyStats { safe_stores: 95, unsafe_stores: 5, safe_loads: 8, unsafe_loads: 2, ..Default::default() };
+        assert!((p.store_filter_rate() - 0.95).abs() < 1e-12);
+        assert!((p.safe_load_rate() - 0.8).abs() < 1e-12);
+        let s = SimStats { cycles: 100, committed: 250, ..Default::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.per_million(1) - 4000.0).abs() < 1e-9);
+        let c = CacheStats { hits: 3, misses: 1 };
+        assert!((c.miss_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,199 @@
+//! Optional pipeline tracing: a bounded ring of per-instruction lifecycle
+//! events (dispatch → issue → writeback → commit/squash), renderable as a
+//! per-instruction timeline. Used for debugging the core and for the
+//! `pipeline_trace` example; disabled (zero-cost) by default.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dmdc_types::{Age, Cycle};
+
+/// A pipeline lifecycle stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Renamed and inserted into the ROB.
+    Dispatch,
+    /// Selected and sent to a functional unit (loads: memory access begins).
+    Issue,
+    /// Rejected by the store queue; will retry.
+    Reject,
+    /// Result written back / resolution complete.
+    Writeback,
+    /// Architecturally committed.
+    Commit,
+    /// Removed by a squash (mispredict or replay).
+    Squash,
+    /// Commit-time dependence replay triggered at this instruction.
+    Replay,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Dispatch => "D",
+            Stage::Issue => "I",
+            Stage::Reject => "R",
+            Stage::Writeback => "W",
+            Stage::Commit => "C",
+            Stage::Squash => "X",
+            Stage::Replay => "!",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub cycle: Cycle,
+    /// Which dynamic instruction.
+    pub age: Age,
+    /// Its program counter (instruction index).
+    pub pc: u32,
+    /// What happened.
+    pub stage: Stage,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_ooo::{PipelineTrace, Stage};
+/// use dmdc_types::{Age, Cycle};
+///
+/// let mut t = PipelineTrace::new(8);
+/// t.record(Cycle(1), Age(1), 0, Stage::Dispatch);
+/// t.record(Cycle(2), Age(1), 0, Stage::Issue);
+/// assert_eq!(t.events().count(), 2);
+/// assert!(t.render().contains("#1"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineTrace {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl PipelineTrace {
+    /// A trace keeping the most recent `capacity` events; zero disables
+    /// recording entirely.
+    pub fn new(capacity: usize) -> PipelineTrace {
+        PipelineTrace { ring: VecDeque::with_capacity(capacity.min(1 << 20)), capacity, dropped: 0 }
+    }
+
+    /// Whether recording is enabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (drops the oldest beyond capacity).
+    #[inline]
+    pub fn record(&mut self, cycle: Cycle, age: Age, pc: u32, stage: Stage) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TraceEvent { cycle, age, pc, stage });
+    }
+
+    /// Events in arrival order (oldest retained first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Events that fell off the front of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders a per-instruction timeline, oldest instruction first:
+    ///
+    /// ```text
+    /// #12  pc 7   D@3 I@5 W@6 C@9
+    /// #13  pc 8   D@3 I@6 X@8
+    /// ```
+    pub fn render(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut per_inst: BTreeMap<Age, (u32, Vec<(Stage, Cycle)>)> = BTreeMap::new();
+        for e in &self.ring {
+            per_inst.entry(e.age).or_insert((e.pc, Vec::new())).1.push((e.stage, e.cycle));
+        }
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+        }
+        for (age, (pc, stages)) in per_inst {
+            out.push_str(&format!("{age:>6}  pc {pc:<5}"));
+            for (stage, cycle) in stages {
+                out.push_str(&format!(" {stage}@{}", cycle.0));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = PipelineTrace::new(0);
+        t.record(Cycle(1), Age(1), 0, Stage::Dispatch);
+        assert!(!t.enabled());
+        assert_eq!(t.events().count(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = PipelineTrace::new(3);
+        for i in 1..=5u64 {
+            t.record(Cycle(i), Age(i), i as u32, Stage::Dispatch);
+        }
+        assert_eq!(t.events().count(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.events().next().unwrap().age, Age(3));
+    }
+
+    #[test]
+    fn render_groups_by_instruction() {
+        let mut t = PipelineTrace::new(16);
+        t.record(Cycle(1), Age(1), 10, Stage::Dispatch);
+        t.record(Cycle(2), Age(2), 11, Stage::Dispatch);
+        t.record(Cycle(3), Age(1), 10, Stage::Issue);
+        t.record(Cycle(5), Age(1), 10, Stage::Commit);
+        t.record(Cycle(5), Age(2), 11, Stage::Squash);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("#1") && lines[0].contains("D@1 I@3 C@5"), "{s}");
+        assert!(lines[1].contains("X@5"), "{s}");
+    }
+
+    #[test]
+    fn stage_glyphs_are_distinct() {
+        let glyphs: Vec<String> = [
+            Stage::Dispatch,
+            Stage::Issue,
+            Stage::Reject,
+            Stage::Writeback,
+            Stage::Commit,
+            Stage::Squash,
+            Stage::Replay,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut unique = glyphs.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), glyphs.len());
+    }
+}

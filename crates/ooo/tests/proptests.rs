@@ -1,0 +1,141 @@
+//! Property-based tests for the substrate's data structures: queue
+//! ordering invariants, cache bookkeeping, predictor history repair, and
+//! the equivalence of store-to-load forwarding with a memory round trip.
+
+use dmdc_ooo::{
+    extract_forwarded, BranchPredictor, Cache, CacheConfig, LoadQueue, StoreQueue,
+};
+use dmdc_types::{AccessSize, Addr, Age, MemSpan};
+use proptest::prelude::*;
+
+fn size_strategy() -> impl Strategy<Value = AccessSize> {
+    prop_oneof![
+        Just(AccessSize::B1),
+        Just(AccessSize::B2),
+        Just(AccessSize::B4),
+        Just(AccessSize::B8)
+    ]
+}
+
+proptest! {
+    /// Forwarding equivalence: extracting a contained load's bytes from a
+    /// store's raw value must equal writing the store to memory and reading
+    /// the load span back.
+    #[test]
+    fn forwarding_matches_memory_roundtrip(
+        store_qw in 0u64..1_000,
+        store_size in size_strategy(),
+        value in any::<u64>(),
+        load_size in size_strategy(),
+        load_off in 0u64..8,
+    ) {
+        let store_addr = Addr(0x1000 + store_qw * 8);
+        let store = MemSpan::new(store_addr, store_size);
+        // Build a naturally aligned load span contained in the store span.
+        let bytes = load_size.bytes();
+        prop_assume!(bytes <= store_size.bytes());
+        let off = (load_off * bytes) % store_size.bytes();
+        let load = MemSpan::new(store_addr + off, load_size);
+        prop_assume!(store.contains(load));
+
+        let raw = value & dmdc_ooo::size_mask(store_size);
+        let mut mem = dmdc_isa::SparseMemory::new();
+        mem.write(store.addr, store.size, raw);
+        let via_memory = mem.read(load.addr, load.size);
+        let via_forward = extract_forwarded(raw, load.addr.0 - store.addr.0, load.size);
+        prop_assert_eq!(via_memory, via_forward);
+    }
+
+    /// Load-queue order invariants under arbitrary allocate/pop/squash
+    /// interleavings.
+    #[test]
+    fn load_queue_stays_age_sorted(ops in prop::collection::vec(0u8..3, 1..100)) {
+        let mut lq = LoadQueue::new(16);
+        let mut next_age = 1u64;
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                0 if !lq.is_full() => {
+                    lq.allocate(Age(next_age));
+                    model.push(next_age);
+                    next_age += 1;
+                }
+                1 if !model.is_empty() => {
+                    let head = model.remove(0);
+                    let e = lq.pop_head(Age(head));
+                    prop_assert_eq!(e.age, Age(head));
+                }
+                2 if !model.is_empty() => {
+                    // Squash the youngest half.
+                    let cut = model[model.len() / 2];
+                    lq.squash(Age(cut));
+                    model.retain(|&a| a < cut);
+                }
+                _ => {}
+            }
+            let ages: Vec<u64> = lq.iter().map(|e| e.age.0).collect();
+            prop_assert_eq!(&ages, &model, "queue must mirror the model");
+            let mut sorted = ages.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(ages, sorted, "ages must be sorted");
+        }
+    }
+
+    /// Store-queue forwarding candidate: always the *youngest* resolved
+    /// older overlapping store.
+    #[test]
+    fn store_queue_candidate_is_youngest_older(
+        resolved in prop::collection::vec((1u64..50, 0u64..4u64), 1..10),
+        load_age in 25u64..100,
+        load_qw in 0u64..4,
+    ) {
+        let mut sq = StoreQueue::new(64);
+        let mut ages: Vec<u64> = resolved.iter().map(|&(a, _)| a).collect();
+        ages.sort_unstable();
+        ages.dedup();
+        let mut spans = std::collections::HashMap::new();
+        for &age in &ages {
+            sq.allocate(Age(age));
+            let qw = resolved.iter().find(|&&(a, _)| a == age).unwrap().1;
+            let span = MemSpan::new(Addr(0x100 + qw * 8), AccessSize::B8);
+            sq.entry_mut(Age(age)).unwrap().span = Some(span);
+            spans.insert(age, span);
+        }
+        let load = MemSpan::new(Addr(0x100 + load_qw * 8), AccessSize::B8);
+        let expect = ages
+            .iter()
+            .filter(|&&a| a < load_age && spans[&a].overlaps(load))
+            .max();
+        let got = sq.youngest_older_overlap(Age(load_age), load).map(|e| e.age.0);
+        prop_assert_eq!(got, expect.copied());
+    }
+
+    /// Cache: a just-accessed line always hits on re-access; hit+miss
+    /// counters account for every access.
+    #[test]
+    fn cache_accounting_holds(addrs in prop::collection::vec(0u64..0x20000, 1..200)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, latency: 1 });
+        for (i, &a) in addrs.iter().enumerate() {
+            c.access(Addr(a));
+            prop_assert!(c.probe(Addr(a)), "just-filled line must be resident");
+            prop_assert_eq!(c.stats.hits + c.stats.misses, i as u64 + 1);
+        }
+    }
+
+    /// Branch-predictor history: restore(snapshot) exactly undoes any
+    /// sequence of speculative updates.
+    #[test]
+    fn history_restore_is_exact(outcomes in prop::collection::vec(any::<bool>(), 0..64)) {
+        let mut bp = BranchPredictor::new(64, 64, 12, 64);
+        // Establish a non-trivial starting history.
+        bp.speculate(1, true);
+        bp.speculate(2, false);
+        let (_, snap) = bp.predict(3);
+        for (i, &t) in outcomes.iter().enumerate() {
+            bp.speculate(i as u32, t);
+        }
+        bp.restore(snap);
+        let (_, snap2) = bp.predict(3);
+        prop_assert_eq!(snap, snap2);
+    }
+}

@@ -1,0 +1,173 @@
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// A byte address in the simulated machine's memory space.
+///
+/// Addresses are 64-bit; the workloads only touch a few megabytes but the
+/// full width keeps wrap-around arithmetic out of the picture.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_types::Addr;
+///
+/// let a = Addr(0x1234_5678);
+/// assert_eq!(a.quad_word(), 0x1234_5678 >> 3);
+/// assert_eq!(a.cache_line(128), 0x1234_5678 >> 7);
+/// assert_eq!(a + 8, Addr(0x1234_5680));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The quad-word (8-byte block) index of this address.
+    ///
+    /// The DMDC checking table and the fine-grained YLA register bank are
+    /// both indexed by quad-word address (paper §4.4).
+    #[inline]
+    pub fn quad_word(self) -> u64 {
+        self.0 >> 3
+    }
+
+    /// The offset of this address within its quad word (0..8).
+    #[inline]
+    pub fn quad_word_offset(self) -> u64 {
+        self.0 & 0x7
+    }
+
+    /// The cache-line index of this address for a given line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    #[inline]
+    pub fn cache_line(self, line_size: u64) -> u64 {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        self.0 >> line_size.trailing_zeros()
+    }
+
+    /// Aligns the address down to a multiple of `align` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[inline]
+    pub fn align_down(self, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr(self.0 & !(align - 1))
+    }
+
+    /// Returns `true` if the address is a multiple of `align` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        self.align_down(align) == self
+    }
+
+    /// Wrapping add used by effective-address computation, where the base
+    /// register may legitimately hold a negative two's-complement value.
+    #[inline]
+    pub fn wrapping_offset(self, offset: i64) -> Addr {
+        Addr(self.0.wrapping_add(offset as u64))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_word_groups_eight_bytes() {
+        assert_eq!(Addr(0).quad_word(), 0);
+        assert_eq!(Addr(7).quad_word(), 0);
+        assert_eq!(Addr(8).quad_word(), 1);
+        assert_eq!(Addr(15).quad_word(), 1);
+    }
+
+    #[test]
+    fn quad_word_offset_cycles() {
+        for i in 0..32 {
+            assert_eq!(Addr(i).quad_word_offset(), i % 8);
+        }
+    }
+
+    #[test]
+    fn cache_line_respects_line_size() {
+        assert_eq!(Addr(127).cache_line(128), 0);
+        assert_eq!(Addr(128).cache_line(128), 1);
+        assert_eq!(Addr(64).cache_line(64), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cache_line_rejects_non_power_of_two() {
+        let _ = Addr(0).cache_line(100);
+    }
+
+    #[test]
+    fn align_down_masks_low_bits() {
+        assert_eq!(Addr(0x1237).align_down(8), Addr(0x1230));
+        assert_eq!(Addr(0x1230).align_down(8), Addr(0x1230));
+        assert!(Addr(0x1230).is_aligned(16));
+        assert!(!Addr(0x1238).is_aligned(16));
+    }
+
+    #[test]
+    fn wrapping_offset_handles_negative() {
+        assert_eq!(Addr(100).wrapping_offset(-4), Addr(96));
+        assert_eq!(Addr(0).wrapping_offset(-1), Addr(u64::MAX));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Addr(255)), "ff");
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Addr(0x4000);
+        assert_eq!((a + 24) - 24, a);
+    }
+}

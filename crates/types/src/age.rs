@@ -1,0 +1,138 @@
+use core::fmt;
+
+/// The *age* of a dynamic instruction: a monotonically increasing sequence
+/// number assigned at rename time.
+///
+/// Smaller is older. The paper's YLA ("Youngest issued Load Age") registers,
+/// the `end_check` register and all program-order comparisons operate on
+/// ages. A real design would use the ROB ID "with some simple extension"
+/// (paper §3); a 64-bit counter models that extension exactly and never
+/// wraps in practice.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_types::Age;
+///
+/// let older = Age(10);
+/// let younger = Age(42);
+/// assert!(older.is_older_than(younger));
+/// assert!(younger.is_younger_than(older));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Age(pub u64);
+
+impl Age {
+    /// An age older than every instruction the simulator will ever rename.
+    /// Used as the reset value of YLA registers: a freshly reset YLA makes
+    /// every store safe because no load has issued.
+    pub const OLDEST: Age = Age(0);
+
+    /// Returns `true` if `self` precedes `other` in program order.
+    #[inline]
+    pub fn is_older_than(self, other: Age) -> bool {
+        self.0 < other.0
+    }
+
+    /// Returns `true` if `self` follows `other` in program order.
+    #[inline]
+    pub fn is_younger_than(self, other: Age) -> bool {
+        self.0 > other.0
+    }
+
+    /// The next age in sequence.
+    #[inline]
+    pub fn next(self) -> Age {
+        Age(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Age {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A simulated clock cycle count.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_types::Cycle;
+///
+/// let start = Cycle(100);
+/// assert_eq!(start.plus(15), Cycle(115));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The cycle `n` ticks after `self`.
+    #[inline]
+    pub fn plus(self, n: u64) -> Cycle {
+        Cycle(self.0 + n)
+    }
+
+    /// Advances the clock by one tick.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Cycles elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is after `self`.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        debug_assert!(earlier <= self, "clock ran backwards");
+        self.0 - earlier.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_ordering_matches_program_order() {
+        assert!(Age(1).is_older_than(Age(2)));
+        assert!(!Age(2).is_older_than(Age(2)));
+        assert!(Age(3).is_younger_than(Age(2)));
+        assert!(!Age(2).is_younger_than(Age(2)));
+    }
+
+    #[test]
+    fn age_next_increments() {
+        assert_eq!(Age(7).next(), Age(8));
+        assert!(Age(7).is_older_than(Age(7).next()));
+    }
+
+    #[test]
+    fn oldest_is_older_than_any_renamed_age() {
+        // Rename starts handing out ages at 1, so OLDEST never collides.
+        assert!(Age::OLDEST.is_older_than(Age(1)));
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let mut c = Cycle(10);
+        c.tick();
+        assert_eq!(c, Cycle(11));
+        assert_eq!(c.plus(4), Cycle(15));
+        assert_eq!(c.plus(4).since(c), 4);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(Age(5).to_string(), "#5");
+        assert_eq!(Cycle(5).to_string(), "cycle 5");
+    }
+}

@@ -1,0 +1,32 @@
+//! Common value types shared by every crate in the DMDC reproduction.
+//!
+//! The simulator manipulates three fundamental quantities — *memory
+//! addresses*, *instruction ages* and *cycle counts* — and confusing any two
+//! of them is a classic simulator bug. Each gets a dedicated newtype here
+//! ([`Addr`], [`Age`], [`Cycle`]) so the compiler keeps them apart.
+//!
+//! The crate also provides [`MemSpan`] (an address range touched by a memory
+//! access), [`AccessSize`] (the four access widths the ISA supports) and
+//! [`SplitMix64`], a tiny deterministic RNG used where reproducibility
+//! matters more than statistical quality.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmdc_types::{Addr, AccessSize, MemSpan};
+//!
+//! let store = MemSpan::new(Addr(0x1000), AccessSize::B4);
+//! let load = MemSpan::new(Addr(0x1002), AccessSize::B2);
+//! assert!(store.overlaps(load));
+//! assert_eq!(store.addr.quad_word(), load.addr.quad_word());
+//! ```
+
+mod addr;
+mod age;
+mod rng;
+mod span;
+
+pub use addr::Addr;
+pub use age::{Age, Cycle};
+pub use rng::SplitMix64;
+pub use span::{AccessSize, MemSpan};

@@ -1,0 +1,134 @@
+use core::fmt;
+
+/// A tiny deterministic pseudo-random number generator (SplitMix64).
+///
+/// Simulator components (invalidation injection, synthetic workloads) need
+/// reproducible randomness that does not depend on an external crate, so the
+/// same seed always replays the same experiment bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_types::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Any seed, including 0, is valid.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiplicative range reduction; bias is negligible for the bounds
+        // the simulator uses (all far below 2^32).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl fmt::Display for SplitMix64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SplitMix64(state={:#x})", self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut r = SplitMix64::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = SplitMix64::new(5);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,441 @@
+//! The integer suite: pointer-heavy, branch-heavy kernels in the spirit of
+//! SPECint. Each kernel leaves a checksum in `x28`.
+//!
+//! Data-segment bases are spread across the address space so kernels are
+//! individually relocatable and the invalidation injector sees a realistic
+//! footprint (all buffers are pre-declared, zero-filled).
+
+use dmdc_types::Addr;
+
+use crate::{build, Group, Workload};
+
+const LCG_MUL: &str = "1103515245";
+
+/// Open-addressing hash table: insert/update `iters` keys drawn from a
+/// 512-key space into a 1024-slot table with linear probing. Every
+/// iteration ends with a store immediately re-read (forwarding pressure).
+pub fn hash(iters: u32) -> Workload {
+    let asm = format!(
+        "        li   x10, 0x100000    # table: 4096 slots x 16B (64KB: misses L1)
+                 li   x11, {iters}
+                 li   x5, 123456789
+                 li   x6, {LCG_MUL}
+                 li   x13, 4095
+                 li   x14, 511
+                 li   x15, 40503
+                 li   x17, 0x111040    # scan array (staggered vs table mod table-size)
+                 li   x7, 0
+                 li   x28, 0
+                 li   x2, 0
+                 mv   x16, x10
+         loop:   mul  x5, x5, x6
+                 addi x5, x5, 12345
+                 srli x4, x5, 13
+                 xor  x4, x4, x2       # key depends on the last looked-up value
+                 and  x4, x4, x14
+                 addi x4, x4, 1        # key in [1, 512]
+                 mul  x8, x4, x15
+                 and  x8, x8, x13      # home slot
+         probe:  slli x9, x8, 4
+                 add  x9, x9, x10
+                 ld   x3, 0(x9)
+                 beq  x3, x0, insert
+                 beq  x3, x4, update
+                 addi x8, x8, 1
+                 and  x8, x8, x13
+                 j    probe
+         insert: sd   x4, 0(x9)
+         update: sd   x7, 8(x9)        # store address came through loads: late
+                 ld   x2, 8(x9)        # read back the value just stored
+                 add  x28, x28, x2
+                 andi x3, x7, 255
+                 bne  x3, x0, scan
+                 ld   x3, 8(x16)       # rare audit re-read of the previous
+                 add  x28, x28, x3     # slot: lands in its checking window
+         scan:   mv   x16, x9
+                 andi x9, x7, 127      # independent scan stream, 64B stride
+                 slli x9, x9, 6
+                 add  x9, x9, x17
+                 ld   x3, 0(x9)
+                 add  x28, x28, x3
+                 addi x7, x7, 1
+                 blt  x7, x11, loop
+                 halt"
+    );
+    let w = with_buffer(build("hash", Group::Int, &asm), 0x10_0000, 4096 * 16);
+    with_buffer(w, 0x11_1040, 128 * 64)
+}
+
+/// Odd-even transposition sort: `passes` bubble passes over an `n`-element
+/// array of pseudo-random 64-bit values, then a checksum sweep. Adjacent
+/// swap stores feed the next iteration's loads directly.
+pub fn sort(n: u32, passes: u32) -> Workload {
+    let asm = format!(
+        "        li   x10, 0x110000
+                 li   x11, {n}
+                 li   x12, {passes}
+                 li   x5, 42
+                 li   x6, {LCG_MUL}
+                 li   x7, 0
+         fill:   mul  x5, x5, x6
+                 addi x5, x5, 12345
+                 srli x4, x5, 16
+                 slli x9, x7, 3
+                 add  x9, x9, x10
+                 sd   x4, 0(x9)
+                 addi x7, x7, 1
+                 blt  x7, x11, fill
+                 li   x13, 0
+                 addi x14, x11, -1
+         pass:   li   x7, 0
+         inner:  slli x9, x7, 3
+                 add  x9, x9, x10
+                 ld   x2, 0(x9)
+                 ld   x3, 8(x9)
+                 ble  x2, x3, noswap
+                 sd   x3, 0(x9)
+                 sd   x2, 8(x9)
+         noswap: addi x7, x7, 1
+                 blt  x7, x14, inner
+                 addi x13, x13, 1
+                 blt  x13, x12, pass
+                 li   x7, 0
+                 li   x28, 0
+         cks:    slli x9, x7, 3
+                 add  x9, x9, x10
+                 ld   x2, 0(x9)
+                 add  x28, x28, x2
+                 addi x7, x7, 1
+                 blt  x7, x11, cks
+                 halt"
+    );
+    with_buffer(build("sort", Group::Int, &asm), 0x11_0000, u64::from(n) * 8)
+}
+
+/// Linked list: build `n` nodes, then alternately traverse (summing
+/// payloads) and reverse the list in place, `iters` times. Pure pointer
+/// chasing with serial load-to-load dependences.
+pub fn list(n: u32, iters: u32) -> Workload {
+    let asm = format!(
+        "        li   x10, 0x120000    # nodes: 16B each
+                 li   x11, {n}
+                 li   x7, 0
+         build:  slli x9, x7, 4
+                 add  x9, x9, x10
+                 addi x5, x7, 1
+                 slli x5, x5, 4
+                 add  x5, x5, x10
+                 sd   x5, 0(x9)
+                 sd   x7, 8(x9)
+                 addi x7, x7, 1
+                 blt  x7, x11, build
+                 addi x7, x11, -1
+                 slli x9, x7, 4
+                 add  x9, x9, x10
+                 sd   x0, 0(x9)
+                 mv   x20, x10         # head
+                 li   x12, {iters}
+                 li   x13, 0
+                 li   x28, 0
+         iter:   mv   x6, x20
+         trav:   ld   x2, 8(x6)
+                 add  x28, x28, x2
+                 ld   x6, 0(x6)
+                 bne  x6, x0, trav
+                 li   x5, 0
+                 li   x21, 0
+                 mv   x6, x20
+         rev:    ld   x2, 0(x6)
+                 sd   x5, 0(x6)        # next-pointer store: address chased
+                 andi x4, x21, 31      # independent payload scan alongside
+                 slli x4, x4, 4
+                 add  x4, x4, x10
+                 ld   x9, 8(x4)
+                 add  x28, x28, x9
+                 addi x21, x21, 1
+                 mv   x5, x6
+                 mv   x6, x2
+                 bne  x6, x0, rev
+                 mv   x20, x5
+                 addi x13, x13, 1
+                 blt  x13, x12, iter
+                 halt"
+    );
+    with_buffer(build("list", Group::Int, &asm), 0x12_0000, (u64::from(n) + 1) * 16)
+}
+
+/// Bit-serial CRC-32 over a `len`-byte pseudo-random buffer, `rounds`
+/// times. The inner bit loop's branch is data-dependent and essentially
+/// unpredictable.
+pub fn crc(len: u32, rounds: u32) -> Workload {
+    let asm = format!(
+        "        li   x10, 0x130000
+                 li   x11, {len}
+                 li   x5, 7
+                 li   x6, {LCG_MUL}
+                 li   x7, 0
+         fill:   mul  x5, x5, x6
+                 addi x5, x5, 12345
+                 srli x4, x5, 9
+                 add  x9, x10, x7
+                 sb   x4, 0(x9)
+                 addi x7, x7, 1
+                 blt  x7, x11, fill
+                 # polynomial 0xEDB88320 built from 16-bit pieces
+                 li   x15, 0xEDB8
+                 slli x15, x15, 16
+                 li   x16, 0x832
+                 slli x16, x16, 4
+                 or   x15, x15, x16
+                 li   x12, {rounds}
+                 li   x13, 0
+                 li   x28, -1
+         round:  li   x7, 0
+         byte:   add  x9, x10, x7
+                 lbu  x4, 0(x9)
+                 xor  x28, x28, x4
+                 li   x8, 8
+         bit:    andi x3, x28, 1
+                 srli x28, x28, 1
+                 beq  x3, x0, nobit
+                 xor  x28, x28, x15
+         nobit:  addi x8, x8, -1
+                 bne  x8, x0, bit
+                 addi x7, x7, 1
+                 blt  x7, x11, byte
+                 addi x13, x13, 1
+                 blt  x13, x12, round
+                 halt"
+    );
+    with_buffer(build("crc", Group::Int, &asm), 0x13_0000, u64::from(len))
+}
+
+/// Kernighan population count over a pseudo-random stream, histogramming
+/// the counts (read-modify-write memory traffic on a tiny table).
+pub fn bitcnt(iters: u32) -> Workload {
+    let asm = format!(
+        "        li   x10, 0x140000    # 64-bin histogram
+                 li   x11, {iters}
+                 li   x5, 99
+                 li   x6, {LCG_MUL}
+                 li   x7, 0
+                 li   x28, 0
+         loop:   mul  x5, x5, x6
+                 addi x5, x5, 12345
+                 mv   x4, x5
+                 li   x8, 0
+         pop:    addi x3, x4, -1
+                 and  x4, x4, x3
+                 addi x8, x8, 1
+                 bne  x4, x0, pop
+                 add  x28, x28, x8
+                 andi x9, x8, 63
+                 slli x9, x9, 3
+                 add  x9, x9, x10
+                 ld   x2, 0(x9)
+                 addi x2, x2, 1
+                 sd   x2, 0(x9)
+                 addi x7, x7, 1
+                 blt  x7, x11, loop
+                 halt"
+    );
+    with_buffer(build("bitcnt", Group::Int, &asm), 0x14_0000, 64 * 8)
+}
+
+/// Naive substring search for the pattern `abca` in a `len`-byte text over
+/// a 4-letter alphabet, `rounds` scans. Byte loads and early-out compares.
+pub fn strmatch(len: u32, rounds: u32) -> Workload {
+    let asm = format!(
+        "        li   x10, 0x150000
+                 li   x11, {len}
+                 li   x5, 31
+                 li   x6, {LCG_MUL}
+                 li   x7, 0
+         fill:   mul  x5, x5, x6
+                 addi x5, x5, 12345
+                 srli x4, x5, 11
+                 andi x4, x4, 3
+                 addi x4, x4, 97       # 'a'..'d'
+                 add  x9, x10, x7
+                 sb   x4, 0(x9)
+                 addi x7, x7, 1
+                 blt  x7, x11, fill
+                 li   x15, 97
+                 li   x16, 98
+                 li   x17, 99
+                 li   x12, {rounds}
+                 li   x13, 0
+                 li   x28, 0
+                 addi x14, x11, -3
+         round:  li   x7, 0
+         outer:  add  x9, x10, x7
+                 lbu  x2, 0(x9)
+                 bne  x2, x15, miss
+                 lbu  x2, 1(x9)
+                 bne  x2, x16, miss
+                 lbu  x2, 2(x9)
+                 bne  x2, x17, miss
+                 lbu  x2, 3(x9)
+                 bne  x2, x15, miss
+                 addi x28, x28, 1
+         miss:   addi x7, x7, 1
+                 blt  x7, x14, outer
+                 addi x13, x13, 1
+                 blt  x13, x12, round
+                 halt"
+    );
+    with_buffer(build("strmatch", Group::Int, &asm), 0x15_0000, u64::from(len))
+}
+
+/// Histogramming over a pointer-chased index stream: the bucket address
+/// depends on a serial permutation chase (so the store's address resolves
+/// late), while an independent scan stream keeps younger loads issuing in
+/// the meantime — the premature-load scenario the paper's mechanisms exist
+/// for. The footprint exceeds L1, adding miss-latency jitter.
+pub fn histo(iters: u32) -> Workload {
+    let asm = format!(
+        "        li   x10, 0x160000    # idx: 2048-entry permutation
+                 li   x12, 0x165040    # hist: 2048 buckets (staggered)
+                 li   x11, 0x16a080    # scan data (staggered)
+                 li   x13, 2047
+                 li   x14, {iters}
+                 li   x7, 0
+                 li   x6, 1021
+         fill:   mul  x2, x7, x6
+                 addi x2, x2, 13
+                 and  x2, x2, x13
+                 slli x9, x7, 3
+                 add  x9, x9, x10
+                 sd   x2, 0(x9)
+                 addi x7, x7, 1
+                 ble  x7, x13, fill
+                 li   x7, 0
+                 li   x3, 0            # j
+                 li   x28, 0
+                 mv   x16, x12
+         loop:   slli x9, x3, 3
+                 add  x9, x9, x10
+                 ld   x3, 0(x9)        # j = idx[j]: serial chase
+                 slli x9, x3, 3
+                 add  x9, x9, x12
+                 ld   x2, 0(x9)
+                 addi x2, x2, 1
+                 sd   x2, 0(x9)        # bucket store: address late
+                 add  x28, x28, x2
+                 andi x4, x7, 15
+                 bne  x4, x0, scan
+                 ld   x4, 0(x16)       # rare audit of the previous bucket:
+                 add  x28, x28, x4     # often still inside its window
+         scan:   mv   x16, x9
+                 andi x4, x7, 127
+                 slli x4, x4, 6        # 64B stride: a single YLA bank
+                 add  x4, x4, x11
+                 ld   x5, 0(x4)        # independent scan load
+                 add  x28, x28, x5
+                 addi x7, x7, 1
+                 blt  x7, x14, loop
+                 halt"
+    );
+    let w = with_buffer(build("histo", Group::Int, &asm), 0x16_0000, 2048 * 8);
+    let w = with_buffer(w, 0x16_5040, 2048 * 8);
+    with_buffer(w, 0x16_A080, 128 * 64)
+}
+
+/// Attaches a zero-filled data segment so the buffer is part of the
+/// program's declared footprint.
+pub(crate) fn with_buffer(w: Workload, base: u64, bytes: u64) -> Workload {
+    Workload {
+        name: w.name,
+        group: w.group,
+        program: w.program.with_data(Addr(base), vec![0u8; bytes as usize]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_isa::Emulator;
+    use dmdc_types::{AccessSize, Addr};
+
+    #[test]
+    fn sort_actually_sorts() {
+        let w = sort(64, 64); // enough passes to fully sort 64 elements
+        let mut emu = Emulator::new(&w.program);
+        emu.run(10_000_000).unwrap();
+        let mut prev = 0u64;
+        for i in 0..64u64 {
+            let v = emu.memory().read(Addr(0x11_0000 + i * 8), AccessSize::B8);
+            assert!(v >= prev, "array not sorted at index {i}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn hash_terminates_with_bounded_probes() {
+        let w = hash(3000); // 512 distinct keys, 1024 slots: always room
+        let mut emu = Emulator::new(&w.program);
+        let retired = emu.run(10_000_000).unwrap();
+        assert!(retired > 3000 * 10);
+    }
+
+    #[test]
+    fn list_reversal_preserves_sum() {
+        let w = list(32, 4);
+        let mut emu = Emulator::new(&w.program);
+        emu.run(10_000_000).unwrap();
+        // Each iteration: a traversal sum of 0..32 plus the 32 payload scan
+        // reads during reversal (payloads are position-independent).
+        assert_eq!(emu.int_reg(28), 4 * 2 * (31 * 32 / 2));
+    }
+
+    #[test]
+    fn strmatch_finds_some_matches() {
+        let w = strmatch(2048, 1);
+        let mut emu = Emulator::new(&w.program);
+        emu.run(10_000_000).unwrap();
+        // Expected ~2048/256 = 8 matches of a 4-symbol pattern over a
+        // 4-letter alphabet; anything nonzero and sane passes.
+        let matches = emu.int_reg(28);
+        assert!(matches > 0 && matches < 100, "implausible match count {matches}");
+    }
+
+    #[test]
+    fn histo_counts_every_iteration() {
+        let w = histo(500);
+        let mut emu = Emulator::new(&w.program);
+        emu.run(10_000_000).unwrap();
+        let total: u64 = (0..2048u64)
+            .map(|i| emu.memory().read(Addr(0x16_5040 + i * 8), AccessSize::B8))
+            .sum();
+        assert_eq!(total, 500, "one bucket increment per iteration");
+    }
+
+    #[test]
+    fn crc_is_deterministic() {
+        let a = {
+            let w = crc(64, 1);
+            let mut emu = Emulator::new(&w.program);
+            emu.run(10_000_000).unwrap();
+            emu.int_reg(28)
+        };
+        let b = {
+            let w = crc(64, 1);
+            let mut emu = Emulator::new(&w.program);
+            emu.run(10_000_000).unwrap();
+            emu.int_reg(28)
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn bitcnt_histogram_totals() {
+        let w = bitcnt(300);
+        let mut emu = Emulator::new(&w.program);
+        emu.run(10_000_000).unwrap();
+        let total: u64 = (0..64u64)
+            .map(|i| emu.memory().read(Addr(0x14_0000 + i * 8), AccessSize::B8))
+            .sum();
+        assert_eq!(total, 300, "one histogram hit per iteration");
+    }
+}

@@ -1,0 +1,203 @@
+//! Benchmark workloads for the DMDC reproduction.
+//!
+//! The paper evaluates on the 26 SPEC CPU2000 benchmarks (100M-instruction
+//! SimPoint regions). Those binaries cannot run on this substrate, so this
+//! crate provides the substitute documented in DESIGN.md: two suites of
+//! micro-benchmarks written in the `dmdc-isa` assembly language —
+//!
+//! * **INT** ([`int_suite`]): hash-table probing, odd-even sorting, linked
+//!   lists, bitwise CRC, population counts, substring search and
+//!   histogramming — pointer-chasing, data-dependent branches and frequent
+//!   store-to-load communication, like the SPECint mix;
+//! * **FP** ([`fp_suite`]): matrix multiply, SAXPY, a 3-point stencil, an
+//!   FIR filter, an n-body force step, a divide-heavy series and a
+//!   triangular solve — regular strided loops with long-latency FP
+//!   operations, like the SPECfp mix;
+//!
+//! plus a parameterizable synthetic kernel ([`SyntheticKernel`]) whose
+//! store→load distance, address entropy and branch noise are controlled
+//! knobs for targeted experiments.
+//!
+//! Every workload halts, leaves a checksum in `x28` (or `f28`), and
+//! pre-declares its data footprint so the invalidation injector knows the
+//! address space.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmdc_workloads::{int_suite, Scale};
+//! use dmdc_isa::Emulator;
+//!
+//! let suite = int_suite(Scale::Smoke);
+//! assert!(suite.len() >= 7);
+//! for w in &suite {
+//!     let mut emu = Emulator::new(&w.program);
+//!     emu.run(10_000_000).expect("workloads halt");
+//! }
+//! ```
+
+mod fp;
+mod int;
+mod synth;
+
+use dmdc_isa::Program;
+
+pub use synth::SyntheticKernel;
+
+/// Which suite a workload belongs to (the paper reports INT/FP averages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Integer suite.
+    Int,
+    /// Floating-point suite.
+    Fp,
+}
+
+impl std::fmt::Display for Group {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Group::Int => write!(f, "INT"),
+            Group::Fp => write!(f, "FP"),
+        }
+    }
+}
+
+/// How big a run to build. Experiments use `Default`; tests use `Smoke`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Fast CI-sized runs (tens of thousands of instructions).
+    Smoke,
+    /// Experiment-sized runs (hundreds of thousands of instructions).
+    Default,
+    /// Long runs for stable statistics (millions of instructions).
+    Large,
+}
+
+impl Scale {
+    /// The iteration multiplier this scale applies to each kernel.
+    pub fn factor(self) -> u32 {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Default => 8,
+            Scale::Large => 64,
+        }
+    }
+}
+
+/// A named, ready-to-run benchmark.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short kernel name ("hash", "mm", ...).
+    pub name: &'static str,
+    /// Suite membership.
+    pub group: Group,
+    /// The assembled program with its data segments.
+    pub program: Program,
+}
+
+/// The integer suite.
+pub fn int_suite(scale: Scale) -> Vec<Workload> {
+    let f = scale.factor();
+    vec![
+        int::hash(700 * f),
+        int::sort(96, 6 * f),
+        int::list(64, 24 * f),
+        int::crc(192, 2 * f),
+        int::bitcnt(900 * f),
+        int::strmatch(512, 3 * f),
+        int::histo(1500 * f),
+    ]
+}
+
+/// The floating-point suite.
+pub fn fp_suite(scale: Scale) -> Vec<Workload> {
+    let f = scale.factor();
+    vec![
+        fp::mm(10, 2 * f),
+        fp::saxpy(256, 8 * f),
+        fp::stencil(192, 8 * f),
+        fp::fir(256, 8, 4 * f),
+        fp::nbody(20, 2 * f),
+        fp::mc(1200 * f),
+        fp::tri(20, 8 * f),
+    ]
+}
+
+/// Both suites, INT first.
+pub fn full_suite(scale: Scale) -> Vec<Workload> {
+    let mut v = int_suite(scale);
+    v.extend(fp_suite(scale));
+    v
+}
+
+/// Assembles a kernel, panicking with a readable message on error —
+/// kernel sources are compiled into this crate, so a failure is a bug here,
+/// not a user input problem.
+pub(crate) fn build(name: &'static str, group: Group, asm: &str) -> Workload {
+    let program = dmdc_isa::Assembler::new()
+        .assemble_named(name, asm)
+        .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}\n{asm}"));
+    Workload { name, group, program }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_isa::Emulator;
+
+    #[test]
+    fn suites_have_expected_sizes_and_groups() {
+        let ints = int_suite(Scale::Smoke);
+        let fps = fp_suite(Scale::Smoke);
+        assert_eq!(ints.len(), 7);
+        assert_eq!(fps.len(), 7);
+        assert!(ints.iter().all(|w| w.group == Group::Int));
+        assert!(fps.iter().all(|w| w.group == Group::Fp));
+        assert_eq!(full_suite(Scale::Smoke).len(), 14);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = full_suite(Scale::Smoke).iter().map(|w| w.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn every_workload_halts_and_does_memory_work() {
+        for w in full_suite(Scale::Smoke) {
+            let mut emu = Emulator::new(&w.program);
+            let retired = emu.run(20_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(retired > 3_000, "{} too small: {retired} instructions", w.name);
+            assert!(retired < 5_000_000, "{} too large for smoke: {retired}", w.name);
+            assert!(emu.memory().page_count() > 0, "{} never touched memory", w.name);
+        }
+    }
+
+    #[test]
+    fn scales_monotonically_increase_work() {
+        for (small, big) in int_suite(Scale::Smoke).iter().zip(int_suite(Scale::Default).iter()) {
+            let mut a = Emulator::new(&small.program);
+            let mut b = Emulator::new(&big.program);
+            let ra = a.run(100_000_000).unwrap();
+            let rb = b.run(100_000_000).unwrap();
+            assert!(rb > ra * 2, "{}: default scale should do much more work", small.name);
+        }
+    }
+
+    #[test]
+    fn workloads_leave_nonzero_checksums() {
+        for w in full_suite(Scale::Smoke) {
+            let mut emu = Emulator::new(&w.program);
+            emu.run(20_000_000).unwrap();
+            let int_sum = emu.int_reg(28);
+            let fp_sum = emu.fp_reg(28);
+            assert!(
+                int_sum != 0 || fp_sum != 0.0,
+                "{} left no checksum in x28/f28",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Bring your own workload: write assembly for the mini ISA, attach data
+//! segments, sanity-check it on the functional emulator, then measure it
+//! under any dependence policy.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use dmdc::core::{CheckingQueuePolicy, DmdcConfig, DmdcPolicy, Interleave, YlaPolicy};
+use dmdc::isa::{Assembler, Emulator};
+use dmdc::ooo::{BaselinePolicy, CoreConfig, MemDepPolicy, SimOptions, Simulator};
+use dmdc::types::Addr;
+
+fn main() {
+    // In-place array reversal through a scratch region: stores to one end
+    // depend on loads from the other, with an independent checksum stream.
+    let src = "
+            li   x1, 0x8000       # array base (declared below)
+            li   x2, 256          # elements
+            li   x3, 0            # i
+    build:  slli x4, x3, 3
+            add  x4, x4, x1
+            mul  x5, x3, x3
+            sd   x5, 0(x4)
+            addi x3, x3, 1
+            blt  x3, x2, build
+            # reverse: swap [i] and [n-1-i]
+            li   x3, 0
+            srli x6, x2, 1        # n/2
+    rev:    slli x4, x3, 3
+            add  x4, x4, x1
+            sub  x5, x2, x3
+            addi x5, x5, -1
+            slli x5, x5, 3
+            add  x5, x5, x1
+            ld   x7, 0(x4)
+            ld   x8, 0(x5)
+            sd   x8, 0(x4)
+            sd   x7, 0(x5)
+            addi x3, x3, 1
+            blt  x3, x6, rev
+            # checksum
+            li   x3, 0
+            li   x28, 0
+    cks:    slli x4, x3, 3
+            add  x4, x4, x1
+            ld   x5, 0(x4)
+            add  x28, x28, x5
+            addi x3, x3, 1
+            blt  x3, x2, cks
+            halt";
+
+    let program = Assembler::new()
+        .assemble_named("reverse", src)
+        .expect("assembles")
+        .with_data(Addr(0x8000), vec![0u8; 256 * 8]);
+
+    // 1. Functional reference.
+    let mut emu = Emulator::new(&program);
+    emu.run(10_000_000).expect("halts");
+    println!("emulator: {} instructions, checksum x28 = {}", emu.retired(), emu.int_reg(28));
+
+    // 2. Timing runs under four different dependence-checking designs.
+    let config = CoreConfig::config2();
+    let policies: Vec<Box<dyn MemDepPolicy>> = vec![
+        Box::new(BaselinePolicy::new()),
+        Box::new(YlaPolicy::new(8, Interleave::QuadWord)),
+        Box::new(DmdcPolicy::new(DmdcConfig::global(&config))),
+        Box::new(CheckingQueuePolicy::new(&config, 16)),
+    ];
+    println!("\n{:<20} {:>8} {:>6} {:>12} {:>9}", "policy", "cycles", "IPC", "LQ searches", "replays");
+    for policy in policies {
+        let name = policy.name().to_string();
+        let mut sim = Simulator::new(&program, config.clone(), policy);
+        let r = sim.run(SimOptions::default()).expect("halts");
+        assert_eq!(r.checksum, emu.state_checksum(), "{name} diverged");
+        println!(
+            "{:<20} {:>8} {:>6.2} {:>12} {:>9}",
+            name,
+            r.stats.cycles,
+            r.stats.ipc(),
+            r.stats.energy.lq_cam_searches,
+            r.stats.replay_squashes
+        );
+    }
+    println!("\nAll designs produced the emulator's exact architectural state.");
+}

@@ -1,0 +1,42 @@
+//! Per-workload comparison of DMDC against the conventional design:
+//! timing, replays, and energy — the drill-down behind Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example dmdc_vs_baseline
+//! ```
+
+use dmdc::core::experiments::{run_workload, PolicyKind};
+use dmdc::core::report::Table;
+use dmdc::energy::EnergyModel;
+use dmdc::ooo::{CoreConfig, SimOptions};
+use dmdc::workloads::{full_suite, Scale};
+
+fn main() {
+    let config = CoreConfig::config2();
+    let base_kind = PolicyKind::Baseline;
+    let dmdc_kind = PolicyKind::DmdcGlobal;
+
+    let mut t = Table::new("DMDC vs conventional, per workload (config 2)");
+    t.headers([
+        "workload", "group", "base IPC", "dmdc IPC", "slowdown", "false replays/1M",
+        "safe stores", "LQ energy saved", "net saved",
+    ]);
+    for w in &full_suite(Scale::Default) {
+        let base = run_workload(w, &config, &base_kind, SimOptions::default());
+        let dmdc = run_workload(w, &config, &dmdc_kind, SimOptions::default());
+        let be = EnergyModel::with_geometry(base_kind.geometry(&config)).evaluate(&base.stats);
+        let de = EnergyModel::with_geometry(dmdc_kind.geometry(&config)).evaluate(&dmdc.stats);
+        t.row([
+            w.name.to_string(),
+            w.group.to_string(),
+            format!("{:.2}", base.stats.ipc()),
+            format!("{:.2}", dmdc.stats.ipc()),
+            format!("{:+.2}%", (dmdc.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0),
+            format!("{:.1}", dmdc.stats.per_million(dmdc.stats.policy.replays.false_total())),
+            format!("{:.1}%", dmdc.stats.policy.store_filter_rate() * 100.0),
+            format!("{:.1}%", (1.0 - de.lq_functionality() / be.lq_functionality()) * 100.0),
+            format!("{:.1}%", (1.0 - de.total() / be.total()) * 100.0),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,52 @@
+//! Diagnostic: per-workload YLA filter rates at several register counts,
+//! plus the ingredients behind them (issue-order overlap, cache misses,
+//! checking-window shape). Not one of the paper's figures — a tool for
+//! understanding and calibrating the workload suite.
+
+use dmdc_core::experiments::{run_workload, PolicyKind};
+use dmdc_ooo::{CoreConfig, SimOptions};
+use dmdc_workloads::{full_suite, Scale};
+
+fn main() {
+    let config = CoreConfig::config2();
+    let suite = full_suite(Scale::Default);
+    println!(
+        "{:10} {:>9} {:>6}  {:>7} {:>7} {:>7}  {:>7} {:>7} {:>8} {:>8}",
+        "workload", "instrs", "ipc", "yla1", "yla8", "yla16", "safe-ld", "l1d-mr", "replays", "win-ld"
+    );
+    for w in &suite {
+        let y1 = run_workload(
+            w,
+            &config,
+            &PolicyKind::Yla { regs: 1, line_interleaved: false },
+            SimOptions::default(),
+        );
+        let y8 = run_workload(
+            w,
+            &config,
+            &PolicyKind::Yla { regs: 8, line_interleaved: false },
+            SimOptions::default(),
+        );
+        let y16 = run_workload(
+            w,
+            &config,
+            &PolicyKind::Yla { regs: 16, line_interleaved: false },
+            SimOptions::default(),
+        );
+        let d = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        let windows = d.stats.policy.checking_windows.max(1);
+        println!(
+            "{:10} {:>9} {:>6.2}  {:>6.1}% {:>6.1}% {:>6.1}%  {:>6.1}% {:>6.1}% {:>8.1} {:>8.2}",
+            w.name,
+            y1.stats.committed,
+            y1.stats.ipc(),
+            y1.stats.policy.store_filter_rate() * 100.0,
+            y8.stats.policy.store_filter_rate() * 100.0,
+            y16.stats.policy.store_filter_rate() * 100.0,
+            d.stats.policy.safe_load_rate() * 100.0,
+            y1.stats.l1d.miss_rate() * 100.0,
+            d.stats.per_million(d.stats.policy.replays.total()),
+            d.stats.policy.window_loads as f64 / windows as f64,
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Scratch diagnostic: replay classification per workload under DMDC.
+use dmdc_core::experiments::{run_workload, PolicyKind};
+use dmdc_ooo::{CoreConfig, SimOptions};
+use dmdc_workloads::{full_suite, Scale};
+
+fn main() {
+    let config = CoreConfig::config2();
+    for w in &full_suite(Scale::Default) {
+        let r = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        let b = r.stats.policy.replays;
+        if b.total() == 0 { continue; }
+        println!(
+            "{:10} true {:4}  addrX {:4} addrY {:4}  hashB {:4} hashX {:4} hashY {:4}  (commits {})",
+            w.name, b.true_violation, b.false_addr_x, b.false_addr_y,
+            b.false_hash_before, b.false_hash_x, b.false_hash_y, r.stats.committed
+        );
+    }
+}

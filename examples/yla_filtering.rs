@@ -1,0 +1,26 @@
+//! Sweep the YLA register count and interleaving over the benchmark suite
+//! and print the Figure 2 data (plus the bloom-filter comparison from
+//! Figure 3).
+//!
+//! ```sh
+//! cargo run --release --example yla_filtering
+//! # smaller/faster:
+//! DMDC_SCALE=smoke cargo run --release --example yla_filtering
+//! ```
+
+use dmdc::core::experiments::{fig2, fig3};
+use dmdc::workloads::Scale;
+
+fn scale() -> Scale {
+    match std::env::var("DMDC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "smoke" => Scale::Smoke,
+        "large" => Scale::Large,
+        _ => Scale::Default,
+    }
+}
+
+fn main() {
+    let scale = scale();
+    println!("{}", fig2(scale).render());
+    println!("{}", fig3(scale).render());
+}

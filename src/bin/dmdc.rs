@@ -1,0 +1,304 @@
+//! `dmdc` — command-line front end for the reproduction.
+//!
+//! ```text
+//! dmdc list                                   # workloads, policies, configs
+//! dmdc run --workload histo --policy dmdc-global [--config 2] [--trace 64]
+//! dmdc run --workload synthetic --policy baseline --inval-rate 10
+//! dmdc suite --policy dmdc-global [--scale smoke|default|large]
+//! dmdc experiment fig2|fig3|fig4|fig5|table2..table6|ablations|all
+//! dmdc asm path/to/program.s                  # assemble + emulate a file
+//! ```
+
+use std::process::ExitCode;
+
+use dmdc::core::experiments::{self, run_workload, PolicyKind};
+use dmdc::core::report::Table;
+use dmdc::isa::{Assembler, Emulator};
+use dmdc::ooo::{CoreConfig, SimOptions, Simulator};
+use dmdc::workloads::{full_suite, Scale, SyntheticKernel, Workload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `dmdc help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("experiment") => cmd_experiment(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn usage() -> String {
+    "dmdc — DMDC (MICRO 2006) reproduction driver
+
+USAGE:
+  dmdc list
+  dmdc run --workload <name> --policy <name> [--config 1|2|3]
+           [--scale smoke|default|large] [--inval-rate R] [--trace N]
+  dmdc suite --policy <name> [--config N] [--scale S]
+  dmdc experiment <fig2|fig3|fig4|fig5|table2|table3|table4|table5|table6|ablations|all>
+           [--scale S]
+  dmdc asm <file.s>
+"
+    .to_string()
+}
+
+/// Parses `--key value` pairs; returns an error for stray arguments.
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut flags = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{a}`"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    Ok(match name {
+        "baseline" => PolicyKind::Baseline,
+        "baseline-coherent" => PolicyKind::BaselineCoherent,
+        "dmdc-global" | "dmdc" => PolicyKind::DmdcGlobal,
+        "dmdc-local" => PolicyKind::DmdcLocal,
+        "dmdc-coherent" => PolicyKind::DmdcCoherent,
+        "dmdc-no-safe-loads" => PolicyKind::DmdcNoSafeLoads,
+        other => {
+            if let Some(regs) = other.strip_prefix("yla-") {
+                let regs: u32 = regs.parse().map_err(|_| format!("bad YLA count in `{other}`"))?;
+                PolicyKind::Yla { regs, line_interleaved: false }
+            } else if let Some(entries) = other.strip_prefix("bloom-") {
+                let entries: u32 =
+                    entries.parse().map_err(|_| format!("bad bloom size in `{other}`"))?;
+                PolicyKind::Bloom { entries }
+            } else if let Some(entries) = other.strip_prefix("queue-") {
+                let entries: u32 =
+                    entries.parse().map_err(|_| format!("bad queue size in `{other}`"))?;
+                PolicyKind::CheckingQueue { entries }
+            } else {
+                return Err(format!("unknown policy `{other}` (see `dmdc list`)"));
+            }
+        }
+    })
+}
+
+fn parse_config(flags: &std::collections::HashMap<String, String>) -> Result<CoreConfig, String> {
+    match flags.get("config").map(String::as_str).unwrap_or("2") {
+        "1" => Ok(CoreConfig::config1()),
+        "2" => Ok(CoreConfig::config2()),
+        "3" => Ok(CoreConfig::config3()),
+        other => Err(format!("unknown config `{other}` (1, 2 or 3)")),
+    }
+}
+
+fn parse_scale(flags: &std::collections::HashMap<String, String>) -> Result<Scale, String> {
+    match flags.get("scale").map(String::as_str).unwrap_or("default") {
+        "smoke" => Ok(Scale::Smoke),
+        "default" => Ok(Scale::Default),
+        "large" => Ok(Scale::Large),
+        other => Err(format!("unknown scale `{other}`")),
+    }
+}
+
+fn find_workload(name: &str, scale: Scale) -> Result<Workload, String> {
+    if name == "synthetic" {
+        return Ok(SyntheticKernel::new(20_000 * scale.factor()).branch_noise(true).build());
+    }
+    full_suite(scale)
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| format!("unknown workload `{name}` (see `dmdc list`)"))
+}
+
+fn cmd_list() {
+    println!("workloads (INT): hash sort list crc bitcnt strmatch histo");
+    println!("workloads (FP):  mm saxpy stencil fir nbody mc tri");
+    println!("                 synthetic (parameterizable kernel)");
+    println!();
+    println!("policies: baseline baseline-coherent yla-<N> bloom-<N>");
+    println!("          dmdc-global dmdc-local dmdc-coherent dmdc-no-safe-loads queue-<N>");
+    println!();
+    println!("configs:  1 (ROB 128)  2 (ROB 256, default)  3 (ROB 512)");
+    println!("scales:   smoke default large");
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let workload_name = flags.get("workload").ok_or("--workload is required")?;
+    let policy = parse_policy(flags.get("policy").ok_or("--policy is required")?)?;
+    let config = parse_config(&flags)?;
+    let scale = parse_scale(&flags)?;
+    let workload = find_workload(workload_name, scale)?;
+
+    let mut opts = SimOptions::default();
+    if let Some(rate) = flags.get("inval-rate") {
+        opts.inval_per_kcycle = rate.parse().map_err(|_| "bad --inval-rate")?;
+    }
+    if let Some(n) = flags.get("trace") {
+        opts.trace_capacity = n.parse().map_err(|_| "bad --trace")?;
+    }
+    if let Some(n) = flags.get("max-commits") {
+        opts.max_commits = Some(n.parse().map_err(|_| "bad --max-commits")?);
+    }
+
+    // Drive the simulator directly so the trace is accessible afterwards.
+    let mut sim = Simulator::new(&workload.program, config.clone(), policy.build(&config));
+    let result = sim.run(opts).map_err(|e| e.to_string())?;
+    if opts.trace_capacity > 0 {
+        println!("{}", sim.trace().render());
+    }
+
+    let s = &result.stats;
+    println!("workload {} under {policy:?} on {}", workload.name, config.name);
+    println!("  cycles        {:>12}", s.cycles);
+    println!("  committed     {:>12}  (IPC {:.2})", s.committed, s.ipc());
+    println!("  loads/stores  {:>12}  / {}", s.loads, s.stores);
+    println!("  mispredicts   {:>12}", s.mispredicts);
+    println!("  replays       {:>12}  ({:.1} false / 1M)", s.replay_squashes, s.per_million(s.policy.replays.false_total()));
+    println!("  safe stores   {:>11.1}%", s.policy.store_filter_rate() * 100.0);
+    println!("  safe loads    {:>11.1}%", s.policy.safe_load_rate() * 100.0);
+    println!("  LQ searches   {:>12}", s.energy.lq_cam_searches);
+    println!("  L1D miss rate {:>11.1}%", s.l1d.miss_rate() * 100.0);
+    if s.policy.invalidations > 0 {
+        println!("  invalidations {:>12}", s.policy.invalidations);
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let policy = parse_policy(flags.get("policy").map(String::as_str).unwrap_or("dmdc-global"))?;
+    let config = parse_config(&flags)?;
+    let scale = parse_scale(&flags)?;
+    let mut t = Table::new(format!("suite under {policy:?} on {}", config.name));
+    t.headers(["workload", "group", "IPC", "replays/1M", "safe stores", "safe loads"]);
+    for w in &full_suite(scale) {
+        let r = run_workload(w, &config, &policy, SimOptions::default());
+        t.row([
+            w.name.to_string(),
+            w.group.to_string(),
+            format!("{:.2}", r.stats.ipc()),
+            format!("{:.1}", r.stats.per_million(r.stats.policy.replays.total())),
+            format!("{:.1}%", r.stats.policy.store_filter_rate() * 100.0),
+            format!("{:.1}%", r.stats.policy.safe_load_rate() * 100.0),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_experiment(args: &[String]) -> Result<(), String> {
+    let which = args.first().ok_or("which experiment? (fig2..fig5, table2..table6, ablations, all)")?;
+    let flags = parse_flags(&args[1..])?;
+    let scale = parse_scale(&flags)?;
+    let config = CoreConfig::config2();
+    let suite = full_suite(scale);
+    let run = |name: &str| -> Result<(), String> {
+        match name {
+            "fig2" => println!("{}", experiments::fig2_on(&suite, &config).render()),
+            "fig3" => println!("{}", experiments::fig3_on(&suite, &config).render()),
+            "fig4" => println!("{}", experiments::fig4_on(&suite, &CoreConfig::all()).render()),
+            "fig5" => println!("{}", experiments::fig5_on(&suite, &CoreConfig::all()).render()),
+            "table2" => println!("{}", experiments::window_stats_on(&suite, &config, false).render()),
+            "table3" => println!("{}", experiments::replay_breakdown_on(&suite, &config, false).render()),
+            "table4" => println!("{}", experiments::window_stats_on(&suite, &config, true).render()),
+            "table5" => println!("{}", experiments::replay_breakdown_on(&suite, &config, true).render()),
+            "table6" => println!("{}", experiments::table6_on(&suite, &config, &[0.0, 1.0, 10.0, 100.0]).render()),
+            "ablations" => {
+                println!("{}", experiments::checking_queue_ablation_on(&suite, &config, &[4, 8, 16, 32]).render());
+                println!("{}", experiments::table_size_ablation_on(&suite, &config, &[256, 1024, 2048, 4096]).render());
+                println!("{}", experiments::safe_load_ablation_on(&suite, &config).render());
+                println!("{}", experiments::sq_filter_potential_on(&suite, &config).render());
+                println!("{}", experiments::yla_energy_on(&suite, &config).render());
+            }
+            other => return Err(format!("unknown experiment `{other}`")),
+        }
+        Ok(())
+    };
+    if which == "all" {
+        for name in ["fig2", "fig3", "fig4", "fig5", "table2", "table3", "table4", "table5", "table6", "ablations"] {
+            run(name)?;
+        }
+        Ok(())
+    } else {
+        run(which)
+    }
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("asm needs a file path")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = Assembler::new()
+        .assemble_named(path, &src)
+        .map_err(|e| format!("{path}:{e}"))?;
+    let mut emu = Emulator::new(&program);
+    let retired = emu.run(500_000_000).map_err(|e| e.to_string())?;
+    println!("{path}: {retired} instructions retired");
+    println!("  x28 = {} ({:#x})", emu.int_reg(28) as i64, emu.int_reg(28));
+    println!("  f28 = {}", emu.fp_reg(28));
+    println!("  state checksum = {:#018x}", emu.state_checksum());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_pairs_and_reject_strays() {
+        let args: Vec<String> =
+            ["--workload", "histo", "--config", "2"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f["workload"], "histo");
+        assert_eq!(f["config"], "2");
+        assert!(parse_flags(&["stray".to_string()]).is_err());
+        assert!(parse_flags(&["--dangling".to_string()]).is_err());
+    }
+
+    #[test]
+    fn policies_parse() {
+        assert_eq!(parse_policy("baseline").unwrap(), PolicyKind::Baseline);
+        assert_eq!(parse_policy("dmdc").unwrap(), PolicyKind::DmdcGlobal);
+        assert_eq!(
+            parse_policy("yla-8").unwrap(),
+            PolicyKind::Yla { regs: 8, line_interleaved: false }
+        );
+        assert_eq!(parse_policy("bloom-256").unwrap(), PolicyKind::Bloom { entries: 256 });
+        assert_eq!(parse_policy("queue-16").unwrap(), PolicyKind::CheckingQueue { entries: 16 });
+        assert!(parse_policy("nonsense").is_err());
+    }
+
+    #[test]
+    fn workloads_resolve() {
+        assert!(find_workload("histo", Scale::Smoke).is_ok());
+        assert!(find_workload("synthetic", Scale::Smoke).is_ok());
+        assert!(find_workload("nope", Scale::Smoke).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&["bogus".to_string()]).is_err());
+    }
+}

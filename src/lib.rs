@@ -1,0 +1,16 @@
+//! Facade crate for the DMDC reproduction.
+//!
+//! Re-exports the public API of every workspace crate so downstream users
+//! (and the examples and integration tests in this repository) only need a
+//! single dependency.
+//!
+//! See the README for a tour; the paper's primary contribution lives in
+//! [`core`] ([`dmdc_core`]), the out-of-order processor substrate in
+//! [`ooo`] ([`dmdc_ooo`]).
+
+pub use dmdc_core as core;
+pub use dmdc_energy as energy;
+pub use dmdc_isa as isa;
+pub use dmdc_ooo as ooo;
+pub use dmdc_types as types;
+pub use dmdc_workloads as workloads;

@@ -1,0 +1,73 @@
+//! Invalidation-traffic behaviour (paper §6.2.4): correctness under
+//! injected invalidations for both the conventional coherent design and
+//! coherence-enabled DMDC, plus the qualitative trends of Table 6.
+
+use dmdc::core::experiments::{run_workload, PolicyKind};
+use dmdc::ooo::{CoreConfig, SimOptions};
+use dmdc::workloads::{full_suite, Scale, SyntheticKernel};
+
+fn opts(rate: f64) -> SimOptions {
+    SimOptions { inval_per_kcycle: rate, inval_seed: 11, ..SimOptions::default() }
+}
+
+#[test]
+fn both_coherent_designs_survive_heavy_invalidation_traffic() {
+    let config = CoreConfig::config2();
+    for w in &full_suite(Scale::Smoke) {
+        for kind in [PolicyKind::BaselineCoherent, PolicyKind::DmdcCoherent] {
+            // Checksum verification inside run_workload is the assertion.
+            let r = run_workload(w, &config, &kind, opts(100.0));
+            assert!(r.stats.policy.invalidations > 0, "{} under {kind:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn invalidations_increase_checking_pressure_monotonically() {
+    let config = CoreConfig::config2();
+    let w = SyntheticKernel::new(20_000).store_load_gap(3).branch_noise(true).build();
+    let mut prev_checking = 0;
+    for rate in [0.0, 10.0, 100.0] {
+        let r = run_workload(&w, &config, &PolicyKind::DmdcCoherent, opts(rate));
+        let checking = r.stats.policy.checking_mode_cycles;
+        assert!(
+            checking >= prev_checking,
+            "checking-mode cycles should grow with invalidation rate ({checking} < {prev_checking} at {rate})"
+        );
+        prev_checking = checking;
+    }
+}
+
+#[test]
+fn zero_rate_coherent_dmdc_matches_plain_dmdc_closely() {
+    // With no invalidations ever injected, the coherent build does the same
+    // work (plus the second YLA set, which only *reduces* unsafe stores).
+    let config = CoreConfig::config2();
+    for w in &full_suite(Scale::Smoke) {
+        let plain = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        let coh = run_workload(w, &config, &PolicyKind::DmdcCoherent, opts(0.0));
+        assert!(
+            coh.stats.policy.safe_stores >= plain.stats.policy.safe_stores,
+            "{}: the extra YLA set can only help",
+            w.name
+        );
+        assert_eq!(coh.stats.policy.invalidations, 0);
+    }
+}
+
+#[test]
+fn conventional_coherence_searches_on_every_load() {
+    // The POWER4 scheme's cost: with coherence on, loads also search the
+    // LQ, so searches far exceed the store-only baseline.
+    let config = CoreConfig::config2();
+    let w = &full_suite(Scale::Smoke)[0];
+    let base = run_workload(w, &config, &PolicyKind::Baseline, SimOptions::default());
+    let coh = run_workload(w, &config, &PolicyKind::BaselineCoherent, opts(1.0));
+    assert!(
+        coh.stats.energy.lq_cam_searches
+            > base.stats.energy.lq_cam_searches + base.stats.loads / 2,
+        "coherent baseline must search per load ({} vs {})",
+        coh.stats.energy.lq_cam_searches,
+        base.stats.energy.lq_cam_searches
+    );
+}

@@ -1,0 +1,65 @@
+//! Instruction-by-instruction equivalence: the timing simulator's stream of
+//! committed program counters must equal the functional emulator's retired
+//! stream — a much stronger statement than final-state checksums, since it
+//! pins the *order and identity* of every architecturally executed
+//! instruction, across squashes, replays and wrong-path excursions.
+
+use dmdc::core::experiments::PolicyKind;
+use dmdc::isa::Emulator;
+use dmdc::ooo::{CoreConfig, SimOptions, Simulator};
+use dmdc::workloads::{full_suite, Scale, SyntheticKernel, Workload};
+
+fn emulator_pc_stream(w: &Workload) -> Vec<u32> {
+    let mut emu = Emulator::new(&w.program);
+    let mut pcs = Vec::new();
+    while !emu.halted() {
+        let r = emu.step().expect("emulates");
+        pcs.push(r.pc);
+        assert!(pcs.len() < 50_000_000, "runaway");
+    }
+    pcs
+}
+
+fn sim_pc_stream(w: &Workload, kind: &PolicyKind) -> Vec<u32> {
+    let config = CoreConfig::config2();
+    let mut sim = Simulator::new(&w.program, config.clone(), kind.build(&config));
+    let opts = SimOptions { collect_commit_log: true, ..SimOptions::default() };
+    let r = sim.run(opts).expect("halts");
+    assert!(r.halted);
+    r.commit_log
+}
+
+#[test]
+fn commit_streams_match_the_emulator_for_every_workload() {
+    for w in &full_suite(Scale::Smoke) {
+        let golden = emulator_pc_stream(w);
+        for kind in [PolicyKind::Baseline, PolicyKind::DmdcGlobal] {
+            let sim = sim_pc_stream(w, &kind);
+            assert_eq!(
+                sim.len(),
+                golden.len(),
+                "{} under {kind:?}: committed {} instructions, emulator retired {}",
+                w.name,
+                sim.len(),
+                golden.len()
+            );
+            if let Some(i) = (0..golden.len()).find(|&i| sim[i] != golden[i]) {
+                panic!(
+                    "{} under {kind:?}: commit stream diverges at instruction {i}: \
+                     sim pc {} vs emulator pc {}",
+                    w.name, sim[i], golden[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_heavy_kernel_commits_each_instruction_exactly_once() {
+    // Tight store-load collisions force replays; the commit stream must
+    // still be the architectural stream with no duplicates or holes.
+    let w = SyntheticKernel::new(2_000).addr_bits(2).store_load_gap(1).branch_noise(true).build();
+    let golden = emulator_pc_stream(&w);
+    let sim = sim_pc_stream(&w, &PolicyKind::DmdcGlobal);
+    assert_eq!(sim, golden);
+}

@@ -1,0 +1,56 @@
+//! Reproducibility: identical inputs produce bit-identical simulations,
+//! including under injected invalidation traffic (which is seeded).
+
+use dmdc::core::experiments::{run_workload, PolicyKind};
+use dmdc::ooo::{CoreConfig, SimOptions};
+use dmdc::workloads::{int_suite, Scale, SyntheticKernel};
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let config = CoreConfig::config2();
+    let w = &int_suite(Scale::Smoke)[6]; // histo: replays, misses, windows
+    let a = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+    let b = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn invalidation_stream_is_seeded() {
+    let config = CoreConfig::config2();
+    let w = SyntheticKernel::new(3_000).store_load_gap(2).build();
+    let opts = |seed| SimOptions { inval_per_kcycle: 50.0, inval_seed: seed, ..SimOptions::default() };
+    let a = run_workload(&w, &config, &PolicyKind::DmdcCoherent, opts(7));
+    let b = run_workload(&w, &config, &PolicyKind::DmdcCoherent, opts(7));
+    let c = run_workload(&w, &config, &PolicyKind::DmdcCoherent, opts(8));
+    assert_eq!(a.stats, b.stats, "same seed, same run");
+    assert!(a.stats.policy.invalidations > 0);
+    assert_ne!(a.stats, c.stats, "different seeds should perturb the run somewhere");
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let config = CoreConfig::config2();
+    for w in &int_suite(Scale::Smoke) {
+        let r = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        let s = &r.stats;
+        assert!(s.fetched >= s.committed, "{}: fetched < committed", w.name);
+        assert!(s.loads + s.stores < s.committed, "{}", w.name);
+        assert_eq!(
+            s.policy.safe_loads + s.policy.unsafe_loads + s.load_rejections,
+            s.energy.sq_cam_searches,
+            "{}: every load issue attempt (successful or rejected) searches the SQ",
+            w.name
+        );
+        assert!(
+            s.policy.window_safe_loads <= s.policy.window_loads,
+            "{}: safe window loads exceed window loads",
+            w.name
+        );
+        assert!(
+            s.policy.single_store_windows <= s.policy.checking_windows,
+            "{}",
+            w.name
+        );
+        assert!(s.policy.checking_mode_cycles <= s.cycles, "{}", w.name);
+    }
+}

@@ -1,0 +1,72 @@
+//! The core correctness suite: every workload, under every dependence
+//! policy, on every machine configuration, must finish with exactly the
+//! architectural state the functional emulator computes.
+//!
+//! This is the strongest property the reproduction offers: premature loads
+//! really read stale memory in the timing model, so any policy that misses
+//! a violation corrupts state and fails here (or trips the simulator's
+//! stale-commit panic, which this suite would surface as a test failure).
+
+use dmdc::core::experiments::{run_workload, PolicyKind};
+use dmdc::ooo::{CoreConfig, SimOptions};
+use dmdc::workloads::{full_suite, Scale};
+
+fn all_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Baseline,
+        PolicyKind::Yla { regs: 1, line_interleaved: false },
+        PolicyKind::Yla { regs: 8, line_interleaved: false },
+        PolicyKind::Yla { regs: 8, line_interleaved: true },
+        PolicyKind::Bloom { entries: 256 },
+        PolicyKind::DmdcGlobal,
+        PolicyKind::DmdcLocal,
+        PolicyKind::DmdcNoSafeLoads,
+        PolicyKind::CheckingQueue { entries: 16 },
+    ]
+}
+
+#[test]
+fn every_policy_preserves_architectural_state_on_config2() {
+    let config = CoreConfig::config2();
+    for w in &full_suite(Scale::Smoke) {
+        for kind in &all_policies() {
+            // `run_workload` panics on a checksum mismatch.
+            let run = run_workload(w, &config, kind, SimOptions::default());
+            assert!(run.stats.committed > 1_000, "{} under {kind:?} barely ran", w.name);
+        }
+    }
+}
+
+#[test]
+fn dmdc_preserves_state_on_all_three_configs() {
+    for config in CoreConfig::all() {
+        for w in &full_suite(Scale::Smoke) {
+            run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        }
+    }
+}
+
+#[test]
+fn tiny_checking_table_still_correct() {
+    // A pathologically small table maximizes hash conflicts: false replays
+    // soar but correctness must hold.
+    let mut config = CoreConfig::config2();
+    config.checking_table_entries = 16;
+    for w in &full_suite(Scale::Smoke) {
+        let run = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        assert!(run.stats.committed > 1_000);
+    }
+}
+
+#[test]
+fn tiny_checking_queue_still_correct() {
+    // Constant overflow replays, still architecturally exact.
+    for w in &full_suite(Scale::Smoke) {
+        run_workload(
+            w,
+            &CoreConfig::config2(),
+            &PolicyKind::CheckingQueue { entries: 1 },
+            SimOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-policy timing invariants.
+//!
+//! YLA and bloom filtering only decide whether the LQ *search* happens —
+//! the search itself is free in the timing model — so as long as they
+//! request exactly the same replays as the baseline, their cycle counts
+//! must be bit-identical to the baseline's. This pins down that the
+//! filters are pure energy optimizations, which is the paper's claim
+//! ("the savings are obtained without a performance impact", §6.1).
+
+use dmdc::core::experiments::{run_workload, PolicyKind};
+use dmdc::ooo::{CoreConfig, SimOptions};
+use dmdc::workloads::{full_suite, Scale};
+
+#[test]
+fn yla_filtering_never_changes_timing() {
+    let config = CoreConfig::config2();
+    for w in &full_suite(Scale::Smoke) {
+        let base = run_workload(w, &config, &PolicyKind::Baseline, SimOptions::default());
+        for regs in [1, 8] {
+            let yla = run_workload(
+                w,
+                &config,
+                &PolicyKind::Yla { regs, line_interleaved: false },
+                SimOptions::default(),
+            );
+            assert_eq!(
+                base.stats.cycles, yla.stats.cycles,
+                "{}: YLA-{regs} changed the cycle count",
+                w.name
+            );
+            assert_eq!(base.stats.replay_squashes, yla.stats.replay_squashes);
+        }
+    }
+}
+
+#[test]
+fn bloom_filtering_never_changes_timing() {
+    let config = CoreConfig::config2();
+    for w in &full_suite(Scale::Smoke) {
+        let base = run_workload(w, &config, &PolicyKind::Baseline, SimOptions::default());
+        let bloom =
+            run_workload(w, &config, &PolicyKind::Bloom { entries: 128 }, SimOptions::default());
+        assert_eq!(base.stats.cycles, bloom.stats.cycles, "{}", w.name);
+    }
+}
+
+#[test]
+fn yla_filter_energy_strictly_below_baseline() {
+    // The searches YLA performs are a subset of the baseline's.
+    let config = CoreConfig::config2();
+    for w in &full_suite(Scale::Smoke) {
+        let base = run_workload(w, &config, &PolicyKind::Baseline, SimOptions::default());
+        let yla = run_workload(
+            w,
+            &config,
+            &PolicyKind::Yla { regs: 8, line_interleaved: false },
+            SimOptions::default(),
+        );
+        assert!(
+            yla.stats.energy.lq_cam_searches <= base.stats.energy.lq_cam_searches,
+            "{}: filtering must not add searches",
+            w.name
+        );
+        // Every search the baseline performs corresponds to a resolved
+        // store; YLA classifies the same stores.
+        assert_eq!(
+            yla.stats.policy.safe_stores + yla.stats.policy.unsafe_stores,
+            base.stats.energy.lq_cam_searches,
+            "{}: store-resolve counts must agree",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn dmdc_slowdown_is_bounded() {
+    // DMDC may replay (slower) and may exploit the lifted in-flight-load
+    // limit (faster); either way the paper's headline is a ~0.3% average
+    // impact. Allow a generous 5% per-workload band at smoke scale.
+    let config = CoreConfig::config2();
+    for w in &full_suite(Scale::Smoke) {
+        let base = run_workload(w, &config, &PolicyKind::Baseline, SimOptions::default());
+        let dmdc = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        let ratio = dmdc.stats.cycles as f64 / base.stats.cycles as f64;
+        assert!(
+            (0.7..1.05).contains(&ratio),
+            "{}: DMDC cycle ratio {ratio:.3} outside the plausible band",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn local_dmdc_never_replays_more_than_global() {
+    let config = CoreConfig::config2();
+    let mut global_total = 0;
+    let mut local_total = 0;
+    for w in &full_suite(Scale::Smoke) {
+        let g = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        let l = run_workload(w, &config, &PolicyKind::DmdcLocal, SimOptions::default());
+        global_total += g.stats.policy.replays.false_total();
+        local_total += l.stats.policy.replays.false_total();
+    }
+    assert!(
+        local_total <= global_total,
+        "local windows must not increase false replays (local {local_total} vs global {global_total})"
+    );
+}
+
+#[test]
+fn safe_load_logic_reduces_false_replays() {
+    let config = CoreConfig::config2();
+    let mut with_total = 0;
+    let mut without_total = 0;
+    for w in &full_suite(Scale::Smoke) {
+        let with = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        let without = run_workload(w, &config, &PolicyKind::DmdcNoSafeLoads, SimOptions::default());
+        with_total += with.stats.policy.replays.false_total();
+        without_total += without.stats.policy.replays.false_total();
+    }
+    assert!(
+        with_total <= without_total,
+        "safe loads must not hurt ({with_total} with vs {without_total} without)"
+    );
+}

@@ -1,0 +1,76 @@
+//! Property-based end-to-end tests: random synthetic kernels, random
+//! machine geometries — the golden-state invariant and the filters'
+//! soundness must hold for all of them.
+
+use dmdc::core::experiments::{run_workload, PolicyKind};
+use dmdc::ooo::{CoreConfig, SimOptions};
+use dmdc::workloads::SyntheticKernel;
+use proptest::prelude::*;
+
+fn kernel_strategy() -> impl Strategy<Value = SyntheticKernel> {
+    (500u32..3_000, 1u32..10, 0u32..16, any::<bool>(), 1u32..10_000).prop_map(
+        |(iters, addr_bits, gap, noise, seed)| {
+            SyntheticKernel::new(iters)
+                .addr_bits(addr_bits.clamp(1, 12))
+                .store_load_gap(gap)
+                .branch_noise(noise)
+                .seed(seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dmdc_golden_state_holds_for_random_kernels(k in kernel_strategy()) {
+        let w = k.build();
+        // run_workload panics on state divergence.
+        run_workload(&w, &CoreConfig::config2(), &PolicyKind::DmdcGlobal, SimOptions::default());
+    }
+
+    #[test]
+    fn local_dmdc_and_tiny_tables_hold_for_random_kernels(k in kernel_strategy()) {
+        let w = k.build();
+        let mut config = CoreConfig::config1();
+        config.checking_table_entries = 32; // deliberate hash-conflict storm
+        run_workload(&w, &config, &PolicyKind::DmdcLocal, SimOptions::default());
+    }
+
+    #[test]
+    fn yla_timing_neutrality_holds_for_random_kernels(k in kernel_strategy()) {
+        let w = k.build();
+        let config = CoreConfig::config2();
+        let base = run_workload(&w, &config, &PolicyKind::Baseline, SimOptions::default());
+        let yla = run_workload(
+            &w,
+            &config,
+            &PolicyKind::Yla { regs: 4, line_interleaved: false },
+            SimOptions::default(),
+        );
+        prop_assert_eq!(base.stats.cycles, yla.stats.cycles);
+        prop_assert!(yla.stats.energy.lq_cam_searches <= base.stats.energy.lq_cam_searches);
+    }
+
+    #[test]
+    fn checking_queue_holds_under_overflow_pressure(k in kernel_strategy()) {
+        let w = k.build();
+        run_workload(
+            &w,
+            &CoreConfig::config2(),
+            &PolicyKind::CheckingQueue { entries: 2 },
+            SimOptions::default(),
+        );
+    }
+
+    #[test]
+    fn coherent_dmdc_holds_under_random_invalidation_rates(
+        k in kernel_strategy(),
+        rate in 0.0f64..120.0,
+        seed in 1u64..1000,
+    ) {
+        let w = k.build();
+        let opts = SimOptions { inval_per_kcycle: rate, inval_seed: seed, ..SimOptions::default() };
+        run_workload(&w, &CoreConfig::config2(), &PolicyKind::DmdcCoherent, opts);
+    }
+}
