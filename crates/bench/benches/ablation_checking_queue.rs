@@ -13,6 +13,10 @@ fn main() {
     println!("{}", ablation.render());
 
     let mut c = criterion();
-    bench_policy_throughput(&mut c, "sim/checking-queue16", PolicyKind::CheckingQueue { entries: 16 });
+    bench_policy_throughput(
+        &mut c,
+        "sim/checking-queue16",
+        PolicyKind::CheckingQueue { entries: 16 },
+    );
     finish(c);
 }

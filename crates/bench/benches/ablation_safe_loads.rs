@@ -8,9 +8,16 @@ use dmdc_workloads::full_suite;
 
 fn main() {
     let suite = full_suite(scale_from_env());
-    println!("{}", safe_load_ablation_on(&suite, &CoreConfig::config2()).render());
+    println!(
+        "{}",
+        safe_load_ablation_on(&suite, &CoreConfig::config2()).render()
+    );
 
     let mut c = criterion();
-    bench_policy_throughput(&mut c, "sim/dmdc-no-safe-loads", PolicyKind::DmdcNoSafeLoads);
+    bench_policy_throughput(
+        &mut c,
+        "sim/dmdc-no-safe-loads",
+        PolicyKind::DmdcNoSafeLoads,
+    );
     finish(c);
 }

@@ -9,7 +9,10 @@ use dmdc_workloads::full_suite;
 
 fn main() {
     let suite = full_suite(scale_from_env());
-    println!("{}", sq_filter_potential_on(&suite, &CoreConfig::config2()).render());
+    println!(
+        "{}",
+        sq_filter_potential_on(&suite, &CoreConfig::config2()).render()
+    );
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/baseline-sqfilter", PolicyKind::Baseline);

@@ -9,8 +9,11 @@ use dmdc_workloads::full_suite;
 
 fn main() {
     let suite = full_suite(scale_from_env());
-    let ablation =
-        table_size_ablation_on(&suite, &CoreConfig::config2(), &[256, 512, 1024, 2048, 4096]);
+    let ablation = table_size_ablation_on(
+        &suite,
+        &CoreConfig::config2(),
+        &[256, 512, 1024, 2048, 4096],
+    );
     println!("{}", ablation.render());
 
     let mut c = criterion();

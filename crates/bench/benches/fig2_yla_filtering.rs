@@ -10,6 +10,13 @@ fn main() {
     println!("{}", yla_energy(scale).render());
 
     let mut c = criterion();
-    bench_policy_throughput(&mut c, "sim/yla8", PolicyKind::Yla { regs: 8, line_interleaved: false });
+    bench_policy_throughput(
+        &mut c,
+        "sim/yla8",
+        PolicyKind::Yla {
+            regs: 8,
+            line_interleaved: false,
+        },
+    );
     finish(c);
 }

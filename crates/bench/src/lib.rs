@@ -17,7 +17,11 @@ use dmdc_workloads::{Scale, SyntheticKernel};
 /// Reads `DMDC_SCALE` (`smoke` | `default` | `large`), defaulting to
 /// [`Scale::Default`].
 pub fn scale_from_env() -> Scale {
-    match std::env::var("DMDC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("DMDC_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "smoke" => Scale::Smoke,
         "large" => Scale::Large,
         _ => Scale::Default,

@@ -42,8 +42,13 @@ impl CountingBloom {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: u32) -> CountingBloom {
-        assert!(entries.is_power_of_two(), "bloom filter size must be a power of two");
-        CountingBloom { counters: vec![0; entries as usize] }
+        assert!(
+            entries.is_power_of_two(),
+            "bloom filter size must be a power of two"
+        );
+        CountingBloom {
+            counters: vec![0; entries as usize],
+        }
     }
 
     /// Number of counters.
@@ -76,7 +81,10 @@ impl CountingBloom {
     /// tracking bug in the caller.
     pub fn remove(&mut self, addr: Addr) {
         let i = self.index(addr);
-        assert!(self.counters[i] > 0, "counting bloom underflow at entry {i}");
+        assert!(
+            self.counters[i] > 0,
+            "counting bloom underflow at entry {i}"
+        );
         self.counters[i] -= 1;
     }
 
@@ -142,7 +150,10 @@ impl MemDepPolicy for BloomPolicy {
         ctx.energy.bloom_reads += 1;
         if !self.filter.may_contain(span.addr) {
             ctx.stats.safe_stores += 1;
-            return StoreResolution { safe: true, replay_from: None };
+            return StoreResolution {
+                safe: true,
+                replay_from: None,
+            };
         }
         ctx.stats.unsafe_stores += 1;
         ctx.energy.lq_cam_searches += 1;
@@ -150,12 +161,18 @@ impl MemDepPolicy for BloomPolicy {
         if replay_from.is_some() {
             ctx.stats.replays.record(ReplayKind::TrueViolation);
         }
-        StoreResolution { safe: false, replay_from }
+        StoreResolution {
+            safe: false,
+            replay_from,
+        }
     }
 
     fn on_commit(&mut self, ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
         if info.kind == CommitKind::Load {
-            debug_assert!(info.value_correct, "bloom filtering let a stale load commit");
+            debug_assert!(
+                info.value_correct,
+                "bloom filtering let a stale load commit"
+            );
             // The committing load leaves the in-flight window.
             if let Some(pos) = self.tracked.iter().position(|&(a, _)| a == info.age) {
                 let (_, addr) = self.tracked.remove(pos);
@@ -222,7 +239,11 @@ mod tests {
         let mut e = EnergyCounters::default();
         let mut s = PolicyStats::default();
         let mut lq = LoadQueue::new(8);
-        let mut ctx = PolicyCtx { cycle: Cycle(0), energy: &mut e, stats: &mut s };
+        let mut ctx = PolicyCtx {
+            cycle: Cycle(0),
+            energy: &mut e,
+            stats: &mut s,
+        };
         lq.allocate(Age(10));
         lq.entry_mut(Age(10)).unwrap().issued = true;
         lq.entry_mut(Age(10)).unwrap().span = Some(span(0x100));
@@ -247,7 +268,11 @@ mod tests {
         let mut e = EnergyCounters::default();
         let mut s = PolicyStats::default();
         let mut lq = LoadQueue::new(8);
-        let mut ctx = PolicyCtx { cycle: Cycle(0), energy: &mut e, stats: &mut s };
+        let mut ctx = PolicyCtx {
+            cycle: Cycle(0),
+            energy: &mut e,
+            stats: &mut s,
+        };
         p.on_load_issue(&mut ctx, Age(10), span(0x100), true, &mut lq);
         p.on_load_issue(&mut ctx, Age(11), span(0x200), true, &mut lq);
         p.on_load_issue(&mut ctx, Age(12), span(0x310), true, &mut lq);

@@ -125,13 +125,26 @@ impl MemDepPolicy for CheckingQueuePolicy {
         ctx.energy.yla_reads += 1;
         if self.ylas.is_safe_store(span.addr, age) {
             ctx.stats.safe_stores += 1;
-            return StoreResolution { safe: true, replay_from: None };
+            return StoreResolution {
+                safe: true,
+                replay_from: None,
+            };
         }
         ctx.stats.unsafe_stores += 1;
         let own_end = self.ylas.value_for(span.addr);
         self.end_check = self.end_check.max(own_end);
-        self.pending.insert(age, PendingStore { span, own_end, resolve_cycle: ctx.cycle });
-        StoreResolution { safe: false, replay_from: None }
+        self.pending.insert(
+            age,
+            PendingStore {
+                span,
+                own_end,
+                resolve_cycle: ctx.cycle,
+            },
+        );
+        StoreResolution {
+            safe: false,
+            replay_from: None,
+        }
     }
 
     fn on_commit(&mut self, ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
@@ -219,7 +232,8 @@ impl MemDepPolicy for CheckingQueuePolicy {
 
     fn on_squash(&mut self, _ctx: &mut PolicyCtx<'_>, youngest_surviving: Age) {
         self.ylas.on_squash(youngest_surviving);
-        self.pending.retain(|&age, _| !age.is_younger_than(youngest_surviving));
+        self.pending
+            .retain(|&age, _| !age.is_younger_than(youngest_surviving));
     }
 
     fn on_cycle(&mut self, ctx: &mut PolicyCtx<'_>) {
@@ -262,7 +276,11 @@ mod tests {
             self.cycle.tick();
             (
                 &mut self.p,
-                PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s },
+                PolicyCtx {
+                    cycle: self.cycle,
+                    energy: &mut self.e,
+                    stats: &mut self.s,
+                },
                 &mut self.lq,
             )
         }
@@ -277,7 +295,14 @@ mod tests {
             p.on_store_resolve(&mut ctx, Age(age), sp, lq).safe
         }
 
-        fn commit(&mut self, age: u64, kind: CommitKind, sp: Option<MemSpan>, safe: bool, correct: bool) -> CheckOutcome {
+        fn commit(
+            &mut self,
+            age: u64,
+            kind: CommitKind,
+            sp: Option<MemSpan>,
+            safe: bool,
+            correct: bool,
+        ) -> CheckOutcome {
             let (p, mut ctx, _) = self.parts();
             let info = CommitInfo {
                 age: Age(age),
@@ -309,7 +334,11 @@ mod tests {
         h.store_resolve(5, span(0x900, 8)); // different address, same-ish hash irrelevant
         h.commit(5, CommitKind::Store, Some(span(0x900, 8)), false, true);
         let out = h.commit(10, CommitKind::Load, Some(span(0x100, 8)), false, true);
-        assert_eq!(out, CheckOutcome::Ok, "full-address compare: no false hash replays");
+        assert_eq!(
+            out,
+            CheckOutcome::Ok,
+            "full-address compare: no false hash replays"
+        );
     }
 
     #[test]
@@ -325,7 +354,10 @@ mod tests {
         // A load to an unrelated address still replays: the queue lost a store.
         let out = h.commit(9, CommitKind::Load, Some(span(0x900, 8)), false, true);
         assert_eq!(out, CheckOutcome::Replay);
-        assert_eq!(h.s.replays.coherence, 1, "overflow replays are tallied separately");
+        assert_eq!(
+            h.s.replays.coherence, 1,
+            "overflow replays are tallied separately"
+        );
     }
 
     #[test]

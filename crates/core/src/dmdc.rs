@@ -71,7 +71,10 @@ impl DmdcConfig {
 
     /// The local-window variant (§4.4).
     pub fn local(core: &CoreConfig) -> DmdcConfig {
-        DmdcConfig { local_windows: true, ..DmdcConfig::global(core) }
+        DmdcConfig {
+            local_windows: true,
+            ..DmdcConfig::global(core)
+        }
     }
 
     /// Enables INV-bit coherence support (consuming builder).
@@ -150,7 +153,10 @@ impl DmdcPolicy {
     ///
     /// Panics if table or register counts are not powers of two.
     pub fn new(cfg: DmdcConfig) -> DmdcPolicy {
-        assert!(cfg.table_entries.is_power_of_two(), "checking table must be a power of two");
+        assert!(
+            cfg.table_entries.is_power_of_two(),
+            "checking table must be a power of two"
+        );
         let name = format!(
             "dmdc-{}-{}{}",
             if cfg.local_windows { "local" } else { "global" },
@@ -210,7 +216,12 @@ impl DmdcPolicy {
 
     fn mark_table(&mut self, ctx: &mut PolicyCtx<'_>, age: Age, ps: PendingStore) {
         let idx = self.index(ps.span.addr);
-        let marker = Marker { age, span: ps.span, resolve_cycle: ps.resolve_cycle, own_end: ps.own_end };
+        let marker = Marker {
+            age,
+            span: ps.span,
+            resolve_cycle: ps.resolve_cycle,
+            own_end: ps.own_end,
+        };
         let e = self.entry_mut(idx);
         e.wrt |= ps.span.quad_word_bitmap();
         e.markers.push(marker);
@@ -227,16 +238,21 @@ impl DmdcPolicy {
         let lbm = span.quad_word_bitmap();
         let e = &self.table[idx];
         debug_assert_eq!(e.gen, self.gen);
-        let candidates: Vec<&Marker> =
-            e.markers.iter().filter(|m| m.span.quad_word_bitmap() & lbm != 0).collect();
+        let candidates: Vec<&Marker> = e
+            .markers
+            .iter()
+            .filter(|m| m.span.quad_word_bitmap() & lbm != 0)
+            .collect();
         debug_assert!(!candidates.is_empty(), "a WRT hit implies a marking store");
         debug_assert!(
             candidates.iter().all(|m| m.age.is_older_than(info.age)),
             "marking stores committed before the load, so they are older"
         );
         let in_own_window = |m: &&Marker| info.age <= m.own_end;
-        let addr_match: Vec<&&Marker> =
-            candidates.iter().filter(|m| m.span.overlaps(span)).collect();
+        let addr_match: Vec<&&Marker> = candidates
+            .iter()
+            .filter(|m| m.span.overlaps(span))
+            .collect();
         if !addr_match.is_empty() {
             // Value was correct, so this is the timing approximation at
             // work (a silent store lands here too; see DESIGN.md).
@@ -307,7 +323,10 @@ impl MemDepPolicy for DmdcPolicy {
         }
         if safe {
             ctx.stats.safe_stores += 1;
-            return StoreResolution { safe: true, replay_from: None };
+            return StoreResolution {
+                safe: true,
+                replay_from: None,
+            };
         }
         ctx.stats.unsafe_stores += 1;
         let own_end = self.qw_ylas.value_for(span.addr);
@@ -315,8 +334,18 @@ impl MemDepPolicy for DmdcPolicy {
             // Global DMDC: push the shared register forward at issue time.
             self.end_check = self.end_check.max(own_end);
         }
-        self.pending.insert(age, PendingStore { span, own_end, resolve_cycle: ctx.cycle });
-        StoreResolution { safe: false, replay_from: None }
+        self.pending.insert(
+            age,
+            PendingStore {
+                span,
+                own_end,
+                resolve_cycle: ctx.cycle,
+            },
+        );
+        StoreResolution {
+            safe: false,
+            replay_from: None,
+        }
     }
 
     fn on_commit(&mut self, ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
@@ -398,7 +427,8 @@ impl MemDepPolicy for DmdcPolicy {
         self.qw_ylas.on_squash(youngest_surviving);
         self.line_ylas.on_squash(youngest_surviving);
         // Unsafe stores younger than the survivor will never commit.
-        self.pending.retain(|&age, _| !age.is_younger_than(youngest_surviving));
+        self.pending
+            .retain(|&age, _| !age.is_younger_than(youngest_surviving));
         // The global end_check register is deliberately *not* rolled back:
         // the paper's global design only ever pushes it forward (§4.4).
     }
@@ -410,7 +440,10 @@ impl MemDepPolicy for DmdcPolicy {
         line_bytes: u64,
         _lq: &mut LoadQueue,
     ) -> Option<Age> {
-        assert!(self.cfg.coherence, "DMDC built without coherence support received an invalidation");
+        assert!(
+            self.cfg.coherence,
+            "DMDC built without coherence support received an invalidation"
+        );
         ctx.stats.invalidations += 1;
         ctx.energy.yla_reads += 1;
         let line_end = self.line_ylas.value_for(line_addr);
@@ -483,13 +516,25 @@ mod tests {
 
         fn load_issue(&mut self, age: u64, sp: MemSpan, safe: bool) {
             self.cycle.tick();
-            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
-            assert_eq!(self.p.on_load_issue(&mut ctx, Age(age), sp, safe, &mut self.lq), None);
+            let mut ctx = PolicyCtx {
+                cycle: self.cycle,
+                energy: &mut self.e,
+                stats: &mut self.s,
+            };
+            assert_eq!(
+                self.p
+                    .on_load_issue(&mut ctx, Age(age), sp, safe, &mut self.lq),
+                None
+            );
         }
 
         fn store_resolve(&mut self, age: u64, sp: MemSpan) -> bool {
             self.cycle.tick();
-            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
+            let mut ctx = PolicyCtx {
+                cycle: self.cycle,
+                energy: &mut self.e,
+                stats: &mut self.s,
+            };
             let r = self.p.on_store_resolve(&mut ctx, Age(age), sp, &self.lq);
             assert_eq!(r.replay_from, None, "DMDC never replays at resolve");
             r.safe
@@ -497,7 +542,11 @@ mod tests {
 
         fn commit_store(&mut self, age: u64, sp: MemSpan) {
             self.cycle.tick();
-            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
+            let mut ctx = PolicyCtx {
+                cycle: self.cycle,
+                energy: &mut self.e,
+                stats: &mut self.s,
+            };
             let info = CommitInfo {
                 age: Age(age),
                 kind: CommitKind::Store,
@@ -509,9 +558,20 @@ mod tests {
             assert_eq!(self.p.on_commit(&mut ctx, &info), CheckOutcome::Ok);
         }
 
-        fn commit_load(&mut self, age: u64, sp: MemSpan, safe: bool, value_correct: bool, issued_at: u64) -> CheckOutcome {
+        fn commit_load(
+            &mut self,
+            age: u64,
+            sp: MemSpan,
+            safe: bool,
+            value_correct: bool,
+            issued_at: u64,
+        ) -> CheckOutcome {
             self.cycle.tick();
-            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
+            let mut ctx = PolicyCtx {
+                cycle: self.cycle,
+                energy: &mut self.e,
+                stats: &mut self.s,
+            };
             let info = CommitInfo {
                 age: Age(age),
                 kind: CommitKind::Load,
@@ -525,7 +585,11 @@ mod tests {
 
         fn commit_other(&mut self, age: u64) {
             self.cycle.tick();
-            let mut ctx = PolicyCtx { cycle: self.cycle, energy: &mut self.e, stats: &mut self.s };
+            let mut ctx = PolicyCtx {
+                cycle: self.cycle,
+                energy: &mut self.e,
+                stats: &mut self.s,
+            };
             let info = CommitInfo {
                 age: Age(age),
                 kind: CommitKind::Other,
@@ -553,7 +617,10 @@ mod tests {
         let mut h = Harness::small();
         // Load age 10 issues to 0x100 before store age 5 resolves.
         h.load_issue(10, span(0x100, 8), false);
-        assert!(!h.store_resolve(5, span(0x100, 8)), "younger load issued: unsafe");
+        assert!(
+            !h.store_resolve(5, span(0x100, 8)),
+            "younger load issued: unsafe"
+        );
         // Program order commits: store 5 first (opens the window)...
         h.commit_store(5, span(0x100, 8));
         assert!(h.p.active);
@@ -574,7 +641,11 @@ mod tests {
         h.commit_store(5, span(0x100, 8));
         // A correct-value load at the boundary: false replay (addr match).
         let out = h.commit_load(10, span(0x100, 8), false, true, 99);
-        assert_eq!(out, CheckOutcome::Replay, "table hit replays even when value was fine");
+        assert_eq!(
+            out,
+            CheckOutcome::Replay,
+            "table hit replays even when value was fine"
+        );
         assert!(h.s.replays.false_total() >= 1);
         // The refetched load gets a fresh, younger age; the window has
         // terminated (strict overshoot) and the table is clear.
@@ -613,7 +684,11 @@ mod tests {
         h.store_resolve(5, span(0x100, 8));
         h.commit_store(5, span(0x100, 8));
         let out = h.commit_load(10, span(0x100, 8), true, true, 50);
-        assert_eq!(out, CheckOutcome::Replay, "without the optimization, safe loads replay too");
+        assert_eq!(
+            out,
+            CheckOutcome::Replay,
+            "without the optimization, safe loads replay too"
+        );
         // Refetched with a fresh age: overshoot terminates the window first.
         let out = h.commit_load(21, span(0x100, 8), true, true, 51);
         assert_eq!(out, CheckOutcome::Ok);
@@ -641,13 +716,20 @@ mod tests {
         let mut h = Harness::small(); // 16-entry table: qw 0 and qw 16 collide
         let a = span(0x100, 8); // qw 0x20
         let b = span(0x100 + 16 * 8, 8); // qw 0x30 -> same index mod 16
-        assert_eq!(h.p.index(a.addr), h.p.index(b.addr), "test requires a collision");
+        assert_eq!(
+            h.p.index(a.addr),
+            h.p.index(b.addr),
+            "test requires a collision"
+        );
         h.load_issue(10, a, false);
         h.store_resolve(5, b);
         h.commit_store(5, b);
         let out = h.commit_load(10, a, false, true, 99);
         assert_eq!(out, CheckOutcome::Replay);
-        assert_eq!(h.s.replays.false_hash_x + h.s.replays.false_hash_y + h.s.replays.false_hash_before, 1);
+        assert_eq!(
+            h.s.replays.false_hash_x + h.s.replays.false_hash_y + h.s.replays.false_hash_before,
+            1
+        );
         assert_eq!(h.s.replays.false_addr_x + h.s.replays.false_addr_y, 0);
     }
 
@@ -662,7 +744,10 @@ mod tests {
         h.commit_store(5, b);
         let out = h.commit_load(10, a, false, true, 1);
         assert_eq!(out, CheckOutcome::Replay);
-        assert_eq!(h.s.replays.false_hash_before, 1, "load issued before the store resolved");
+        assert_eq!(
+            h.s.replays.false_hash_before, 1,
+            "load issued before the store resolved"
+        );
     }
 
     #[test]
@@ -688,7 +773,11 @@ mod tests {
     #[test]
     fn local_windows_shrink_the_merge() {
         let core = CoreConfig::config2();
-        let mut h = Harness::new(DmdcConfig { table_entries: 16, yla_regs: 4, ..DmdcConfig::local(&core) });
+        let mut h = Harness::new(DmdcConfig {
+            table_entries: 16,
+            yla_regs: 4,
+            ..DmdcConfig::local(&core)
+        });
         // Same scenario as merged_windows_classified_as_y, but local DMDC
         // publishes S1's boundary (10) at S1's commit; S2 has not committed
         // yet, so the window closes at age 10 and the age-15 load escapes.
@@ -700,7 +789,11 @@ mod tests {
         h.commit_load(10, span(0x200, 8), true, true, 0);
         assert!(!h.p.active, "local window closed at its own boundary");
         let out = h.commit_load(15, span(0x200, 8), false, true, 1_000);
-        assert_eq!(out, CheckOutcome::Ok, "no false replay outside the local window");
+        assert_eq!(
+            out,
+            CheckOutcome::Ok,
+            "no false replay outside the local window"
+        );
         assert_eq!(h.s.replays.false_total(), 0);
     }
 
@@ -710,7 +803,11 @@ mod tests {
         h.load_issue(10, span(0x100, 8), false);
         h.store_resolve(5, span(0x100, 8));
         {
-            let mut ctx = PolicyCtx { cycle: h.cycle, energy: &mut h.e, stats: &mut h.s };
+            let mut ctx = PolicyCtx {
+                cycle: h.cycle,
+                energy: &mut h.e,
+                stats: &mut h.s,
+            };
             h.p.on_squash(&mut ctx, Age(4));
         }
         // The squashed store never commits; committing past it is fine.
@@ -724,14 +821,24 @@ mod tests {
     fn invalidation_flow_enforces_write_serialization() {
         let core = CoreConfig::config2();
         let mut h = Harness::new(
-            DmdcConfig { table_entries: 64, yla_regs: 4, line_yla_regs: 4, line_bytes: 64, ..DmdcConfig::global(&core) }
-                .with_coherence(),
+            DmdcConfig {
+                table_entries: 64,
+                yla_regs: 4,
+                line_yla_regs: 4,
+                line_bytes: 64,
+                ..DmdcConfig::global(&core)
+            }
+            .with_coherence(),
         );
         // Two loads to the same line in flight; invalidation in between.
         h.load_issue(10, span(0x1000, 8), true);
         h.load_issue(12, span(0x1008, 8), true);
         {
-            let mut ctx = PolicyCtx { cycle: h.cycle, energy: &mut h.e, stats: &mut h.s };
+            let mut ctx = PolicyCtx {
+                cycle: h.cycle,
+                energy: &mut h.e,
+                stats: &mut h.s,
+            };
             let r = h.p.on_invalidation(&mut ctx, Addr(0x1000), 64, &mut h.lq);
             assert_eq!(r, None);
         }
@@ -752,7 +859,11 @@ mod tests {
         let mut h = Harness::new(DmdcConfig::global(&core).with_coherence());
         h.commit_other(50); // last_commit_age = 50
         {
-            let mut ctx = PolicyCtx { cycle: h.cycle, energy: &mut h.e, stats: &mut h.s };
+            let mut ctx = PolicyCtx {
+                cycle: h.cycle,
+                energy: &mut h.e,
+                stats: &mut h.s,
+            };
             h.p.on_invalidation(&mut ctx, Addr(0x1000), 128, &mut h.lq);
         }
         assert!(!h.p.active, "no recorded in-flight load: nothing to check");
@@ -783,7 +894,11 @@ mod tests {
         h.store_resolve(5, span(0x100, 8));
         h.commit_store(5, span(0x100, 8));
         for _ in 0..4 {
-            let mut ctx = PolicyCtx { cycle: h.cycle, energy: &mut h.e, stats: &mut h.s };
+            let mut ctx = PolicyCtx {
+                cycle: h.cycle,
+                energy: &mut h.e,
+                stats: &mut h.s,
+            };
             h.p.on_cycle(&mut ctx);
         }
         assert_eq!(h.s.checking_mode_cycles, 4);

@@ -10,15 +10,22 @@
 //! The `*_on` variants take an explicit workload slice so tests (and
 //! impatient users) can run reduced sets; the plain variants build the full
 //! suite at the requested [`Scale`].
+//!
+//! Every regenerator expresses its runs as a flat list of independent
+//! [`RunSpec`] cells and executes them through the parallel
+//! [`Engine`](crate::runner::Engine): cells run concurrently across a
+//! worker pool, results come back in spec order, and the functional
+//! emulator's reference state is computed once per workload and shared by
+//! every cell (see [`crate::runner`]). Output is byte-identical at any
+//! worker count.
 
 use dmdc_energy::{EnergyModel, StructureGeometry};
 use dmdc_isa::Emulator;
-use dmdc_ooo::{
-    BaselinePolicy, CoreConfig, MemDepPolicy, SimOptions, SimStats, Simulator,
-};
+use dmdc_ooo::{BaselinePolicy, CoreConfig, MemDepPolicy, SimOptions, SimStats, Simulator};
 use dmdc_workloads::{full_suite, Group, Scale, Workload};
 
 use crate::report::{f1, f2, pct, GroupStat, Table};
+use crate::runner::{Engine, RunSpec};
 use crate::{BloomPolicy, CheckingQueuePolicy, DmdcConfig, DmdcPolicy, Interleave, YlaPolicy};
 
 /// Which dependence-checking design to instantiate for a run.
@@ -63,7 +70,10 @@ impl PolicyKind {
             PolicyKind::BaselineCoherent => {
                 Box::new(BaselinePolicy::with_coherence(config.l2.line_bytes))
             }
-            PolicyKind::Yla { regs, line_interleaved } => {
+            PolicyKind::Yla {
+                regs,
+                line_interleaved,
+            } => {
                 let il = if line_interleaved {
                     Interleave::CacheLine(config.l2.line_bytes)
                 } else {
@@ -77,9 +87,9 @@ impl PolicyKind {
             PolicyKind::DmdcCoherent => {
                 Box::new(DmdcPolicy::new(DmdcConfig::global(config).with_coherence()))
             }
-            PolicyKind::DmdcNoSafeLoads => {
-                Box::new(DmdcPolicy::new(DmdcConfig::global(config).without_safe_loads()))
-            }
+            PolicyKind::DmdcNoSafeLoads => Box::new(DmdcPolicy::new(
+                DmdcConfig::global(config).without_safe_loads(),
+            )),
             PolicyKind::CheckingQueue { entries } => {
                 Box::new(CheckingQueuePolicy::new(config, entries))
             }
@@ -116,8 +126,52 @@ pub struct Run {
     pub stats: SimStats,
 }
 
+/// Simulates one cell and verifies a halting run against the reference
+/// checksum supplied by `oracle` (called only when the run halted, so
+/// callers can memoize the emulation behind it).
+///
+/// # Panics
+///
+/// Panics if the simulation fails or its architectural state diverges from
+/// the reference — the numbers would be meaningless, so this is fatal.
+pub(crate) fn execute_verified(
+    workload: &Workload,
+    config: &CoreConfig,
+    policy_kind: &PolicyKind,
+    opts: SimOptions,
+    oracle: impl FnOnce() -> u64,
+) -> Run {
+    let policy = policy_kind.build(config);
+    let mut sim = Simulator::new(&workload.program, config.clone(), policy);
+    let result = sim.run(opts).unwrap_or_else(|e| {
+        panic!(
+            "{} under {policy_kind:?} on {}: {e}",
+            workload.name, config.name
+        )
+    });
+    if result.halted {
+        assert_eq!(
+            result.checksum,
+            oracle(),
+            "golden-state mismatch: {} under {policy_kind:?} on {}",
+            workload.name,
+            config.name
+        );
+    }
+    Run {
+        workload: workload.name,
+        group: workload.group,
+        stats: result.stats,
+    }
+}
+
 /// Runs `workload` under `policy_kind` on `config`, verifying the final
 /// architectural state against the functional emulator when the run halts.
+///
+/// This is the standalone single-run entry point (CLI `run`/`suite`,
+/// correctness tests). Experiment regenerators instead batch their cells
+/// through [`crate::runner::Engine`], which memoizes the emulator oracle
+/// across cells; here each call emulates afresh.
 ///
 /// # Panics
 ///
@@ -129,28 +183,52 @@ pub fn run_workload(
     policy_kind: &PolicyKind,
     opts: SimOptions,
 ) -> Run {
-    let policy = policy_kind.build(config);
-    let mut sim = Simulator::new(&workload.program, config.clone(), policy);
-    let result = sim
-        .run(opts)
-        .unwrap_or_else(|e| panic!("{} under {policy_kind:?} on {}: {e}", workload.name, config.name));
-    if result.halted {
+    execute_verified(workload, config, policy_kind, opts, || {
         let mut emu = Emulator::new(&workload.program);
         emu.run(u64::MAX).expect("workloads halt under emulation");
-        assert_eq!(
-            result.checksum,
-            emu.state_checksum(),
-            "golden-state mismatch: {} under {policy_kind:?} on {}",
-            workload.name,
-            config.name
-        );
-    }
-    Run { workload: workload.name, group: workload.group, stats: result.stats }
+        emu.state_checksum()
+    })
 }
 
 fn group_stat<F: Fn(&Run) -> f64>(runs: &[Run], group: Group, f: F) -> GroupStat {
     let vals: Vec<f64> = runs.iter().filter(|r| r.group == group).map(f).collect();
     GroupStat::of(&vals)
+}
+
+/// Runs every workload under each (config, policy, opts) variant through
+/// one shared [`Engine`], returning one chunk of runs per variant, each in
+/// workload order. This is the single funnel every regenerator uses: the
+/// flat spec list executes across the worker pool, and the emulator oracle
+/// is shared by all variants of the same workload.
+fn run_matrix(
+    workloads: &[Workload],
+    variants: &[(CoreConfig, PolicyKind, SimOptions)],
+) -> Vec<Vec<Run>> {
+    let engine = Engine::new(workloads);
+    let specs: Vec<RunSpec> = variants
+        .iter()
+        .flat_map(|(config, kind, opts)| {
+            (0..workloads.len()).map(move |i| RunSpec {
+                workload: i,
+                config: config.clone(),
+                policy: kind.clone(),
+                opts: *opts,
+            })
+        })
+        .collect();
+    let mut runs = engine.run_all(&specs);
+    let (hits, misses) = engine.oracle_stats();
+    eprintln!(
+        "[runner] jobs={} cells={} oracle: {misses} emulations, {hits} cache hits",
+        engine.jobs(),
+        specs.len(),
+    );
+    let mut out = Vec::with_capacity(variants.len());
+    for _ in variants {
+        let rest = runs.split_off(workloads.len());
+        out.push(std::mem::replace(&mut runs, rest));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -179,22 +257,31 @@ pub struct Fig2 {
 
 /// Regenerates Figure 2 on an explicit workload set.
 pub fn fig2_on(workloads: &[Workload], config: &CoreConfig) -> Fig2 {
-    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    let mut variants = Vec::new();
     for (interleave, line) in [("quad-word", false), ("cache-line", true)] {
         for regs in [1u32, 2, 4, 8, 16] {
-            let kind = PolicyKind::Yla { regs, line_interleaved: line };
-            let runs: Vec<Run> = workloads
-                .iter()
-                .map(|w| run_workload(w, config, &kind, SimOptions::default()))
-                .collect();
-            for group in [Group::Int, Group::Fp] {
-                rows.push(Fig2Row {
-                    interleave,
+            labels.push((interleave, regs));
+            variants.push((
+                config.clone(),
+                PolicyKind::Yla {
                     regs,
-                    group,
-                    filtered: group_stat(&runs, group, |r| r.stats.policy.store_filter_rate()),
-                });
-            }
+                    line_interleaved: line,
+                },
+                SimOptions::default(),
+            ));
+        }
+    }
+    let chunks = run_matrix(workloads, &variants);
+    let mut rows = Vec::new();
+    for ((interleave, regs), runs) in labels.into_iter().zip(&chunks) {
+        for group in [Group::Int, Group::Fp] {
+            rows.push(Fig2Row {
+                interleave,
+                regs,
+                group,
+                filtered: group_stat(runs, group, |r| r.stats.policy.store_filter_rate()),
+            });
         }
     }
     Fig2 { rows }
@@ -247,23 +334,36 @@ pub struct Fig3 {
 /// Regenerates Figure 3 on an explicit workload set.
 pub fn fig3_on(workloads: &[Workload], config: &CoreConfig) -> Fig3 {
     let mut designs: Vec<(String, PolicyKind)> = vec![
-        ("yla-1".into(), PolicyKind::Yla { regs: 1, line_interleaved: false }),
-        ("yla-8".into(), PolicyKind::Yla { regs: 8, line_interleaved: false }),
+        (
+            "yla-1".into(),
+            PolicyKind::Yla {
+                regs: 1,
+                line_interleaved: false,
+            },
+        ),
+        (
+            "yla-8".into(),
+            PolicyKind::Yla {
+                regs: 8,
+                line_interleaved: false,
+            },
+        ),
     ];
     for entries in [32u32, 64, 128, 256, 512, 1024] {
         designs.push((format!("bloom-{entries}"), PolicyKind::Bloom { entries }));
     }
+    let variants: Vec<(CoreConfig, PolicyKind, SimOptions)> = designs
+        .iter()
+        .map(|(_, kind)| (config.clone(), kind.clone(), SimOptions::default()))
+        .collect();
+    let chunks = run_matrix(workloads, &variants);
     let mut rows = Vec::new();
-    for (design, kind) in designs {
-        let runs: Vec<Run> = workloads
-            .iter()
-            .map(|w| run_workload(w, config, &kind, SimOptions::default()))
-            .collect();
+    for ((design, _), runs) in designs.into_iter().zip(&chunks) {
         for group in [Group::Int, Group::Fp] {
             rows.push(Fig3Row {
                 design: design.clone(),
                 group,
-                filtered: group_stat(&runs, group, |r| r.stats.policy.store_filter_rate()),
+                filtered: group_stat(runs, group, |r| r.stats.policy.store_filter_rate()),
             });
         }
     }
@@ -281,7 +381,11 @@ impl Fig3 {
         let mut t = Table::new("Figure 3: filtering of YLA vs bloom filters (H0 hash)");
         t.headers(["design", "group", "filtered mean [min, max]"]);
         for r in &self.rows {
-            t.row([r.design.clone(), r.group.to_string(), r.filtered.pct_range()]);
+            t.row([
+                r.design.clone(),
+                r.group.to_string(),
+                r.filtered.pct_range(),
+            ]);
         }
         t.to_string()
     }
@@ -342,20 +446,36 @@ fn compare(
 pub fn fig4_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig4 {
     let base_kind = PolicyKind::Baseline;
     let dmdc_kind = PolicyKind::DmdcGlobal;
+    let variants: Vec<(CoreConfig, PolicyKind, SimOptions)> = configs
+        .iter()
+        .flat_map(|config| {
+            [
+                (config.clone(), base_kind.clone(), SimOptions::default()),
+                (config.clone(), dmdc_kind.clone(), SimOptions::default()),
+            ]
+        })
+        .collect();
+    let chunks = run_matrix(workloads, &variants);
     let mut rows = Vec::new();
-    for config in configs {
-        let comparisons: Vec<(Group, Comparison)> = workloads
+    for (ci, config) in configs.iter().enumerate() {
+        let (base_runs, dmdc_runs) = (&chunks[2 * ci], &chunks[2 * ci + 1]);
+        let comparisons: Vec<(Group, Comparison)> = base_runs
             .iter()
-            .map(|w| {
-                let base = run_workload(w, config, &base_kind, SimOptions::default());
-                let dmdc = run_workload(w, config, &dmdc_kind, SimOptions::default());
-                (w.group, compare(config, &base.stats, &base_kind, &dmdc.stats, &dmdc_kind))
+            .zip(dmdc_runs)
+            .map(|(base, dmdc)| {
+                (
+                    base.group,
+                    compare(config, &base.stats, &base_kind, &dmdc.stats, &dmdc_kind),
+                )
             })
             .collect();
         for group in [Group::Int, Group::Fp] {
             let of = |f: &dyn Fn(&Comparison) -> f64| {
-                let vals: Vec<f64> =
-                    comparisons.iter().filter(|(g, _)| *g == group).map(|(_, c)| f(c)).collect();
+                let vals: Vec<f64> = comparisons
+                    .iter()
+                    .filter(|(g, _)| *g == group)
+                    .map(|(_, c)| f(c))
+                    .collect();
                 GroupStat::of(&vals)
             };
             rows.push(Fig4Row {
@@ -409,26 +529,44 @@ pub struct YlaEnergy {
 /// Regenerates the §6.1 YLA-8 energy numbers on an explicit workload set.
 pub fn yla_energy_on(workloads: &[Workload], config: &CoreConfig) -> YlaEnergy {
     let base_kind = PolicyKind::Baseline;
-    let yla_kind = PolicyKind::Yla { regs: 8, line_interleaved: false };
-    let comparisons: Vec<(Group, Comparison)> = workloads
+    let yla_kind = PolicyKind::Yla {
+        regs: 8,
+        line_interleaved: false,
+    };
+    let chunks = run_matrix(
+        workloads,
+        &[
+            (config.clone(), base_kind.clone(), SimOptions::default()),
+            (config.clone(), yla_kind.clone(), SimOptions::default()),
+        ],
+    );
+    let comparisons: Vec<(Group, Comparison)> = chunks[0]
         .iter()
-        .map(|w| {
-            let base = run_workload(w, config, &base_kind, SimOptions::default());
-            let yla = run_workload(w, config, &yla_kind, SimOptions::default());
-            (w.group, compare(config, &base.stats, &base_kind, &yla.stats, &yla_kind))
+        .zip(&chunks[1])
+        .map(|(base, yla)| {
+            (
+                base.group,
+                compare(config, &base.stats, &base_kind, &yla.stats, &yla_kind),
+            )
         })
         .collect();
     let agg = |f: &dyn Fn(&Comparison) -> f64| {
         [Group::Int, Group::Fp]
             .into_iter()
             .map(|g| {
-                let vals: Vec<f64> =
-                    comparisons.iter().filter(|(gg, _)| *gg == g).map(|(_, c)| f(c)).collect();
+                let vals: Vec<f64> = comparisons
+                    .iter()
+                    .filter(|(gg, _)| *gg == g)
+                    .map(|(_, c)| f(c))
+                    .collect();
                 (g, GroupStat::of(&vals))
             })
             .collect::<Vec<_>>()
     };
-    YlaEnergy { lq_savings: agg(&|c| c.lq_savings), total_savings: agg(&|c| c.total_savings) }
+    YlaEnergy {
+        lq_savings: agg(&|c| c.lq_savings),
+        total_savings: agg(&|c| c.total_savings),
+    }
 }
 
 /// Regenerates the §6.1 YLA-8 energy numbers at the given scale (config 2).
@@ -480,11 +618,12 @@ pub struct WindowTable {
 
 /// Regenerates checking-window statistics on an explicit workload set.
 pub fn window_stats_on(workloads: &[Workload], config: &CoreConfig, local: bool) -> WindowTable {
-    let kind = if local { PolicyKind::DmdcLocal } else { PolicyKind::DmdcGlobal };
-    let runs: Vec<Run> = workloads
-        .iter()
-        .map(|w| run_workload(w, config, &kind, SimOptions::default()))
-        .collect();
+    let kind = if local {
+        PolicyKind::DmdcLocal
+    } else {
+        PolicyKind::DmdcGlobal
+    };
+    let runs = run_matrix(workloads, &[(config.clone(), kind, SimOptions::default())]).remove(0);
     let per_window = |r: &Run, total: u64| {
         let windows = r.stats.policy.checking_windows.max(1);
         total as f64 / windows as f64
@@ -493,9 +632,15 @@ pub fn window_stats_on(workloads: &[Workload], config: &CoreConfig, local: bool)
         .into_iter()
         .map(|group| WindowRow {
             group,
-            instructions: group_stat(&runs, group, |r| per_window(r, r.stats.policy.window_instructions)).mean,
+            instructions: group_stat(&runs, group, |r| {
+                per_window(r, r.stats.policy.window_instructions)
+            })
+            .mean,
             loads: group_stat(&runs, group, |r| per_window(r, r.stats.policy.window_loads)).mean,
-            safe_loads: group_stat(&runs, group, |r| per_window(r, r.stats.policy.window_safe_loads)).mean,
+            safe_loads: group_stat(&runs, group, |r| {
+                per_window(r, r.stats.policy.window_safe_loads)
+            })
+            .mean,
             checking_cycle_frac: group_stat(&runs, group, |r| {
                 r.stats.policy.checking_mode_cycles as f64 / r.stats.cycles.max(1) as f64
             })
@@ -529,7 +674,14 @@ impl WindowTable {
             "Table 2: checking-window statistics (global DMDC)"
         };
         let mut t = Table::new(title);
-        t.headers(["group", "instructions", "loads", "safe loads", "% cycles checking", "% 1-store windows"]);
+        t.headers([
+            "group",
+            "instructions",
+            "loads",
+            "safe loads",
+            "% cycles checking",
+            "% 1-store windows",
+        ]);
         for r in &self.rows {
             t.row([
                 r.group.to_string(),
@@ -579,12 +731,17 @@ pub struct ReplayTable {
 }
 
 /// Regenerates the false-replay breakdown on an explicit workload set.
-pub fn replay_breakdown_on(workloads: &[Workload], config: &CoreConfig, local: bool) -> ReplayTable {
-    let kind = if local { PolicyKind::DmdcLocal } else { PolicyKind::DmdcGlobal };
-    let runs: Vec<Run> = workloads
-        .iter()
-        .map(|w| run_workload(w, config, &kind, SimOptions::default()))
-        .collect();
+pub fn replay_breakdown_on(
+    workloads: &[Workload],
+    config: &CoreConfig,
+    local: bool,
+) -> ReplayTable {
+    let kind = if local {
+        PolicyKind::DmdcLocal
+    } else {
+        PolicyKind::DmdcGlobal
+    };
+    let runs = run_matrix(workloads, &[(config.clone(), kind, SimOptions::default())]).remove(0);
     let rows = [Group::Int, Group::Fp]
         .into_iter()
         .map(|group| {
@@ -625,7 +782,16 @@ impl ReplayTable {
             "Table 3: false replays per 1M commits (global DMDC)"
         };
         let mut t = Table::new(title);
-        t.headers(["group", "addr X", "addr Y", "hash before", "hash X", "hash Y", "false total", "(true)"]);
+        t.headers([
+            "group",
+            "addr X",
+            "addr Y",
+            "hash before",
+            "hash X",
+            "hash Y",
+            "false total",
+            "(true)",
+        ]);
         for r in &self.rows {
             t.row([
                 r.group.to_string(),
@@ -668,22 +834,44 @@ pub struct Fig5 {
 
 /// Regenerates Figure 5 on an explicit workload set.
 pub fn fig5_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig5 {
+    let variants: Vec<(CoreConfig, PolicyKind, SimOptions)> = configs
+        .iter()
+        .flat_map(|config| {
+            [
+                PolicyKind::Baseline,
+                PolicyKind::DmdcGlobal,
+                PolicyKind::DmdcLocal,
+            ]
+            .map(|kind| (config.clone(), kind, SimOptions::default()))
+        })
+        .collect();
+    let chunks = run_matrix(workloads, &variants);
     let mut rows = Vec::new();
-    for config in configs {
-        let mut per: Vec<(Group, f64, f64)> = Vec::new();
-        for w in workloads {
-            let base = run_workload(w, config, &PolicyKind::Baseline, SimOptions::default());
-            let global = run_workload(w, config, &PolicyKind::DmdcGlobal, SimOptions::default());
-            let local = run_workload(w, config, &PolicyKind::DmdcLocal, SimOptions::default());
-            per.push((
-                w.group,
-                global.stats.cycles as f64 / base.stats.cycles as f64 - 1.0,
-                local.stats.cycles as f64 / base.stats.cycles as f64 - 1.0,
-            ));
-        }
+    for (ci, config) in configs.iter().enumerate() {
+        let (base, global, local) = (&chunks[3 * ci], &chunks[3 * ci + 1], &chunks[3 * ci + 2]);
+        let per: Vec<(Group, f64, f64)> = base
+            .iter()
+            .zip(global)
+            .zip(local)
+            .map(|((b, g), l)| {
+                (
+                    b.group,
+                    g.stats.cycles as f64 / b.stats.cycles as f64 - 1.0,
+                    l.stats.cycles as f64 / b.stats.cycles as f64 - 1.0,
+                )
+            })
+            .collect();
         for group in [Group::Int, Group::Fp] {
-            let g: Vec<f64> = per.iter().filter(|(gg, ..)| *gg == group).map(|&(_, g, _)| g).collect();
-            let l: Vec<f64> = per.iter().filter(|(gg, ..)| *gg == group).map(|&(_, _, l)| l).collect();
+            let g: Vec<f64> = per
+                .iter()
+                .filter(|(gg, ..)| *gg == group)
+                .map(|&(_, g, _)| g)
+                .collect();
+            let l: Vec<f64> = per
+                .iter()
+                .filter(|(gg, ..)| *gg == group)
+                .map(|&(_, _, l)| l)
+                .collect();
             rows.push(Fig5Row {
                 config: config.name,
                 group,
@@ -747,24 +935,25 @@ pub struct Table6 {
 
 /// Regenerates Table 6 on an explicit workload set.
 pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> Table6 {
-    // Baseline timing reference (no coherence, as in the paper's baseline).
-    let base_runs: Vec<Run> = workloads
-        .iter()
-        .map(|w| run_workload(w, config, &PolicyKind::Baseline, SimOptions::default()))
-        .collect();
+    // Baseline timing reference (no coherence, as in the paper's baseline)
+    // plus one DMDC-coherent variant per invalidation rate, in one batch.
+    let mut variants = vec![(config.clone(), PolicyKind::Baseline, SimOptions::default())];
+    for &rate in rates {
+        let opts = SimOptions {
+            inval_per_kcycle: rate,
+            inval_seed: 42,
+            ..SimOptions::default()
+        };
+        variants.push((config.clone(), PolicyKind::DmdcCoherent, opts));
+    }
+    let mut chunks = run_matrix(workloads, &variants);
+    let base_runs = chunks.remove(0);
 
     // The zero-rate DMDC run normalizes the relative columns.
     let mut rows = Vec::new();
-    let mut reference: Vec<Run> = Vec::new();
+    let reference = chunks[0].clone();
     for (i, &rate) in rates.iter().enumerate() {
-        let opts = SimOptions { inval_per_kcycle: rate, inval_seed: 42, ..SimOptions::default() };
-        let runs: Vec<Run> = workloads
-            .iter()
-            .map(|w| run_workload(w, config, &PolicyKind::DmdcCoherent, opts))
-            .collect();
-        if i == 0 {
-            reference = runs.clone();
-        }
+        let runs = &chunks[i];
         for group in [Group::Int, Group::Fp] {
             let window_size = |rs: &[Run]| {
                 group_stat(rs, group, |r| {
@@ -774,14 +963,16 @@ pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> 
                 .mean
             };
             let false_rate = |rs: &[Run]| {
-                group_stat(rs, group, |r| r.stats.per_million(r.stats.policy.replays.false_total()))
-                    .mean
+                group_stat(rs, group, |r| {
+                    r.stats.per_million(r.stats.policy.replays.false_total())
+                })
+                .mean
             };
             // Floors keep the relative columns meaningful when the
             // zero-invalidation run has (near-)zero events, as FP does.
             let ref_window = window_size(&reference).max(1.0);
             let ref_false = false_rate(&reference).max(1.0);
-            let checking = group_stat(&runs, group, |r| {
+            let checking = group_stat(runs, group, |r| {
                 r.stats.policy.checking_mode_cycles as f64 / r.stats.cycles.max(1) as f64
             })
             .mean;
@@ -796,8 +987,8 @@ pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> 
                 group,
                 rate,
                 checking_cycle_frac: checking,
-                rel_window: window_size(&runs).max(1.0) / ref_window,
-                rel_false_replays: false_rate(&runs).max(1.0) / ref_false,
+                rel_window: window_size(runs).max(1.0) / ref_window,
+                rel_false_replays: false_rate(runs).max(1.0) / ref_false,
                 slowdown: GroupStat::of(&slowdowns).mean,
             });
         }
@@ -808,14 +999,25 @@ pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> 
 /// Regenerates Table 6 at the given scale on config 2 with the paper's
 /// rates (0, 1, 10, 100 invalidations per 1000 cycles).
 pub fn table6(scale: Scale) -> Table6 {
-    table6_on(&full_suite(scale), &CoreConfig::config2(), &[0.0, 1.0, 10.0, 100.0])
+    table6_on(
+        &full_suite(scale),
+        &CoreConfig::config2(),
+        &[0.0, 1.0, 10.0, 100.0],
+    )
 }
 
 impl Table6 {
     /// Renders as a table.
     pub fn render(&self) -> String {
         let mut t = Table::new("Table 6: impact of external invalidations on DMDC");
-        t.headers(["group", "inv/1k cycles", "% cycles checking", "rel window", "rel false replays", "slowdown"]);
+        t.headers([
+            "group",
+            "inv/1k cycles",
+            "% cycles checking",
+            "rel window",
+            "rel false replays",
+            "slowdown",
+        ]);
         for r in &self.rows {
             t.row([
                 r.group.to_string(),
@@ -847,31 +1049,41 @@ pub fn checking_queue_ablation_on(
     config: &CoreConfig,
     queue_sizes: &[u32],
 ) -> CheckingQueueAblation {
-    let base_runs: Vec<Run> = workloads
-        .iter()
-        .map(|w| run_workload(w, config, &PolicyKind::Baseline, SimOptions::default()))
-        .collect();
-    let mut designs = vec![(format!("table-{}", config.checking_table_entries), PolicyKind::DmdcGlobal)];
+    let mut designs = vec![(
+        format!("table-{}", config.checking_table_entries),
+        PolicyKind::DmdcGlobal,
+    )];
     for &entries in queue_sizes {
-        designs.push((format!("queue-{entries}"), PolicyKind::CheckingQueue { entries }));
+        designs.push((
+            format!("queue-{entries}"),
+            PolicyKind::CheckingQueue { entries },
+        ));
     }
+    let mut variants = vec![(config.clone(), PolicyKind::Baseline, SimOptions::default())];
+    for (_, kind) in &designs {
+        variants.push((config.clone(), kind.clone(), SimOptions::default()));
+    }
+    let mut chunks = run_matrix(workloads, &variants);
+    let base_runs = chunks.remove(0);
     let mut rows = Vec::new();
-    for (label, kind) in designs {
-        let runs: Vec<Run> = workloads
-            .iter()
-            .map(|w| run_workload(w, config, &kind, SimOptions::default()))
-            .collect();
+    for ((label, _), runs) in designs.into_iter().zip(&chunks) {
         for group in [Group::Int, Group::Fp] {
-            let false_pm =
-                group_stat(&runs, group, |r| r.stats.per_million(r.stats.policy.replays.false_total()))
-                    .mean;
+            let false_pm = group_stat(runs, group, |r| {
+                r.stats.per_million(r.stats.policy.replays.false_total())
+            })
+            .mean;
             let slowdowns: Vec<f64> = runs
                 .iter()
                 .zip(&base_runs)
                 .filter(|(r, _)| r.group == group)
                 .map(|(r, b)| r.stats.cycles as f64 / b.stats.cycles as f64 - 1.0)
                 .collect();
-            rows.push((label.clone(), group, false_pm, GroupStat::of(&slowdowns).mean));
+            rows.push((
+                label.clone(),
+                group,
+                false_pm,
+                GroupStat::of(&slowdowns).mean,
+            ));
         }
     }
     CheckingQueueAblation { rows }
@@ -904,20 +1116,23 @@ pub fn table_size_ablation_on(
     config: &CoreConfig,
     sizes: &[u32],
 ) -> TableSizeAblation {
+    let variants: Vec<(CoreConfig, PolicyKind, SimOptions)> = sizes
+        .iter()
+        .map(|&entries| {
+            let mut cfg = config.clone();
+            cfg.checking_table_entries = entries;
+            (cfg, PolicyKind::DmdcGlobal, SimOptions::default())
+        })
+        .collect();
+    let chunks = run_matrix(workloads, &variants);
     let mut rows = Vec::new();
-    for &entries in sizes {
-        let mut cfg = config.clone();
-        cfg.checking_table_entries = entries;
-        let runs: Vec<Run> = workloads
-            .iter()
-            .map(|w| run_workload(w, &cfg, &PolicyKind::DmdcGlobal, SimOptions::default()))
-            .collect();
+    for (&entries, runs) in sizes.iter().zip(&chunks) {
         for group in [Group::Int, Group::Fp] {
-            let false_pm = group_stat(&runs, group, |r| {
+            let false_pm = group_stat(runs, group, |r| {
                 r.stats.per_million(r.stats.policy.replays.false_total())
             })
             .mean;
-            let hash_pm = group_stat(&runs, group, |r| {
+            let hash_pm = group_stat(runs, group, |r| {
                 r.stats.per_million(
                     r.stats.policy.replays.false_hash_before
                         + r.stats.policy.replays.false_hash_x
@@ -935,7 +1150,12 @@ impl TableSizeAblation {
     /// Renders as a table.
     pub fn render(&self) -> String {
         let mut t = Table::new("Ablation: checking-table size vs false replays");
-        t.headers(["entries", "group", "false replays / 1M", "hash-conflict part"]);
+        t.headers([
+            "entries",
+            "group",
+            "false replays / 1M",
+            "hash-conflict part",
+        ]);
         for (entries, group, fr, hash) in &self.rows {
             t.row([entries.to_string(), group.to_string(), f1(*fr), f1(*hash)]);
         }
@@ -952,20 +1172,31 @@ pub struct SafeLoadAblation {
 
 /// Measures the false-replay reduction the safe-load logic provides.
 pub fn safe_load_ablation_on(workloads: &[Workload], config: &CoreConfig) -> SafeLoadAblation {
-    let with: Vec<Run> = workloads
-        .iter()
-        .map(|w| run_workload(w, config, &PolicyKind::DmdcGlobal, SimOptions::default()))
-        .collect();
-    let without: Vec<Run> = workloads
-        .iter()
-        .map(|w| run_workload(w, config, &PolicyKind::DmdcNoSafeLoads, SimOptions::default()))
-        .collect();
+    let mut chunks = run_matrix(
+        workloads,
+        &[
+            (
+                config.clone(),
+                PolicyKind::DmdcGlobal,
+                SimOptions::default(),
+            ),
+            (
+                config.clone(),
+                PolicyKind::DmdcNoSafeLoads,
+                SimOptions::default(),
+            ),
+        ],
+    );
+    let with = chunks.remove(0);
+    let without = chunks.remove(0);
     let rows = [Group::Int, Group::Fp]
         .into_iter()
         .map(|group| {
             let f = |rs: &[Run]| {
-                group_stat(rs, group, |r| r.stats.per_million(r.stats.policy.replays.false_total()))
-                    .mean
+                group_stat(rs, group, |r| {
+                    r.stats.per_million(r.stats.policy.replays.false_total())
+                })
+                .mean
             };
             (group, f(&with), f(&without))
         })
@@ -997,16 +1228,17 @@ pub struct SqFilterPotential {
 
 /// Measures the §3 SQ-filtering opportunity and exercises the filter.
 pub fn sq_filter_potential_on(workloads: &[Workload], config: &CoreConfig) -> SqFilterPotential {
-    let baseline_runs: Vec<Run> = workloads
-        .iter()
-        .map(|w| run_workload(w, config, &PolicyKind::Baseline, SimOptions::default()))
-        .collect();
     let mut filtered_config = config.clone();
     filtered_config.sq_age_filter = true;
-    let filtered_runs: Vec<Run> = workloads
-        .iter()
-        .map(|w| run_workload(w, &filtered_config, &PolicyKind::Baseline, SimOptions::default()))
-        .collect();
+    let mut chunks = run_matrix(
+        workloads,
+        &[
+            (config.clone(), PolicyKind::Baseline, SimOptions::default()),
+            (filtered_config, PolicyKind::Baseline, SimOptions::default()),
+        ],
+    );
+    let baseline_runs = chunks.remove(0);
+    let filtered_runs = chunks.remove(0);
     let rows = [Group::Int, Group::Fp]
         .into_iter()
         .map(|group| {
@@ -1028,7 +1260,12 @@ pub fn sq_filter_potential_on(workloads: &[Workload], config: &CoreConfig) -> Sq
                 .filter(|(b, _)| b.group == group)
                 .map(|(b, f)| f.stats.cycles as f64 / b.stats.cycles as f64 - 1.0)
                 .collect();
-            (group, potential, GroupStat::of(&saved), GroupStat::of(&slowdown))
+            (
+                group,
+                potential,
+                GroupStat::of(&saved),
+                GroupStat::of(&slowdown),
+            )
         })
         .collect();
     SqFilterPotential { rows }
@@ -1037,9 +1274,13 @@ pub fn sq_filter_potential_on(workloads: &[Workload], config: &CoreConfig) -> Sq
 impl SqFilterPotential {
     /// Renders as a table.
     pub fn render(&self) -> String {
-        let mut t =
-            Table::new("§3: oldest-store-age SQ filtering (potential and measured effect)");
-        t.headers(["group", "bypassable loads", "SQ searches saved", "timing change"]);
+        let mut t = Table::new("§3: oldest-store-age SQ filtering (potential and measured effect)");
+        t.headers([
+            "group",
+            "bypassable loads",
+            "SQ searches saved",
+            "timing change",
+        ]);
         for (g, potential, saved, slowdown) in &self.rows {
             t.row([
                 g.to_string(),
@@ -1068,7 +1309,12 @@ mod tests {
     #[test]
     fn run_workload_verifies_against_emulator() {
         let w = &mini_suite()[0];
-        let r = run_workload(w, &CoreConfig::config2(), &PolicyKind::DmdcGlobal, SimOptions::default());
+        let r = run_workload(
+            w,
+            &CoreConfig::config2(),
+            &PolicyKind::DmdcGlobal,
+            SimOptions::default(),
+        );
         assert!(r.stats.committed > 1_000);
     }
 
@@ -1095,8 +1341,16 @@ mod tests {
         let fig = fig4_on(&suite, &[CoreConfig::config1()]);
         assert_eq!(fig.rows.len(), 2);
         for row in &fig.rows {
-            assert!(row.lq_savings.mean > 0.5, "DMDC must slash LQ energy, got {:?}", row.lq_savings);
-            assert!(row.slowdown.mean.abs() < 0.25, "slowdown should be small, got {:?}", row.slowdown);
+            assert!(
+                row.lq_savings.mean > 0.5,
+                "DMDC must slash LQ energy, got {:?}",
+                row.lq_savings
+            );
+            assert!(
+                row.slowdown.mean.abs() < 0.25,
+                "slowdown should be small, got {:?}",
+                row.slowdown
+            );
         }
         assert!(fig.render().contains("config1"));
     }

@@ -37,6 +37,7 @@ mod checking_queue;
 mod dmdc;
 pub mod experiments;
 pub mod report;
+pub mod runner;
 mod yla;
 
 pub use bloom::{BloomPolicy, CountingBloom};

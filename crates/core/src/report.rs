@@ -27,7 +27,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with a title.
     pub fn new(title: impl Into<String>) -> Table {
-        Table { title: title.into(), headers: Vec::new(), rows: Vec::new() }
+        Table {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Sets the column headers.
@@ -83,7 +87,14 @@ impl Table {
         }
         let mut out = String::new();
         if !self.headers.is_empty() {
-            out.push_str(&self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+            out.push_str(
+                &self
+                    .headers
+                    .iter()
+                    .map(|h| field(h))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
             out.push('\n');
         }
         for row in &self.rows {
@@ -96,7 +107,10 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

@@ -1,0 +1,309 @@
+//! The parallel, deterministic experiment engine.
+//!
+//! Every figure/table regenerator expresses its work as a flat list of
+//! independent [`RunSpec`] cells — one (workload, config, policy, options)
+//! simulation each — and hands it to [`Engine::run_all`], which executes
+//! the cells across a scoped worker pool and reassembles results **in spec
+//! order**. Aggregation code downstream is therefore byte-identical
+//! between `jobs = 1` and `jobs = N`; the only thing parallelism changes
+//! is wall-clock time.
+//!
+//! The engine also owns the **emulator oracle cache**: the functional
+//! reference checksum a halting run is verified against depends only on
+//! the workload (the emulator models no timing, no policy and no
+//! invalidation traffic), so it is computed at most once per distinct
+//! workload per engine and shared across every policy × config cell. The
+//! [`Engine::oracle_stats`] counters make the sharing observable.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use dmdc_isa::Emulator;
+use dmdc_ooo::{CoreConfig, SimOptions};
+use dmdc_workloads::Workload;
+
+use crate::experiments::{PolicyKind, Run};
+
+/// One independent experiment cell: a single verified simulation.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Index into the engine's workload slice.
+    pub workload: usize,
+    /// Machine configuration to simulate.
+    pub config: CoreConfig,
+    /// Dependence-checking design to instantiate.
+    pub policy: PolicyKind,
+    /// Run options (invalidation rate, limits, ...).
+    pub opts: SimOptions,
+}
+
+impl RunSpec {
+    /// A cell with default options.
+    pub fn new(workload: usize, config: &CoreConfig, policy: PolicyKind) -> RunSpec {
+        RunSpec {
+            workload,
+            config: config.clone(),
+            policy,
+            opts: SimOptions::default(),
+        }
+    }
+}
+
+/// Process-wide override for the worker count (0 = unset). The CLI's
+/// `--jobs` flag sets this; `DMDC_JOBS` and the machine's parallelism are
+/// the fallbacks.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count (`0` clears the override).
+pub fn set_default_jobs(jobs: usize) {
+    JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
+}
+
+/// Resolves the worker count: explicit override (`set_default_jobs`), then
+/// the `DMDC_JOBS` environment variable, then available parallelism.
+pub fn default_jobs() -> usize {
+    let o = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = std::env::var("DMDC_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Memoized functional-emulator reference state, one slot per workload.
+struct EmuOracle {
+    checksums: Vec<OnceLock<u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EmuOracle {
+    fn new(n: usize) -> EmuOracle {
+        EmuOracle {
+            checksums: (0..n).map(|_| OnceLock::new()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The reference checksum for `workloads[index]`, emulating on first
+    /// use only. Concurrent first users block on one computation.
+    fn checksum(&self, workloads: &[Workload], index: usize) -> u64 {
+        let slot = &self.checksums[index];
+        // Track whether *this* call ran the initializer: a caller that
+        // blocks inside `get_or_init` while another thread computes is a
+        // cache hit too, so hits + misses always equals consultations.
+        let mut computed = false;
+        let c = *slot.get_or_init(|| {
+            computed = true;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let w = &workloads[index];
+            let mut emu = Emulator::new(&w.program);
+            emu.run(u64::MAX)
+                .unwrap_or_else(|e| panic!("{} must halt under emulation: {e}", w.name));
+            emu.state_checksum()
+        });
+        if !computed {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        c
+    }
+}
+
+/// The parallel experiment engine for one workload set.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_core::experiments::PolicyKind;
+/// use dmdc_core::runner::{Engine, RunSpec};
+/// use dmdc_ooo::CoreConfig;
+/// use dmdc_workloads::SyntheticKernel;
+///
+/// let workloads = vec![SyntheticKernel::new(500).build()];
+/// let config = CoreConfig::config2();
+/// let engine = Engine::with_jobs(&workloads, 2);
+/// let specs = vec![
+///     RunSpec::new(0, &config, PolicyKind::Baseline),
+///     RunSpec::new(0, &config, PolicyKind::DmdcGlobal),
+/// ];
+/// let runs = engine.run_all(&specs);
+/// assert_eq!(runs.len(), 2);
+/// let (hits, misses) = engine.oracle_stats();
+/// assert_eq!((hits, misses), (1, 1), "one emulation, shared by the second cell");
+/// ```
+pub struct Engine<'w> {
+    workloads: &'w [Workload],
+    oracle: EmuOracle,
+    jobs: usize,
+}
+
+impl<'w> Engine<'w> {
+    /// An engine using the resolved default worker count.
+    pub fn new(workloads: &'w [Workload]) -> Engine<'w> {
+        Engine::with_jobs(workloads, default_jobs())
+    }
+
+    /// An engine with an explicit worker count (`1` = fully serial).
+    pub fn with_jobs(workloads: &'w [Workload], jobs: usize) -> Engine<'w> {
+        Engine {
+            workloads,
+            oracle: EmuOracle::new(workloads.len()),
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// (hits, misses) of the emulator-oracle cache so far. `misses` never
+    /// exceeds the number of distinct workloads referenced by any spec.
+    pub fn oracle_stats(&self) -> (u64, u64) {
+        (
+            self.oracle.hits.load(Ordering::Relaxed),
+            self.oracle.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Executes one cell, verifying a halting run against the memoized
+    /// emulator reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails or its architectural state diverges
+    /// from the functional emulator — the experiment's numbers would be
+    /// meaningless, so this is fatal (as in the serial path).
+    pub fn run_cell(&self, spec: &RunSpec) -> Run {
+        let w = &self.workloads[spec.workload];
+        crate::experiments::execute_verified(w, &spec.config, &spec.policy, spec.opts, || {
+            self.oracle.checksum(self.workloads, spec.workload)
+        })
+    }
+
+    /// Executes every cell and returns the results in spec order.
+    ///
+    /// With `jobs = 1` the cells run serially on the calling thread; with
+    /// more, a scoped worker pool pulls cells off a shared cursor. Either
+    /// way the returned vector is index-aligned with `specs`, so the
+    /// output of any aggregation over it is identical.
+    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Run> {
+        let workers = self.jobs.min(specs.len());
+        if workers <= 1 {
+            return specs.iter().map(|s| self.run_cell(s)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Run>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let run = self.run_cell(&specs[i]);
+                    *results[i].lock().expect("result slot poisoned") = Some(run);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("cell executed")
+            })
+            .collect()
+    }
+}
+
+/// Convenience: runs `specs` over `workloads` with the default worker
+/// count and reports the oracle counters through the returned engine-less
+/// tuple `(runs, hits, misses)`.
+pub fn run_specs(workloads: &[Workload], specs: &[RunSpec]) -> (Vec<Run>, u64, u64) {
+    let engine = Engine::new(workloads);
+    let runs = engine.run_all(specs);
+    let (hits, misses) = engine.oracle_stats();
+    (runs, hits, misses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_workloads::{fp_suite, int_suite, Scale};
+
+    fn mini() -> Vec<Workload> {
+        vec![
+            int_suite(Scale::Smoke).remove(6),
+            fp_suite(Scale::Smoke).remove(1),
+        ]
+    }
+
+    #[test]
+    fn parallel_matches_serial_cell_for_cell() {
+        let ws = mini();
+        let config = CoreConfig::config2();
+        let specs: Vec<RunSpec> = (0..ws.len())
+            .flat_map(|i| {
+                [
+                    RunSpec::new(i, &config, PolicyKind::Baseline),
+                    RunSpec::new(i, &config, PolicyKind::DmdcGlobal),
+                    RunSpec::new(i, &config, PolicyKind::DmdcLocal),
+                ]
+            })
+            .collect();
+        let serial = Engine::with_jobs(&ws, 1).run_all(&specs);
+        let parallel = Engine::with_jobs(&ws, 4).run_all(&specs);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.workload, p.workload);
+            assert_eq!(s.group, p.group);
+            assert_eq!(s.stats.cycles, p.stats.cycles);
+            assert_eq!(s.stats.committed, p.stats.committed);
+            assert_eq!(s.stats.replay_squashes, p.stats.replay_squashes);
+        }
+    }
+
+    #[test]
+    fn oracle_emulates_each_workload_once() {
+        let ws = mini();
+        let config = CoreConfig::config2();
+        let mut specs = Vec::new();
+        for _ in 0..5 {
+            for i in 0..ws.len() {
+                specs.push(RunSpec::new(i, &config, PolicyKind::DmdcGlobal));
+            }
+        }
+        let engine = Engine::with_jobs(&ws, 2);
+        engine.run_all(&specs);
+        let (hits, misses) = engine.oracle_stats();
+        assert_eq!(
+            misses,
+            ws.len() as u64,
+            "one emulation per distinct workload"
+        );
+        assert_eq!(
+            hits + misses,
+            specs.len() as u64,
+            "every halting cell consulted the oracle"
+        );
+    }
+
+    #[test]
+    fn jobs_resolution_prefers_override() {
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -52,11 +52,17 @@ impl YlaBank {
     /// Panics if `count` is not a power of two, or if a cache-line
     /// interleave has a non-power-of-two line size.
     pub fn new(count: u32, interleave: Interleave) -> YlaBank {
-        assert!(count.is_power_of_two(), "YLA register count must be a power of two");
+        assert!(
+            count.is_power_of_two(),
+            "YLA register count must be a power of two"
+        );
         if let Interleave::CacheLine(bytes) = interleave {
             assert!(bytes.is_power_of_two(), "line size must be a power of two");
         }
-        YlaBank { regs: vec![Age::OLDEST; count as usize], interleave }
+        YlaBank {
+            regs: vec![Age::OLDEST; count as usize],
+            interleave,
+        }
     }
 
     /// Number of registers.
@@ -137,7 +143,10 @@ impl YlaPolicy {
             Interleave::QuadWord => "qw",
             Interleave::CacheLine(_) => "line",
         };
-        YlaPolicy { bank: YlaBank::new(regs, interleave), name: format!("yla-{regs}-{kind}") }
+        YlaPolicy {
+            bank: YlaBank::new(regs, interleave),
+            name: format!("yla-{regs}-{kind}"),
+        }
     }
 }
 
@@ -174,7 +183,10 @@ impl MemDepPolicy for YlaPolicy {
         ctx.energy.yla_reads += 1;
         if self.bank.is_safe_store(span.addr, age) {
             ctx.stats.safe_stores += 1;
-            return StoreResolution { safe: true, replay_from: None };
+            return StoreResolution {
+                safe: true,
+                replay_from: None,
+            };
         }
         ctx.stats.unsafe_stores += 1;
         ctx.energy.lq_cam_searches += 1;
@@ -182,7 +194,10 @@ impl MemDepPolicy for YlaPolicy {
         if replay_from.is_some() {
             ctx.stats.replays.record(ReplayKind::TrueViolation);
         }
-        StoreResolution { safe: false, replay_from }
+        StoreResolution {
+            safe: false,
+            replay_from,
+        }
     }
 
     fn on_commit(&mut self, _ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
@@ -223,7 +238,10 @@ mod tests {
         let mut b = YlaBank::new(4, Interleave::QuadWord);
         b.update(Addr(0x00), Age(10));
         // Bank 0: store older than 10 is unsafe, younger is safe.
-        assert!(!b.is_safe_store(Addr(0x04), Age(9)), "same quad word, younger load issued");
+        assert!(
+            !b.is_safe_store(Addr(0x04), Age(9)),
+            "same quad word, younger load issued"
+        );
         assert!(b.is_safe_store(Addr(0x00), Age(11)));
         // Bank 1 never saw a load: everything is safe.
         assert!(b.is_safe_store(Addr(0x08), Age(1)));
@@ -282,7 +300,10 @@ mod tests {
                 b8.update(Addr(addr), Age(age));
             }
         }
-        assert!(safe8 >= safe1, "8 regs ({safe8}) must filter >= 1 reg ({safe1})");
+        assert!(
+            safe8 >= safe1,
+            "8 regs ({safe8}) must filter >= 1 reg ({safe1})"
+        );
     }
 
     #[test]
@@ -291,7 +312,11 @@ mod tests {
         let mut e = EnergyCounters::default();
         let mut s = PolicyStats::default();
         let mut lq = LoadQueue::new(8);
-        let mut ctx = PolicyCtx { cycle: Cycle(0), energy: &mut e, stats: &mut s };
+        let mut ctx = PolicyCtx {
+            cycle: Cycle(0),
+            energy: &mut e,
+            stats: &mut s,
+        };
 
         // Load at age 10 to 0x100.
         lq.allocate(Age(10));

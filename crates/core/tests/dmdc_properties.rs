@@ -43,7 +43,11 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
 /// (replays, windows_opened, windows_closed_by_end).
 fn drive(s: &Scenario) -> (u64, u64, PolicyStats) {
     let core = CoreConfig::config2();
-    let mut cfg = DmdcConfig { table_entries: 64, yla_regs: 4, ..DmdcConfig::global(&core) };
+    let mut cfg = DmdcConfig {
+        table_entries: 64,
+        yla_regs: 4,
+        ..DmdcConfig::global(&core)
+    };
     cfg.local_windows = s.local;
     cfg.safe_loads = s.safe_loads;
     let mut p = DmdcPolicy::new(cfg);
@@ -58,7 +62,11 @@ fn drive(s: &Scenario) -> (u64, u64, PolicyStats) {
         cycle.tick();
         let age = Age((i as u64 + 1) * 2);
         let span = MemSpan::new(Addr(0x1000 + qw * 8), AccessSize::B8);
-        let mut ctx = PolicyCtx { cycle, energy: &mut energy, stats: &mut stats };
+        let mut ctx = PolicyCtx {
+            cycle,
+            energy: &mut energy,
+            stats: &mut stats,
+        };
         if is_store {
             // A store may resolve "late": model by resolving with its own
             // age after younger loads already issued (handled naturally by
@@ -84,7 +92,12 @@ fn drive(s: &Scenario) -> (u64, u64, PolicyStats) {
         .enumerate()
         .map(|(i, &(is_store, qw))| {
             let slack = s.issue_slack[i % s.issue_slack.len()];
-            (Age((i as u64 + 1) * 2), is_store, qw, !is_store && slack == 0)
+            (
+                Age((i as u64 + 1) * 2),
+                is_store,
+                qw,
+                !is_store && slack == 0,
+            )
         })
         .collect();
     let mut idx = 0;
@@ -97,13 +110,21 @@ fn drive(s: &Scenario) -> (u64, u64, PolicyStats) {
         let span = MemSpan::new(Addr(0x1000 + qw * 8), AccessSize::B8);
         let info = CommitInfo {
             age,
-            kind: if is_store { CommitKind::Store } else { CommitKind::Load },
+            kind: if is_store {
+                CommitKind::Store
+            } else {
+                CommitKind::Load
+            },
             span: Some(span),
             safe_load: safe,
             value_correct: true,
             issue_cycle: Some(Cycle(1)),
         };
-        let mut ctx = PolicyCtx { cycle, energy: &mut energy, stats: &mut stats };
+        let mut ctx = PolicyCtx {
+            cycle,
+            energy: &mut energy,
+            stats: &mut stats,
+        };
         match p.on_commit(&mut ctx, &info) {
             CheckOutcome::Ok => idx += 1,
             CheckOutcome::Replay => {
@@ -112,7 +133,11 @@ fn drive(s: &Scenario) -> (u64, u64, PolicyStats) {
                 // Refetch: new age, and now trivially safe (all older
                 // stores committed) — mirrors the simulator's behavior.
                 {
-                    let mut ctx2 = PolicyCtx { cycle, energy: &mut energy, stats: &mut stats };
+                    let mut ctx2 = PolicyCtx {
+                        cycle,
+                        energy: &mut energy,
+                        stats: &mut stats,
+                    };
                     p.on_squash(&mut ctx2, Age(age.0 - 1));
                 }
                 next_age += 2;

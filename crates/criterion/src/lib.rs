@@ -1,0 +1,120 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate provides the tiny API surface the bench
+//! harness uses — [`Criterion::bench_function`] with [`Bencher::iter`] —
+//! measuring wall-clock time per iteration and printing mean/min/max.
+//! There is no warm-up tuning, outlier analysis, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments: any free argument becomes a
+    /// substring filter on benchmark names (`--bench`/`--exact` style
+    /// flags from `cargo bench` are ignored).
+    pub fn configure_from_args(mut self) -> Criterion {
+        let arg = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self.filter = arg;
+        self
+    }
+
+    /// Runs one benchmark: calls `f` with a [`Bencher`], times the
+    /// iterations, and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.sample_size,
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1) as u32;
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "bench {name:<40} mean {:>12.3?}  min {:>12.3?}  max {:>12.3?}  ({} samples)",
+            mean, min, max, n
+        );
+        self
+    }
+
+    /// Criterion's end-of-run summary; a no-op here.
+    pub fn final_summary(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once untimed (warm-up), then `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+        c.final_summary();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("other".into()),
+        };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+}

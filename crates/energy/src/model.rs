@@ -106,13 +106,19 @@ impl StructureGeometry {
 
     /// YLA filtering in front of a conventional CAM LQ (paper §3).
     pub fn yla_filtered(config: &CoreConfig, yla_regs: u32) -> StructureGeometry {
-        StructureGeometry { yla_regs, ..StructureGeometry::conventional(config) }
+        StructureGeometry {
+            yla_regs,
+            ..StructureGeometry::conventional(config)
+        }
     }
 
     /// Bloom-filter search filtering in front of a conventional CAM LQ
     /// (Sethumadhavan et al. \[18\], the paper's Figure 3 comparison).
     pub fn bloom_filtered(config: &CoreConfig, bloom_entries: u32) -> StructureGeometry {
-        StructureGeometry { bloom_entries, ..StructureGeometry::conventional(config) }
+        StructureGeometry {
+            bloom_entries,
+            ..StructureGeometry::conventional(config)
+        }
     }
 
     /// Full DMDC: FIFO LQ (hash keys only), checking table, two YLA sets.
@@ -130,7 +136,11 @@ impl StructureGeometry {
 
     /// DMDC with the associative checking queue instead of the hash table
     /// (paper §4.4).
-    pub fn checking_queue(config: &CoreConfig, cq_entries: u32, yla_regs: u32) -> StructureGeometry {
+    pub fn checking_queue(
+        config: &CoreConfig,
+        cq_entries: u32,
+        yla_regs: u32,
+    ) -> StructureGeometry {
         StructureGeometry {
             lq_tag_bits: 0,
             lq_entry_bits: ADDR_TAG_BITS,
@@ -187,12 +197,18 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// Model of the conventional design for `config`, default parameters.
     pub fn for_config(config: &CoreConfig) -> EnergyModel {
-        EnergyModel { params: EnergyParams::default(), geometry: StructureGeometry::conventional(config) }
+        EnergyModel {
+            params: EnergyParams::default(),
+            geometry: StructureGeometry::conventional(config),
+        }
     }
 
     /// Model with an explicit geometry (YLA/DMDC/bloom/checking-queue).
     pub fn with_geometry(geometry: StructureGeometry) -> EnergyModel {
-        EnergyModel { params: EnergyParams::default(), geometry }
+        EnergyModel {
+            params: EnergyParams::default(),
+            geometry,
+        }
     }
 
     fn cam_search(&self, entries: u32, tag_bits: u32) -> f64 {
@@ -231,11 +247,20 @@ impl EnergyModel {
             + e.table_clears as f64 * self.params.clear_entry * g.table_entries as f64;
         let yla = (e.yla_reads + e.yla_writes) as f64 * self.params.reg_access;
         let bloom = (e.bloom_reads + e.bloom_writes) as f64 * self.ram_access(g.bloom_entries, 3);
-        let cq = (e.cq_searches + e.cq_writes) as f64 * self.cam_search(g.cq_entries, ADDR_TAG_BITS);
+        let cq =
+            (e.cq_searches + e.cq_writes) as f64 * self.cam_search(g.cq_entries, ADDR_TAG_BITS);
         let core = g.core_scale
             * (stats.cycles as f64 * self.params.core_cycle
                 + stats.committed as f64 * self.params.core_instr);
-        EnergyBreakdown { lq, sq, table, yla, bloom, cq, core }
+        EnergyBreakdown {
+            lq,
+            sq,
+            table,
+            yla,
+            bloom,
+            cq,
+            core,
+        }
     }
 }
 
@@ -294,7 +319,10 @@ mod tests {
             );
             shares.push(share);
         }
-        assert!(shares[0] < shares[1] && shares[1] < shares[2], "share must grow: {shares:?}");
+        assert!(
+            shares[0] < shares[1] && shares[1] < shares[2],
+            "share must grow: {shares:?}"
+        );
     }
 
     #[test]
@@ -304,7 +332,10 @@ mod tests {
         let dmdc = EnergyModel::with_geometry(StructureGeometry::dmdc(&config, 16))
             .evaluate(&typical_dmdc_stats());
         let savings = 1.0 - dmdc.lq_functionality() / base.lq_functionality();
-        assert!(savings > 0.85, "expected ~95% LQ-functionality savings, got {savings:.3}");
+        assert!(
+            savings > 0.85,
+            "expected ~95% LQ-functionality savings, got {savings:.3}"
+        );
     }
 
     #[test]
@@ -340,9 +371,15 @@ mod tests {
     #[test]
     fn core_envelope_scales_with_machine_size() {
         let s = typical_baseline_stats();
-        let c1 = EnergyModel::for_config(&CoreConfig::config1()).evaluate(&s).core;
-        let c2 = EnergyModel::for_config(&CoreConfig::config2()).evaluate(&s).core;
-        let c3 = EnergyModel::for_config(&CoreConfig::config3()).evaluate(&s).core;
+        let c1 = EnergyModel::for_config(&CoreConfig::config1())
+            .evaluate(&s)
+            .core;
+        let c2 = EnergyModel::for_config(&CoreConfig::config2())
+            .evaluate(&s)
+            .core;
+        let c3 = EnergyModel::for_config(&CoreConfig::config3())
+            .evaluate(&s)
+            .core;
         assert!(c1 < c2 && c2 < c3);
     }
 

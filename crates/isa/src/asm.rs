@@ -56,8 +56,18 @@ pub struct Assembler {
 #[derive(Debug, Clone)]
 enum Pending {
     Ready(Inst),
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, label: String, line: usize },
-    Jal { rd: Reg, label: String, line: usize },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+        line: usize,
+    },
+    Jal {
+        rd: Reg,
+        label: String,
+        line: usize,
+    },
 }
 
 impl Assembler {
@@ -99,7 +109,10 @@ impl Assembler {
                 if label.is_empty() || !is_ident(label) {
                     return Err(err(line_no, format!("bad label `{label}`")));
                 }
-                if labels.insert(label.to_string(), pending.len() as u32).is_some() {
+                if labels
+                    .insert(label.to_string(), pending.len() as u32)
+                    .is_some()
+                {
                     return Err(err(line_no, format!("duplicate label `{label}`")));
                 }
                 text = rest[1..].trim();
@@ -114,18 +127,32 @@ impl Assembler {
             return Err(err(0, "empty program".to_string()));
         }
         if pending.len() >= (1 << 16) {
-            return Err(err(0, format!("program too large: {} instructions", pending.len())));
+            return Err(err(
+                0,
+                format!("program too large: {} instructions", pending.len()),
+            ));
         }
 
         let insts = pending
             .into_iter()
             .map(|p| match p {
                 Pending::Ready(i) => Ok(i),
-                Pending::Branch { cond, rs1, rs2, label, line } => {
+                Pending::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                    line,
+                } => {
                     let target = *labels
                         .get(&label)
                         .ok_or_else(|| err(line, format!("undefined label `{label}`")))?;
-                    Ok(Inst::Branch { cond, rs1, rs2, target })
+                    Ok(Inst::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        target,
+                    })
                 }
                 Pending::Jal { rd, label, line } => {
                     let target = *labels
@@ -141,7 +168,10 @@ impl Assembler {
 }
 
 fn err(line: usize, msg: impl Into<String>) -> AsmError {
-    AsmError { line, msg: msg.into() }
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 fn is_ident(s: &str) -> bool {
@@ -192,13 +222,19 @@ fn parse_imm16(tok: &str, line: usize) -> Result<i16, AsmError> {
 
 /// Parses `offset(base)`.
 fn parse_mem_operand(tok: &str, line: usize) -> Result<(i16, Reg), AsmError> {
-    let open = tok.find('(').ok_or_else(|| err(line, format!("expected offset(base), got `{tok}`")))?;
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset(base), got `{tok}`")))?;
     let close = tok
         .rfind(')')
         .filter(|&c| c > open)
         .ok_or_else(|| err(line, format!("unbalanced parens in `{tok}`")))?;
     let off_str = tok[..open].trim();
-    let offset = if off_str.is_empty() { 0 } else { parse_imm16(off_str, line)? };
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        parse_imm16(off_str, line)?
+    };
     let base = parse_reg(tok[open + 1..close].trim(), line)?;
     Ok((offset, base))
 }
@@ -284,7 +320,10 @@ fn parse_inst(text: &str, line: usize, out: &mut Vec<Pending>) -> Result<(), Asm
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            ))
         }
     };
 
@@ -316,14 +355,25 @@ fn parse_inst(text: &str, line: usize, out: &mut Vec<Pending>) -> Result<(), Asm
         want(2)?;
         let rd = parse_reg(ops[0], line)?;
         let (offset, base) = parse_mem_operand(ops[1], line)?;
-        out.push(Pending::Ready(Inst::Load { size, signed, rd, base, offset }));
+        out.push(Pending::Ready(Inst::Load {
+            size,
+            signed,
+            rd,
+            base,
+            offset,
+        }));
         return Ok(());
     }
     if let Some(size) = store_from_name(mnemonic) {
         want(2)?;
         let src = parse_reg(ops[0], line)?;
         let (offset, base) = parse_mem_operand(ops[1], line)?;
-        out.push(Pending::Ready(Inst::Store { size, src, base, offset }));
+        out.push(Pending::Ready(Inst::Store {
+            size,
+            src,
+            base,
+            offset,
+        }));
         return Ok(());
     }
     if let Some(op) = fpu_op_from_name(mnemonic) {
@@ -364,23 +414,46 @@ fn parse_inst(text: &str, line: usize, out: &mut Vec<Pending>) -> Result<(), Asm
         }
         "flw" | "fld" => {
             want(2)?;
-            let size = if mnemonic == "flw" { AccessSize::B4 } else { AccessSize::B8 };
+            let size = if mnemonic == "flw" {
+                AccessSize::B4
+            } else {
+                AccessSize::B8
+            };
             let fd = parse_freg(ops[0], line)?;
             let (offset, base) = parse_mem_operand(ops[1], line)?;
-            out.push(Pending::Ready(Inst::FLoad { size, fd, base, offset }));
+            out.push(Pending::Ready(Inst::FLoad {
+                size,
+                fd,
+                base,
+                offset,
+            }));
         }
         "fsw" | "fsd" => {
             want(2)?;
-            let size = if mnemonic == "fsw" { AccessSize::B4 } else { AccessSize::B8 };
+            let size = if mnemonic == "fsw" {
+                AccessSize::B4
+            } else {
+                AccessSize::B8
+            };
             let src = parse_freg(ops[0], line)?;
             let (offset, base) = parse_mem_operand(ops[1], line)?;
-            out.push(Pending::Ready(Inst::FStore { size, src, base, offset }));
+            out.push(Pending::Ready(Inst::FStore {
+                size,
+                src,
+                base,
+                offset,
+            }));
         }
         "fsqrt" => {
             want(2)?;
             let fd = parse_freg(ops[0], line)?;
             let fs1 = parse_freg(ops[1], line)?;
-            out.push(Pending::Ready(Inst::Fpu { op: FpuOp::Fsqrt, fd, fs1, fs2: fs1 }));
+            out.push(Pending::Ready(Inst::Fpu {
+                op: FpuOp::Fsqrt,
+                fd,
+                fs1,
+                fs2: fs1,
+            }));
         }
         "feq" | "flt" | "fle" => {
             want(3)?;
@@ -437,7 +510,11 @@ fn parse_inst(text: &str, line: usize, out: &mut Vec<Pending>) -> Result<(), Asm
         }
         "j" => {
             want(1)?;
-            out.push(Pending::Jal { rd: Reg::ZERO, label: ops[0].to_string(), line });
+            out.push(Pending::Jal {
+                rd: Reg::ZERO,
+                label: ops[0].to_string(),
+                line,
+            });
         }
         "jalr" => {
             want(2)?;
@@ -448,7 +525,10 @@ fn parse_inst(text: &str, line: usize, out: &mut Vec<Pending>) -> Result<(), Asm
         }
         "jr" => {
             want(1)?;
-            out.push(Pending::Ready(Inst::Jalr { rd: Reg::ZERO, rs1: parse_reg(ops[0], line)? }));
+            out.push(Pending::Ready(Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: parse_reg(ops[0], line)?,
+            }));
         }
         "mv" => {
             want(2)?;
@@ -463,7 +543,12 @@ fn parse_inst(text: &str, line: usize, out: &mut Vec<Pending>) -> Result<(), Asm
             want(2)?;
             let fd = parse_freg(ops[0], line)?;
             let fs = parse_freg(ops[1], line)?;
-            out.push(Pending::Ready(Inst::Fpu { op: FpuOp::Fmin, fd, fs1: fs, fs2: fs }));
+            out.push(Pending::Ready(Inst::Fpu {
+                op: FpuOp::Fmin,
+                fd,
+                fs1: fs,
+                fs2: fs,
+            }));
         }
         "neg" => {
             want(2)?;
@@ -499,16 +584,30 @@ fn parse_inst(text: &str, line: usize, out: &mut Vec<Pending>) -> Result<(), Asm
 /// Expands `li rd, v` into one `addi` or a `lui`+`addi` pair.
 fn expand_li(rd: Reg, v: i64, line: usize, out: &mut Vec<Pending>) -> Result<(), AsmError> {
     if let Ok(imm) = i16::try_from(v) {
-        out.push(Pending::Ready(Inst::AluImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm }));
+        out.push(Pending::Ready(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::ZERO,
+            imm,
+        }));
         return Ok(());
     }
     let lo = v as i16;
     let hi = (v - lo as i64) >> 16;
-    let hi = i16::try_from(hi)
-        .map_err(|_| err(line, format!("li immediate {v} out of two-instruction range")))?;
+    let hi = i16::try_from(hi).map_err(|_| {
+        err(
+            line,
+            format!("li immediate {v} out of two-instruction range"),
+        )
+    })?;
     out.push(Pending::Ready(Inst::Lui { rd, imm: hi }));
     if lo != 0 {
-        out.push(Pending::Ready(Inst::AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo }));
+        out.push(Pending::Ready(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1: rd,
+            imm: lo,
+        }));
     }
     Ok(())
 }
@@ -528,20 +627,40 @@ mod tests {
 
     #[test]
     fn labels_resolve_forward_and_backward() {
-        let p = asm(
-            "start: beq x0, x0, end
+        let p = asm("start: beq x0, x0, end
                     nop
              end:   bne x0, x1, start
-                    halt",
+                    halt");
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                target: 2
+            })
         );
-        assert_eq!(p.fetch(0), Some(Inst::Branch { cond: BranchCond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, target: 2 }));
-        assert_eq!(p.fetch(2), Some(Inst::Branch { cond: BranchCond::Ne, rs1: Reg::ZERO, rs2: Reg::new(1), target: 0 }));
+        assert_eq!(
+            p.fetch(2),
+            Some(Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::ZERO,
+                rs2: Reg::new(1),
+                target: 0
+            })
+        );
     }
 
     #[test]
     fn label_on_its_own_line() {
         let p = asm("top:\n  j top\n  halt");
-        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::ZERO, target: 0 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Jal {
+                rd: Reg::ZERO,
+                target: 0
+            })
+        );
     }
 
     #[test]
@@ -556,13 +675,25 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(
             p.fetch(0),
-            Some(Inst::AluImm { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::ZERO, imm: -5 })
+            Some(Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::new(1),
+                rs1: Reg::ZERO,
+                imm: -5
+            })
         );
     }
 
     #[test]
     fn li_large_expands_and_evaluates() {
-        for &v in &[0x1234_5678i64, -0x1234_5678, 0x7FFF_0000, 65536, 0x10000 - 1, 0x8000] {
+        for &v in &[
+            0x1234_5678i64,
+            -0x1234_5678,
+            0x7FFF_0000,
+            65536,
+            0x10000 - 1,
+            0x8000,
+        ] {
             let src = format!("li x1, {v}\nhalt");
             let p = asm(&src);
             let mut e = Emulator::new(&p);
@@ -582,46 +713,141 @@ mod tests {
         let p = asm("lw x1, 8(x2)\nsw x1, -4(x3)\nld x4, (x5)\nhalt");
         assert_eq!(
             p.fetch(0),
-            Some(Inst::Load { size: AccessSize::B4, signed: true, rd: Reg::new(1), base: Reg::new(2), offset: 8 })
+            Some(Inst::Load {
+                size: AccessSize::B4,
+                signed: true,
+                rd: Reg::new(1),
+                base: Reg::new(2),
+                offset: 8
+            })
         );
         assert_eq!(
             p.fetch(1),
-            Some(Inst::Store { size: AccessSize::B4, src: Reg::new(1), base: Reg::new(3), offset: -4 })
+            Some(Inst::Store {
+                size: AccessSize::B4,
+                src: Reg::new(1),
+                base: Reg::new(3),
+                offset: -4
+            })
         );
         assert_eq!(
             p.fetch(2),
-            Some(Inst::Load { size: AccessSize::B8, signed: true, rd: Reg::new(4), base: Reg::new(5), offset: 0 })
+            Some(Inst::Load {
+                size: AccessSize::B8,
+                signed: true,
+                rd: Reg::new(4),
+                base: Reg::new(5),
+                offset: 0
+            })
         );
     }
 
     #[test]
     fn pseudo_instructions_expand() {
         let p = asm("mv x1, x2\nneg x3, x4\nnot x5, x6\njr x31\nhalt");
-        assert_eq!(p.fetch(0), Some(Inst::AluImm { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), imm: 0 }));
-        assert_eq!(p.fetch(1), Some(Inst::Alu { op: AluOp::Sub, rd: Reg::new(3), rs1: Reg::ZERO, rs2: Reg::new(4) }));
-        assert_eq!(p.fetch(2), Some(Inst::AluImm { op: AluOp::Xor, rd: Reg::new(5), rs1: Reg::new(6), imm: -1 }));
-        assert_eq!(p.fetch(3), Some(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::new(31) }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::new(1),
+                rs1: Reg::new(2),
+                imm: 0
+            })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(Inst::Alu {
+                op: AluOp::Sub,
+                rd: Reg::new(3),
+                rs1: Reg::ZERO,
+                rs2: Reg::new(4)
+            })
+        );
+        assert_eq!(
+            p.fetch(2),
+            Some(Inst::AluImm {
+                op: AluOp::Xor,
+                rd: Reg::new(5),
+                rs1: Reg::new(6),
+                imm: -1
+            })
+        );
+        assert_eq!(
+            p.fetch(3),
+            Some(Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::new(31)
+            })
+        );
     }
 
     #[test]
     fn reversed_branch_pseudos() {
         let p = asm("t: bgt x1, x2, t\nble x1, x2, t\nhalt");
-        assert_eq!(p.fetch(0), Some(Inst::Branch { cond: BranchCond::Lt, rs1: Reg::new(2), rs2: Reg::new(1), target: 0 }));
-        assert_eq!(p.fetch(1), Some(Inst::Branch { cond: BranchCond::Ge, rs1: Reg::new(2), rs2: Reg::new(1), target: 0 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Branch {
+                cond: BranchCond::Lt,
+                rs1: Reg::new(2),
+                rs2: Reg::new(1),
+                target: 0
+            })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(Inst::Branch {
+                cond: BranchCond::Ge,
+                rs1: Reg::new(2),
+                rs2: Reg::new(1),
+                target: 0
+            })
+        );
     }
 
     #[test]
     fn zero_alias() {
         let p = asm("add x1, zero, zero\nhalt");
-        assert_eq!(p.fetch(0), Some(Inst::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::ZERO, rs2: Reg::ZERO }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::new(1),
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO
+            })
+        );
     }
 
     #[test]
     fn fp_mnemonics() {
         let p = asm("fadd f1, f2, f3\nfsqrt f4, f5\nfeq x1, f1, f2\ni2f f0, x1\nf2i x2, f0\nfmv f6, f7\nhalt");
-        assert_eq!(p.fetch(0), Some(Inst::Fpu { op: FpuOp::Fadd, fd: FReg::new(1), fs1: FReg::new(2), fs2: FReg::new(3) }));
-        assert_eq!(p.fetch(1), Some(Inst::Fpu { op: FpuOp::Fsqrt, fd: FReg::new(4), fs1: FReg::new(5), fs2: FReg::new(5) }));
-        assert_eq!(p.fetch(5), Some(Inst::Fpu { op: FpuOp::Fmin, fd: FReg::new(6), fs1: FReg::new(7), fs2: FReg::new(7) }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Fpu {
+                op: FpuOp::Fadd,
+                fd: FReg::new(1),
+                fs1: FReg::new(2),
+                fs2: FReg::new(3)
+            })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(Inst::Fpu {
+                op: FpuOp::Fsqrt,
+                fd: FReg::new(4),
+                fs1: FReg::new(5),
+                fs2: FReg::new(5)
+            })
+        );
+        assert_eq!(
+            p.fetch(5),
+            Some(Inst::Fpu {
+                op: FpuOp::Fmin,
+                fd: FReg::new(6),
+                fs1: FReg::new(7),
+                fs2: FReg::new(7)
+            })
+        );
     }
 
     #[test]
@@ -664,6 +890,14 @@ mod tests {
     #[test]
     fn sltui_parses() {
         let p = asm("sltui x1, x2, 10\nhalt");
-        assert_eq!(p.fetch(0), Some(Inst::AluImm { op: AluOp::Sltu, rd: Reg::new(1), rs1: Reg::new(2), imm: 10 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::AluImm {
+                op: AluOp::Sltu,
+                rd: Reg::new(1),
+                rs1: Reg::new(2),
+                imm: 10
+            })
+        );
     }
 }

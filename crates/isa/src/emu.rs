@@ -18,7 +18,11 @@ pub enum EmuError {
     /// A memory access was not naturally aligned. The ISA requires natural
     /// alignment so no access ever straddles a quad word (which the DMDC
     /// bitmap logic relies on).
-    Misaligned { pc: u32, addr: Addr, size: AccessSize },
+    Misaligned {
+        pc: u32,
+        addr: Addr,
+        size: AccessSize,
+    },
     /// The instruction limit was reached before the program halted.
     InstructionLimit { executed: u64 },
 }
@@ -153,7 +157,11 @@ impl<'p> Emulator<'p> {
         if addr.is_aligned(size.bytes()) {
             Ok(())
         } else {
-            Err(EmuError::Misaligned { pc: self.pc, addr, size })
+            Err(EmuError::Misaligned {
+                pc: self.pc,
+                addr,
+                size,
+            })
         }
     }
 
@@ -166,7 +174,10 @@ impl<'p> Emulator<'p> {
     pub fn step(&mut self) -> Result<Retired, EmuError> {
         let pc = self.pc;
         let was_halted = self.halted;
-        let inst = self.program.fetch(pc).ok_or(EmuError::PcOutOfRange { pc })?;
+        let inst = self
+            .program
+            .fetch(pc)
+            .ok_or(EmuError::PcOutOfRange { pc })?;
         let mut next_pc = pc + 1;
         let mut mem_span = None;
         let mut taken = None;
@@ -188,7 +199,13 @@ impl<'p> Emulator<'p> {
             Inst::Lui { rd, imm } => {
                 self.write_int(rd, ((imm as i64) << 16) as u64);
             }
-            Inst::Load { size, signed, rd, base, offset } => {
+            Inst::Load {
+                size,
+                signed,
+                rd,
+                base,
+                offset,
+            } => {
                 let addr = self.ea(base, offset);
                 self.check_aligned(addr, size)?;
                 let raw = self.mem.read(addr, size);
@@ -196,27 +213,44 @@ impl<'p> Emulator<'p> {
                 self.write_int(rd, v);
                 mem_span = Some(MemSpan::new(addr, size));
             }
-            Inst::Store { size, src, base, offset } => {
+            Inst::Store {
+                size,
+                src,
+                base,
+                offset,
+            } => {
                 let addr = self.ea(base, offset);
                 self.check_aligned(addr, size)?;
                 self.mem.write(addr, size, self.int_regs[src.index()]);
                 mem_span = Some(MemSpan::new(addr, size));
             }
-            Inst::FLoad { size, fd, base, offset } => {
+            Inst::FLoad {
+                size,
+                fd,
+                base,
+                offset,
+            } => {
                 let addr = self.ea(base, offset);
                 self.check_aligned(addr, size)?;
                 let raw = self.mem.read(addr, size);
                 self.fp_regs[fd.index()] = fp_from_bits(raw, size);
                 mem_span = Some(MemSpan::new(addr, size));
             }
-            Inst::FStore { size, src, base, offset } => {
+            Inst::FStore {
+                size,
+                src,
+                base,
+                offset,
+            } => {
                 let addr = self.ea(base, offset);
                 self.check_aligned(addr, size)?;
-                self.mem.write(addr, size, fp_to_bits(self.fp_regs[src.index()], size));
+                self.mem
+                    .write(addr, size, fp_to_bits(self.fp_regs[src.index()], size));
                 mem_span = Some(MemSpan::new(addr, size));
             }
             Inst::Fpu { op, fd, fs1, fs2 } => {
-                self.fp_regs[fd.index()] = op.eval(self.fp_regs[fs1.index()], self.fp_regs[fs2.index()]);
+                self.fp_regs[fd.index()] =
+                    op.eval(self.fp_regs[fs1.index()], self.fp_regs[fs2.index()]);
             }
             Inst::Fcmp { cond, rd, fs1, fs2 } => {
                 let v = cond.eval(self.fp_regs[fs1.index()], self.fp_regs[fs2.index()]) as u64;
@@ -228,7 +262,12 @@ impl<'p> Emulator<'p> {
             Inst::FpToInt { rd, fs } => {
                 self.write_int(rd, fp_to_int(self.fp_regs[fs.index()]));
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let t = cond.eval(self.int_regs[rs1.index()], self.int_regs[rs2.index()]);
                 taken = Some(t);
                 if t {
@@ -250,7 +289,13 @@ impl<'p> Emulator<'p> {
         if !was_halted {
             self.retired += 1;
         }
-        Ok(Retired { pc, next_pc, inst, mem: mem_span, taken })
+        Ok(Retired {
+            pc,
+            next_pc,
+            inst,
+            mem: mem_span,
+            taken,
+        })
     }
 
     /// Runs until `halt` or `max_insts` retired instructions.
@@ -264,7 +309,9 @@ impl<'p> Emulator<'p> {
     pub fn run(&mut self, max_insts: u64) -> Result<u64, EmuError> {
         while !self.halted {
             if self.retired >= max_insts {
-                return Err(EmuError::InstructionLimit { executed: self.retired });
+                return Err(EmuError::InstructionLimit {
+                    executed: self.retired,
+                });
             }
             self.step()?;
         }

@@ -210,24 +210,68 @@ pub fn encode(inst: Inst) -> u32 {
             rs2.index() as u32,
             alu_code(op),
         ),
-        Inst::AluImm { op, rd, rs1, imm } => {
-            pack_imm(OP_ALU_IMM_BASE + alu_code(op), rd.index() as u32, rs1.index() as u32, imm)
-        }
+        Inst::AluImm { op, rd, rs1, imm } => pack_imm(
+            OP_ALU_IMM_BASE + alu_code(op),
+            rd.index() as u32,
+            rs1.index() as u32,
+            imm,
+        ),
         Inst::Lui { rd, imm } => pack_imm(OP_LUI, rd.index() as u32, 0, imm),
-        Inst::Load { size, signed, rd, base, offset } => {
-            pack_imm(load_opcode(size, signed), rd.index() as u32, base.index() as u32, offset)
-        }
-        Inst::Store { size, src, base, offset } => {
-            pack_imm(store_opcode(size), src.index() as u32, base.index() as u32, offset)
-        }
-        Inst::FLoad { size, fd, base, offset } => {
-            let op = if size == AccessSize::B4 { OP_FLW } else { OP_FLD };
-            assert!(matches!(size, AccessSize::B4 | AccessSize::B8), "fp loads are 4 or 8 bytes");
+        Inst::Load {
+            size,
+            signed,
+            rd,
+            base,
+            offset,
+        } => pack_imm(
+            load_opcode(size, signed),
+            rd.index() as u32,
+            base.index() as u32,
+            offset,
+        ),
+        Inst::Store {
+            size,
+            src,
+            base,
+            offset,
+        } => pack_imm(
+            store_opcode(size),
+            src.index() as u32,
+            base.index() as u32,
+            offset,
+        ),
+        Inst::FLoad {
+            size,
+            fd,
+            base,
+            offset,
+        } => {
+            let op = if size == AccessSize::B4 {
+                OP_FLW
+            } else {
+                OP_FLD
+            };
+            assert!(
+                matches!(size, AccessSize::B4 | AccessSize::B8),
+                "fp loads are 4 or 8 bytes"
+            );
             pack_imm(op, fd.index() as u32, base.index() as u32, offset)
         }
-        Inst::FStore { size, src, base, offset } => {
-            let op = if size == AccessSize::B4 { OP_FSW } else { OP_FSD };
-            assert!(matches!(size, AccessSize::B4 | AccessSize::B8), "fp stores are 4 or 8 bytes");
+        Inst::FStore {
+            size,
+            src,
+            base,
+            offset,
+        } => {
+            let op = if size == AccessSize::B4 {
+                OP_FSW
+            } else {
+                OP_FSD
+            };
+            assert!(
+                matches!(size, AccessSize::B4 | AccessSize::B8),
+                "fp stores are 4 or 8 bytes"
+            );
             pack_imm(op, src.index() as u32, base.index() as u32, offset)
         }
         Inst::Fpu { op, fd, fs1, fs2 } => pack(
@@ -246,15 +290,26 @@ pub fn encode(inst: Inst) -> u32 {
         ),
         Inst::IntToFp { fd, rs } => pack(OP_I2F, fd.index() as u32, rs.index() as u32, 0, 0),
         Inst::FpToInt { rd, fs } => pack(OP_F2I, rd.index() as u32, fs.index() as u32, 0, 0),
-        Inst::Branch { cond, rs1, rs2, target } => {
-            assert!(target < (1 << 16), "branch target out of encodable range: {target}");
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            assert!(
+                target < (1 << 16),
+                "branch target out of encodable range: {target}"
+            );
             (OP_BRANCH_BASE + branch_code(cond)) << 26
                 | (rs1.index() as u32) << 21
                 | (rs2.index() as u32) << 16
                 | target
         }
         Inst::Jal { rd, target } => {
-            assert!(target < (1 << 21), "jal target out of encodable range: {target}");
+            assert!(
+                target < (1 << 21),
+                "jal target out of encodable range: {target}"
+            );
             (OP_JAL << 26) | ((rd.index() as u32) << 21) | target
         }
         Inst::Jalr { rd, rs1 } => pack(OP_JALR, rd.index() as u32, rs1.index() as u32, 0, 0),
@@ -291,7 +346,10 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             rs1: Reg::new(b),
             imm,
         },
-        OP_LUI => Inst::Lui { rd: Reg::new(a), imm },
+        OP_LUI => Inst::Lui {
+            rd: Reg::new(a),
+            imm,
+        },
         o if (OP_LOAD_BASE..OP_LOAD_BASE + 7).contains(&o) => {
             let v = o - OP_LOAD_BASE;
             let (size, signed) = match v {
@@ -304,7 +362,13 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 6 => (AccessSize::B8, true),
                 _ => unreachable!(),
             };
-            Inst::Load { size, signed, rd: Reg::new(a), base: Reg::new(b), offset: imm }
+            Inst::Load {
+                size,
+                signed,
+                rd: Reg::new(a),
+                base: Reg::new(b),
+                offset: imm,
+            }
         }
         o if (OP_STORE_BASE..OP_STORE_BASE + 4).contains(&o) => {
             let size = match o - OP_STORE_BASE {
@@ -314,12 +378,37 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 3 => AccessSize::B8,
                 _ => unreachable!(),
             };
-            Inst::Store { size, src: Reg::new(a), base: Reg::new(b), offset: imm }
+            Inst::Store {
+                size,
+                src: Reg::new(a),
+                base: Reg::new(b),
+                offset: imm,
+            }
         }
-        OP_FLW => Inst::FLoad { size: AccessSize::B4, fd: FReg::new(a), base: Reg::new(b), offset: imm },
-        OP_FLD => Inst::FLoad { size: AccessSize::B8, fd: FReg::new(a), base: Reg::new(b), offset: imm },
-        OP_FSW => Inst::FStore { size: AccessSize::B4, src: FReg::new(a), base: Reg::new(b), offset: imm },
-        OP_FSD => Inst::FStore { size: AccessSize::B8, src: FReg::new(a), base: Reg::new(b), offset: imm },
+        OP_FLW => Inst::FLoad {
+            size: AccessSize::B4,
+            fd: FReg::new(a),
+            base: Reg::new(b),
+            offset: imm,
+        },
+        OP_FLD => Inst::FLoad {
+            size: AccessSize::B8,
+            fd: FReg::new(a),
+            base: Reg::new(b),
+            offset: imm,
+        },
+        OP_FSW => Inst::FStore {
+            size: AccessSize::B4,
+            src: FReg::new(a),
+            base: Reg::new(b),
+            offset: imm,
+        },
+        OP_FSD => Inst::FStore {
+            size: AccessSize::B8,
+            src: FReg::new(a),
+            base: Reg::new(b),
+            offset: imm,
+        },
         OP_FPU => Inst::Fpu {
             op: fpu_from_code(low & 31).ok_or_else(|| err("bad FPU function code"))?,
             fd: FReg::new(a),
@@ -332,16 +421,28 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             fs1: FReg::new(b),
             fs2: FReg::new(c),
         },
-        OP_I2F => Inst::IntToFp { fd: FReg::new(a), rs: Reg::new(b) },
-        OP_F2I => Inst::FpToInt { rd: Reg::new(a), fs: FReg::new(b) },
+        OP_I2F => Inst::IntToFp {
+            fd: FReg::new(a),
+            rs: Reg::new(b),
+        },
+        OP_F2I => Inst::FpToInt {
+            rd: Reg::new(a),
+            fs: FReg::new(b),
+        },
         o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => Inst::Branch {
             cond: branch_from_code(o - OP_BRANCH_BASE).expect("range-checked"),
             rs1: Reg::new(a),
             rs2: Reg::new(b),
             target: word & 0xFFFF,
         },
-        OP_JAL => Inst::Jal { rd: Reg::new(a), target: word & 0x1F_FFFF },
-        OP_JALR => Inst::Jalr { rd: Reg::new(a), rs1: Reg::new(b) },
+        OP_JAL => Inst::Jal {
+            rd: Reg::new(a),
+            target: word & 0x1F_FFFF,
+        },
+        OP_JALR => Inst::Jalr {
+            rd: Reg::new(a),
+            rs1: Reg::new(b),
+        },
         _ => return Err(err("unknown opcode")),
     })
 }
@@ -390,23 +491,48 @@ mod tests {
         prop_oneof![
             Just(Inst::Nop),
             Just(Inst::Halt),
-            (alu_op_strategy(), reg_strategy(), reg_strategy(), reg_strategy())
+            (
+                alu_op_strategy(),
+                reg_strategy(),
+                reg_strategy(),
+                reg_strategy()
+            )
                 .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
-            (alu_op_strategy(), reg_strategy(), reg_strategy(), any::<i16>())
+            (
+                alu_op_strategy(),
+                reg_strategy(),
+                reg_strategy(),
+                any::<i16>()
+            )
                 .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
             (reg_strategy(), any::<i16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
-            (size_strategy(), any::<bool>(), reg_strategy(), reg_strategy(), any::<i16>()).prop_map(
-                |(size, signed, rd, base, offset)| Inst::Load {
+            (
+                size_strategy(),
+                any::<bool>(),
+                reg_strategy(),
+                reg_strategy(),
+                any::<i16>()
+            )
+                .prop_map(|(size, signed, rd, base, offset)| Inst::Load {
                     size,
                     // B8 collapses signed/unsigned into one opcode.
                     signed: signed || size == AccessSize::B8,
                     rd,
                     base,
                     offset
-                }
-            ),
-            (size_strategy(), reg_strategy(), reg_strategy(), any::<i16>())
-                .prop_map(|(size, src, base, offset)| Inst::Store { size, src, base, offset }),
+                }),
+            (
+                size_strategy(),
+                reg_strategy(),
+                reg_strategy(),
+                any::<i16>()
+            )
+                .prop_map(|(size, src, base, offset)| Inst::Store {
+                    size,
+                    src,
+                    base,
+                    offset
+                }),
             (any::<bool>(), freg_strategy(), reg_strategy(), any::<i16>()).prop_map(
                 |(wide, fd, base, offset)| Inst::FLoad {
                     size: if wide { AccessSize::B8 } else { AccessSize::B4 },
@@ -439,7 +565,11 @@ mod tests {
             )
                 .prop_map(|(op, fd, fs1, fs2)| Inst::Fpu { op, fd, fs1, fs2 }),
             (
-                prop_oneof![Just(FcmpCond::Feq), Just(FcmpCond::Flt), Just(FcmpCond::Fle)],
+                prop_oneof![
+                    Just(FcmpCond::Feq),
+                    Just(FcmpCond::Flt),
+                    Just(FcmpCond::Fle)
+                ],
                 reg_strategy(),
                 freg_strategy(),
                 freg_strategy()
@@ -460,7 +590,12 @@ mod tests {
                 reg_strategy(),
                 0u32..(1 << 16)
             )
-                .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
+                .prop_map(|(cond, rs1, rs2, target)| Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target
+                }),
             (reg_strategy(), 0u32..(1 << 21)).prop_map(|(rd, target)| Inst::Jal { rd, target }),
             (reg_strategy(), reg_strategy()).prop_map(|(rd, rs1)| Inst::Jalr { rd, rs1 }),
         ]
@@ -498,7 +633,12 @@ mod tests {
         // A couple of pinned encodings guard against accidental layout drift.
         assert_eq!(encode(Inst::Nop), 0);
         assert_eq!(encode(Inst::Halt), 1 << 26);
-        let add = Inst::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), rs2: Reg::new(3) };
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            rs2: Reg::new(3),
+        };
         assert_eq!(encode(add), (2 << 26) | (1 << 21) | (2 << 16) | (3 << 11));
     }
 

@@ -166,30 +166,76 @@ impl BranchCond {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Inst {
     /// Three-register integer ALU operation: `rd = rs1 op rs2`.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Register-immediate integer ALU operation: `rd = rs1 op imm`.
-    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i16 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i16,
+    },
     /// Load upper immediate: `rd = imm << 16`.
     Lui { rd: Reg, imm: i16 },
     /// Integer load: `rd = sign/zero-extend(mem[rs1 + offset])`.
-    Load { size: AccessSize, signed: bool, rd: Reg, base: Reg, offset: i16 },
+    Load {
+        size: AccessSize,
+        signed: bool,
+        rd: Reg,
+        base: Reg,
+        offset: i16,
+    },
     /// Integer store: `mem[rs1 + offset] = low bytes of rs`.
-    Store { size: AccessSize, src: Reg, base: Reg, offset: i16 },
+    Store {
+        size: AccessSize,
+        src: Reg,
+        base: Reg,
+        offset: i16,
+    },
     /// FP load (4 bytes load an `f32` widened to `f64`; 8 bytes an `f64`).
-    FLoad { size: AccessSize, fd: FReg, base: Reg, offset: i16 },
+    FLoad {
+        size: AccessSize,
+        fd: FReg,
+        base: Reg,
+        offset: i16,
+    },
     /// FP store (4 bytes store the value narrowed to `f32`).
-    FStore { size: AccessSize, src: FReg, base: Reg, offset: i16 },
+    FStore {
+        size: AccessSize,
+        src: FReg,
+        base: Reg,
+        offset: i16,
+    },
     /// Three-register FP operation: `fd = fs1 op fs2`.
-    Fpu { op: FpuOp, fd: FReg, fs1: FReg, fs2: FReg },
+    Fpu {
+        op: FpuOp,
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+    },
     /// FP compare into an integer register: `rd = (fs1 < fs2)` (Flt) or
     /// `(fs1 <= fs2)` (Fle) or `(fs1 == fs2)` (Feq); selected by `cond`.
-    Fcmp { cond: FcmpCond, rd: Reg, fs1: FReg, fs2: FReg },
+    Fcmp {
+        cond: FcmpCond,
+        rd: Reg,
+        fs1: FReg,
+        fs2: FReg,
+    },
     /// Convert signed integer to double: `fd = rs as f64`.
     IntToFp { fd: FReg, rs: Reg },
     /// Convert double to signed integer (truncating, saturating): `rd = fs as i64`.
     FpToInt { rd: Reg, fs: FReg },
     /// Conditional branch to absolute instruction index `target`.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: u32 },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: u32,
+    },
     /// Unconditional jump; `rd` receives the return instruction index
     /// (`pc + 1`). Use `x0` to discard.
     Jal { rd: Reg, target: u32 },
@@ -337,10 +383,14 @@ impl Inst {
             | Inst::FpToInt { rd, .. }
             | Inst::Jal { rd, .. }
             | Inst::Jalr { rd, .. } => ArchReg::Int(rd),
-            Inst::FLoad { fd, .. } | Inst::Fpu { fd, .. } | Inst::IntToFp { fd, .. } => ArchReg::Fp(fd),
-            Inst::Store { .. } | Inst::FStore { .. } | Inst::Branch { .. } | Inst::Halt | Inst::Nop => {
-                return None
+            Inst::FLoad { fd, .. } | Inst::Fpu { fd, .. } | Inst::IntToFp { fd, .. } => {
+                ArchReg::Fp(fd)
             }
+            Inst::Store { .. }
+            | Inst::FStore { .. }
+            | Inst::Branch { .. }
+            | Inst::Halt
+            | Inst::Nop => return None,
         };
         if d.is_int_zero() {
             None
@@ -386,7 +436,9 @@ impl SourceList {
 
     /// Iterates over the sources in operand order.
     pub fn iter(&self) -> impl Iterator<Item = ArchReg> + '_ {
-        self.regs[..self.len].iter().map(|r| r.expect("filled slot"))
+        self.regs[..self.len]
+            .iter()
+            .map(|r| r.expect("filled slot"))
     }
 
     /// Number of sources (0–2).
@@ -406,17 +458,47 @@ impl fmt::Display for Inst {
             Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op:?} {rd}, {rs1}, {rs2}"),
             Inst::AluImm { op, rd, rs1, imm } => write!(f, "{op:?}i {rd}, {rs1}, {imm}"),
             Inst::Lui { rd, imm } => write!(f, "Lui {rd}, {imm}"),
-            Inst::Load { size, signed, rd, base, offset } => {
-                write!(f, "Load{size}{} {rd}, {offset}({base})", if signed { "s" } else { "u" })
+            Inst::Load {
+                size,
+                signed,
+                rd,
+                base,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "Load{size}{} {rd}, {offset}({base})",
+                    if signed { "s" } else { "u" }
+                )
             }
-            Inst::Store { size, src, base, offset } => write!(f, "Store{size} {src}, {offset}({base})"),
-            Inst::FLoad { size, fd, base, offset } => write!(f, "FLoad{size} {fd}, {offset}({base})"),
-            Inst::FStore { size, src, base, offset } => write!(f, "FStore{size} {src}, {offset}({base})"),
+            Inst::Store {
+                size,
+                src,
+                base,
+                offset,
+            } => write!(f, "Store{size} {src}, {offset}({base})"),
+            Inst::FLoad {
+                size,
+                fd,
+                base,
+                offset,
+            } => write!(f, "FLoad{size} {fd}, {offset}({base})"),
+            Inst::FStore {
+                size,
+                src,
+                base,
+                offset,
+            } => write!(f, "FStore{size} {src}, {offset}({base})"),
             Inst::Fpu { op, fd, fs1, fs2 } => write!(f, "{op:?} {fd}, {fs1}, {fs2}"),
             Inst::Fcmp { cond, rd, fs1, fs2 } => write!(f, "{cond:?} {rd}, {fs1}, {fs2}"),
             Inst::IntToFp { fd, rs } => write!(f, "IntToFp {fd}, {rs}"),
             Inst::FpToInt { rd, fs } => write!(f, "FpToInt {rd}, {fs}"),
-            Inst::Branch { cond, rs1, rs2, target } => write!(f, "B{cond:?} {rs1}, {rs2}, @{target}"),
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(f, "B{cond:?} {rs1}, {rs2}, @{target}"),
             Inst::Jal { rd, target } => write!(f, "Jal {rd}, @{target}"),
             Inst::Jalr { rd, rs1 } => write!(f, "Jalr {rd}, {rs1}"),
             Inst::Halt => write!(f, "Halt"),
@@ -443,7 +525,10 @@ mod tests {
     fn alu_division_edge_cases() {
         assert_eq!(AluOp::Div.eval(7, 0), u64::MAX, "div by zero is all-ones");
         assert_eq!(AluOp::Rem.eval(7, 0), 7, "rem by zero is the dividend");
-        assert_eq!(AluOp::Div.eval(i64::MIN as u64, (-1i64) as u64), i64::MIN as u64);
+        assert_eq!(
+            AluOp::Div.eval(i64::MIN as u64, (-1i64) as u64),
+            i64::MIN as u64
+        );
         assert_eq!(AluOp::Rem.eval(i64::MIN as u64, (-1i64) as u64), 0);
         assert_eq!(AluOp::Div.eval((-7i64) as u64, 2), (-3i64) as u64);
     }
@@ -491,19 +576,63 @@ mod tests {
     fn classes_route_correctly() {
         let r = Reg::new(1);
         let fr = FReg::new(1);
-        assert_eq!(Inst::Alu { op: AluOp::Add, rd: r, rs1: r, rs2: r }.class(), InstClass::IntAlu);
-        assert_eq!(Inst::Alu { op: AluOp::Div, rd: r, rs1: r, rs2: r }.class(), InstClass::IntMulDiv);
-        assert_eq!(Inst::Fpu { op: FpuOp::Fadd, fd: fr, fs1: fr, fs2: fr }.class(), InstClass::FpAlu);
-        assert_eq!(Inst::Fpu { op: FpuOp::Fdiv, fd: fr, fs1: fr, fs2: fr }.class(), InstClass::FpMulDiv);
+        assert_eq!(
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: r,
+                rs1: r,
+                rs2: r
+            }
+            .class(),
+            InstClass::IntAlu
+        );
+        assert_eq!(
+            Inst::Alu {
+                op: AluOp::Div,
+                rd: r,
+                rs1: r,
+                rs2: r
+            }
+            .class(),
+            InstClass::IntMulDiv
+        );
+        assert_eq!(
+            Inst::Fpu {
+                op: FpuOp::Fadd,
+                fd: fr,
+                fs1: fr,
+                fs2: fr
+            }
+            .class(),
+            InstClass::FpAlu
+        );
+        assert_eq!(
+            Inst::Fpu {
+                op: FpuOp::Fdiv,
+                fd: fr,
+                fs1: fr,
+                fs2: fr
+            }
+            .class(),
+            InstClass::FpMulDiv
+        );
         assert!(InstClass::FpAlu.is_fp_queue());
         assert!(!InstClass::Load.is_fp_queue());
     }
 
     #[test]
     fn dest_hides_x0_writes() {
-        let i = Inst::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::new(1), imm: 1 };
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::new(1),
+            imm: 1,
+        };
         assert_eq!(i.dest(), None);
-        let j = Inst::Jal { rd: Reg::ZERO, target: 0 };
+        let j = Inst::Jal {
+            rd: Reg::ZERO,
+            target: 0,
+        };
         assert_eq!(j.dest(), None);
     }
 
@@ -516,17 +645,28 @@ mod tests {
             offset: 8,
         };
         let srcs: Vec<_> = s.sources().iter().collect();
-        assert_eq!(srcs, vec![ArchReg::Int(Reg::new(3)), ArchReg::Int(Reg::new(2))]);
+        assert_eq!(
+            srcs,
+            vec![ArchReg::Int(Reg::new(3)), ArchReg::Int(Reg::new(2))]
+        );
         assert_eq!(s.dest(), None);
         assert_eq!(s.mem_size(), Some(AccessSize::B4));
     }
 
     #[test]
     fn control_detection() {
-        let b = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, target: 0 };
+        let b = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            target: 0,
+        };
         assert!(b.is_control());
         assert!(b.is_cond_branch());
-        let j = Inst::Jal { rd: Reg::ZERO, target: 0 };
+        let j = Inst::Jal {
+            rd: Reg::ZERO,
+            target: 0,
+        };
         assert!(j.is_control());
         assert!(!j.is_cond_branch());
         assert!(!Inst::Nop.is_control());

@@ -44,7 +44,9 @@ mod program;
 mod reg;
 
 pub use asm::{AsmError, Assembler};
-pub use emu::{arch_checksum, fp_from_bits, fp_to_bits, fp_to_int, sign_extend, EmuError, Emulator, Retired};
+pub use emu::{
+    arch_checksum, fp_from_bits, fp_to_bits, fp_to_int, sign_extend, EmuError, Emulator, Retired,
+};
 pub use encode::{decode, encode, DecodeError};
 pub use inst::{AluOp, BranchCond, FpuOp, Inst, InstClass};
 pub use mem::SparseMemory;

@@ -1,4 +1,4 @@
-use std::collections::BTreeMap;
+use std::cell::Cell;
 use std::fmt;
 
 use dmdc_types::{AccessSize, Addr};
@@ -6,12 +6,27 @@ use dmdc_types::{AccessSize, Addr};
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
+/// Sentinel page number for an empty map slot / invalid cache entry.
+/// Real page numbers never reach it (it would need an address ≥ 2^64+12).
+const NO_PAGE: u64 = u64::MAX;
+
+type Page = Box<[u8; PAGE_SIZE]>;
+
 /// A sparse, page-granular byte-addressable memory.
 ///
 /// Pages materialize on first touch and read as zero before that. Values are
 /// little-endian. Both the functional emulator and the timing simulator's
 /// committed memory use this type, so the golden-state comparison can simply
 /// compare [`SparseMemory::checksum`] values.
+///
+/// Internally pages live in an open-addressed hash table with linear
+/// probing (power-of-two capacity, ≤ 50% load), and a one-entry
+/// *last-page cache* remembers the slot of the most recent lookup. Loads
+/// and stores overwhelmingly hit the same page as their predecessor, so
+/// the hot path is a tag compare plus an indexed slice access — no tree
+/// walk, no hashing. Wide accesses that stay within one page (all
+/// naturally aligned accesses do) are resolved to the page once and
+/// copied as a slice instead of byte-by-byte.
 ///
 /// # Examples
 ///
@@ -25,30 +40,130 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// assert_eq!(m.read(Addr(0x1002), AccessSize::B2), 0xDEAD);
 /// assert_eq!(m.read(Addr(0x2000), AccessSize::B8), 0, "untouched memory is zero");
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct SparseMemory {
-    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Open-addressed (page number, page) slots; `NO_PAGE` tags empties.
+    slots: Vec<(u64, Option<Page>)>,
+    /// Number of occupied slots.
+    len: usize,
+    /// Last-lookup cache: (page number, slot index). Interior mutability
+    /// lets read paths refresh it; it is pure acceleration state — a clone
+    /// copies it, which stays valid because slot layout is copied too.
+    last: Cell<(u64, usize)>,
+}
+
+impl Default for SparseMemory {
+    fn default() -> SparseMemory {
+        SparseMemory::new()
+    }
 }
 
 impl SparseMemory {
     /// Creates an empty (all-zero) memory.
     pub fn new() -> SparseMemory {
-        SparseMemory::default()
+        SparseMemory {
+            slots: Vec::new(),
+            len: 0,
+            last: Cell::new((NO_PAGE, 0)),
+        }
     }
 
+    #[inline]
+    fn hash(page_no: u64, mask: usize) -> usize {
+        // Fibonacci hashing spreads consecutive page numbers across slots.
+        (page_no.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize & mask
+    }
+
+    /// Finds the slot holding `page_no`, if present, via the last-page
+    /// cache and then linear probing.
+    #[inline]
+    fn find(&self, page_no: u64) -> Option<usize> {
+        let (cached_no, cached_slot) = self.last.get();
+        if cached_no == page_no {
+            return Some(cached_slot);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(page_no, mask);
+        loop {
+            let (tag, _) = self.slots[i];
+            if tag == page_no {
+                self.last.set((page_no, i));
+                return Some(i);
+            }
+            if tag == NO_PAGE {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Returns the slot index for `page_no`, allocating (and possibly
+    /// rehashing) if the page does not exist yet.
+    fn find_or_insert(&mut self, page_no: u64) -> usize {
+        if let Some(i) = self.find(page_no) {
+            return i;
+        }
+        // Grow at 50% load so probe chains stay short. Rehashing moves
+        // every slot, so the cache is invalidated.
+        if self.slots.is_empty() || (self.len + 1) * 2 > self.slots.len() {
+            let new_cap = (self.slots.len() * 2).max(16);
+            let old = std::mem::replace(&mut self.slots, vec![(NO_PAGE, None); new_cap]);
+            self.last.set((NO_PAGE, 0));
+            let mask = new_cap - 1;
+            for (tag, page) in old {
+                if tag != NO_PAGE {
+                    let mut i = Self::hash(tag, mask);
+                    while self.slots[i].0 != NO_PAGE {
+                        i = (i + 1) & mask;
+                    }
+                    self.slots[i] = (tag, page);
+                }
+            }
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(page_no, mask);
+        while self.slots[i].0 != NO_PAGE {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (page_no, Some(Box::new([0; PAGE_SIZE])));
+        self.len += 1;
+        self.last.set((page_no, i));
+        i
+    }
+
+    #[inline]
+    fn page(&self, page_no: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.find(page_no).map(|i| {
+            self.slots[i]
+                .1
+                .as_deref()
+                .expect("occupied slot holds a page")
+        })
+    }
+
+    #[inline]
     fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr.0 >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        let i = self.find_or_insert(addr.0 >> PAGE_SHIFT);
+        self.slots[i]
+            .1
+            .as_deref_mut()
+            .expect("occupied slot holds a page")
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_byte(&self, addr: Addr) -> u8 {
-        match self.pages.get(&(addr.0 >> PAGE_SHIFT)) {
+        match self.page(addr.0 >> PAGE_SHIFT) {
             Some(p) => p[(addr.0 as usize) & (PAGE_SIZE - 1)],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_byte(&mut self, addr: Addr, value: u8) {
         let off = (addr.0 as usize) & (PAGE_SIZE - 1);
         self.page_mut(addr)[off] = value;
@@ -56,31 +171,75 @@ impl SparseMemory {
 
     /// Reads a little-endian value of the given width, zero-extended to 64
     /// bits.
+    #[inline]
     pub fn read(&self, addr: Addr, size: AccessSize) -> u64 {
-        let mut v = 0u64;
-        for i in 0..size.bytes() {
-            v |= (self.read_byte(addr + i) as u64) << (8 * i);
+        let bytes = size.bytes() as usize;
+        let off = (addr.0 as usize) & (PAGE_SIZE - 1);
+        if off + bytes <= PAGE_SIZE {
+            // Single-page fast path: resolve the page once, read a slice.
+            match self.page(addr.0 >> PAGE_SHIFT) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..bytes].copy_from_slice(&p[off..off + bytes]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in 0..size.bytes() {
+                v |= (self.read_byte(addr + i) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     /// Writes the low `size` bytes of `value`, little-endian.
+    #[inline]
     pub fn write(&mut self, addr: Addr, size: AccessSize, value: u64) {
-        for i in 0..size.bytes() {
-            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+        let bytes = size.bytes() as usize;
+        let off = (addr.0 as usize) & (PAGE_SIZE - 1);
+        if off + bytes <= PAGE_SIZE {
+            // Single-page fast path: resolve the page once, write a slice.
+            let p = self.page_mut(addr);
+            p[off..off + bytes].copy_from_slice(&value.to_le_bytes()[..bytes]);
+        } else {
+            for i in 0..size.bytes() {
+                self.write_byte(addr + i, (value >> (8 * i)) as u8);
+            }
         }
     }
 
-    /// Copies a byte slice into memory starting at `addr`.
+    /// Copies a byte slice into memory starting at `addr`, page by page.
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_byte(addr + i as u64, b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr.0 as usize) & (PAGE_SIZE - 1);
+            let chunk = rest.len().min(PAGE_SIZE - off);
+            let p = self.page_mut(addr);
+            p[off..off + chunk].copy_from_slice(&rest[..chunk]);
+            addr = addr + chunk as u64;
+            rest = &rest[chunk..];
         }
     }
 
     /// Number of pages that have been touched.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.len
+    }
+
+    /// All (page number, page) pairs sorted by page number. Checksums and
+    /// footprint reports need a canonical order; the hot path does not.
+    fn sorted_pages(&self) -> Vec<(u64, &[u8; PAGE_SIZE])> {
+        let mut pages: Vec<(u64, &[u8; PAGE_SIZE])> = self
+            .slots
+            .iter()
+            .filter(|(tag, _)| *tag != NO_PAGE)
+            .map(|(tag, page)| (*tag, &**page.as_ref().expect("occupied slot holds a page")))
+            .collect();
+        pages.sort_unstable_by_key(|&(no, _)| no);
+        pages
     }
 
     /// An order-independent FNV-1a checksum over all touched, non-zero
@@ -90,7 +249,7 @@ impl SparseMemory {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x1000_0000_01b3;
         let mut h = FNV_OFFSET;
-        for (&page_no, page) in &self.pages {
+        for (page_no, page) in self.sorted_pages() {
             if page.iter().all(|&b| b == 0) {
                 continue; // a touched-but-zero page is indistinguishable from absent
             }
@@ -107,14 +266,17 @@ impl SparseMemory {
     /// The page-aligned base addresses of all touched pages, in order.
     /// Invalidation injection samples target addresses from this footprint.
     pub fn touched_pages(&self) -> Vec<Addr> {
-        self.pages.keys().map(|&p| Addr(p << PAGE_SHIFT)).collect()
+        self.sorted_pages()
+            .into_iter()
+            .map(|(no, _)| Addr(no << PAGE_SHIFT))
+            .collect()
     }
 }
 
 impl fmt::Debug for SparseMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SparseMemory")
-            .field("pages", &self.pages.len())
+            .field("pages", &self.len)
             .field("checksum", &format_args!("{:#x}", self.checksum()))
             .finish()
     }
@@ -197,10 +359,133 @@ mod tests {
     }
 
     #[test]
+    fn write_bytes_straddles_pages() {
+        let mut m = SparseMemory::new();
+        let base = Addr((1 << PAGE_SHIFT) - 3);
+        let data: Vec<u8> = (1..=10).collect();
+        m.write_bytes(base, &data);
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(m.read_byte(base + i as u64), b);
+        }
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
     fn touched_pages_reports_footprint() {
         let mut m = SparseMemory::new();
         m.write_byte(Addr(0x1000), 1);
         m.write_byte(Addr(0x5000), 1);
         assert_eq!(m.touched_pages(), vec![Addr(0x1000), Addr(0x5000)]);
+    }
+
+    #[test]
+    fn touched_pages_sorted_regardless_of_touch_order() {
+        let mut m = SparseMemory::new();
+        for page in [9u64, 2, 7, 1, 30, 4] {
+            m.write_byte(Addr(page << PAGE_SHIFT), 1);
+        }
+        let pages = m.touched_pages();
+        let mut sorted = pages.clone();
+        sorted.sort_by_key(|a| a.0);
+        assert_eq!(pages, sorted);
+        assert_eq!(pages.len(), 6);
+    }
+
+    // --- fast-path-specific tests -----------------------------------------
+
+    #[test]
+    fn page_straddling_reads_and_writes_match_per_byte_path() {
+        let mut m = SparseMemory::new();
+        // An unaligned span crossing the page boundary exercises the
+        // per-byte fallback; the bytes must land exactly where the
+        // fast path would put them within each page.
+        let boundary = 3u64 << PAGE_SHIFT;
+        for delta in 1..8u64 {
+            let addr = Addr(boundary - delta);
+            let value = 0x1122_3344_5566_7788u64 ^ delta;
+            m.write(addr, AccessSize::B8, value);
+            assert_eq!(m.read(addr, AccessSize::B8), value, "delta {delta}");
+            for i in 0..8u64 {
+                assert_eq!(
+                    m.read_byte(addr + i),
+                    (value >> (8 * i)) as u8,
+                    "delta {delta} byte {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn last_page_cache_survives_alternating_pages() {
+        let mut m = SparseMemory::new();
+        // Ping-pong between two pages: every access flips the cache, and
+        // every value must still come back intact.
+        for round in 0..64u64 {
+            m.write(Addr(0x1000 + round * 8), AccessSize::B8, round);
+            m.write(Addr(0x8000 + round * 8), AccessSize::B8, !round);
+        }
+        for round in 0..64u64 {
+            assert_eq!(m.read(Addr(0x1000 + round * 8), AccessSize::B8), round);
+            assert_eq!(m.read(Addr(0x8000 + round * 8), AccessSize::B8), !round);
+        }
+    }
+
+    #[test]
+    fn cache_invalidated_by_rehash_on_new_page_allocation() {
+        let mut m = SparseMemory::new();
+        // Fill enough pages to force several grows/rehashes; interleave
+        // reads of the very first page so a stale cached slot (pointing at
+        // a pre-rehash position) would be caught immediately.
+        m.write(Addr(0), AccessSize::B8, 0xA5A5);
+        for page in 1..200u64 {
+            m.write(Addr(page << PAGE_SHIFT), AccessSize::B8, page);
+            assert_eq!(m.read(Addr(0), AccessSize::B8), 0xA5A5, "after page {page}");
+        }
+        assert_eq!(m.page_count(), 200);
+        for page in 1..200u64 {
+            assert_eq!(m.read(Addr(page << PAGE_SHIFT), AccessSize::B8), page);
+        }
+    }
+
+    #[test]
+    fn zero_fill_semantics_preserved_on_fresh_and_partial_pages() {
+        let mut m = SparseMemory::new();
+        // A fresh page reads zero everywhere except the written span.
+        m.write(Addr(0x2008), AccessSize::B4, 0xFFFF_FFFF);
+        assert_eq!(m.read(Addr(0x2000), AccessSize::B8), 0);
+        assert_eq!(m.read(Addr(0x200C), AccessSize::B4), 0);
+        assert_eq!(m.read(Addr(0x2008), AccessSize::B8), 0xFFFF_FFFF);
+        // Reading a never-touched page allocates nothing.
+        let before = m.page_count();
+        assert_eq!(m.read(Addr(0xFFFF_0000), AccessSize::B8), 0);
+        assert_eq!(m.page_count(), before, "reads must not materialize pages");
+    }
+
+    #[test]
+    fn clone_does_not_alias() {
+        let mut a = SparseMemory::new();
+        a.write(Addr(0x4000), AccessSize::B8, 42);
+        let b = a.clone();
+        // Divergent writes after the clone must not alias.
+        a.write(Addr(0x4000), AccessSize::B8, 43);
+        assert_eq!(b.read(Addr(0x4000), AccessSize::B8), 42);
+        assert_eq!(a.read(Addr(0x4000), AccessSize::B8), 43);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn many_pages_random_order_roundtrip() {
+        let mut m = SparseMemory::new();
+        // A multiplicative-stride page walk exercises hash collisions and
+        // probe chains across several growth generations.
+        let mut page = 1u64;
+        for i in 0..500u64 {
+            page = page
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = Addr(((page >> 20) & 0xFFFFF) << PAGE_SHIFT) + (i % 512) * 8;
+            m.write(addr, AccessSize::B8, i);
+            assert_eq!(m.read(addr, AccessSize::B8), i);
+        }
     }
 }

@@ -42,8 +42,16 @@ impl Program {
     ///
     /// Panics if `insts` is empty: a program must at least halt.
     pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Program {
-        assert!(!insts.is_empty(), "a program needs at least one instruction");
-        Program { name: name.into(), insts, data: Vec::new(), entry: 0 }
+        assert!(
+            !insts.is_empty(),
+            "a program needs at least one instruction"
+        );
+        Program {
+            name: name.into(),
+            insts,
+            data: Vec::new(),
+            entry: 0,
+        }
     }
 
     /// Adds an initial data segment (consuming builder).
@@ -58,7 +66,10 @@ impl Program {
     ///
     /// Panics if `entry` is out of range.
     pub fn with_entry(mut self, entry: u32) -> Program {
-        assert!((entry as usize) < self.insts.len(), "entry point out of range");
+        assert!(
+            (entry as usize) < self.insts.len(),
+            "entry point out of range"
+        );
         self.entry = entry;
         self
     }
@@ -112,7 +123,13 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program {} ({} insts, entry @{})", self.name, self.insts.len(), self.entry)?;
+        writeln!(
+            f,
+            "program {} ({} insts, entry @{})",
+            self.name,
+            self.insts.len(),
+            self.entry
+        )?;
         for (i, inst) in self.insts.iter().enumerate() {
             writeln!(f, "  {i:5}: {inst}")?;
         }
@@ -170,7 +187,12 @@ mod tests {
     fn display_lists_instructions() {
         let p = Program::new(
             "d",
-            vec![Inst::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), rs2: Reg::new(3) }],
+            vec![Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::new(1),
+                rs1: Reg::new(2),
+                rs2: Reg::new(3),
+            }],
         );
         let s = p.to_string();
         assert!(s.contains("program d"));

@@ -30,7 +30,10 @@ impl Reg {
     /// Panics if `index >= 32`.
     #[inline]
     pub fn new(index: u8) -> Reg {
-        assert!((index as usize) < Reg::COUNT, "integer register out of range: {index}");
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "integer register out of range: {index}"
+        );
         Reg(index)
     }
 
@@ -79,7 +82,10 @@ impl FReg {
     /// Panics if `index >= 32`.
     #[inline]
     pub fn new(index: u8) -> FReg {
-        assert!((index as usize) < FReg::COUNT, "fp register out of range: {index}");
+        assert!(
+            (index as usize) < FReg::COUNT,
+            "fp register out of range: {index}"
+        );
         FReg(index)
     }
 

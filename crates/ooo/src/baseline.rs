@@ -7,7 +7,9 @@
 
 use dmdc_types::{Age, MemSpan};
 
-use crate::lsq::{CheckOutcome, CommitInfo, CommitKind, LoadQueue, MemDepPolicy, PolicyCtx, StoreResolution};
+use crate::lsq::{
+    CheckOutcome, CommitInfo, CommitKind, LoadQueue, MemDepPolicy, PolicyCtx, StoreResolution,
+};
 use crate::stats::ReplayKind;
 
 /// The conventional associative load-queue design.
@@ -31,14 +33,21 @@ impl BaselinePolicy {
     /// A baseline without coherence traffic handling (the paper's default
     /// baseline, §6.2.4).
     pub fn new() -> BaselinePolicy {
-        BaselinePolicy { coherence_line_bytes: None }
+        BaselinePolicy {
+            coherence_line_bytes: None,
+        }
     }
 
     /// A baseline that also enforces load-load ordering against external
     /// invalidations at the given line granularity.
     pub fn with_coherence(line_bytes: u64) -> BaselinePolicy {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        BaselinePolicy { coherence_line_bytes: Some(line_bytes) }
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        BaselinePolicy {
+            coherence_line_bytes: Some(line_bytes),
+        }
     }
 }
 
@@ -78,7 +87,10 @@ impl MemDepPolicy for BaselinePolicy {
         let replay = lq
             .iter()
             .filter(|e| e.age.is_younger_than(age) && e.issued && e.inv_marked)
-            .find(|e| e.span.is_some_and(|s| s.addr.cache_line(line_bytes) == line))
+            .find(|e| {
+                e.span
+                    .is_some_and(|s| s.addr.cache_line(line_bytes) == line)
+            })
             .map(|e| e.age);
         if replay.is_some() {
             ctx.stats.replays.record(ReplayKind::Coherence);
@@ -104,7 +116,10 @@ impl MemDepPolicy for BaselinePolicy {
             // d'être and are rare either way).
             ctx.stats.replays.record(ReplayKind::TrueViolation);
         }
-        StoreResolution { safe: false, replay_from }
+        StoreResolution {
+            safe: false,
+            replay_from,
+        }
     }
 
     fn on_commit(&mut self, _ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
@@ -135,7 +150,10 @@ impl MemDepPolicy for BaselinePolicy {
         ctx.energy.lq_cam_searches += 1;
         let target = line_addr.cache_line(line_bytes);
         for e in lq.iter_mut() {
-            if e.issued && e.span.is_some_and(|s| s.addr.cache_line(line_bytes) == target) {
+            if e.issued
+                && e.span
+                    .is_some_and(|s| s.addr.cache_line(line_bytes) == target)
+            {
                 e.inv_marked = true;
             }
         }
@@ -154,7 +172,11 @@ mod tests {
     }
 
     fn ctx<'a>(e: &'a mut EnergyCounters, s: &'a mut PolicyStats) -> PolicyCtx<'a> {
-        PolicyCtx { cycle: Cycle(0), energy: e, stats: s }
+        PolicyCtx {
+            cycle: Cycle(0),
+            energy: e,
+            stats: s,
+        }
     }
 
     fn issued_lq(entries: &[(u64, u64, u64)]) -> LoadQueue {
@@ -177,7 +199,11 @@ mod tests {
         let mut s = PolicyStats::default();
         let mut p = BaselinePolicy::new();
         let r = p.on_store_resolve(&mut ctx(&mut e, &mut s), Age(3), span(0x200, 4), &lq);
-        assert_eq!(r.replay_from, Some(Age(5)), "oldest younger overlapping load");
+        assert_eq!(
+            r.replay_from,
+            Some(Age(5)),
+            "oldest younger overlapping load"
+        );
         assert!(!r.safe);
         assert_eq!(e.lq_cam_searches, 1);
         assert_eq!(s.replays.true_violation, 1);
@@ -210,7 +236,13 @@ mod tests {
         let mut e = EnergyCounters::default();
         let mut s = PolicyStats::default();
         let mut p = BaselinePolicy::new();
-        let r = p.on_load_issue(&mut ctx(&mut e, &mut s), Age(2), span(0x100, 4), true, &mut lq);
+        let r = p.on_load_issue(
+            &mut ctx(&mut e, &mut s),
+            Age(2),
+            span(0x100, 4),
+            true,
+            &mut lq,
+        );
         assert_eq!(r, None);
         assert_eq!(e.lq_cam_searches, 0);
         assert_eq!(s.safe_loads, 1);
@@ -229,11 +261,23 @@ mod tests {
         assert!(!lq.entry(Age(9)).unwrap().inv_marked);
         // Now an *older* load to the same line issues: the write-serialization
         // sequence of §2 — replay from the younger marked load.
-        let r = p.on_load_issue(&mut ctx(&mut e, &mut s), Age(3), span(0x1000, 8), false, &mut lq);
+        let r = p.on_load_issue(
+            &mut ctx(&mut e, &mut s),
+            Age(3),
+            span(0x1000, 8),
+            false,
+            &mut lq,
+        );
         assert_eq!(r, Some(Age(5)));
         assert_eq!(s.replays.coherence, 1);
         // A load to a different line does not trip it.
-        let r = p.on_load_issue(&mut ctx(&mut e, &mut s), Age(4), span(0x3000, 8), false, &mut lq);
+        let r = p.on_load_issue(
+            &mut ctx(&mut e, &mut s),
+            Age(4),
+            span(0x3000, 8),
+            false,
+            &mut lq,
+        );
         assert_eq!(r, None);
     }
 

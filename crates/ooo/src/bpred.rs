@@ -1,7 +1,6 @@
 //! Combined branch predictor (bimodal + gshare with a meta chooser) and a
 //! set-associative branch target buffer, per the paper's Table 1.
 
-
 /// A table of 2-bit saturating counters.
 #[derive(Debug, Clone)]
 struct CounterTable {
@@ -10,8 +9,13 @@ struct CounterTable {
 
 impl CounterTable {
     fn new(entries: u32, init: u8) -> CounterTable {
-        assert!(entries.is_power_of_two(), "predictor table size must be a power of two");
-        CounterTable { counters: vec![init; entries as usize] }
+        assert!(
+            entries.is_power_of_two(),
+            "predictor table size must be a power of two"
+        );
+        CounterTable {
+            counters: vec![init; entries as usize],
+        }
     }
 
     #[inline]
@@ -77,7 +81,12 @@ impl BranchPredictor {
     /// # Panics
     ///
     /// Panics if any table size is not a power of two.
-    pub fn new(bimodal_entries: u32, gshare_entries: u32, history_bits: u32, meta_entries: u32) -> BranchPredictor {
+    pub fn new(
+        bimodal_entries: u32,
+        gshare_entries: u32,
+        history_bits: u32,
+        meta_entries: u32,
+    ) -> BranchPredictor {
         BranchPredictor {
             bimodal: CounterTable::new(bimodal_entries, 2),
             gshare: CounterTable::new(gshare_entries, 2),
@@ -154,10 +163,18 @@ impl Btb {
     ///
     /// Panics if `entries` is not a power of two or smaller than 4.
     pub fn new(entries: u32) -> Btb {
-        assert!(entries.is_power_of_two() && entries >= 4, "BTB entries must be a power of two >= 4");
+        assert!(
+            entries.is_power_of_two() && entries >= 4,
+            "BTB entries must be a power of two >= 4"
+        );
         let ways = 4;
         let sets = entries as usize / ways;
-        Btb { ways, sets, entries: vec![None; entries as usize], tick: 0 }
+        Btb {
+            ways,
+            sets,
+            entries: vec![None; entries as usize],
+            tick: 0,
+        }
     }
 
     fn set_of(&self, pc: u32) -> usize {
@@ -208,7 +225,6 @@ impl Btb {
         self.entries[base + victim] = Some((pc, target, self.tick));
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -261,7 +277,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct > 180, "gshare should lock onto alternation, got {correct}/200");
+        assert!(
+            correct > 180,
+            "gshare should lock onto alternation, got {correct}/200"
+        );
     }
 
     #[test]
@@ -287,7 +306,10 @@ mod tests {
         for pc in [4u32, 8, 12, 16, 20] {
             btb.insert(pc, pc + 1);
         }
-        let present = [4u32, 8, 12, 16, 20].iter().filter(|&&pc| btb.lookup(pc).is_some()).count();
+        let present = [4u32, 8, 12, 16, 20]
+            .iter()
+            .filter(|&&pc| btb.lookup(pc).is_some())
+            .count();
         assert_eq!(present, 4, "one entry must have been evicted");
     }
 

@@ -47,7 +47,10 @@ impl Cache {
     #[inline]
     fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
         let line = addr.0 >> self.line_shift;
-        ((line & (self.sets - 1)) as usize, line >> self.sets.trailing_zeros())
+        (
+            (line & (self.sets - 1)) as usize,
+            line >> self.sets.trailing_zeros(),
+        )
     }
 
     /// Probes the cache; on miss, fills the line (evicting LRU). Returns
@@ -64,7 +67,9 @@ impl Cache {
             }
         }
         self.stats.misses += 1;
-        let victim = (0..self.ways).min_by_key(|&w| self.lru[base + w]).expect("ways > 0");
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.lru[base + w])
+            .expect("ways > 0");
         self.tags[base + victim] = tag;
         self.lru[base + victim] = self.tick;
         false
@@ -145,7 +150,12 @@ mod tests {
 
     fn small_cache() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 2,
+        })
     }
 
     #[test]

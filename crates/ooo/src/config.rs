@@ -21,7 +21,10 @@ impl CacheConfig {
     /// Panics if the geometry is not an exact power-of-two split.
     pub fn sets(&self) -> u64 {
         let sets = self.size_bytes / (self.ways as u64 * self.line_bytes);
-        assert!(sets.is_power_of_two(), "cache sets must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "cache sets must be a power of two, got {sets}"
+        );
         sets
     }
 }
@@ -153,9 +156,24 @@ impl CoreConfig {
             bimodal_entries: 4096,
             meta_entries: 8192,
             btb_entries: 4096,
-            l1i: CacheConfig { size_bytes: 64 << 10, ways: 1, line_bytes: 64, latency: 2 },
-            l1d: CacheConfig { size_bytes: 32 << 10, ways: 2, line_bytes: 64, latency: 2 },
-            l2: CacheConfig { size_bytes: 1 << 20, ways: 8, line_bytes: 128, latency: 15 },
+            l1i: CacheConfig {
+                size_bytes: 64 << 10,
+                ways: 1,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 2,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 1 << 20,
+                ways: 8,
+                line_bytes: 128,
+                latency: 15,
+            },
             memory_latency: 120,
             int_alu_latency: 1,
             int_mul_latency: 3,
@@ -210,7 +228,11 @@ impl CoreConfig {
 
     /// All three paper configurations, in order.
     pub fn all() -> [CoreConfig; 3] {
-        [CoreConfig::config1(), CoreConfig::config2(), CoreConfig::config3()]
+        [
+            CoreConfig::config1(),
+            CoreConfig::config2(),
+            CoreConfig::config3(),
+        ]
     }
 
     /// Validates internal consistency (register files large enough to map
@@ -220,11 +242,17 @@ impl CoreConfig {
     ///
     /// Panics with a descriptive message on an inconsistent configuration.
     pub fn validate(&self) {
-        assert!(self.int_regs >= 32 + 1, "need at least 33 int physical registers");
-        assert!(self.fp_regs >= 32 + 1, "need at least 33 fp physical registers");
+        assert!(
+            self.int_regs > 32,
+            "need at least 33 int physical registers"
+        );
+        assert!(self.fp_regs > 32, "need at least 33 fp physical registers");
         assert!(self.rob_size > 0 && self.lq_size > 0 && self.sq_size > 0);
         assert!(self.fetch_width > 0 && self.issue_width > 0 && self.commit_width > 0);
-        assert!(self.checking_table_entries.is_power_of_two(), "checking table must be a power of two");
+        assert!(
+            self.checking_table_entries.is_power_of_two(),
+            "checking table must be a power of two"
+        );
         let _ = self.l1i.sets();
         let _ = self.l1d.sets();
         let _ = self.l2.sets();
@@ -270,7 +298,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_cache_geometry_panics() {
-        CacheConfig { size_bytes: 3000, ways: 1, line_bytes: 64, latency: 1 }.sets();
+        CacheConfig {
+            size_bytes: 3000,
+            ways: 1,
+            line_bytes: 64,
+            latency: 1,
+        }
+        .sets();
     }
 
     #[test]

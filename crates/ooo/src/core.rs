@@ -19,10 +19,12 @@ use crate::bpred::{BranchPredictor, Btb, HistorySnapshot};
 use crate::cache::MemoryHierarchy;
 use crate::config::CoreConfig;
 use crate::exec::{compute, extract_forwarded, load_value, store_raw};
-use crate::lsq::{CheckOutcome, CommitInfo, CommitKind, LoadQueue, MemDepPolicy, PolicyCtx, StoreQueue};
+use crate::lsq::{
+    CheckOutcome, CommitInfo, CommitKind, LoadQueue, MemDepPolicy, PolicyCtx, StoreQueue,
+};
 use crate::regs::{Operand, RegFiles, RegValue};
-use crate::trace::{PipelineTrace, Stage};
 use crate::stats::SimStats;
+use crate::trace::{PipelineTrace, Stage};
 
 /// Run-control options orthogonal to the machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,8 +74,14 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::CycleLimit { max_cycles, committed } => {
-                write!(f, "cycle limit {max_cycles} reached after {committed} commits")
+            SimError::CycleLimit {
+                max_cycles,
+                committed,
+            } => {
+                write!(
+                    f,
+                    "cycle limit {max_cycles} reached after {committed} commits"
+                )
             }
         }
     }
@@ -140,9 +148,7 @@ struct IqEntry {
 
 impl IqEntry {
     fn is_ready(&self, now: Cycle) -> bool {
-        self.sleep_until <= now
-            && self.ready[0]
-            && self.ready[1]
+        self.sleep_until <= now && self.ready[0] && self.ready[1]
     }
 }
 
@@ -210,7 +216,11 @@ impl<'p> Simulator<'p> {
     ///
     /// Panics if the configuration is inconsistent
     /// (see [`CoreConfig::validate`]).
-    pub fn new(program: &'p Program, config: CoreConfig, policy: Box<dyn MemDepPolicy>) -> Simulator<'p> {
+    pub fn new(
+        program: &'p Program,
+        config: CoreConfig,
+        policy: Box<dyn MemDepPolicy>,
+    ) -> Simulator<'p> {
         config.validate();
         // DMDC-style FIFO load queues lift the in-flight-load limit to the
         // ROB size (paper §6.2.1); CAM designs keep the configured LQ size.
@@ -318,7 +328,11 @@ impl<'p> Simulator<'p> {
         self.stats.l1i = self.hier.l1i.stats;
         self.stats.l1d = self.hier.l1d.stats;
         self.stats.l2 = self.hier.l2.stats;
-        let checksum = arch_checksum(&self.rf.arch_int_values(), &self.rf.arch_fp_values(), &self.mem);
+        let checksum = arch_checksum(
+            &self.rf.arch_int_values(),
+            &self.rf.arch_fp_values(),
+            &self.mem,
+        );
         Ok(SimResult {
             stats: self.stats.clone(),
             checksum,
@@ -367,7 +381,11 @@ impl<'p> Simulator<'p> {
                     }
                     self.ports_this_cycle += 1;
                     let span = e.span.expect("committed store has a span");
-                    assert!(!e.misaligned, "misaligned store reached commit at pc {}", e.pc);
+                    assert!(
+                        !e.misaligned,
+                        "misaligned store reached commit at pc {}",
+                        e.pc
+                    );
                     let raw = store_raw(e.inst, self.rf.read(data_op));
                     self.mem.write(span.addr, span.size, raw);
                     self.hier.data_access(span.addr);
@@ -387,7 +405,11 @@ impl<'p> Simulator<'p> {
                 }
                 InstClass::Load => {
                     let span = e.span.expect("committed load has a span");
-                    assert!(!e.misaligned, "misaligned load reached commit at pc {}", e.pc);
+                    assert!(
+                        !e.misaligned,
+                        "misaligned load reached commit at pc {}",
+                        e.pc
+                    );
                     let raw = e.load_raw.expect("committed load has a value");
                     // All older stores have committed, so memory now holds
                     // the architecturally correct bytes: the replay oracle.
@@ -520,7 +542,9 @@ impl<'p> Simulator<'p> {
         due.sort_unstable();
         for age in due {
             let age = Age(age);
-            let Some(idx) = self.rob_index_of(age) else { continue }; // squashed
+            let Some(idx) = self.rob_index_of(age) else {
+                continue;
+            }; // squashed
             let e = self.rob[idx];
             match e.class {
                 InstClass::Load => {
@@ -615,7 +639,9 @@ impl<'p> Simulator<'p> {
                 break;
             }
             // A squash earlier in this loop may have removed the entry.
-            let Some(rob_idx) = self.rob_index_of(age) else { continue };
+            let Some(rob_idx) = self.rob_index_of(age) else {
+                continue;
+            };
             if !self.iq_contains(age) {
                 continue;
             }
@@ -654,7 +680,10 @@ impl<'p> Simulator<'p> {
     }
 
     fn iq_contains(&self, age: Age) -> bool {
-        self.int_iq.iter().chain(self.fp_iq.iter()).any(|e| e.age == age)
+        self.int_iq
+            .iter()
+            .chain(self.fp_iq.iter())
+            .any(|e| e.age == age)
     }
 
     fn remove_iq(&mut self, age: Age) {
@@ -679,7 +708,11 @@ impl<'p> Simulator<'p> {
 
     fn read_sources(&self, rob_idx: usize) -> Vec<RegValue> {
         let e = &self.rob[rob_idx];
-        e.srcs.iter().flatten().map(|&op| self.rf.read(op)).collect()
+        e.srcs
+            .iter()
+            .flatten()
+            .map(|&op| self.rf.read(op))
+            .collect()
     }
 
     fn issue_compute(&mut self, age: Age, rob_idx: usize) {
@@ -709,7 +742,10 @@ impl<'p> Simulator<'p> {
             },
             InstClass::FpAlu => self.config.fp_alu_latency,
             InstClass::FpMulDiv => match inst {
-                Inst::Fpu { op: dmdc_isa::FpuOp::Fmul, .. } => self.config.fp_mul_latency,
+                Inst::Fpu {
+                    op: dmdc_isa::FpuOp::Fmul,
+                    ..
+                } => self.config.fp_mul_latency,
                 _ => self.config.fp_div_latency,
             },
             InstClass::Store => 1,
@@ -752,13 +788,18 @@ impl<'p> Simulator<'p> {
             Some(st) => {
                 let st_span = st.span.expect("overlap implies resolved");
                 if st_span.contains(span) {
-                    let st_idx = self.rob_index_of(st.age).expect("in-flight store is in the ROB");
+                    let st_idx = self
+                        .rob_index_of(st.age)
+                        .expect("in-flight store is in the ROB");
                     let st_entry = self.rob[st_idx];
                     let data_op = st_entry.srcs[1].expect("store has a data operand");
                     if self.rf.is_ready(data_op) {
                         let sraw = store_raw(st_entry.inst, self.rf.read(data_op));
                         let raw = extract_forwarded(sraw, span.addr.0 - st_span.addr.0, span.size);
-                        Path::Forward { raw, latency: self.config.forward_latency }
+                        Path::Forward {
+                            raw,
+                            latency: self.config.forward_latency,
+                        }
                     } else {
                         Path::Reject
                     }
@@ -819,7 +860,8 @@ impl<'p> Simulator<'p> {
         }
         self.remove_iq(age);
         self.schedule(self.cycle.plus(latency), age);
-        self.trace.record(self.cycle, age, self.rob[rob_idx].pc, Stage::Issue);
+        self.trace
+            .record(self.cycle, age, self.rob[rob_idx].pc, Stage::Issue);
 
         let replay = {
             let mut ctx = PolicyCtx {
@@ -827,7 +869,8 @@ impl<'p> Simulator<'p> {
                 energy: &mut self.stats.energy,
                 stats: &mut self.stats.policy,
             };
-            self.policy.on_load_issue(&mut ctx, age, span, safe, &mut self.lq)
+            self.policy
+                .on_load_issue(&mut ctx, age, span, safe, &mut self.lq)
         };
         if let Some(target) = replay {
             self.replay_squash(target);
@@ -883,7 +926,9 @@ impl<'p> Simulator<'p> {
     /// Squashes at `load_age` (inclusive) and refetches from its PC: the
     /// dependence-replay mechanism (POWER4-style group replay).
     fn replay_squash(&mut self, load_age: Age) {
-        let idx = self.rob_index_of(load_age).expect("replay target must be in flight");
+        let idx = self
+            .rob_index_of(load_age)
+            .expect("replay target must be in flight");
         let pc = self.rob[idx].pc;
         let hist = self.rob[idx].hist;
         self.trace.record(self.cycle, load_age, pc, Stage::Replay);
@@ -917,7 +962,11 @@ impl<'p> Simulator<'p> {
                 self.rf.reapply_spec(arch, new);
             }
         }
-        let survivor = self.rob.back().map(|e| e.age).unwrap_or(self.last_committed_age);
+        let survivor = self
+            .rob
+            .back()
+            .map(|e| e.age)
+            .unwrap_or(self.last_committed_age);
         let mut ctx = PolicyCtx {
             cycle: self.cycle,
             energy: &mut self.stats.energy,
@@ -938,7 +987,9 @@ impl<'p> Simulator<'p> {
 
     fn dispatch(&mut self) {
         for _ in 0..self.config.dispatch_width {
-            let Some(f) = self.fq.front().copied() else { break };
+            let Some(f) = self.fq.front().copied() else {
+                break;
+            };
             if f.ready_at > self.cycle {
                 break;
             }
@@ -948,8 +999,16 @@ impl<'p> Simulator<'p> {
             let class = f.inst.class();
             let needs_iq = !matches!(class, InstClass::Halt | InstClass::Nop);
             if needs_iq {
-                let q = if class.is_fp_queue() { &self.fp_iq } else { &self.int_iq };
-                let cap = if class.is_fp_queue() { self.config.fp_iq_size } else { self.config.int_iq_size };
+                let q = if class.is_fp_queue() {
+                    &self.fp_iq
+                } else {
+                    &self.int_iq
+                };
+                let cap = if class.is_fp_queue() {
+                    self.config.fp_iq_size
+                } else {
+                    self.config.int_iq_size
+                };
                 if q.len() >= cap as usize {
                     break;
                 }
@@ -979,7 +1038,10 @@ impl<'p> Simulator<'p> {
                 srcs[i] = Some(self.rf.rename_source(arch));
             }
             let dest = f.inst.dest().map(|arch| {
-                let (new, prev) = self.rf.allocate_dest(arch).expect("free count checked above");
+                let (new, prev) = self
+                    .rf
+                    .allocate_dest(arch)
+                    .expect("free count checked above");
                 (arch, new, prev)
             });
 
@@ -1018,12 +1080,21 @@ impl<'p> Simulator<'p> {
                 // register is ready; the data operand is handled separately
                 // by forwarding and commit (paper §2 footnote: a store is
                 // resolved when its address is ready).
-                let iq_srcs = if class == InstClass::Store { [srcs[0], None] } else { srcs };
+                let iq_srcs = if class == InstClass::Store {
+                    [srcs[0], None]
+                } else {
+                    srcs
+                };
                 let ready = [
                     iq_srcs[0].map(|op| self.rf.is_ready(op)).unwrap_or(true),
                     iq_srcs[1].map(|op| self.rf.is_ready(op)).unwrap_or(true),
                 ];
-                let entry = IqEntry { age, srcs: iq_srcs, ready, sleep_until: Cycle(0) };
+                let entry = IqEntry {
+                    age,
+                    srcs: iq_srcs,
+                    ready,
+                    sleep_until: Cycle(0),
+                };
                 if class.is_fp_queue() {
                     self.fp_iq.push(entry);
                 } else {
@@ -1110,7 +1181,8 @@ impl<'p> Simulator<'p> {
                 energy: &mut self.stats.energy,
                 stats: &mut self.stats.policy,
             };
-            self.policy.on_invalidation(&mut ctx, line_addr, line_bytes, &mut self.lq)
+            self.policy
+                .on_invalidation(&mut ctx, line_addr, line_bytes, &mut self.lq)
         };
         if let Some(target) = replay {
             self.replay_squash(target);
@@ -1137,8 +1209,11 @@ mod tests {
         let program = Assembler::new().assemble(src).expect("assembles");
         let mut emu = Emulator::new(&program);
         emu.run(10_000_000).expect("emulator halts");
-        let mut sim =
-            Simulator::new(&program, CoreConfig::config2(), Box::new(BaselinePolicy::new()));
+        let mut sim = Simulator::new(
+            &program,
+            CoreConfig::config2(),
+            Box::new(BaselinePolicy::new()),
+        );
         let result = sim.run(SimOptions::default()).expect("sim halts");
         (result, emu.state_checksum())
     }
@@ -1163,7 +1238,11 @@ mod tests {
         );
         assert_eq!(r.checksum, golden);
         assert!(r.stats.branches >= 100);
-        assert!(r.stats.ipc() > 0.5, "a simple loop should pipeline, ipc={}", r.stats.ipc());
+        assert!(
+            r.stats.ipc() > 0.5,
+            "a simple loop should pipeline, ipc={}",
+            r.stats.ipc()
+        );
     }
 
     #[test]
@@ -1282,7 +1361,10 @@ mod tests {
                      halt",
         );
         assert_eq!(r.checksum, golden);
-        assert!(r.stats.load_rejections >= 1, "partial overlap should reject");
+        assert!(
+            r.stats.load_rejections >= 1,
+            "partial overlap should reject"
+        );
     }
 
     #[test]
@@ -1306,9 +1388,15 @@ mod tests {
                      halt",
         );
         assert_eq!(r.checksum, golden);
-        assert!(r.stats.mispredicts > 0, "pattern should mispredict sometimes");
+        assert!(
+            r.stats.mispredicts > 0,
+            "pattern should mispredict sometimes"
+        );
         assert!(r.stats.squashed > 0);
-        assert!(r.stats.fetched > r.stats.committed, "wrong-path fetch happened");
+        assert!(
+            r.stats.fetched > r.stats.committed,
+            "wrong-path fetch happened"
+        );
     }
 
     #[test]
@@ -1328,10 +1416,18 @@ mod tests {
 
     #[test]
     fn max_commits_stops_early() {
-        let program = Assembler::new().assemble("loop: addi x1, x1, 1\nj loop\nhalt").unwrap();
-        let mut sim =
-            Simulator::new(&program, CoreConfig::config2(), Box::new(BaselinePolicy::new()));
-        let opts = SimOptions { max_commits: Some(500), ..SimOptions::default() };
+        let program = Assembler::new()
+            .assemble("loop: addi x1, x1, 1\nj loop\nhalt")
+            .unwrap();
+        let mut sim = Simulator::new(
+            &program,
+            CoreConfig::config2(),
+            Box::new(BaselinePolicy::new()),
+        );
+        let opts = SimOptions {
+            max_commits: Some(500),
+            ..SimOptions::default()
+        };
         let r = sim.run(opts).unwrap();
         assert!(!r.halted);
         assert!(r.stats.committed >= 500 && r.stats.committed < 520);
@@ -1340,9 +1436,17 @@ mod tests {
     #[test]
     fn cycle_limit_errors() {
         let program = Assembler::new().assemble("loop: j loop\nhalt").unwrap();
-        let mut sim =
-            Simulator::new(&program, CoreConfig::config2(), Box::new(BaselinePolicy::new()));
-        let err = sim.run(SimOptions { max_cycles: 1000, ..SimOptions::default() }).unwrap_err();
+        let mut sim = Simulator::new(
+            &program,
+            CoreConfig::config2(),
+            Box::new(BaselinePolicy::new()),
+        );
+        let err = sim
+            .run(SimOptions {
+                max_cycles: 1000,
+                ..SimOptions::default()
+            })
+            .unwrap_err();
         assert!(matches!(err, SimError::CycleLimit { .. }), "{err}");
     }
 
@@ -1396,10 +1500,17 @@ mod tests {
             CoreConfig::config2(),
             Box::new(BaselinePolicy::with_coherence(128)),
         );
-        let opts = SimOptions { inval_per_kcycle: 100.0, inval_seed: 7, ..SimOptions::default() };
+        let opts = SimOptions {
+            inval_per_kcycle: 100.0,
+            inval_seed: 7,
+            ..SimOptions::default()
+        };
         let r = sim.run(opts).unwrap();
         assert_eq!(r.checksum, emu.state_checksum());
-        assert!(r.stats.policy.invalidations > 0, "invalidations should have been injected");
+        assert!(
+            r.stats.policy.invalidations > 0,
+            "invalidations should have been injected"
+        );
     }
 
     #[test]
@@ -1414,8 +1525,14 @@ mod tests {
                      blt  x2, x3, loop
                      halt",
         );
-        assert!(r.stats.energy.lq_cam_searches >= 50, "every store searches the LQ");
-        assert!(r.stats.energy.sq_cam_searches >= 50, "every load searches the SQ");
+        assert!(
+            r.stats.energy.lq_cam_searches >= 50,
+            "every store searches the LQ"
+        );
+        assert!(
+            r.stats.energy.sq_cam_searches >= 50,
+            "every load searches the SQ"
+        );
         assert!(r.stats.energy.lq_writes >= 50);
         assert!(r.stats.energy.sq_writes >= 50);
     }

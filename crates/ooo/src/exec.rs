@@ -32,7 +32,12 @@ pub struct ExecOutcome {
 /// Panics if the operand count or types do not match the instruction — a
 /// rename-stage bug, not a runtime condition.
 pub fn compute(inst: Inst, pc: u32, srcs: &[RegValue]) -> ExecOutcome {
-    let mut out = ExecOutcome { result: None, ea: None, next_pc: None, taken: None };
+    let mut out = ExecOutcome {
+        result: None,
+        ea: None,
+        next_pc: None,
+        taken: None,
+    };
     match inst {
         Inst::Nop | Inst::Halt => {}
         Inst::Alu { op, .. } => {
@@ -55,7 +60,9 @@ pub fn compute(inst: Inst, pc: u32, srcs: &[RegValue]) -> ExecOutcome {
             out.result = Some(RegValue::Fp(op.eval(srcs[0].as_fp(), srcs[1].as_fp())));
         }
         Inst::Fcmp { cond, .. } => {
-            out.result = Some(RegValue::Int(cond.eval(srcs[0].as_fp(), srcs[1].as_fp()) as u64));
+            out.result = Some(RegValue::Int(
+                cond.eval(srcs[0].as_fp(), srcs[1].as_fp()) as u64
+            ));
         }
         Inst::IntToFp { .. } => {
             out.result = Some(RegValue::Fp(srcs[0].as_int() as i64 as f64));
@@ -134,18 +141,33 @@ mod tests {
 
     #[test]
     fn alu_and_imm() {
-        let i = Inst::Alu { op: AluOp::Sub, rd: r(1), rs1: r(2), rs2: r(3) };
+        let i = Inst::Alu {
+            op: AluOp::Sub,
+            rd: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        };
         let o = compute(i, 0, &[RegValue::Int(10), RegValue::Int(4)]);
         assert_eq!(o.result, Some(RegValue::Int(6)));
 
-        let i = Inst::AluImm { op: AluOp::Add, rd: r(1), rs1: r(2), imm: -3 };
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            rd: r(1),
+            rs1: r(2),
+            imm: -3,
+        };
         let o = compute(i, 0, &[RegValue::Int(10)]);
         assert_eq!(o.result, Some(RegValue::Int(7)));
     }
 
     #[test]
     fn branch_direction_and_targets() {
-        let b = Inst::Branch { cond: BranchCond::Lt, rs1: r(1), rs2: r(2), target: 42 };
+        let b = Inst::Branch {
+            cond: BranchCond::Lt,
+            rs1: r(1),
+            rs2: r(2),
+            target: 42,
+        };
         let taken = compute(b, 7, &[RegValue::Int(1), RegValue::Int(2)]);
         assert_eq!(taken.taken, Some(true));
         assert_eq!(taken.next_pc, Some(42));
@@ -155,47 +177,96 @@ mod tests {
 
     #[test]
     fn jumps_link() {
-        let j = Inst::Jal { rd: r(31), target: 100 };
+        let j = Inst::Jal {
+            rd: r(31),
+            target: 100,
+        };
         let o = compute(j, 9, &[]);
         assert_eq!(o.result, Some(RegValue::Int(10)));
         assert_eq!(o.next_pc, Some(100));
-        let jr = Inst::Jalr { rd: r(0), rs1: r(31) };
+        let jr = Inst::Jalr {
+            rd: r(0),
+            rs1: r(31),
+        };
         let o = compute(jr, 50, &[RegValue::Int(10)]);
         assert_eq!(o.next_pc, Some(10));
     }
 
     #[test]
     fn memory_effective_addresses() {
-        let l = Inst::Load { size: AccessSize::B4, signed: true, rd: r(1), base: r(2), offset: -8 };
+        let l = Inst::Load {
+            size: AccessSize::B4,
+            signed: true,
+            rd: r(1),
+            base: r(2),
+            offset: -8,
+        };
         let o = compute(l, 0, &[RegValue::Int(0x100)]);
         assert_eq!(o.ea, Some(Addr(0xF8)));
-        let s = Inst::Store { size: AccessSize::B8, src: r(1), base: r(2), offset: 16 };
+        let s = Inst::Store {
+            size: AccessSize::B8,
+            src: r(1),
+            base: r(2),
+            offset: 16,
+        };
         let o = compute(s, 0, &[RegValue::Int(0x100), RegValue::Int(7)]);
         assert_eq!(o.ea, Some(Addr(0x110)));
     }
 
     #[test]
     fn fp_ops() {
-        let f = Inst::Fpu { op: FpuOp::Fmul, fd: FReg::new(1), fs1: FReg::new(2), fs2: FReg::new(3) };
+        let f = Inst::Fpu {
+            op: FpuOp::Fmul,
+            fd: FReg::new(1),
+            fs1: FReg::new(2),
+            fs2: FReg::new(3),
+        };
         let o = compute(f, 0, &[RegValue::Fp(1.5), RegValue::Fp(2.0)]);
         assert_eq!(o.result, Some(RegValue::Fp(3.0)));
     }
 
     #[test]
     fn load_value_conversions() {
-        let lw = Inst::Load { size: AccessSize::B4, signed: true, rd: r(1), base: r(2), offset: 0 };
+        let lw = Inst::Load {
+            size: AccessSize::B4,
+            signed: true,
+            rd: r(1),
+            base: r(2),
+            offset: 0,
+        };
         assert_eq!(load_value(lw, 0xFFFF_FFFF).as_int() as i64, -1);
-        let lwu = Inst::Load { size: AccessSize::B4, signed: false, rd: r(1), base: r(2), offset: 0 };
+        let lwu = Inst::Load {
+            size: AccessSize::B4,
+            signed: false,
+            rd: r(1),
+            base: r(2),
+            offset: 0,
+        };
         assert_eq!(load_value(lwu, 0xFFFF_FFFF).as_int(), 0xFFFF_FFFF);
-        let fld = Inst::FLoad { size: AccessSize::B8, fd: FReg::new(0), base: r(2), offset: 0 };
+        let fld = Inst::FLoad {
+            size: AccessSize::B8,
+            fd: FReg::new(0),
+            base: r(2),
+            offset: 0,
+        };
         assert_eq!(load_value(fld, 2.5f64.to_bits()).as_fp(), 2.5);
     }
 
     #[test]
     fn store_raw_conversions() {
-        let sw = Inst::Store { size: AccessSize::B4, src: r(1), base: r(2), offset: 0 };
+        let sw = Inst::Store {
+            size: AccessSize::B4,
+            src: r(1),
+            base: r(2),
+            offset: 0,
+        };
         assert_eq!(store_raw(sw, RegValue::Int(0x1_2345_6789)), 0x2345_6789);
-        let fsw = Inst::FStore { size: AccessSize::B4, src: FReg::new(1), base: r(2), offset: 0 };
+        let fsw = Inst::FStore {
+            size: AccessSize::B4,
+            src: FReg::new(1),
+            base: r(2),
+            offset: 0,
+        };
         assert_eq!(store_raw(fsw, RegValue::Fp(1.5)), (1.5f32).to_bits() as u64);
     }
 

@@ -45,7 +45,10 @@ pub struct LoadQueue {
 impl LoadQueue {
     /// Creates a queue with the given capacity.
     pub fn new(capacity: usize) -> LoadQueue {
-        LoadQueue { entries: std::collections::VecDeque::with_capacity(capacity), capacity }
+        LoadQueue {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Entries currently allocated.
@@ -72,7 +75,10 @@ impl LoadQueue {
     pub fn allocate(&mut self, age: Age) {
         assert!(!self.is_full(), "load queue overflow");
         if let Some(back) = self.entries.back() {
-            assert!(back.age.is_older_than(age), "load queue ages must be monotonic");
+            assert!(
+                back.age.is_older_than(age),
+                "load queue ages must be monotonic"
+            );
         }
         self.entries.push_back(LoadEntry {
             age,
@@ -156,7 +162,10 @@ pub struct StoreQueue {
 impl StoreQueue {
     /// Creates a queue with the given capacity.
     pub fn new(capacity: usize) -> StoreQueue {
-        StoreQueue { entries: std::collections::VecDeque::with_capacity(capacity), capacity }
+        StoreQueue {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Entries currently allocated.
@@ -182,9 +191,17 @@ impl StoreQueue {
     pub fn allocate(&mut self, age: Age) {
         assert!(!self.is_full(), "store queue overflow");
         if let Some(back) = self.entries.back() {
-            assert!(back.age.is_older_than(age), "store queue ages must be monotonic");
+            assert!(
+                back.age.is_older_than(age),
+                "store queue ages must be monotonic"
+            );
         }
-        self.entries.push_back(StoreEntry { age, span: None, data: None, safe: false });
+        self.entries.push_back(StoreEntry {
+            age,
+            span: None,
+            data: None,
+            safe: false,
+        });
     }
 
     /// Mutable access to the entry with the given age.
@@ -229,7 +246,10 @@ impl StoreQueue {
     /// True if every store older than `age` has a resolved address — the
     /// safe-load condition of paper §4.2 (Figure 1(b) logic).
     pub fn all_older_resolved(&self, age: Age) -> bool {
-        self.entries.iter().take_while(|e| e.age.is_older_than(age)).all(|e| e.span.is_some())
+        self.entries
+            .iter()
+            .take_while(|e| e.age.is_older_than(age))
+            .all(|e| e.span.is_some())
     }
 
     /// The youngest store older than `age` whose resolved span overlaps
@@ -470,7 +490,10 @@ mod tests {
         sq.allocate(Age(3));
         sq.entry_mut(Age(1)).unwrap().span = Some(span(0x100, 8));
         assert!(!sq.all_older_resolved(Age(5)), "age 3 unresolved");
-        assert!(sq.all_older_resolved(Age(2)), "only age 1 is older and it resolved");
+        assert!(
+            sq.all_older_resolved(Age(2)),
+            "only age 1 is older and it resolved"
+        );
         sq.entry_mut(Age(3)).unwrap().span = Some(span(0x200, 8));
         assert!(sq.all_older_resolved(Age(5)));
         assert!(sq.all_older_resolved(Age(0)), "no older stores at all");

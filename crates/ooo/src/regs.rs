@@ -83,13 +83,22 @@ impl RegFiles {
     ///
     /// Panics if either file has fewer than 33 registers.
     pub fn new(int_regs: u32, fp_regs: u32) -> RegFiles {
-        assert!(int_regs > 32 && fp_regs > 32, "need more physical than architectural registers");
+        assert!(
+            int_regs > 32 && fp_regs > 32,
+            "need more physical than architectural registers"
+        );
         let mut spec = [PhysReg { fp: false, idx: 0 }; ArchReg::FLAT_COUNT];
         for (i, slot) in spec.iter_mut().enumerate() {
             *slot = if i < 32 {
-                PhysReg { fp: false, idx: i as u16 }
+                PhysReg {
+                    fp: false,
+                    idx: i as u16,
+                }
             } else {
-                PhysReg { fp: true, idx: (i - 32) as u16 }
+                PhysReg {
+                    fp: true,
+                    idx: (i - 32) as u16,
+                }
             };
         }
         RegFiles {
@@ -147,7 +156,11 @@ impl RegFiles {
     pub fn allocate_dest(&mut self, arch: ArchReg) -> Option<(PhysReg, PhysReg)> {
         debug_assert!(!arch.is_int_zero(), "x0 is never renamed");
         let fp = matches!(arch, ArchReg::Fp(_));
-        let idx = if fp { self.fp_free.pop()? } else { self.int_free.pop()? };
+        let idx = if fp {
+            self.fp_free.pop()?
+        } else {
+            self.int_free.pop()?
+        };
         let new = PhysReg { fp, idx };
         if fp {
             self.fp_ready[idx as usize] = false;
@@ -214,10 +227,18 @@ impl RegFiles {
     /// retirement of the next writer of the same architectural register).
     pub fn free(&mut self, p: PhysReg) {
         if p.fp {
-            debug_assert!(!self.fp_free.contains(&p.idx), "double free of fp p{}", p.idx);
+            debug_assert!(
+                !self.fp_free.contains(&p.idx),
+                "double free of fp p{}",
+                p.idx
+            );
             self.fp_free.push(p.idx);
         } else {
-            debug_assert!(!self.int_free.contains(&p.idx), "double free of int p{}", p.idx);
+            debug_assert!(
+                !self.int_free.contains(&p.idx),
+                "double free of int p{}",
+                p.idx
+            );
             self.int_free.push(p.idx);
         }
     }
@@ -323,7 +344,11 @@ mod tests {
         rf.write(new, RegValue::Int(1));
         let before = rf.int_free_count();
         rf.retire_dest(int(3), new);
-        assert_eq!(rf.int_free_count(), before + 1, "old phys 3 returned to free list");
+        assert_eq!(
+            rf.int_free_count(),
+            before + 1,
+            "old phys 3 returned to free list"
+        );
         assert_eq!(rf.lookup_retire(int(3)), new);
     }
 

@@ -282,10 +282,20 @@ mod tests {
 
     #[test]
     fn rates_compute() {
-        let p = PolicyStats { safe_stores: 95, unsafe_stores: 5, safe_loads: 8, unsafe_loads: 2, ..Default::default() };
+        let p = PolicyStats {
+            safe_stores: 95,
+            unsafe_stores: 5,
+            safe_loads: 8,
+            unsafe_loads: 2,
+            ..Default::default()
+        };
         assert!((p.store_filter_rate() - 0.95).abs() < 1e-12);
         assert!((p.safe_load_rate() - 0.8).abs() < 1e-12);
-        let s = SimStats { cycles: 100, committed: 250, ..Default::default() };
+        let s = SimStats {
+            cycles: 100,
+            committed: 250,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.per_million(1) - 4000.0).abs() < 1e-9);
         let c = CacheStats { hits: 3, misses: 1 };

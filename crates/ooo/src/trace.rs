@@ -80,7 +80,11 @@ impl PipelineTrace {
     /// A trace keeping the most recent `capacity` events; zero disables
     /// recording entirely.
     pub fn new(capacity: usize) -> PipelineTrace {
-        PipelineTrace { ring: VecDeque::with_capacity(capacity.min(1 << 20)), capacity, dropped: 0 }
+        PipelineTrace {
+            ring: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Whether recording is enabled.
@@ -99,7 +103,12 @@ impl PipelineTrace {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(TraceEvent { cycle, age, pc, stage });
+        self.ring.push_back(TraceEvent {
+            cycle,
+            age,
+            pc,
+            stage,
+        });
     }
 
     /// Events in arrival order (oldest retained first).
@@ -122,11 +131,18 @@ impl PipelineTrace {
         use std::collections::BTreeMap;
         let mut per_inst: BTreeMap<Age, (u32, Vec<(Stage, Cycle)>)> = BTreeMap::new();
         for e in &self.ring {
-            per_inst.entry(e.age).or_insert((e.pc, Vec::new())).1.push((e.stage, e.cycle));
+            per_inst
+                .entry(e.age)
+                .or_insert((e.pc, Vec::new()))
+                .1
+                .push((e.stage, e.cycle));
         }
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                self.dropped
+            ));
         }
         for (age, (pc, stages)) in per_inst {
             out.push_str(&format!("{age:>6}  pc {pc:<5}"));
@@ -173,7 +189,10 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("#1") && lines[0].contains("D@1 I@3 C@5"), "{s}");
+        assert!(
+            lines[0].contains("#1") && lines[0].contains("D@1 I@3 C@5"),
+            "{s}"
+        );
         assert!(lines[1].contains("X@5"), "{s}");
     }
 

@@ -2,9 +2,7 @@
 //! ordering invariants, cache bookkeeping, predictor history repair, and
 //! the equivalence of store-to-load forwarding with a memory round trip.
 
-use dmdc_ooo::{
-    extract_forwarded, BranchPredictor, Cache, CacheConfig, LoadQueue, StoreQueue,
-};
+use dmdc_ooo::{extract_forwarded, BranchPredictor, Cache, CacheConfig, LoadQueue, StoreQueue};
 use dmdc_types::{AccessSize, Addr, Age, MemSpan};
 use proptest::prelude::*;
 

@@ -1,0 +1,7 @@
+//! The glob-import surface mirroring `proptest::prelude`.
+
+pub use crate as prop;
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+    Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng, Union,
+};

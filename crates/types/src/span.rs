@@ -31,7 +31,12 @@ pub enum AccessSize {
 
 impl AccessSize {
     /// All sizes, smallest first.
-    pub const ALL: [AccessSize; 4] = [AccessSize::B1, AccessSize::B2, AccessSize::B4, AccessSize::B8];
+    pub const ALL: [AccessSize; 4] = [
+        AccessSize::B1,
+        AccessSize::B2,
+        AccessSize::B4,
+        AccessSize::B8,
+    ];
 
     /// Width in bytes.
     #[inline]

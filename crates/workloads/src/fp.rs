@@ -270,7 +270,11 @@ pub fn fir(n: u32, taps: u32, reps: u32) -> Workload {
                  f2i  x28, f28
                  halt"
     );
-    let w = with_buffer(build("fir", Group::Fp, &asm), 0x27_0000, u64::from(total) * 8);
+    let w = with_buffer(
+        build("fir", Group::Fp, &asm),
+        0x27_0000,
+        u64::from(total) * 8,
+    );
     let w = with_buffer(w, 0x28_1040, u64::from(taps) * 8);
     with_buffer(w, 0x29_2080, u64::from(n) * 8)
 }
@@ -559,7 +563,11 @@ mod tests {
         let mut e = Emulator::new(&w.program);
         e.run(1_000_000).unwrap();
         let expect = 0.5 * (n as f64 * (n as f64 - 1.0) / 2.0);
-        assert!((e.fp_reg(28) - expect).abs() < 1e-9, "{} vs {expect}", e.fp_reg(28));
+        assert!(
+            (e.fp_reg(28) - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            e.fp_reg(28)
+        );
     }
 
     #[test]
@@ -586,7 +594,9 @@ mod tests {
         let w = tri(6, 1);
         let mut e = Emulator::new(&w.program);
         e.run(10_000_000).unwrap();
-        let x0 = e.memory().read(dmdc_types::Addr(0x30_2080), dmdc_types::AccessSize::B8);
+        let x0 = e
+            .memory()
+            .read(dmdc_types::Addr(0x30_2080), dmdc_types::AccessSize::B8);
         assert_eq!(f64::from_bits(x0), 0.5);
     }
 
@@ -598,6 +608,9 @@ mod tests {
         let mut e = Emulator::new(&w.program);
         e.run(50_000_000).unwrap();
         let mean = e.fp_reg(28) / iters as f64;
-        assert!((mean - std::f64::consts::FRAC_PI_4).abs() < 0.02, "mean {mean}");
+        assert!(
+            (mean - std::f64::consts::FRAC_PI_4).abs() < 0.02,
+            "mean {mean}"
+        );
     }
 }

@@ -161,7 +161,11 @@ pub fn list(n: u32, iters: u32) -> Workload {
                  blt  x13, x12, iter
                  halt"
     );
-    with_buffer(build("list", Group::Int, &asm), 0x12_0000, (u64::from(n) + 1) * 16)
+    with_buffer(
+        build("list", Group::Int, &asm),
+        0x12_0000,
+        (u64::from(n) + 1) * 16,
+    )
 }
 
 /// Bit-serial CRC-32 over a `len`-byte pseudo-random buffer, `rounds`
@@ -284,7 +288,11 @@ pub fn strmatch(len: u32, rounds: u32) -> Workload {
                  blt  x13, x12, round
                  halt"
     );
-    with_buffer(build("strmatch", Group::Int, &asm), 0x15_0000, u64::from(len))
+    with_buffer(
+        build("strmatch", Group::Int, &asm),
+        0x15_0000,
+        u64::from(len),
+    )
 }
 
 /// Histogramming over a pointer-chased index stream: the bucket address
@@ -396,7 +404,10 @@ mod tests {
         // Expected ~2048/256 = 8 matches of a 4-symbol pattern over a
         // 4-letter alphabet; anything nonzero and sane passes.
         let matches = emu.int_reg(28);
-        assert!(matches > 0 && matches < 100, "implausible match count {matches}");
+        assert!(
+            matches > 0 && matches < 100,
+            "implausible match count {matches}"
+        );
     }
 
     #[test]

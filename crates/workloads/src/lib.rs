@@ -137,7 +137,11 @@ pub(crate) fn build(name: &'static str, group: Group, asm: &str) -> Workload {
     let program = dmdc_isa::Assembler::new()
         .assemble_named(name, asm)
         .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}\n{asm}"));
-    Workload { name, group, program }
+    Workload {
+        name,
+        group,
+        program,
+    }
 }
 
 #[cfg(test)]
@@ -168,21 +172,42 @@ mod tests {
     fn every_workload_halts_and_does_memory_work() {
         for w in full_suite(Scale::Smoke) {
             let mut emu = Emulator::new(&w.program);
-            let retired = emu.run(20_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            assert!(retired > 3_000, "{} too small: {retired} instructions", w.name);
-            assert!(retired < 5_000_000, "{} too large for smoke: {retired}", w.name);
-            assert!(emu.memory().page_count() > 0, "{} never touched memory", w.name);
+            let retired = emu
+                .run(20_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(
+                retired > 3_000,
+                "{} too small: {retired} instructions",
+                w.name
+            );
+            assert!(
+                retired < 5_000_000,
+                "{} too large for smoke: {retired}",
+                w.name
+            );
+            assert!(
+                emu.memory().page_count() > 0,
+                "{} never touched memory",
+                w.name
+            );
         }
     }
 
     #[test]
     fn scales_monotonically_increase_work() {
-        for (small, big) in int_suite(Scale::Smoke).iter().zip(int_suite(Scale::Default).iter()) {
+        for (small, big) in int_suite(Scale::Smoke)
+            .iter()
+            .zip(int_suite(Scale::Default).iter())
+        {
             let mut a = Emulator::new(&small.program);
             let mut b = Emulator::new(&big.program);
             let ra = a.run(100_000_000).unwrap();
             let rb = b.run(100_000_000).unwrap();
-            assert!(rb > ra * 2, "{}: default scale should do much more work", small.name);
+            assert!(
+                rb > ra * 2,
+                "{}: default scale should do much more work",
+                small.name
+            );
         }
     }
 

@@ -152,7 +152,9 @@ impl SyntheticKernel {
         Workload {
             name: w.name,
             group: w.group,
-            program: w.program.with_data(Addr(0x30_0000), vec![0u8; u64::from(slots) as usize * 8]),
+            program: w
+                .program
+                .with_data(Addr(0x30_0000), vec![0u8; u64::from(slots) as usize * 8]),
         }
     }
 }
@@ -216,7 +218,10 @@ mod tests {
         // The divide contributes zero to the slot, so architectural results
         // match the fast-address variant; only timing differs.
         let fast = SyntheticKernel::new(400).seed(9).build();
-        let slow = SyntheticKernel::new(400).seed(9).late_store_addr(true).build();
+        let slow = SyntheticKernel::new(400)
+            .seed(9)
+            .late_store_addr(true)
+            .build();
         let mut ef = Emulator::new(&fast.program);
         let mut es = Emulator::new(&slow.program);
         ef.run(1_000_000).unwrap();

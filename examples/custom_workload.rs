@@ -58,7 +58,11 @@ fn main() {
     // 1. Functional reference.
     let mut emu = Emulator::new(&program);
     emu.run(10_000_000).expect("halts");
-    println!("emulator: {} instructions, checksum x28 = {}", emu.retired(), emu.int_reg(28));
+    println!(
+        "emulator: {} instructions, checksum x28 = {}",
+        emu.retired(),
+        emu.int_reg(28)
+    );
 
     // 2. Timing runs under four different dependence-checking designs.
     let config = CoreConfig::config2();
@@ -68,7 +72,10 @@ fn main() {
         Box::new(DmdcPolicy::new(DmdcConfig::global(&config))),
         Box::new(CheckingQueuePolicy::new(&config, 16)),
     ];
-    println!("\n{:<20} {:>8} {:>6} {:>12} {:>9}", "policy", "cycles", "IPC", "LQ searches", "replays");
+    println!(
+        "\n{:<20} {:>8} {:>6} {:>12} {:>9}",
+        "policy", "cycles", "IPC", "LQ searches", "replays"
+    );
     for policy in policies {
         let name = policy.name().to_string();
         let mut sim = Simulator::new(&program, config.clone(), policy);

@@ -18,8 +18,15 @@ fn main() {
 
     let mut t = Table::new("DMDC vs conventional, per workload (config 2)");
     t.headers([
-        "workload", "group", "base IPC", "dmdc IPC", "slowdown", "false replays/1M",
-        "safe stores", "LQ energy saved", "net saved",
+        "workload",
+        "group",
+        "base IPC",
+        "dmdc IPC",
+        "slowdown",
+        "false replays/1M",
+        "safe stores",
+        "LQ energy saved",
+        "net saved",
     ]);
     for w in &full_suite(Scale::Default) {
         let base = run_workload(w, &config, &base_kind, SimOptions::default());
@@ -31,10 +38,20 @@ fn main() {
             w.group.to_string(),
             format!("{:.2}", base.stats.ipc()),
             format!("{:.2}", dmdc.stats.ipc()),
-            format!("{:+.2}%", (dmdc.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0),
-            format!("{:.1}", dmdc.stats.per_million(dmdc.stats.policy.replays.false_total())),
+            format!(
+                "{:+.2}%",
+                (dmdc.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0
+            ),
+            format!(
+                "{:.1}",
+                dmdc.stats
+                    .per_million(dmdc.stats.policy.replays.false_total())
+            ),
             format!("{:.1}%", dmdc.stats.policy.store_filter_rate() * 100.0),
-            format!("{:.1}%", (1.0 - de.lq_functionality() / be.lq_functionality()) * 100.0),
+            format!(
+                "{:.1}%",
+                (1.0 - de.lq_functionality() / be.lq_functionality()) * 100.0
+            ),
             format!("{:.1}%", (1.0 - de.total() / be.total()) * 100.0),
         ]);
     }

@@ -12,25 +12,43 @@ fn main() {
     let suite = full_suite(Scale::Default);
     println!(
         "{:10} {:>9} {:>6}  {:>7} {:>7} {:>7}  {:>7} {:>7} {:>8} {:>8}",
-        "workload", "instrs", "ipc", "yla1", "yla8", "yla16", "safe-ld", "l1d-mr", "replays", "win-ld"
+        "workload",
+        "instrs",
+        "ipc",
+        "yla1",
+        "yla8",
+        "yla16",
+        "safe-ld",
+        "l1d-mr",
+        "replays",
+        "win-ld"
     );
     for w in &suite {
         let y1 = run_workload(
             w,
             &config,
-            &PolicyKind::Yla { regs: 1, line_interleaved: false },
+            &PolicyKind::Yla {
+                regs: 1,
+                line_interleaved: false,
+            },
             SimOptions::default(),
         );
         let y8 = run_workload(
             w,
             &config,
-            &PolicyKind::Yla { regs: 8, line_interleaved: false },
+            &PolicyKind::Yla {
+                regs: 8,
+                line_interleaved: false,
+            },
             SimOptions::default(),
         );
         let y16 = run_workload(
             w,
             &config,
-            &PolicyKind::Yla { regs: 16, line_interleaved: false },
+            &PolicyKind::Yla {
+                regs: 16,
+                line_interleaved: false,
+            },
             SimOptions::default(),
         );
         let d = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());

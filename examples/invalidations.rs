@@ -14,13 +14,27 @@ use dmdc::workloads::{Scale, SyntheticKernel};
 fn main() {
     let config = CoreConfig::config2();
     // A dependence-heavy synthetic kernel with a known footprint.
-    let w = SyntheticKernel::new(60_000).addr_bits(10).store_load_gap(3).branch_noise(true).build();
+    let w = SyntheticKernel::new(60_000)
+        .addr_bits(10)
+        .store_load_gap(3)
+        .branch_noise(true)
+        .build();
     let base = run_workload(&w, &config, &PolicyKind::Baseline, SimOptions::default());
 
     let mut t = Table::new("DMDC under injected invalidations (synthetic kernel)");
-    t.headers(["inv/1k cycles", "invalidations", "% cycles checking", "replays/1M", "slowdown"]);
+    t.headers([
+        "inv/1k cycles",
+        "invalidations",
+        "% cycles checking",
+        "replays/1M",
+        "slowdown",
+    ]);
     for rate in [0.0, 1.0, 10.0, 100.0] {
-        let opts = SimOptions { inval_per_kcycle: rate, inval_seed: 3, ..SimOptions::default() };
+        let opts = SimOptions {
+            inval_per_kcycle: rate,
+            inval_seed: 3,
+            ..SimOptions::default()
+        };
         let r = run_workload(&w, &config, &PolicyKind::DmdcCoherent, opts);
         t.row([
             format!("{rate:.0}"),
@@ -30,7 +44,10 @@ fn main() {
                 r.stats.policy.checking_mode_cycles as f64 / r.stats.cycles as f64 * 100.0
             ),
             format!("{:.1}", r.stats.per_million(r.stats.policy.replays.total())),
-            format!("{:+.2}%", (r.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0),
+            format!(
+                "{:+.2}%",
+                (r.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0
+            ),
         ]);
     }
     println!("{t}");

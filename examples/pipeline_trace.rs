@@ -32,16 +32,23 @@ fn main() {
     let config = CoreConfig::config2();
     let policy = Box::new(DmdcPolicy::new(DmdcConfig::global(&config)));
     let mut sim = Simulator::new(&program, config, policy);
-    let opts = SimOptions { trace_capacity: 4096, ..SimOptions::default() };
+    let opts = SimOptions {
+        trace_capacity: 4096,
+        ..SimOptions::default()
+    };
     let result = sim.run(opts).expect("halts");
 
-    println!("pipeline timeline (D=dispatch I=issue R=reject W=writeback C=commit X=squash !=replay):\n");
+    println!(
+        "pipeline timeline (D=dispatch I=issue R=reject W=writeback C=commit X=squash !=replay):\n"
+    );
     print!("{}", sim.trace().render());
     println!(
         "\n{} cycles, {} committed, {} squashed, {} replays — the `!` marks the \
          premature load's commit-time replay; its re-execution commits with the \
          store's value.",
-        result.stats.cycles, result.stats.committed, result.stats.squashed,
+        result.stats.cycles,
+        result.stats.committed,
+        result.stats.squashed,
         result.stats.replay_squashes
     );
     assert!(result.stats.replay_squashes >= 1, "the demo should replay");

@@ -43,15 +43,25 @@ fn main() {
     let mut dmdc_sim = Simulator::new(&program, config.clone(), policy);
     let dmdc = dmdc_sim.run(SimOptions::default()).expect("halts");
 
-    assert_eq!(base.checksum, dmdc.checksum, "identical architectural results");
+    assert_eq!(
+        base.checksum, dmdc.checksum,
+        "identical architectural results"
+    );
 
     let base_energy = EnergyModel::for_config(&config).evaluate(&base.stats);
     let dmdc_energy =
         EnergyModel::with_geometry(StructureGeometry::dmdc(&config, 8)).evaluate(&dmdc.stats);
 
     println!("                     baseline       DMDC");
-    println!("cycles             {:>10} {:>10}", base.stats.cycles, dmdc.stats.cycles);
-    println!("IPC                {:>10.2} {:>10.2}", base.stats.ipc(), dmdc.stats.ipc());
+    println!(
+        "cycles             {:>10} {:>10}",
+        base.stats.cycles, dmdc.stats.cycles
+    );
+    println!(
+        "IPC                {:>10.2} {:>10.2}",
+        base.stats.ipc(),
+        dmdc.stats.ipc()
+    );
     println!(
         "LQ CAM searches    {:>10} {:>10}",
         base.stats.energy.lq_cam_searches, dmdc.stats.energy.lq_cam_searches

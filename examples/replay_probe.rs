@@ -8,7 +8,9 @@ fn main() {
     for w in &full_suite(Scale::Default) {
         let r = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
         let b = r.stats.policy.replays;
-        if b.total() == 0 { continue; }
+        if b.total() == 0 {
+            continue;
+        }
         println!(
             "{:10} true {:4}  addrX {:4} addrY {:4}  hashB {:4} hashX {:4} hashY {:4}  (commits {})",
             w.name, b.true_violation, b.false_addr_x, b.false_addr_y,

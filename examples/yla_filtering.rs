@@ -12,7 +12,11 @@ use dmdc::core::experiments::{fig2, fig3};
 use dmdc::workloads::Scale;
 
 fn scale() -> Scale {
-    match std::env::var("DMDC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("DMDC_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "smoke" => Scale::Smoke,
         "large" => Scale::Large,
         _ => Scale::Default,

@@ -11,8 +11,9 @@
 
 use std::process::ExitCode;
 
-use dmdc::core::experiments::{self, run_workload, PolicyKind};
+use dmdc::core::experiments::{self, PolicyKind};
 use dmdc::core::report::Table;
+use dmdc::core::runner::{self, RunSpec};
 use dmdc::isa::{Assembler, Emulator};
 use dmdc::ooo::{CoreConfig, SimOptions, Simulator};
 use dmdc::workloads::{full_suite, Scale, SyntheticKernel, Workload};
@@ -54,10 +55,14 @@ USAGE:
   dmdc list
   dmdc run --workload <name> --policy <name> [--config 1|2|3]
            [--scale smoke|default|large] [--inval-rate R] [--trace N]
-  dmdc suite --policy <name> [--config N] [--scale S]
+  dmdc suite --policy <name> [--config N] [--scale S] [--jobs N]
   dmdc experiment <fig2|fig3|fig4|fig5|table2|table3|table4|table5|table6|ablations|all>
-           [--scale S]
+           [--scale S] [--jobs N]
   dmdc asm <file.s>
+
+Worker count for suite/experiment: --jobs N, else the DMDC_JOBS
+environment variable, else the machine's available parallelism. Output
+is byte-identical at any job count.
 "
     .to_string()
 }
@@ -86,15 +91,22 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
         "dmdc-no-safe-loads" => PolicyKind::DmdcNoSafeLoads,
         other => {
             if let Some(regs) = other.strip_prefix("yla-") {
-                let regs: u32 = regs.parse().map_err(|_| format!("bad YLA count in `{other}`"))?;
-                PolicyKind::Yla { regs, line_interleaved: false }
+                let regs: u32 = regs
+                    .parse()
+                    .map_err(|_| format!("bad YLA count in `{other}`"))?;
+                PolicyKind::Yla {
+                    regs,
+                    line_interleaved: false,
+                }
             } else if let Some(entries) = other.strip_prefix("bloom-") {
-                let entries: u32 =
-                    entries.parse().map_err(|_| format!("bad bloom size in `{other}`"))?;
+                let entries: u32 = entries
+                    .parse()
+                    .map_err(|_| format!("bad bloom size in `{other}`"))?;
                 PolicyKind::Bloom { entries }
             } else if let Some(entries) = other.strip_prefix("queue-") {
-                let entries: u32 =
-                    entries.parse().map_err(|_| format!("bad queue size in `{other}`"))?;
+                let entries: u32 = entries
+                    .parse()
+                    .map_err(|_| format!("bad queue size in `{other}`"))?;
                 PolicyKind::CheckingQueue { entries }
             } else {
                 return Err(format!("unknown policy `{other}` (see `dmdc list`)"));
@@ -112,6 +124,20 @@ fn parse_config(flags: &std::collections::HashMap<String, String>) -> Result<Cor
     }
 }
 
+/// Applies `--jobs N` as the process-wide worker count for the runner.
+fn apply_jobs(flags: &std::collections::HashMap<String, String>) -> Result<(), String> {
+    if let Some(n) = flags.get("jobs") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| "bad --jobs (want a positive integer)")?;
+        if n == 0 {
+            return Err("--jobs must be at least 1".to_string());
+        }
+        runner::set_default_jobs(n);
+    }
+    Ok(())
+}
+
 fn parse_scale(flags: &std::collections::HashMap<String, String>) -> Result<Scale, String> {
     match flags.get("scale").map(String::as_str).unwrap_or("default") {
         "smoke" => Ok(Scale::Smoke),
@@ -123,7 +149,9 @@ fn parse_scale(flags: &std::collections::HashMap<String, String>) -> Result<Scal
 
 fn find_workload(name: &str, scale: Scale) -> Result<Workload, String> {
     if name == "synthetic" {
-        return Ok(SyntheticKernel::new(20_000 * scale.factor()).branch_noise(true).build());
+        return Ok(SyntheticKernel::new(20_000 * scale.factor())
+            .branch_noise(true)
+            .build());
     }
     full_suite(scale)
         .into_iter()
@@ -170,14 +198,27 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 
     let s = &result.stats;
-    println!("workload {} under {policy:?} on {}", workload.name, config.name);
+    println!(
+        "workload {} under {policy:?} on {}",
+        workload.name, config.name
+    );
     println!("  cycles        {:>12}", s.cycles);
     println!("  committed     {:>12}  (IPC {:.2})", s.committed, s.ipc());
     println!("  loads/stores  {:>12}  / {}", s.loads, s.stores);
     println!("  mispredicts   {:>12}", s.mispredicts);
-    println!("  replays       {:>12}  ({:.1} false / 1M)", s.replay_squashes, s.per_million(s.policy.replays.false_total()));
-    println!("  safe stores   {:>11.1}%", s.policy.store_filter_rate() * 100.0);
-    println!("  safe loads    {:>11.1}%", s.policy.safe_load_rate() * 100.0);
+    println!(
+        "  replays       {:>12}  ({:.1} false / 1M)",
+        s.replay_squashes,
+        s.per_million(s.policy.replays.false_total())
+    );
+    println!(
+        "  safe stores   {:>11.1}%",
+        s.policy.store_filter_rate() * 100.0
+    );
+    println!(
+        "  safe loads    {:>11.1}%",
+        s.policy.safe_load_rate() * 100.0
+    );
     println!("  LQ searches   {:>12}", s.energy.lq_cam_searches);
     println!("  L1D miss rate {:>11.1}%", s.l1d.miss_rate() * 100.0);
     if s.policy.invalidations > 0 {
@@ -188,13 +229,30 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_suite(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let policy = parse_policy(flags.get("policy").map(String::as_str).unwrap_or("dmdc-global"))?;
+    let policy = parse_policy(
+        flags
+            .get("policy")
+            .map(String::as_str)
+            .unwrap_or("dmdc-global"),
+    )?;
     let config = parse_config(&flags)?;
     let scale = parse_scale(&flags)?;
+    apply_jobs(&flags)?;
     let mut t = Table::new(format!("suite under {policy:?} on {}", config.name));
-    t.headers(["workload", "group", "IPC", "replays/1M", "safe stores", "safe loads"]);
-    for w in &full_suite(scale) {
-        let r = run_workload(w, &config, &policy, SimOptions::default());
+    t.headers([
+        "workload",
+        "group",
+        "IPC",
+        "replays/1M",
+        "safe stores",
+        "safe loads",
+    ]);
+    let suite = full_suite(scale);
+    let specs: Vec<RunSpec> = (0..suite.len())
+        .map(|i| RunSpec::new(i, &config, policy.clone()))
+        .collect();
+    let (runs, _, _) = runner::run_specs(&suite, &specs);
+    for (w, r) in suite.iter().zip(&runs) {
         t.row([
             w.name.to_string(),
             w.group.to_string(),
@@ -209,27 +267,65 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_experiment(args: &[String]) -> Result<(), String> {
-    let which = args.first().ok_or("which experiment? (fig2..fig5, table2..table6, ablations, all)")?;
+    let which = args
+        .first()
+        .ok_or("which experiment? (fig2..fig5, table2..table6, ablations, all)")?;
     let flags = parse_flags(&args[1..])?;
     let scale = parse_scale(&flags)?;
+    apply_jobs(&flags)?;
     let config = CoreConfig::config2();
     let suite = full_suite(scale);
     let run = |name: &str| -> Result<(), String> {
         match name {
             "fig2" => println!("{}", experiments::fig2_on(&suite, &config).render()),
             "fig3" => println!("{}", experiments::fig3_on(&suite, &config).render()),
-            "fig4" => println!("{}", experiments::fig4_on(&suite, &CoreConfig::all()).render()),
-            "fig5" => println!("{}", experiments::fig5_on(&suite, &CoreConfig::all()).render()),
-            "table2" => println!("{}", experiments::window_stats_on(&suite, &config, false).render()),
-            "table3" => println!("{}", experiments::replay_breakdown_on(&suite, &config, false).render()),
-            "table4" => println!("{}", experiments::window_stats_on(&suite, &config, true).render()),
-            "table5" => println!("{}", experiments::replay_breakdown_on(&suite, &config, true).render()),
-            "table6" => println!("{}", experiments::table6_on(&suite, &config, &[0.0, 1.0, 10.0, 100.0]).render()),
+            "fig4" => println!(
+                "{}",
+                experiments::fig4_on(&suite, &CoreConfig::all()).render()
+            ),
+            "fig5" => println!(
+                "{}",
+                experiments::fig5_on(&suite, &CoreConfig::all()).render()
+            ),
+            "table2" => println!(
+                "{}",
+                experiments::window_stats_on(&suite, &config, false).render()
+            ),
+            "table3" => println!(
+                "{}",
+                experiments::replay_breakdown_on(&suite, &config, false).render()
+            ),
+            "table4" => println!(
+                "{}",
+                experiments::window_stats_on(&suite, &config, true).render()
+            ),
+            "table5" => println!(
+                "{}",
+                experiments::replay_breakdown_on(&suite, &config, true).render()
+            ),
+            "table6" => println!(
+                "{}",
+                experiments::table6_on(&suite, &config, &[0.0, 1.0, 10.0, 100.0]).render()
+            ),
             "ablations" => {
-                println!("{}", experiments::checking_queue_ablation_on(&suite, &config, &[4, 8, 16, 32]).render());
-                println!("{}", experiments::table_size_ablation_on(&suite, &config, &[256, 1024, 2048, 4096]).render());
-                println!("{}", experiments::safe_load_ablation_on(&suite, &config).render());
-                println!("{}", experiments::sq_filter_potential_on(&suite, &config).render());
+                println!(
+                    "{}",
+                    experiments::checking_queue_ablation_on(&suite, &config, &[4, 8, 16, 32])
+                        .render()
+                );
+                println!(
+                    "{}",
+                    experiments::table_size_ablation_on(&suite, &config, &[256, 1024, 2048, 4096])
+                        .render()
+                );
+                println!(
+                    "{}",
+                    experiments::safe_load_ablation_on(&suite, &config).render()
+                );
+                println!(
+                    "{}",
+                    experiments::sq_filter_potential_on(&suite, &config).render()
+                );
                 println!("{}", experiments::yla_energy_on(&suite, &config).render());
             }
             other => return Err(format!("unknown experiment `{other}`")),
@@ -237,7 +333,18 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
         Ok(())
     };
     if which == "all" {
-        for name in ["fig2", "fig3", "fig4", "fig5", "table2", "table3", "table4", "table5", "table6", "ablations"] {
+        for name in [
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "ablations",
+        ] {
             run(name)?;
         }
         Ok(())
@@ -255,7 +362,11 @@ fn cmd_asm(args: &[String]) -> Result<(), String> {
     let mut emu = Emulator::new(&program);
     let retired = emu.run(500_000_000).map_err(|e| e.to_string())?;
     println!("{path}: {retired} instructions retired");
-    println!("  x28 = {} ({:#x})", emu.int_reg(28) as i64, emu.int_reg(28));
+    println!(
+        "  x28 = {} ({:#x})",
+        emu.int_reg(28) as i64,
+        emu.int_reg(28)
+    );
     println!("  f28 = {}", emu.fp_reg(28));
     println!("  state checksum = {:#018x}", emu.state_checksum());
     Ok(())
@@ -267,8 +378,10 @@ mod tests {
 
     #[test]
     fn flags_parse_pairs_and_reject_strays() {
-        let args: Vec<String> =
-            ["--workload", "histo", "--config", "2"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--workload", "histo", "--config", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let f = parse_flags(&args).unwrap();
         assert_eq!(f["workload"], "histo");
         assert_eq!(f["config"], "2");
@@ -282,10 +395,19 @@ mod tests {
         assert_eq!(parse_policy("dmdc").unwrap(), PolicyKind::DmdcGlobal);
         assert_eq!(
             parse_policy("yla-8").unwrap(),
-            PolicyKind::Yla { regs: 8, line_interleaved: false }
+            PolicyKind::Yla {
+                regs: 8,
+                line_interleaved: false
+            }
         );
-        assert_eq!(parse_policy("bloom-256").unwrap(), PolicyKind::Bloom { entries: 256 });
-        assert_eq!(parse_policy("queue-16").unwrap(), PolicyKind::CheckingQueue { entries: 16 });
+        assert_eq!(
+            parse_policy("bloom-256").unwrap(),
+            PolicyKind::Bloom { entries: 256 }
+        );
+        assert_eq!(
+            parse_policy("queue-16").unwrap(),
+            PolicyKind::CheckingQueue { entries: 16 }
+        );
         assert!(parse_policy("nonsense").is_err());
     }
 

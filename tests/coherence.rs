@@ -7,7 +7,11 @@ use dmdc::ooo::{CoreConfig, SimOptions};
 use dmdc::workloads::{full_suite, Scale, SyntheticKernel};
 
 fn opts(rate: f64) -> SimOptions {
-    SimOptions { inval_per_kcycle: rate, inval_seed: 11, ..SimOptions::default() }
+    SimOptions {
+        inval_per_kcycle: rate,
+        inval_seed: 11,
+        ..SimOptions::default()
+    }
 }
 
 #[test]
@@ -17,7 +21,11 @@ fn both_coherent_designs_survive_heavy_invalidation_traffic() {
         for kind in [PolicyKind::BaselineCoherent, PolicyKind::DmdcCoherent] {
             // Checksum verification inside run_workload is the assertion.
             let r = run_workload(w, &config, &kind, opts(100.0));
-            assert!(r.stats.policy.invalidations > 0, "{} under {kind:?}", w.name);
+            assert!(
+                r.stats.policy.invalidations > 0,
+                "{} under {kind:?}",
+                w.name
+            );
         }
     }
 }
@@ -25,7 +33,10 @@ fn both_coherent_designs_survive_heavy_invalidation_traffic() {
 #[test]
 fn invalidations_increase_checking_pressure_monotonically() {
     let config = CoreConfig::config2();
-    let w = SyntheticKernel::new(20_000).store_load_gap(3).branch_noise(true).build();
+    let w = SyntheticKernel::new(20_000)
+        .store_load_gap(3)
+        .branch_noise(true)
+        .build();
     let mut prev_checking = 0;
     for rate in [0.0, 10.0, 100.0] {
         let r = run_workload(&w, &config, &PolicyKind::DmdcCoherent, opts(rate));
@@ -64,8 +75,7 @@ fn conventional_coherence_searches_on_every_load() {
     let base = run_workload(w, &config, &PolicyKind::Baseline, SimOptions::default());
     let coh = run_workload(w, &config, &PolicyKind::BaselineCoherent, opts(1.0));
     assert!(
-        coh.stats.energy.lq_cam_searches
-            > base.stats.energy.lq_cam_searches + base.stats.loads / 2,
+        coh.stats.energy.lq_cam_searches > base.stats.energy.lq_cam_searches + base.stats.loads / 2,
         "coherent baseline must search per load ({} vs {})",
         coh.stats.energy.lq_cam_searches,
         base.stats.energy.lq_cam_searches

@@ -23,7 +23,10 @@ fn emulator_pc_stream(w: &Workload) -> Vec<u32> {
 fn sim_pc_stream(w: &Workload, kind: &PolicyKind) -> Vec<u32> {
     let config = CoreConfig::config2();
     let mut sim = Simulator::new(&w.program, config.clone(), kind.build(&config));
-    let opts = SimOptions { collect_commit_log: true, ..SimOptions::default() };
+    let opts = SimOptions {
+        collect_commit_log: true,
+        ..SimOptions::default()
+    };
     let r = sim.run(opts).expect("halts");
     assert!(r.halted);
     r.commit_log
@@ -58,7 +61,11 @@ fn commit_streams_match_the_emulator_for_every_workload() {
 fn replay_heavy_kernel_commits_each_instruction_exactly_once() {
     // Tight store-load collisions force replays; the commit stream must
     // still be the architectural stream with no duplicates or holes.
-    let w = SyntheticKernel::new(2_000).addr_bits(2).store_load_gap(1).branch_noise(true).build();
+    let w = SyntheticKernel::new(2_000)
+        .addr_bits(2)
+        .store_load_gap(1)
+        .branch_noise(true)
+        .build();
     let golden = emulator_pc_stream(&w);
     let sim = sim_pc_stream(&w, &PolicyKind::DmdcGlobal);
     assert_eq!(sim, golden);

@@ -18,13 +18,20 @@ fn repeated_runs_are_bit_identical() {
 fn invalidation_stream_is_seeded() {
     let config = CoreConfig::config2();
     let w = SyntheticKernel::new(3_000).store_load_gap(2).build();
-    let opts = |seed| SimOptions { inval_per_kcycle: 50.0, inval_seed: seed, ..SimOptions::default() };
+    let opts = |seed| SimOptions {
+        inval_per_kcycle: 50.0,
+        inval_seed: seed,
+        ..SimOptions::default()
+    };
     let a = run_workload(&w, &config, &PolicyKind::DmdcCoherent, opts(7));
     let b = run_workload(&w, &config, &PolicyKind::DmdcCoherent, opts(7));
     let c = run_workload(&w, &config, &PolicyKind::DmdcCoherent, opts(8));
     assert_eq!(a.stats, b.stats, "same seed, same run");
     assert!(a.stats.policy.invalidations > 0);
-    assert_ne!(a.stats, c.stats, "different seeds should perturb the run somewhere");
+    assert_ne!(
+        a.stats, c.stats,
+        "different seeds should perturb the run somewhere"
+    );
 }
 
 #[test]

@@ -8,17 +8,28 @@ use dmdc::workloads::{full_suite, Scale, SyntheticKernel};
 
 #[test]
 fn all_workload_programs_roundtrip_through_machine_code() {
-    let mut programs: Vec<_> = full_suite(Scale::Smoke).into_iter().map(|w| w.program).collect();
-    programs.push(SyntheticKernel::new(10).branch_noise(true).late_store_addr(true).build().program);
+    let mut programs: Vec<_> = full_suite(Scale::Smoke)
+        .into_iter()
+        .map(|w| w.program)
+        .collect();
+    programs.push(
+        SyntheticKernel::new(10)
+            .branch_noise(true)
+            .late_store_addr(true)
+            .build()
+            .program,
+    );
     let mut total = 0usize;
     for program in &programs {
         for (pc, &inst) in program.insts().iter().enumerate() {
             let word = encode(inst);
-            let back = decode(word)
-                .unwrap_or_else(|e| panic!("{}: pc {pc}: {e}", program.name()));
+            let back = decode(word).unwrap_or_else(|e| panic!("{}: pc {pc}: {e}", program.name()));
             assert_eq!(inst, back, "{}: pc {pc} ({inst})", program.name());
             total += 1;
         }
     }
-    assert!(total > 500, "expected substantial static coverage, got {total}");
+    assert!(
+        total > 500,
+        "expected substantial static coverage, got {total}"
+    );
 }

@@ -28,7 +28,10 @@ fn fig2_quad_word_beats_line_interleaving_and_grows_with_regs() {
         let line = series("cache-line");
         // Monotone in register count (allow float fuzz).
         for w in qw.windows(2).chain(line.windows(2)) {
-            assert!(w[1] >= w[0] - 1e-9, "{group}: filtering must not shrink with more regs");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "{group}: filtering must not shrink with more regs"
+            );
         }
         // Quad-word interleaving dominates for INT (the paper's Figure 2
         // shows a wide gap there); FP's regular strides make the two
@@ -41,7 +44,11 @@ fn fig2_quad_word_beats_line_interleaving_and_grows_with_regs() {
             );
         }
         // 8 registers filter the vast majority (paper: 95-98%).
-        assert!(qw[3] > 0.90, "{group}: YLA-8 should exceed 90%, got {}", qw[3]);
+        assert!(
+            qw[3] > 0.90,
+            "{group}: YLA-8 should exceed 90%, got {}",
+            qw[3]
+        );
     }
 }
 
@@ -87,9 +94,16 @@ fn fig4_savings_grow_with_machine_size() {
             series[0]
         );
         for r in fig.rows.iter().filter(|r| r.group == group) {
-            assert!(r.lq_savings.mean > 0.80, "{group}: LQ savings {:?}", r.lq_savings);
+            assert!(
+                r.lq_savings.mean > 0.80,
+                "{group}: LQ savings {:?}",
+                r.lq_savings
+            );
             assert!(r.slowdown.mean < 0.02, "{group}: slowdown {:?}", r.slowdown);
-            assert!(r.total_savings.mean > 0.0, "{group}: net savings must be positive");
+            assert!(
+                r.total_savings.mean > 0.0,
+                "{group}: net savings must be positive"
+            );
         }
     }
 }
@@ -99,7 +113,10 @@ fn window_tables_have_the_paper_shape() {
     let global = window_stats_on(&suite(), &CoreConfig::config2(), false);
     let local = window_stats_on(&suite(), &CoreConfig::config2(), true);
     for (g, l) in global.rows.iter().zip(&local.rows) {
-        assert!(g.instructions > g.loads, "windows contain non-load instructions");
+        assert!(
+            g.instructions > g.loads,
+            "windows contain non-load instructions"
+        );
         assert!(g.safe_loads <= g.loads);
         // Local windows are no longer than global ones (Table 4 vs 2).
         assert!(
@@ -190,7 +207,10 @@ fn sq_filter_potential_is_nontrivial() {
             (saved.mean - potential.mean).abs() < 0.05,
             "{group}: enabling the filter should save about the measured potential"
         );
-        assert!(slowdown.mean.abs() < 1e-9, "{group}: the SQ filter must be timing-neutral");
+        assert!(
+            slowdown.mean.abs() < 1e-9,
+            "{group}: the SQ filter must be timing-neutral"
+        );
     }
 }
 

@@ -14,9 +14,18 @@ use dmdc::workloads::{full_suite, Scale};
 fn all_policies() -> Vec<PolicyKind> {
     vec![
         PolicyKind::Baseline,
-        PolicyKind::Yla { regs: 1, line_interleaved: false },
-        PolicyKind::Yla { regs: 8, line_interleaved: false },
-        PolicyKind::Yla { regs: 8, line_interleaved: true },
+        PolicyKind::Yla {
+            regs: 1,
+            line_interleaved: false,
+        },
+        PolicyKind::Yla {
+            regs: 8,
+            line_interleaved: false,
+        },
+        PolicyKind::Yla {
+            regs: 8,
+            line_interleaved: true,
+        },
         PolicyKind::Bloom { entries: 256 },
         PolicyKind::DmdcGlobal,
         PolicyKind::DmdcLocal,
@@ -32,7 +41,11 @@ fn every_policy_preserves_architectural_state_on_config2() {
         for kind in &all_policies() {
             // `run_workload` panics on a checksum mismatch.
             let run = run_workload(w, &config, kind, SimOptions::default());
-            assert!(run.stats.committed > 1_000, "{} under {kind:?} barely ran", w.name);
+            assert!(
+                run.stats.committed > 1_000,
+                "{} under {kind:?} barely ran",
+                w.name
+            );
         }
     }
 }

@@ -73,7 +73,11 @@ fn starved_register_file_still_correct() {
     config.fp_regs = 34;
     for w in &int_suite(Scale::Smoke)[..2] {
         let r = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
-        assert!(r.stats.ipc() < 1.5, "{}: starved machine cannot be fast", w.name);
+        assert!(
+            r.stats.ipc() < 1.5,
+            "{}: starved machine cannot be fast",
+            w.name
+        );
     }
 }
 
@@ -105,19 +109,34 @@ fn narrow_machine_still_correct() {
     config.dcache_ports = 1;
     let w = &int_suite(Scale::Smoke)[6]; // histo
     let r = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
-    assert!(r.stats.ipc() <= 1.0 + 1e-9, "a 1-wide machine cannot exceed IPC 1");
+    assert!(
+        r.stats.ipc() <= 1.0 + 1e-9,
+        "a 1-wide machine cannot exceed IPC 1"
+    );
 }
 
 #[test]
 fn trace_records_full_lifecycles() {
-    let program = Assembler::new().assemble("li x1, 3\nmuli x2, x1, 5\nhalt").unwrap();
+    let program = Assembler::new()
+        .assemble("li x1, 3\nmuli x2, x1, 5\nhalt")
+        .unwrap();
     let config = CoreConfig::config2();
-    let mut sim = Simulator::new(&program, config.clone(), PolicyKind::Baseline.build(&config));
-    let opts = SimOptions { trace_capacity: 64, ..SimOptions::default() };
+    let mut sim = Simulator::new(
+        &program,
+        config.clone(),
+        PolicyKind::Baseline.build(&config),
+    );
+    let opts = SimOptions {
+        trace_capacity: 64,
+        ..SimOptions::default()
+    };
     sim.run(opts).unwrap();
     let rendered = sim.trace().render();
     for needle in ["D@", "I@", "W@", "C@"] {
-        assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
     }
     // Three instructions, each dispatched and committed.
     assert_eq!(rendered.lines().count(), 3, "{rendered}");
@@ -127,7 +146,11 @@ fn trace_records_full_lifecycles() {
 fn commit_log_off_by_default() {
     let program = Assembler::new().assemble("nop\nhalt").unwrap();
     let config = CoreConfig::config2();
-    let mut sim = Simulator::new(&program, config.clone(), PolicyKind::Baseline.build(&config));
+    let mut sim = Simulator::new(
+        &program,
+        config.clone(),
+        PolicyKind::Baseline.build(&config),
+    );
     let r = sim.run(SimOptions::default()).unwrap();
     assert!(r.commit_log.is_empty());
 }

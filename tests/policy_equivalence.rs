@@ -20,7 +20,10 @@ fn yla_filtering_never_changes_timing() {
             let yla = run_workload(
                 w,
                 &config,
-                &PolicyKind::Yla { regs, line_interleaved: false },
+                &PolicyKind::Yla {
+                    regs,
+                    line_interleaved: false,
+                },
                 SimOptions::default(),
             );
             assert_eq!(
@@ -38,8 +41,12 @@ fn bloom_filtering_never_changes_timing() {
     let config = CoreConfig::config2();
     for w in &full_suite(Scale::Smoke) {
         let base = run_workload(w, &config, &PolicyKind::Baseline, SimOptions::default());
-        let bloom =
-            run_workload(w, &config, &PolicyKind::Bloom { entries: 128 }, SimOptions::default());
+        let bloom = run_workload(
+            w,
+            &config,
+            &PolicyKind::Bloom { entries: 128 },
+            SimOptions::default(),
+        );
         assert_eq!(base.stats.cycles, bloom.stats.cycles, "{}", w.name);
     }
 }
@@ -53,7 +60,10 @@ fn yla_filter_energy_strictly_below_baseline() {
         let yla = run_workload(
             w,
             &config,
-            &PolicyKind::Yla { regs: 8, line_interleaved: false },
+            &PolicyKind::Yla {
+                regs: 8,
+                line_interleaved: false,
+            },
             SimOptions::default(),
         );
         assert!(
@@ -114,7 +124,12 @@ fn safe_load_logic_reduces_false_replays() {
     let mut without_total = 0;
     for w in &full_suite(Scale::Smoke) {
         let with = run_workload(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
-        let without = run_workload(w, &config, &PolicyKind::DmdcNoSafeLoads, SimOptions::default());
+        let without = run_workload(
+            w,
+            &config,
+            &PolicyKind::DmdcNoSafeLoads,
+            SimOptions::default(),
+        );
         with_total += with.stats.policy.replays.false_total();
         without_total += without.stats.policy.replays.false_total();
     }

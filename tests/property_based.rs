@@ -8,15 +8,20 @@ use dmdc::workloads::SyntheticKernel;
 use proptest::prelude::*;
 
 fn kernel_strategy() -> impl Strategy<Value = SyntheticKernel> {
-    (500u32..3_000, 1u32..10, 0u32..16, any::<bool>(), 1u32..10_000).prop_map(
-        |(iters, addr_bits, gap, noise, seed)| {
+    (
+        500u32..3_000,
+        1u32..10,
+        0u32..16,
+        any::<bool>(),
+        1u32..10_000,
+    )
+        .prop_map(|(iters, addr_bits, gap, noise, seed)| {
             SyntheticKernel::new(iters)
                 .addr_bits(addr_bits.clamp(1, 12))
                 .store_load_gap(gap)
                 .branch_noise(noise)
                 .seed(seed)
-        },
-    )
+        })
 }
 
 proptest! {
