@@ -1,0 +1,48 @@
+//! Raw simulator-core throughput: single-cell `Simulator::run` on an
+//! integer workload, an FP workload, and the synthetic kernel, with no
+//! experiment plumbing around it. This is the bench that tracks the
+//! event-horizon loop, indexed wakeup, and the zero-allocation stage
+//! rewrites directly; the per-figure benches measure the same core but
+//! through the table regenerators.
+
+use criterion::Criterion;
+use dmdc_bench::{criterion, finish, scale_from_env};
+use dmdc_core::experiments::PolicyKind;
+use dmdc_ooo::{CoreConfig, SimOptions, Simulator};
+use dmdc_workloads::{fp_suite, int_suite, SyntheticKernel, Workload};
+
+fn bench_cell(c: &mut Criterion, name: &str, workload: &Workload, opts: SimOptions) {
+    let config = CoreConfig::config2();
+    let kind = PolicyKind::DmdcGlobal;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&workload.program, config.clone(), kind.build(&config));
+            let result = sim.run(opts).expect("bench workload completes");
+            std::hint::black_box(result.stats.cycles)
+        })
+    });
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let int = &int_suite(scale)[6]; // histo: replays, misses, windows
+    let fp = &fp_suite(scale)[0]; // mm: dense FP compute
+    let synth = SyntheticKernel::new(20_000 * scale.factor())
+        .branch_noise(true)
+        .build();
+
+    let mut c = criterion();
+    bench_cell(&mut c, "sim_core/int-histo", int, SimOptions::default());
+    bench_cell(&mut c, "sim_core/fp-mm", fp, SimOptions::default());
+    bench_cell(&mut c, "sim_core/synthetic", &synth, SimOptions::default());
+    bench_cell(
+        &mut c,
+        "sim_core/synthetic-per-cycle",
+        &synth,
+        SimOptions {
+            event_skipping: false,
+            ..SimOptions::default()
+        },
+    );
+    finish(c);
+}

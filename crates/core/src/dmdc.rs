@@ -471,6 +471,18 @@ impl MemDepPolicy for DmdcPolicy {
             ctx.stats.checking_mode_cycles += 1;
         }
     }
+
+    fn has_cycle_hook(&self) -> bool {
+        true
+    }
+
+    fn on_idle_cycles(&mut self, ctx: &mut PolicyCtx<'_>, n: u64) {
+        // `active` cannot change across idle cycles (no other hook fires),
+        // so the per-cycle count batches exactly.
+        if self.active {
+            ctx.stats.checking_mode_cycles += n;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -138,9 +138,12 @@ pub(crate) fn execute_verified(
     workload: &Workload,
     config: &CoreConfig,
     policy_kind: &PolicyKind,
-    opts: SimOptions,
+    mut opts: SimOptions,
     oracle: impl FnOnce() -> u64,
 ) -> Run {
+    if crate::runner::profile_enabled() {
+        opts.profile = true;
+    }
     let policy = policy_kind.build(config);
     let mut sim = Simulator::new(&workload.program, config.clone(), policy);
     let result = sim.run(opts).unwrap_or_else(|e| {
@@ -157,6 +160,9 @@ pub(crate) fn execute_verified(
             workload.name,
             config.name
         );
+    }
+    if let Some(profile) = &result.profile {
+        crate::runner::record_profile(profile, &result.stats);
     }
     Run {
         workload: workload.name,

@@ -15,11 +15,11 @@
 //! workload per engine and shared across every policy × config cell. The
 //! [`Engine::oracle_stats`] counters make the sharing observable.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use dmdc_isa::Emulator;
-use dmdc_ooo::{CoreConfig, SimOptions};
+use dmdc_ooo::{CoreConfig, SimOptions, SimProfile, SimStats, PROFILE_STAGES, PROFILE_STAGE_NAMES};
 use dmdc_workloads::Workload;
 
 use crate::experiments::{PolicyKind, Run};
@@ -77,6 +77,126 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Process-wide switch (the CLI's `--profile` flag): when set, every
+/// verified run collects a [`SimProfile`] and folds it into the global
+/// [`ProfileTotals`], so experiment commands can report a per-stage
+/// breakdown without threading an option through every regenerator.
+static PROFILE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+static PROFILE_TOTALS: Mutex<ProfileTotals> = Mutex::new(ProfileTotals::new());
+
+/// Enables (or disables) run profiling process-wide.
+pub fn set_profile(enabled: bool) {
+    PROFILE_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether run profiling is enabled process-wide.
+pub fn profile_enabled() -> bool {
+    PROFILE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Folds one run's profile into the process-wide totals. Called by the
+/// execution funnel whenever a run carries a profile.
+pub(crate) fn record_profile(profile: &SimProfile, stats: &SimStats) {
+    PROFILE_TOTALS
+        .lock()
+        .expect("profile totals poisoned")
+        .add(profile, stats);
+}
+
+/// Returns and resets the accumulated profile totals.
+pub fn take_profile_totals() -> ProfileTotals {
+    std::mem::take(&mut *PROFILE_TOTALS.lock().expect("profile totals poisoned"))
+}
+
+/// Aggregated [`SimProfile`]s across every profiled run since the last
+/// [`take_profile_totals`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileTotals {
+    /// Host nanoseconds per stage, summed over runs.
+    pub stage_nanos: [u64; PROFILE_STAGES],
+    /// Active (work-performing) cycles per stage, summed over runs.
+    pub stage_active_cycles: [u64; PROFILE_STAGES],
+    /// Executed cycles, summed.
+    pub executed_cycles: u64,
+    /// Simulated cycles, summed.
+    pub simulated_cycles: u64,
+    /// Skipped cycles, summed.
+    pub skipped_cycles: u64,
+    /// Fast-forward jumps, summed.
+    pub fast_forwards: u64,
+    /// Number of runs folded in.
+    pub runs: u64,
+}
+
+impl ProfileTotals {
+    const fn new() -> ProfileTotals {
+        ProfileTotals {
+            stage_nanos: [0; PROFILE_STAGES],
+            stage_active_cycles: [0; PROFILE_STAGES],
+            executed_cycles: 0,
+            simulated_cycles: 0,
+            skipped_cycles: 0,
+            fast_forwards: 0,
+            runs: 0,
+        }
+    }
+
+    fn add(&mut self, p: &SimProfile, stats: &SimStats) {
+        for i in 0..PROFILE_STAGES {
+            self.stage_nanos[i] += p.stage_nanos[i];
+            self.stage_active_cycles[i] += p.stage_active_cycles[i];
+        }
+        self.executed_cycles += p.executed_cycles;
+        self.simulated_cycles += stats.cycles;
+        self.skipped_cycles += stats.skipped_cycles;
+        self.fast_forwards += stats.fast_forwards;
+        self.runs += 1;
+    }
+
+    /// Multi-line human-readable report over all folded-in runs.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let skipped_pct = if self.simulated_cycles == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 * 100.0 / self.simulated_cycles as f64
+        };
+        let _ = writeln!(
+            out,
+            "[profile] {} runs: {} cycles simulated, {} executed, {} skipped ({:.1}%) in {} fast-forwards",
+            self.runs,
+            self.simulated_cycles,
+            self.executed_cycles,
+            self.skipped_cycles,
+            skipped_pct,
+            self.fast_forwards,
+        );
+        let _ = writeln!(
+            out,
+            "[profile] {:<10} {:>12} {:>14}",
+            "stage", "time(ms)", "active-cycles"
+        );
+        for (i, name) in PROFILE_STAGE_NAMES.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "[profile] {:<10} {:>12.2} {:>14}",
+                name,
+                self.stage_nanos[i] as f64 / 1.0e6,
+                self.stage_active_cycles[i],
+            );
+        }
+        out
+    }
+}
+
+impl Default for ProfileTotals {
+    fn default() -> ProfileTotals {
+        ProfileTotals::new()
+    }
 }
 
 /// Memoized functional-emulator reference state, one slot per workload.

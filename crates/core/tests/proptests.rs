@@ -50,7 +50,7 @@ proptest! {
                 Event::Store(qw) => {
                     // The store resolves *older* than the current frontier
                     // half the time, modeling late address resolution.
-                    let store_age = if age.0 % 2 == 0 { Age(age.0 / 2) } else { age };
+                    let store_age = if age.0.is_multiple_of(2) { Age(age.0 / 2) } else { age };
                     if bank.is_safe_store(Addr(qw * 8), store_age) {
                         let violation = issued
                             .iter()

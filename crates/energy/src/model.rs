@@ -272,11 +272,13 @@ mod tests {
     /// Counters resembling a typical run: 1M instructions at IPC 2 with a
     /// 25% load / 12% store mix, conventional design.
     fn typical_baseline_stats() -> SimStats {
-        let mut s = SimStats::default();
-        s.committed = 1_000_000;
-        s.cycles = 500_000;
-        s.loads = 250_000;
-        s.stores = 120_000;
+        let mut s = SimStats {
+            committed: 1_000_000,
+            cycles: 500_000,
+            loads: 250_000,
+            stores: 120_000,
+            ..SimStats::default()
+        };
         s.energy.lq_cam_searches = 120_000; // every store searches
         s.energy.lq_writes = 250_000;
         s.energy.sq_cam_searches = 250_000;

@@ -249,7 +249,7 @@ mod tests {
         for _ in 0..20 {
             let (pred, snap) = bp.predict(5);
             bp.speculate(5, pred);
-            if pred != true {
+            if !pred {
                 bp.restore(snap);
                 bp.speculate(5, true);
             }

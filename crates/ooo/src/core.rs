@@ -22,8 +22,8 @@ use crate::exec::{compute, extract_forwarded, load_value, store_raw};
 use crate::lsq::{
     CheckOutcome, CommitInfo, CommitKind, LoadQueue, MemDepPolicy, PolicyCtx, StoreQueue,
 };
-use crate::regs::{Operand, RegFiles, RegValue};
-use crate::stats::SimStats;
+use crate::regs::{Operand, PhysReg, RegFiles, RegValue};
+use crate::stats::{SimProfile, SimStats};
 use crate::trace::{PipelineTrace, Stage};
 
 /// Run-control options orthogonal to the machine configuration.
@@ -44,6 +44,13 @@ pub struct SimOptions {
     /// Record the program counter of every committed instruction, for
     /// instruction-by-instruction comparison against the emulator.
     pub collect_commit_log: bool,
+    /// Fast-forward over provably idle cycles (the event-horizon loop).
+    /// Results are bit-identical either way — `false` forces the plain
+    /// per-cycle loop and exists for the lockstep equivalence tests.
+    pub event_skipping: bool,
+    /// Collect a per-stage wall-clock/activity breakdown of the run
+    /// (returned in [`SimResult::profile`]).
+    pub profile: bool,
 }
 
 impl Default for SimOptions {
@@ -55,6 +62,8 @@ impl Default for SimOptions {
             inval_seed: 1,
             trace_capacity: 0,
             collect_commit_log: false,
+            event_skipping: true,
+            profile: false,
         }
     }
 }
@@ -103,6 +112,9 @@ pub struct SimResult {
     /// Committed program counters, in order (empty unless
     /// [`SimOptions::collect_commit_log`] was set).
     pub commit_log: Vec<u32>,
+    /// Per-stage breakdown of the run (`None` unless
+    /// [`SimOptions::profile`] was set).
+    pub profile: Option<SimProfile>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +162,17 @@ impl IqEntry {
     fn is_ready(&self, now: Cycle) -> bool {
         self.sleep_until <= now && self.ready[0] && self.ready[1]
     }
+}
+
+/// One IQ source slot waiting on a physical register, registered at
+/// dispatch and drained by [`Simulator::wake`]. Records for squashed
+/// entries go stale; they are skipped lazily (ages are never reused, so a
+/// stale age can never match a live IQ entry).
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    age: Age,
+    fp_queue: bool,
+    slot: u8,
 }
 
 struct UnitBudget {
@@ -206,6 +229,16 @@ pub struct Simulator<'p> {
     footprint: Vec<Addr>,
     trace: PipelineTrace,
     commit_log: Option<Vec<u32>>,
+    // Indexed wakeup: per-physical-register waiter lists (flat index, int
+    // file first), a sorted list of fully ready IQ ages, and a min-heap of
+    // sleeping (rejected) loads keyed by their retry deadline.
+    waiters: Vec<Vec<Waiter>>,
+    ready: Vec<Age>,
+    sleepers: BinaryHeap<Reverse<(u64, u64)>>,
+    // Reusable scratch buffers so the hot loop never allocates.
+    scratch_due: Vec<u64>,
+    scratch_cands: Vec<Age>,
+    prof: Option<Box<SimProfile>>,
 }
 
 impl<'p> Simulator<'p> {
@@ -267,6 +300,12 @@ impl<'p> Simulator<'p> {
             footprint,
             trace: PipelineTrace::new(0),
             commit_log: None,
+            waiters: vec![Vec::new(); (config.int_regs + config.fp_regs) as usize],
+            ready: Vec::new(),
+            sleepers: BinaryHeap::new(),
+            scratch_due: Vec::new(),
+            scratch_cands: Vec::new(),
+            prof: None,
             config,
         }
     }
@@ -286,7 +325,9 @@ impl<'p> Simulator<'p> {
         self.rng = SplitMix64::new(opts.inval_seed);
         self.trace = PipelineTrace::new(opts.trace_capacity);
         self.commit_log = opts.collect_commit_log.then(Vec::new);
+        self.prof = opts.profile.then(Box::default);
         let inval_prob = opts.inval_per_kcycle / 1000.0;
+        let has_hook = self.policy.has_cycle_hook();
         while !self.halted && !self.stopped_early {
             if self.cycle.0 >= opts.max_cycles {
                 return Err(SimError::CycleLimit {
@@ -296,7 +337,7 @@ impl<'p> Simulator<'p> {
             }
             self.cycle.tick();
             self.ports_this_cycle = 0;
-            {
+            if has_hook {
                 let mut ctx = PolicyCtx {
                     cycle: self.cycle,
                     energy: &mut self.stats.energy,
@@ -304,25 +345,19 @@ impl<'p> Simulator<'p> {
                 };
                 self.policy.on_cycle(&mut ctx);
             }
+            let mut progress = false;
             if inval_prob > 0.0 && self.rng.chance(inval_prob) {
                 self.inject_invalidation();
+                progress = true;
             }
-            self.commit(opts.max_commits);
+            progress |= self.step_pipeline(opts.max_commits);
             if self.halted || self.stopped_early {
                 break;
             }
-            self.writeback();
-            self.issue();
-            self.dispatch();
-            self.fetch();
-            assert!(
-                self.cycle.since(self.last_commit_cycle) < 200_000,
-                "deadlock: no commit for 200k cycles (policy {}, pc {}, rob {} entries, head done={:?})",
-                self.policy.name(),
-                self.fetch_pc,
-                self.rob.len(),
-                self.rob.front().map(|e| e.done),
-            );
+            self.assert_no_deadlock();
+            if opts.event_skipping && !progress {
+                self.fast_forward(&opts, inval_prob, has_hook);
+            }
         }
         self.stats.cycles = self.cycle.0;
         self.stats.l1i = self.hier.l1i.stats;
@@ -338,6 +373,7 @@ impl<'p> Simulator<'p> {
             checksum,
             halted: self.halted,
             commit_log: self.commit_log.take().unwrap_or_default(),
+            profile: self.prof.take().map(|p| *p),
         })
     }
 
@@ -360,9 +396,153 @@ impl<'p> Simulator<'p> {
         self.completions.push(Reverse((at.0, age.0)));
     }
 
+    // ----- the event horizon ----------------------------------------------
+
+    /// Runs all five pipeline stages for the current cycle, in commit-first
+    /// order. Returns `true` if any stage did observable work — `false`
+    /// means the cycle changed nothing but the cycle counter itself (and
+    /// one RNG draw, performed by the caller), which is what licenses
+    /// fast-forwarding.
+    fn step_pipeline(&mut self, max_commits: Option<u64>) -> bool {
+        if self.prof.is_some() {
+            return self.step_pipeline_profiled(max_commits);
+        }
+        let mut progress = self.commit(max_commits);
+        if self.halted || self.stopped_early {
+            return true;
+        }
+        progress |= self.writeback();
+        progress |= self.issue();
+        progress |= self.dispatch();
+        progress |= self.fetch();
+        progress
+    }
+
+    fn step_pipeline_profiled(&mut self, max_commits: Option<u64>) -> bool {
+        self.prof.as_mut().expect("profiled path").executed_cycles += 1;
+        let mut progress = self.timed(0, |s| s.commit(max_commits));
+        if self.halted || self.stopped_early {
+            return true;
+        }
+        progress |= self.timed(1, Simulator::writeback);
+        progress |= self.timed(2, Simulator::issue);
+        progress |= self.timed(3, Simulator::dispatch);
+        progress |= self.timed(4, Simulator::fetch);
+        progress
+    }
+
+    fn timed(&mut self, stage: usize, f: impl FnOnce(&mut Self) -> bool) -> bool {
+        let t0 = std::time::Instant::now();
+        let did = f(self);
+        let p = self.prof.as_mut().expect("profiled path");
+        p.stage_nanos[stage] += t0.elapsed().as_nanos() as u64;
+        p.stage_active_cycles[stage] += u64::from(did);
+        did
+    }
+
+    fn assert_no_deadlock(&self) {
+        assert!(
+            self.cycle.since(self.last_commit_cycle) < 200_000,
+            "deadlock: no commit for 200k cycles (policy {}, pc {}, rob {} entries, head done={:?})",
+            self.policy.name(),
+            self.fetch_pc,
+            self.rob.len(),
+            self.rob.front().map(|e| e.done),
+        );
+    }
+
+    /// The first future cycle at which a stalled pipeline can change state:
+    /// the earliest of the pending writeback completions, the IQ sleeper
+    /// deadlines, the fetch stall release, and the front fetch-queue entry
+    /// becoming dispatch-eligible. Capped so the deadlock assertion and the
+    /// cycle limit fire at exactly the same cycle as the per-cycle loop.
+    /// Returns `None` when no skip of more than one cycle is possible.
+    fn next_event_cycle(&self, opts: &SimOptions) -> Option<u64> {
+        let now = self.cycle.0;
+        let mut e = u64::MAX;
+        if let Some(&Reverse((c, _))) = self.completions.peek() {
+            e = e.min(c);
+        }
+        if let Some(&Reverse((until, _))) = self.sleepers.peek() {
+            e = e.min(until);
+        }
+        if !self.fetch_blocked && self.fetch_stall_until.0 > now {
+            e = e.min(self.fetch_stall_until.0);
+        }
+        if let Some(f) = self.fq.front() {
+            if f.ready_at.0 > now {
+                e = e.min(f.ready_at.0);
+            }
+        }
+        if e == u64::MAX {
+            // Nothing in flight anywhere: the per-cycle loop will grind to
+            // the deadlock assertion; don't skip over a genuine hang.
+            return None;
+        }
+        let e = e
+            .min(self.last_commit_cycle.0.saturating_add(200_000))
+            .min(opts.max_cycles.saturating_add(1));
+        (e > now + 1).then_some(e)
+    }
+
+    /// Jumps from a provably idle cycle to the eve of the next event.
+    ///
+    /// An idle cycle mutates nothing but the cycle counter and (when
+    /// coherence traffic is enabled) one Bernoulli draw, so skipping `n`
+    /// such cycles only requires advancing the RNG `n` times and batching
+    /// the policy's per-cycle hook. A draw that hits inside the span ends
+    /// it early: that cycle injects the invalidation and executes for real,
+    /// exactly as the per-cycle loop would have.
+    fn fast_forward(&mut self, opts: &SimOptions, inval_prob: f64, has_hook: bool) {
+        let Some(target) = self.next_event_cycle(opts) else {
+            return;
+        };
+        let now = self.cycle.0;
+        // Last cycle of the idle span (the event cycle itself must run).
+        let mut end = target - 1;
+        let mut inject = false;
+        if inval_prob > 0.0 {
+            let mut c = now + 1;
+            while c <= end {
+                if self.rng.chance(inval_prob) {
+                    end = c;
+                    inject = true;
+                    break;
+                }
+                c += 1;
+            }
+        }
+        let n = end - now;
+        if has_hook {
+            let mut ctx = PolicyCtx {
+                cycle: self.cycle,
+                energy: &mut self.stats.energy,
+                stats: &mut self.stats.policy,
+            };
+            self.policy.on_idle_cycles(&mut ctx, n);
+        }
+        self.stats.fast_forwards += 1;
+        self.stats.skipped_cycles += n - u64::from(inject);
+        self.cycle = Cycle(end);
+        if inject {
+            // The hook and the draw for `end` already ran above; replay the
+            // rest of that cycle as the per-cycle loop would.
+            self.ports_this_cycle = 0;
+            self.inject_invalidation();
+            self.step_pipeline(opts.max_commits);
+            if self.halted || self.stopped_early {
+                return;
+            }
+            self.assert_no_deadlock();
+        }
+    }
+
     // ----- commit ---------------------------------------------------------
 
-    fn commit(&mut self, max_commits: Option<u64>) {
+    /// Returns `true` if any head instruction was processed (retired,
+    /// halted, stopped or replayed) this cycle.
+    fn commit(&mut self, max_commits: Option<u64>) -> bool {
+        let mut did = false;
         for _ in 0..self.config.commit_width {
             let Some(head) = self.rob.front() else { break };
             if !head.done {
@@ -379,6 +559,7 @@ impl<'p> Simulator<'p> {
                     if self.ports_this_cycle >= self.config.dcache_ports {
                         break;
                     }
+                    did = true;
                     self.ports_this_cycle += 1;
                     let span = e.span.expect("committed store has a span");
                     assert!(
@@ -404,6 +585,7 @@ impl<'p> Simulator<'p> {
                     self.stats.stores += 1;
                 }
                 InstClass::Load => {
+                    did = true;
                     let span = e.span.expect("committed load has a span");
                     assert!(
                         !e.misaligned,
@@ -445,6 +627,7 @@ impl<'p> Simulator<'p> {
                     }
                 }
                 InstClass::Branch => {
+                    did = true;
                     if let (Inst::Branch { .. }, Some(taken)) = (e.inst, e.actual_taken) {
                         self.bpred.update(e.pc, taken, e.hist);
                         self.stats.branches += 1;
@@ -461,6 +644,7 @@ impl<'p> Simulator<'p> {
                     self.retire_entry(&e);
                 }
                 InstClass::Halt => {
+                    did = true;
                     let info = CommitInfo {
                         age: e.age,
                         kind: CommitKind::Other,
@@ -476,6 +660,7 @@ impl<'p> Simulator<'p> {
                     break;
                 }
                 _ => {
+                    did = true;
                     let info = CommitInfo {
                         age: e.age,
                         kind: CommitKind::Other,
@@ -495,6 +680,7 @@ impl<'p> Simulator<'p> {
                 }
             }
         }
+        did
     }
 
     fn policy_commit(&mut self, info: &CommitInfo) -> CheckOutcome {
@@ -529,8 +715,11 @@ impl<'p> Simulator<'p> {
 
     // ----- writeback ------------------------------------------------------
 
-    fn writeback(&mut self) {
-        let mut due: Vec<u64> = Vec::new();
+    /// Returns `true` if any completion was due this cycle (including ones
+    /// whose instructions were squashed since issue).
+    fn writeback(&mut self) -> bool {
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
         while let Some(&Reverse((c, age))) = self.completions.peek() {
             if c <= self.cycle.0 {
                 self.completions.pop();
@@ -540,7 +729,8 @@ impl<'p> Simulator<'p> {
             }
         }
         due.sort_unstable();
-        for age in due {
+        let any = !due.is_empty();
+        for &age in &due {
             let age = Age(age);
             let Some(idx) = self.rob_index_of(age) else {
                 continue;
@@ -588,6 +778,8 @@ impl<'p> Simulator<'p> {
                 }
             }
         }
+        self.scratch_due = due;
+        any
     }
 
     fn handle_mispredict(&mut self, branch_idx: usize, actual_next: u32) {
@@ -601,30 +793,93 @@ impl<'p> Simulator<'p> {
         self.redirect_fetch(actual_next, self.config.mispredict_penalty);
     }
 
-    fn wake(&mut self, phys: crate::regs::PhysReg) {
-        for q in [&mut self.int_iq, &mut self.fp_iq] {
-            for entry in q.iter_mut() {
-                for s in 0..2 {
-                    if entry.srcs[s] == Some(Operand::Phys(phys)) {
-                        entry.ready[s] = true;
-                    }
-                }
+    /// Flat waiter-list index of a physical register (int file first).
+    fn flat_reg(&self, p: PhysReg) -> usize {
+        p.idx as usize
+            + if p.fp {
+                self.config.int_regs as usize
+            } else {
+                0
             }
+    }
+
+    /// Wakes every IQ source slot registered as waiting on `phys`. Stale
+    /// records (squashed consumers) are dropped; ages are never reused, so
+    /// a stale age cannot alias a live entry. Entries whose last source
+    /// arrives join the ready list — unless they are sleeping, in which
+    /// case the sleeper drain in [`Simulator::issue`] picks them up.
+    fn wake(&mut self, phys: PhysReg) {
+        let flat = self.flat_reg(phys);
+        let mut list = std::mem::take(&mut self.waiters[flat]);
+        for w in &list {
+            let woke = {
+                let q = if w.fp_queue {
+                    &mut self.fp_iq
+                } else {
+                    &mut self.int_iq
+                };
+                match q.iter_mut().find(|e| e.age == w.age) {
+                    Some(entry) => {
+                        debug_assert_eq!(entry.srcs[w.slot as usize], Some(Operand::Phys(phys)));
+                        entry.ready[w.slot as usize] = true;
+                        entry.ready[0] && entry.ready[1] && entry.sleep_until <= self.cycle
+                    }
+                    None => false,
+                }
+            };
+            if woke {
+                self.insert_ready(w.age);
+            }
+        }
+        list.clear();
+        self.waiters[flat] = list;
+    }
+
+    /// Adds `age` to the sorted ready list (idempotent).
+    fn insert_ready(&mut self, age: Age) {
+        if let Err(pos) = self.ready.binary_search(&age) {
+            self.ready.insert(pos, age);
+        }
+    }
+
+    fn remove_ready(&mut self, age: Age) {
+        if let Ok(pos) = self.ready.binary_search(&age) {
+            self.ready.remove(pos);
         }
     }
 
     // ----- issue ----------------------------------------------------------
 
-    fn issue(&mut self) {
+    /// Returns `true` if any issue candidate existed this cycle (even if
+    /// structural hazards prevented it from issuing).
+    fn issue(&mut self) -> bool {
         let now = self.cycle;
-        let mut cands: Vec<Age> = self
-            .int_iq
-            .iter()
-            .chain(self.fp_iq.iter())
-            .filter(|e| e.is_ready(now))
-            .map(|e| e.age)
-            .collect();
-        cands.sort_unstable();
+        // Wake sleeping (rejected) loads whose retry deadline arrived.
+        // Entries squashed while dozing leave dangling heap records; the
+        // IQ membership check drops them.
+        while let Some(&Reverse((until, age))) = self.sleepers.peek() {
+            if until > now.0 {
+                break;
+            }
+            self.sleepers.pop();
+            let age = Age(age);
+            let eligible = self
+                .int_iq
+                .iter()
+                .chain(self.fp_iq.iter())
+                .any(|e| e.age == age && e.is_ready(now));
+            if eligible {
+                self.insert_ready(age);
+            }
+        }
+        if self.ready.is_empty() {
+            return false;
+        }
+        // Snapshot the (age-sorted) ready list: the loop below mutates it
+        // through remove_iq/sleep_iq as candidates issue.
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        cands.clear();
+        cands.extend_from_slice(&self.ready);
 
         let mut budget = UnitBudget {
             int_alu: self.config.int_alu_units,
@@ -634,7 +889,7 @@ impl<'p> Simulator<'p> {
             issue: self.config.issue_width,
         };
 
-        for age in cands {
+        for &age in &cands {
             if budget.issue == 0 {
                 break;
             }
@@ -677,6 +932,8 @@ impl<'p> Simulator<'p> {
                 break;
             }
         }
+        self.scratch_cands = cands;
+        true
     }
 
     fn iq_contains(&self, age: Age) -> bool {
@@ -694,6 +951,7 @@ impl<'p> Simulator<'p> {
         } else {
             panic!("issuing an instruction absent from both IQs");
         }
+        self.remove_ready(age);
     }
 
     fn sleep_iq(&mut self, age: Age, until: Cycle) {
@@ -704,21 +962,27 @@ impl<'p> Simulator<'p> {
             .find(|e| e.age == age)
             .expect("sleeping an instruction absent from the IQs");
         entry.sleep_until = until;
+        self.remove_ready(age);
+        self.sleepers.push(Reverse((until.0, age.0)));
     }
 
-    fn read_sources(&self, rob_idx: usize) -> Vec<RegValue> {
+    /// Reads up to two renamed sources into a stack buffer; returns the
+    /// buffer and the populated length.
+    fn read_sources(&self, rob_idx: usize) -> ([RegValue; 2], usize) {
         let e = &self.rob[rob_idx];
-        e.srcs
-            .iter()
-            .flatten()
-            .map(|&op| self.rf.read(op))
-            .collect()
+        let mut vals = [RegValue::Int(0); 2];
+        let mut n = 0;
+        for &op in e.srcs.iter().flatten() {
+            vals[n] = self.rf.read(op);
+            n += 1;
+        }
+        (vals, n)
     }
 
     fn issue_compute(&mut self, age: Age, rob_idx: usize) {
         let e = self.rob[rob_idx];
-        let srcs = self.read_sources(rob_idx);
-        let out = compute(e.inst, e.pc, &srcs);
+        let (srcs, n) = self.read_sources(rob_idx);
+        let out = compute(e.inst, e.pc, &srcs[..n]);
         let entry = &mut self.rob[rob_idx];
         entry.result = out.result;
         entry.actual_next = out.next_pc;
@@ -758,7 +1022,7 @@ impl<'p> Simulator<'p> {
     /// Issues a load. Returns `true` if a squash happened (coherence replay).
     fn issue_load(&mut self, age: Age, rob_idx: usize) -> bool {
         let e = self.rob[rob_idx];
-        let base = self.read_sources(rob_idx)[0];
+        let base = self.read_sources(rob_idx).0[0];
         let size = e.inst.mem_size().expect("load has a size");
         let out = compute(e.inst, e.pc, &[base]);
         let raw_ea = out.ea.expect("load computes an address");
@@ -954,6 +1218,11 @@ impl<'p> Simulator<'p> {
         }
         self.int_iq.retain(|q| q.age < first);
         self.fp_iq.retain(|q| q.age < first);
+        // The ready list is age-sorted: drop the squashed tail. Waiter and
+        // sleeper records for squashed entries are dropped lazily (their
+        // ages no longer match any IQ entry, and ages are never reused).
+        let cut = self.ready.partition_point(|&a| a < first);
+        self.ready.truncate(cut);
         self.lq.squash(first);
         self.sq.squash(first);
         self.rf.reset_spec_to_retire();
@@ -985,7 +1254,9 @@ impl<'p> Simulator<'p> {
 
     // ----- dispatch ---------------------------------------------------------
 
-    fn dispatch(&mut self) {
+    /// Returns `true` if at least one instruction dispatched this cycle.
+    fn dispatch(&mut self) -> bool {
+        let mut did = false;
         for _ in 0..self.config.dispatch_width {
             let Some(f) = self.fq.front().copied() else {
                 break;
@@ -1030,6 +1301,7 @@ impl<'p> Simulator<'p> {
             }
 
             self.fq.pop_front();
+            did = true;
             let age = Age(self.next_age);
             self.next_age += 1;
 
@@ -1095,21 +1367,43 @@ impl<'p> Simulator<'p> {
                     ready,
                     sleep_until: Cycle(0),
                 };
-                if class.is_fp_queue() {
+                let fp_queue = class.is_fp_queue();
+                if fp_queue {
                     self.fp_iq.push(entry);
                 } else {
                     self.int_iq.push(entry);
                 }
+                if ready[0] && ready[1] {
+                    self.insert_ready(age);
+                } else {
+                    // Register each pending slot with its producer; a
+                    // not-yet-ready operand is always a physical register.
+                    for (slot, (src, rdy)) in iq_srcs.iter().zip(ready).enumerate() {
+                        if let (Some(Operand::Phys(p)), false) = (src, rdy) {
+                            let flat = self.flat_reg(*p);
+                            self.waiters[flat].push(Waiter {
+                                age,
+                                fp_queue,
+                                slot: slot as u8,
+                            });
+                        }
+                    }
+                }
             }
         }
+        did
     }
 
     // ----- fetch ------------------------------------------------------------
 
-    fn fetch(&mut self) {
+    /// Returns `true` if fetch did observable work this cycle (an I-cache
+    /// access or an instruction pushed). A wild PC or a full fetch queue is
+    /// not progress: only a squash or dispatch can unblock those.
+    fn fetch(&mut self) -> bool {
         if self.fetch_blocked || self.cycle < self.fetch_stall_until {
-            return;
+            return false;
         }
+        let mut did = false;
         let cap = 4 * self.config.fetch_width as usize;
         let mut budget = self.config.fetch_width;
         while budget > 0 && self.fq.len() < cap {
@@ -1121,6 +1415,7 @@ impl<'p> Simulator<'p> {
             let text = Program::text_addr(pc);
             let line = text.0 >> self.config.l1i.line_bytes.trailing_zeros();
             if line != self.last_fetch_line {
+                did = true;
                 let latency = self.hier.inst_access(text);
                 self.last_fetch_line = line;
                 if latency > self.config.l1i.latency {
@@ -1152,6 +1447,7 @@ impl<'p> Simulator<'p> {
                 ready_at: self.cycle.plus(self.config.frontend_latency),
             });
             self.stats.fetched += 1;
+            did = true;
             self.fetch_pc = predicted_next;
             budget -= 1;
             if inst == Inst::Halt {
@@ -1163,6 +1459,7 @@ impl<'p> Simulator<'p> {
                 break;
             }
         }
+        did
     }
 
     // ----- coherence ---------------------------------------------------------

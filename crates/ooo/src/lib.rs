@@ -52,5 +52,8 @@ pub use lsq::{
     StoreEntry, StoreQueue, StoreResolution,
 };
 pub use regs::{Operand, PhysReg, RegFiles, RegValue};
-pub use stats::{CacheStats, EnergyCounters, PolicyStats, ReplayBreakdown, ReplayKind, SimStats};
+pub use stats::{
+    CacheStats, EnergyCounters, PolicyStats, ReplayBreakdown, ReplayKind, SimProfile, SimStats,
+    PROFILE_STAGES, PROFILE_STAGE_NAMES,
+};
 pub use trace::{PipelineTrace, Stage, TraceEvent};

@@ -396,6 +396,31 @@ pub trait MemDepPolicy {
     fn on_cycle(&mut self, ctx: &mut PolicyCtx<'_>) {
         let _ = ctx;
     }
+
+    /// Whether [`MemDepPolicy::on_cycle`] does anything. The simulator
+    /// builds a [`PolicyCtx`] and invokes the hook only when this returns
+    /// `true`, so hook-less policies pay nothing per cycle.
+    ///
+    /// **Override this to return `true` whenever `on_cycle` is
+    /// overridden** — leaving it `false` silently disables the hook.
+    fn has_cycle_hook(&self) -> bool {
+        false
+    }
+
+    /// Called in place of `n` consecutive [`MemDepPolicy::on_cycle`] calls
+    /// when the simulator fast-forwards over the provably idle cycles
+    /// `ctx.cycle + 1 ..= ctx.cycle + n`. No other hook fires anywhere in
+    /// that span. The default replays `on_cycle` once per skipped cycle
+    /// (with `ctx.cycle` advanced accordingly); policies whose hook is a
+    /// plain counter should override this with an O(1) batch update.
+    fn on_idle_cycles(&mut self, ctx: &mut PolicyCtx<'_>, n: u64) {
+        let base = ctx.cycle;
+        for i in 1..=n {
+            ctx.cycle = base.plus(i);
+            self.on_cycle(ctx);
+        }
+        ctx.cycle = base;
+    }
 }
 
 /// Result of [`MemDepPolicy::on_store_resolve`].

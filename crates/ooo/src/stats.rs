@@ -228,6 +228,12 @@ pub struct SimStats {
     pub l1d: CacheStats,
     /// L2 cache behaviour.
     pub l2: CacheStats,
+    /// Simulated cycles the event-horizon loop fast-forwarded over instead
+    /// of executing. Purely a measure of host-side work saved: the
+    /// simulated machine's behaviour is bit-identical with skipping off.
+    pub skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    pub fast_forwards: u64,
 }
 
 impl SimStats {
@@ -247,6 +253,84 @@ impl SimStats {
         } else {
             events as f64 * 1.0e6 / self.committed as f64
         }
+    }
+
+    /// Fraction of simulated cycles the loop skipped rather than executed.
+    pub fn skip_ratio(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// A copy with the host-side speed counters (`skipped_cycles`,
+    /// `fast_forwards`) zeroed, for whole-struct equality checks between
+    /// event-driven and forced-per-cycle runs: those two counters describe
+    /// how the simulator ran, not what the simulated machine did.
+    pub fn with_skip_counters_zeroed(&self) -> SimStats {
+        SimStats {
+            skipped_cycles: 0,
+            fast_forwards: 0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Number of profiled pipeline stages (see [`PROFILE_STAGE_NAMES`]).
+pub const PROFILE_STAGES: usize = 5;
+
+/// Names of the profiled stages, in per-cycle execution order.
+pub const PROFILE_STAGE_NAMES: [&str; PROFILE_STAGES] =
+    ["commit", "writeback", "issue", "dispatch", "fetch"];
+
+/// Per-stage wall-clock/activity breakdown of one `Simulator::run`,
+/// collected when `SimOptions::profile` is set.
+///
+/// Host nanoseconds are measured around each stage call of each *executed*
+/// cycle; fast-forwarded cycles execute no stages (that is the point) and
+/// show up as `SimStats::skipped_cycles` instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Host nanoseconds spent inside each stage, in
+    /// [`PROFILE_STAGE_NAMES`] order.
+    pub stage_nanos: [u64; PROFILE_STAGES],
+    /// Executed cycles in which the stage did observable work.
+    pub stage_active_cycles: [u64; PROFILE_STAGES],
+    /// Cycles the loop actually executed (simulated minus skipped).
+    pub executed_cycles: u64,
+}
+
+impl SimProfile {
+    /// Multi-line human-readable report, combining the stage breakdown
+    /// with the run's skip counters.
+    pub fn render(&self, stats: &SimStats) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile: {} cycles simulated, {} executed, {} skipped ({:.1}%) in {} fast-forwards",
+            stats.cycles,
+            self.executed_cycles,
+            stats.skipped_cycles,
+            stats.skip_ratio() * 100.0,
+            stats.fast_forwards,
+        );
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>12} {:>14}",
+            "stage", "time(us)", "active-cycles"
+        );
+        for (i, name) in PROFILE_STAGE_NAMES.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>12.1} {:>14}",
+                name,
+                self.stage_nanos[i] as f64 / 1000.0,
+                self.stage_active_cycles[i],
+            );
+        }
+        out
     }
 }
 

@@ -2,9 +2,75 @@
 //! ordering invariants, cache bookkeeping, predictor history repair, and
 //! the equivalence of store-to-load forwarding with a memory round trip.
 
-use dmdc_ooo::{extract_forwarded, BranchPredictor, Cache, CacheConfig, LoadQueue, StoreQueue};
+use dmdc_isa::{Assembler, Program};
+use dmdc_ooo::{
+    extract_forwarded, BaselinePolicy, BranchPredictor, Cache, CacheConfig, CoreConfig, LoadQueue,
+    SimOptions, SimResult, Simulator, StoreQueue,
+};
 use dmdc_types::{AccessSize, Addr, Age, MemSpan};
 use proptest::prelude::*;
+
+/// Assembles a randomized store/load kernel: each iteration stores to a
+/// pseudo-random slot of a circular buffer and loads from the slot written
+/// `gap` iterations earlier, with optional unpredictable branch noise.
+fn random_kernel(iters: u32, gap: u32, addr_bits: u32, noise: bool, seed: u32) -> Program {
+    let slots = 1u32 << addr_bits;
+    let mask = slots - 1;
+    let noise = if noise {
+        "         srli x16, x5, 23
+                  andi x16, x16, 1
+                  srli x17, x5, 37
+                  andi x17, x17, 1
+                  bne  x16, x17, noisy
+                  addi x28, x28, 3
+         noisy:"
+    } else {
+        ""
+    };
+    let asm = format!(
+        "        li   x10, 0x300000
+                 li   x11, {iters}
+                 li   x5, {seed}
+                 li   x6, 1103515245
+                 li   x13, {mask}
+                 li   x14, {gap}
+                 li   x7, 0
+                 li   x28, 0
+         loop:   mul  x5, x5, x6
+                 addi x5, x5, 12345
+                 srli x4, x5, 15
+                 and  x4, x4, x13
+                 slli x9, x4, 3
+                 add  x9, x9, x10
+                 sd   x7, 0(x9)
+                 sub  x3, x4, x14
+                 and  x3, x3, x13
+                 slli x9, x3, 3
+                 add  x9, x9, x10
+                 ld   x2, 0(x9)
+                 add  x28, x28, x2
+         {noise}
+                 addi x7, x7, 1
+                 blt  x7, x11, loop
+                 halt",
+        seed = seed.max(1),
+        gap = gap.min(mask),
+    );
+    Assembler::new()
+        .assemble(&asm)
+        .expect("kernel assembles")
+        .with_data(Addr(0x30_0000), vec![0u8; u64::from(slots) as usize * 8])
+}
+
+fn run_kernel(program: &Program, opts: SimOptions) -> SimResult {
+    let policy = if opts.inval_per_kcycle > 0.0 {
+        BaselinePolicy::with_coherence(128)
+    } else {
+        BaselinePolicy::new()
+    };
+    let mut sim = Simulator::new(program, CoreConfig::config2(), Box::new(policy));
+    sim.run(opts).expect("kernel completes")
+}
 
 fn size_strategy() -> impl Strategy<Value = AccessSize> {
     prop_oneof![
@@ -118,6 +184,39 @@ proptest! {
             prop_assert!(c.probe(Addr(a)), "just-filled line must be resident");
             prop_assert_eq!(c.stats.hits + c.stats.misses, i as u64 + 1);
         }
+    }
+
+    /// Event-horizon equivalence: for random programs and random
+    /// invalidation streams, the event-driven loop produces a bit-identical
+    /// [`SimResult`] to the forced per-cycle loop (modulo the two host-side
+    /// skip counters that describe how the loop ran, not what it computed).
+    #[test]
+    fn event_skipping_matches_per_cycle(
+        iters in 50u32..400,
+        gap in 0u32..8,
+        addr_bits in 3u32..8,
+        noise in any::<bool>(),
+        kernel_seed in 1u32..10_000,
+        inval_rate in prop_oneof![Just(0.0f64), Just(5.0), Just(50.0)],
+        inval_seed in 1u64..1_000,
+    ) {
+        let program = random_kernel(iters, gap, addr_bits, noise, kernel_seed);
+        let base = SimOptions {
+            inval_per_kcycle: inval_rate,
+            inval_seed,
+            collect_commit_log: true,
+            ..SimOptions::default()
+        };
+        let per_cycle = run_kernel(&program, SimOptions { event_skipping: false, ..base });
+        let event = run_kernel(&program, SimOptions { event_skipping: true, ..base });
+        prop_assert_eq!(per_cycle.halted, event.halted);
+        prop_assert_eq!(per_cycle.checksum, event.checksum);
+        prop_assert_eq!(per_cycle.commit_log, event.commit_log);
+        prop_assert_eq!(per_cycle.stats.skipped_cycles, 0);
+        prop_assert_eq!(
+            per_cycle.stats.with_skip_counters_zeroed(),
+            event.stats.with_skip_counters_zeroed()
+        );
     }
 
     /// Branch-predictor history: restore(snapshot) exactly undoes any

@@ -55,28 +55,38 @@ USAGE:
   dmdc list
   dmdc run --workload <name> --policy <name> [--config 1|2|3]
            [--scale smoke|default|large] [--inval-rate R] [--trace N]
-  dmdc suite --policy <name> [--config N] [--scale S] [--jobs N]
+           [--profile]
+  dmdc suite --policy <name> [--config N] [--scale S] [--jobs N] [--profile]
   dmdc experiment <fig2|fig3|fig4|fig5|table2|table3|table4|table5|table6|ablations|all>
-           [--scale S] [--jobs N]
+           [--scale S] [--jobs N] [--profile]
   dmdc asm <file.s>
 
 Worker count for suite/experiment: --jobs N, else the DMDC_JOBS
 environment variable, else the machine's available parallelism. Output
 is byte-identical at any job count.
+
+--profile reports a per-stage host-time breakdown plus the event-horizon
+loop's skipped-cycle counters (for suite/experiment: aggregated over all
+runs, printed to stderr so stdout stays byte-identical).
 "
     .to_string()
 }
 
-/// Parses `--key value` pairs; returns an error for stray arguments.
+/// Parses `--key value` pairs; a `--flag` followed by another flag (or by
+/// nothing) is boolean and stored as `"true"`. Returns an error for stray
+/// non-flag arguments.
 fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
     let mut flags = std::collections::HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{a}`"))?;
-        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+            _ => "true".to_string(),
+        };
+        flags.insert(key.to_string(), value);
     }
     Ok(flags)
 }
@@ -121,6 +131,21 @@ fn parse_config(flags: &std::collections::HashMap<String, String>) -> Result<Cor
         "2" => Ok(CoreConfig::config2()),
         "3" => Ok(CoreConfig::config3()),
         other => Err(format!("unknown config `{other}` (1, 2 or 3)")),
+    }
+}
+
+/// Applies `--profile` as the process-wide profiling switch for the runner.
+fn apply_profile(flags: &std::collections::HashMap<String, String>) {
+    if flags.contains_key("profile") {
+        runner::set_profile(true);
+    }
+}
+
+/// Prints the accumulated profile totals to stderr (keeping stdout
+/// byte-identical with and without `--profile`).
+fn report_profile() {
+    if runner::profile_enabled() {
+        eprint!("{}", runner::take_profile_totals().render());
     }
 }
 
@@ -189,6 +214,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(n) = flags.get("max-commits") {
         opts.max_commits = Some(n.parse().map_err(|_| "bad --max-commits")?);
     }
+    opts.profile = flags.contains_key("profile");
 
     // Drive the simulator directly so the trace is accessible afterwards.
     let mut sim = Simulator::new(&workload.program, config.clone(), policy.build(&config));
@@ -224,6 +250,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if s.policy.invalidations > 0 {
         println!("  invalidations {:>12}", s.policy.invalidations);
     }
+    if let Some(profile) = &result.profile {
+        print!("{}", profile.render(s));
+    }
     Ok(())
 }
 
@@ -238,6 +267,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     let config = parse_config(&flags)?;
     let scale = parse_scale(&flags)?;
     apply_jobs(&flags)?;
+    apply_profile(&flags);
     let mut t = Table::new(format!("suite under {policy:?} on {}", config.name));
     t.headers([
         "workload",
@@ -263,6 +293,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         ]);
     }
     println!("{t}");
+    report_profile();
     Ok(())
 }
 
@@ -273,6 +304,7 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(&args[1..])?;
     let scale = parse_scale(&flags)?;
     apply_jobs(&flags)?;
+    apply_profile(&flags);
     let config = CoreConfig::config2();
     let suite = full_suite(scale);
     let run = |name: &str| -> Result<(), String> {
@@ -347,10 +379,11 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
         ] {
             run(name)?;
         }
-        Ok(())
     } else {
-        run(which)
+        run(which)?;
     }
+    report_profile();
+    Ok(())
 }
 
 fn cmd_asm(args: &[String]) -> Result<(), String> {
@@ -386,7 +419,18 @@ mod tests {
         assert_eq!(f["workload"], "histo");
         assert_eq!(f["config"], "2");
         assert!(parse_flags(&["stray".to_string()]).is_err());
-        assert!(parse_flags(&["--dangling".to_string()]).is_err());
+    }
+
+    #[test]
+    fn flags_parse_booleans() {
+        let args: Vec<String> = ["--profile", "--jobs", "4", "--trace"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f["profile"], "true");
+        assert_eq!(f["jobs"], "4");
+        assert_eq!(f["trace"], "true");
     }
 
     #[test]

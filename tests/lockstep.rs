@@ -1,0 +1,179 @@
+//! Lockstep equivalence: the event-horizon loop (`event_skipping: true`,
+//! the default) must be bit-identical to the plain per-cycle loop on every
+//! bundled workload — same checksum, same cycle count, same commit log,
+//! same replay breakdown, same everything except the two host-side skip
+//! counters that describe *how* the loop ran.
+//!
+//! This is the hard guarantee that makes the fast path trustworthy: any
+//! divergence in stall detection, RNG draw alignment, wakeup ordering, or
+//! the deadlock/cycle-limit caps shows up here as a stats mismatch.
+
+use dmdc::core::experiments::PolicyKind;
+use dmdc::isa::Emulator;
+use dmdc::ooo::{CoreConfig, SimOptions, SimResult, Simulator};
+use dmdc::workloads::{full_suite, Scale, Workload};
+
+fn run_mode(w: &Workload, config: &CoreConfig, kind: &PolicyKind, opts: SimOptions) -> SimResult {
+    let mut sim = Simulator::new(&w.program, config.clone(), kind.build(config));
+    sim.run(opts)
+        .unwrap_or_else(|e| panic!("{} under {kind:?}: {e}", w.name))
+}
+
+/// Runs `w` both ways and asserts full bit-identity of the results.
+fn assert_lockstep(w: &Workload, config: &CoreConfig, kind: &PolicyKind, base: SimOptions) {
+    let per_cycle = run_mode(
+        w,
+        config,
+        kind,
+        SimOptions {
+            event_skipping: false,
+            ..base
+        },
+    );
+    let event = run_mode(
+        w,
+        config,
+        kind,
+        SimOptions {
+            event_skipping: true,
+            ..base
+        },
+    );
+    let tag = format!("{} under {kind:?} on {}", w.name, config.name);
+    assert_eq!(per_cycle.halted, event.halted, "halted diverged: {tag}");
+    assert_eq!(
+        per_cycle.checksum, event.checksum,
+        "checksum diverged: {tag}"
+    );
+    assert_eq!(
+        per_cycle.stats.cycles, event.stats.cycles,
+        "cycle count diverged: {tag}"
+    );
+    assert_eq!(
+        per_cycle.commit_log, event.commit_log,
+        "commit log diverged: {tag}"
+    );
+    assert_eq!(
+        per_cycle.stats.policy.replays, event.stats.policy.replays,
+        "replay breakdown diverged: {tag}"
+    );
+    assert_eq!(
+        per_cycle.stats.with_skip_counters_zeroed(),
+        event.stats.with_skip_counters_zeroed(),
+        "stats diverged: {tag}"
+    );
+    assert_eq!(
+        per_cycle.stats.skipped_cycles, 0,
+        "per-cycle mode must not skip: {tag}"
+    );
+}
+
+#[test]
+fn full_suite_is_lockstep_identical() {
+    let config = CoreConfig::config2();
+    let opts = SimOptions {
+        collect_commit_log: true,
+        ..SimOptions::default()
+    };
+    for w in &full_suite(Scale::Smoke) {
+        for kind in [
+            PolicyKind::Baseline,
+            PolicyKind::DmdcGlobal,
+            PolicyKind::CheckingQueue { entries: 8 },
+        ] {
+            assert_lockstep(w, &config, &kind, opts);
+        }
+    }
+}
+
+#[test]
+fn lockstep_holds_under_invalidation_traffic() {
+    // A nonzero invalidation rate exercises the RNG-draw-per-skipped-cycle
+    // alignment: the Bernoulli stream must consume exactly one draw per
+    // simulated cycle in both modes.
+    let config = CoreConfig::config2();
+    for rate in [1.0, 10.0, 100.0] {
+        let opts = SimOptions {
+            collect_commit_log: true,
+            inval_per_kcycle: rate,
+            inval_seed: 42,
+            ..SimOptions::default()
+        };
+        for w in &full_suite(Scale::Smoke) {
+            for kind in [PolicyKind::BaselineCoherent, PolicyKind::DmdcCoherent] {
+                assert_lockstep(w, &config, &kind, opts);
+            }
+        }
+    }
+}
+
+#[test]
+fn lockstep_holds_across_configs_and_max_commits() {
+    let w = &full_suite(Scale::Smoke)[6]; // histo: replays, misses, windows
+    for config in CoreConfig::all() {
+        assert_lockstep(
+            w,
+            &config,
+            &PolicyKind::DmdcGlobal,
+            SimOptions {
+                collect_commit_log: true,
+                ..SimOptions::default()
+            },
+        );
+    }
+    // Early stop via max_commits must land on the same commit and cycle.
+    assert_lockstep(
+        w,
+        &CoreConfig::config2(),
+        &PolicyKind::Baseline,
+        SimOptions {
+            collect_commit_log: true,
+            max_commits: Some(500),
+            ..SimOptions::default()
+        },
+    );
+}
+
+#[test]
+fn cycle_limit_fires_identically_in_both_modes() {
+    // The fast-forward cap must make CycleLimit trip at the same cycle with
+    // the same partial progress as the per-cycle loop.
+    let w = &full_suite(Scale::Smoke)[0];
+    let config = CoreConfig::config2();
+    let run = |skip: bool| {
+        let mut sim = Simulator::new(
+            &w.program,
+            config.clone(),
+            PolicyKind::Baseline.build(&config),
+        );
+        sim.run(SimOptions {
+            max_cycles: 300,
+            event_skipping: skip,
+            ..SimOptions::default()
+        })
+    };
+    let (a, b) = (run(false), run(true));
+    let ea = a.expect_err("300 cycles cannot finish the workload");
+    let eb = b.expect_err("300 cycles cannot finish the workload");
+    assert_eq!(ea.to_string(), eb.to_string());
+}
+
+#[test]
+fn event_mode_actually_skips_and_matches_the_emulator() {
+    // Guards against the trivial way to pass lockstep: never skipping.
+    let config = CoreConfig::config2();
+    let suite = full_suite(Scale::Smoke);
+    let mut total_skipped = 0;
+    for w in &suite {
+        let r = run_mode(w, &config, &PolicyKind::DmdcGlobal, SimOptions::default());
+        assert!(r.halted, "{}", w.name);
+        let mut emu = Emulator::new(&w.program);
+        emu.run(u64::MAX).expect("workloads halt under emulation");
+        assert_eq!(r.checksum, emu.state_checksum(), "{}", w.name);
+        total_skipped += r.stats.skipped_cycles;
+    }
+    assert!(
+        total_skipped > 0,
+        "event-horizon loop never skipped a cycle across the whole suite"
+    );
+}
