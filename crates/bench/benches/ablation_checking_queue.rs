@@ -2,15 +2,11 @@
 //! checking queues of several depths — the paper estimates the 2K-entry
 //! table is roughly equivalent to a 16-entry queue in replay rate.
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{checking_queue_ablation_on, PolicyKind};
-use dmdc_ooo::CoreConfig;
-use dmdc_workloads::full_suite;
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    let suite = full_suite(scale_from_env());
-    let ablation = checking_queue_ablation_on(&suite, &CoreConfig::config2(), &[4, 8, 16, 32]);
-    println!("{}", ablation.render());
+    regen("ablation-queue");
 
     let mut c = criterion();
     bench_policy_throughput(

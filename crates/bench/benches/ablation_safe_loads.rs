@@ -1,17 +1,11 @@
 //! Ablation (§6.2.2): false replays with and without the safe-load
 //! optimization — the paper reports replays roughly double without it.
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{safe_load_ablation_on, PolicyKind};
-use dmdc_ooo::CoreConfig;
-use dmdc_workloads::full_suite;
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    let suite = full_suite(scale_from_env());
-    println!(
-        "{}",
-        safe_load_ablation_on(&suite, &CoreConfig::config2()).render()
-    );
+    regen("ablation-safe-loads");
 
     let mut c = criterion();
     bench_policy_throughput(

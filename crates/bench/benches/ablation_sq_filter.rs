@@ -2,17 +2,11 @@
 //! the potential of an oldest-store-age register to filter SQ searches
 //! (the paper measures about 20%).
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{sq_filter_potential_on, PolicyKind};
-use dmdc_ooo::CoreConfig;
-use dmdc_workloads::full_suite;
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    let suite = full_suite(scale_from_env());
-    println!(
-        "{}",
-        sq_filter_potential_on(&suite, &CoreConfig::config2()).render()
-    );
+    regen("ablation-sq-filter");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/baseline-sqfilter", PolicyKind::Baseline);

@@ -2,19 +2,11 @@
 //! concludes that growing the table past 2K entries has diminishing
 //! returns because imperfect hashing is not the dominant replay cause.
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{table_size_ablation_on, PolicyKind};
-use dmdc_ooo::CoreConfig;
-use dmdc_workloads::full_suite;
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    let suite = full_suite(scale_from_env());
-    let ablation = table_size_ablation_on(
-        &suite,
-        &CoreConfig::config2(),
-        &[256, 512, 1024, 2048, 4096],
-    );
-    println!("{}", ablation.render());
+    regen("ablation-table-size");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/dmdc-table-sweep", PolicyKind::DmdcGlobal);

@@ -1,13 +1,12 @@
 //! Regenerates Figure 2 (% LQ searches filtered vs number and interleaving
 //! of YLA registers) plus the §6.1 YLA-8 energy note.
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{fig2, yla_energy, PolicyKind};
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    let scale = scale_from_env();
-    println!("{}", fig2(scale).render());
-    println!("{}", yla_energy(scale).render());
+    regen("fig2");
+    regen("yla-energy");
 
     let mut c = criterion();
     bench_policy_throughput(

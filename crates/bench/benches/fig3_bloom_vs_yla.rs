@@ -1,10 +1,10 @@
 //! Regenerates Figure 3 (YLA filtering vs bloom filters with the H0 hash).
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{fig3, PolicyKind};
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    println!("{}", fig3(scale_from_env()).render());
+    regen("fig3");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/bloom256", PolicyKind::Bloom { entries: 256 });

@@ -1,11 +1,11 @@
 //! Regenerates Figure 4 (DMDC LQ energy savings, slowdown and total energy
 //! savings across the three machine configurations).
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{fig4, PolicyKind};
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    println!("{}", fig4(scale_from_env()).render());
+    regen("fig4");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/dmdc-global", PolicyKind::DmdcGlobal);

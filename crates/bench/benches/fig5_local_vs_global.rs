@@ -1,10 +1,10 @@
 //! Regenerates Figure 5 (slowdown of local vs global DMDC, three configs).
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{fig5, PolicyKind};
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    println!("{}", fig5(scale_from_env()).render());
+    regen("fig5");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/dmdc-local", PolicyKind::DmdcLocal);

@@ -1,10 +1,10 @@
 //! Regenerates Table 2 (checking-window statistics under global DMDC).
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{table2, PolicyKind};
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    println!("{}", table2(scale_from_env()).render());
+    regen("table2");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/dmdc-global-window", PolicyKind::DmdcGlobal);

@@ -1,11 +1,11 @@
 //! Regenerates Table 3 (false-replay breakdown per million commits,
 //! global DMDC).
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{table3, PolicyKind};
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    println!("{}", table3(scale_from_env()).render());
+    regen("table3");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/dmdc-replays", PolicyKind::DmdcGlobal);

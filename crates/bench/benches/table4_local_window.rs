@@ -1,10 +1,10 @@
 //! Regenerates Table 4 (checking-window statistics under local DMDC).
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{table4, PolicyKind};
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    println!("{}", table4(scale_from_env()).render());
+    regen("table4");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/dmdc-local-window", PolicyKind::DmdcLocal);

@@ -1,11 +1,11 @@
 //! Regenerates Table 5 (false-replay breakdown per million commits,
 //! local DMDC).
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{table5, PolicyKind};
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    println!("{}", table5(scale_from_env()).render());
+    regen("table5");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/dmdc-local-replays", PolicyKind::DmdcLocal);

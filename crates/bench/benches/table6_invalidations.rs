@@ -1,11 +1,11 @@
 //! Regenerates Table 6 (impact of injected external invalidations on the
 //! coherence-enabled DMDC design).
 
-use dmdc_bench::{bench_policy_throughput, criterion, finish, scale_from_env};
-use dmdc_core::experiments::{table6, PolicyKind};
+use dmdc_bench::{bench_policy_throughput, criterion, finish, regen};
+use dmdc_core::experiments::PolicyKind;
 
 fn main() {
-    println!("{}", table6(scale_from_env()).render());
+    regen("table6");
 
     let mut c = criterion();
     bench_policy_throughput(&mut c, "sim/dmdc-coherent", PolicyKind::DmdcCoherent);

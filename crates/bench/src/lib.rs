@@ -2,7 +2,8 @@
 //!
 //! Every bench target in `benches/` does two things:
 //!
-//! 1. regenerates its paper table/figure at the scale selected by the
+//! 1. regenerates its paper table/figure — [`regen`] drives the
+//!    experiment registry by id — at the scale selected by the
 //!    `DMDC_SCALE` environment variable (`smoke`, `default`, `large`) and
 //!    prints it, so `cargo bench` output can be compared against the paper;
 //! 2. runs a small Criterion measurement of simulator throughput for the
@@ -10,7 +11,7 @@
 //!    itself are visible.
 
 use criterion::Criterion;
-use dmdc_core::experiments::{run_workload, PolicyKind};
+use dmdc_core::experiments::{find_experiment, run_experiment, run_workload, PolicyKind};
 use dmdc_ooo::{CoreConfig, SimOptions};
 use dmdc_workloads::{Scale, SyntheticKernel};
 
@@ -26,6 +27,19 @@ pub fn scale_from_env() -> Scale {
         "large" => Scale::Large,
         _ => Scale::Default,
     }
+}
+
+/// Regenerates one registry experiment at the `DMDC_SCALE` scale and
+/// prints its text report to stdout — the regeneration half every bench
+/// main shares with `dmdc experiment <id>`.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment id (a bench wired to a missing
+/// registry entry is a build defect, not a runtime condition).
+pub fn regen(id: &str) {
+    let exp = find_experiment(id).unwrap_or_else(|| panic!("unknown experiment `{id}`"));
+    print!("{}", run_experiment(exp, scale_from_env()).text());
 }
 
 /// Registers a Criterion benchmark simulating a small synthetic kernel

@@ -1,0 +1,258 @@
+//! Persistent content-addressed cache of verified experiment cells.
+//!
+//! Re-running `dmdc suite` or `dmdc experiment` repeats mostly identical
+//! simulations: the cell matrix is deterministic, and a cell's entire
+//! output — its [`CellResult`] — is a pure function of the run
+//! specification, the workload's program bytes and the simulator's
+//! semantics. This module keys each cell on exactly those three inputs:
+//!
+//! ```text
+//! key = fnv64( fingerprint ‖ workload digest ‖ RunSpec description )
+//! ```
+//!
+//! * **fingerprint** — [`dmdc_ooo::SIM_FINGERPRINT`] combined with this
+//!   crate's [`POLICY_FINGERPRINT`]; bumped by hand whenever a change
+//!   alters any number a simulation reports. Bumping invalidates every
+//!   cached cell at once.
+//! * **workload digest** — [`workload_digest`]: the workload's name,
+//!   group, entry point, encoded instruction words and initial data
+//!   segments. Editing one byte of one kernel invalidates exactly that
+//!   kernel's cells.
+//! * **RunSpec description** — the `Debug` rendering of the cell's
+//!   [`CoreConfig`](dmdc_ooo::CoreConfig),
+//!   [`PolicyKind`](crate::experiments::PolicyKind) and
+//!   [`SimOptions`](dmdc_ooo::SimOptions), which spells out every field
+//!   value; any config/policy/option change moves the key.
+//!
+//! Cells are stored one file per key (`<key>.cell`) in the versioned
+//! [`CellResult::to_record`] format; unreadable, truncated or
+//! schema-mismatched files degrade to misses. Writes go through a
+//! temporary file plus rename, so concurrent processes never observe a
+//! torn record. Hits skip both the simulation and its emulator-oracle
+//! verification — the cache stores only verified results.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dmdc_isa::encode;
+use dmdc_workloads::Workload;
+
+use crate::cell::CellResult;
+
+/// Version tag of the dependence-policy implementations in this crate
+/// (DMDC, YLA, bloom, checking queue). Bump together with semantic
+/// changes here, as [`dmdc_ooo::SIM_FINGERPRINT`] is bumped for the
+/// substrate.
+pub const POLICY_FINGERPRINT: &str = "dmdc-core-v1";
+
+/// The combined simulator fingerprint cache keys incorporate by default.
+pub fn default_fingerprint() -> String {
+    format!("{}+{}", dmdc_ooo::SIM_FINGERPRINT, POLICY_FINGERPRINT)
+}
+
+/// The default on-disk location, `target/dmdc-cache/` under the current
+/// working directory (the cache lives next to build artifacts: `cargo
+/// clean` clears both).
+pub fn default_cache_dir() -> PathBuf {
+    PathBuf::from("target").join("dmdc-cache")
+}
+
+/// Streaming 64-bit FNV-1a. Deterministic across processes and builds —
+/// unlike `std`'s `DefaultHasher`, whose algorithm is unspecified — which
+/// is what makes the keys stable enough to persist.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Folds bytes into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Fnv64 {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` (little-endian) into the running hash.
+    pub fn write_u64(&mut self, v: u64) -> &mut Fnv64 {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// Content digest of a workload: name, group, entry point, encoded text
+/// and initial data segments. Two workloads digest equal iff the
+/// simulator would see identical programs under identical labels.
+pub fn workload_digest(w: &Workload) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(w.name.as_bytes());
+    h.write(format!("{:?}", w.group).as_bytes());
+    h.write_u64(w.program.entry() as u64);
+    h.write_u64(w.program.insts().len() as u64);
+    for &inst in w.program.insts() {
+        h.write(&encode(inst).to_le_bytes());
+    }
+    h.write_u64(w.program.data_segments().len() as u64);
+    for (base, bytes) in w.program.data_segments() {
+        h.write_u64(base.0);
+        h.write_u64(bytes.len() as u64);
+        h.write(bytes);
+    }
+    h.finish()
+}
+
+/// Hit/miss/store counters of one [`CellCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from disk (simulation skipped).
+    pub hits: u64,
+    /// Lookups that found no usable record.
+    pub misses: u64,
+    /// Freshly simulated cells persisted.
+    pub stores: u64,
+}
+
+/// A content-addressed, persistent store of verified [`CellResult`]s.
+#[derive(Debug)]
+pub struct CellCache {
+    dir: PathBuf,
+    fingerprint: String,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl CellCache {
+    /// A cache rooted at `dir` with the default simulator fingerprint.
+    pub fn new(dir: impl Into<PathBuf>) -> CellCache {
+        CellCache::with_fingerprint(dir, default_fingerprint())
+    }
+
+    /// A cache rooted at `dir` keying on an explicit fingerprint (tests
+    /// use this to prove that bumping the fingerprint re-runs every cell).
+    pub fn with_fingerprint(dir: impl Into<PathBuf>, fingerprint: impl Into<String>) -> CellCache {
+        CellCache {
+            dir: dir.into(),
+            fingerprint: fingerprint.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cell key for a (workload digest, spec description) pair.
+    pub fn key(&self, workload_digest: u64, spec_desc: &str) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(self.fingerprint.as_bytes());
+        h.write_u64(workload_digest);
+        h.write(spec_desc.as_bytes());
+        h.finish()
+    }
+
+    fn path_of(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.cell"))
+    }
+
+    /// Looks up a cell. `expected_workload` guards against the
+    /// astronomically unlikely key collision (and mislabeled files placed
+    /// by hand); a name mismatch is a miss.
+    pub fn load(&self, key: u64, expected_workload: &str) -> Option<CellResult> {
+        let loaded = std::fs::read_to_string(self.path_of(key))
+            .ok()
+            .and_then(|record| CellResult::from_record(&record))
+            .filter(|cell| cell.workload == expected_workload);
+        match &loaded {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        loaded
+    }
+
+    /// Persists a freshly computed cell. I/O failures are swallowed: a
+    /// cache that cannot write (read-only checkout, full disk) costs a
+    /// re-simulation later, never a wrong result now.
+    pub fn store(&self, key: u64, cell: &CellResult) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let path = self.path_of(key);
+        let tmp = self.dir.join(format!(
+            "{key:016x}.tmp.{}",
+            std::process::id() as u64 ^ key.rotate_left(32)
+        ));
+        if std::fs::write(&tmp, cell.to_record()).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Counters since this cache handle was created.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_workloads::{int_suite, Scale};
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        // Reference value: FNV-1a 64 of "hello" is fixed by the algorithm.
+        let mut h = Fnv64::new();
+        h.write(b"hello");
+        assert_eq!(h.finish(), 0xa430_d846_80aa_bd0b);
+        let mut ab = Fnv64::new();
+        ab.write(b"ab");
+        let mut ba = Fnv64::new();
+        ba.write(b"ba");
+        assert_ne!(ab.finish(), ba.finish());
+    }
+
+    #[test]
+    fn workload_digest_tracks_content() {
+        let a = int_suite(Scale::Smoke).remove(0);
+        let b = int_suite(Scale::Smoke).remove(0);
+        assert_eq!(workload_digest(&a), workload_digest(&b));
+        let bigger = int_suite(Scale::Default).remove(0);
+        assert_ne!(workload_digest(&a), workload_digest(&bigger));
+    }
+
+    #[test]
+    fn keys_separate_fingerprints_and_specs() {
+        let c1 = CellCache::with_fingerprint("target/unused", "fp-a");
+        let c2 = CellCache::with_fingerprint("target/unused", "fp-b");
+        assert_ne!(c1.key(7, "spec"), c2.key(7, "spec"));
+        assert_ne!(c1.key(7, "spec"), c1.key(7, "other-spec"));
+        assert_ne!(c1.key(7, "spec"), c1.key(8, "spec"));
+    }
+}

@@ -1,0 +1,123 @@
+//! The unified per-cell metrics record every experiment reducer consumes.
+//!
+//! One simulation cell — a `(workload, config, policy, options)` run —
+//! produces exactly one [`CellResult`]: the workload's identity plus the
+//! full [`SimStats`] (cycles, commits, the replay-oracle breakdown, the
+//! LQ/energy access counters and the checking-window statistics). Every
+//! table and figure reducer derives its rows from slices of these records;
+//! no experiment carries private per-run state anymore.
+//!
+//! A `CellResult` also round-trips through a compact, versioned text
+//! record ([`CellResult::to_record`] / [`CellResult::from_record`]), which
+//! is what the content-addressed cell cache persists under
+//! `target/dmdc-cache/`.
+
+use dmdc_ooo::SimStats;
+use dmdc_workloads::Group;
+
+/// Magic + version line of the persisted record format. The version is
+/// tied to [`SimStats::EXPORT_LEN`] at parse time, so a record written by
+/// a build with a different stats schema is rejected (a cache miss, not
+/// an error).
+const RECORD_MAGIC: &str = "dmdc-cell v1";
+
+/// One verified simulation cell: workload identity plus full metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Workload name ("histo", "saxpy", ...).
+    pub workload: String,
+    /// Suite membership.
+    pub group: Group,
+    /// Full statistics of the verified run.
+    pub stats: SimStats,
+}
+
+impl CellResult {
+    /// Serializes to the versioned text record the cell cache stores.
+    pub fn to_record(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{RECORD_MAGIC} {}", SimStats::EXPORT_LEN);
+        let _ = writeln!(out, "workload {}", self.workload);
+        let _ = writeln!(out, "group {}", self.group);
+        let values = self.stats.export_values();
+        let mut line = String::with_capacity(values.len() * 8);
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            let _ = write!(line, "{v}");
+        }
+        out.push_str(&line);
+        out.push('\n');
+        out
+    }
+
+    /// Parses a record produced by [`CellResult::to_record`]. Returns
+    /// `None` on any mismatch — wrong magic, wrong stats schema length,
+    /// malformed counters — so stale or foreign files degrade to cache
+    /// misses.
+    pub fn from_record(record: &str) -> Option<CellResult> {
+        let mut lines = record.lines();
+        let header = lines.next()?;
+        let len: usize = header.strip_prefix(RECORD_MAGIC)?.trim().parse().ok()?;
+        if len != SimStats::EXPORT_LEN {
+            return None;
+        }
+        let workload = lines.next()?.strip_prefix("workload ")?.to_string();
+        let group = match lines.next()?.strip_prefix("group ")? {
+            "INT" => Group::Int,
+            "FP" => Group::Fp,
+            _ => return None,
+        };
+        let values: Vec<u64> = lines
+            .next()?
+            .split(' ')
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .ok()?;
+        if lines.next().is_some() {
+            return None;
+        }
+        Some(CellResult {
+            workload,
+            group,
+            stats: SimStats::from_export_values(&values)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellResult {
+        let values: Vec<u64> = (10..10 + SimStats::EXPORT_LEN as u64).collect();
+        CellResult {
+            workload: "histo".to_string(),
+            group: Group::Int,
+            stats: SimStats::from_export_values(&values).unwrap(),
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_everything() {
+        let cell = sample();
+        let back = CellResult::from_record(&cell.to_record()).expect("parses");
+        assert_eq!(back, cell);
+    }
+
+    #[test]
+    fn foreign_or_corrupt_records_are_rejected() {
+        let cell = sample();
+        let record = cell.to_record();
+        assert!(CellResult::from_record("").is_none());
+        assert!(CellResult::from_record("dmdc-cell v0 3\n").is_none());
+        assert!(CellResult::from_record(&record.replace("v1", "v9")).is_none());
+        assert!(CellResult::from_record(&record.replace("INT", "BOGUS")).is_none());
+        let truncated = record.rsplit_once(' ').unwrap().0;
+        assert!(CellResult::from_record(truncated).is_none());
+        let trailing = format!("{record}extra\n");
+        assert!(CellResult::from_record(&trailing).is_none());
+    }
+}

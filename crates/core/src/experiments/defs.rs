@@ -1,241 +1,40 @@
-//! Regenerators for every table and figure in the paper's evaluation
-//! (§6), plus the ablations DESIGN.md calls out.
+//! Definitions of every registry experiment: the paper's tables and
+//! figures (§6) plus the ablations DESIGN.md calls out.
 //!
-//! Each `figN`/`tableN` function runs the full INT and FP suites through
-//! the simulator with the appropriate policies and aggregates exactly the
-//! rows the paper reports. Every halting run is verified against the
-//! functional emulator's architectural state — an experiment that produced
-//! numbers from a corrupted simulation panics instead of reporting.
+//! Each artifact appears in three forms that share one variant list and
+//! one reducer, so they cannot drift apart:
 //!
-//! The `*_on` variants take an explicit workload slice so tests (and
-//! impatient users) can run reduced sets; the plain variants build the full
-//! suite at the requested [`Scale`].
+//! * a typed `*_on` function (e.g. [`fig2_on`]) taking explicit
+//!   workloads/configs and returning the typed row struct — what shape
+//!   tests and library callers use;
+//! * a scale-level convenience wrapper (e.g. [`fig2`]) running the full
+//!   suite with the paper's defaults;
+//! * a unit struct (e.g. [`Fig2Exp`]) implementing
+//!   [`Experiment`](super::Experiment), which is what the registry, the
+//!   CLI and the golden-snapshot tests drive.
 //!
-//! Every regenerator expresses its runs as a flat list of independent
-//! [`RunSpec`] cells and executes them through the parallel
-//! [`Engine`](crate::runner::Engine): cells run concurrently across a
-//! worker pool, results come back in spec order, and the functional
-//! emulator's reference state is computed once per workload and shared by
-//! every cell (see [`crate::runner`]). Output is byte-identical at any
-//! worker count.
+//! Every typed result renders through [`Table`] (`table()` / `render()`)
+//! and the registry path wraps the same table in a [`Report`] for the
+//! text/JSON/CSV emitters.
 
-use dmdc_energy::{EnergyModel, StructureGeometry};
-use dmdc_isa::Emulator;
-use dmdc_ooo::{BaselinePolicy, CoreConfig, MemDepPolicy, SimOptions, SimStats, Simulator};
+use dmdc_energy::EnergyModel;
+use dmdc_ooo::{CoreConfig, SimOptions, SimStats};
 use dmdc_workloads::{full_suite, Group, Scale, Workload};
 
-use crate::report::{f1, f2, pct, GroupStat, Table};
-use crate::runner::{Engine, RunSpec};
-use crate::{BloomPolicy, CheckingQueuePolicy, DmdcConfig, DmdcPolicy, Interleave, YlaPolicy};
+use super::{
+    chunk_by_variants, group_stat, run_matrix, CellResult, Experiment, Plan, PolicyKind, Run,
+    Variant,
+};
+use crate::report::{f1, f2, pct, GroupStat, Report, Table};
 
-/// Which dependence-checking design to instantiate for a run.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PolicyKind {
-    /// Conventional CAM load queue.
-    Baseline,
-    /// Conventional design with POWER4-style coherence searches.
-    BaselineCoherent,
-    /// YLA filtering in front of the CAM LQ.
-    Yla {
-        /// Register count.
-        regs: u32,
-        /// Quad-word (`false`) or cache-line (`true`) interleaving.
-        line_interleaved: bool,
-    },
-    /// Bloom-filter search filtering (\[18\]).
-    Bloom {
-        /// Filter entries.
-        entries: u32,
-    },
-    /// DMDC with the global end-check register.
-    DmdcGlobal,
-    /// DMDC with local (per-store) windows.
-    DmdcLocal,
-    /// Global DMDC with INV-bit coherence support.
-    DmdcCoherent,
-    /// Global DMDC with the safe-load optimization disabled (ablation).
-    DmdcNoSafeLoads,
-    /// DMDC with the associative checking queue instead of the table.
-    CheckingQueue {
-        /// Queue entries.
-        entries: u32,
-    },
-}
+/// The queue depths the checking-queue ablation sweeps by default.
+pub const DEFAULT_QUEUE_SIZES: [u32; 4] = [4, 8, 16, 32];
 
-impl PolicyKind {
-    /// Builds the policy for a machine configuration.
-    pub fn build(&self, config: &CoreConfig) -> Box<dyn MemDepPolicy> {
-        match *self {
-            PolicyKind::Baseline => Box::new(BaselinePolicy::new()),
-            PolicyKind::BaselineCoherent => {
-                Box::new(BaselinePolicy::with_coherence(config.l2.line_bytes))
-            }
-            PolicyKind::Yla {
-                regs,
-                line_interleaved,
-            } => {
-                let il = if line_interleaved {
-                    Interleave::CacheLine(config.l2.line_bytes)
-                } else {
-                    Interleave::QuadWord
-                };
-                Box::new(YlaPolicy::new(regs, il))
-            }
-            PolicyKind::Bloom { entries } => Box::new(BloomPolicy::new(entries)),
-            PolicyKind::DmdcGlobal => Box::new(DmdcPolicy::new(DmdcConfig::global(config))),
-            PolicyKind::DmdcLocal => Box::new(DmdcPolicy::new(DmdcConfig::local(config))),
-            PolicyKind::DmdcCoherent => {
-                Box::new(DmdcPolicy::new(DmdcConfig::global(config).with_coherence()))
-            }
-            PolicyKind::DmdcNoSafeLoads => Box::new(DmdcPolicy::new(
-                DmdcConfig::global(config).without_safe_loads(),
-            )),
-            PolicyKind::CheckingQueue { entries } => {
-                Box::new(CheckingQueuePolicy::new(config, entries))
-            }
-        }
-    }
+/// The checking-table sizes the table-size ablation sweeps by default.
+pub const DEFAULT_TABLE_SIZES: [u32; 4] = [256, 1024, 2048, 4096];
 
-    /// The energy-model geometry matching this design.
-    pub fn geometry(&self, config: &CoreConfig) -> StructureGeometry {
-        match *self {
-            PolicyKind::Baseline | PolicyKind::BaselineCoherent => {
-                StructureGeometry::conventional(config)
-            }
-            PolicyKind::Yla { regs, .. } => StructureGeometry::yla_filtered(config, regs),
-            PolicyKind::Bloom { entries } => StructureGeometry::bloom_filtered(config, entries),
-            PolicyKind::DmdcGlobal | PolicyKind::DmdcLocal | PolicyKind::DmdcNoSafeLoads => {
-                StructureGeometry::dmdc(config, 8)
-            }
-            PolicyKind::DmdcCoherent => StructureGeometry::dmdc(config, 16),
-            PolicyKind::CheckingQueue { entries } => {
-                StructureGeometry::checking_queue(config, entries, 8)
-            }
-        }
-    }
-}
-
-/// One verified simulation run.
-#[derive(Debug, Clone)]
-pub struct Run {
-    /// Workload name.
-    pub workload: &'static str,
-    /// Suite membership.
-    pub group: Group,
-    /// Full statistics.
-    pub stats: SimStats,
-}
-
-/// Simulates one cell and verifies a halting run against the reference
-/// checksum supplied by `oracle` (called only when the run halted, so
-/// callers can memoize the emulation behind it).
-///
-/// # Panics
-///
-/// Panics if the simulation fails or its architectural state diverges from
-/// the reference — the numbers would be meaningless, so this is fatal.
-pub(crate) fn execute_verified(
-    workload: &Workload,
-    config: &CoreConfig,
-    policy_kind: &PolicyKind,
-    mut opts: SimOptions,
-    oracle: impl FnOnce() -> u64,
-) -> Run {
-    if crate::runner::profile_enabled() {
-        opts.profile = true;
-    }
-    let policy = policy_kind.build(config);
-    let mut sim = Simulator::new(&workload.program, config.clone(), policy);
-    let result = sim.run(opts).unwrap_or_else(|e| {
-        panic!(
-            "{} under {policy_kind:?} on {}: {e}",
-            workload.name, config.name
-        )
-    });
-    if result.halted {
-        assert_eq!(
-            result.checksum,
-            oracle(),
-            "golden-state mismatch: {} under {policy_kind:?} on {}",
-            workload.name,
-            config.name
-        );
-    }
-    if let Some(profile) = &result.profile {
-        crate::runner::record_profile(profile, &result.stats);
-    }
-    Run {
-        workload: workload.name,
-        group: workload.group,
-        stats: result.stats,
-    }
-}
-
-/// Runs `workload` under `policy_kind` on `config`, verifying the final
-/// architectural state against the functional emulator when the run halts.
-///
-/// This is the standalone single-run entry point (CLI `run`/`suite`,
-/// correctness tests). Experiment regenerators instead batch their cells
-/// through [`crate::runner::Engine`], which memoizes the emulator oracle
-/// across cells; here each call emulates afresh.
-///
-/// # Panics
-///
-/// Panics if the simulation's architectural state diverges from the
-/// emulator — the simulation would be meaningless, so this is fatal.
-pub fn run_workload(
-    workload: &Workload,
-    config: &CoreConfig,
-    policy_kind: &PolicyKind,
-    opts: SimOptions,
-) -> Run {
-    execute_verified(workload, config, policy_kind, opts, || {
-        let mut emu = Emulator::new(&workload.program);
-        emu.run(u64::MAX).expect("workloads halt under emulation");
-        emu.state_checksum()
-    })
-}
-
-fn group_stat<F: Fn(&Run) -> f64>(runs: &[Run], group: Group, f: F) -> GroupStat {
-    let vals: Vec<f64> = runs.iter().filter(|r| r.group == group).map(f).collect();
-    GroupStat::of(&vals)
-}
-
-/// Runs every workload under each (config, policy, opts) variant through
-/// one shared [`Engine`], returning one chunk of runs per variant, each in
-/// workload order. This is the single funnel every regenerator uses: the
-/// flat spec list executes across the worker pool, and the emulator oracle
-/// is shared by all variants of the same workload.
-fn run_matrix(
-    workloads: &[Workload],
-    variants: &[(CoreConfig, PolicyKind, SimOptions)],
-) -> Vec<Vec<Run>> {
-    let engine = Engine::new(workloads);
-    let specs: Vec<RunSpec> = variants
-        .iter()
-        .flat_map(|(config, kind, opts)| {
-            (0..workloads.len()).map(move |i| RunSpec {
-                workload: i,
-                config: config.clone(),
-                policy: kind.clone(),
-                opts: *opts,
-            })
-        })
-        .collect();
-    let mut runs = engine.run_all(&specs);
-    let (hits, misses) = engine.oracle_stats();
-    eprintln!(
-        "[runner] jobs={} cells={} oracle: {misses} emulations, {hits} cache hits",
-        engine.jobs(),
-        specs.len(),
-    );
-    let mut out = Vec::with_capacity(variants.len());
-    for _ in variants {
-        let rest = runs.split_off(workloads.len());
-        out.push(std::mem::replace(&mut runs, rest));
-    }
-    out
-}
+/// Table 6's default injected invalidation rates (per 1000 cycles).
+pub const DEFAULT_INVAL_RATES: [f64; 4] = [0.0, 1.0, 10.0, 100.0];
 
 // ---------------------------------------------------------------------------
 // Figure 2: LQ searches filtered vs. number and interleaving of YLAs.
@@ -261,26 +60,35 @@ pub struct Fig2 {
     pub rows: Vec<Fig2Row>,
 }
 
-/// Regenerates Figure 2 on an explicit workload set.
-pub fn fig2_on(workloads: &[Workload], config: &CoreConfig) -> Fig2 {
+fn fig2_labels() -> Vec<(&'static str, bool, u32)> {
     let mut labels = Vec::new();
-    let mut variants = Vec::new();
     for (interleave, line) in [("quad-word", false), ("cache-line", true)] {
         for regs in [1u32, 2, 4, 8, 16] {
-            labels.push((interleave, regs));
-            variants.push((
+            labels.push((interleave, line, regs));
+        }
+    }
+    labels
+}
+
+fn fig2_variants(config: &CoreConfig) -> Vec<Variant> {
+    fig2_labels()
+        .into_iter()
+        .map(|(_, line, regs)| {
+            (
                 config.clone(),
                 PolicyKind::Yla {
                     regs,
                     line_interleaved: line,
                 },
                 SimOptions::default(),
-            ));
-        }
-    }
-    let chunks = run_matrix(workloads, &variants);
+            )
+        })
+        .collect()
+}
+
+fn fig2_reduce(chunks: &[Vec<CellResult>]) -> Fig2 {
     let mut rows = Vec::new();
-    for ((interleave, regs), runs) in labels.into_iter().zip(&chunks) {
+    for ((interleave, _, regs), runs) in fig2_labels().into_iter().zip(chunks) {
         for group in [Group::Int, Group::Fp] {
             rows.push(Fig2Row {
                 interleave,
@@ -293,14 +101,19 @@ pub fn fig2_on(workloads: &[Workload], config: &CoreConfig) -> Fig2 {
     Fig2 { rows }
 }
 
+/// Regenerates Figure 2 on an explicit workload set.
+pub fn fig2_on(workloads: &[Workload], config: &CoreConfig) -> Fig2 {
+    fig2_reduce(&run_matrix(workloads, &fig2_variants(config)))
+}
+
 /// Regenerates Figure 2 at the given scale on config 2.
 pub fn fig2(scale: Scale) -> Fig2 {
     fig2_on(&full_suite(scale), &CoreConfig::config2())
 }
 
 impl Fig2 {
-    /// Renders the figure data as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("Figure 2: % of LQ searches filtered by YLA count and interleaving");
         t.headers(["interleave", "regs", "group", "filtered mean [min, max]"]);
         for r in &self.rows {
@@ -311,7 +124,34 @@ impl Fig2 {
                 r.filtered.pct_range(),
             ]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders the figure data as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for Figure 2.
+pub struct Fig2Exp;
+
+impl Experiment for Fig2Exp {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 2, §6.1"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(full_suite(scale), fig2_variants(&CoreConfig::config2()))
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let chunks = chunk_by_variants(cells, fig2_labels().len());
+        Report::single(self.id(), fig2_reduce(&chunks).table())
     }
 }
 
@@ -337,8 +177,7 @@ pub struct Fig3 {
     pub rows: Vec<Fig3Row>,
 }
 
-/// Regenerates Figure 3 on an explicit workload set.
-pub fn fig3_on(workloads: &[Workload], config: &CoreConfig) -> Fig3 {
+fn fig3_designs() -> Vec<(String, PolicyKind)> {
     let mut designs: Vec<(String, PolicyKind)> = vec![
         (
             "yla-1".into(),
@@ -358,13 +197,19 @@ pub fn fig3_on(workloads: &[Workload], config: &CoreConfig) -> Fig3 {
     for entries in [32u32, 64, 128, 256, 512, 1024] {
         designs.push((format!("bloom-{entries}"), PolicyKind::Bloom { entries }));
     }
-    let variants: Vec<(CoreConfig, PolicyKind, SimOptions)> = designs
-        .iter()
-        .map(|(_, kind)| (config.clone(), kind.clone(), SimOptions::default()))
-        .collect();
-    let chunks = run_matrix(workloads, &variants);
+    designs
+}
+
+fn fig3_variants(config: &CoreConfig) -> Vec<Variant> {
+    fig3_designs()
+        .into_iter()
+        .map(|(_, kind)| (config.clone(), kind, SimOptions::default()))
+        .collect()
+}
+
+fn fig3_reduce(chunks: &[Vec<CellResult>]) -> Fig3 {
     let mut rows = Vec::new();
-    for ((design, _), runs) in designs.into_iter().zip(&chunks) {
+    for ((design, _), runs) in fig3_designs().into_iter().zip(chunks) {
         for group in [Group::Int, Group::Fp] {
             rows.push(Fig3Row {
                 design: design.clone(),
@@ -376,14 +221,19 @@ pub fn fig3_on(workloads: &[Workload], config: &CoreConfig) -> Fig3 {
     Fig3 { rows }
 }
 
+/// Regenerates Figure 3 on an explicit workload set.
+pub fn fig3_on(workloads: &[Workload], config: &CoreConfig) -> Fig3 {
+    fig3_reduce(&run_matrix(workloads, &fig3_variants(config)))
+}
+
 /// Regenerates Figure 3 at the given scale on config 2.
 pub fn fig3(scale: Scale) -> Fig3 {
     fig3_on(&full_suite(scale), &CoreConfig::config2())
 }
 
 impl Fig3 {
-    /// Renders the figure data as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("Figure 3: filtering of YLA vs bloom filters (H0 hash)");
         t.headers(["design", "group", "filtered mean [min, max]"]);
         for r in &self.rows {
@@ -393,7 +243,34 @@ impl Fig3 {
                 r.filtered.pct_range(),
             ]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders the figure data as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for Figure 3.
+pub struct Fig3Exp;
+
+impl Experiment for Fig3Exp {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 3, §6.1"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(full_suite(scale), fig3_variants(&CoreConfig::config2()))
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let chunks = chunk_by_variants(cells, fig3_designs().len());
+        Report::single(self.id(), fig3_reduce(&chunks).table())
     }
 }
 
@@ -447,21 +324,25 @@ fn compare(
     }
 }
 
-/// Regenerates Figure 4 on an explicit workload set across the given
-/// configurations.
-pub fn fig4_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig4 {
-    let base_kind = PolicyKind::Baseline;
-    let dmdc_kind = PolicyKind::DmdcGlobal;
-    let variants: Vec<(CoreConfig, PolicyKind, SimOptions)> = configs
+fn fig4_variants(configs: &[CoreConfig]) -> Vec<Variant> {
+    configs
         .iter()
         .flat_map(|config| {
             [
-                (config.clone(), base_kind.clone(), SimOptions::default()),
-                (config.clone(), dmdc_kind.clone(), SimOptions::default()),
+                (config.clone(), PolicyKind::Baseline, SimOptions::default()),
+                (
+                    config.clone(),
+                    PolicyKind::DmdcGlobal,
+                    SimOptions::default(),
+                ),
             ]
         })
-        .collect();
-    let chunks = run_matrix(workloads, &variants);
+        .collect()
+}
+
+fn fig4_reduce(configs: &[CoreConfig], chunks: &[Vec<CellResult>]) -> Fig4 {
+    let base_kind = PolicyKind::Baseline;
+    let dmdc_kind = PolicyKind::DmdcGlobal;
     let mut rows = Vec::new();
     for (ci, config) in configs.iter().enumerate() {
         let (base_runs, dmdc_runs) = (&chunks[2 * ci], &chunks[2 * ci + 1]);
@@ -496,14 +377,20 @@ pub fn fig4_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig4 {
     Fig4 { rows }
 }
 
+/// Regenerates Figure 4 on an explicit workload set across the given
+/// configurations.
+pub fn fig4_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig4 {
+    fig4_reduce(configs, &run_matrix(workloads, &fig4_variants(configs)))
+}
+
 /// Regenerates Figure 4 at the given scale on all three configurations.
 pub fn fig4(scale: Scale) -> Fig4 {
     fig4_on(&full_suite(scale), &CoreConfig::all())
 }
 
 impl Fig4 {
-    /// Renders the figure data as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("Figure 4: DMDC LQ energy savings, slowdown, total energy savings");
         t.headers(["config", "group", "LQ savings", "slowdown", "total savings"]);
         for r in &self.rows {
@@ -515,7 +402,35 @@ impl Fig4 {
                 r.total_savings.pct_range(),
             ]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders the figure data as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for Figure 4.
+pub struct Fig4Exp;
+
+impl Experiment for Fig4Exp {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 4, §6.1"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(full_suite(scale), fig4_variants(&CoreConfig::all()))
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let configs = CoreConfig::all();
+        let chunks = chunk_by_variants(cells, 2 * configs.len());
+        Report::single(self.id(), fig4_reduce(&configs, &chunks).table())
     }
 }
 
@@ -532,20 +447,26 @@ pub struct YlaEnergy {
     pub total_savings: Vec<(Group, GroupStat)>,
 }
 
-/// Regenerates the §6.1 YLA-8 energy numbers on an explicit workload set.
-pub fn yla_energy_on(workloads: &[Workload], config: &CoreConfig) -> YlaEnergy {
-    let base_kind = PolicyKind::Baseline;
-    let yla_kind = PolicyKind::Yla {
-        regs: 8,
-        line_interleaved: false,
-    };
-    let chunks = run_matrix(
-        workloads,
-        &[
-            (config.clone(), base_kind.clone(), SimOptions::default()),
-            (config.clone(), yla_kind.clone(), SimOptions::default()),
-        ],
-    );
+fn yla_energy_kinds() -> (PolicyKind, PolicyKind) {
+    (
+        PolicyKind::Baseline,
+        PolicyKind::Yla {
+            regs: 8,
+            line_interleaved: false,
+        },
+    )
+}
+
+fn yla_energy_variants(config: &CoreConfig) -> Vec<Variant> {
+    let (base_kind, yla_kind) = yla_energy_kinds();
+    vec![
+        (config.clone(), base_kind, SimOptions::default()),
+        (config.clone(), yla_kind, SimOptions::default()),
+    ]
+}
+
+fn yla_energy_reduce(config: &CoreConfig, chunks: &[Vec<CellResult>]) -> YlaEnergy {
+    let (base_kind, yla_kind) = yla_energy_kinds();
     let comparisons: Vec<(Group, Comparison)> = chunks[0]
         .iter()
         .zip(&chunks[1])
@@ -575,20 +496,56 @@ pub fn yla_energy_on(workloads: &[Workload], config: &CoreConfig) -> YlaEnergy {
     }
 }
 
+/// Regenerates the §6.1 YLA-8 energy numbers on an explicit workload set.
+pub fn yla_energy_on(workloads: &[Workload], config: &CoreConfig) -> YlaEnergy {
+    yla_energy_reduce(config, &run_matrix(workloads, &yla_energy_variants(config)))
+}
+
 /// Regenerates the §6.1 YLA-8 energy numbers at the given scale (config 2).
 pub fn yla_energy(scale: Scale) -> YlaEnergy {
     yla_energy_on(&full_suite(scale), &CoreConfig::config2())
 }
 
 impl YlaEnergy {
-    /// Renders as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("§6.1: energy savings from YLA-8 filtering alone");
         t.headers(["group", "LQ savings", "total savings"]);
         for ((g, lq), (_, total)) in self.lq_savings.iter().zip(&self.total_savings) {
             t.row([g.to_string(), lq.pct_range(), total.pct_range()]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for the §6.1 YLA-8 energy note.
+pub struct YlaEnergyExp;
+
+impl Experiment for YlaEnergyExp {
+    fn id(&self) -> &'static str {
+        "yla-energy"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§6.1 (YLA-8 energy note)"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(
+            full_suite(scale),
+            yla_energy_variants(&CoreConfig::config2()),
+        )
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let config = CoreConfig::config2();
+        let chunks = chunk_by_variants(cells, 2);
+        Report::single(self.id(), yla_energy_reduce(&config, &chunks).table())
     }
 }
 
@@ -622,14 +579,15 @@ pub struct WindowTable {
     pub rows: Vec<WindowRow>,
 }
 
-/// Regenerates checking-window statistics on an explicit workload set.
-pub fn window_stats_on(workloads: &[Workload], config: &CoreConfig, local: bool) -> WindowTable {
-    let kind = if local {
+fn dmdc_kind(local: bool) -> PolicyKind {
+    if local {
         PolicyKind::DmdcLocal
     } else {
         PolicyKind::DmdcGlobal
-    };
-    let runs = run_matrix(workloads, &[(config.clone(), kind, SimOptions::default())]).remove(0);
+    }
+}
+
+fn window_reduce(runs: &[CellResult], local: bool) -> WindowTable {
     let per_window = |r: &Run, total: u64| {
         let windows = r.stats.policy.checking_windows.max(1);
         total as f64 / windows as f64
@@ -638,20 +596,20 @@ pub fn window_stats_on(workloads: &[Workload], config: &CoreConfig, local: bool)
         .into_iter()
         .map(|group| WindowRow {
             group,
-            instructions: group_stat(&runs, group, |r| {
+            instructions: group_stat(runs, group, |r| {
                 per_window(r, r.stats.policy.window_instructions)
             })
             .mean,
-            loads: group_stat(&runs, group, |r| per_window(r, r.stats.policy.window_loads)).mean,
-            safe_loads: group_stat(&runs, group, |r| {
+            loads: group_stat(runs, group, |r| per_window(r, r.stats.policy.window_loads)).mean,
+            safe_loads: group_stat(runs, group, |r| {
                 per_window(r, r.stats.policy.window_safe_loads)
             })
             .mean,
-            checking_cycle_frac: group_stat(&runs, group, |r| {
+            checking_cycle_frac: group_stat(runs, group, |r| {
                 r.stats.policy.checking_mode_cycles as f64 / r.stats.cycles.max(1) as f64
             })
             .mean,
-            single_store_frac: group_stat(&runs, group, |r| {
+            single_store_frac: group_stat(runs, group, |r| {
                 r.stats.policy.single_store_windows as f64
                     / r.stats.policy.checking_windows.max(1) as f64
             })
@@ -659,6 +617,16 @@ pub fn window_stats_on(workloads: &[Workload], config: &CoreConfig, local: bool)
         })
         .collect();
     WindowTable { local, rows }
+}
+
+/// Regenerates checking-window statistics on an explicit workload set.
+pub fn window_stats_on(workloads: &[Workload], config: &CoreConfig, local: bool) -> WindowTable {
+    let runs = run_matrix(
+        workloads,
+        &[(config.clone(), dmdc_kind(local), SimOptions::default())],
+    )
+    .remove(0);
+    window_reduce(&runs, local)
 }
 
 /// Table 2 (global DMDC) at the given scale, config 2.
@@ -672,8 +640,8 @@ pub fn table4(scale: Scale) -> WindowTable {
 }
 
 impl WindowTable {
-    /// Renders as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let title = if self.local {
             "Table 4: checking-window statistics (local DMDC)"
         } else {
@@ -698,7 +666,70 @@ impl WindowTable {
                 pct(r.single_store_frac),
             ]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+fn window_plan(scale: Scale, local: bool) -> Plan {
+    Plan::matrix(
+        full_suite(scale),
+        vec![(
+            CoreConfig::config2(),
+            dmdc_kind(local),
+            SimOptions::default(),
+        )],
+    )
+}
+
+fn window_report(id: &'static str, cells: &[CellResult], local: bool) -> Report {
+    let chunks = chunk_by_variants(cells, 1);
+    Report::single(id, window_reduce(&chunks[0], local).table())
+}
+
+/// Registry entry for Table 2 (global-DMDC window statistics).
+pub struct Table2Exp;
+
+impl Experiment for Table2Exp {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Table 2, §6.2"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        window_plan(scale, false)
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        window_report(self.id(), cells, false)
+    }
+}
+
+/// Registry entry for Table 4 (local-DMDC window statistics).
+pub struct Table4Exp;
+
+impl Experiment for Table4Exp {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Table 4, §6.2"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        window_plan(scale, true)
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        window_report(self.id(), cells, true)
     }
 }
 
@@ -736,23 +767,12 @@ pub struct ReplayTable {
     pub rows: Vec<ReplayRow>,
 }
 
-/// Regenerates the false-replay breakdown on an explicit workload set.
-pub fn replay_breakdown_on(
-    workloads: &[Workload],
-    config: &CoreConfig,
-    local: bool,
-) -> ReplayTable {
-    let kind = if local {
-        PolicyKind::DmdcLocal
-    } else {
-        PolicyKind::DmdcGlobal
-    };
-    let runs = run_matrix(workloads, &[(config.clone(), kind, SimOptions::default())]).remove(0);
+fn replay_reduce(runs: &[CellResult], local: bool) -> ReplayTable {
     let rows = [Group::Int, Group::Fp]
         .into_iter()
         .map(|group| {
             let pm = |f: &dyn Fn(&Run) -> u64| {
-                group_stat(&runs, group, |r| r.stats.per_million(f(r))).mean
+                group_stat(runs, group, |r| r.stats.per_million(f(r))).mean
             };
             ReplayRow {
                 group,
@@ -769,6 +789,20 @@ pub fn replay_breakdown_on(
     ReplayTable { local, rows }
 }
 
+/// Regenerates the false-replay breakdown on an explicit workload set.
+pub fn replay_breakdown_on(
+    workloads: &[Workload],
+    config: &CoreConfig,
+    local: bool,
+) -> ReplayTable {
+    let runs = run_matrix(
+        workloads,
+        &[(config.clone(), dmdc_kind(local), SimOptions::default())],
+    )
+    .remove(0);
+    replay_reduce(&runs, local)
+}
+
 /// Table 3 (global DMDC) at the given scale, config 2.
 pub fn table3(scale: Scale) -> ReplayTable {
     replay_breakdown_on(&full_suite(scale), &CoreConfig::config2(), false)
@@ -780,8 +814,8 @@ pub fn table5(scale: Scale) -> ReplayTable {
 }
 
 impl ReplayTable {
-    /// Renders as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let title = if self.local {
             "Table 5: false replays per 1M commits (local DMDC)"
         } else {
@@ -810,7 +844,59 @@ impl ReplayTable {
                 f1(r.true_violations),
             ]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+fn replay_report(id: &'static str, cells: &[CellResult], local: bool) -> Report {
+    let chunks = chunk_by_variants(cells, 1);
+    Report::single(id, replay_reduce(&chunks[0], local).table())
+}
+
+/// Registry entry for Table 3 (global-DMDC replay breakdown).
+pub struct Table3Exp;
+
+impl Experiment for Table3Exp {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Table 3, §6.2"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        window_plan(scale, false)
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        replay_report(self.id(), cells, false)
+    }
+}
+
+/// Registry entry for Table 5 (local-DMDC replay breakdown).
+pub struct Table5Exp;
+
+impl Experiment for Table5Exp {
+    fn id(&self) -> &'static str {
+        "table5"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Table 5, §6.2"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        window_plan(scale, true)
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        replay_report(self.id(), cells, true)
     }
 }
 
@@ -838,9 +924,8 @@ pub struct Fig5 {
     pub rows: Vec<Fig5Row>,
 }
 
-/// Regenerates Figure 5 on an explicit workload set.
-pub fn fig5_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig5 {
-    let variants: Vec<(CoreConfig, PolicyKind, SimOptions)> = configs
+fn fig5_variants(configs: &[CoreConfig]) -> Vec<Variant> {
+    configs
         .iter()
         .flat_map(|config| {
             [
@@ -850,8 +935,10 @@ pub fn fig5_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig5 {
             ]
             .map(|kind| (config.clone(), kind, SimOptions::default()))
         })
-        .collect();
-    let chunks = run_matrix(workloads, &variants);
+        .collect()
+}
+
+fn fig5_reduce(configs: &[CoreConfig], chunks: &[Vec<CellResult>]) -> Fig5 {
     let mut rows = Vec::new();
     for (ci, config) in configs.iter().enumerate() {
         let (base, global, local) = (&chunks[3 * ci], &chunks[3 * ci + 1], &chunks[3 * ci + 2]);
@@ -889,14 +976,19 @@ pub fn fig5_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig5 {
     Fig5 { rows }
 }
 
+/// Regenerates Figure 5 on an explicit workload set.
+pub fn fig5_on(workloads: &[Workload], configs: &[CoreConfig]) -> Fig5 {
+    fig5_reduce(configs, &run_matrix(workloads, &fig5_variants(configs)))
+}
+
 /// Regenerates Figure 5 at the given scale on all three configurations.
 pub fn fig5(scale: Scale) -> Fig5 {
     fig5_on(&full_suite(scale), &CoreConfig::all())
 }
 
 impl Fig5 {
-    /// Renders the figure data as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("Figure 5: slowdown of global vs local DMDC");
         t.headers(["config", "group", "global slowdown", "local slowdown"]);
         for r in &self.rows {
@@ -907,7 +999,35 @@ impl Fig5 {
                 r.local_slowdown.pct_range(),
             ]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders the figure data as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for Figure 5.
+pub struct Fig5Exp;
+
+impl Experiment for Fig5Exp {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 5, §6.2"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(full_suite(scale), fig5_variants(&CoreConfig::all()))
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let configs = CoreConfig::all();
+        let chunks = chunk_by_variants(cells, 3 * configs.len());
+        Report::single(self.id(), fig5_reduce(&configs, &chunks).table())
     }
 }
 
@@ -939,8 +1059,7 @@ pub struct Table6 {
     pub rows: Vec<Table6Row>,
 }
 
-/// Regenerates Table 6 on an explicit workload set.
-pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> Table6 {
+fn table6_variants(config: &CoreConfig, rates: &[f64]) -> Vec<Variant> {
     // Baseline timing reference (no coherence, as in the paper's baseline)
     // plus one DMDC-coherent variant per invalidation rate, in one batch.
     let mut variants = vec![(config.clone(), PolicyKind::Baseline, SimOptions::default())];
@@ -952,14 +1071,16 @@ pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> 
         };
         variants.push((config.clone(), PolicyKind::DmdcCoherent, opts));
     }
-    let mut chunks = run_matrix(workloads, &variants);
-    let base_runs = chunks.remove(0);
+    variants
+}
 
+fn table6_reduce(rates: &[f64], chunks: &[Vec<CellResult>]) -> Table6 {
+    let base_runs = &chunks[0];
     // The zero-rate DMDC run normalizes the relative columns.
+    let reference = &chunks[1];
     let mut rows = Vec::new();
-    let reference = chunks[0].clone();
     for (i, &rate) in rates.iter().enumerate() {
-        let runs = &chunks[i];
+        let runs = &chunks[i + 1];
         for group in [Group::Int, Group::Fp] {
             let window_size = |rs: &[Run]| {
                 group_stat(rs, group, |r| {
@@ -976,8 +1097,8 @@ pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> 
             };
             // Floors keep the relative columns meaningful when the
             // zero-invalidation run has (near-)zero events, as FP does.
-            let ref_window = window_size(&reference).max(1.0);
-            let ref_false = false_rate(&reference).max(1.0);
+            let ref_window = window_size(reference).max(1.0);
+            let ref_false = false_rate(reference).max(1.0);
             let checking = group_stat(runs, group, |r| {
                 r.stats.policy.checking_mode_cycles as f64 / r.stats.cycles.max(1) as f64
             })
@@ -985,7 +1106,7 @@ pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> 
             // Mean slowdown pairs each workload's run with its baseline.
             let slowdowns: Vec<f64> = runs
                 .iter()
-                .zip(&base_runs)
+                .zip(base_runs)
                 .filter(|(r, _)| r.group == group)
                 .map(|(r, b)| r.stats.cycles as f64 / b.stats.cycles as f64 - 1.0)
                 .collect();
@@ -1002,19 +1123,27 @@ pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> 
     Table6 { rows }
 }
 
+/// Regenerates Table 6 on an explicit workload set.
+pub fn table6_on(workloads: &[Workload], config: &CoreConfig, rates: &[f64]) -> Table6 {
+    table6_reduce(
+        rates,
+        &run_matrix(workloads, &table6_variants(config, rates)),
+    )
+}
+
 /// Regenerates Table 6 at the given scale on config 2 with the paper's
 /// rates (0, 1, 10, 100 invalidations per 1000 cycles).
 pub fn table6(scale: Scale) -> Table6 {
     table6_on(
         &full_suite(scale),
         &CoreConfig::config2(),
-        &[0.0, 1.0, 10.0, 100.0],
+        &DEFAULT_INVAL_RATES,
     )
 }
 
 impl Table6 {
-    /// Renders as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("Table 6: impact of external invalidations on DMDC");
         t.headers([
             "group",
@@ -1034,7 +1163,40 @@ impl Table6 {
                 pct(r.slowdown),
             ]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for Table 6.
+pub struct Table6Exp;
+
+impl Experiment for Table6Exp {
+    fn id(&self) -> &'static str {
+        "table6"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Table 6, §6.3"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(
+            full_suite(scale),
+            table6_variants(&CoreConfig::config2(), &DEFAULT_INVAL_RATES),
+        )
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let chunks = chunk_by_variants(cells, 1 + DEFAULT_INVAL_RATES.len());
+        Report::single(
+            self.id(),
+            table6_reduce(&DEFAULT_INVAL_RATES, &chunks).table(),
+        )
     }
 }
 
@@ -1049,12 +1211,7 @@ pub struct CheckingQueueAblation {
     pub rows: Vec<(String, Group, f64, f64)>,
 }
 
-/// Compares the hash table against associative queues of several depths.
-pub fn checking_queue_ablation_on(
-    workloads: &[Workload],
-    config: &CoreConfig,
-    queue_sizes: &[u32],
-) -> CheckingQueueAblation {
+fn cq_designs(config: &CoreConfig, queue_sizes: &[u32]) -> Vec<(String, PolicyKind)> {
     let mut designs = vec![(
         format!("table-{}", config.checking_table_entries),
         PolicyKind::DmdcGlobal,
@@ -1065,14 +1222,28 @@ pub fn checking_queue_ablation_on(
             PolicyKind::CheckingQueue { entries },
         ));
     }
+    designs
+}
+
+fn cq_variants(config: &CoreConfig, queue_sizes: &[u32]) -> Vec<Variant> {
     let mut variants = vec![(config.clone(), PolicyKind::Baseline, SimOptions::default())];
-    for (_, kind) in &designs {
-        variants.push((config.clone(), kind.clone(), SimOptions::default()));
+    for (_, kind) in cq_designs(config, queue_sizes) {
+        variants.push((config.clone(), kind, SimOptions::default()));
     }
-    let mut chunks = run_matrix(workloads, &variants);
-    let base_runs = chunks.remove(0);
+    variants
+}
+
+fn cq_reduce(
+    config: &CoreConfig,
+    queue_sizes: &[u32],
+    chunks: &[Vec<CellResult>],
+) -> CheckingQueueAblation {
+    let base_runs = &chunks[0];
     let mut rows = Vec::new();
-    for ((label, _), runs) in designs.into_iter().zip(&chunks) {
+    for ((label, _), runs) in cq_designs(config, queue_sizes)
+        .into_iter()
+        .zip(&chunks[1..])
+    {
         for group in [Group::Int, Group::Fp] {
             let false_pm = group_stat(runs, group, |r| {
                 r.stats.per_million(r.stats.policy.replays.false_total())
@@ -1080,7 +1251,7 @@ pub fn checking_queue_ablation_on(
             .mean;
             let slowdowns: Vec<f64> = runs
                 .iter()
-                .zip(&base_runs)
+                .zip(base_runs)
                 .filter(|(r, _)| r.group == group)
                 .map(|(r, b)| r.stats.cycles as f64 / b.stats.cycles as f64 - 1.0)
                 .collect();
@@ -1095,15 +1266,62 @@ pub fn checking_queue_ablation_on(
     CheckingQueueAblation { rows }
 }
 
+/// Compares the hash table against associative queues of several depths.
+pub fn checking_queue_ablation_on(
+    workloads: &[Workload],
+    config: &CoreConfig,
+    queue_sizes: &[u32],
+) -> CheckingQueueAblation {
+    cq_reduce(
+        config,
+        queue_sizes,
+        &run_matrix(workloads, &cq_variants(config, queue_sizes)),
+    )
+}
+
 impl CheckingQueueAblation {
-    /// Renders as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("Ablation: hash table vs associative checking queue");
         t.headers(["design", "group", "false replays / 1M", "slowdown"]);
         for (label, group, fr, sd) in &self.rows {
             t.row([label.clone(), group.to_string(), f1(*fr), pct(*sd)]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for the checking-queue ablation.
+pub struct CheckingQueueAblationExp;
+
+impl Experiment for CheckingQueueAblationExp {
+    fn id(&self) -> &'static str {
+        "ablation-queue"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.4 / §6.2.3"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(
+            full_suite(scale),
+            cq_variants(&CoreConfig::config2(), &DEFAULT_QUEUE_SIZES),
+        )
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let config = CoreConfig::config2();
+        let chunks = chunk_by_variants(cells, 2 + DEFAULT_QUEUE_SIZES.len());
+        Report::single(
+            self.id(),
+            cq_reduce(&config, &DEFAULT_QUEUE_SIZES, &chunks).table(),
+        )
     }
 }
 
@@ -1116,23 +1334,20 @@ pub struct TableSizeAblation {
     pub rows: Vec<(u32, Group, f64, f64)>,
 }
 
-/// Sweeps the checking-table size under global DMDC.
-pub fn table_size_ablation_on(
-    workloads: &[Workload],
-    config: &CoreConfig,
-    sizes: &[u32],
-) -> TableSizeAblation {
-    let variants: Vec<(CoreConfig, PolicyKind, SimOptions)> = sizes
+fn table_size_variants(config: &CoreConfig, sizes: &[u32]) -> Vec<Variant> {
+    sizes
         .iter()
         .map(|&entries| {
             let mut cfg = config.clone();
             cfg.checking_table_entries = entries;
             (cfg, PolicyKind::DmdcGlobal, SimOptions::default())
         })
-        .collect();
-    let chunks = run_matrix(workloads, &variants);
+        .collect()
+}
+
+fn table_size_reduce(sizes: &[u32], chunks: &[Vec<CellResult>]) -> TableSizeAblation {
     let mut rows = Vec::new();
-    for (&entries, runs) in sizes.iter().zip(&chunks) {
+    for (&entries, runs) in sizes.iter().zip(chunks) {
         for group in [Group::Int, Group::Fp] {
             let false_pm = group_stat(runs, group, |r| {
                 r.stats.per_million(r.stats.policy.replays.false_total())
@@ -1152,9 +1367,21 @@ pub fn table_size_ablation_on(
     TableSizeAblation { rows }
 }
 
+/// Sweeps the checking-table size under global DMDC.
+pub fn table_size_ablation_on(
+    workloads: &[Workload],
+    config: &CoreConfig,
+    sizes: &[u32],
+) -> TableSizeAblation {
+    table_size_reduce(
+        sizes,
+        &run_matrix(workloads, &table_size_variants(config, sizes)),
+    )
+}
+
 impl TableSizeAblation {
-    /// Renders as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("Ablation: checking-table size vs false replays");
         t.headers([
             "entries",
@@ -1165,7 +1392,40 @@ impl TableSizeAblation {
         for (entries, group, fr, hash) in &self.rows {
             t.row([entries.to_string(), group.to_string(), f1(*fr), f1(*hash)]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for the checking-table size ablation.
+pub struct TableSizeAblationExp;
+
+impl Experiment for TableSizeAblationExp {
+    fn id(&self) -> &'static str {
+        "ablation-table-size"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§6.2.2"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(
+            full_suite(scale),
+            table_size_variants(&CoreConfig::config2(), &DEFAULT_TABLE_SIZES),
+        )
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let chunks = chunk_by_variants(cells, DEFAULT_TABLE_SIZES.len());
+        Report::single(
+            self.id(),
+            table_size_reduce(&DEFAULT_TABLE_SIZES, &chunks).table(),
+        )
     }
 }
 
@@ -1176,25 +1436,23 @@ pub struct SafeLoadAblation {
     pub rows: Vec<(Group, f64, f64)>,
 }
 
-/// Measures the false-replay reduction the safe-load logic provides.
-pub fn safe_load_ablation_on(workloads: &[Workload], config: &CoreConfig) -> SafeLoadAblation {
-    let mut chunks = run_matrix(
-        workloads,
-        &[
-            (
-                config.clone(),
-                PolicyKind::DmdcGlobal,
-                SimOptions::default(),
-            ),
-            (
-                config.clone(),
-                PolicyKind::DmdcNoSafeLoads,
-                SimOptions::default(),
-            ),
-        ],
-    );
-    let with = chunks.remove(0);
-    let without = chunks.remove(0);
+fn safe_load_variants(config: &CoreConfig) -> Vec<Variant> {
+    vec![
+        (
+            config.clone(),
+            PolicyKind::DmdcGlobal,
+            SimOptions::default(),
+        ),
+        (
+            config.clone(),
+            PolicyKind::DmdcNoSafeLoads,
+            SimOptions::default(),
+        ),
+    ]
+}
+
+fn safe_load_reduce(chunks: &[Vec<CellResult>]) -> SafeLoadAblation {
+    let (with, without) = (&chunks[0], &chunks[1]);
     let rows = [Group::Int, Group::Fp]
         .into_iter()
         .map(|group| {
@@ -1204,21 +1462,56 @@ pub fn safe_load_ablation_on(workloads: &[Workload], config: &CoreConfig) -> Saf
                 })
                 .mean
             };
-            (group, f(&with), f(&without))
+            (group, f(with), f(without))
         })
         .collect();
     SafeLoadAblation { rows }
 }
 
+/// Measures the false-replay reduction the safe-load logic provides.
+pub fn safe_load_ablation_on(workloads: &[Workload], config: &CoreConfig) -> SafeLoadAblation {
+    safe_load_reduce(&run_matrix(workloads, &safe_load_variants(config)))
+}
+
 impl SafeLoadAblation {
-    /// Renders as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("Ablation: safe-load detection (false replays / 1M)");
         t.headers(["group", "with safe loads", "without"]);
         for (g, w, wo) in &self.rows {
             t.row([g.to_string(), f1(*w), f1(*wo)]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for the safe-load ablation.
+pub struct SafeLoadAblationExp;
+
+impl Experiment for SafeLoadAblationExp {
+    fn id(&self) -> &'static str {
+        "ablation-safe-loads"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§6.2.2"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(
+            full_suite(scale),
+            safe_load_variants(&CoreConfig::config2()),
+        )
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let chunks = chunk_by_variants(cells, 2);
+        Report::single(self.id(), safe_load_reduce(&chunks).table())
     }
 }
 
@@ -1232,28 +1525,26 @@ pub struct SqFilterPotential {
     pub rows: Vec<(Group, GroupStat, GroupStat, GroupStat)>,
 }
 
-/// Measures the §3 SQ-filtering opportunity and exercises the filter.
-pub fn sq_filter_potential_on(workloads: &[Workload], config: &CoreConfig) -> SqFilterPotential {
+fn sq_filter_variants(config: &CoreConfig) -> Vec<Variant> {
     let mut filtered_config = config.clone();
     filtered_config.sq_age_filter = true;
-    let mut chunks = run_matrix(
-        workloads,
-        &[
-            (config.clone(), PolicyKind::Baseline, SimOptions::default()),
-            (filtered_config, PolicyKind::Baseline, SimOptions::default()),
-        ],
-    );
-    let baseline_runs = chunks.remove(0);
-    let filtered_runs = chunks.remove(0);
+    vec![
+        (config.clone(), PolicyKind::Baseline, SimOptions::default()),
+        (filtered_config, PolicyKind::Baseline, SimOptions::default()),
+    ]
+}
+
+fn sq_filter_reduce(chunks: &[Vec<CellResult>]) -> SqFilterPotential {
+    let (baseline_runs, filtered_runs) = (&chunks[0], &chunks[1]);
     let rows = [Group::Int, Group::Fp]
         .into_iter()
         .map(|group| {
-            let potential = group_stat(&baseline_runs, group, |r| {
+            let potential = group_stat(baseline_runs, group, |r| {
                 r.stats.sq_filterable_loads as f64 / r.stats.energy.sq_cam_searches.max(1) as f64
             });
             let saved: Vec<f64> = baseline_runs
                 .iter()
-                .zip(&filtered_runs)
+                .zip(filtered_runs)
                 .filter(|(b, _)| b.group == group)
                 .map(|(b, f)| {
                     1.0 - f.stats.energy.sq_cam_searches as f64
@@ -1262,7 +1553,7 @@ pub fn sq_filter_potential_on(workloads: &[Workload], config: &CoreConfig) -> Sq
                 .collect();
             let slowdown: Vec<f64> = baseline_runs
                 .iter()
-                .zip(&filtered_runs)
+                .zip(filtered_runs)
                 .filter(|(b, _)| b.group == group)
                 .map(|(b, f)| f.stats.cycles as f64 / b.stats.cycles as f64 - 1.0)
                 .collect();
@@ -1277,9 +1568,14 @@ pub fn sq_filter_potential_on(workloads: &[Workload], config: &CoreConfig) -> Sq
     SqFilterPotential { rows }
 }
 
+/// Measures the §3 SQ-filtering opportunity and exercises the filter.
+pub fn sq_filter_potential_on(workloads: &[Workload], config: &CoreConfig) -> SqFilterPotential {
+    sq_filter_reduce(&run_matrix(workloads, &sq_filter_variants(config)))
+}
+
 impl SqFilterPotential {
-    /// Renders as a table.
-    pub fn render(&self) -> String {
+    /// The rendered table.
+    pub fn table(&self) -> Table {
         let mut t = Table::new("§3: oldest-store-age SQ filtering (potential and measured effect)");
         t.headers([
             "group",
@@ -1295,12 +1591,43 @@ impl SqFilterPotential {
                 pct(slowdown.mean),
             ]);
         }
-        t.to_string()
+        t
+    }
+
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        self.table().to_string()
+    }
+}
+
+/// Registry entry for the SQ-filter potential study.
+pub struct SqFilterAblationExp;
+
+impl Experiment for SqFilterAblationExp {
+    fn id(&self) -> &'static str {
+        "ablation-sq-filter"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§3 (deferred SQ-filtering extension)"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(
+            full_suite(scale),
+            sq_filter_variants(&CoreConfig::config2()),
+        )
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let chunks = chunk_by_variants(cells, 2);
+        Report::single(self.id(), sq_filter_reduce(&chunks).table())
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::{find_experiment, run_workload};
     use super::*;
     use dmdc_workloads::{fp_suite, int_suite};
 
@@ -1392,5 +1719,22 @@ mod tests {
             assert!((0.0..=1.0).contains(&saved.mean));
             assert_eq!(slowdown.mean, 0.0, "the SQ filter is timing-neutral");
         }
+    }
+
+    #[test]
+    fn registry_reduce_matches_typed_path() {
+        // The registry entry and the typed `_on` function must agree cell
+        // for cell: reduce the same mini-matrix both ways.
+        let suite = mini_suite();
+        let config = CoreConfig::config2();
+        let cells: Vec<CellResult> = run_matrix(&suite, &fig2_variants(&config))
+            .into_iter()
+            .flatten()
+            .collect();
+        let report = find_experiment("fig2").unwrap().reduce(&cells);
+        assert_eq!(
+            report.text(),
+            format!("{}\n", fig2_on(&suite, &config).render())
+        );
     }
 }

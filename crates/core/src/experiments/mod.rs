@@ -1,0 +1,374 @@
+//! The declarative experiment pipeline: **plan → run → reduce → emit**.
+//!
+//! Every paper artifact (Figs. 2–5, Tables 2–6, the ablations) is an
+//! [`Experiment`]: a registry entry that *plans* a flat matrix of
+//! independent [`RunSpec`] cells at a [`Scale`], has them *run* by the
+//! parallel [`Engine`](crate::runner::Engine) — which verifies each cell
+//! against the functional emulator and serves unchanged cells from the
+//! persistent content-addressed [cell cache](crate::cache) — and then
+//! *reduces* the uniform [`CellResult`] records to a typed table,
+//! *emitted* as text, JSON or CSV through [`Report`].
+//!
+//! The `*_on` variants take an explicit workload slice so tests (and
+//! impatient users) can run reduced sets; the registry entries plan the
+//! full suite at the requested scale. Both funnel through the same
+//! variant lists and reducers, so `dmdc experiment fig2` and
+//! [`fig2_on`] cannot drift apart.
+//!
+//! Cells run concurrently across a worker pool, results come back in
+//! spec order, and the emulator's reference state is computed once per
+//! workload and shared by every cell (see [`crate::runner`]). Output is
+//! byte-identical at any worker count, with or without the cache.
+
+use dmdc_energy::StructureGeometry;
+use dmdc_isa::Emulator;
+use dmdc_ooo::{BaselinePolicy, CoreConfig, MemDepPolicy, SimOptions, Simulator};
+use dmdc_workloads::{Group, Scale, Workload};
+
+use crate::report::{GroupStat, Report};
+use crate::runner::{Engine, RunSpec};
+use crate::{BloomPolicy, CheckingQueuePolicy, DmdcConfig, DmdcPolicy, Interleave, YlaPolicy};
+
+mod defs;
+
+pub use crate::cell::CellResult;
+pub use defs::*;
+
+/// Backwards-compatible alias: a "run" is one verified cell.
+pub type Run = CellResult;
+
+/// Which dependence-checking design to instantiate for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// Conventional CAM load queue.
+    Baseline,
+    /// Conventional design with POWER4-style coherence searches.
+    BaselineCoherent,
+    /// YLA filtering in front of the CAM LQ.
+    Yla {
+        /// Register count.
+        regs: u32,
+        /// Quad-word (`false`) or cache-line (`true`) interleaving.
+        line_interleaved: bool,
+    },
+    /// Bloom-filter search filtering (\[18\]).
+    Bloom {
+        /// Filter entries.
+        entries: u32,
+    },
+    /// DMDC with the global end-check register.
+    DmdcGlobal,
+    /// DMDC with local (per-store) windows.
+    DmdcLocal,
+    /// Global DMDC with INV-bit coherence support.
+    DmdcCoherent,
+    /// Global DMDC with the safe-load optimization disabled (ablation).
+    DmdcNoSafeLoads,
+    /// DMDC with the associative checking queue instead of the table.
+    CheckingQueue {
+        /// Queue entries.
+        entries: u32,
+    },
+}
+
+impl PolicyKind {
+    /// Builds the policy for a machine configuration.
+    pub fn build(&self, config: &CoreConfig) -> Box<dyn MemDepPolicy> {
+        match *self {
+            PolicyKind::Baseline => Box::new(BaselinePolicy::new()),
+            PolicyKind::BaselineCoherent => {
+                Box::new(BaselinePolicy::with_coherence(config.l2.line_bytes))
+            }
+            PolicyKind::Yla {
+                regs,
+                line_interleaved,
+            } => {
+                let il = if line_interleaved {
+                    Interleave::CacheLine(config.l2.line_bytes)
+                } else {
+                    Interleave::QuadWord
+                };
+                Box::new(YlaPolicy::new(regs, il))
+            }
+            PolicyKind::Bloom { entries } => Box::new(BloomPolicy::new(entries)),
+            PolicyKind::DmdcGlobal => Box::new(DmdcPolicy::new(DmdcConfig::global(config))),
+            PolicyKind::DmdcLocal => Box::new(DmdcPolicy::new(DmdcConfig::local(config))),
+            PolicyKind::DmdcCoherent => {
+                Box::new(DmdcPolicy::new(DmdcConfig::global(config).with_coherence()))
+            }
+            PolicyKind::DmdcNoSafeLoads => Box::new(DmdcPolicy::new(
+                DmdcConfig::global(config).without_safe_loads(),
+            )),
+            PolicyKind::CheckingQueue { entries } => {
+                Box::new(CheckingQueuePolicy::new(config, entries))
+            }
+        }
+    }
+
+    /// The energy-model geometry matching this design.
+    pub fn geometry(&self, config: &CoreConfig) -> StructureGeometry {
+        match *self {
+            PolicyKind::Baseline | PolicyKind::BaselineCoherent => {
+                StructureGeometry::conventional(config)
+            }
+            PolicyKind::Yla { regs, .. } => StructureGeometry::yla_filtered(config, regs),
+            PolicyKind::Bloom { entries } => StructureGeometry::bloom_filtered(config, entries),
+            PolicyKind::DmdcGlobal | PolicyKind::DmdcLocal | PolicyKind::DmdcNoSafeLoads => {
+                StructureGeometry::dmdc(config, 8)
+            }
+            PolicyKind::DmdcCoherent => StructureGeometry::dmdc(config, 16),
+            PolicyKind::CheckingQueue { entries } => {
+                StructureGeometry::checking_queue(config, entries, 8)
+            }
+        }
+    }
+}
+
+/// One machine/policy/options combination to run every workload under —
+/// one column of an experiment's cell matrix.
+pub type Variant = (CoreConfig, PolicyKind, SimOptions);
+
+/// An experiment's planned cell matrix: every workload crossed with every
+/// variant. The flat spec list is variant-major (all workloads under
+/// variant 0, then variant 1, ...), matching the chunk layout reducers
+/// consume.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The workload set (one oracle emulation each, shared across
+    /// variants).
+    pub workloads: Vec<Workload>,
+    /// The variants, in output order.
+    pub variants: Vec<Variant>,
+}
+
+impl Plan {
+    /// Plans `variants` over `workloads`.
+    pub fn matrix(workloads: Vec<Workload>, variants: Vec<Variant>) -> Plan {
+        Plan {
+            workloads,
+            variants,
+        }
+    }
+
+    /// Total number of cells (`workloads × variants`).
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len() * self.variants.len()
+    }
+
+    /// The flat, variant-major spec list.
+    pub fn specs(&self) -> Vec<RunSpec> {
+        self.variants
+            .iter()
+            .flat_map(|(config, kind, opts)| {
+                (0..self.workloads.len()).map(move |i| RunSpec {
+                    workload: i,
+                    config: config.clone(),
+                    policy: kind.clone(),
+                    opts: *opts,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One paper artifact as a registry entry: plans its cell matrix at a
+/// scale and reduces the resulting cells to a [`Report`].
+///
+/// `reduce` is a pure function of the cells (plus the entry's own
+/// constants), so cells may come from live simulation, the parallel
+/// worker pool or the persistent cell cache interchangeably.
+pub trait Experiment: Sync {
+    /// Stable registry id (`"fig2"`, `"table6"`, `"ablation-queue"`, ...).
+    fn id(&self) -> &'static str;
+
+    /// Which paper table/figure/section this regenerates.
+    fn paper_ref(&self) -> &'static str;
+
+    /// The full cell matrix at `scale`.
+    fn plan(&self, scale: Scale) -> Plan;
+
+    /// Reduces cells (flat, in [`Plan::specs`] order) to the rendered
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` does not have the planned matrix shape.
+    fn reduce(&self, cells: &[CellResult]) -> Report;
+}
+
+/// Every paper artifact, in the order `dmdc experiment all` prints them.
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    &[
+        &Fig2Exp,
+        &Fig3Exp,
+        &Fig4Exp,
+        &Fig5Exp,
+        &Table2Exp,
+        &Table3Exp,
+        &Table4Exp,
+        &Table5Exp,
+        &Table6Exp,
+        &CheckingQueueAblationExp,
+        &TableSizeAblationExp,
+        &SafeLoadAblationExp,
+        &SqFilterAblationExp,
+        &YlaEnergyExp,
+    ]
+}
+
+/// The ablation subset (the historical `dmdc experiment ablations`
+/// output, in order).
+pub const ABLATION_IDS: [&str; 5] = [
+    "ablation-queue",
+    "ablation-table-size",
+    "ablation-safe-loads",
+    "ablation-sq-filter",
+    "yla-energy",
+];
+
+/// Looks up a registry entry by id.
+pub fn find_experiment(id: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().copied().find(|e| e.id() == id)
+}
+
+/// Runs one registry experiment end to end (plan → run → reduce) at the
+/// given scale, using the process-default engine (worker count, cell
+/// cache).
+pub fn run_experiment(exp: &dyn Experiment, scale: Scale) -> Report {
+    let plan = exp.plan(scale);
+    let cells = execute_plan(&plan);
+    exp.reduce(&cells)
+}
+
+/// Executes a plan's cells through one engine, logging the engine's
+/// sharing counters to stderr (stdout stays reserved for the tables).
+fn execute_plan(plan: &Plan) -> Vec<CellResult> {
+    let engine = Engine::new(&plan.workloads);
+    let specs = plan.specs();
+    let cells = engine.run_all(&specs);
+    log_engine(&engine, specs.len());
+    cells
+}
+
+fn log_engine(engine: &Engine<'_>, cells: usize) {
+    let (hits, misses) = engine.oracle_stats();
+    eprintln!(
+        "[runner] jobs={} cells={cells} oracle: {misses} emulations, {hits} cache hits",
+        engine.jobs(),
+    );
+    if let Some(c) = engine.cache_counters() {
+        eprintln!(
+            "[cache] cells: {} hits, {} misses, {} stored",
+            c.hits, c.misses, c.stores
+        );
+    }
+}
+
+/// One verified simulation cell. See [`CellResult`]; this free function
+/// is the single execution funnel both the serial path and the engine's
+/// workers use.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or its architectural state diverges from
+/// the reference — the numbers would be meaningless, so this is fatal.
+pub(crate) fn execute_verified(
+    workload: &Workload,
+    config: &CoreConfig,
+    policy_kind: &PolicyKind,
+    mut opts: SimOptions,
+    oracle: impl FnOnce() -> u64,
+) -> CellResult {
+    if crate::runner::profile_enabled() {
+        opts.profile = true;
+    }
+    let policy = policy_kind.build(config);
+    let mut sim = Simulator::new(&workload.program, config.clone(), policy);
+    let result = sim.run(opts).unwrap_or_else(|e| {
+        panic!(
+            "{} under {policy_kind:?} on {}: {e}",
+            workload.name, config.name
+        )
+    });
+    if result.halted {
+        assert_eq!(
+            result.checksum,
+            oracle(),
+            "golden-state mismatch: {} under {policy_kind:?} on {}",
+            workload.name,
+            config.name
+        );
+    }
+    if let Some(profile) = &result.profile {
+        crate::runner::record_profile(profile, &result.stats);
+    }
+    CellResult {
+        workload: workload.name.to_string(),
+        group: workload.group,
+        stats: result.stats,
+    }
+}
+
+/// Runs `workload` under `policy_kind` on `config`, verifying the final
+/// architectural state against the functional emulator when the run halts.
+///
+/// This is the standalone single-run entry point (CLI `run`, correctness
+/// tests). Experiments instead batch their cells through
+/// [`crate::runner::Engine`], which memoizes the emulator oracle across
+/// cells and consults the cell cache; here each call emulates afresh and
+/// nothing is cached.
+///
+/// # Panics
+///
+/// Panics if the simulation's architectural state diverges from the
+/// emulator — the simulation would be meaningless, so this is fatal.
+pub fn run_workload(
+    workload: &Workload,
+    config: &CoreConfig,
+    policy_kind: &PolicyKind,
+    opts: SimOptions,
+) -> CellResult {
+    execute_verified(workload, config, policy_kind, opts, || {
+        let mut emu = Emulator::new(&workload.program);
+        emu.run(u64::MAX).expect("workloads halt under emulation");
+        emu.state_checksum()
+    })
+}
+
+/// Aggregates `f` over the cells of one suite group.
+pub(crate) fn group_stat<F: Fn(&CellResult) -> f64>(
+    cells: &[CellResult],
+    group: Group,
+    f: F,
+) -> GroupStat {
+    let vals: Vec<f64> = cells.iter().filter(|r| r.group == group).map(f).collect();
+    GroupStat::of(&vals)
+}
+
+/// Runs every workload under each variant through one shared engine,
+/// returning one chunk of cells per variant, each in workload order. The
+/// `_on` experiment functions use this; registry entries go through
+/// [`run_experiment`], which executes the identical matrix as one flat
+/// plan.
+pub(crate) fn run_matrix(workloads: &[Workload], variants: &[Variant]) -> Vec<Vec<CellResult>> {
+    let plan = Plan::matrix(workloads.to_vec(), variants.to_vec());
+    let cells = execute_plan(&plan);
+    chunk_by_variants(&cells, variants.len())
+}
+
+/// Splits a flat, variant-major cell list into per-variant chunks.
+///
+/// # Panics
+///
+/// Panics if `cells` does not divide evenly into `n_variants` chunks.
+pub(crate) fn chunk_by_variants(cells: &[CellResult], n_variants: usize) -> Vec<Vec<CellResult>> {
+    assert!(n_variants > 0, "an experiment needs at least one variant");
+    assert_eq!(
+        cells.len() % n_variants,
+        0,
+        "{} cells do not form a {n_variants}-variant matrix",
+        cells.len()
+    );
+    let per = cells.len() / n_variants;
+    cells.chunks(per).map(<[CellResult]>::to_vec).collect()
+}

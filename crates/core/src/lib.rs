@@ -14,8 +14,12 @@
 //! * [`BloomPolicy`] — Sethumadhavan-style bloom-filter search filtering,
 //!   the paper's Figure 3 comparison point;
 //!
-//! plus the [`experiments`] module, which regenerates every table and
-//! figure of the paper's evaluation section, and [`report`] for formatting.
+//! plus the [`experiments`] module — a declarative registry regenerating
+//! every table and figure of the paper's evaluation section through a
+//! plan → run → reduce → emit pipeline — with [`runner`] (the parallel
+//! engine), [`cache`] (the persistent content-addressed cell cache),
+//! [`cell`] (the unified per-run metrics record) and [`report`] (tables
+//! and the text/JSON/CSV emitters) underneath.
 //!
 //! # Examples
 //!
@@ -33,6 +37,8 @@
 //! ```
 
 mod bloom;
+pub mod cache;
+pub mod cell;
 mod checking_queue;
 mod dmdc;
 pub mod experiments;
@@ -41,6 +47,8 @@ pub mod runner;
 mod yla;
 
 pub use bloom::{BloomPolicy, CountingBloom};
+pub use cache::{CacheCounters, CellCache};
+pub use cell::CellResult;
 pub use checking_queue::CheckingQueuePolicy;
 pub use dmdc::{DmdcConfig, DmdcPolicy};
 pub use yla::{Interleave, YlaBank, YlaPolicy};

@@ -1,7 +1,62 @@
-//! Plain-text table rendering for experiment output, aligned to be
-//! compared side by side with the paper's tables and figure data.
+//! Experiment output: tables, the [`Report`] emitter layer (text, JSON,
+//! CSV) and the shared number-formatting helpers.
+//!
+//! Every experiment reducer produces a [`Report`] — one or more [`Table`]s
+//! under an experiment id. The text emitter is byte-identical to the
+//! historical per-experiment `render()` output; JSON and CSV are
+//! structured exports of the same cells for plotting and CI artifacts.
+//! All percentage/ratio formatting funnels through [`fmt`], so every
+//! table rounds the same way.
 
-use std::fmt;
+pub use self::fmt::{f1, f2, pct};
+
+/// The one place experiment output formats numbers.
+///
+/// Historically each `render()` implementation formatted its own
+/// percentages and ratios, and the rounding drifted between output paths
+/// (Fig. 4 vs Fig. 5). Reducers and the CLI now share these helpers; a
+/// rounding rule changes here or nowhere.
+pub mod fmt {
+    use super::GroupStat;
+
+    /// Formats a fraction as a percentage, e.g. `0.953 -> "95.3%"`.
+    pub fn pct(x: f64) -> String {
+        format!("{:.1}%", x * 100.0)
+    }
+
+    /// Formats with two decimals.
+    pub fn f2(x: f64) -> String {
+        format!("{x:.2}")
+    }
+
+    /// Formats with one decimal.
+    pub fn f1(x: f64) -> String {
+        format!("{x:.1}")
+    }
+
+    /// Renders a [`GroupStat`] as `mean [min, max]` percentages — the
+    /// paper's bar-with-I-beam notation.
+    pub fn pct_range(g: &GroupStat) -> String {
+        format!("{} [{}, {}]", pct(g.mean), pct(g.min), pct(g.max))
+    }
+
+    /// Escapes a string for inclusion in a JSON string literal.
+    pub(super) fn json_escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+}
 
 /// A simple column-aligned text table.
 ///
@@ -64,6 +119,21 @@ impl Table {
         self
     }
 
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The header cells (empty if none were set).
+    pub fn header_cells(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn data_rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -105,8 +175,8 @@ impl Table {
     }
 }
 
-impl fmt::Display for Table {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let cols = self
             .headers
             .len()
@@ -141,19 +211,154 @@ impl fmt::Display for Table {
     }
 }
 
-/// Formats a fraction as a percentage, e.g. `0.953 -> "95.3%"`.
-pub fn pct(x: f64) -> String {
-    format!("{:.1}%", x * 100.0)
+/// Which serialization [`Report::emit`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Aligned plain-text tables (the historical default, byte-identical
+    /// to the pre-registry `render()` output).
+    Text,
+    /// One JSON document per report.
+    Json,
+    /// RFC-4180-style CSV, tables separated by a blank line.
+    Csv,
 }
 
-/// Formats with two decimals.
-pub fn f2(x: f64) -> String {
-    format!("{x:.2}")
+impl std::str::FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OutputFormat, String> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "json" => Ok(OutputFormat::Json),
+            "csv" => Ok(OutputFormat::Csv),
+            other => Err(format!("unknown format `{other}` (text, json or csv)")),
+        }
+    }
 }
 
-/// Formats with one decimal.
-pub fn f1(x: f64) -> String {
-    format!("{x:.1}")
+/// The output of one experiment reduction: an id plus rendered tables,
+/// emittable as text, JSON or CSV.
+#[derive(Debug, Clone)]
+pub struct Report {
+    id: String,
+    tables: Vec<Table>,
+}
+
+impl Report {
+    /// An empty report for the given experiment id.
+    pub fn new(id: impl Into<String>) -> Report {
+        Report {
+            id: id.into(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// A single-table report.
+    pub fn single(id: impl Into<String>, table: Table) -> Report {
+        let mut r = Report::new(id);
+        r.push(table);
+        r
+    }
+
+    /// Appends a table.
+    pub fn push(&mut self, table: Table) -> &mut Report {
+        self.tables.push(table);
+        self
+    }
+
+    /// The experiment id this report came from.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The rendered tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Emits in the requested format.
+    pub fn emit(&self, format: OutputFormat) -> String {
+        match format {
+            OutputFormat::Text => self.text(),
+            OutputFormat::Json => self.json(),
+            OutputFormat::Csv => self.csv(),
+        }
+    }
+
+    /// Plain text: each table's aligned rendering followed by a blank
+    /// line — exactly what `println!("{table}")` produced before the
+    /// emitter layer existed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            out.push_str(&t.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One JSON document: `{"experiment": id, "tables": [{title, headers,
+    /// rows}, ...]}`, rows as arrays of cell strings.
+    pub fn json(&self) -> String {
+        use self::fmt::json_escape;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"experiment\": \"{}\",\n  \"tables\": [",
+            json_escape(&self.id)
+        ));
+        for (ti, t) in self.tables.iter().enumerate() {
+            if ti > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"title\": \"{}\",\n      \"headers\": [",
+                json_escape(t.title())
+            ));
+            for (i, h) in t.header_cells().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\"", json_escape(h)));
+            }
+            out.push_str("],\n      \"rows\": [");
+            for (ri, row) in t.data_rows().iter().enumerate() {
+                if ri > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        [");
+                for (i, c) in row.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\"", json_escape(c)));
+                }
+                out.push(']');
+            }
+            if !t.data_rows().is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.tables.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// CSV: each table's [`Table::to_csv`] preceded by a `# title`
+    /// comment line, tables separated by a blank line.
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&format!("# {}\n", t.title()));
+            out.push_str(&t.to_csv());
+        }
+        out
+    }
 }
 
 /// Mean / min / max of a sample (the paper's bars with "I-beam" ranges).
@@ -181,14 +386,14 @@ impl GroupStat {
         GroupStat { mean, min, max }
     }
 
-    /// Renders as `mean [min, max]` percentages.
+    /// Renders as `mean [min, max]` percentages (see [`fmt::pct_range`]).
     pub fn pct_range(&self) -> String {
-        format!("{} [{}, {}]", pct(self.mean), pct(self.min), pct(self.max))
+        fmt::pct_range(self)
     }
 }
 
-impl fmt::Display for GroupStat {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl std::fmt::Display for GroupStat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{:.3} [{:.3}, {:.3}]", self.mean, self.min, self.max)
     }
 }
@@ -252,6 +457,69 @@ mod tests {
         assert_eq!(lines[0], "a,b");
         assert_eq!(lines[1], "plain,\"with, comma\"");
         assert_eq!(lines[2], "\"has \"\"quote\"\"\",x");
+    }
+
+    #[test]
+    fn report_text_matches_println_of_each_table() {
+        let mut t = Table::new("t");
+        t.headers(["a"]);
+        t.row(["1".to_string()]);
+        let expected = format!("{t}\n");
+        let report = Report::single("demo", t);
+        assert_eq!(report.text(), expected);
+        assert_eq!(report.emit(OutputFormat::Text), expected);
+    }
+
+    #[test]
+    fn report_json_is_wellformed_and_escaped() {
+        let mut t = Table::new("ti\"tle");
+        t.headers(["h1", "h2"]);
+        t.row(["a\\b".to_string(), "c".to_string()]);
+        let report = Report::single("x", t);
+        let json = report.json();
+        assert!(json.contains("\"experiment\": \"x\""));
+        assert!(json.contains("ti\\\"tle"));
+        assert!(json.contains("a\\\\b"));
+        assert!(json.ends_with("}\n"));
+        // Balanced braces/brackets (cheap well-formedness check; cells
+        // contain no braces).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn report_csv_carries_titles() {
+        let mut t1 = Table::new("first");
+        t1.headers(["a"]);
+        t1.row(["1".to_string()]);
+        let mut t2 = Table::new("second");
+        t2.headers(["b"]);
+        t2.row(["2".to_string()]);
+        let mut report = Report::new("multi");
+        report.push(t1).push(t2);
+        let csv = report.csv();
+        assert!(csv.starts_with("# first\na\n1\n"));
+        assert!(csv.contains("\n# second\nb\n2\n"));
+    }
+
+    #[test]
+    fn output_format_parses() {
+        assert_eq!("text".parse::<OutputFormat>(), Ok(OutputFormat::Text));
+        assert_eq!("json".parse::<OutputFormat>(), Ok(OutputFormat::Json));
+        assert_eq!("csv".parse::<OutputFormat>(), Ok(OutputFormat::Csv));
+        assert!("xml".parse::<OutputFormat>().is_err());
+    }
+
+    #[test]
+    fn fmt_helpers_round_once() {
+        assert_eq!(
+            fmt::pct_range(&GroupStat::of(&[0.5])),
+            "50.0% [50.0%, 50.0%]"
+        );
     }
 
     #[test]

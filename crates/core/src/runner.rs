@@ -14,14 +14,25 @@
 //! invalidation traffic), so it is computed at most once per distinct
 //! workload per engine and shared across every policy × config cell. The
 //! [`Engine::oracle_stats`] counters make the sharing observable.
+//!
+//! An engine can additionally carry a persistent [`CellCache`]
+//! ([`Engine::with_cache`], or process-wide via
+//! [`set_global_cell_cache`]): each cell is then looked up by content
+//! address before simulating, and a hit returns the previously verified
+//! result without running either the simulator or the emulator oracle.
+//! Because the cache stores full [`CellResult`]s keyed on everything that
+//! can influence them (see [`crate::cache`]), reducers cannot tell cached
+//! and fresh cells apart.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use dmdc_isa::Emulator;
 use dmdc_ooo::{CoreConfig, SimOptions, SimProfile, SimStats, PROFILE_STAGES, PROFILE_STAGE_NAMES};
 use dmdc_workloads::Workload;
 
+use crate::cache::{workload_digest, CacheCounters, CellCache};
+use crate::cell::CellResult;
 use crate::experiments::{PolicyKind, Run};
 
 /// One independent experiment cell: a single verified simulation.
@@ -47,6 +58,30 @@ impl RunSpec {
             opts: SimOptions::default(),
         }
     }
+
+    /// The spec's content-addressing description: the `Debug` rendering of
+    /// every field that can influence the simulation (the workload is
+    /// covered separately by its own digest). Cache keys hash this string,
+    /// so any config, policy or option change moves the key.
+    pub fn desc(&self) -> String {
+        format!("{:?}|{:?}|{:?}", self.config, self.policy, self.opts)
+    }
+}
+
+/// Process-wide default cell cache. The CLI installs one here (unless
+/// `--no-cache`); library callers and tests are uncached unless they opt
+/// in per engine with [`Engine::with_cache`].
+static GLOBAL_CACHE: Mutex<Option<Arc<CellCache>>> = Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide default cell
+/// cache picked up by every subsequently created [`Engine`].
+pub fn set_global_cell_cache(cache: Option<Arc<CellCache>>) {
+    *GLOBAL_CACHE.lock().expect("cell cache poisoned") = cache;
+}
+
+/// The process-wide default cell cache, if one is installed.
+pub fn global_cell_cache() -> Option<Arc<CellCache>> {
+    GLOBAL_CACHE.lock().expect("cell cache poisoned").clone()
 }
 
 /// Process-wide override for the worker count (0 = unset). The CLI's
@@ -265,26 +300,49 @@ pub struct Engine<'w> {
     workloads: &'w [Workload],
     oracle: EmuOracle,
     jobs: usize,
+    cache: Option<Arc<CellCache>>,
+    digests: Vec<OnceLock<u64>>,
 }
 
 impl<'w> Engine<'w> {
-    /// An engine using the resolved default worker count.
+    /// An engine using the resolved default worker count and the
+    /// process-wide cell cache (if one is installed).
     pub fn new(workloads: &'w [Workload]) -> Engine<'w> {
         Engine::with_jobs(workloads, default_jobs())
     }
 
-    /// An engine with an explicit worker count (`1` = fully serial).
+    /// An engine with an explicit worker count (`1` = fully serial) and
+    /// the process-wide cell cache (if one is installed).
     pub fn with_jobs(workloads: &'w [Workload], jobs: usize) -> Engine<'w> {
         Engine {
             workloads,
             oracle: EmuOracle::new(workloads.len()),
             jobs: jobs.max(1),
+            cache: global_cell_cache(),
+            digests: (0..workloads.len()).map(|_| OnceLock::new()).collect(),
         }
+    }
+
+    /// Replaces the engine's cell cache (`None` disables caching for this
+    /// engine regardless of the process-wide default).
+    pub fn with_cache(mut self, cache: Option<Arc<CellCache>>) -> Engine<'w> {
+        self.cache = cache;
+        self
     }
 
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The cell cache's counters, if this engine carries a cache.
+    pub fn cache_counters(&self) -> Option<CacheCounters> {
+        self.cache.as_ref().map(|c| c.counters())
+    }
+
+    /// The content digest of `workloads[index]`, computed at most once.
+    fn digest(&self, index: usize) -> u64 {
+        *self.digests[index].get_or_init(|| workload_digest(&self.workloads[index]))
     }
 
     /// (hits, misses) of the emulator-oracle cache so far. `misses` never
@@ -297,14 +355,31 @@ impl<'w> Engine<'w> {
     }
 
     /// Executes one cell, verifying a halting run against the memoized
-    /// emulator reference.
+    /// emulator reference. With a cache attached, the cell is first looked
+    /// up by content address; a hit skips the simulation (and the oracle —
+    /// the cache stores only verified results), a miss simulates and
+    /// persists.
     ///
     /// # Panics
     ///
     /// Panics if the simulation fails or its architectural state diverges
     /// from the functional emulator — the experiment's numbers would be
     /// meaningless, so this is fatal (as in the serial path).
-    pub fn run_cell(&self, spec: &RunSpec) -> Run {
+    pub fn run_cell(&self, spec: &RunSpec) -> CellResult {
+        let Some(cache) = &self.cache else {
+            return self.simulate(spec);
+        };
+        let key = cache.key(self.digest(spec.workload), &spec.desc());
+        if let Some(cell) = cache.load(key, self.workloads[spec.workload].name) {
+            return cell;
+        }
+        let cell = self.simulate(spec);
+        cache.store(key, &cell);
+        cell
+    }
+
+    /// Simulates one cell unconditionally (no cache consultation).
+    fn simulate(&self, spec: &RunSpec) -> CellResult {
         let w = &self.workloads[spec.workload];
         crate::experiments::execute_verified(w, &spec.config, &spec.policy, spec.opts, || {
             self.oracle.checksum(self.workloads, spec.workload)
@@ -417,6 +492,33 @@ mod tests {
             specs.len() as u64,
             "every halting cell consulted the oracle"
         );
+    }
+
+    #[test]
+    fn cache_serves_repeated_cells_verbatim() {
+        let ws = mini();
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/dmdc-cache-runner-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CoreConfig::config2();
+        let specs = vec![
+            RunSpec::new(0, &config, PolicyKind::DmdcGlobal),
+            RunSpec::new(1, &config, PolicyKind::Baseline),
+        ];
+        let cold_engine =
+            Engine::with_jobs(&ws, 1).with_cache(Some(Arc::new(CellCache::new(&dir))));
+        let cold = cold_engine.run_all(&specs);
+        let c = cold_engine.cache_counters().unwrap();
+        assert_eq!((c.hits, c.misses, c.stores), (0, 2, 2));
+        let warm_engine =
+            Engine::with_jobs(&ws, 1).with_cache(Some(Arc::new(CellCache::new(&dir))));
+        let warm = warm_engine.run_all(&specs);
+        let c = warm_engine.cache_counters().unwrap();
+        assert_eq!((c.hits, c.misses, c.stores), (2, 0, 0));
+        assert_eq!(cold, warm, "cached cells must replay byte-for-byte");
+        let (hits, misses) = warm_engine.oracle_stats();
+        assert_eq!((hits, misses), (0, 0), "warm cells never touch the oracle");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -104,6 +104,13 @@ impl Program {
         &self.insts
     }
 
+    /// The initial data segments, as `(base address, bytes)` pairs in the
+    /// order they were added. Content digests (e.g. the experiment cell
+    /// cache's workload key) hash these together with the encoded text.
+    pub fn data_segments(&self) -> &[(Addr, Vec<u8>)] {
+        &self.data
+    }
+
     /// The byte address of instruction `pc` in the simulated address space
     /// (what the I-cache sees).
     pub fn text_addr(pc: u32) -> Addr {

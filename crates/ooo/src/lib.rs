@@ -57,3 +57,12 @@ pub use stats::{
     PROFILE_STAGES, PROFILE_STAGE_NAMES,
 };
 pub use trace::{PipelineTrace, Stage, TraceEvent};
+
+/// Version tag of the simulator's observable semantics. Bump whenever a
+/// change alters any number a simulation can report (timing, stats,
+/// replay classification, ...): persistent result caches key on this
+/// string, so a stale value silently revives outdated cached cells.
+///
+/// `v2` = the event-driven core of PR 2 (bit-identical to the per-cycle
+/// loop, so the PR 2 refactor itself did not need a bump).
+pub const SIM_FINGERPRINT: &str = "dmdc-ooo-v2";

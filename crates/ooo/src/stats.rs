@@ -236,7 +236,61 @@ pub struct SimStats {
     pub fast_forwards: u64,
 }
 
+/// The single manifest of every `SimStats` counter, in export order.
+/// `export_values`, `from_export_values` and `EXPORT_LEN` all expand from
+/// this list, so adding a field here updates all three together; a field
+/// added to a struct but not to this list is caught by the round-trip
+/// equality test (the import side would leave it at its default).
+macro_rules! export_field_list {
+    ($cb:ident $(, $args:tt)*) => {
+        $cb!(
+            ($($args),*);
+            cycles, committed, loads, stores, branches, mispredicts,
+            replay_squashes, load_rejections, sq_filterable_loads, fetched,
+            squashed, skipped_cycles, fast_forwards,
+            energy.lq_cam_searches, energy.lq_writes, energy.sq_cam_searches,
+            energy.sq_writes, energy.table_reads, energy.table_writes,
+            energy.table_clears, energy.yla_reads, energy.yla_writes,
+            energy.bloom_reads, energy.bloom_writes, energy.cq_searches,
+            energy.cq_writes,
+            policy.safe_stores, policy.unsafe_stores, policy.safe_loads,
+            policy.unsafe_loads,
+            policy.replays.true_violation, policy.replays.false_addr_x,
+            policy.replays.false_addr_y, policy.replays.false_hash_before,
+            policy.replays.false_hash_x, policy.replays.false_hash_y,
+            policy.replays.coherence,
+            policy.checking_mode_cycles, policy.checking_windows,
+            policy.single_store_windows, policy.window_instructions,
+            policy.window_loads, policy.window_safe_loads,
+            policy.window_unsafe_stores, policy.invalidations,
+            policy.safe_load_check_bypasses,
+            l1i.hits, l1i.misses, l1d.hits, l1d.misses, l2.hits, l2.misses
+        )
+    };
+}
+
+macro_rules! export_count_body {
+    ((); $($($p:ident).+),* $(,)?) => {
+        [$(stringify!($($p).+)),*].len()
+    };
+}
+
+macro_rules! export_values_body {
+    (($s:expr); $($($p:ident).+),* $(,)?) => {
+        vec![$($s.$($p).+),*]
+    };
+}
+
+macro_rules! import_values_body {
+    (($s:expr, $it:expr); $($($p:ident).+),* $(,)?) => {
+        $( $s.$($p).+ = $it.next().expect("length checked above"); )*
+    };
+}
+
 impl SimStats {
+    /// Number of counters [`SimStats::export_values`] flattens to.
+    pub const EXPORT_LEN: usize = export_field_list!(export_count_body);
+
     /// Committed instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -262,6 +316,28 @@ impl SimStats {
         } else {
             self.skipped_cycles as f64 / self.cycles as f64
         }
+    }
+
+    /// Flattens every counter into a fixed-order `Vec<u64>` for external
+    /// serialization (the experiment layer's content-addressed cell
+    /// cache). [`SimStats::from_export_values`] is the exact inverse; the
+    /// shared field manifest lives in one macro so the two cannot drift.
+    pub fn export_values(&self) -> Vec<u64> {
+        export_field_list!(export_values_body, self)
+    }
+
+    /// Rebuilds a `SimStats` from [`SimStats::export_values`] output.
+    /// Returns `None` unless `values` has exactly [`SimStats::EXPORT_LEN`]
+    /// entries — a length mismatch means the record came from a build
+    /// with a different stats schema.
+    pub fn from_export_values(values: &[u64]) -> Option<SimStats> {
+        if values.len() != SimStats::EXPORT_LEN {
+            return None;
+        }
+        let mut it = values.iter().copied();
+        let mut s = SimStats::default();
+        export_field_list!(import_values_body, s, it);
+        Some(s)
     }
 
     /// A copy with the host-side speed counters (`skipped_cycles`,
@@ -362,6 +438,17 @@ mod tests {
         let s = SimStats::default();
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.per_million(5), 0.0);
+    }
+
+    #[test]
+    fn export_roundtrip_is_a_bijection() {
+        // Distinct values per slot: any position mix-up or duplicate field
+        // in the manifest breaks the round trip.
+        let values: Vec<u64> = (1..=SimStats::EXPORT_LEN as u64).collect();
+        let stats = SimStats::from_export_values(&values).expect("length matches");
+        assert_eq!(stats.export_values(), values);
+        assert!(SimStats::from_export_values(&values[1..]).is_none());
+        assert_ne!(stats, SimStats::default());
     }
 
     #[test]

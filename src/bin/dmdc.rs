@@ -1,18 +1,27 @@
 //! `dmdc` — command-line front end for the reproduction.
 //!
 //! ```text
-//! dmdc list                                   # workloads, policies, configs
+//! dmdc list                                   # workloads, policies, experiments
 //! dmdc run --workload histo --policy dmdc-global [--config 2] [--trace 64]
 //! dmdc run --workload synthetic --policy baseline --inval-rate 10
 //! dmdc suite --policy dmdc-global [--scale smoke|default|large]
-//! dmdc experiment fig2|fig3|fig4|fig5|table2..table6|ablations|all
+//! dmdc experiment <id>|ablations|all [--format text|json|csv] [--no-cache]
 //! dmdc asm path/to/program.s                  # assemble + emulate a file
 //! ```
+//!
+//! `suite` and `experiment` consult the persistent content-addressed cell
+//! cache under `target/dmdc-cache/` by default: a repeated invocation
+//! replays previously verified cells instead of re-simulating them.
+//! `--no-cache` disables the cache for one invocation; editing a workload,
+//! a config or the simulator invalidates the affected cells automatically
+//! (see DESIGN.md §9).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use dmdc::core::cache::{default_cache_dir, CellCache};
 use dmdc::core::experiments::{self, PolicyKind};
-use dmdc::core::report::Table;
+use dmdc::core::report::{fmt, OutputFormat, Report, Table};
 use dmdc::core::runner::{self, RunSpec};
 use dmdc::isa::{Assembler, Emulator};
 use dmdc::ooo::{CoreConfig, SimOptions, Simulator};
@@ -56,18 +65,28 @@ USAGE:
   dmdc run --workload <name> --policy <name> [--config 1|2|3]
            [--scale smoke|default|large] [--inval-rate R] [--trace N]
            [--profile]
-  dmdc suite --policy <name> [--config N] [--scale S] [--jobs N] [--profile]
-  dmdc experiment <fig2|fig3|fig4|fig5|table2|table3|table4|table5|table6|ablations|all>
-           [--scale S] [--jobs N] [--profile]
+  dmdc suite --policy <name> [--config N] [--scale S] [--jobs N]
+           [--format text|json|csv] [--no-cache] [--profile]
+  dmdc experiment <id|ablations|all> [--scale S] [--jobs N]
+           [--format text|json|csv] [--no-cache] [--profile]
   dmdc asm <file.s>
+
+`dmdc list` enumerates the experiment registry (fig2..fig5,
+table2..table6, the ablations). `all` runs every registry entry in
+order; `ablations` runs the five ablation studies.
 
 Worker count for suite/experiment: --jobs N, else the DMDC_JOBS
 environment variable, else the machine's available parallelism. Output
 is byte-identical at any job count.
 
---profile reports a per-stage host-time breakdown plus the event-horizon
-loop's skipped-cycle counters (for suite/experiment: aggregated over all
-runs, printed to stderr so stdout stays byte-identical).
+suite/experiment cache verified cells under target/dmdc-cache/ keyed on
+the workload bytes, the run parameters and the simulator fingerprint;
+warm reruns replay instead of re-simulating. --no-cache opts out.
+
+--profile reports a per-stage host-time breakdown, the event-horizon
+loop's skipped-cycle counters and the cell-cache hit/miss totals (for
+suite/experiment: aggregated over all runs, printed to stderr so stdout
+stays byte-identical).
 "
     .to_string()
 }
@@ -141,12 +160,40 @@ fn apply_profile(flags: &std::collections::HashMap<String, String>) {
     }
 }
 
-/// Prints the accumulated profile totals to stderr (keeping stdout
-/// byte-identical with and without `--profile`).
+/// Prints the accumulated profile totals (and, when a cell cache is
+/// installed, its hit/miss counters) to stderr, keeping stdout
+/// byte-identical with and without `--profile`.
 fn report_profile() {
     if runner::profile_enabled() {
         eprint!("{}", runner::take_profile_totals().render());
+        if let Some(cache) = runner::global_cell_cache() {
+            let c = cache.counters();
+            eprintln!(
+                "[profile] cell cache: {} hits, {} misses, {} stored ({})",
+                c.hits,
+                c.misses,
+                c.stores,
+                cache.dir().display(),
+            );
+        }
     }
+}
+
+/// Installs the persistent cell cache (default location
+/// `target/dmdc-cache/`) unless `--no-cache` was given.
+fn apply_cache(flags: &std::collections::HashMap<String, String>) {
+    if !flags.contains_key("no-cache") {
+        runner::set_global_cell_cache(Some(Arc::new(CellCache::new(default_cache_dir()))));
+    }
+}
+
+/// Parses `--format` (text, json or csv; text when absent).
+fn parse_format(flags: &std::collections::HashMap<String, String>) -> Result<OutputFormat, String> {
+    flags
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("text")
+        .parse()
 }
 
 /// Applies `--jobs N` as the process-wide worker count for the runner.
@@ -194,6 +241,20 @@ fn cmd_list() {
     println!();
     println!("configs:  1 (ROB 128)  2 (ROB 256, default)  3 (ROB 512)");
     println!("scales:   smoke default large");
+    println!();
+    println!("experiments (dmdc experiment <id> [--scale S] [--format text|json|csv]):");
+    for exp in experiments::registry() {
+        // The matrix shape is scale-independent: scale changes iteration
+        // counts inside each workload, not the workload × variant cross.
+        let cells = exp.plan(Scale::Smoke).cell_count();
+        println!(
+            "  {:<20} {:<32} {:>4} cells/scale",
+            exp.id(),
+            exp.paper_ref(),
+            cells
+        );
+    }
+    println!("  groups: ablations (the five ablation studies), all (every entry above)");
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -238,15 +299,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         s.per_million(s.policy.replays.false_total())
     );
     println!(
-        "  safe stores   {:>11.1}%",
-        s.policy.store_filter_rate() * 100.0
+        "  safe stores   {:>12}",
+        fmt::pct(s.policy.store_filter_rate())
     );
     println!(
-        "  safe loads    {:>11.1}%",
-        s.policy.safe_load_rate() * 100.0
+        "  safe loads    {:>12}",
+        fmt::pct(s.policy.safe_load_rate())
     );
     println!("  LQ searches   {:>12}", s.energy.lq_cam_searches);
-    println!("  L1D miss rate {:>11.1}%", s.l1d.miss_rate() * 100.0);
+    println!("  L1D miss rate {:>12}", fmt::pct(s.l1d.miss_rate()));
     if s.policy.invalidations > 0 {
         println!("  invalidations {:>12}", s.policy.invalidations);
     }
@@ -266,8 +327,10 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     )?;
     let config = parse_config(&flags)?;
     let scale = parse_scale(&flags)?;
+    let format = parse_format(&flags)?;
     apply_jobs(&flags)?;
     apply_profile(&flags);
+    apply_cache(&flags);
     let mut t = Table::new(format!("suite under {policy:?} on {}", config.name));
     t.headers([
         "workload",
@@ -286,13 +349,13 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         t.row([
             w.name.to_string(),
             w.group.to_string(),
-            format!("{:.2}", r.stats.ipc()),
-            format!("{:.1}", r.stats.per_million(r.stats.policy.replays.total())),
-            format!("{:.1}%", r.stats.policy.store_filter_rate() * 100.0),
-            format!("{:.1}%", r.stats.policy.safe_load_rate() * 100.0),
+            fmt::f2(r.stats.ipc()),
+            fmt::f1(r.stats.per_million(r.stats.policy.replays.total())),
+            fmt::pct(r.stats.policy.store_filter_rate()),
+            fmt::pct(r.stats.policy.safe_load_rate()),
         ]);
     }
-    println!("{t}");
+    print!("{}", Report::single("suite", t).emit(format));
     report_profile();
     Ok(())
 }
@@ -300,87 +363,23 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
 fn cmd_experiment(args: &[String]) -> Result<(), String> {
     let which = args
         .first()
-        .ok_or("which experiment? (fig2..fig5, table2..table6, ablations, all)")?;
+        .ok_or("which experiment? (see `dmdc list`: fig2..fig5, table2..table6, ablations, all)")?;
     let flags = parse_flags(&args[1..])?;
     let scale = parse_scale(&flags)?;
+    let format = parse_format(&flags)?;
     apply_jobs(&flags)?;
     apply_profile(&flags);
-    let config = CoreConfig::config2();
-    let suite = full_suite(scale);
-    let run = |name: &str| -> Result<(), String> {
-        match name {
-            "fig2" => println!("{}", experiments::fig2_on(&suite, &config).render()),
-            "fig3" => println!("{}", experiments::fig3_on(&suite, &config).render()),
-            "fig4" => println!(
-                "{}",
-                experiments::fig4_on(&suite, &CoreConfig::all()).render()
-            ),
-            "fig5" => println!(
-                "{}",
-                experiments::fig5_on(&suite, &CoreConfig::all()).render()
-            ),
-            "table2" => println!(
-                "{}",
-                experiments::window_stats_on(&suite, &config, false).render()
-            ),
-            "table3" => println!(
-                "{}",
-                experiments::replay_breakdown_on(&suite, &config, false).render()
-            ),
-            "table4" => println!(
-                "{}",
-                experiments::window_stats_on(&suite, &config, true).render()
-            ),
-            "table5" => println!(
-                "{}",
-                experiments::replay_breakdown_on(&suite, &config, true).render()
-            ),
-            "table6" => println!(
-                "{}",
-                experiments::table6_on(&suite, &config, &[0.0, 1.0, 10.0, 100.0]).render()
-            ),
-            "ablations" => {
-                println!(
-                    "{}",
-                    experiments::checking_queue_ablation_on(&suite, &config, &[4, 8, 16, 32])
-                        .render()
-                );
-                println!(
-                    "{}",
-                    experiments::table_size_ablation_on(&suite, &config, &[256, 1024, 2048, 4096])
-                        .render()
-                );
-                println!(
-                    "{}",
-                    experiments::safe_load_ablation_on(&suite, &config).render()
-                );
-                println!(
-                    "{}",
-                    experiments::sq_filter_potential_on(&suite, &config).render()
-                );
-                println!("{}", experiments::yla_energy_on(&suite, &config).render());
-            }
-            other => return Err(format!("unknown experiment `{other}`")),
-        }
-        Ok(())
+    apply_cache(&flags);
+    let ids: Vec<&str> = match which.as_str() {
+        "all" => experiments::registry().iter().map(|e| e.id()).collect(),
+        "ablations" => experiments::ABLATION_IDS.to_vec(),
+        one => vec![one],
     };
-    if which == "all" {
-        for name in [
-            "fig2",
-            "fig3",
-            "fig4",
-            "fig5",
-            "table2",
-            "table3",
-            "table4",
-            "table5",
-            "table6",
-            "ablations",
-        ] {
-            run(name)?;
-        }
-    } else {
-        run(which)?;
+    for id in ids {
+        let exp = experiments::find_experiment(id)
+            .ok_or_else(|| format!("unknown experiment `{id}` (see `dmdc list`)"))?;
+        let report = experiments::run_experiment(exp, scale);
+        print!("{}", report.emit(format));
     }
     report_profile();
     Ok(())
