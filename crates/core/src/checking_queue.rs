@@ -236,6 +236,26 @@ impl MemDepPolicy for CheckingQueuePolicy {
             .retain(|&age, _| !age.is_younger_than(youngest_surviving));
     }
 
+    fn audit_self(&self, lq: &LoadQueue) -> Option<String> {
+        if let Some((age, span)) = self.ylas.find_uncovered_load(lq) {
+            return Some(format!(
+                "YLA register under-approximates issued load age {} at {:#x}",
+                age.0, span.addr.0
+            ));
+        }
+        if self.queue.len() > self.capacity {
+            return Some(format!(
+                "checking queue holds {} > {} entries",
+                self.queue.len(),
+                self.capacity
+            ));
+        }
+        if !self.active && (!self.queue.is_empty() || self.overflowed) {
+            return Some("checking queue carries entries outside a window".to_string());
+        }
+        None
+    }
+
     fn on_cycle(&mut self, ctx: &mut PolicyCtx<'_>) {
         if self.active {
             ctx.stats.checking_mode_cycles += 1;

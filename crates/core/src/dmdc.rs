@@ -466,6 +466,55 @@ impl MemDepPolicy for DmdcPolicy {
         None
     }
 
+    fn audit_self(&self, lq: &LoadQueue) -> Option<String> {
+        if let Some((age, span)) = self.qw_ylas.find_uncovered_load(lq) {
+            return Some(format!(
+                "quad-word YLA under-approximates issued load age {} at {:#x}",
+                age.0, span.addr.0
+            ));
+        }
+        if self.cfg.coherence {
+            if let Some((age, span)) = self.line_ylas.find_uncovered_load(lq) {
+                return Some(format!(
+                    "line YLA under-approximates issued load age {} at {:#x}",
+                    age.0, span.addr.0
+                ));
+            }
+        }
+        // Unsafe stores commit in age order and are removed from `pending`
+        // right there — one lingering at or behind the last commit has been
+        // dropped by the checking pipeline.
+        if let Some((&age, _)) = self.pending.iter().next() {
+            if !age.is_younger_than(self.last_commit_age) {
+                return Some(format!(
+                    "unsafe store age {} still pending at/behind last commit age {}",
+                    age.0, self.last_commit_age.0
+                ));
+            }
+        }
+        if self.active {
+            // The window is open: the table must still carry every marking
+            // store's WRT bits (§4.4 — the table never drops an unsafe
+            // store inside the window). Markers live in the same entry, so
+            // a dropped bit means the bitmap was corrupted, not hashed away.
+            for (i, e) in self.table.iter().enumerate() {
+                if e.gen != self.gen {
+                    continue;
+                }
+                for m in &e.markers {
+                    let bm = m.span.quad_word_bitmap();
+                    if e.wrt & bm != bm {
+                        return Some(format!(
+                            "checking table entry {i} dropped WRT bits {bm:#06b} of store age {}",
+                            m.age.0
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+
     fn on_cycle(&mut self, ctx: &mut PolicyCtx<'_>) {
         if self.active {
             ctx.stats.checking_mode_cycles += 1;

@@ -105,6 +105,75 @@ impl PolicyKind {
         }
     }
 
+    /// Stable CLI/repro-file token (`dmdc run --policy <token>`); parsed
+    /// back by [`PolicyKind::parse_token`].
+    pub fn token(&self) -> String {
+        match self {
+            PolicyKind::Baseline => "baseline".to_string(),
+            PolicyKind::BaselineCoherent => "baseline-coherent".to_string(),
+            PolicyKind::Yla {
+                regs,
+                line_interleaved,
+            } => {
+                if *line_interleaved {
+                    format!("yla-line-{regs}")
+                } else {
+                    format!("yla-{regs}")
+                }
+            }
+            PolicyKind::Bloom { entries } => format!("bloom-{entries}"),
+            PolicyKind::DmdcGlobal => "dmdc-global".to_string(),
+            PolicyKind::DmdcLocal => "dmdc-local".to_string(),
+            PolicyKind::DmdcCoherent => "dmdc-coherent".to_string(),
+            PolicyKind::DmdcNoSafeLoads => "dmdc-no-safe-loads".to_string(),
+            PolicyKind::CheckingQueue { entries } => format!("queue-{entries}"),
+        }
+    }
+
+    /// Parses a [`PolicyKind::token`] (plus the `dmdc` alias for
+    /// `dmdc-global`).
+    pub fn parse_token(name: &str) -> Result<PolicyKind, String> {
+        Ok(match name {
+            "baseline" => PolicyKind::Baseline,
+            "baseline-coherent" => PolicyKind::BaselineCoherent,
+            "dmdc-global" | "dmdc" => PolicyKind::DmdcGlobal,
+            "dmdc-local" => PolicyKind::DmdcLocal,
+            "dmdc-coherent" => PolicyKind::DmdcCoherent,
+            "dmdc-no-safe-loads" => PolicyKind::DmdcNoSafeLoads,
+            other => {
+                if let Some(regs) = other.strip_prefix("yla-line-") {
+                    let regs: u32 = regs
+                        .parse()
+                        .map_err(|_| format!("bad YLA count in `{other}`"))?;
+                    PolicyKind::Yla {
+                        regs,
+                        line_interleaved: true,
+                    }
+                } else if let Some(regs) = other.strip_prefix("yla-") {
+                    let regs: u32 = regs
+                        .parse()
+                        .map_err(|_| format!("bad YLA count in `{other}`"))?;
+                    PolicyKind::Yla {
+                        regs,
+                        line_interleaved: false,
+                    }
+                } else if let Some(entries) = other.strip_prefix("bloom-") {
+                    let entries: u32 = entries
+                        .parse()
+                        .map_err(|_| format!("bad bloom size in `{other}`"))?;
+                    PolicyKind::Bloom { entries }
+                } else if let Some(entries) = other.strip_prefix("queue-") {
+                    let entries: u32 = entries
+                        .parse()
+                        .map_err(|_| format!("bad queue size in `{other}`"))?;
+                    PolicyKind::CheckingQueue { entries }
+                } else {
+                    return Err(format!("unknown policy `{other}` (see `dmdc list`)"));
+                }
+            }
+        })
+    }
+
     /// The energy-model geometry matching this design.
     pub fn geometry(&self, config: &CoreConfig) -> StructureGeometry {
         match *self {
@@ -297,6 +366,15 @@ pub(crate) fn execute_verified(
             "golden-state mismatch: {} under {policy_kind:?} on {}",
             workload.name,
             config.name
+        );
+    }
+    if let Some(audit) = &result.audit {
+        assert!(
+            audit.is_clean(),
+            "invariant auditor: {} under {policy_kind:?} on {}:\n{}",
+            workload.name,
+            config.name,
+            audit.render()
         );
     }
     if let Some(profile) = &result.profile {

@@ -1,0 +1,703 @@
+//! Differential torture harness: seeded random kernels, every policy
+//! under the invariant auditor, and delta-debugging shrink of failures.
+//!
+//! The fuzzer generates [`FuzzKernel`]s — aliasing-heavy load/store mixes
+//! with mixed widths, late-resolving store addresses and unpredictable
+//! branches — and runs each under the requested policies with
+//! [`SimOptions::audit`] on. A case *fails* when the auditor reports a
+//! violation, the simulation panics, or the final architectural checksum
+//! diverges from the in-order emulator. Failures are shrunk (op-chunk
+//! removal, iteration reduction, operand simplification) to a minimal
+//! kernel that still produces the *same* violation kind, and written as a
+//! self-contained text [`Repro`] that `dmdc fuzz --replay` re-executes
+//! exactly.
+//!
+//! Real policies are expected to survive any budget; the [`Sabotage`]
+//! hook plants bugs (suppressed replay verdicts, stores forced safe) so
+//! the detect → shrink → replay loop itself stays tested.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use dmdc_isa::Emulator;
+use dmdc_ooo::{
+    AuditKind, CheckOutcome, CommitInfo, CoreConfig, LoadQueue, MemDepPolicy, PolicyCtx,
+    SimOptions, Simulator, StoreResolution,
+};
+use dmdc_types::{Addr, Age, MemSpan};
+use dmdc_workloads::{FuzzKernel, FuzzOp};
+
+use crate::experiments::PolicyKind;
+
+/// A deliberately planted policy bug, for exercising the fuzzer's
+/// detect → shrink → replay loop (the auditor must catch every one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Flip the policy's commit-time `Replay` verdicts to `Ok`, starting
+    /// with the `from`-th one (0 = all). Models a checking table that
+    /// drops entries: commit-time checkers (DMDC, checking queue) then
+    /// commit stale loads — invariant 6, `missed-replay`. Policies that
+    /// replay at store-resolve time (baseline, YLA) never reach a commit
+    /// `Replay` verdict and are unaffected.
+    SuppressReplays {
+        /// Index of the first suppressed verdict.
+        from: u32,
+    },
+    /// Classify every resolving store as *safe* and discard any replay it
+    /// would have demanded. Breaks invariant 3 (`safe-store-younger-load`)
+    /// and, downstream, invariant 6.
+    ForceSafeStores,
+}
+
+impl Sabotage {
+    /// Repro-file token; parsed back by [`Sabotage::parse_token`].
+    pub fn token(&self) -> String {
+        match *self {
+            Sabotage::SuppressReplays { from } => format!("suppress-replays from={from}"),
+            Sabotage::ForceSafeStores => "force-safe-stores".to_string(),
+        }
+    }
+
+    /// Parses a [`Sabotage::token`].
+    pub fn parse_token(s: &str) -> Result<Sabotage, String> {
+        let mut words = s.split_whitespace();
+        match words.next() {
+            Some("suppress-replays") => {
+                let from = words
+                    .next()
+                    .and_then(|w| w.strip_prefix("from="))
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad suppress-replays spec `{s}`"))?;
+                Ok(Sabotage::SuppressReplays { from })
+            }
+            Some("force-safe-stores") => Ok(Sabotage::ForceSafeStores),
+            _ => Err(format!("unknown sabotage `{s}`")),
+        }
+    }
+}
+
+/// Wraps a real policy and injects one [`Sabotage`]. Everything else is
+/// delegated verbatim, including `audit_self` — the planted bug corrupts
+/// behaviour, not the inner policy's bookkeeping.
+struct SabotagedPolicy {
+    inner: Box<dyn MemDepPolicy>,
+    mode: Sabotage,
+    replays_seen: u32,
+}
+
+impl SabotagedPolicy {
+    fn new(inner: Box<dyn MemDepPolicy>, mode: Sabotage) -> SabotagedPolicy {
+        SabotagedPolicy {
+            inner,
+            mode,
+            replays_seen: 0,
+        }
+    }
+}
+
+impl MemDepPolicy for SabotagedPolicy {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn needs_associative_lq(&self) -> bool {
+        self.inner.needs_associative_lq()
+    }
+
+    fn on_load_issue(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        safe: bool,
+        lq: &mut LoadQueue,
+    ) -> Option<Age> {
+        self.inner.on_load_issue(ctx, age, span, safe, lq)
+    }
+
+    fn on_store_resolve(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        age: Age,
+        span: MemSpan,
+        lq: &LoadQueue,
+    ) -> StoreResolution {
+        let real = self.inner.on_store_resolve(ctx, age, span, lq);
+        match self.mode {
+            Sabotage::ForceSafeStores => StoreResolution {
+                safe: true,
+                replay_from: None,
+            },
+            Sabotage::SuppressReplays { .. } => real,
+        }
+    }
+
+    fn on_commit(&mut self, ctx: &mut PolicyCtx<'_>, info: &CommitInfo) -> CheckOutcome {
+        let real = self.inner.on_commit(ctx, info);
+        if let (CheckOutcome::Replay, Sabotage::SuppressReplays { from }) = (real, self.mode) {
+            let idx = self.replays_seen;
+            self.replays_seen += 1;
+            if idx >= from {
+                return CheckOutcome::Ok;
+            }
+        }
+        real
+    }
+
+    fn on_squash(&mut self, ctx: &mut PolicyCtx<'_>, youngest_surviving: Age) {
+        self.inner.on_squash(ctx, youngest_surviving);
+    }
+
+    fn on_invalidation(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        line_addr: Addr,
+        line_bytes: u64,
+        lq: &mut LoadQueue,
+    ) -> Option<Age> {
+        self.inner.on_invalidation(ctx, line_addr, line_bytes, lq)
+    }
+
+    fn on_cycle(&mut self, ctx: &mut PolicyCtx<'_>) {
+        self.inner.on_cycle(ctx);
+    }
+
+    fn has_cycle_hook(&self) -> bool {
+        self.inner.has_cycle_hook()
+    }
+
+    fn audit_self(&self, lq: &LoadQueue) -> Option<String> {
+        self.inner.audit_self(lq)
+    }
+
+    fn on_idle_cycles(&mut self, ctx: &mut PolicyCtx<'_>, n: u64) {
+        self.inner.on_idle_cycles(ctx, n);
+    }
+}
+
+/// How one fuzz case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzFailure {
+    /// Failure class: an [`AuditKind`] label, or the synthetic classes
+    /// `panic` / `state-divergence`. Shrinking preserves this label.
+    pub kind: String,
+    /// Human-readable specifics (the audit report, panic message, or
+    /// checksum pair).
+    pub detail: String,
+}
+
+/// Fuzzer parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Stream seed; `--seed N` is fully deterministic.
+    pub seed: u64,
+    /// Kernels to generate (each runs once per policy).
+    pub budget: u64,
+    /// Policies to torture.
+    pub policies: Vec<PolicyKind>,
+    /// Machine configuration token: "1", "2" or "3".
+    pub config: String,
+    /// Planted bug, if any.
+    pub sabotage: Option<Sabotage>,
+    /// Where `<seed>.repro` files land.
+    pub out_dir: PathBuf,
+}
+
+impl FuzzOptions {
+    /// Defaults: 100 kernels over the policies with distinct enforcement
+    /// paths (resolve-time CAM, YLA filter, commit-time table global and
+    /// local, associative checking queue) on config 2, no sabotage.
+    pub fn new(seed: u64) -> FuzzOptions {
+        FuzzOptions {
+            seed,
+            budget: 100,
+            policies: vec![
+                PolicyKind::Baseline,
+                PolicyKind::Yla {
+                    regs: 4,
+                    line_interleaved: false,
+                },
+                PolicyKind::DmdcGlobal,
+                PolicyKind::DmdcLocal,
+                PolicyKind::CheckingQueue { entries: 16 },
+            ],
+            config: "2".to_string(),
+            sabotage: None,
+            out_dir: PathBuf::from("target/dmdc-fuzz"),
+        }
+    }
+}
+
+/// Result of a [`fuzz`] run.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Policy × kernel cases executed (excluding shrink probes).
+    pub cases: u64,
+    /// The first failure, already shrunk, or `None` if the budget ran dry.
+    pub failure: Option<Repro>,
+    /// Where the repro was written, when there was one and `out_dir` was
+    /// writable.
+    pub repro_path: Option<PathBuf>,
+}
+
+fn config_from_token(token: &str) -> Result<CoreConfig, String> {
+    match token {
+        "1" | "config1" => Ok(CoreConfig::config1()),
+        "2" | "config2" => Ok(CoreConfig::config2()),
+        "3" | "config3" => Ok(CoreConfig::config3()),
+        other => Err(format!("unknown config `{other}` (expected 1, 2 or 3)")),
+    }
+}
+
+/// Runs one kernel under one (possibly sabotaged) policy with the auditor
+/// on, returning how it failed — or `None` when the case is clean.
+fn run_case(
+    kernel: &FuzzKernel,
+    policy_kind: &PolicyKind,
+    config: &CoreConfig,
+    sabotage: Option<Sabotage>,
+) -> Option<FuzzFailure> {
+    let workload = kernel.build();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        let real = policy_kind.build(config);
+        let policy: Box<dyn MemDepPolicy> = match sabotage {
+            Some(mode) => Box::new(SabotagedPolicy::new(real, mode)),
+            None => real,
+        };
+        let mut sim = Simulator::new(&workload.program, config.clone(), policy);
+        sim.run(SimOptions {
+            audit: true,
+            ..SimOptions::default()
+        })
+    }));
+    let result = match outcome {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return Some(FuzzFailure {
+                kind: AuditKind::Panic.label().to_string(),
+                detail: msg,
+            });
+        }
+        Ok(Err(e)) => {
+            return Some(FuzzFailure {
+                kind: AuditKind::Panic.label().to_string(),
+                detail: format!("simulation error: {e}"),
+            });
+        }
+        Ok(Ok(result)) => result,
+    };
+    if let Some(audit) = &result.audit {
+        if !audit.is_clean() {
+            let kind = audit.violations.first().map_or_else(
+                || AuditKind::Panic.label().to_string(),
+                |v| v.kind.label().to_string(),
+            );
+            return Some(FuzzFailure {
+                kind,
+                detail: audit.render(),
+            });
+        }
+    }
+    if result.halted {
+        let mut emu = Emulator::new(&workload.program);
+        if emu.run(u64::MAX).is_err() {
+            return Some(FuzzFailure {
+                kind: "state-divergence".to_string(),
+                detail: "kernel does not halt under the emulator".to_string(),
+            });
+        }
+        let expected = emu.state_checksum();
+        if expected != result.checksum {
+            return Some(FuzzFailure {
+                kind: "state-divergence".to_string(),
+                detail: format!(
+                    "architectural checksum {got:#x}, emulator {expected:#x}",
+                    got = result.checksum
+                ),
+            });
+        }
+    }
+    None
+}
+
+fn fails_same(
+    kernel: &FuzzKernel,
+    policy_kind: &PolicyKind,
+    config: &CoreConfig,
+    sabotage: Option<Sabotage>,
+    target_kind: &str,
+) -> bool {
+    run_case(kernel, policy_kind, config, sabotage).is_some_and(|f| f.kind == target_kind)
+}
+
+/// Delta-debugs `kernel` to a locally minimal one that still fails with
+/// `target_kind`: chunked op removal (halving chunk sizes), iteration
+/// reduction, then per-op operand simplification (`late`/`far`/`sub` off,
+/// width up to a full quad word).
+fn shrink(
+    mut kernel: FuzzKernel,
+    policy_kind: &PolicyKind,
+    config: &CoreConfig,
+    sabotage: Option<Sabotage>,
+    target_kind: &str,
+) -> FuzzKernel {
+    let keeps = |k: &FuzzKernel| fails_same(k, policy_kind, config, sabotage, target_kind);
+
+    let mut chunk = (kernel.ops.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < kernel.ops.len() && kernel.ops.len() > 1 {
+            let mut cand = kernel.clone();
+            let end = (i + chunk).min(cand.ops.len());
+            cand.ops.drain(i..end);
+            if !cand.ops.is_empty() && keeps(&cand) {
+                kernel = cand;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    for iters in [1, 2, 4, 8, 16, 32, 64] {
+        if iters >= kernel.iters {
+            break;
+        }
+        let cand = FuzzKernel {
+            ops: kernel.ops.clone(),
+            iters,
+        };
+        if keeps(&cand) {
+            kernel = cand;
+            break;
+        }
+    }
+
+    for i in 0..kernel.ops.len() {
+        let simplifications: Vec<FuzzOp> = match kernel.ops[i] {
+            FuzzOp::Store {
+                width,
+                slot,
+                sub,
+                late,
+                far,
+            } => vec![
+                FuzzOp::Store {
+                    width,
+                    slot,
+                    sub,
+                    late: false,
+                    far,
+                },
+                FuzzOp::Store {
+                    width,
+                    slot,
+                    sub,
+                    late,
+                    far: false,
+                },
+                FuzzOp::Store {
+                    width,
+                    slot,
+                    sub: false,
+                    late,
+                    far,
+                },
+                FuzzOp::Store {
+                    width: 8,
+                    slot,
+                    sub,
+                    late,
+                    far,
+                },
+            ],
+            FuzzOp::Load {
+                width,
+                slot,
+                sub,
+                far,
+            } => vec![
+                FuzzOp::Load {
+                    width,
+                    slot,
+                    sub,
+                    far: false,
+                },
+                FuzzOp::Load {
+                    width,
+                    slot,
+                    sub: false,
+                    far,
+                },
+                FuzzOp::Load {
+                    width: 8,
+                    slot,
+                    sub,
+                    far,
+                },
+            ],
+            FuzzOp::Branch { .. } | FuzzOp::Alu => vec![],
+        };
+        for simpler in simplifications {
+            if simpler == kernel.ops[i] {
+                continue;
+            }
+            let mut cand = kernel.clone();
+            cand.ops[i] = simpler;
+            if keeps(&cand) {
+                kernel = cand;
+            }
+        }
+    }
+    kernel
+}
+
+/// A self-contained, replayable failure record: the exact (shrunk) kernel,
+/// the policy and configuration it broke, the planted bug if any, and the
+/// failure class it must reproduce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repro {
+    /// Stream seed the failure came from.
+    pub seed: u64,
+    /// Kernel index within the stream.
+    pub index: u64,
+    /// Policy token ([`PolicyKind::token`]).
+    pub policy: String,
+    /// Config token ("1", "2", "3").
+    pub config: String,
+    /// Planted bug, if the run was sabotaged.
+    pub sabotage: Option<Sabotage>,
+    /// Failure class ([`FuzzFailure::kind`]).
+    pub kind: String,
+    /// The shrunk kernel.
+    pub kernel: FuzzKernel,
+}
+
+impl Repro {
+    /// Renders the repro file text (line-oriented; `#` comments).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# dmdc fuzz repro v1\n");
+        writeln!(out, "seed {}", self.seed).unwrap();
+        writeln!(out, "index {}", self.index).unwrap();
+        writeln!(out, "policy {}", self.policy).unwrap();
+        writeln!(out, "config {}", self.config).unwrap();
+        if let Some(s) = &self.sabotage {
+            writeln!(out, "sabotage {}", s.token()).unwrap();
+        }
+        writeln!(out, "failure {}", self.kind).unwrap();
+        writeln!(out, "iters {}", self.kernel.iters).unwrap();
+        for op in &self.kernel.ops {
+            writeln!(out, "op {}", op.token()).unwrap();
+        }
+        out
+    }
+
+    /// Parses [`Repro::render`] output.
+    pub fn parse(text: &str) -> Result<Repro, String> {
+        let mut repro = Repro {
+            seed: 0,
+            index: 0,
+            policy: String::new(),
+            config: "2".to_string(),
+            sabotage: None,
+            kind: String::new(),
+            kernel: FuzzKernel {
+                ops: Vec::new(),
+                iters: 1,
+            },
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or(format!("bad repro line `{line}`"))?;
+            match key {
+                "seed" => repro.seed = rest.parse().map_err(|_| format!("bad seed `{rest}`"))?,
+                "index" => {
+                    repro.index = rest.parse().map_err(|_| format!("bad index `{rest}`"))?;
+                }
+                "policy" => repro.policy = rest.to_string(),
+                "config" => repro.config = rest.to_string(),
+                "sabotage" => repro.sabotage = Some(Sabotage::parse_token(rest)?),
+                "failure" => repro.kind = rest.to_string(),
+                "iters" => {
+                    repro.kernel.iters = rest.parse().map_err(|_| format!("bad iters `{rest}`"))?;
+                }
+                "op" => repro.kernel.ops.push(FuzzOp::parse_token(rest)?),
+                other => return Err(format!("unknown repro key `{other}`")),
+            }
+        }
+        if repro.policy.is_empty() {
+            return Err("repro missing policy".to_string());
+        }
+        if repro.kernel.ops.is_empty() {
+            return Err("repro has no ops".to_string());
+        }
+        Ok(repro)
+    }
+
+    /// Re-runs the recorded case exactly; returns the failure it produced
+    /// now, if any (replay of a fixed bug comes back clean).
+    pub fn replay(&self) -> Result<Option<FuzzFailure>, String> {
+        let policy_kind = PolicyKind::parse_token(&self.policy)?;
+        let config = config_from_token(&self.config)?;
+        Ok(run_case(&self.kernel, &policy_kind, &config, self.sabotage))
+    }
+}
+
+/// Runs the fuzz loop: for each kernel index in `0..budget`, generate the
+/// kernel and run it under every policy in turn. On the first failure,
+/// shrink it, write `<out_dir>/<seed>.repro`, and stop.
+pub fn fuzz(opts: &FuzzOptions) -> Result<FuzzOutcome, String> {
+    let config = config_from_token(&opts.config)?;
+    let mut cases = 0u64;
+    for index in 0..opts.budget {
+        let kernel = FuzzKernel::generate(opts.seed, index);
+        for policy_kind in &opts.policies {
+            cases += 1;
+            let Some(failure) = run_case(&kernel, policy_kind, &config, opts.sabotage) else {
+                continue;
+            };
+            let shrunk = shrink(kernel, policy_kind, &config, opts.sabotage, &failure.kind);
+            let repro = Repro {
+                seed: opts.seed,
+                index,
+                policy: policy_kind.token(),
+                config: opts.config.clone(),
+                sabotage: opts.sabotage,
+                kind: failure.kind,
+                kernel: shrunk,
+            };
+            let repro_path = write_repro(&opts.out_dir, &repro);
+            return Ok(FuzzOutcome {
+                cases,
+                failure: Some(repro),
+                repro_path,
+            });
+        }
+    }
+    Ok(FuzzOutcome {
+        cases,
+        failure: None,
+        repro_path: None,
+    })
+}
+
+fn write_repro(out_dir: &Path, repro: &Repro) -> Option<PathBuf> {
+    fs::create_dir_all(out_dir).ok()?;
+    let path = out_dir.join(format!("{}.repro", repro.seed));
+    fs::write(&path, repro.render()).ok()?;
+    Some(path)
+}
+
+/// Loads and replays a repro file (CLI `dmdc fuzz --replay <path>`).
+pub fn replay_file(path: &Path) -> Result<(Repro, Option<FuzzFailure>), String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let repro = Repro::parse(&text)?;
+    let failure = repro.replay()?;
+    Ok((repro, failure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_sabotage_opts(seed: u64, budget: u64) -> FuzzOptions {
+        FuzzOptions {
+            budget,
+            out_dir: std::env::temp_dir().join(format!("dmdc-fuzz-test-{seed}")),
+            ..FuzzOptions::new(seed)
+        }
+    }
+
+    #[test]
+    fn real_policies_survive_a_small_budget() {
+        let outcome = fuzz(&no_sabotage_opts(11, 6)).unwrap();
+        assert!(
+            outcome.failure.is_none(),
+            "real policy failed the auditor:\n{}",
+            outcome.failure.unwrap().render()
+        );
+        assert_eq!(outcome.cases, 6 * 5);
+    }
+
+    #[test]
+    fn suppressed_replays_are_caught_and_shrunk() {
+        let mut opts = no_sabotage_opts(5, 40);
+        opts.policies = vec![PolicyKind::DmdcGlobal];
+        opts.sabotage = Some(Sabotage::SuppressReplays { from: 0 });
+        let outcome = fuzz(&opts).unwrap();
+        let repro = outcome.failure.expect("sabotaged policy must fail");
+        assert_eq!(repro.kind, AuditKind::MissedReplay.label());
+        assert!(
+            repro.kernel.ops.len() <= 8,
+            "shrunk to {} ops:\n{}",
+            repro.kernel.ops.len(),
+            repro.render()
+        );
+        // The written repro replays to the same failure class.
+        let path = outcome.repro_path.expect("repro written");
+        let (parsed, failure) = replay_file(&path).unwrap();
+        assert_eq!(parsed, repro);
+        assert_eq!(failure.expect("still fails").kind, repro.kind);
+        let _ = fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn repro_round_trips_through_text() {
+        let repro = Repro {
+            seed: 7,
+            index: 3,
+            policy: "dmdc-global".to_string(),
+            config: "2".to_string(),
+            sabotage: Some(Sabotage::SuppressReplays { from: 2 }),
+            kind: "missed-replay".to_string(),
+            kernel: FuzzKernel {
+                ops: vec![
+                    FuzzOp::Store {
+                        width: 4,
+                        slot: 3,
+                        sub: true,
+                        late: true,
+                        far: false,
+                    },
+                    FuzzOp::Load {
+                        width: 4,
+                        slot: 3,
+                        sub: true,
+                        far: false,
+                    },
+                ],
+                iters: 17,
+            },
+        };
+        assert_eq!(Repro::parse(&repro.render()), Ok(repro));
+        assert!(Repro::parse("seed 1\n").is_err(), "missing policy/ops");
+        assert!(Repro::parse("warble 1\npolicy x\nop alu\n").is_err());
+    }
+
+    #[test]
+    fn sabotage_tokens_round_trip() {
+        for s in [
+            Sabotage::SuppressReplays { from: 0 },
+            Sabotage::SuppressReplays { from: 9 },
+            Sabotage::ForceSafeStores,
+        ] {
+            assert_eq!(Sabotage::parse_token(&s.token()), Ok(s));
+        }
+        assert!(Sabotage::parse_token("melt-the-rob").is_err());
+    }
+}

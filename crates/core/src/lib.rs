@@ -42,6 +42,7 @@ pub mod cell;
 mod checking_queue;
 mod dmdc;
 pub mod experiments;
+pub mod fuzz;
 pub mod report;
 pub mod runner;
 mod yla;

@@ -113,6 +113,23 @@ impl YlaBank {
             }
         }
     }
+
+    /// Audit-mode conservativeness check (invariant 3 of `dmdc_ooo::audit`):
+    /// every issued in-flight load must be covered by its bank register —
+    /// `value_for(addr)` at least as young as the load. A register that
+    /// under-approximates would let a store between the two ages be
+    /// declared safe unsoundly. Returns the first uncovered load.
+    pub fn find_uncovered_load(&self, lq: &LoadQueue) -> Option<(Age, MemSpan)> {
+        for e in lq.iter() {
+            let Some(span) = e.span.filter(|_| e.issued) else {
+                continue;
+            };
+            if self.value_for(span.addr).is_older_than(e.age) {
+                return Some((e.age, span));
+            }
+        }
+        None
+    }
 }
 
 /// The YLA-filtered conventional design: an associative LQ whose searches
@@ -209,6 +226,14 @@ impl MemDepPolicy for YlaPolicy {
 
     fn on_squash(&mut self, _ctx: &mut PolicyCtx<'_>, youngest_surviving: Age) {
         self.bank.on_squash(youngest_surviving);
+    }
+
+    fn audit_self(&self, lq: &LoadQueue) -> Option<String> {
+        let (age, span) = self.bank.find_uncovered_load(lq)?;
+        Some(format!(
+            "YLA register under-approximates issued load age {} at {:#x}",
+            age.0, span.addr.0
+        ))
     }
 }
 

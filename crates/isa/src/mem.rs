@@ -416,6 +416,59 @@ mod tests {
     }
 
     #[test]
+    fn access_ending_exactly_at_page_boundary_stays_on_fast_path() {
+        // `off + bytes == PAGE_SIZE` is the fast path's edge: the access
+        // touches the page's final bytes but does not straddle.
+        let mut m = SparseMemory::new();
+        for size in [
+            AccessSize::B1,
+            AccessSize::B2,
+            AccessSize::B4,
+            AccessSize::B8,
+        ] {
+            let addr = Addr((5 << PAGE_SHIFT) - u64::from(size.bytes()));
+            let value = 0xF0E1_D2C3_B4A5_9687u64 & ((1u128 << (8 * size.bytes())) - 1) as u64;
+            m.write(addr, size, value);
+            assert_eq!(m.read(addr, size), value, "{size:?}");
+        }
+        assert_eq!(m.page_count(), 1, "boundary-ending accesses never spill");
+    }
+
+    #[test]
+    fn straddling_read_zero_fills_the_unmaterialized_page() {
+        let mut m = SparseMemory::new();
+        // Write only the first page's half of a straddling span; the tail
+        // falls on a page that never materializes and must read as zero.
+        let boundary = 7u64 << PAGE_SHIFT;
+        let addr = Addr(boundary - 2);
+        m.write(addr, AccessSize::B2, 0xBEEF);
+        assert_eq!(m.page_count(), 1);
+        assert_eq!(m.read(addr, AccessSize::B8), 0xBEEF);
+        assert_eq!(m.page_count(), 1, "straddling reads must not materialize");
+
+        // And the mirror image: only the second page exists.
+        let mut m = SparseMemory::new();
+        m.write(Addr(boundary), AccessSize::B2, 0xCAFE);
+        assert_eq!(m.read(addr, AccessSize::B4), 0xCAFE_0000);
+    }
+
+    #[test]
+    fn straddling_write_then_narrow_reads_on_both_sides() {
+        let mut m = SparseMemory::new();
+        let boundary = 9u64 << PAGE_SHIFT;
+        m.write(Addr(boundary - 4), AccessSize::B8, 0x1122_3344_5566_7788);
+        // Narrow fast-path reads on each side see their half.
+        assert_eq!(m.read(Addr(boundary - 4), AccessSize::B4), 0x5566_7788);
+        assert_eq!(m.read(Addr(boundary), AccessSize::B4), 0x1122_3344);
+        // Overwriting one side through the fast path updates the wide view.
+        m.write(Addr(boundary), AccessSize::B4, 0xAABB_CCDD);
+        assert_eq!(
+            m.read(Addr(boundary - 4), AccessSize::B8),
+            0xAABB_CCDD_5566_7788
+        );
+    }
+
+    #[test]
     fn last_page_cache_survives_alternating_pages() {
         let mut m = SparseMemory::new();
         // Ping-pong between two pages: every access flips the cache, and

@@ -1,0 +1,521 @@
+//! The invariant auditor: runtime checking of the simulator's and the
+//! policies' soundness claims (DESIGN.md §11).
+//!
+//! The paper's argument rests on a soundness claim — age-based filtering
+//! and delayed checking never *miss* a real memory-order violation, only
+//! occasionally replay spuriously (§3–§4). The auditor turns that claim
+//! (and the microarchitectural invariants beneath it) into executable
+//! checks performed while a run is in flight:
+//!
+//! 1. **Commit order** — ages strictly increase at commit.
+//! 2. **Queue shape** — ROB/LQ/SQ entries are age-sorted, every LSQ entry
+//!    has a matching ROB entry of the right class, and queue occupancy is
+//!    within the configured bounds.
+//! 3. **Safe stores** (paper §3) — a store declared *safe* by a YLA bank
+//!    has no younger issued overlapping load in the LQ. (YLA safety is a
+//!    per-bank statement; overlap-freedom is the policy-agnostic
+//!    consequence the core can verify directly.)
+//! 4. **Safe loads** (paper §4.2) — a load classified safe at issue is
+//!    never stale at commit. Spurious replays of safe loads are legal
+//!    (the `without_safe_loads` ablation forces them); committing a stale
+//!    safe value is not.
+//! 5. **No missed replays** (paper §4.4) — a stale load never commits.
+//!    With the auditor on, a policy that misses a replay produces a
+//!    [`AuditKind::MissedReplay`] violation and the core forces the
+//!    replay itself, so the run stays architecturally sound and every
+//!    miss is counted instead of aborting at the first one.
+//! 6. **Emulator lockstep** — every committed instruction is compared
+//!    against the in-order functional emulator: same PC stream, same
+//!    memory span, same value written/read (value-by-value oracle).
+//! 7. **Policy self-audit** — [`crate::MemDepPolicy::audit_self`] lets a
+//!    design check its private structures (e.g. DMDC's checking table
+//!    never drops an unsafe store inside an open window).
+//!
+//! The auditor is a pure observer with one exception (the forced replay
+//! of rule 5, which exists so mutant policies can be driven to completion
+//! under test). With [`crate::SimOptions::audit`] false — the default
+//! without the `audit` cargo feature — none of this code runs and the
+//! simulation output is byte-identical to an auditor-less build.
+
+use std::fmt;
+
+use dmdc_isa::{Emulator, Program};
+use dmdc_types::{Age, Cycle, MemSpan};
+
+/// Which invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditKind {
+    /// Commit ages did not strictly increase.
+    CommitOrder,
+    /// A queue (ROB/LQ/SQ) was not age-sorted or exceeded its bounds.
+    QueueShape,
+    /// An LQ/SQ entry had no matching ROB entry of the right class.
+    QueueRobSync,
+    /// A store declared safe while a younger issued overlapping load was
+    /// in flight.
+    SafeStoreYoungerLoad,
+    /// A load classified safe at issue was stale at commit.
+    StaleSafeLoad,
+    /// The policy let a stale load commit (the auditor forced the replay).
+    MissedReplay,
+    /// The committed PC stream diverged from the functional emulator.
+    LockstepPc,
+    /// A committed memory access's span or value diverged from the
+    /// functional emulator.
+    LockstepValue,
+    /// A policy's self-audit found its internal structures inconsistent.
+    PolicyState,
+    /// Final architectural state diverged from the oracle (used by the
+    /// fuzz harness, which checks checksums itself).
+    StateDivergence,
+    /// The simulator panicked (used by the fuzz harness).
+    Panic,
+}
+
+impl AuditKind {
+    /// Stable kebab-case label used in rendered reports and repro files.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditKind::CommitOrder => "commit-order",
+            AuditKind::QueueShape => "queue-shape",
+            AuditKind::QueueRobSync => "queue-rob-sync",
+            AuditKind::SafeStoreYoungerLoad => "safe-store-younger-load",
+            AuditKind::StaleSafeLoad => "stale-safe-load",
+            AuditKind::MissedReplay => "missed-replay",
+            AuditKind::LockstepPc => "lockstep-pc",
+            AuditKind::LockstepValue => "lockstep-value",
+            AuditKind::PolicyState => "policy-state",
+            AuditKind::StateDivergence => "state-divergence",
+            AuditKind::Panic => "panic",
+        }
+    }
+
+    /// Parses a [`AuditKind::label`] back.
+    pub fn parse_label(s: &str) -> Option<AuditKind> {
+        [
+            AuditKind::CommitOrder,
+            AuditKind::QueueShape,
+            AuditKind::QueueRobSync,
+            AuditKind::SafeStoreYoungerLoad,
+            AuditKind::StaleSafeLoad,
+            AuditKind::MissedReplay,
+            AuditKind::LockstepPc,
+            AuditKind::LockstepValue,
+            AuditKind::PolicyState,
+            AuditKind::StateDivergence,
+            AuditKind::Panic,
+        ]
+        .into_iter()
+        .find(|k| k.label() == s)
+    }
+}
+
+impl fmt::Display for AuditKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One broken invariant, with enough context to localize it: the cycle,
+/// the instruction's age and PC, the memory span (when one is involved)
+/// and the responsible policy.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_ooo::{AuditKind, AuditViolation};
+/// use dmdc_types::{AccessSize, Addr, Age, Cycle, MemSpan};
+///
+/// let v = AuditViolation {
+///     kind: AuditKind::MissedReplay,
+///     cycle: Cycle(120),
+///     age: Age(42),
+///     pc: 7,
+///     span: Some(MemSpan::new(Addr(0x300008), AccessSize::B4)),
+///     policy: "dmdc-global-1024".to_string(),
+///     detail: "stale value committed".to_string(),
+/// };
+/// assert_eq!(
+///     v.to_string(),
+///     "audit[missed-replay] cycle 120 age 42 pc 7 span 0x300008+4 \
+///      policy dmdc-global-1024: stale value committed"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditViolation {
+    /// The invariant that broke.
+    pub kind: AuditKind,
+    /// Cycle at which the check fired.
+    pub cycle: Cycle,
+    /// Age of the instruction involved (the committing/resolving one).
+    pub age: Age,
+    /// Its program counter.
+    pub pc: u32,
+    /// The memory span involved, if the invariant concerns an access.
+    pub span: Option<MemSpan>,
+    /// `name()` of the active policy.
+    pub policy: String,
+    /// Human-readable specifics (values, expected vs. got).
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "audit[{}] cycle {} age {} pc {} span ",
+            self.kind, self.cycle.0, self.age.0, self.pc
+        )?;
+        match self.span {
+            Some(s) => write!(f, "{:#x}+{}", s.addr.0, s.size.bytes())?,
+            None => f.write_str("-")?,
+        }
+        write!(f, " policy {}: {}", self.policy, self.detail)
+    }
+}
+
+/// Cap on collected violations; further ones are only counted. A broken
+/// invariant usually fires on every subsequent cycle, and the first few
+/// occurrences carry all the signal.
+const MAX_VIOLATIONS: usize = 32;
+
+/// The outcome of an audited run: every violation (up to
+/// [`MAX_VIOLATIONS`]), plus check/commit counters proving the auditor
+/// actually ran.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Violations in detection order (capped; see `dropped`).
+    pub violations: Vec<AuditViolation>,
+    /// Violations beyond the cap, counted but not kept.
+    pub dropped: u64,
+    /// Structural scans performed.
+    pub scans: u64,
+    /// Commits checked against the emulator.
+    pub commits: u64,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.dropped == 0
+    }
+
+    /// Total violations, including dropped ones.
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64 + self.dropped
+    }
+
+    /// Multi-line text rendering: a summary header, then one line per
+    /// kept violation.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "audit: {} violations over {} commits ({} structural scans)\n",
+            self.violation_count(),
+            self.commits,
+            self.scans
+        );
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... and {} more (capped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+/// The in-flight auditor: owns the lockstep emulator and the growing
+/// report. Driven by the simulator core at commit, issue and
+/// structural-scan points; see the module docs for the invariant list.
+pub(crate) struct Auditor<'p> {
+    emu: Emulator<'p>,
+    policy: String,
+    /// Cleared after the first PC divergence: once the streams disagree,
+    /// every later comparison is noise.
+    lockstep: bool,
+    last_age: Age,
+    report: AuditReport,
+}
+
+impl<'p> Auditor<'p> {
+    pub(crate) fn new(program: &'p Program, policy: String) -> Auditor<'p> {
+        Auditor {
+            emu: Emulator::new(program),
+            policy,
+            lockstep: true,
+            last_age: Age::OLDEST,
+            report: AuditReport::default(),
+        }
+    }
+
+    pub(crate) fn into_report(self) -> AuditReport {
+        self.report
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        kind: AuditKind,
+        cycle: Cycle,
+        age: Age,
+        pc: u32,
+        span: Option<MemSpan>,
+        detail: String,
+    ) {
+        if self.report.violations.len() >= MAX_VIOLATIONS {
+            self.report.dropped += 1;
+            return;
+        }
+        self.report.violations.push(AuditViolation {
+            kind,
+            cycle,
+            age,
+            pc,
+            span,
+            policy: self.policy.clone(),
+            detail,
+        });
+    }
+
+    pub(crate) fn note_scan(&mut self) {
+        self.report.scans += 1;
+    }
+
+    /// Audits one committed instruction: age monotonicity, then lockstep
+    /// against the emulator (PC, span, and — for memory operations — the
+    /// raw value the simulator committed vs. the emulator's architectural
+    /// memory after the same step).
+    pub(crate) fn check_commit(
+        &mut self,
+        cycle: Cycle,
+        age: Age,
+        pc: u32,
+        span: Option<MemSpan>,
+        mem_raw: Option<u64>,
+    ) {
+        self.report.commits += 1;
+        if !age.is_younger_than(self.last_age) && self.report.commits > 1 {
+            self.record(
+                AuditKind::CommitOrder,
+                cycle,
+                age,
+                pc,
+                span,
+                format!("commit age {} after {}", age.0, self.last_age.0),
+            );
+        }
+        self.last_age = age;
+        if !self.lockstep {
+            return;
+        }
+        let retired = match self.emu.step() {
+            Ok(r) => r,
+            Err(e) => {
+                self.lockstep = false;
+                self.record(
+                    AuditKind::LockstepPc,
+                    cycle,
+                    age,
+                    pc,
+                    span,
+                    format!("emulator error at commit: {e}"),
+                );
+                return;
+            }
+        };
+        if retired.pc != pc {
+            self.lockstep = false;
+            self.record(
+                AuditKind::LockstepPc,
+                cycle,
+                age,
+                pc,
+                span,
+                format!("emulator retired pc {}, core committed pc {pc}", retired.pc),
+            );
+            return;
+        }
+        if retired.mem != span {
+            self.record(
+                AuditKind::LockstepValue,
+                cycle,
+                age,
+                pc,
+                span,
+                format!("span mismatch: emulator {:?}, core {:?}", retired.mem, span),
+            );
+            return;
+        }
+        if let (Some(s), Some(raw)) = (span, mem_raw) {
+            // After the emulator's step, its memory holds the architectural
+            // bytes for this access — for a load (which does not write) and
+            // a store (which just did) alike.
+            let arch = self.emu.memory().read(s.addr, s.size);
+            if arch != raw {
+                self.record(
+                    AuditKind::LockstepValue,
+                    cycle,
+                    age,
+                    pc,
+                    span,
+                    format!("committed value {raw:#x}, architectural {arch:#x}"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_types::{AccessSize, Addr};
+
+    fn violation(kind: AuditKind, span: Option<MemSpan>) -> AuditViolation {
+        AuditViolation {
+            kind,
+            cycle: Cycle(1234),
+            age: Age(56),
+            pc: 78,
+            span,
+            policy: "dmdc-global-1024".to_string(),
+            detail: "something broke".to_string(),
+        }
+    }
+
+    #[test]
+    fn violation_renders_with_span() {
+        let v = violation(
+            AuditKind::MissedReplay,
+            Some(MemSpan::new(Addr(0x300008), AccessSize::B4)),
+        );
+        assert_eq!(
+            v.to_string(),
+            "audit[missed-replay] cycle 1234 age 56 pc 78 span 0x300008+4 \
+             policy dmdc-global-1024: something broke"
+        );
+    }
+
+    #[test]
+    fn violation_renders_without_span() {
+        let v = violation(AuditKind::CommitOrder, None);
+        assert_eq!(
+            v.to_string(),
+            "audit[commit-order] cycle 1234 age 56 pc 78 span - \
+             policy dmdc-global-1024: something broke"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [
+            AuditKind::CommitOrder,
+            AuditKind::QueueShape,
+            AuditKind::QueueRobSync,
+            AuditKind::SafeStoreYoungerLoad,
+            AuditKind::StaleSafeLoad,
+            AuditKind::MissedReplay,
+            AuditKind::LockstepPc,
+            AuditKind::LockstepValue,
+            AuditKind::PolicyState,
+            AuditKind::StateDivergence,
+            AuditKind::Panic,
+        ] {
+            assert_eq!(AuditKind::parse_label(kind.label()), Some(kind));
+        }
+        assert_eq!(AuditKind::parse_label("nonsense"), None);
+    }
+
+    #[test]
+    fn report_renders_summary_and_caps() {
+        let mut r = AuditReport {
+            commits: 1000,
+            scans: 500,
+            ..AuditReport::default()
+        };
+        assert!(r.is_clean());
+        r.violations.push(violation(AuditKind::StaleSafeLoad, None));
+        r.dropped = 2;
+        assert!(!r.is_clean());
+        assert_eq!(r.violation_count(), 3);
+        let text = r.render();
+        assert!(text.starts_with("audit: 3 violations over 1000 commits (500 structural scans)\n"));
+        assert!(text.contains("audit[stale-safe-load]"));
+        assert!(text.contains("... and 2 more (capped)"));
+    }
+
+    #[test]
+    fn auditor_caps_collection() {
+        let program = dmdc_isa::Assembler::new().assemble("halt").unwrap();
+        let mut a = Auditor::new(&program, "p".to_string());
+        for i in 0..40 {
+            a.record(
+                AuditKind::QueueShape,
+                Cycle(i),
+                Age(i),
+                0,
+                None,
+                "x".to_string(),
+            );
+        }
+        let r = a.into_report();
+        assert_eq!(r.violations.len(), MAX_VIOLATIONS);
+        assert_eq!(r.dropped, 8);
+    }
+
+    #[test]
+    fn lockstep_tracks_a_simple_program() {
+        let program = dmdc_isa::Assembler::new()
+            .assemble(
+                "li x1, 5
+                 li x2, 0x1000
+                 sd x1, 0(x2)
+                 ld x3, 0(x2)
+                 halt",
+            )
+            .unwrap();
+        let mut a = Auditor::new(&program, "test".to_string());
+        let span = MemSpan::new(Addr(0x1000), AccessSize::B8);
+        a.check_commit(Cycle(1), Age(1), 0, None, None);
+        a.check_commit(Cycle(2), Age(2), 1, None, None);
+        a.check_commit(Cycle(3), Age(3), 2, Some(span), Some(5));
+        a.check_commit(Cycle(4), Age(4), 3, Some(span), Some(5));
+        a.check_commit(Cycle(5), Age(5), 4, None, None);
+        assert!(a.into_report().is_clean());
+    }
+
+    #[test]
+    fn lockstep_flags_wrong_value_and_wrong_pc() {
+        let program = dmdc_isa::Assembler::new()
+            .assemble(
+                "li x1, 5
+                 li x2, 0x1000
+                 sd x1, 0(x2)
+                 halt",
+            )
+            .unwrap();
+        let mut a = Auditor::new(&program, "test".to_string());
+        let span = MemSpan::new(Addr(0x1000), AccessSize::B8);
+        a.check_commit(Cycle(1), Age(1), 0, None, None);
+        a.check_commit(Cycle(2), Age(2), 1, None, None);
+        // Wrong committed store value.
+        a.check_commit(Cycle(3), Age(3), 2, Some(span), Some(6));
+        // Wrong PC: desynchronizes and stops further lockstep checks.
+        a.check_commit(Cycle(4), Age(4), 9, None, None);
+        a.check_commit(Cycle(5), Age(5), 10, None, None);
+        let r = a.into_report();
+        let kinds: Vec<AuditKind> = r.violations.iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, vec![AuditKind::LockstepValue, AuditKind::LockstepPc]);
+    }
+
+    #[test]
+    fn commit_order_violation_detected() {
+        let program = dmdc_isa::Assembler::new()
+            .assemble("addi x1, x1, 1\naddi x1, x1, 1\nhalt")
+            .unwrap();
+        let mut a = Auditor::new(&program, "test".to_string());
+        a.check_commit(Cycle(1), Age(5), 0, None, None);
+        a.check_commit(Cycle(2), Age(5), 1, None, None);
+        let r = a.into_report();
+        assert_eq!(r.violations[0].kind, AuditKind::CommitOrder);
+    }
+}

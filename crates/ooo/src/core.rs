@@ -15,6 +15,7 @@ use std::fmt;
 use dmdc_isa::{arch_checksum, ArchReg, Inst, InstClass, Program, SparseMemory};
 use dmdc_types::{AccessSize, Addr, Age, Cycle, MemSpan, SplitMix64};
 
+use crate::audit::{AuditKind, AuditReport, Auditor};
 use crate::bpred::{BranchPredictor, Btb, HistorySnapshot};
 use crate::cache::MemoryHierarchy;
 use crate::config::CoreConfig;
@@ -51,6 +52,13 @@ pub struct SimOptions {
     /// Collect a per-stage wall-clock/activity breakdown of the run
     /// (returned in [`SimResult::profile`]).
     pub profile: bool,
+    /// Run the invariant auditor (see [`crate::audit`]) alongside the
+    /// simulation and return its [`AuditReport`] in
+    /// [`SimResult::audit`]. Defaults to `false` — or to `true` when the
+    /// crate is built with the `audit` cargo feature, which audits every
+    /// run in the whole test suite. When `false`, no auditor code runs
+    /// and the simulation output is byte-identical to a build without it.
+    pub audit: bool,
 }
 
 impl Default for SimOptions {
@@ -64,6 +72,7 @@ impl Default for SimOptions {
             collect_commit_log: false,
             event_skipping: true,
             profile: false,
+            audit: cfg!(feature = "audit"),
         }
     }
 }
@@ -115,6 +124,9 @@ pub struct SimResult {
     /// Per-stage breakdown of the run (`None` unless
     /// [`SimOptions::profile`] was set).
     pub profile: Option<SimProfile>,
+    /// Invariant-auditor report (`None` unless [`SimOptions::audit`] was
+    /// set).
+    pub audit: Option<AuditReport>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -239,6 +251,7 @@ pub struct Simulator<'p> {
     scratch_due: Vec<u64>,
     scratch_cands: Vec<Age>,
     prof: Option<Box<SimProfile>>,
+    audit: Option<Box<Auditor<'p>>>,
 }
 
 impl<'p> Simulator<'p> {
@@ -306,6 +319,7 @@ impl<'p> Simulator<'p> {
             scratch_due: Vec::new(),
             scratch_cands: Vec::new(),
             prof: None,
+            audit: None,
             config,
         }
     }
@@ -326,6 +340,9 @@ impl<'p> Simulator<'p> {
         self.trace = PipelineTrace::new(opts.trace_capacity);
         self.commit_log = opts.collect_commit_log.then(Vec::new);
         self.prof = opts.profile.then(Box::default);
+        self.audit = opts
+            .audit
+            .then(|| Box::new(Auditor::new(self.program, self.policy.name().to_string())));
         let inval_prob = opts.inval_per_kcycle / 1000.0;
         let has_hook = self.policy.has_cycle_hook();
         while !self.halted && !self.stopped_early {
@@ -355,6 +372,9 @@ impl<'p> Simulator<'p> {
                 break;
             }
             self.assert_no_deadlock();
+            if self.audit.is_some() {
+                self.audit_structures();
+            }
             if opts.event_skipping && !progress {
                 self.fast_forward(&opts, inval_prob, has_hook);
             }
@@ -374,6 +394,7 @@ impl<'p> Simulator<'p> {
             halted: self.halted,
             commit_log: self.commit_log.take().unwrap_or_default(),
             profile: self.prof.take().map(|p| *p),
+            audit: self.audit.take().map(|a| a.into_report()),
         })
     }
 
@@ -580,6 +601,7 @@ impl<'p> Simulator<'p> {
                     };
                     let outcome = self.policy_commit(&info);
                     assert_eq!(outcome, CheckOutcome::Ok, "policies must not replay stores");
+                    self.audit_commit(e.age, e.pc, Some(span), Some(raw));
                     self.sq.pop_head(e.age);
                     self.retire_entry(&e);
                     self.stats.stores += 1;
@@ -597,6 +619,19 @@ impl<'p> Simulator<'p> {
                     // the architecturally correct bytes: the replay oracle.
                     let expected = self.mem.read(span.addr, span.size);
                     let value_correct = expected == raw;
+                    if !value_correct && e.safe_load && self.audit.is_some() {
+                        // Invariant 4: safe classification promised all older
+                        // stores were resolved at issue, so the value was
+                        // final then — staleness here breaks the promise no
+                        // matter what the policy decides next.
+                        self.audit_record(
+                            AuditKind::StaleSafeLoad,
+                            e.age,
+                            e.pc,
+                            Some(span),
+                            format!("safe load got {raw:#x}, architectural {expected:#x}"),
+                        );
+                    }
                     let info = CommitInfo {
                         age: e.age,
                         kind: CommitKind::Load,
@@ -611,15 +646,37 @@ impl<'p> Simulator<'p> {
                             break;
                         }
                         CheckOutcome::Ok => {
-                            assert!(
-                                value_correct,
-                                "policy `{}` committed a stale load: pc {} addr {} got {:#x} expected {:#x}",
-                                self.policy.name(),
-                                e.pc,
-                                span.addr,
-                                raw,
-                                expected
-                            );
+                            if !value_correct {
+                                if self.audit.is_some() {
+                                    // Invariant 5: count the missed replay,
+                                    // then force the replay ourselves so the
+                                    // run stays architecturally sound and
+                                    // later misses are counted too. No loop:
+                                    // the offending store has committed, so
+                                    // the re-issued load reads fresh memory.
+                                    self.audit_record(
+                                        AuditKind::MissedReplay,
+                                        e.age,
+                                        e.pc,
+                                        Some(span),
+                                        format!(
+                                            "policy committed stale load: got {raw:#x}, \
+                                             architectural {expected:#x}; replay forced"
+                                        ),
+                                    );
+                                    self.replay_squash(e.age);
+                                    break;
+                                }
+                                panic!(
+                                    "policy `{}` committed a stale load: pc {} addr {} got {:#x} expected {:#x}",
+                                    self.policy.name(),
+                                    e.pc,
+                                    span.addr,
+                                    raw,
+                                    expected
+                                );
+                            }
+                            self.audit_commit(e.age, e.pc, Some(span), Some(raw));
                             self.lq.pop_head(e.age);
                             self.retire_entry(&e);
                             self.stats.loads += 1;
@@ -641,6 +698,7 @@ impl<'p> Simulator<'p> {
                         issue_cycle: None,
                     };
                     self.policy_commit(&info);
+                    self.audit_commit(e.age, e.pc, None, None);
                     self.retire_entry(&e);
                 }
                 InstClass::Halt => {
@@ -654,6 +712,7 @@ impl<'p> Simulator<'p> {
                         issue_cycle: None,
                     };
                     self.policy_commit(&info);
+                    self.audit_commit(e.age, e.pc, None, None);
                     self.rob.pop_front();
                     self.note_commit(e.age, e.pc);
                     self.halted = true;
@@ -670,6 +729,7 @@ impl<'p> Simulator<'p> {
                         issue_cycle: None,
                     };
                     self.policy_commit(&info);
+                    self.audit_commit(e.age, e.pc, None, None);
                     self.retire_entry(&e);
                 }
             }
@@ -681,6 +741,134 @@ impl<'p> Simulator<'p> {
             }
         }
         did
+    }
+
+    // ----- auditing -------------------------------------------------------
+
+    /// Records one violation (no-op when the auditor is off).
+    fn audit_record(
+        &mut self,
+        kind: AuditKind,
+        age: Age,
+        pc: u32,
+        span: Option<MemSpan>,
+        detail: String,
+    ) {
+        let cycle = self.cycle;
+        if let Some(aud) = self.audit.as_deref_mut() {
+            aud.record(kind, cycle, age, pc, span, detail);
+        }
+    }
+
+    /// Audits one committed instruction: commit order plus emulator
+    /// lockstep (no-op when the auditor is off).
+    fn audit_commit(&mut self, age: Age, pc: u32, span: Option<MemSpan>, mem_raw: Option<u64>) {
+        let cycle = self.cycle;
+        if let Some(aud) = self.audit.as_deref_mut() {
+            aud.check_commit(cycle, age, pc, span, mem_raw);
+        }
+    }
+
+    /// One structural scan (audit invariants 2 and 7): a single merged
+    /// pass over the ROB with the LQ/SQ iterators advanced alongside in
+    /// age order, then the policy's self-audit. Called once per executed
+    /// (non-skipped) cycle; skipped cycles cannot change any structure.
+    fn audit_structures(&mut self) {
+        let Some(mut aud) = self.audit.take() else {
+            return;
+        };
+        aud.note_scan();
+        let cycle = self.cycle;
+        if self.rob.len() > self.config.rob_size as usize {
+            aud.record(
+                AuditKind::QueueShape,
+                cycle,
+                self.last_committed_age,
+                0,
+                None,
+                format!(
+                    "ROB holds {} > {} entries",
+                    self.rob.len(),
+                    self.config.rob_size
+                ),
+            );
+        }
+        let mut lq_it = self.lq.iter().peekable();
+        let mut sq_it = self.sq.iter().peekable();
+        let mut prev = self.last_committed_age;
+        for e in self.rob.iter() {
+            if !e.age.is_younger_than(prev) {
+                aud.record(
+                    AuditKind::QueueShape,
+                    cycle,
+                    e.age,
+                    e.pc,
+                    None,
+                    format!("ROB not age-sorted: {} after {}", e.age.0, prev.0),
+                );
+            }
+            prev = e.age;
+            if lq_it.peek().is_some_and(|l| l.age == e.age) {
+                let l = lq_it.next().expect("peeked");
+                if e.class != InstClass::Load {
+                    aud.record(
+                        AuditKind::QueueRobSync,
+                        cycle,
+                        e.age,
+                        e.pc,
+                        l.span,
+                        "LQ entry maps to a non-load ROB entry".to_string(),
+                    );
+                }
+            }
+            if sq_it.peek().is_some_and(|s| s.age == e.age) {
+                let s = sq_it.next().expect("peeked");
+                if e.class != InstClass::Store {
+                    aud.record(
+                        AuditKind::QueueRobSync,
+                        cycle,
+                        e.age,
+                        e.pc,
+                        s.span,
+                        "SQ entry maps to a non-store ROB entry".to_string(),
+                    );
+                }
+            }
+        }
+        // Leftover LSQ iterator entries are either out of age order (the
+        // merge above skipped them) or reference ages absent from the ROB;
+        // both break the LSQ ⊆ ROB, age-sorted invariant.
+        for l in lq_it {
+            aud.record(
+                AuditKind::QueueRobSync,
+                cycle,
+                l.age,
+                0,
+                l.span,
+                "LQ entry out of age order or without a ROB entry".to_string(),
+            );
+        }
+        for s in sq_it {
+            aud.record(
+                AuditKind::QueueRobSync,
+                cycle,
+                s.age,
+                0,
+                s.span,
+                "SQ entry out of age order or without a ROB entry".to_string(),
+            );
+        }
+        if let Some(msg) = self.policy.audit_self(&self.lq) {
+            aud.record(
+                AuditKind::PolicyState,
+                cycle,
+                self.last_committed_age,
+                0,
+                None,
+                msg,
+            );
+        }
+        self.audit = Some(aud);
     }
 
     fn policy_commit(&mut self, info: &CommitInfo) -> CheckOutcome {
@@ -1173,6 +1361,23 @@ impl<'p> Simulator<'p> {
             self.policy.on_store_resolve(&mut ctx, age, span, &self.lq)
         };
         self.sq.entry_mut(age).expect("store has an SQ entry").safe = resolution.safe;
+        if resolution.safe && self.audit.is_some() {
+            // Invariant 3: *safe* promises no younger issued overlapping
+            // load exists, wrong-path ones included (they update YLA too).
+            if let Some(young) = crate::baseline::search_lq_for_premature_loads(&self.lq, age, span)
+            {
+                self.audit_record(
+                    AuditKind::SafeStoreYoungerLoad,
+                    age,
+                    e.pc,
+                    Some(span),
+                    format!(
+                        "store declared safe over younger issued load age {}",
+                        young.0
+                    ),
+                );
+            }
+        }
         self.remove_iq(age);
         self.schedule(self.cycle.plus(1), age);
         self.trace.record(self.cycle, age, e.pc, Stage::Issue);

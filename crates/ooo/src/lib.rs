@@ -30,6 +30,7 @@
 //! assert_eq!(result.stats.stores, 1);
 //! ```
 
+pub mod audit;
 mod baseline;
 mod bpred;
 mod cache;
@@ -41,6 +42,7 @@ mod regs;
 mod stats;
 mod trace;
 
+pub use audit::{AuditKind, AuditReport, AuditViolation};
 pub use baseline::{search_lq_for_premature_loads, BaselinePolicy};
 pub use bpred::{BranchPredictor, Btb, HistorySnapshot};
 pub use cache::{Cache, MemoryHierarchy};

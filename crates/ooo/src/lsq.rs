@@ -407,6 +407,17 @@ pub trait MemDepPolicy {
         false
     }
 
+    /// Audit-mode self-check (see [`crate::audit`], invariant 7): returns
+    /// a description of the first internal inconsistency found — between
+    /// the policy's private structures themselves, or between them and the
+    /// core's load queue — or `None` when everything is coherent. Called
+    /// once per audited cycle, never on unaudited runs; implementations
+    /// should keep the clean path cheap. The default has nothing to check.
+    fn audit_self(&self, lq: &LoadQueue) -> Option<String> {
+        let _ = lq;
+        None
+    }
+
     /// Called in place of `n` consecutive [`MemDepPolicy::on_cycle`] calls
     /// when the simulator fast-forwards over the provably idle cycles
     /// `ctx.cycle + 1 ..= ctx.cycle + n`. No other hook fires anywhere in

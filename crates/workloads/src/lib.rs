@@ -42,7 +42,7 @@ mod synth;
 
 use dmdc_isa::Program;
 
-pub use synth::SyntheticKernel;
+pub use synth::{FuzzKernel, FuzzOp, SyntheticKernel};
 
 /// Which suite a workload belongs to (the paper reports INT/FP averages).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -6,7 +6,9 @@
 //! predictable branches are (wrong-path pollution of the YLA registers).
 //! [`SyntheticKernel`] exposes each as a knob.
 
-use dmdc_types::Addr;
+use std::fmt::Write as _;
+
+use dmdc_types::{Addr, SplitMix64};
 
 use crate::{build, Group, Workload};
 
@@ -159,6 +161,320 @@ impl SyntheticKernel {
     }
 }
 
+/// Base address of the fuzz kernel's data region.
+const FUZZ_BASE: u64 = 0x40_0000;
+
+/// Bytes in the fuzz data region (covers `far` accesses at +8 KiB).
+const FUZZ_DATA_BYTES: usize = 16 * 1024;
+
+/// Distance that maps to the *same* index of a 1024-entry checking table
+/// (1024 entries × 8-byte quad words) — `far` accesses provoke hashing
+/// conflicts without address overlap.
+const FAR_STRIDE: u64 = 8 * 1024;
+
+/// One operation of a [`FuzzKernel`] iteration body.
+///
+/// Memory operands are static (slot/sub/far decide the address), but the
+/// *data* flowing through them is the per-iteration LCG state, and `late`
+/// routes a store's address through a divide so it resolves long after
+/// younger loads issued — the premature-load scenario the paper's checking
+/// window exists for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzOp {
+    /// A store of the LCG state.
+    Store {
+        /// Access bytes: 1, 2, 4 or 8.
+        width: u8,
+        /// Quad-word slot (0..16) — a 128-byte hot region, heavy aliasing.
+        slot: u8,
+        /// Offset by `width` bytes within the quad word (sub-quad-word
+        /// bitmap discrimination; ignored for width 8).
+        sub: bool,
+        /// Route the address through a divide (resolves ~20 cycles late).
+        late: bool,
+        /// Add [`FAR_STRIDE`]: same checking-table index, disjoint address.
+        far: bool,
+    },
+    /// A load accumulated into the `x28` checksum.
+    Load {
+        /// Access bytes: 1, 2, 4 or 8.
+        width: u8,
+        /// Quad-word slot (0..16).
+        slot: u8,
+        /// Offset by `width` bytes within the quad word.
+        sub: bool,
+        /// Add [`FAR_STRIDE`].
+        far: bool,
+    },
+    /// A data-dependent branch skipping the next `skip` ops (clamped to
+    /// the ops remaining) about half the time, unpredictably.
+    Branch {
+        /// Ops to jump over when taken.
+        skip: u8,
+    },
+    /// Checksum-visible filler.
+    Alu,
+}
+
+impl FuzzOp {
+    fn offset(width: u8, slot: u8, sub: bool, far: bool) -> u64 {
+        let mut off = u64::from(slot) * 8;
+        if sub && width < 8 {
+            off += u64::from(width);
+        }
+        if far {
+            off += FAR_STRIDE;
+        }
+        off
+    }
+
+    /// One-line token form used in repro files; parsed back by
+    /// [`FuzzOp::parse_token`].
+    pub fn token(&self) -> String {
+        match *self {
+            FuzzOp::Store {
+                width,
+                slot,
+                sub,
+                late,
+                far,
+            } => {
+                let mut s = format!("store w={width} slot={slot}");
+                if sub {
+                    s.push_str(" sub");
+                }
+                if late {
+                    s.push_str(" late");
+                }
+                if far {
+                    s.push_str(" far");
+                }
+                s
+            }
+            FuzzOp::Load {
+                width,
+                slot,
+                sub,
+                far,
+            } => {
+                let mut s = format!("load w={width} slot={slot}");
+                if sub {
+                    s.push_str(" sub");
+                }
+                if far {
+                    s.push_str(" far");
+                }
+                s
+            }
+            FuzzOp::Branch { skip } => format!("branch skip={skip}"),
+            FuzzOp::Alu => "alu".to_string(),
+        }
+    }
+
+    /// Parses a [`FuzzOp::token`] line.
+    pub fn parse_token(line: &str) -> Result<FuzzOp, String> {
+        let mut words = line.split_whitespace();
+        let head = words.next().ok_or("empty fuzz op")?;
+        let mut width = 8u8;
+        let mut slot = 0u8;
+        let mut skip = 1u8;
+        let (mut sub, mut late, mut far) = (false, false, false);
+        for w in words {
+            if let Some(v) = w.strip_prefix("w=") {
+                width = v.parse().map_err(|_| format!("bad width in `{line}`"))?;
+            } else if let Some(v) = w.strip_prefix("slot=") {
+                slot = v.parse().map_err(|_| format!("bad slot in `{line}`"))?;
+            } else if let Some(v) = w.strip_prefix("skip=") {
+                skip = v.parse().map_err(|_| format!("bad skip in `{line}`"))?;
+            } else {
+                match w {
+                    "sub" => sub = true,
+                    "late" => late = true,
+                    "far" => far = true,
+                    other => return Err(format!("unknown fuzz-op flag `{other}`")),
+                }
+            }
+        }
+        match head {
+            "store" => Ok(FuzzOp::Store {
+                width,
+                slot,
+                sub,
+                late,
+                far,
+            }),
+            "load" => Ok(FuzzOp::Load {
+                width,
+                slot,
+                sub,
+                far,
+            }),
+            "branch" => Ok(FuzzOp::Branch { skip }),
+            "alu" => Ok(FuzzOp::Alu),
+            other => Err(format!("unknown fuzz op `{other}`")),
+        }
+    }
+}
+
+/// A seeded random torture kernel for the differential fuzzer: a short
+/// loop whose body is a random mix of aliasing-heavy stores and loads
+/// (mixed widths, late-resolving addresses, hash-conflicting `far`
+/// accesses) and unpredictable branches. Same `(seed, index)` → same
+/// kernel, bit for bit.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_workloads::FuzzKernel;
+/// use dmdc_isa::Emulator;
+///
+/// let k = FuzzKernel::generate(1, 0);
+/// assert_eq!(k, FuzzKernel::generate(1, 0), "deterministic");
+/// let workload = k.build();
+/// let mut emu = Emulator::new(&workload.program);
+/// emu.run(10_000_000).expect("fuzz kernels halt");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzKernel {
+    /// The iteration body.
+    pub ops: Vec<FuzzOp>,
+    /// Loop iterations.
+    pub iters: u32,
+}
+
+impl FuzzKernel {
+    /// Generates kernel number `index` of the stream seeded `seed`.
+    pub fn generate(seed: u64, index: u64) -> FuzzKernel {
+        let mut rng = SplitMix64::new(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let nops = 6 + rng.next_below(11) as usize;
+        let iters = 40 + rng.next_below(81) as u32;
+        let widths = [1u8, 2, 4, 8];
+        let ops = (0..nops)
+            .map(|_| match rng.next_below(100) {
+                0..=39 => FuzzOp::Store {
+                    width: widths[rng.next_below(4) as usize],
+                    slot: rng.next_below(16) as u8,
+                    sub: rng.next_below(2) == 1,
+                    late: rng.next_below(100) < 35,
+                    far: rng.next_below(100) < 15,
+                },
+                40..=79 => FuzzOp::Load {
+                    width: widths[rng.next_below(4) as usize],
+                    slot: rng.next_below(16) as u8,
+                    sub: rng.next_below(2) == 1,
+                    far: rng.next_below(100) < 15,
+                },
+                80..=89 => FuzzOp::Branch {
+                    skip: 1 + rng.next_below(3) as u8,
+                },
+                _ => FuzzOp::Alu,
+            })
+            .collect();
+        FuzzKernel { ops, iters }
+    }
+
+    /// Renders the kernel's assembly source.
+    pub fn asm(&self) -> String {
+        let mut body = String::new();
+        // (ops until the label, label id) for in-flight branch skips.
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            match *op {
+                FuzzOp::Store {
+                    width,
+                    slot,
+                    sub,
+                    late,
+                    far,
+                } => {
+                    let addr = FUZZ_BASE + FuzzOp::offset(width, slot, sub, far);
+                    writeln!(body, "    li   x9, {addr:#x}").unwrap();
+                    if late {
+                        writeln!(body, "    li   x15, 97").unwrap();
+                        writeln!(body, "    div  x16, x5, x15").unwrap();
+                        writeln!(body, "    muli x16, x16, 0").unwrap();
+                        writeln!(body, "    add  x9, x9, x16").unwrap();
+                    }
+                    let mn = match width {
+                        1 => "sb",
+                        2 => "sh",
+                        4 => "sw",
+                        _ => "sd",
+                    };
+                    writeln!(body, "    {mn}   x5, 0(x9)").unwrap();
+                }
+                FuzzOp::Load {
+                    width,
+                    slot,
+                    sub,
+                    far,
+                } => {
+                    let addr = FUZZ_BASE + FuzzOp::offset(width, slot, sub, far);
+                    let mn = match width {
+                        1 => "lbu",
+                        2 => "lhu",
+                        4 => "lwu",
+                        _ => "ld",
+                    };
+                    writeln!(body, "    li   x9, {addr:#x}").unwrap();
+                    writeln!(body, "    {mn}  x2, 0(x9)").unwrap();
+                    writeln!(body, "    add  x28, x28, x2").unwrap();
+                }
+                FuzzOp::Branch { skip } => {
+                    let skip = (skip as usize).min(self.ops.len() - 1 - i);
+                    if skip > 0 {
+                        writeln!(body, "    srli x16, x5, 23").unwrap();
+                        writeln!(body, "    andi x16, x16, 1").unwrap();
+                        writeln!(body, "    srli x17, x5, 37").unwrap();
+                        writeln!(body, "    andi x17, x17, 1").unwrap();
+                        writeln!(body, "    bne  x16, x17, fz_{i}").unwrap();
+                        pending.push((skip, i));
+                    }
+                }
+                FuzzOp::Alu => {
+                    writeln!(body, "    addi x28, x28, {}", i + 1).unwrap();
+                }
+            }
+            for p in &mut pending {
+                p.0 -= 1;
+            }
+            for &(_, label) in pending.iter().filter(|p| p.0 == 0) {
+                writeln!(body, "fz_{label}:").unwrap();
+            }
+            pending.retain(|p| p.0 > 0);
+        }
+        for &(_, label) in &pending {
+            writeln!(body, "fz_{label}:").unwrap();
+        }
+        format!(
+            "    li   x11, {iters}
+    li   x5, 362436069
+    li   x6, 1103515245
+    li   x7, 0
+    li   x28, 0
+loop:
+    mul  x5, x5, x6
+    addi x5, x5, 12345
+{body}    addi x7, x7, 1
+    blt  x7, x11, loop
+    halt",
+            iters = self.iters,
+        )
+    }
+
+    /// Assembles the kernel into a runnable [`Workload`].
+    pub fn build(&self) -> Workload {
+        let w = build("fuzz", Group::Int, &self.asm());
+        Workload {
+            name: w.name,
+            group: w.group,
+            program: w
+                .program
+                .with_data(Addr(FUZZ_BASE), vec![0u8; FUZZ_DATA_BYTES]),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +544,52 @@ mod tests {
         es.run(1_000_000).unwrap();
         assert_eq!(ef.int_reg(28), es.int_reg(28));
         assert_eq!(ef.memory().checksum(), es.memory().checksum());
+    }
+
+    #[test]
+    fn fuzz_kernels_deterministic_per_seed() {
+        for index in 0..8 {
+            let a = FuzzKernel::generate(1234, index);
+            let b = FuzzKernel::generate(1234, index);
+            assert_eq!(a, b);
+            assert_eq!(a.asm(), b.asm());
+        }
+        assert_ne!(FuzzKernel::generate(1234, 0), FuzzKernel::generate(1235, 0));
+    }
+
+    #[test]
+    fn fuzz_kernels_assemble_and_halt() {
+        for index in 0..16 {
+            let k = FuzzKernel::generate(7, index);
+            let w = k.build();
+            let mut emu = Emulator::new(&w.program);
+            emu.run(10_000_000)
+                .unwrap_or_else(|e| panic!("kernel {index} did not halt: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn fuzz_op_token_round_trip() {
+        for index in 0..32 {
+            for op in FuzzKernel::generate(99, index).ops {
+                let line = op.token();
+                assert_eq!(FuzzOp::parse_token(&line), Ok(op), "token `{line}`");
+            }
+        }
+        assert!(FuzzOp::parse_token("teleport w=8").is_err());
+        assert!(FuzzOp::parse_token("store w=banana").is_err());
+    }
+
+    #[test]
+    fn fuzz_branch_skips_clamp_at_tail() {
+        // A branch as the final op has nothing to skip; the kernel must
+        // still assemble (no dangling label) and halt.
+        let k = FuzzKernel {
+            ops: vec![FuzzOp::Alu, FuzzOp::Branch { skip: 3 }],
+            iters: 5,
+        };
+        let w = k.build();
+        let mut emu = Emulator::new(&w.program);
+        emu.run(100_000).unwrap();
     }
 }

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use dmdc::core::cache::{default_cache_dir, CellCache};
 use dmdc::core::experiments::{self, PolicyKind};
+use dmdc::core::fuzz::{self, FuzzOptions};
 use dmdc::core::report::{fmt, OutputFormat, Report, Table};
 use dmdc::core::runner::{self, RunSpec};
 use dmdc::isa::{Assembler, Emulator};
@@ -53,6 +54,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("suite") => cmd_suite(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -70,6 +72,17 @@ USAGE:
   dmdc experiment <id|ablations|all> [--scale S] [--jobs N]
            [--format text|json|csv] [--no-cache] [--profile]
   dmdc asm <file.s>
+  dmdc fuzz [--seed N] [--budget N] [--policy <name>] [--config N]
+           [--out DIR]
+  dmdc fuzz --replay <file.repro>
+
+`dmdc fuzz` tortures the policies with seeded random kernels under the
+invariant auditor (differential against the in-order emulator). A run is
+fully determined by --seed. On failure the kernel is delta-debugged to a
+minimal reproducer written to <out>/<seed>.repro (default
+target/dmdc-fuzz/), which --replay re-executes exactly. --policy may be
+repeated or comma-separated; the default set covers each enforcement
+mechanism (baseline CAM, YLA filter, DMDC global/local, checking queue).
 
 `dmdc list` enumerates the experiment registry (fig2..fig5,
 table2..table6, the ablations). `all` runs every registry entry in
@@ -111,37 +124,7 @@ fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, Stri
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
-    Ok(match name {
-        "baseline" => PolicyKind::Baseline,
-        "baseline-coherent" => PolicyKind::BaselineCoherent,
-        "dmdc-global" | "dmdc" => PolicyKind::DmdcGlobal,
-        "dmdc-local" => PolicyKind::DmdcLocal,
-        "dmdc-coherent" => PolicyKind::DmdcCoherent,
-        "dmdc-no-safe-loads" => PolicyKind::DmdcNoSafeLoads,
-        other => {
-            if let Some(regs) = other.strip_prefix("yla-") {
-                let regs: u32 = regs
-                    .parse()
-                    .map_err(|_| format!("bad YLA count in `{other}`"))?;
-                PolicyKind::Yla {
-                    regs,
-                    line_interleaved: false,
-                }
-            } else if let Some(entries) = other.strip_prefix("bloom-") {
-                let entries: u32 = entries
-                    .parse()
-                    .map_err(|_| format!("bad bloom size in `{other}`"))?;
-                PolicyKind::Bloom { entries }
-            } else if let Some(entries) = other.strip_prefix("queue-") {
-                let entries: u32 = entries
-                    .parse()
-                    .map_err(|_| format!("bad queue size in `{other}`"))?;
-                PolicyKind::CheckingQueue { entries }
-            } else {
-                return Err(format!("unknown policy `{other}` (see `dmdc list`)"));
-            }
-        }
-    })
+    PolicyKind::parse_token(name)
 }
 
 fn parse_config(flags: &std::collections::HashMap<String, String>) -> Result<CoreConfig, String> {
@@ -385,6 +368,94 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `dmdc fuzz`: parses its own flags (unlike [`parse_flags`], `--policy`
+/// may repeat), then either replays a repro file or runs the fuzz loop.
+/// Exits nonzero whenever a failure is (still) reproducible, so CI can
+/// gate on it and upload the repro artifact.
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let mut opts = FuzzOptions::new(1);
+    let mut policies: Vec<PolicyKind> = Vec::new();
+    let mut replay_path: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{a}`"))?;
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+            _ => "true".to_string(),
+        };
+        match key {
+            "seed" => opts.seed = value.parse().map_err(|_| "bad --seed")?,
+            "budget" => opts.budget = value.parse().map_err(|_| "bad --budget")?,
+            "policy" => {
+                for tok in value.split(',') {
+                    policies.push(parse_policy(tok.trim())?);
+                }
+            }
+            "config" => match value.as_str() {
+                "1" | "2" | "3" => opts.config = value,
+                other => return Err(format!("unknown config `{other}` (1, 2 or 3)")),
+            },
+            "out" => opts.out_dir = std::path::PathBuf::from(value),
+            "replay" => replay_path = Some(value),
+            other => return Err(format!("unknown fuzz flag `--{other}`")),
+        }
+    }
+
+    if let Some(path) = replay_path {
+        let (repro, failure) = fuzz::replay_file(std::path::Path::new(&path))?;
+        println!(
+            "replaying {path}: {} ops x {} iters, policy {}, config {}",
+            repro.kernel.ops.len(),
+            repro.kernel.iters,
+            repro.policy,
+            repro.config
+        );
+        return match failure {
+            Some(f) => {
+                println!("reproduced [{}]:\n{}", f.kind, f.detail);
+                Err(format!("repro still fails with `{}`", f.kind))
+            }
+            None => {
+                println!("clean: the recorded `{}` no longer reproduces", repro.kind);
+                Ok(())
+            }
+        };
+    }
+
+    if !policies.is_empty() {
+        opts.policies = policies;
+    }
+    let outcome = fuzz::fuzz(&opts)?;
+    match outcome.failure {
+        Some(repro) => {
+            println!("{}", repro.render());
+            if let Some(p) = &outcome.repro_path {
+                println!("repro written to {}", p.display());
+            }
+            Err(format!(
+                "seed {} failed with `{}` after {} cases (kernel {} shrunk to {} ops)",
+                opts.seed,
+                repro.kind,
+                outcome.cases,
+                repro.index,
+                repro.kernel.ops.len()
+            ))
+        }
+        None => {
+            println!(
+                "fuzz: seed {}, {} cases clean ({} kernels x {} policies)",
+                opts.seed,
+                outcome.cases,
+                opts.budget,
+                opts.policies.len()
+            );
+            Ok(())
+        }
+    }
+}
+
 fn cmd_asm(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("asm needs a file path")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -465,5 +536,43 @@ mod tests {
     fn help_and_unknown_commands() {
         assert!(dispatch(&[]).is_ok());
         assert!(dispatch(&["bogus".to_string()]).is_err());
+        assert!(usage().contains("dmdc fuzz"), "help covers fuzz");
+        assert!(usage().contains("--replay"), "help covers replay");
+    }
+
+    fn fuzz_args(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn fuzz_flags_reject_garbage() {
+        assert!(cmd_fuzz(&fuzz_args(&["--seed", "banana"])).is_err());
+        assert!(cmd_fuzz(&fuzz_args(&["--budget", "-3"])).is_err());
+        assert!(cmd_fuzz(&fuzz_args(&["--config", "9"])).is_err());
+        assert!(cmd_fuzz(&fuzz_args(&["--policy", "nonsense"])).is_err());
+        assert!(cmd_fuzz(&fuzz_args(&["--warble"])).is_err());
+        assert!(cmd_fuzz(&fuzz_args(&["stray"])).is_err());
+        assert!(cmd_fuzz(&fuzz_args(&["--replay", "/no/such/file.repro"])).is_err());
+    }
+
+    #[test]
+    fn fuzz_small_clean_run_and_policy_lists() {
+        // Two kernels, two policies via both spellings of --policy; must
+        // come back clean (real policies under the auditor).
+        let out = std::env::temp_dir().join("dmdc-fuzz-cli-test");
+        assert!(cmd_fuzz(&fuzz_args(&[
+            "--seed",
+            "3",
+            "--budget",
+            "2",
+            "--policy",
+            "baseline,dmdc-global",
+            "--policy",
+            "dmdc-local",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .is_ok());
+        let _ = std::fs::remove_dir_all(&out);
     }
 }

@@ -1,0 +1,104 @@
+//! Golden snapshot for the invariant auditor's text rendering: violation
+//! lines and the report header are what `dmdc fuzz` prints and what repro
+//! files classify failures by, so their exact shape is pinned under
+//! `tests/golden/audit/report.txt`. Regenerate by deleting the file and
+//! re-running this test with `BLESS_AUDIT_GOLDEN=1`.
+
+use dmdc::ooo::{AuditKind, AuditReport, AuditViolation};
+use dmdc::types::{AccessSize, Addr, Age, Cycle, MemSpan};
+
+fn sample_report() -> AuditReport {
+    AuditReport {
+        violations: vec![
+            AuditViolation {
+                kind: AuditKind::MissedReplay,
+                cycle: Cycle(120),
+                age: Age(42),
+                pc: 7,
+                span: Some(MemSpan::new(Addr(0x30_0008), AccessSize::B4)),
+                policy: "dmdc-global-1024".to_string(),
+                detail: "stale value committed".to_string(),
+            },
+            AuditViolation {
+                kind: AuditKind::CommitOrder,
+                cycle: Cycle(7),
+                age: Age(3),
+                pc: 0,
+                span: None,
+                policy: "baseline".to_string(),
+                detail: "age #3 after age #9".to_string(),
+            },
+            AuditViolation {
+                kind: AuditKind::SafeStoreYoungerLoad,
+                cycle: Cycle(999_999),
+                age: Age(100),
+                pc: 64,
+                span: Some(MemSpan::new(Addr(0x40_2000), AccessSize::B8)),
+                policy: "dmdc-local-1024".to_string(),
+                detail: "store declared safe over younger issued load age 105".to_string(),
+            },
+        ],
+        dropped: 2,
+        scans: 55_000,
+        commits: 120_000,
+    }
+}
+
+#[test]
+fn audit_report_rendering_matches_golden() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("audit")
+        .join("report.txt");
+    let actual = sample_report().render();
+    if std::env::var_os("BLESS_AUDIT_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); re-run with BLESS_AUDIT_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "audit rendering drifted from {}",
+        path.display()
+    );
+}
+
+#[test]
+fn violation_line_shape_is_stable() {
+    // The exact single-line shape the fuzzer's failure details embed.
+    let v = &sample_report().violations[0];
+    assert_eq!(
+        v.to_string(),
+        "audit[missed-replay] cycle 120 age 42 pc 7 span 0x300008+4 \
+         policy dmdc-global-1024: stale value committed"
+    );
+    let spanless = &sample_report().violations[1];
+    assert!(spanless.to_string().contains(" span - "), "{spanless}");
+}
+
+#[test]
+fn kind_labels_round_trip() {
+    for kind in [
+        AuditKind::CommitOrder,
+        AuditKind::QueueShape,
+        AuditKind::QueueRobSync,
+        AuditKind::SafeStoreYoungerLoad,
+        AuditKind::StaleSafeLoad,
+        AuditKind::MissedReplay,
+        AuditKind::LockstepPc,
+        AuditKind::LockstepValue,
+        AuditKind::PolicyState,
+        AuditKind::StateDivergence,
+        AuditKind::Panic,
+    ] {
+        assert_eq!(AuditKind::parse_label(kind.label()), Some(kind));
+    }
+    assert_eq!(AuditKind::parse_label("warp-core-breach"), None);
+}

@@ -58,7 +58,11 @@ fn every_golden_snapshot_belongs_to_a_registry_experiment() {
         .join("golden");
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
     for entry in std::fs::read_dir(&golden_dir).expect("tests/golden missing") {
-        let name = entry.unwrap().file_name().into_string().unwrap();
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_dir() {
+            continue; // subdirectories hold non-experiment goldens (audit/)
+        }
+        let name = entry.file_name().into_string().unwrap();
         let id = name
             .strip_suffix(".txt")
             .unwrap_or_else(|| panic!("unexpected file `{name}` in tests/golden (want <id>.txt)"));

@@ -1,11 +1,28 @@
 //! Property-based end-to-end tests: random synthetic kernels, random
 //! machine geometries — the golden-state invariant and the filters'
 //! soundness must hold for all of them.
+//!
+//! Every property runs with [`SimOptions::audit`] on, so beyond the
+//! golden-state check each case is also screened by the invariant auditor
+//! (commit order, LSQ shape, safe-store/safe-load soundness, emulator
+//! lockstep); `run_workload` panics on any violation. The mutant tests at
+//! the bottom prove the auditor actually *can* fail: each plants a known
+//! bug through [`dmdc::core::fuzz::Sabotage`] and asserts it is caught
+//! and classified.
 
 use dmdc::core::experiments::{run_workload, PolicyKind};
-use dmdc::ooo::{CoreConfig, SimOptions};
+use dmdc::core::fuzz::{fuzz, FuzzOptions, Sabotage};
+use dmdc::ooo::{AuditKind, CoreConfig, SimOptions};
 use dmdc::workloads::SyntheticKernel;
 use proptest::prelude::*;
+
+/// Default options with the invariant auditor enabled.
+fn audited() -> SimOptions {
+    SimOptions {
+        audit: true,
+        ..SimOptions::default()
+    }
+}
 
 fn kernel_strategy() -> impl Strategy<Value = SyntheticKernel> {
     (
@@ -31,7 +48,7 @@ proptest! {
     fn dmdc_golden_state_holds_for_random_kernels(k in kernel_strategy()) {
         let w = k.build();
         // run_workload panics on state divergence.
-        run_workload(&w, &CoreConfig::config2(), &PolicyKind::DmdcGlobal, SimOptions::default());
+        run_workload(&w, &CoreConfig::config2(), &PolicyKind::DmdcGlobal, audited());
     }
 
     #[test]
@@ -39,14 +56,14 @@ proptest! {
         let w = k.build();
         let mut config = CoreConfig::config1();
         config.checking_table_entries = 32; // deliberate hash-conflict storm
-        run_workload(&w, &config, &PolicyKind::DmdcLocal, SimOptions::default());
+        run_workload(&w, &config, &PolicyKind::DmdcLocal, audited());
     }
 
     #[test]
     fn yla_timing_neutrality_holds_for_random_kernels(k in kernel_strategy()) {
         let w = k.build();
         let config = CoreConfig::config2();
-        let base = run_workload(&w, &config, &PolicyKind::Baseline, SimOptions::default());
+        let base = run_workload(&w, &config, &PolicyKind::Baseline, audited());
         let yla = run_workload(
             &w,
             &config,
@@ -75,7 +92,69 @@ proptest! {
         seed in 1u64..1000,
     ) {
         let w = k.build();
-        let opts = SimOptions { inval_per_kcycle: rate, inval_seed: seed, ..SimOptions::default() };
+        let opts = SimOptions { inval_per_kcycle: rate, inval_seed: seed, ..audited() };
         run_workload(&w, &CoreConfig::config2(), &PolicyKind::DmdcCoherent, opts);
     }
+}
+
+/// Known-bad-mutant options: torture only `policy`, with `sabotage`
+/// planted, writing repros to a throwaway directory.
+fn mutant_opts(seed: u64, policy: PolicyKind, sabotage: Sabotage) -> FuzzOptions {
+    FuzzOptions {
+        budget: 60,
+        policies: vec![policy],
+        sabotage: Some(sabotage),
+        out_dir: std::env::temp_dir().join(format!("dmdc-mutant-{seed}")),
+        ..FuzzOptions::new(seed)
+    }
+}
+
+/// Mutant: DMDC's commit-time `Replay` verdicts are suppressed — the
+/// checking table effectively drops its entries. The auditor must report
+/// a missed replay (invariant 6) instead of letting stale loads commit.
+#[test]
+fn auditor_catches_dmdc_dropping_replays() {
+    let opts = mutant_opts(
+        101,
+        PolicyKind::DmdcGlobal,
+        Sabotage::SuppressReplays { from: 0 },
+    );
+    let outcome = fuzz(&opts).unwrap();
+    let repro = outcome.failure.expect("mutant must be caught");
+    assert_eq!(repro.kind, AuditKind::MissedReplay.label());
+    let _ = std::fs::remove_dir_all(&opts.out_dir);
+}
+
+/// Mutant: the associative checking queue drops its replays too — same
+/// class of bug, different enforcement structure.
+#[test]
+fn auditor_catches_checking_queue_dropping_replays() {
+    let opts = mutant_opts(
+        102,
+        PolicyKind::CheckingQueue { entries: 16 },
+        Sabotage::SuppressReplays { from: 0 },
+    );
+    let outcome = fuzz(&opts).unwrap();
+    let repro = outcome.failure.expect("mutant must be caught");
+    assert_eq!(repro.kind, AuditKind::MissedReplay.label());
+    let _ = std::fs::remove_dir_all(&opts.out_dir);
+}
+
+/// Mutant: every resolving store is declared *safe* (and any replay it
+/// demanded is discarded), so DMDC never inserts into its checking
+/// table. Depending on timing the auditor flags the unsound
+/// classification itself (invariant 3) or the stale load it lets through
+/// (invariant 6) — either way it must fire.
+#[test]
+fn auditor_catches_forced_safe_stores() {
+    let opts = mutant_opts(103, PolicyKind::DmdcGlobal, Sabotage::ForceSafeStores);
+    let outcome = fuzz(&opts).unwrap();
+    let repro = outcome.failure.expect("mutant must be caught");
+    assert!(
+        repro.kind == AuditKind::SafeStoreYoungerLoad.label()
+            || repro.kind == AuditKind::MissedReplay.label(),
+        "unexpected failure class `{}`",
+        repro.kind
+    );
+    let _ = std::fs::remove_dir_all(&opts.out_dir);
 }
