@@ -24,12 +24,18 @@
 //!   [`SimOptions`](dmdc_ooo::SimOptions), which spells out every field
 //!   value; any config/policy/option change moves the key.
 //!
-//! Cells are stored one file per key (`<key>.cell`) in the versioned
-//! [`CellResult::to_record`] format; unreadable, truncated or
-//! schema-mismatched files degrade to misses. Writes go through a
-//! temporary file plus rename, so concurrent processes never observe a
-//! torn record. Hits skip both the simulation and its emulator-oracle
-//! verification — the cache stores only verified results.
+//! Cells are stored one file per key (`<key>.cell`), each wrapped in the
+//! checksummed [`seal`] envelope — a format-version header plus an fnv64
+//! content checksum — around the versioned [`CellResult::to_record`]
+//! body. Writes go through a temporary file plus rename, so concurrent
+//! processes never observe a torn record. On load the envelope is
+//! verified first: a truncated, bit-flipped, checksum-mismatched or
+//! version-mismatched file is **quarantined** to `quarantine/` under the
+//! cache root (never silently deserialized), recorded in the
+//! [recovery ledger](crate::recovery), counted in [`CacheCounters`], and
+//! the cell transparently regenerated. Hits skip both the simulation and
+//! its emulator-oracle verification — the cache stores only verified
+//! results.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,6 +44,7 @@ use dmdc_isa::encode;
 use dmdc_workloads::Workload;
 
 use crate::cell::CellResult;
+use crate::recovery::{self, RecoveryKind};
 
 /// Version tag of the dependence-policy implementations in this crate
 /// (DMDC, YLA, bloom, checking queue). Bump together with semantic
@@ -98,6 +105,111 @@ impl Default for Fnv64 {
     }
 }
 
+/// Format-version header line of the sealed on-disk envelope. Bumping the
+/// version invalidates (quarantines) every previously written file.
+const SEAL_MAGIC: &str = "dmdc-seal v1";
+
+/// Why a sealed record failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// No recognizable seal header (foreign or pre-integrity file).
+    Header,
+    /// Seal header present but with a different format version.
+    Version,
+    /// Body shorter or longer than the header declares (truncation).
+    Length,
+    /// fnv64 of the body disagrees with the header (bit rot).
+    Checksum,
+}
+
+impl IntegrityError {
+    /// Stable label used in quarantine records and test assertions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IntegrityError::Header => "bad-header",
+            IntegrityError::Version => "version-mismatch",
+            IntegrityError::Length => "truncated",
+            IntegrityError::Checksum => "checksum-mismatch",
+        }
+    }
+}
+
+/// Wraps `body` in the checksummed envelope persisted records use:
+///
+/// ```text
+/// dmdc-seal v1 <body-bytes> <fnv64-of-body, 16 hex digits>
+/// <body>
+/// ```
+pub fn seal(body: &str) -> String {
+    let mut h = Fnv64::new();
+    h.write(body.as_bytes());
+    format!("{SEAL_MAGIC} {} {:016x}\n{body}", body.len(), h.finish())
+}
+
+/// Verifies a [`seal`]ed envelope and returns the body. Every failure
+/// mode is classified so callers can report *why* a file was rejected.
+pub fn unseal(text: &str) -> Result<&str, IntegrityError> {
+    let (header, body) = text.split_once('\n').ok_or(IntegrityError::Header)?;
+    let rest = match header.strip_prefix(SEAL_MAGIC) {
+        Some(rest) => rest,
+        None => {
+            // Distinguish "other seal version" from "not a seal at all".
+            return Err(if header.starts_with("dmdc-seal ") {
+                IntegrityError::Version
+            } else {
+                IntegrityError::Header
+            });
+        }
+    };
+    let mut words = rest.split_whitespace();
+    let len: usize = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or(IntegrityError::Header)?;
+    let sum = words
+        .next()
+        .and_then(|w| u64::from_str_radix(w, 16).ok())
+        .ok_or(IntegrityError::Header)?;
+    if words.next().is_some() {
+        return Err(IntegrityError::Header);
+    }
+    if body.len() != len {
+        return Err(IntegrityError::Length);
+    }
+    let mut h = Fnv64::new();
+    h.write(body.as_bytes());
+    if h.finish() != sum {
+        return Err(IntegrityError::Checksum);
+    }
+    Ok(body)
+}
+
+/// Writes `body` to `path` sealed and atomically: the envelope goes to a
+/// sibling temporary file first and is renamed into place, so no reader
+/// (or crash) ever observes a torn record. Returns `false` on I/O errors
+/// (the temp file is cleaned up best-effort).
+pub fn write_sealed(path: &Path, body: &str, tmp_tag: u64) -> bool {
+    let Some(dir) = path.parent() else {
+        return false;
+    };
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    let tmp = dir.join(format!("{name}.tmp.{tmp_tag:x}"));
+    if std::fs::write(&tmp, seal(body)).is_ok() && std::fs::rename(&tmp, path).is_ok() {
+        true
+    } else {
+        let _ = std::fs::remove_file(&tmp);
+        false
+    }
+}
+
+/// A per-process tag making temporary file names unique across
+/// concurrent writers of the same key.
+pub(crate) fn tmp_tag(key: u64) -> u64 {
+    std::process::id() as u64 ^ key.rotate_left(32)
+}
+
 /// Content digest of a workload: name, group, entry point, encoded text
 /// and initial data segments. Two workloads digest equal iff the
 /// simulator would see identical programs under identical labels.
@@ -119,7 +231,7 @@ pub fn workload_digest(w: &Workload) -> u64 {
     h.finish()
 }
 
-/// Hit/miss/store counters of one [`CellCache`].
+/// Hit/miss/store/integrity counters of one [`CellCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Lookups served from disk (simulation skipped).
@@ -128,6 +240,12 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Freshly simulated cells persisted.
     pub stores: u64,
+    /// Entries that failed integrity or schema verification (each also
+    /// counts as a miss — the cell regenerates).
+    pub corrupt: u64,
+    /// Rejected entries successfully moved to `quarantine/` (the rest
+    /// were deleted when the move failed).
+    pub quarantined: u64,
 }
 
 /// A content-addressed, persistent store of verified [`CellResult`]s.
@@ -138,6 +256,8 @@ pub struct CellCache {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    corrupt: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl CellCache {
@@ -155,6 +275,8 @@ impl CellCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -176,14 +298,62 @@ impl CellCache {
         self.dir.join(format!("{key:016x}.cell"))
     }
 
-    /// Looks up a cell. `expected_workload` guards against the
-    /// astronomically unlikely key collision (and mislabeled files placed
-    /// by hand); a name mismatch is a miss.
+    /// Where rejected entries are preserved for post-mortem inspection.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Moves a rejected entry aside (best-effort: falls back to deleting
+    /// it so a broken file can never be consulted twice) and records the
+    /// rejection.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        let qdir = self.quarantine_dir();
+        let moved = std::fs::create_dir_all(&qdir).is_ok()
+            && path
+                .file_name()
+                .is_some_and(|name| std::fs::rename(path, qdir.join(name)).is_ok());
+        if moved {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(path);
+        }
+        recovery::record(
+            RecoveryKind::CacheQuarantined,
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string()),
+            reason,
+        );
+    }
+
+    /// Looks up a cell. The sealed envelope is verified before any
+    /// deserialization; corrupt, truncated, version-mismatched or stale
+    /// (schema/workload-mismatched) entries are quarantined and degrade
+    /// to misses, so the cell regenerates. `expected_workload` guards
+    /// against the astronomically unlikely key collision (and mislabeled
+    /// files placed by hand).
     pub fn load(&self, key: u64, expected_workload: &str) -> Option<CellResult> {
-        let loaded = std::fs::read_to_string(self.path_of(key))
-            .ok()
-            .and_then(|record| CellResult::from_record(&record))
-            .filter(|cell| cell.workload == expected_workload);
+        let path = self.path_of(key);
+        let loaded = match std::fs::read_to_string(&path) {
+            Err(_) => None, // absent (or unreadable): a plain miss
+            Ok(text) => match unseal(&text) {
+                Err(e) => {
+                    self.quarantine(&path, e.label());
+                    None
+                }
+                Ok(body) => {
+                    let cell = CellResult::from_record(body)
+                        .filter(|cell| cell.workload == expected_workload);
+                    if cell.is_none() {
+                        // Checksum-valid but undeserializable: a stale
+                        // schema or a mislabeled record.
+                        self.quarantine(&path, "stale-record");
+                    }
+                    cell
+                }
+            },
+        };
         match &loaded {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -191,22 +361,18 @@ impl CellCache {
         loaded
     }
 
-    /// Persists a freshly computed cell. I/O failures are swallowed: a
-    /// cache that cannot write (read-only checkout, full disk) costs a
-    /// re-simulation later, never a wrong result now.
+    /// Persists a freshly computed cell, sealed and via tmp+rename.
+    /// I/O failures are swallowed: a cache that cannot write (read-only
+    /// checkout, full disk) costs a re-simulation later, never a wrong
+    /// result now.
     pub fn store(&self, key: u64, cell: &CellResult) {
         if std::fs::create_dir_all(&self.dir).is_err() {
             return;
         }
         let path = self.path_of(key);
-        let tmp = self.dir.join(format!(
-            "{key:016x}.tmp.{}",
-            std::process::id() as u64 ^ key.rotate_left(32)
-        ));
-        if std::fs::write(&tmp, cell.to_record()).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+        if write_sealed(&path, &cell.to_record(), tmp_tag(key)) {
             self.stores.fetch_add(1, Ordering::Relaxed);
-        } else {
-            let _ = std::fs::remove_file(&tmp);
+            crate::faults::on_cache_entry_written(&path);
         }
     }
 
@@ -216,6 +382,8 @@ impl CellCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -245,6 +413,26 @@ mod tests {
         assert_eq!(workload_digest(&a), workload_digest(&b));
         let bigger = int_suite(Scale::Default).remove(0);
         assert_ne!(workload_digest(&a), workload_digest(&bigger));
+    }
+
+    #[test]
+    fn seal_roundtrips_and_classifies_damage() {
+        let body = "workload histo\n1 2 3\n";
+        let sealed = seal(body);
+        assert_eq!(unseal(&sealed), Ok(body));
+        // Truncation: body shorter than declared.
+        let truncated = &sealed[..sealed.len() - 3];
+        assert_eq!(unseal(truncated), Err(IntegrityError::Length));
+        // Bit flip in the body: length intact, checksum off.
+        let flipped = sealed.replace("histo", "hists");
+        assert_eq!(unseal(&flipped), Err(IntegrityError::Checksum));
+        // Foreign file and other seal versions.
+        assert_eq!(unseal("not a seal\nbody"), Err(IntegrityError::Header));
+        assert_eq!(
+            unseal(&sealed.replace("dmdc-seal v1", "dmdc-seal v9")),
+            Err(IntegrityError::Version)
+        );
+        assert_eq!(unseal(""), Err(IntegrityError::Header));
     }
 
     #[test]

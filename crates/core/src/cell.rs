@@ -87,6 +87,100 @@ impl CellResult {
     }
 }
 
+/// Why one cell attempt (or the cell as a whole) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The simulation (or a policy) panicked.
+    Panic,
+    /// The cell exceeded the wall-clock watchdog.
+    Timeout,
+    /// The simulator returned an error (deadlock, cycle limit, fetch
+    /// fault, ...).
+    SimError,
+    /// The workload did not halt under the reference emulator, so no
+    /// oracle checksum exists to verify against.
+    OracleMustHalt,
+    /// The simulated architectural state diverged from the emulator.
+    StateDivergence,
+    /// The invariant auditor reported a violation.
+    Audit,
+}
+
+impl FailureKind {
+    /// Stable label used in reports and test assertions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+            FailureKind::SimError => "sim-error",
+            FailureKind::OracleMustHalt => "oracle-must-halt",
+            FailureKind::StateDivergence => "state-divergence",
+            FailureKind::Audit => "audit-violation",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One failed cell attempt: the class plus human-readable specifics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Panic message, simulator error, checksum pair, audit report, ...
+    pub detail: String,
+}
+
+impl CellError {
+    /// Builds an error.
+    pub fn new(kind: FailureKind, detail: impl Into<String>) -> CellError {
+        CellError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.detail)
+    }
+}
+
+/// A cell that exhausted its retries: the quarantine record surfacing in
+/// the [`Report`](crate::report::Report) instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Workload name of the failed cell.
+    pub workload: String,
+    /// The cell's spec description ([`RunSpec::desc`](crate::runner::RunSpec::desc)).
+    pub spec: String,
+    /// Failure class of the last attempt.
+    pub kind: FailureKind,
+    /// Specifics of the last attempt.
+    pub detail: String,
+    /// Total attempts made (1 = no retries).
+    pub attempts: u32,
+}
+
+impl CellFailure {
+    /// The one-line summary the failure table and JSON emitter show: the
+    /// first line of the detail, truncated for tabular display.
+    pub fn summary(&self) -> String {
+        let first = self.detail.lines().next().unwrap_or("");
+        if first.chars().count() > 120 {
+            let cut: String = first.chars().take(117).collect();
+            format!("{cut}...")
+        } else {
+            first.to_string()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,6 +25,7 @@ use dmdc_isa::Emulator;
 use dmdc_ooo::{BaselinePolicy, CoreConfig, MemDepPolicy, SimOptions, Simulator};
 use dmdc_workloads::{Group, Scale, Workload};
 
+use crate::cell::{CellError, CellFailure, FailureKind};
 use crate::report::{GroupStat, Report};
 use crate::runner::{Engine, RunSpec};
 use crate::{BloomPolicy, CheckingQueuePolicy, DmdcConfig, DmdcPolicy, Interleave, YlaPolicy};
@@ -302,21 +303,39 @@ pub fn find_experiment(id: &str) -> Option<&'static dyn Experiment> {
 
 /// Runs one registry experiment end to end (plan → run → reduce) at the
 /// given scale, using the process-default engine (worker count, cell
-/// cache).
+/// cache, journal, retry policy).
+///
+/// Cells that exhaust their retries are quarantined: the returned
+/// [`Report`] then carries the structured [`CellFailure`] records instead
+/// of the reduced tables (a partial matrix cannot be reduced honestly),
+/// and the process lives on to run the remaining experiments.
 pub fn run_experiment(exp: &dyn Experiment, scale: Scale) -> Report {
     let plan = exp.plan(scale);
-    let cells = execute_plan(&plan);
-    exp.reduce(&cells)
+    let (cells, failures) = execute_plan(&plan);
+    if failures.is_empty() {
+        let cells: Vec<CellResult> = cells
+            .into_iter()
+            .map(|c| c.expect("no failures, so every cell is present"))
+            .collect();
+        exp.reduce(&cells)
+    } else {
+        let mut report = Report::new(exp.id());
+        for f in failures {
+            report.push_failure(f);
+        }
+        report
+    }
 }
 
 /// Executes a plan's cells through one engine, logging the engine's
 /// sharing counters to stderr (stdout stays reserved for the tables).
-fn execute_plan(plan: &Plan) -> Vec<CellResult> {
+/// Failed cells come back as `None` slots plus their [`CellFailure`]s.
+fn execute_plan(plan: &Plan) -> (Vec<Option<CellResult>>, Vec<CellFailure>) {
     let engine = Engine::new(&plan.workloads);
     let specs = plan.specs();
-    let cells = engine.run_all(&specs);
+    let (cells, failures) = engine.run_all_recovered(&specs);
     log_engine(&engine, specs.len());
-    cells
+    (cells, failures)
 }
 
 fn log_engine(engine: &Engine<'_>, cells: usize) {
@@ -337,54 +356,65 @@ fn log_engine(engine: &Engine<'_>, cells: usize) {
 /// is the single execution funnel both the serial path and the engine's
 /// workers use.
 ///
-/// # Panics
-///
-/// Panics if the simulation fails or its architectural state diverges from
-/// the reference — the numbers would be meaningless, so this is fatal.
+/// Every way the cell can go wrong — a simulator error, a workload the
+/// oracle cannot verify, an architectural-state divergence, an auditor
+/// violation — comes back as a structured [`CellError`] instead of a
+/// panic, so the engine's fault-tolerant layer can retry or quarantine
+/// the cell without killing the process.
 pub(crate) fn execute_verified(
     workload: &Workload,
     config: &CoreConfig,
     policy_kind: &PolicyKind,
     mut opts: SimOptions,
-    oracle: impl FnOnce() -> u64,
-) -> CellResult {
+    oracle: impl FnOnce() -> Result<u64, String>,
+) -> Result<CellResult, CellError> {
     if crate::runner::profile_enabled() {
         opts.profile = true;
     }
     let policy = policy_kind.build(config);
     let mut sim = Simulator::new(&workload.program, config.clone(), policy);
-    let result = sim.run(opts).unwrap_or_else(|e| {
-        panic!(
-            "{} under {policy_kind:?} on {}: {e}",
-            workload.name, config.name
+    let result = sim.run(opts).map_err(|e| {
+        CellError::new(
+            FailureKind::SimError,
+            format!(
+                "{} under {policy_kind:?} on {}: {e}",
+                workload.name, config.name
+            ),
         )
-    });
+    })?;
     if result.halted {
-        assert_eq!(
-            result.checksum,
-            oracle(),
-            "golden-state mismatch: {} under {policy_kind:?} on {}",
-            workload.name,
-            config.name
-        );
+        let expected = oracle().map_err(|e| CellError::new(FailureKind::OracleMustHalt, e))?;
+        if result.checksum != expected {
+            return Err(CellError::new(
+                FailureKind::StateDivergence,
+                format!(
+                    "golden-state mismatch: {} under {policy_kind:?} on {}: simulated {:#x}, emulator {expected:#x}",
+                    workload.name, config.name, result.checksum
+                ),
+            ));
+        }
     }
     if let Some(audit) = &result.audit {
-        assert!(
-            audit.is_clean(),
-            "invariant auditor: {} under {policy_kind:?} on {}:\n{}",
-            workload.name,
-            config.name,
-            audit.render()
-        );
+        if !audit.is_clean() {
+            return Err(CellError::new(
+                FailureKind::Audit,
+                format!(
+                    "invariant auditor: {} under {policy_kind:?} on {}:\n{}",
+                    workload.name,
+                    config.name,
+                    audit.render()
+                ),
+            ));
+        }
     }
     if let Some(profile) = &result.profile {
         crate::runner::record_profile(profile, &result.stats);
     }
-    CellResult {
+    Ok(CellResult {
         workload: workload.name.to_string(),
         group: workload.group,
         stats: result.stats,
-    }
+    })
 }
 
 /// Runs `workload` under `policy_kind` on `config`, verifying the final
@@ -399,7 +429,10 @@ pub(crate) fn execute_verified(
 /// # Panics
 ///
 /// Panics if the simulation's architectural state diverges from the
-/// emulator — the simulation would be meaningless, so this is fatal.
+/// emulator — a standalone caller has nowhere to surface a structured
+/// failure, so this stays fatal. The engine's
+/// [`try_run_cell`](crate::runner::Engine::try_run_cell) path returns the
+/// same condition as a [`CellFailure`](crate::cell::CellFailure) instead.
 pub fn run_workload(
     workload: &Workload,
     config: &CoreConfig,
@@ -408,9 +441,11 @@ pub fn run_workload(
 ) -> CellResult {
     execute_verified(workload, config, policy_kind, opts, || {
         let mut emu = Emulator::new(&workload.program);
-        emu.run(u64::MAX).expect("workloads halt under emulation");
-        emu.state_checksum()
+        emu.run(u64::MAX)
+            .map_err(|e| format!("{} must halt under emulation: {e}", workload.name))?;
+        Ok(emu.state_checksum())
     })
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Aggregates `f` over the cells of one suite group.
@@ -428,9 +463,24 @@ pub(crate) fn group_stat<F: Fn(&CellResult) -> f64>(
 /// `_on` experiment functions use this; registry entries go through
 /// [`run_experiment`], which executes the identical matrix as one flat
 /// plan.
+///
+/// # Panics
+///
+/// Panics if any cell is quarantined — the typed `*_on` entry points
+/// return bare tables with nowhere to surface structured failures.
 pub(crate) fn run_matrix(workloads: &[Workload], variants: &[Variant]) -> Vec<Vec<CellResult>> {
     let plan = Plan::matrix(workloads.to_vec(), variants.to_vec());
-    let cells = execute_plan(&plan);
+    let (cells, failures) = execute_plan(&plan);
+    if let Some(f) = failures.first() {
+        panic!(
+            "cell {} quarantined after {} attempts: [{}] {}",
+            f.workload, f.attempts, f.kind, f.detail
+        );
+    }
+    let cells: Vec<CellResult> = cells
+        .into_iter()
+        .map(|c| c.expect("no failures, so every cell is present"))
+        .collect();
     chunk_by_variants(&cells, variants.len())
 }
 

@@ -259,7 +259,23 @@ fn run_case(
     config: &CoreConfig,
     sabotage: Option<Sabotage>,
 ) -> Option<FuzzFailure> {
-    let workload = kernel.build();
+    // Building can itself panic on a degenerate kernel (e.g. one hand
+    // edited into a corrupt repro file); that must come back as a failure
+    // record, not take down the process.
+    let workload = match panic::catch_unwind(AssertUnwindSafe(|| kernel.build())) {
+        Ok(workload) => workload,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return Some(FuzzFailure {
+                kind: AuditKind::Panic.label().to_string(),
+                detail: format!("kernel does not build: {msg}"),
+            });
+        }
+    };
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         let real = policy_kind.build(config);
         let policy: Box<dyn MemDepPolicy> = match sabotage {

@@ -42,14 +42,17 @@ pub mod cell;
 mod checking_queue;
 mod dmdc;
 pub mod experiments;
+pub mod faults;
 pub mod fuzz;
+pub mod journal;
+pub mod recovery;
 pub mod report;
 pub mod runner;
 mod yla;
 
 pub use bloom::{BloomPolicy, CountingBloom};
 pub use cache::{CacheCounters, CellCache};
-pub use cell::CellResult;
+pub use cell::{CellFailure, CellResult, FailureKind};
 pub use checking_queue::CheckingQueuePolicy;
 pub use dmdc::{DmdcConfig, DmdcPolicy};
 pub use yla::{Interleave, YlaBank, YlaPolicy};

@@ -10,6 +10,8 @@
 
 pub use self::fmt::{f1, f2, pct};
 
+use crate::cell::CellFailure;
+
 /// The one place experiment output formats numbers.
 ///
 /// Historically each `render()` implementation formatted its own
@@ -237,11 +239,14 @@ impl std::str::FromStr for OutputFormat {
 }
 
 /// The output of one experiment reduction: an id plus rendered tables,
-/// emittable as text, JSON or CSV.
+/// emittable as text, JSON or CSV — and, when cells were quarantined by
+/// the fault-tolerant runner, the structured [`CellFailure`]s that
+/// explain what is missing and why.
 #[derive(Debug, Clone)]
 pub struct Report {
     id: String,
     tables: Vec<Table>,
+    failures: Vec<CellFailure>,
 }
 
 impl Report {
@@ -250,6 +255,7 @@ impl Report {
         Report {
             id: id.into(),
             tables: Vec::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -266,6 +272,12 @@ impl Report {
         self
     }
 
+    /// Appends a quarantined-cell record.
+    pub fn push_failure(&mut self, failure: CellFailure) -> &mut Report {
+        self.failures.push(failure);
+        self
+    }
+
     /// The experiment id this report came from.
     pub fn id(&self) -> &str {
         &self.id
@@ -274,6 +286,36 @@ impl Report {
     /// The rendered tables.
     pub fn tables(&self) -> &[Table] {
         &self.tables
+    }
+
+    /// Cells quarantined while producing this report.
+    pub fn failures(&self) -> &[CellFailure] {
+        &self.failures
+    }
+
+    /// Whether any cell was quarantined (the report is then partial).
+    pub fn has_failures(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// The quarantined-cells table appended to text/CSV output, or `None`
+    /// for a clean report (keeping clean output byte-identical to
+    /// pre-recovery builds).
+    fn failure_table(&self) -> Option<Table> {
+        if self.failures.is_empty() {
+            return None;
+        }
+        let mut t = Table::new("quarantined cells");
+        t.headers(["workload", "failure", "attempts", "detail"]);
+        for f in &self.failures {
+            t.row([
+                f.workload.clone(),
+                f.kind.label().to_string(),
+                f.attempts.to_string(),
+                f.summary(),
+            ]);
+        }
+        Some(t)
     }
 
     /// Emits in the requested format.
@@ -291,6 +333,10 @@ impl Report {
     pub fn text(&self) -> String {
         let mut out = String::new();
         for t in &self.tables {
+            out.push_str(&t.to_string());
+            out.push('\n');
+        }
+        if let Some(t) = self.failure_table() {
             out.push_str(&t.to_string());
             out.push('\n');
         }
@@ -342,7 +388,26 @@ impl Report {
         if !self.tables.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("]\n}\n");
+        out.push(']');
+        if !self.failures.is_empty() {
+            out.push_str(",\n  \"failures\": [");
+            for (i, fl) in self.failures.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"workload\": \"{}\", \"kind\": \"{}\", \"attempts\": {}, \
+                     \"spec\": \"{}\", \"detail\": \"{}\"}}",
+                    json_escape(&fl.workload),
+                    json_escape(fl.kind.label()),
+                    fl.attempts,
+                    json_escape(&fl.spec),
+                    json_escape(&fl.detail)
+                ));
+            }
+            out.push_str("\n  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -350,7 +415,8 @@ impl Report {
     /// comment line, tables separated by a blank line.
     pub fn csv(&self) -> String {
         let mut out = String::new();
-        for (i, t) in self.tables.iter().enumerate() {
+        let extra = self.failure_table();
+        for (i, t) in self.tables.iter().chain(extra.iter()).enumerate() {
             if i > 0 {
                 out.push('\n');
             }

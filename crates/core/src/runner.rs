@@ -24,16 +24,20 @@
 //! can influence them (see [`crate::cache`]), reducers cannot tell cached
 //! and fresh cells apart.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 use dmdc_isa::Emulator;
 use dmdc_ooo::{CoreConfig, SimOptions, SimProfile, SimStats, PROFILE_STAGES, PROFILE_STAGE_NAMES};
 use dmdc_workloads::Workload;
 
 use crate::cache::{workload_digest, CacheCounters, CellCache};
-use crate::cell::CellResult;
+use crate::cell::{CellError, CellFailure, CellResult, FailureKind};
 use crate::experiments::{PolicyKind, Run};
+use crate::journal::{JournalCounters, RunJournal};
+use crate::recovery::{self, RecoveryKind};
 
 /// One independent experiment cell: a single verified simulation.
 #[derive(Debug, Clone)]
@@ -82,6 +86,65 @@ pub fn set_global_cell_cache(cache: Option<Arc<CellCache>>) {
 /// The process-wide default cell cache, if one is installed.
 pub fn global_cell_cache() -> Option<Arc<CellCache>> {
     GLOBAL_CACHE.lock().expect("cell cache poisoned").clone()
+}
+
+/// Process-wide default run journal (crash-safe checkpoint/resume). The
+/// CLI installs one per `suite`/`experiment` invocation; `--resume`
+/// reopens a previous run's journal instead.
+static GLOBAL_JOURNAL: Mutex<Option<Arc<RunJournal>>> = Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide run journal
+/// picked up by every subsequently created [`Engine`].
+pub fn set_global_journal(journal: Option<Arc<RunJournal>>) {
+    *GLOBAL_JOURNAL.lock().expect("journal slot poisoned") = journal;
+}
+
+/// The process-wide run journal, if one is installed.
+pub fn global_journal() -> Option<Arc<RunJournal>> {
+    GLOBAL_JOURNAL
+        .lock()
+        .expect("journal slot poisoned")
+        .clone()
+}
+
+/// Process-wide default for per-cell retries (how many times a panicking,
+/// timed-out or erroring cell is re-attempted before quarantine). The
+/// CLI's `--retries` flag sets this.
+static RETRIES: AtomicUsize = AtomicUsize::new(DEFAULT_RETRIES);
+
+/// Retries a failing cell gets by default: one — enough to absorb any
+/// transient fault while a deterministic bug only costs one extra
+/// attempt before it is quarantined.
+pub const DEFAULT_RETRIES: usize = 1;
+
+/// Sets the process-wide default retry count.
+pub fn set_default_retries(retries: usize) {
+    RETRIES.store(retries, Ordering::Relaxed);
+}
+
+/// The process-wide default retry count.
+pub fn default_retries() -> usize {
+    RETRIES.load(Ordering::Relaxed)
+}
+
+/// Process-wide default per-cell wall-clock watchdog in milliseconds
+/// (0 = no watchdog). The CLI's `--cell-timeout` flag sets this.
+static CELL_TIMEOUT_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the process-wide default cell watchdog (`None` disables it).
+pub fn set_default_cell_timeout(timeout: Option<Duration>) {
+    CELL_TIMEOUT_MS.store(
+        timeout.map_or(0, |t| t.as_millis().max(1) as u64),
+        Ordering::Relaxed,
+    );
+}
+
+/// The process-wide default cell watchdog, if one is set.
+pub fn default_cell_timeout() -> Option<Duration> {
+    match CELL_TIMEOUT_MS.load(Ordering::Relaxed) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    }
 }
 
 /// Process-wide override for the worker count (0 = unset). The CLI's
@@ -235,8 +298,11 @@ impl Default for ProfileTotals {
 }
 
 /// Memoized functional-emulator reference state, one slot per workload.
+/// A workload that does not halt under emulation memoizes a structured
+/// error — surfaced by the engine as a failed cell in the report, never a
+/// process-killing panic.
 struct EmuOracle {
-    checksums: Vec<OnceLock<u64>>,
+    checksums: Vec<OnceLock<Result<u64, String>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -251,22 +317,26 @@ impl EmuOracle {
     }
 
     /// The reference checksum for `workloads[index]`, emulating on first
-    /// use only. Concurrent first users block on one computation.
-    fn checksum(&self, workloads: &[Workload], index: usize) -> u64 {
+    /// use only. Concurrent first users block on one computation. The
+    /// error (a must-halt violation) is memoized exactly like a checksum:
+    /// every cell of the broken workload fails the same way, once.
+    fn checksum(&self, workloads: &[Workload], index: usize) -> Result<u64, String> {
         let slot = &self.checksums[index];
         // Track whether *this* call ran the initializer: a caller that
         // blocks inside `get_or_init` while another thread computes is a
         // cache hit too, so hits + misses always equals consultations.
         let mut computed = false;
-        let c = *slot.get_or_init(|| {
-            computed = true;
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            let w = &workloads[index];
-            let mut emu = Emulator::new(&w.program);
-            emu.run(u64::MAX)
-                .unwrap_or_else(|e| panic!("{} must halt under emulation: {e}", w.name));
-            emu.state_checksum()
-        });
+        let c = slot
+            .get_or_init(|| {
+                computed = true;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let w = &workloads[index];
+                let mut emu = Emulator::new(&w.program);
+                emu.run(u64::MAX)
+                    .map_err(|e| format!("{} must halt under emulation: {e}", w.name))?;
+                Ok(emu.state_checksum())
+            })
+            .clone();
         if !computed {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -301,24 +371,30 @@ pub struct Engine<'w> {
     oracle: EmuOracle,
     jobs: usize,
     cache: Option<Arc<CellCache>>,
+    journal: Option<Arc<RunJournal>>,
+    retries: usize,
+    cell_timeout: Option<Duration>,
     digests: Vec<OnceLock<u64>>,
 }
 
 impl<'w> Engine<'w> {
     /// An engine using the resolved default worker count and the
-    /// process-wide cell cache (if one is installed).
+    /// process-wide cell cache, journal and retry policy (if installed).
     pub fn new(workloads: &'w [Workload]) -> Engine<'w> {
         Engine::with_jobs(workloads, default_jobs())
     }
 
     /// An engine with an explicit worker count (`1` = fully serial) and
-    /// the process-wide cell cache (if one is installed).
+    /// the process-wide cell cache, journal and retry policy.
     pub fn with_jobs(workloads: &'w [Workload], jobs: usize) -> Engine<'w> {
         Engine {
             workloads,
             oracle: EmuOracle::new(workloads.len()),
             jobs: jobs.max(1),
             cache: global_cell_cache(),
+            journal: global_journal(),
+            retries: default_retries(),
+            cell_timeout: default_cell_timeout(),
             digests: (0..workloads.len()).map(|_| OnceLock::new()).collect(),
         }
     }
@@ -330,6 +406,28 @@ impl<'w> Engine<'w> {
         self
     }
 
+    /// Replaces the engine's run journal (`None` disables journaling for
+    /// this engine regardless of the process-wide default).
+    pub fn with_journal(mut self, journal: Option<Arc<RunJournal>>) -> Engine<'w> {
+        self.journal = journal;
+        self
+    }
+
+    /// Sets how many times a failing cell is retried before quarantine
+    /// (`0` = quarantine on the first failure).
+    pub fn with_retries(mut self, retries: usize) -> Engine<'w> {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the per-cell wall-clock watchdog. With a timeout, each attempt
+    /// runs on a detached watchdog thread; an attempt that outlives the
+    /// timeout is abandoned and counted as a [`FailureKind::Timeout`].
+    pub fn with_cell_timeout(mut self, timeout: Option<Duration>) -> Engine<'w> {
+        self.cell_timeout = timeout;
+        self
+    }
+
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -338,6 +436,11 @@ impl<'w> Engine<'w> {
     /// The cell cache's counters, if this engine carries a cache.
     pub fn cache_counters(&self) -> Option<CacheCounters> {
         self.cache.as_ref().map(|c| c.counters())
+    }
+
+    /// The run journal's counters, if this engine carries a journal.
+    pub fn journal_counters(&self) -> Option<JournalCounters> {
+        self.journal.as_ref().map(|j| j.counters())
     }
 
     /// The content digest of `workloads[index]`, computed at most once.
@@ -355,71 +458,286 @@ impl<'w> Engine<'w> {
     }
 
     /// Executes one cell, verifying a halting run against the memoized
-    /// emulator reference. With a cache attached, the cell is first looked
-    /// up by content address; a hit skips the simulation (and the oracle —
-    /// the cache stores only verified results), a miss simulates and
-    /// persists.
+    /// emulator reference. Wrapper over [`Engine::try_run_cell`] for
+    /// callers with nowhere to surface a structured failure.
     ///
     /// # Panics
     ///
-    /// Panics if the simulation fails or its architectural state diverges
-    /// from the functional emulator — the experiment's numbers would be
-    /// meaningless, so this is fatal (as in the serial path).
+    /// Panics if the cell exhausts its retries — the experiment's numbers
+    /// would be meaningless, so for this entry point that is fatal.
     pub fn run_cell(&self, spec: &RunSpec) -> CellResult {
-        let Some(cache) = &self.cache else {
-            return self.simulate(spec);
-        };
-        let key = cache.key(self.digest(spec.workload), &spec.desc());
-        if let Some(cell) = cache.load(key, self.workloads[spec.workload].name) {
-            return cell;
-        }
-        let cell = self.simulate(spec);
-        cache.store(key, &cell);
-        cell
-    }
-
-    /// Simulates one cell unconditionally (no cache consultation).
-    fn simulate(&self, spec: &RunSpec) -> CellResult {
-        let w = &self.workloads[spec.workload];
-        crate::experiments::execute_verified(w, &spec.config, &spec.policy, spec.opts, || {
-            self.oracle.checksum(self.workloads, spec.workload)
+        self.try_run_cell(spec).unwrap_or_else(|f| {
+            panic!(
+                "cell {} quarantined after {} attempts: [{}] {}",
+                f.workload, f.attempts, f.kind, f.detail
+            )
         })
     }
 
-    /// Executes every cell and returns the results in spec order.
+    /// Executes one cell under the fault-tolerant layer:
     ///
-    /// With `jobs = 1` the cells run serially on the calling thread; with
-    /// more, a scoped worker pool pulls cells off a shared cursor. Either
-    /// way the returned vector is index-aligned with `specs`, so the
-    /// output of any aggregation over it is identical.
-    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Run> {
-        let workers = self.jobs.min(specs.len());
-        if workers <= 1 {
-            return specs.iter().map(|s| self.run_cell(s)).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Run>>> = specs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= specs.len() {
-                        break;
-                    }
-                    let run = self.run_cell(&specs[i]);
-                    *results[i].lock().expect("result slot poisoned") = Some(run);
-                });
+    /// 1. a **journal hit** (a cell completed before this run resumed)
+    ///    replays the verified result without touching the simulator;
+    /// 2. a **cache hit** does the same from the content-addressed cache
+    ///    (and checkpoints the cell into the journal);
+    /// 3. otherwise the cell is simulated under `catch_unwind` — with a
+    ///    wall-clock watchdog when a cell timeout is configured — and
+    ///    retried with bounded backoff up to the configured retry budget;
+    /// 4. a cell that exhausts its retries comes back as a structured
+    ///    [`CellFailure`] instead of killing the process.
+    pub fn try_run_cell(&self, spec: &RunSpec) -> Result<CellResult, CellFailure> {
+        let name = self.workloads[spec.workload].name;
+        let desc = spec.desc();
+        let digest = self.digest(spec.workload);
+        if let Some(journal) = &self.journal {
+            let key = journal.key(digest, &desc);
+            if let Some(cell) = journal.replay(key, name) {
+                recovery::record(RecoveryKind::CellResumed, name, &desc);
+                return Ok(cell);
             }
+        }
+        let cached = self.cache.as_ref().and_then(|cache| {
+            let key = cache.key(digest, &desc);
+            cache.load(key, name).map(|cell| (key, cell))
         });
-        results
+        if let Some((_, cell)) = cached {
+            self.checkpoint(digest, &desc, &cell);
+            return Ok(cell);
+        }
+        let attempts = self.retries + 1;
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let err: &CellError = last.as_ref().expect("retry follows a failure");
+                recovery::record(RecoveryKind::CellRetry, name, err.to_string());
+                std::thread::sleep(backoff(attempt));
+            }
+            match self.attempt(spec, attempt as u32) {
+                Ok(cell) => {
+                    if let Some(cache) = &self.cache {
+                        cache.store(cache.key(digest, &desc), &cell);
+                    }
+                    self.checkpoint(digest, &desc, &cell);
+                    return Ok(cell);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let err = last.expect("at least one attempt ran");
+        recovery::record(RecoveryKind::CellQuarantined, name, err.to_string());
+        Err(CellFailure {
+            workload: name.to_string(),
+            spec: desc,
+            kind: err.kind,
+            detail: err.detail,
+            attempts: attempts as u32,
+        })
+    }
+
+    /// Checkpoints a completed cell into the run journal, if one is
+    /// attached.
+    fn checkpoint(&self, digest: u64, desc: &str, cell: &CellResult) {
+        if let Some(journal) = &self.journal {
+            journal.record(journal.key(digest, desc), cell);
+        }
+    }
+
+    /// One isolated attempt at a cell: panics are caught, and with a cell
+    /// timeout configured the attempt runs on a detached watchdog thread
+    /// so a hung simulation cannot wedge the suite.
+    fn attempt(&self, spec: &RunSpec, attempt: u32) -> Result<CellResult, CellError> {
+        match self.cell_timeout {
+            None => {
+                let w = &self.workloads[spec.workload];
+                catch_attempt(w, spec, attempt, || {
+                    self.oracle.checksum(self.workloads, spec.workload)
+                })
+            }
+            Some(timeout) => self.attempt_with_watchdog(spec, attempt, timeout),
+        }
+    }
+
+    /// Runs one attempt on a detached thread and abandons it if it
+    /// outlives `timeout`. The emulator oracle is resolved on the calling
+    /// thread first (memoization lives in the engine; the emulator is
+    /// cheap and bounded relative to a detailed simulation), so the
+    /// watchdog thread owns everything it needs.
+    fn attempt_with_watchdog(
+        &self,
+        spec: &RunSpec,
+        attempt: u32,
+        timeout: Duration,
+    ) -> Result<CellResult, CellError> {
+        let oracle = self.oracle.checksum(self.workloads, spec.workload);
+        let workload = self.workloads[spec.workload].clone();
+        let owned = spec.clone();
+        let (tx, rx) = mpsc::channel();
+        let spawned = std::thread::Builder::new()
+            .name("dmdc-cell-watchdog".to_string())
+            .spawn(move || {
+                let result = catch_attempt(&workload, &owned, attempt, move || oracle);
+                let _ = tx.send(result);
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: degrade to an inline attempt rather than
+            // failing the cell.
+            let w = &self.workloads[spec.workload];
+            return catch_attempt(w, spec, attempt, || {
+                self.oracle.checksum(self.workloads, spec.workload)
+            });
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => Err(CellError::new(
+                FailureKind::Timeout,
+                format!("cell exceeded the {timeout:?} wall-clock watchdog"),
+            )),
+        }
+    }
+
+    /// Executes every cell and returns the results in spec order.
+    /// Wrapper over [`Engine::run_all_recovered`] for callers with
+    /// nowhere to surface structured failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell exhausts its retries.
+    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Run> {
+        let (cells, failures) = self.run_all_recovered(specs);
+        if let Some(f) = failures.first() {
+            panic!(
+                "cell {} quarantined after {} attempts: [{}] {}",
+                f.workload, f.attempts, f.kind, f.detail
+            );
+        }
+        cells
             .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("cell executed")
-            })
+            .map(|c| c.expect("no failures, so every cell is present"))
             .collect()
     }
+
+    /// Executes every cell under the fault-tolerant layer and returns
+    /// `(results, failures)`, both index-aligned with `specs` (a failed
+    /// cell leaves a `None` slot; its [`CellFailure`] appears in spec
+    /// order in the second vector).
+    ///
+    /// With `jobs = 1` the cells run serially on the calling thread; with
+    /// more, a scoped worker pool pulls cells off a shared cursor. A
+    /// worker that dies (a panic escaping the per-cell isolation) is
+    /// recorded and its unfinished cells are re-claimed **serially on the
+    /// calling thread**, so a lost worker degrades throughput, never
+    /// results. Either way the returned vectors are index-aligned with
+    /// `specs`, so the output of any aggregation over them is identical.
+    pub fn run_all_recovered(&self, specs: &[RunSpec]) -> (Vec<Option<Run>>, Vec<CellFailure>) {
+        let workers = self.jobs.min(specs.len());
+        let slots: Vec<Mutex<Option<Result<Run, CellFailure>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        if workers > 1 {
+            let next = AtomicUsize::new(0);
+            let lost = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let outcome = panic::catch_unwind(AssertUnwindSafe(|| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= specs.len() {
+                                break;
+                            }
+                            crate::faults::on_worker_cell(i);
+                            let result = self.try_run_cell(&specs[i]);
+                            *lock_slot(&slots[i]) = Some(result);
+                        }));
+                        if outcome.is_err() {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            for _ in 0..lost.load(Ordering::Relaxed) {
+                recovery::record(
+                    RecoveryKind::WorkerLost,
+                    "worker",
+                    "worker thread died; its cells re-ran serially",
+                );
+            }
+        }
+        // Serial path — and the degradation path: any cell not completed
+        // by the pool (jobs = 1, or a slot claimed by a worker that died)
+        // runs here on the calling thread.
+        for (i, slot) in slots.iter().enumerate() {
+            let done = lock_slot(slot).is_some();
+            if !done {
+                let result = self.try_run_cell(&specs[i]);
+                *lock_slot(slot) = Some(result);
+            }
+        }
+        let mut cells = Vec::with_capacity(specs.len());
+        let mut failures = Vec::new();
+        for slot in slots {
+            match lock_slot(&slot).take().expect("every slot filled") {
+                Ok(cell) => cells.push(Some(cell)),
+                Err(failure) => {
+                    failures.push(failure);
+                    cells.push(None);
+                }
+            }
+        }
+        (cells, failures)
+    }
+}
+
+/// Locks a result slot, surviving poisoning (a worker that died while
+/// holding the lock must not take the suite down with it).
+fn lock_slot<T>(slot: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match slot.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Bounded exponential backoff between cell attempts: 25 ms, 50 ms,
+/// 100 ms, ... capped at 400 ms. Long enough to ride out a transient
+/// (page cache pressure, a racing writer), short enough to not matter
+/// against simulation times.
+fn backoff(attempt: usize) -> Duration {
+    Duration::from_millis(25u64 << (attempt - 1).min(4))
+}
+
+/// One isolated cell attempt: the fault-injection hook and the verified
+/// execution funnel, under `catch_unwind` so a panicking policy or
+/// simulator bug becomes a structured [`CellError`].
+fn catch_attempt(
+    workload: &Workload,
+    spec: &RunSpec,
+    attempt: u32,
+    oracle: impl FnOnce() -> Result<u64, String>,
+) -> Result<CellResult, CellError> {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        crate::faults::on_cell_attempt(workload.name, attempt);
+        crate::experiments::execute_verified(
+            workload,
+            &spec.config,
+            &spec.policy,
+            spec.opts,
+            oracle,
+        )
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(CellError::new(FailureKind::Panic, panic_message(&*payload))),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload. Callers must
+/// pass the payload itself (`&*boxed`), not a reference to the box — a
+/// `&Box<dyn Any>` would unsize-coerce to `&dyn Any` *of the box*, and
+/// every downcast would miss.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// Convenience: runs `specs` over `workloads` with the default worker

@@ -18,12 +18,16 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use dmdc::core::cache::{default_cache_dir, CellCache};
+use dmdc::core::cache::{default_cache_dir, default_fingerprint, CellCache};
 use dmdc::core::experiments::{self, PolicyKind};
+use dmdc::core::faults::{self, FaultPlan};
 use dmdc::core::fuzz::{self, FuzzOptions};
+use dmdc::core::journal::{default_runs_dir, RunJournal};
+use dmdc::core::recovery;
 use dmdc::core::report::{fmt, OutputFormat, Report, Table};
-use dmdc::core::runner::{self, RunSpec};
+use dmdc::core::runner::{self, Engine, RunSpec};
 use dmdc::isa::{Assembler, Emulator};
 use dmdc::ooo::{CoreConfig, SimOptions, Simulator};
 use dmdc::workloads::{full_suite, Scale, SyntheticKernel, Workload};
@@ -67,10 +71,13 @@ USAGE:
   dmdc run --workload <name> --policy <name> [--config 1|2|3]
            [--scale smoke|default|large] [--inval-rate R] [--trace N]
            [--profile]
+  dmdc run --resume <run-id>
   dmdc suite --policy <name> [--config N] [--scale S] [--jobs N]
            [--format text|json|csv] [--no-cache] [--profile]
+           [--run-id ID] [--retries N] [--cell-timeout MS]
   dmdc experiment <id|ablations|all> [--scale S] [--jobs N]
            [--format text|json|csv] [--no-cache] [--profile]
+           [--run-id ID] [--retries N] [--cell-timeout MS]
   dmdc asm <file.s>
   dmdc fuzz [--seed N] [--budget N] [--policy <name>] [--config N]
            [--out DIR]
@@ -97,9 +104,21 @@ the workload bytes, the run parameters and the simulator fingerprint;
 warm reruns replay instead of re-simulating. --no-cache opts out.
 
 --profile reports a per-stage host-time breakdown, the event-horizon
-loop's skipped-cycle counters and the cell-cache hit/miss totals (for
-suite/experiment: aggregated over all runs, printed to stderr so stdout
-stays byte-identical).
+loop's skipped-cycle counters, the cell-cache hit/miss/integrity totals,
+journal replay counters and the recovery ledger (for suite/experiment:
+aggregated over all runs, printed to stderr so stdout stays
+byte-identical).
+
+Fault tolerance: each cell runs under panic isolation; a panicking or
+timed-out cell (--cell-timeout, wall-clock milliseconds per cell) is
+retried --retries times (default 1) with bounded backoff, then
+quarantined as a structured failure in the report (nonzero exit, partial
+tables). --run-id ID checkpoints completed cells to
+target/dmdc-runs/ID/journal; after a crash, `dmdc run --resume ID`
+replays the finished cells and re-runs only the missing ones, producing
+byte-identical output. --inject-faults SPEC (e.g.
+'seed=1,panic=2,hang=3,hang-ms=200,corrupt=2,truncate=2,worker-panic=1,
+kill-after=4') deterministically injects faults to exercise these paths.
 "
     .to_string()
 }
@@ -143,8 +162,9 @@ fn apply_profile(flags: &std::collections::HashMap<String, String>) {
     }
 }
 
-/// Prints the accumulated profile totals (and, when a cell cache is
-/// installed, its hit/miss counters) to stderr, keeping stdout
+/// Prints the accumulated profile totals — plus the cell cache's
+/// hit/miss/integrity counters, the journal's replay counters and the
+/// recovery ledger when installed — to stderr, keeping stdout
 /// byte-identical with and without `--profile`.
 fn report_profile() {
     if runner::profile_enabled() {
@@ -152,14 +172,102 @@ fn report_profile() {
         if let Some(cache) = runner::global_cell_cache() {
             let c = cache.counters();
             eprintln!(
-                "[profile] cell cache: {} hits, {} misses, {} stored ({})",
+                "[profile] cell cache: {} hits, {} misses, {} stored, {} corrupt, {} quarantined ({})",
                 c.hits,
                 c.misses,
                 c.stores,
+                c.corrupt,
+                c.quarantined,
                 cache.dir().display(),
             );
         }
+        if let Some(journal) = runner::global_journal() {
+            let c = journal.counters();
+            eprintln!(
+                "[profile] journal '{}': {} replayed, {} recorded, {} dropped ({})",
+                journal.run_id(),
+                c.replayed,
+                c.recorded,
+                c.dropped,
+                journal.run_dir().display(),
+            );
+        }
+        eprintln!("{}", recovery::render(&recovery::counters()));
     }
+}
+
+/// Applies `--retries`, `--cell-timeout` (milliseconds) and
+/// `--inject-faults` as process-wide recovery settings for the runner.
+fn apply_recovery(flags: &std::collections::HashMap<String, String>) -> Result<(), String> {
+    if let Some(n) = flags.get("retries") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| "bad --retries (want a non-negative integer)")?;
+        runner::set_default_retries(n);
+    }
+    if let Some(ms) = flags.get("cell-timeout") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "bad --cell-timeout (want milliseconds)")?;
+        if ms == 0 {
+            return Err("--cell-timeout must be at least 1 millisecond".to_string());
+        }
+        runner::set_default_cell_timeout(Some(Duration::from_millis(ms)));
+    }
+    if let Some(spec) = flags.get("inject-faults") {
+        faults::set_fault_plan(Some(FaultPlan::parse(spec)?));
+    }
+    Ok(())
+}
+
+/// Starts crash-safe journaling under `target/dmdc-runs/<run-id>/` when
+/// `--run-id` was given. No-op if a journal is already installed — a
+/// `--resume` dispatch re-enters here with the recorded argv, and the
+/// resumed journal must stay in place.
+fn apply_journal(
+    command: &str,
+    args: &[String],
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<(), String> {
+    let Some(run_id) = flags.get("run-id") else {
+        return Ok(());
+    };
+    if runner::global_journal().is_some() {
+        return Ok(());
+    }
+    let mut argv = vec![command.to_string()];
+    argv.extend(args.iter().cloned());
+    let journal = RunJournal::create(&default_runs_dir(), run_id, &default_fingerprint(), &argv)?;
+    runner::set_global_journal(Some(Arc::new(journal)));
+    Ok(())
+}
+
+/// `dmdc run --resume <run-id>`: reopen the interrupted run's journal,
+/// verify the fingerprint, and re-dispatch its recorded command line.
+/// Completed cells replay from the journal; only missing cells simulate.
+/// Any recorded `--inject-faults` plan is dropped — the fault plan that
+/// killed the run must not kill the resume.
+fn cmd_resume(run_id: &str) -> Result<(), String> {
+    let (journal, argv) = RunJournal::resume(&default_runs_dir(), run_id, &default_fingerprint())?;
+    eprintln!(
+        "resuming run '{run_id}': {} completed cells on record",
+        journal.preexisting_len()
+    );
+    runner::set_global_journal(Some(Arc::new(journal)));
+    let mut replay = Vec::with_capacity(argv.len());
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--inject-faults" {
+            if let Some(v) = it.next() {
+                if v.starts_with("--") {
+                    replay.push(v); // boolean form: keep the next flag
+                }
+            }
+            continue;
+        }
+        replay.push(a);
+    }
+    dispatch(&replay)
 }
 
 /// Installs the persistent cell cache (default location
@@ -242,6 +350,9 @@ fn cmd_list() {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
+    if let Some(run_id) = flags.get("resume") {
+        return cmd_resume(run_id);
+    }
     let workload_name = flags.get("workload").ok_or("--workload is required")?;
     let policy = parse_policy(flags.get("policy").ok_or("--policy is required")?)?;
     let config = parse_config(&flags)?;
@@ -314,6 +425,8 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     apply_jobs(&flags)?;
     apply_profile(&flags);
     apply_cache(&flags);
+    apply_recovery(&flags)?;
+    apply_journal("suite", args, &flags)?;
     let mut t = Table::new(format!("suite under {policy:?} on {}", config.name));
     t.headers([
         "workload",
@@ -327,8 +440,10 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     let specs: Vec<RunSpec> = (0..suite.len())
         .map(|i| RunSpec::new(i, &config, policy.clone()))
         .collect();
-    let (runs, _, _) = runner::run_specs(&suite, &specs);
+    let engine = Engine::new(&suite);
+    let (runs, failures) = engine.run_all_recovered(&specs);
     for (w, r) in suite.iter().zip(&runs) {
+        let Some(r) = r else { continue };
         t.row([
             w.name.to_string(),
             w.group.to_string(),
@@ -338,8 +453,18 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             fmt::pct(r.stats.policy.safe_load_rate()),
         ]);
     }
-    print!("{}", Report::single("suite", t).emit(format));
+    let quarantined = failures.len();
+    let mut report = Report::single("suite", t);
+    for f in failures {
+        report.push_failure(f);
+    }
+    print!("{}", report.emit(format));
     report_profile();
+    if quarantined > 0 {
+        return Err(format!(
+            "{quarantined} cell(s) quarantined; the report is partial"
+        ));
+    }
     Ok(())
 }
 
@@ -353,18 +478,27 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     apply_jobs(&flags)?;
     apply_profile(&flags);
     apply_cache(&flags);
+    apply_recovery(&flags)?;
+    apply_journal("experiment", args, &flags)?;
     let ids: Vec<&str> = match which.as_str() {
         "all" => experiments::registry().iter().map(|e| e.id()).collect(),
         "ablations" => experiments::ABLATION_IDS.to_vec(),
         one => vec![one],
     };
+    let mut quarantined = 0;
     for id in ids {
         let exp = experiments::find_experiment(id)
             .ok_or_else(|| format!("unknown experiment `{id}` (see `dmdc list`)"))?;
         let report = experiments::run_experiment(exp, scale);
+        quarantined += report.failures().len();
         print!("{}", report.emit(format));
     }
     report_profile();
+    if quarantined > 0 {
+        return Err(format!(
+            "{quarantined} cell(s) quarantined; the report is partial"
+        ));
+    }
     Ok(())
 }
 

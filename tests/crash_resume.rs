@@ -1,0 +1,173 @@
+//! Crash-safe checkpoint/resume, end to end against the real binary:
+//! a suite run killed mid-flight (deterministically, via the injected
+//! `kill-after` fault) must resume with `dmdc run --resume <run-id>` and
+//! produce stdout byte-identical to an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A fresh working directory under `target/` for one test — the binary
+/// writes `target/dmdc-runs/` and `target/dmdc-cache/` relative to its
+/// cwd, so each test gets hermetic journals and caches.
+fn workdir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn dmdc(cwd: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dmdc"))
+        .current_dir(cwd)
+        .args(args)
+        .output()
+        .expect("spawn dmdc")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+const SUITE: &[&str] = &[
+    "suite",
+    "--scale",
+    "smoke",
+    "--policy",
+    "dmdc-global",
+    "--jobs",
+    "2",
+    "--no-cache",
+];
+
+#[test]
+fn killed_suite_resumes_byte_identical() {
+    let wd = workdir("dmdc-crash-resume-wd");
+
+    // The uninterrupted reference run (no journaling involved).
+    let clean = dmdc(&wd, SUITE);
+    assert!(
+        clean.status.success(),
+        "clean run failed: {}",
+        stderr(&clean)
+    );
+    let reference = stdout(&clean);
+    assert!(reference.contains("== suite"), "unexpected output");
+
+    // The same run, journaled, aborted after 4 checkpoints.
+    let mut crash_args = SUITE.to_vec();
+    crash_args.extend(["--run-id", "kill-test", "--inject-faults", "kill-after=4"]);
+    let crashed = dmdc(&wd, &crash_args);
+    assert!(
+        !crashed.status.success(),
+        "the injected abort must kill the run"
+    );
+    let journal = wd.join("target/dmdc-runs/kill-test/journal");
+    let entries = std::fs::read_dir(&journal).expect("journal exists").count();
+    assert!(
+        entries >= 4,
+        "expected at least the 4 pre-abort checkpoints, found {entries}"
+    );
+
+    // Resume: replays the checkpointed cells, simulates only the rest,
+    // and must reproduce the reference bytes exactly.
+    let resumed = dmdc(&wd, &["run", "--resume", "kill-test"]);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        stderr(&resumed)
+    );
+    assert!(
+        stderr(&resumed).contains("resuming run 'kill-test'"),
+        "resume must announce itself on stderr"
+    );
+    assert_eq!(
+        stdout(&resumed),
+        reference,
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
+
+    // A second resume replays everything and is still byte-identical.
+    let again = dmdc(&wd, &["run", "--resume", "kill-test"]);
+    assert!(
+        again.status.success(),
+        "re-resume failed: {}",
+        stderr(&again)
+    );
+    assert_eq!(stdout(&again), reference);
+}
+
+#[test]
+fn completed_journaled_run_matches_unjournaled_run() {
+    let wd = workdir("dmdc-journal-noop-wd");
+    let clean = dmdc(&wd, SUITE);
+    assert!(clean.status.success());
+
+    let mut journaled_args = SUITE.to_vec();
+    journaled_args.extend(["--run-id", "full-run"]);
+    let journaled = dmdc(&wd, &journaled_args);
+    assert!(journaled.status.success(), "{}", stderr(&journaled));
+    assert_eq!(
+        stdout(&journaled),
+        stdout(&clean),
+        "journaling must not change a successful run's output"
+    );
+}
+
+#[test]
+fn resume_fails_clearly_on_unknown_or_damaged_runs() {
+    let wd = workdir("dmdc-resume-errors-wd");
+
+    let missing = dmdc(&wd, &["run", "--resume", "never-existed"]);
+    assert!(!missing.status.success());
+    assert!(
+        stderr(&missing).contains("nothing to resume"),
+        "want a clear message, got: {}",
+        stderr(&missing)
+    );
+
+    // A journal whose manifest is torn must refuse, not misbehave.
+    let run_dir = wd.join("target/dmdc-runs/torn");
+    std::fs::create_dir_all(run_dir.join("journal")).unwrap();
+    std::fs::write(run_dir.join("manifest"), "to").unwrap();
+    let torn = dmdc(&wd, &["run", "--resume", "torn"]);
+    assert!(!torn.status.success());
+    assert!(
+        stderr(&torn).contains("damaged"),
+        "want a damage diagnosis, got: {}",
+        stderr(&torn)
+    );
+
+    // A manifest from a different simulator fingerprint must refuse: its
+    // journaled cells cannot be trusted by this binary.
+    let other = dmdc(
+        &wd,
+        &[
+            "suite",
+            "--scale",
+            "smoke",
+            "--run-id",
+            "foreign",
+            "--no-cache",
+        ],
+    );
+    assert!(other.status.success(), "{}", stderr(&other));
+    let manifest = wd.join("target/dmdc-runs/foreign/manifest");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    // Re-seal the manifest with a doctored fingerprint line.
+    let body_start = text.find('\n').unwrap() + 1;
+    let doctored = text[body_start..].replacen("fingerprint ", "fingerprint stale-", 1);
+    std::fs::write(&manifest, dmdc::core::cache::seal(&doctored)).unwrap();
+    let mismatched = dmdc(&wd, &["run", "--resume", "foreign"]);
+    assert!(!mismatched.status.success());
+    assert!(
+        stderr(&mismatched).contains("fingerprint"),
+        "want a fingerprint diagnosis, got: {}",
+        stderr(&mismatched)
+    );
+}
