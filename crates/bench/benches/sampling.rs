@@ -1,0 +1,34 @@
+//! PR6 sampling engine: exact vs sampled wall-clock on the two hottest
+//! registry experiments — fig2 (the YLA sweep, the widest matrix) and
+//! table6 (invalidation-rate slowdowns, paired baseline runs). Each
+//! estimate regenerates the experiment cold (no cell cache is installed
+//! in a bench process), so the ratio is the honest end-to-end speedup
+//! sampling buys. Headline numbers are recorded in `BENCH_pr6.json`.
+//!
+//! `DMDC_SCALE=smoke cargo bench --bench sampling` for a quick pass; the
+//! default scale matches the other bench targets.
+
+use dmdc_bench::{criterion, finish, scale_from_env};
+use dmdc_core::experiments::{find_experiment, run_experiment};
+use dmdc_core::runner::set_default_sampling;
+use dmdc_ooo::SampleSpec;
+
+fn main() {
+    let scale = scale_from_env();
+    // Whole-experiment iterations: three samples keep the exact side of
+    // the default scale under a minute while still exposing variance.
+    let mut c = criterion().sample_size(3);
+    for id in ["fig2", "table6"] {
+        let exp = find_experiment(id).expect("registry id");
+        set_default_sampling(SampleSpec::EXACT);
+        c.bench_function(&format!("sampling/{id}-exact"), |b| {
+            b.iter(|| std::hint::black_box(run_experiment(exp, scale)))
+        });
+        set_default_sampling(SampleSpec::standard());
+        c.bench_function(&format!("sampling/{id}-sampled"), |b| {
+            b.iter(|| std::hint::black_box(run_experiment(exp, scale)))
+        });
+    }
+    set_default_sampling(SampleSpec::EXACT);
+    finish(c);
+}

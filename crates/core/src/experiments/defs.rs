@@ -22,10 +22,40 @@ use dmdc_ooo::{CoreConfig, SimOptions, SimStats};
 use dmdc_workloads::{full_suite, Group, Scale, Workload};
 
 use super::{
-    chunk_by_variants, group_stat, run_matrix, CellResult, Experiment, Plan, PolicyKind, Run,
-    Variant,
+    chunk_by_variants, group_stat, group_stat_ci, run_matrix, CellResult, Experiment, Plan,
+    PolicyKind, Run, Variant,
 };
-use crate::report::{f1, f2, pct, GroupStat, Report, Table};
+use crate::report::{f1, f2, pct, pct_ci, GroupStat, Report, Table};
+
+/// The per-cell 95% half-width of the store-filter-rate estimate, when
+/// the cell came from a sampled run.
+fn filter_rate_ci(r: &CellResult) -> Option<f64> {
+    r.stats
+        .is_sampled()
+        .then(|| r.stats.sampling.filter_rate_ci())
+}
+
+/// The per-cell *relative* 95% half-width of the cycle-count estimate.
+/// A sampled run reconstructs cycles as population / IPC, so the relative
+/// uncertainty of cycles equals that of the IPC estimate.
+fn rel_cycles_ci(r: &CellResult) -> Option<f64> {
+    r.stats
+        .is_sampled()
+        .then(|| r.stats.sampling.ipc_ci() / r.stats.sampling.ipc_mean().max(1e-9))
+}
+
+/// Propagated 95% half-width of a ratio `num/den` of two cycle counts,
+/// each possibly sampled: relative errors add in quadrature.
+fn ratio_ci(ratio: f64, num: &CellResult, den: &CellResult) -> Option<f64> {
+    let rn = rel_cycles_ci(num);
+    let rd = rel_cycles_ci(den);
+    if rn.is_none() && rd.is_none() {
+        return None;
+    }
+    let rn = rn.unwrap_or(0.0);
+    let rd = rd.unwrap_or(0.0);
+    Some(ratio.abs() * (rn * rn + rd * rd).sqrt())
+}
 
 /// The queue depths the checking-queue ablation sweeps by default.
 pub const DEFAULT_QUEUE_SIZES: [u32; 4] = [4, 8, 16, 32];
@@ -94,7 +124,12 @@ fn fig2_reduce(chunks: &[Vec<CellResult>]) -> Fig2 {
                 interleave,
                 regs,
                 group,
-                filtered: group_stat(runs, group, |r| r.stats.policy.store_filter_rate()),
+                filtered: group_stat_ci(
+                    runs,
+                    group,
+                    |r| r.stats.policy.store_filter_rate(),
+                    filter_rate_ci,
+                ),
             });
         }
     }
@@ -214,7 +249,12 @@ fn fig3_reduce(chunks: &[Vec<CellResult>]) -> Fig3 {
             rows.push(Fig3Row {
                 design: design.clone(),
                 group,
-                filtered: group_stat(runs, group, |r| r.stats.policy.store_filter_rate()),
+                filtered: group_stat_ci(
+                    runs,
+                    group,
+                    |r| r.stats.policy.store_filter_rate(),
+                    filter_rate_ci,
+                ),
             });
         }
     }
@@ -1050,6 +1090,8 @@ pub struct Table6Row {
     pub rel_false_replays: f64,
     /// Slowdown vs. the conventional baseline without invalidations.
     pub slowdown: f64,
+    /// Propagated 95% half-width of the slowdown, when runs were sampled.
+    pub slowdown_ci: Option<f64>,
 }
 
 /// Table 6 data.
@@ -1103,20 +1145,31 @@ fn table6_reduce(rates: &[f64], chunks: &[Vec<CellResult>]) -> Table6 {
                 r.stats.policy.checking_mode_cycles as f64 / r.stats.cycles.max(1) as f64
             })
             .mean;
-            // Mean slowdown pairs each workload's run with its baseline.
-            let slowdowns: Vec<f64> = runs
+            // Mean slowdown pairs each workload's run with its baseline;
+            // sampled runs carry the propagated CI of the cycle ratio.
+            let pairs: Vec<(&Run, &Run)> = runs
                 .iter()
                 .zip(base_runs)
                 .filter(|(r, _)| r.group == group)
+                .collect();
+            let slowdowns: Vec<f64> = pairs
+                .iter()
                 .map(|(r, b)| r.stats.cycles as f64 / b.stats.cycles as f64 - 1.0)
                 .collect();
+            let cis: Vec<Option<f64>> = pairs
+                .iter()
+                .zip(&slowdowns)
+                .map(|((r, b), s)| ratio_ci(s + 1.0, r, b))
+                .collect();
+            let slowdown = GroupStat::of_ci(&slowdowns, &cis);
             rows.push(Table6Row {
                 group,
                 rate,
                 checking_cycle_frac: checking,
                 rel_window: window_size(runs).max(1.0) / ref_window,
                 rel_false_replays: false_rate(runs).max(1.0) / ref_false,
-                slowdown: GroupStat::of(&slowdowns).mean,
+                slowdown: slowdown.mean,
+                slowdown_ci: slowdown.ci,
             });
         }
     }
@@ -1160,7 +1213,10 @@ impl Table6 {
                 pct(r.checking_cycle_frac),
                 f2(r.rel_window),
                 f2(r.rel_false_replays),
-                pct(r.slowdown),
+                match r.slowdown_ci {
+                    Some(ci) => pct_ci(r.slowdown, ci),
+                    None => pct(r.slowdown),
+                },
             ]);
         }
         t

@@ -212,8 +212,19 @@ pub struct Plan {
 }
 
 impl Plan {
-    /// Plans `variants` over `workloads`.
-    pub fn matrix(workloads: Vec<Workload>, variants: Vec<Variant>) -> Plan {
+    /// Plans `variants` over `workloads`. Variants that do not carry
+    /// their own sampling spec pick up the process-wide default
+    /// ([`crate::runner::default_sampling`]) here — before any spec
+    /// description, cache key or journal key is derived from them.
+    pub fn matrix(workloads: Vec<Workload>, mut variants: Vec<Variant>) -> Plan {
+        let default_spec = crate::runner::default_sampling();
+        if default_spec.enabled() {
+            for (_, _, opts) in &mut variants {
+                if !opts.sampling.enabled() {
+                    opts.sampling = default_spec;
+                }
+            }
+        }
         Plan {
             workloads,
             variants,
@@ -366,11 +377,27 @@ pub(crate) fn execute_verified(
     config: &CoreConfig,
     policy_kind: &PolicyKind,
     mut opts: SimOptions,
-    oracle: impl FnOnce() -> Result<u64, String>,
+    oracle: impl FnOnce() -> Result<(u64, u64), String>,
 ) -> Result<CellResult, CellError> {
     if crate::runner::profile_enabled() {
         opts.profile = true;
     }
+    if opts.sampling.enabled() {
+        return crate::sampling::execute_sampled(workload, config, policy_kind, opts, oracle);
+    }
+    execute_exact(workload, config, policy_kind, opts, oracle)
+}
+
+/// The exact (every-instruction) execution path: one detailed simulation,
+/// verified against the emulator reference when it halts. Also the
+/// sampling engine's fallback for populations too small to sample.
+pub(crate) fn execute_exact(
+    workload: &Workload,
+    config: &CoreConfig,
+    policy_kind: &PolicyKind,
+    opts: SimOptions,
+    oracle: impl FnOnce() -> Result<(u64, u64), String>,
+) -> Result<CellResult, CellError> {
     let policy = policy_kind.build(config);
     let mut sim = Simulator::new(&workload.program, config.clone(), policy);
     let result = sim.run(opts).map_err(|e| {
@@ -383,7 +410,8 @@ pub(crate) fn execute_verified(
         )
     })?;
     if result.halted {
-        let expected = oracle().map_err(|e| CellError::new(FailureKind::OracleMustHalt, e))?;
+        let (expected, _retired) =
+            oracle().map_err(|e| CellError::new(FailureKind::OracleMustHalt, e))?;
         if result.checksum != expected {
             return Err(CellError::new(
                 FailureKind::StateDivergence,
@@ -441,9 +469,10 @@ pub fn run_workload(
 ) -> CellResult {
     execute_verified(workload, config, policy_kind, opts, || {
         let mut emu = Emulator::new(&workload.program);
-        emu.run(u64::MAX)
+        let retired = emu
+            .run(u64::MAX)
             .map_err(|e| format!("{} must halt under emulation: {e}", workload.name))?;
-        Ok(emu.state_checksum())
+        Ok((emu.state_checksum(), retired))
     })
     .unwrap_or_else(|e| panic!("{e}"))
 }
@@ -456,6 +485,22 @@ pub(crate) fn group_stat<F: Fn(&CellResult) -> f64>(
 ) -> GroupStat {
     let vals: Vec<f64> = cells.iter().filter(|r| r.group == group).map(f).collect();
     GroupStat::of(&vals)
+}
+
+/// Like [`group_stat`], but also propagates per-cell sampling CIs: `ci`
+/// extracts the 95% half-width the sampling engine attached to a sampled
+/// cell (exact cells return `None` and contribute zero uncertainty). The
+/// group stat carries a CI iff at least one cell was sampled, so exact
+/// runs render byte-identically to before.
+pub(crate) fn group_stat_ci<F, C>(cells: &[CellResult], group: Group, f: F, ci: C) -> GroupStat
+where
+    F: Fn(&CellResult) -> f64,
+    C: Fn(&CellResult) -> Option<f64>,
+{
+    let picked: Vec<&CellResult> = cells.iter().filter(|r| r.group == group).collect();
+    let vals: Vec<f64> = picked.iter().map(|r| f(r)).collect();
+    let cis: Vec<Option<f64>> = picked.iter().map(|r| ci(r)).collect();
+    GroupStat::of_ci(&vals, &cis)
 }
 
 /// Runs every workload under each variant through one shared engine,

@@ -48,6 +48,7 @@ pub mod journal;
 pub mod recovery;
 pub mod report;
 pub mod runner;
+pub mod sampling;
 mod yla;
 
 pub use bloom::{BloomPolicy, CountingBloom};

@@ -8,7 +8,7 @@
 //! All percentage/ratio formatting funnels through [`fmt`], so every
 //! table rounds the same way.
 
-pub use self::fmt::{f1, f2, pct};
+pub use self::fmt::{f1, f1_ci, f2, f2_ci, pct, pct_ci};
 
 use crate::cell::CellFailure;
 
@@ -36,10 +36,38 @@ pub mod fmt {
         format!("{x:.1}")
     }
 
+    /// Formats a sampled estimate as `value ±ci` with two decimals. The
+    /// half-width is the 95% confidence interval the sampling engine
+    /// attached to the cell.
+    pub fn f2_ci(x: f64, ci: f64) -> String {
+        format!("{x:.2} ±{ci:.2}")
+    }
+
+    /// Formats a sampled estimate as `value ±ci` with one decimal.
+    pub fn f1_ci(x: f64, ci: f64) -> String {
+        format!("{x:.1} ±{ci:.1}")
+    }
+
+    /// Formats a sampled fraction as a percentage with its 95% CI, e.g.
+    /// `(0.953, 0.01) -> "95.3% ±1.0%"`.
+    pub fn pct_ci(x: f64, ci: f64) -> String {
+        format!("{:.1}% ±{:.1}%", x * 100.0, ci * 100.0)
+    }
+
     /// Renders a [`GroupStat`] as `mean [min, max]` percentages — the
-    /// paper's bar-with-I-beam notation.
+    /// paper's bar-with-I-beam notation. Sampled estimates additionally
+    /// carry the propagated 95% CI half-width as ` ±x.x%`.
     pub fn pct_range(g: &GroupStat) -> String {
-        format!("{} [{}, {}]", pct(g.mean), pct(g.min), pct(g.max))
+        match g.ci {
+            Some(ci) => format!(
+                "{} [{}, {}] ±{:.1}%",
+                pct(g.mean),
+                pct(g.min),
+                pct(g.max),
+                ci * 100.0
+            ),
+            None => format!("{} [{}, {}]", pct(g.mean), pct(g.min), pct(g.max)),
+        }
     }
 
     /// Escapes a string for inclusion in a JSON string literal.
@@ -428,6 +456,10 @@ impl Report {
 }
 
 /// Mean / min / max of a sample (the paper's bars with "I-beam" ranges).
+///
+/// Exact runs leave `ci` at `None` and render exactly as before. Sampled
+/// runs attach the 95% confidence half-width of the *mean*, propagated
+/// from the per-cell half-widths the sampling engine reported.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupStat {
     /// Arithmetic mean.
@@ -436,6 +468,8 @@ pub struct GroupStat {
     pub min: f64,
     /// Largest value.
     pub max: f64,
+    /// 95% CI half-width of the mean, when the inputs were sampled.
+    pub ci: Option<f64>,
 }
 
 impl GroupStat {
@@ -449,7 +483,33 @@ impl GroupStat {
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        GroupStat { mean, min, max }
+        GroupStat {
+            mean,
+            min,
+            max,
+            ci: None,
+        }
+    }
+
+    /// Like [`GroupStat::of`], but each value carries an optional per-cell
+    /// 95% CI half-width (None = the cell ran exactly, zero uncertainty).
+    /// When at least one cell was sampled, the group mean's half-width is
+    /// the sum of the cell half-widths divided by the count. Summing
+    /// (rather than root-sum-square) is deliberately conservative: a
+    /// sampled cell that observed no events reports its full value range
+    /// as the half-width, and interval uncertainty composes linearly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or mismatched lengths.
+    pub fn of_ci(values: &[f64], cis: &[Option<f64>]) -> GroupStat {
+        assert_eq!(values.len(), cis.len(), "one CI slot per value");
+        let mut g = GroupStat::of(values);
+        if cis.iter().any(Option::is_some) {
+            let sum: f64 = cis.iter().flatten().sum();
+            g.ci = Some(sum / values.len() as f64);
+        }
+        g
     }
 
     /// Renders as `mean [min, max]` percentages (see [`fmt::pct_range`]).
@@ -460,7 +520,11 @@ impl GroupStat {
 
 impl std::fmt::Display for GroupStat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.3} [{:.3}, {:.3}]", self.mean, self.min, self.max)
+        write!(f, "{:.3} [{:.3}, {:.3}]", self.mean, self.min, self.max)?;
+        if let Some(ci) = self.ci {
+            write!(f, " ±{ci:.3}")?;
+        }
+        Ok(())
     }
 }
 

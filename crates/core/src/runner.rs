@@ -30,7 +30,9 @@ use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use dmdc_isa::Emulator;
-use dmdc_ooo::{CoreConfig, SimOptions, SimProfile, SimStats, PROFILE_STAGES, PROFILE_STAGE_NAMES};
+use dmdc_ooo::{
+    CoreConfig, SampleSpec, SimOptions, SimProfile, SimStats, PROFILE_STAGES, PROFILE_STAGE_NAMES,
+};
 use dmdc_workloads::Workload;
 
 use crate::cache::{workload_digest, CacheCounters, CellCache};
@@ -53,13 +55,19 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// A cell with default options.
+    /// A cell with default options, under the process-wide default
+    /// sampling mode (see [`set_default_sampling`]) — applied here, before
+    /// the spec's description and hence any cache or journal key is
+    /// derived, so sampled and exact cells can never collide.
     pub fn new(workload: usize, config: &CoreConfig, policy: PolicyKind) -> RunSpec {
         RunSpec {
             workload,
             config: config.clone(),
             policy,
-            opts: SimOptions::default(),
+            opts: SimOptions {
+                sampling: default_sampling(),
+                ..SimOptions::default()
+            },
         }
     }
 
@@ -177,6 +185,24 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Process-wide default sampling spec (the CLI sets this for `--scale
+/// full` unless `--exact`, or anywhere with `--sampled`). Experiment
+/// plans apply it to every variant that does not carry its own spec, so
+/// the spec lands in [`RunSpec::opts`] **before** any cache or journal
+/// key is computed — sampled and exact cells can never collide.
+static DEFAULT_SAMPLING: Mutex<SampleSpec> = Mutex::new(SampleSpec::EXACT);
+
+/// Sets the process-wide default sampling spec ([`SampleSpec::EXACT`]
+/// restores exact simulation).
+pub fn set_default_sampling(spec: SampleSpec) {
+    *DEFAULT_SAMPLING.lock().expect("sampling spec poisoned") = spec;
+}
+
+/// The process-wide default sampling spec.
+pub fn default_sampling() -> SampleSpec {
+    *DEFAULT_SAMPLING.lock().expect("sampling spec poisoned")
+}
+
 /// Process-wide switch (the CLI's `--profile` flag): when set, every
 /// verified run collects a [`SimProfile`] and folds it into the global
 /// [`ProfileTotals`], so experiment commands can report a per-stage
@@ -209,6 +235,27 @@ pub fn take_profile_totals() -> ProfileTotals {
     std::mem::take(&mut *PROFILE_TOTALS.lock().expect("profile totals poisoned"))
 }
 
+/// Folds one sampled cell's mode breakdown into the process-wide totals:
+/// how many instructions the functional fast-forward covered, how many
+/// cycles and commits the detailed windows simulated, and how the host
+/// time split between fast-forwarding and detailed windows. Called by
+/// the sampling driver once per sampled cell when profiling is on.
+pub(crate) fn record_sampling(
+    ff_insts: u64,
+    ff_nanos: u64,
+    window_nanos: u64,
+    window_cycles: u64,
+    window_committed: u64,
+) {
+    let mut totals = PROFILE_TOTALS.lock().expect("profile totals poisoned");
+    totals.ff_insts += ff_insts;
+    totals.ff_nanos += ff_nanos;
+    totals.window_nanos += window_nanos;
+    totals.window_cycles += window_cycles;
+    totals.window_committed += window_committed;
+    totals.sampled_cells += 1;
+}
+
 /// Aggregated [`SimProfile`]s across every profiled run since the last
 /// [`take_profile_totals`] call.
 #[derive(Debug, Clone, Copy)]
@@ -227,6 +274,19 @@ pub struct ProfileTotals {
     pub fast_forwards: u64,
     /// Number of runs folded in.
     pub runs: u64,
+    /// Instructions covered by the sampling driver's functional
+    /// fast-forward (never detailed-simulated), summed over sampled cells.
+    pub ff_insts: u64,
+    /// Host nanoseconds spent in functional fast-forward, summed.
+    pub ff_nanos: u64,
+    /// Host nanoseconds spent in detailed sample windows, summed.
+    pub window_nanos: u64,
+    /// Cycles the detailed sample windows simulated, summed.
+    pub window_cycles: u64,
+    /// Instructions the detailed sample windows committed, summed.
+    pub window_committed: u64,
+    /// Number of sampled cells folded in.
+    pub sampled_cells: u64,
 }
 
 impl ProfileTotals {
@@ -239,6 +299,12 @@ impl ProfileTotals {
             skipped_cycles: 0,
             fast_forwards: 0,
             runs: 0,
+            ff_insts: 0,
+            ff_nanos: 0,
+            window_nanos: 0,
+            window_cycles: 0,
+            window_committed: 0,
+            sampled_cells: 0,
         }
     }
 
@@ -287,6 +353,18 @@ impl ProfileTotals {
                 self.stage_active_cycles[i],
             );
         }
+        if self.sampled_cells > 0 {
+            let _ = writeln!(
+                out,
+                "[profile] sampling: {} cells, {} insts fast-forwarded, {} committed in detailed windows ({} cycles); host time {:.2} ms fast-forward, {:.2} ms detailed windows",
+                self.sampled_cells,
+                self.ff_insts,
+                self.window_committed,
+                self.window_cycles,
+                self.ff_nanos as f64 / 1.0e6,
+                self.window_nanos as f64 / 1.0e6,
+            );
+        }
         out
     }
 }
@@ -297,12 +375,13 @@ impl Default for ProfileTotals {
     }
 }
 
-/// Memoized functional-emulator reference state, one slot per workload.
-/// A workload that does not halt under emulation memoizes a structured
-/// error — surfaced by the engine as a failed cell in the report, never a
-/// process-killing panic.
+/// Memoized functional-emulator reference state, one slot per workload:
+/// the final architectural checksum plus the dynamic instruction count
+/// (the sampling driver's population size). A workload that does not halt
+/// under emulation memoizes a structured error — surfaced by the engine
+/// as a failed cell in the report, never a process-killing panic.
 struct EmuOracle {
-    checksums: Vec<OnceLock<Result<u64, String>>>,
+    references: Vec<OnceLock<Result<(u64, u64), String>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -310,18 +389,19 @@ struct EmuOracle {
 impl EmuOracle {
     fn new(n: usize) -> EmuOracle {
         EmuOracle {
-            checksums: (0..n).map(|_| OnceLock::new()).collect(),
+            references: (0..n).map(|_| OnceLock::new()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The reference checksum for `workloads[index]`, emulating on first
-    /// use only. Concurrent first users block on one computation. The
-    /// error (a must-halt violation) is memoized exactly like a checksum:
-    /// every cell of the broken workload fails the same way, once.
-    fn checksum(&self, workloads: &[Workload], index: usize) -> Result<u64, String> {
-        let slot = &self.checksums[index];
+    /// The reference `(checksum, retired)` for `workloads[index]`,
+    /// emulating on first use only. Concurrent first users block on one
+    /// computation. The error (a must-halt violation) is memoized exactly
+    /// like a reference: every cell of the broken workload fails the same
+    /// way, once.
+    fn reference(&self, workloads: &[Workload], index: usize) -> Result<(u64, u64), String> {
+        let slot = &self.references[index];
         // Track whether *this* call ran the initializer: a caller that
         // blocks inside `get_or_init` while another thread computes is a
         // cache hit too, so hits + misses always equals consultations.
@@ -332,9 +412,10 @@ impl EmuOracle {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 let w = &workloads[index];
                 let mut emu = Emulator::new(&w.program);
-                emu.run(u64::MAX)
+                let retired = emu
+                    .run(u64::MAX)
                     .map_err(|e| format!("{} must halt under emulation: {e}", w.name))?;
-                Ok(emu.state_checksum())
+                Ok((emu.state_checksum(), retired))
             })
             .clone();
         if !computed {
@@ -550,7 +631,7 @@ impl<'w> Engine<'w> {
             None => {
                 let w = &self.workloads[spec.workload];
                 catch_attempt(w, spec, attempt, || {
-                    self.oracle.checksum(self.workloads, spec.workload)
+                    self.oracle.reference(self.workloads, spec.workload)
                 })
             }
             Some(timeout) => self.attempt_with_watchdog(spec, attempt, timeout),
@@ -568,7 +649,7 @@ impl<'w> Engine<'w> {
         attempt: u32,
         timeout: Duration,
     ) -> Result<CellResult, CellError> {
-        let oracle = self.oracle.checksum(self.workloads, spec.workload);
+        let oracle = self.oracle.reference(self.workloads, spec.workload);
         let workload = self.workloads[spec.workload].clone();
         let owned = spec.clone();
         let (tx, rx) = mpsc::channel();
@@ -583,7 +664,7 @@ impl<'w> Engine<'w> {
             // failing the cell.
             let w = &self.workloads[spec.workload];
             return catch_attempt(w, spec, attempt, || {
-                self.oracle.checksum(self.workloads, spec.workload)
+                self.oracle.reference(self.workloads, spec.workload)
             });
         }
         match rx.recv_timeout(timeout) {
@@ -710,7 +791,7 @@ fn catch_attempt(
     workload: &Workload,
     spec: &RunSpec,
     attempt: u32,
-    oracle: impl FnOnce() -> Result<u64, String>,
+    oracle: impl FnOnce() -> Result<(u64, u64), String>,
 ) -> Result<CellResult, CellError> {
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         crate::faults::on_cell_attempt(workload.name, attempt);

@@ -98,6 +98,40 @@ impl<'p> Emulator<'p> {
         }
     }
 
+    /// Reconstructs an emulator from externally captured mid-program
+    /// state: program counter, register files, memory image and retired
+    /// count. This is the deserialization half of the sampling engine's
+    /// checkpoints — the caller guarantees the state came from an
+    /// emulation of the same `program`.
+    pub fn restore(
+        program: &'p Program,
+        pc: u32,
+        int_regs: [u64; Reg::COUNT],
+        fp_regs: [f64; FReg::COUNT],
+        mem: SparseMemory,
+        retired: u64,
+    ) -> Emulator<'p> {
+        Emulator {
+            program,
+            int_regs,
+            fp_regs,
+            mem,
+            pc,
+            halted: false,
+            retired,
+        }
+    }
+
+    /// All 32 integer registers.
+    pub fn int_regs(&self) -> &[u64; Reg::COUNT] {
+        &self.int_regs
+    }
+
+    /// All 32 FP registers.
+    pub fn fp_regs(&self) -> &[f64; FReg::COUNT] {
+        &self.fp_regs
+    }
+
     /// Current value of integer register `index`.
     ///
     /// # Panics

@@ -142,6 +142,64 @@ impl BranchPredictor {
     fn gshare_key(&self, pc: u32, history: u64) -> u64 {
         (pc as u64) ^ (history & self.history_mask)
     }
+
+    /// Flattens the trained state (history register + the three counter
+    /// tables, eight 2-bit counters packed per word) into a fixed-order
+    /// word vector for checkpoint serialization.
+    pub fn export_state(&self) -> Vec<u64> {
+        let mut v = vec![self.history];
+        for table in [&self.bimodal, &self.gshare, &self.meta] {
+            v.extend(pack_counters(&table.counters));
+        }
+        v
+    }
+
+    /// Restores state captured by [`BranchPredictor::export_state`].
+    /// Returns `None` (leaving the predictor untouched) on a geometry
+    /// mismatch.
+    pub fn import_state(&mut self, words: &[u64]) -> Option<()> {
+        let lens = [
+            self.bimodal.counters.len(),
+            self.gshare.counters.len(),
+            self.meta.counters.len(),
+        ];
+        let expect = 1 + lens.iter().map(|n| n.div_ceil(8)).sum::<usize>();
+        if words.len() != expect {
+            return None;
+        }
+        let mut at = 1;
+        let mut unpacked = Vec::with_capacity(3);
+        for n in lens {
+            let w = n.div_ceil(8);
+            unpacked.push(unpack_counters(&words[at..at + w], n));
+            at += w;
+        }
+        self.history = words[0];
+        self.meta.counters = unpacked.pop().expect("three tables");
+        self.gshare.counters = unpacked.pop().expect("three tables");
+        self.bimodal.counters = unpacked.pop().expect("three tables");
+        Some(())
+    }
+}
+
+/// Packs byte-sized counters eight to a `u64`, little-end first.
+fn pack_counters(counters: &[u8]) -> Vec<u64> {
+    counters
+        .chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u64, |w, (i, &c)| w | (c as u64) << (8 * i))
+        })
+        .collect()
+}
+
+/// Inverse of [`pack_counters`] for a table of `n` counters.
+fn unpack_counters(words: &[u64], n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| (words[i / 8] >> (8 * (i % 8))) as u8)
+        .collect()
 }
 
 /// A 4-way set-associative branch target buffer mapping instruction indices
@@ -223,6 +281,39 @@ impl Btb {
             .min_by_key(|&w| self.entries[base + w].map(|(_, _, lru)| lru).unwrap_or(0))
             .expect("ways > 0");
         self.entries[base + victim] = Some((pc, target, self.tick));
+    }
+
+    /// Flattens the BTB (LRU clock + three words per entry: valid flag,
+    /// packed tag/target, recency) into a fixed-order word vector for
+    /// checkpoint serialization.
+    pub fn export_state(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(1 + 3 * self.entries.len());
+        v.push(self.tick);
+        for e in &self.entries {
+            match e {
+                Some((tag, target, lru)) => {
+                    v.push(1);
+                    v.push((*tag as u64) << 32 | *target as u64);
+                    v.push(*lru);
+                }
+                None => v.extend([0, 0, 0]),
+            }
+        }
+        v
+    }
+
+    /// Restores state captured by [`Btb::export_state`]. Returns `None`
+    /// (leaving the BTB untouched) on a geometry mismatch.
+    pub fn import_state(&mut self, words: &[u64]) -> Option<()> {
+        if words.len() != 1 + 3 * self.entries.len() {
+            return None;
+        }
+        self.tick = words[0];
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            let triple = &words[1 + 3 * i..4 + 3 * i];
+            *e = (triple[0] != 0).then(|| ((triple[1] >> 32) as u32, triple[1] as u32, triple[2]));
+        }
+        Some(())
     }
 }
 
@@ -317,5 +408,43 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_table_size_panics() {
         BranchPredictor::new(100, 64, 4, 64);
+    }
+
+    #[test]
+    fn predictor_export_import_roundtrips_trained_state() {
+        let mut trained = BranchPredictor::new(64, 1024, 10, 1024);
+        let mut outcome = false;
+        for pc in 0..200u32 {
+            outcome = !outcome;
+            let (pred, snap) = trained.predict(pc % 17);
+            trained.speculate(pc % 17, pred);
+            trained.update(pc % 17, outcome, snap);
+        }
+        let words = trained.export_state();
+        let mut fresh = BranchPredictor::new(64, 1024, 10, 1024);
+        fresh.import_state(&words).expect("same geometry");
+        for pc in 0..32u32 {
+            assert_eq!(fresh.predict(pc), trained.predict(pc));
+        }
+        assert_eq!(fresh.export_state(), words);
+        let mut other = BranchPredictor::new(64, 512, 9, 1024);
+        assert!(other.import_state(&words).is_none());
+    }
+
+    #[test]
+    fn btb_export_import_roundtrips() {
+        let mut warm = Btb::new(16);
+        for pc in [4u32, 8, 12, 16, 20, 33, 77] {
+            warm.insert(pc, pc * 3);
+        }
+        let words = warm.export_state();
+        let mut fresh = Btb::new(16);
+        fresh.import_state(&words).expect("same geometry");
+        for pc in [4u32, 8, 12, 16, 20, 33, 77, 99] {
+            assert_eq!(fresh.lookup(pc), warm.lookup(pc), "pc {pc}");
+        }
+        assert_eq!(fresh.export_state(), warm.export_state());
+        let mut other = Btb::new(32);
+        assert!(other.import_state(&words).is_none());
     }
 }

@@ -81,6 +81,36 @@ impl Cache {
         let base = set * self.ways;
         (0..self.ways).any(|w| self.tags[base + w] == tag)
     }
+
+    /// Flattens the warm state (LRU clock, counters, tags, recency) into a
+    /// fixed-order word vector for checkpoint serialization.
+    /// [`Cache::import_state`] is the exact inverse for a cache of the
+    /// same geometry.
+    pub fn export_state(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(3 + self.tags.len() + self.lru.len());
+        v.push(self.tick);
+        v.push(self.stats.hits);
+        v.push(self.stats.misses);
+        v.extend_from_slice(&self.tags);
+        v.extend_from_slice(&self.lru);
+        v
+    }
+
+    /// Restores warm state captured by [`Cache::export_state`]. Returns
+    /// `None` (leaving the cache untouched) if `words` does not match this
+    /// cache's geometry.
+    pub fn import_state(&mut self, words: &[u64]) -> Option<()> {
+        let n = self.tags.len();
+        if words.len() != 3 + 2 * n {
+            return None;
+        }
+        self.tick = words[0];
+        self.stats.hits = words[1];
+        self.stats.misses = words[2];
+        self.tags.copy_from_slice(&words[3..3 + n]);
+        self.lru.copy_from_slice(&words[3 + n..]);
+        Some(())
+    }
 }
 
 /// The L1I / L1D / unified-L2 / memory hierarchy.
@@ -211,6 +241,33 @@ mod tests {
         }
         let l2_hit = mh.data_access(victim);
         assert_eq!(l2_hit, cfg.l1d.latency + cfg.l2.latency);
+    }
+
+    #[test]
+    fn export_import_roundtrips_warm_state() {
+        let mut warm = small_cache();
+        for i in 0..40u64 {
+            warm.access(Addr(i * 96));
+        }
+        let words = warm.export_state();
+        let mut fresh = small_cache();
+        fresh.import_state(&words).expect("same geometry");
+        assert_eq!(fresh.stats, warm.stats);
+        for i in 0..40u64 {
+            assert_eq!(fresh.probe(Addr(i * 96)), warm.probe(Addr(i * 96)));
+        }
+        // Identical behaviour from here on, not just identical probes.
+        assert_eq!(fresh.access(Addr(0x5000)), warm.access(Addr(0x5000)));
+        assert_eq!(fresh.export_state(), warm.export_state());
+        // A geometry mismatch refuses rather than corrupts.
+        let mut other = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+            latency: 2,
+        });
+        assert!(other.import_state(&words).is_none());
+        assert_eq!(other.stats, CacheStats::default());
     }
 
     #[test]

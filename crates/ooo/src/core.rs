@@ -27,6 +27,62 @@ use crate::regs::{Operand, PhysReg, RegFiles, RegValue};
 use crate::stats::{SimProfile, SimStats};
 use crate::trace::{PipelineTrace, Stage};
 
+/// Statistical-sampling specification: how a sampled run carves the
+/// dynamic instruction stream into detailed measurement windows.
+///
+/// A sampled run fast-forwards through a functional model, takes
+/// `windows` evenly spaced checkpoints, and simulates
+/// `warmup_insts + window_insts` instructions in detail from each — the
+/// warmup prefix trains the out-of-order structures after the restore and
+/// is discarded; only the `window_insts` suffix is measured. The spec is
+/// part of [`SimOptions`], so it flows into every content-address and
+/// journal key: sampled and exact results can never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Number of detailed measurement windows (0 = exact simulation).
+    pub windows: u32,
+    /// Measured instructions per window.
+    pub window_insts: u32,
+    /// Detailed-warmup instructions run (and discarded) before each
+    /// window's measurement starts.
+    pub warmup_insts: u32,
+}
+
+impl SampleSpec {
+    /// The exact (unsampled) spec: every instruction simulated in detail.
+    pub const EXACT: SampleSpec = SampleSpec {
+        windows: 0,
+        window_insts: 0,
+        warmup_insts: 0,
+    };
+
+    /// The default sampled spec: enough windows for a stable standard
+    /// error, windows long enough to amortize the detailed warmup.
+    pub fn standard() -> SampleSpec {
+        SampleSpec {
+            windows: 24,
+            window_insts: 1_500,
+            warmup_insts: 1_500,
+        }
+    }
+
+    /// Whether this spec asks for sampling at all.
+    pub fn enabled(&self) -> bool {
+        self.windows > 0
+    }
+
+    /// Detailed instructions one window costs (warmup + measurement).
+    pub fn insts_per_window(&self) -> u64 {
+        self.warmup_insts as u64 + self.window_insts as u64
+    }
+}
+
+impl Default for SampleSpec {
+    fn default() -> SampleSpec {
+        SampleSpec::EXACT
+    }
+}
+
 /// Run-control options orthogonal to the machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimOptions {
@@ -59,6 +115,11 @@ pub struct SimOptions {
     /// run in the whole test suite. When `false`, no auditor code runs
     /// and the simulation output is byte-identical to a build without it.
     pub audit: bool,
+    /// Statistical-sampling spec ([`SampleSpec::EXACT`] = simulate every
+    /// instruction). The simulator itself never reads this — the sampling
+    /// driver in `dmdc-core` interprets it — but it lives here so every
+    /// cache and journal key separates sampled from exact cells.
+    pub sampling: SampleSpec,
 }
 
 impl Default for SimOptions {
@@ -73,6 +134,7 @@ impl Default for SimOptions {
             event_skipping: true,
             profile: false,
             audit: cfg!(feature = "audit"),
+            sampling: SampleSpec::EXACT,
         }
     }
 }
@@ -343,6 +405,40 @@ impl<'p> Simulator<'p> {
         self.audit = opts
             .audit
             .then(|| Box::new(Auditor::new(self.program, self.policy.name().to_string())));
+        self.run_loop(&opts)?;
+        Ok(self.finalize())
+    }
+
+    /// Continues a run that stopped cleanly at [`SimOptions::max_commits`],
+    /// typically with a larger commit budget. Everything carries over —
+    /// cycle count, statistics, pipeline state, the invalidation RNG
+    /// stream — so `run(a)` + `resume(b)` commits exactly the same
+    /// instruction stream as a single `run(b)`. The sampling driver uses
+    /// this to split a detailed window into its discarded-warmup and
+    /// measured halves.
+    ///
+    /// The invariant auditor (if any) was consumed by the previous
+    /// [`Simulator::run`]'s result and is not re-armed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if the cycle budget runs out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous run halted or errored rather than stopping
+    /// at its commit budget.
+    pub fn resume(&mut self, opts: SimOptions) -> Result<SimResult, SimError> {
+        assert!(
+            self.stopped_early && !self.halted,
+            "resume requires a previous run stopped cleanly at max_commits"
+        );
+        self.stopped_early = false;
+        self.run_loop(&opts)?;
+        Ok(self.finalize())
+    }
+
+    fn run_loop(&mut self, opts: &SimOptions) -> Result<(), SimError> {
         let inval_prob = opts.inval_per_kcycle / 1000.0;
         let has_hook = self.policy.has_cycle_hook();
         while !self.halted && !self.stopped_early {
@@ -376,9 +472,13 @@ impl<'p> Simulator<'p> {
                 self.audit_structures();
             }
             if opts.event_skipping && !progress {
-                self.fast_forward(&opts, inval_prob, has_hook);
+                self.fast_forward(opts, inval_prob, has_hook);
             }
         }
+        Ok(())
+    }
+
+    fn finalize(&mut self) -> SimResult {
         self.stats.cycles = self.cycle.0;
         self.stats.l1i = self.hier.l1i.stats;
         self.stats.l1d = self.hier.l1d.stats;
@@ -388,14 +488,52 @@ impl<'p> Simulator<'p> {
             &self.rf.arch_fp_values(),
             &self.mem,
         );
-        Ok(SimResult {
+        SimResult {
             stats: self.stats.clone(),
             checksum,
             halted: self.halted,
-            commit_log: self.commit_log.take().unwrap_or_default(),
-            profile: self.prof.take().map(|p| *p),
+            // Cloned, not taken: a resumed run keeps appending to the log
+            // and the profile it started with.
+            commit_log: self.commit_log.clone().unwrap_or_default(),
+            profile: self.prof.as_deref().copied(),
             audit: self.audit.take().map(|a| a.into_report()),
-        })
+        }
+    }
+
+    /// Seeds a **fresh** simulator with mid-program state captured from the
+    /// functional model: the next program counter, the architectural
+    /// register files, the committed memory image, and functionally warmed
+    /// cache/branch-predictor/BTB structures. The subsequent
+    /// [`Simulator::run`] then behaves as if the machine had been
+    /// executing all along — this is the restore half of the sampling
+    /// engine's checkpoint machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already executed anything: the rename
+    /// maps, ROB and queues must still be in their pristine reset state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_checkpoint(
+        &mut self,
+        pc: u32,
+        int_regs: &[u64; 32],
+        fp_regs: &[f64; 32],
+        mem: SparseMemory,
+        hier: MemoryHierarchy,
+        bpred: BranchPredictor,
+        btb: Btb,
+    ) {
+        assert!(
+            self.cycle.0 == 0 && self.rob.is_empty() && self.stats.committed == 0,
+            "restore_checkpoint must precede the first run"
+        );
+        self.fetch_pc = pc;
+        self.rf.set_arch_values(int_regs, fp_regs);
+        self.footprint = mem.touched_pages();
+        self.mem = mem;
+        self.hier = hier;
+        self.bpred = bpred;
+        self.btb = btb;
     }
 
     /// The statistics accumulated so far (also returned by [`Simulator::run`]).

@@ -47,7 +47,7 @@ pub use baseline::{search_lq_for_premature_loads, BaselinePolicy};
 pub use bpred::{BranchPredictor, Btb, HistorySnapshot};
 pub use cache::{Cache, MemoryHierarchy};
 pub use config::{CacheConfig, CoreConfig};
-pub use core::{SimError, SimOptions, SimResult, Simulator};
+pub use core::{SampleSpec, SimError, SimOptions, SimResult, Simulator};
 pub use exec::{compute, extract_forwarded, load_value, size_mask, store_raw, ExecOutcome};
 pub use lsq::{
     CheckOutcome, CommitInfo, CommitKind, LoadEntry, LoadQueue, MemDepPolicy, PolicyCtx,
@@ -55,8 +55,8 @@ pub use lsq::{
 };
 pub use regs::{Operand, PhysReg, RegFiles, RegValue};
 pub use stats::{
-    CacheStats, EnergyCounters, PolicyStats, ReplayBreakdown, ReplayKind, SimProfile, SimStats,
-    PROFILE_STAGES, PROFILE_STAGE_NAMES,
+    from_q32, to_q32, CacheStats, EnergyCounters, PolicyStats, ReplayBreakdown, ReplayKind,
+    SamplingStats, SimProfile, SimStats, PROFILE_STAGES, PROFILE_STAGE_NAMES,
 };
 pub use trace::{PipelineTrace, Stage, TraceEvent};
 
@@ -67,4 +67,6 @@ pub use trace::{PipelineTrace, Stage, TraceEvent};
 ///
 /// `v2` = the event-driven core of PR 2 (bit-identical to the per-cycle
 /// loop, so the PR 2 refactor itself did not need a bump).
-pub const SIM_FINGERPRINT: &str = "dmdc-ooo-v2";
+/// `v3` = the sampling engine of PR 6: `SimStats` grew sampling fields
+/// (the export schema changed) and `SimOptions` grew the sampling spec.
+pub const SIM_FINGERPRINT: &str = "dmdc-ooo-v3";

@@ -274,6 +274,23 @@ impl RegFiles {
         out
     }
 
+    /// Seeds the architectural register values through the retirement map,
+    /// for starting a simulation from a checkpointed mid-program state.
+    /// Only valid before any renaming has happened (both maps still at
+    /// their identity binding), which the debug assertion enforces.
+    pub fn set_arch_values(&mut self, int: &[u64; 32], fp: &[f64; 32]) {
+        for i in 0..32 {
+            let pi = self.retire_map[i];
+            let pf = self.retire_map[32 + i];
+            debug_assert!(
+                !pi.fp && pi.idx == i as u16 && pf.fp && pf.idx == i as u16,
+                "set_arch_values requires the pristine identity mapping"
+            );
+            self.int_vals[pi.idx as usize] = int[i];
+            self.fp_vals[pf.idx as usize] = fp[i];
+        }
+    }
+
     /// Architectural FP register values per the retirement map.
     pub fn arch_fp_values(&self) -> [f64; 32] {
         let mut out = [0.0f64; 32];
@@ -386,6 +403,24 @@ mod tests {
         rf.write(nf, RegValue::Fp(2.5));
         rf.retire_dest(fp(2), nf);
         assert_eq!(rf.arch_fp_values()[2], 2.5);
+    }
+
+    #[test]
+    fn set_arch_values_seeds_pristine_files() {
+        let mut rf = RegFiles::new(40, 40);
+        let mut ints = [0u64; 32];
+        let mut fps = [0.0f64; 32];
+        ints[7] = 1234;
+        fps[3] = -2.5;
+        rf.set_arch_values(&ints, &fps);
+        assert_eq!(rf.arch_int_values(), ints);
+        assert_eq!(rf.arch_fp_values(), fps);
+        assert_eq!(
+            rf.read(Operand::Phys(PhysReg { fp: false, idx: 7 }))
+                .as_int(),
+            1234,
+            "speculative readers see the seeded value too"
+        );
     }
 
     #[test]

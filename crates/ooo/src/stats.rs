@@ -170,6 +170,102 @@ impl PolicyStats {
     }
 }
 
+/// Encodes a non-negative `f64` as Q32.32 fixed point so fractional
+/// sampling estimates ride the all-`u64` stats export unchanged. The
+/// ~2.3e-10 quantum is far below any confidence interval this crate
+/// reports; values are clamped to the representable range.
+pub fn to_q32(v: f64) -> u64 {
+    let scaled = v * (1u64 << 32) as f64;
+    if scaled <= 0.0 {
+        0
+    } else if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled as u64
+    }
+}
+
+/// Inverse of [`to_q32`].
+pub fn from_q32(v: u64) -> f64 {
+    v as f64 / (1u64 << 32) as f64
+}
+
+/// Population estimates from a statistically sampled run (SMARTS-style
+/// fast-forward + detailed windows). All-zero for an exact run.
+///
+/// Fractional estimates are stored Q32.32-encoded (see [`to_q32`]) so the
+/// struct flattens through the same fixed-order `u64` export manifest as
+/// every other counter; use the accessor methods for `f64` views. Each
+/// `*_ci` field is the half-width of a ~95% two-sided confidence interval
+/// computed from the per-window standard error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplingStats {
+    /// Detailed measurement windows taken (0 = exact, unsampled run).
+    pub windows: u64,
+    /// Population size: total instructions the full program retires.
+    pub population: u64,
+    /// Instructions committed inside measurement windows (the sample).
+    pub sampled_committed: u64,
+    /// Mean per-window IPC, Q32.32.
+    pub ipc_mean_q: u64,
+    /// IPC confidence half-width, Q32.32.
+    pub ipc_ci_q: u64,
+    /// Mean per-window replays per million committed instructions, Q32.32.
+    pub replays_per_m_mean_q: u64,
+    /// Replays-per-million confidence half-width, Q32.32.
+    pub replays_per_m_ci_q: u64,
+    /// Mean per-window store filter rate in [0,1], Q32.32.
+    pub filter_rate_mean_q: u64,
+    /// Store-filter-rate confidence half-width, Q32.32.
+    pub filter_rate_ci_q: u64,
+    /// Mean per-window safe-load rate in [0,1], Q32.32.
+    pub safe_load_rate_mean_q: u64,
+    /// Safe-load-rate confidence half-width, Q32.32.
+    pub safe_load_rate_ci_q: u64,
+}
+
+impl SamplingStats {
+    /// Mean per-window IPC.
+    pub fn ipc_mean(&self) -> f64 {
+        from_q32(self.ipc_mean_q)
+    }
+
+    /// IPC confidence half-width.
+    pub fn ipc_ci(&self) -> f64 {
+        from_q32(self.ipc_ci_q)
+    }
+
+    /// Mean per-window replays per million committed instructions.
+    pub fn replays_per_m_mean(&self) -> f64 {
+        from_q32(self.replays_per_m_mean_q)
+    }
+
+    /// Replays-per-million confidence half-width.
+    pub fn replays_per_m_ci(&self) -> f64 {
+        from_q32(self.replays_per_m_ci_q)
+    }
+
+    /// Mean per-window store filter rate.
+    pub fn filter_rate_mean(&self) -> f64 {
+        from_q32(self.filter_rate_mean_q)
+    }
+
+    /// Store-filter-rate confidence half-width.
+    pub fn filter_rate_ci(&self) -> f64 {
+        from_q32(self.filter_rate_ci_q)
+    }
+
+    /// Mean per-window safe-load rate.
+    pub fn safe_load_rate_mean(&self) -> f64 {
+        from_q32(self.safe_load_rate_mean_q)
+    }
+
+    /// Safe-load-rate confidence half-width.
+    pub fn safe_load_rate_ci(&self) -> f64 {
+        from_q32(self.safe_load_rate_ci_q)
+    }
+}
+
 /// Cache hit/miss counters for one level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -234,6 +330,8 @@ pub struct SimStats {
     pub skipped_cycles: u64,
     /// Number of fast-forward jumps taken.
     pub fast_forwards: u64,
+    /// Sampling estimates and confidence intervals (all-zero when exact).
+    pub sampling: SamplingStats,
 }
 
 /// The single manifest of every `SimStats` counter, in export order.
@@ -264,7 +362,12 @@ macro_rules! export_field_list {
             policy.window_loads, policy.window_safe_loads,
             policy.window_unsafe_stores, policy.invalidations,
             policy.safe_load_check_bypasses,
-            l1i.hits, l1i.misses, l1d.hits, l1d.misses, l2.hits, l2.misses
+            l1i.hits, l1i.misses, l1d.hits, l1d.misses, l2.hits, l2.misses,
+            sampling.windows, sampling.population, sampling.sampled_committed,
+            sampling.ipc_mean_q, sampling.ipc_ci_q,
+            sampling.replays_per_m_mean_q, sampling.replays_per_m_ci_q,
+            sampling.filter_rate_mean_q, sampling.filter_rate_ci_q,
+            sampling.safe_load_rate_mean_q, sampling.safe_load_rate_ci_q
         )
     };
 }
@@ -307,6 +410,12 @@ impl SimStats {
         } else {
             events as f64 * 1.0e6 / self.committed as f64
         }
+    }
+
+    /// Whether these stats carry sampled population estimates rather than
+    /// exact whole-program measurements.
+    pub fn is_sampled(&self) -> bool {
+        self.sampling.windows > 0
     }
 
     /// Fraction of simulated cycles the loop skipped rather than executed.
@@ -449,6 +558,44 @@ mod tests {
         assert_eq!(stats.export_values(), values);
         assert!(SimStats::from_export_values(&values[1..]).is_none());
         assert_ne!(stats, SimStats::default());
+    }
+
+    #[test]
+    fn q32_roundtrip_is_tight_and_clamped() {
+        for v in [0.0, 1e-6, 0.25, 1.0, 2.5, 1234.5678, 1.0e6] {
+            assert!((from_q32(to_q32(v)) - v).abs() < 1e-9, "{v}");
+        }
+        assert_eq!(to_q32(-1.0), 0);
+        assert_eq!(to_q32(f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn sampling_accessors_decode_q32_fields() {
+        let s = SamplingStats {
+            windows: 20,
+            population: 1_000_000,
+            sampled_committed: 30_000,
+            ipc_mean_q: to_q32(1.75),
+            ipc_ci_q: to_q32(0.05),
+            replays_per_m_mean_q: to_q32(320.5),
+            replays_per_m_ci_q: to_q32(12.25),
+            filter_rate_mean_q: to_q32(0.93),
+            filter_rate_ci_q: to_q32(0.01),
+            safe_load_rate_mean_q: to_q32(0.41),
+            safe_load_rate_ci_q: to_q32(0.02),
+        };
+        assert!((s.ipc_mean() - 1.75).abs() < 1e-9);
+        assert!((s.ipc_ci() - 0.05).abs() < 1e-9);
+        assert!((s.replays_per_m_mean() - 320.5).abs() < 1e-9);
+        assert!((s.replays_per_m_ci() - 12.25).abs() < 1e-9);
+        assert!((s.filter_rate_mean() - 0.93).abs() < 1e-9);
+        assert!((s.safe_load_rate_ci() - 0.02).abs() < 1e-9);
+        let stats = SimStats {
+            sampling: s,
+            ..Default::default()
+        };
+        assert!(stats.is_sampled());
+        assert!(!SimStats::default().is_sampled());
     }
 
     #[test]

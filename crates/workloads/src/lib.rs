@@ -71,6 +71,10 @@ pub enum Scale {
     Default,
     /// Long runs for stable statistics (millions of instructions).
     Large,
+    /// Paper-scale runs (tens of millions of instructions) — only
+    /// tractable under the sampling engine, which is why the CLI defaults
+    /// `--scale full` to sampled mode.
+    Full,
 }
 
 impl Scale {
@@ -80,6 +84,7 @@ impl Scale {
             Scale::Smoke => 1,
             Scale::Default => 8,
             Scale::Large => 64,
+            Scale::Full => 256,
         }
     }
 }

@@ -29,7 +29,7 @@ use dmdc::core::recovery;
 use dmdc::core::report::{fmt, OutputFormat, Report, Table};
 use dmdc::core::runner::{self, Engine, RunSpec};
 use dmdc::isa::{Assembler, Emulator};
-use dmdc::ooo::{CoreConfig, SimOptions, Simulator};
+use dmdc::ooo::{CoreConfig, SampleSpec, SimOptions, Simulator};
 use dmdc::workloads::{full_suite, Scale, SyntheticKernel, Workload};
 
 fn main() -> ExitCode {
@@ -69,15 +69,17 @@ fn usage() -> String {
 USAGE:
   dmdc list
   dmdc run --workload <name> --policy <name> [--config 1|2|3]
-           [--scale smoke|default|large] [--inval-rate R] [--trace N]
-           [--profile]
+           [--scale smoke|default|large|full] [--inval-rate R] [--trace N]
+           [--profile] [--sampled|--exact] [--run-id ID]
   dmdc run --resume <run-id>
   dmdc suite --policy <name> [--config N] [--scale S] [--jobs N]
            [--format text|json|csv] [--no-cache] [--profile]
            [--run-id ID] [--retries N] [--cell-timeout MS]
+           [--sampled|--exact]
   dmdc experiment <id|ablations|all> [--scale S] [--jobs N]
            [--format text|json|csv] [--no-cache] [--profile]
            [--run-id ID] [--retries N] [--cell-timeout MS]
+           [--sampled|--exact]
   dmdc asm <file.s>
   dmdc fuzz [--seed N] [--budget N] [--policy <name>] [--config N]
            [--out DIR]
@@ -102,6 +104,16 @@ is byte-identical at any job count.
 suite/experiment cache verified cells under target/dmdc-cache/ keyed on
 the workload bytes, the run parameters and the simulator fingerprint;
 warm reruns replay instead of re-simulating. --no-cache opts out.
+
+Sampling: --scale full (paper-scale, only tractable sampled) defaults to
+SMARTS-style sampled simulation — functional fast-forward with cache and
+branch-predictor warming, periodic checkpoints, short detailed windows,
+population estimates with 95% confidence intervals (reported as
+`value ±ci` in every emitter). --sampled opts any scale in; --exact is
+the escape hatch forcing full detailed simulation at any scale. Sampled
+and exact runs never share cache or journal entries, and a sampled
+run with --run-id checkpoints windows so `dmdc run --resume` continues
+mid-cell after a crash.
 
 --profile reports a per-stage host-time breakdown, the event-horizon
 loop's skipped-cycle counters, the cell-cache hit/miss/integrity totals,
@@ -306,8 +318,35 @@ fn parse_scale(flags: &std::collections::HashMap<String, String>) -> Result<Scal
         "smoke" => Ok(Scale::Smoke),
         "default" => Ok(Scale::Default),
         "large" => Ok(Scale::Large),
+        "full" => Ok(Scale::Full),
         other => Err(format!("unknown scale `{other}`")),
     }
+}
+
+/// Resolves the sampling mode from `--sampled` / `--exact` and the scale:
+/// paper-scale (`--scale full`) runs sample by default because exact
+/// simulation at that size is intractable; every other scale stays exact
+/// unless `--sampled` asks otherwise. Returns the spec it installed as
+/// the process-wide default for the runner.
+fn apply_sampling(
+    flags: &std::collections::HashMap<String, String>,
+    scale: Scale,
+) -> Result<SampleSpec, String> {
+    if flags.contains_key("exact") && flags.contains_key("sampled") {
+        return Err("--exact and --sampled are mutually exclusive".to_string());
+    }
+    let on = if flags.contains_key("exact") {
+        false
+    } else {
+        flags.contains_key("sampled") || scale == Scale::Full
+    };
+    let spec = if on {
+        SampleSpec::standard()
+    } else {
+        SampleSpec::EXACT
+    };
+    runner::set_default_sampling(spec);
+    Ok(spec)
 }
 
 fn find_workload(name: &str, scale: Scale) -> Result<Workload, String> {
@@ -331,7 +370,7 @@ fn cmd_list() {
     println!("          dmdc-global dmdc-local dmdc-coherent dmdc-no-safe-loads queue-<N>");
     println!();
     println!("configs:  1 (ROB 128)  2 (ROB 256, default)  3 (ROB 512)");
-    println!("scales:   smoke default large");
+    println!("scales:   smoke default large full (full samples by default)");
     println!();
     println!("experiments (dmdc experiment <id> [--scale S] [--format text|json|csv]):");
     for exp in experiments::registry() {
@@ -357,6 +396,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let policy = parse_policy(flags.get("policy").ok_or("--policy is required")?)?;
     let config = parse_config(&flags)?;
     let scale = parse_scale(&flags)?;
+    let spec = apply_sampling(&flags, scale)?;
     let workload = find_workload(workload_name, scale)?;
 
     let mut opts = SimOptions::default();
@@ -371,6 +411,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     opts.profile = flags.contains_key("profile");
 
+    if spec.enabled() {
+        if opts.trace_capacity > 0 {
+            return Err("--trace needs an exact run (add --exact)".to_string());
+        }
+        if opts.max_commits.is_some() {
+            return Err("--max-commits needs an exact run (add --exact)".to_string());
+        }
+        opts.sampling = spec;
+        if opts.profile {
+            runner::set_profile(true);
+        }
+        apply_recovery(&flags)?;
+        apply_journal("run", args, &flags)?;
+        let cell = experiments::run_workload(&workload, &config, &policy, opts);
+        print_run_stats(&workload, &policy, &config, &cell.stats);
+        report_profile();
+        return Ok(());
+    }
+
     // Drive the simulator directly so the trace is accessible afterwards.
     let mut sim = Simulator::new(&workload.program, config.clone(), policy.build(&config));
     let result = sim.run(opts).map_err(|e| e.to_string())?;
@@ -379,6 +438,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 
     let s = &result.stats;
+    print_run_stats(&workload, &policy, &config, s);
+    if let Some(profile) = &result.profile {
+        print!("{}", profile.render(s));
+    }
+    Ok(())
+}
+
+/// The shared `dmdc run` stat block. Sampled runs append the sampling
+/// summary (windows, population, estimates with 95% CIs); exact output is
+/// byte-identical to what this command always printed.
+fn print_run_stats(
+    workload: &Workload,
+    policy: &PolicyKind,
+    config: &CoreConfig,
+    s: &dmdc::ooo::SimStats,
+) {
     println!(
         "workload {} under {policy:?} on {}",
         workload.name, config.name
@@ -405,10 +480,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if s.policy.invalidations > 0 {
         println!("  invalidations {:>12}", s.policy.invalidations);
     }
-    if let Some(profile) = &result.profile {
-        print!("{}", profile.render(s));
+    if s.is_sampled() {
+        let sp = &s.sampling;
+        println!(
+            "  sampled       {:>12}  windows over {} retired insts ({} measured)",
+            sp.windows, sp.population, sp.sampled_committed
+        );
+        println!(
+            "  estimates     IPC {}, replays/1M {}, safe stores {}, safe loads {}",
+            fmt::f2_ci(sp.ipc_mean(), sp.ipc_ci()),
+            fmt::f1_ci(sp.replays_per_m_mean(), sp.replays_per_m_ci()),
+            fmt::pct_ci(sp.filter_rate_mean(), sp.filter_rate_ci()),
+            fmt::pct_ci(sp.safe_load_rate_mean(), sp.safe_load_rate_ci()),
+        );
     }
-    Ok(())
 }
 
 fn cmd_suite(args: &[String]) -> Result<(), String> {
@@ -426,6 +511,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     apply_profile(&flags);
     apply_cache(&flags);
     apply_recovery(&flags)?;
+    apply_sampling(&flags, scale)?;
     apply_journal("suite", args, &flags)?;
     let mut t = Table::new(format!("suite under {policy:?} on {}", config.name));
     t.headers([
@@ -444,13 +530,36 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     let (runs, failures) = engine.run_all_recovered(&specs);
     for (w, r) in suite.iter().zip(&runs) {
         let Some(r) = r else { continue };
+        let s = &r.stats;
+        // Sampled cells show each estimate with its 95% half-width; exact
+        // cells render byte-identically to before.
+        let row = if s.is_sampled() {
+            let sp = &s.sampling;
+            [
+                fmt::f2_ci(s.ipc(), sp.ipc_ci()),
+                fmt::f1_ci(
+                    s.per_million(s.policy.replays.total()),
+                    sp.replays_per_m_ci(),
+                ),
+                fmt::pct_ci(s.policy.store_filter_rate(), sp.filter_rate_ci()),
+                fmt::pct_ci(s.policy.safe_load_rate(), sp.safe_load_rate_ci()),
+            ]
+        } else {
+            [
+                fmt::f2(s.ipc()),
+                fmt::f1(s.per_million(s.policy.replays.total())),
+                fmt::pct(s.policy.store_filter_rate()),
+                fmt::pct(s.policy.safe_load_rate()),
+            ]
+        };
+        let [ipc, replays, stores, loads] = row;
         t.row([
             w.name.to_string(),
             w.group.to_string(),
-            fmt::f2(r.stats.ipc()),
-            fmt::f1(r.stats.per_million(r.stats.policy.replays.total())),
-            fmt::pct(r.stats.policy.store_filter_rate()),
-            fmt::pct(r.stats.policy.safe_load_rate()),
+            ipc,
+            replays,
+            stores,
+            loads,
         ]);
     }
     let quarantined = failures.len();
@@ -479,6 +588,7 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     apply_profile(&flags);
     apply_cache(&flags);
     apply_recovery(&flags)?;
+    apply_sampling(&flags, scale)?;
     apply_journal("experiment", args, &flags)?;
     let ids: Vec<&str> = match which.as_str() {
         "all" => experiments::registry().iter().map(|e| e.id()).collect(),

@@ -103,6 +103,79 @@ fn killed_suite_resumes_byte_identical() {
 }
 
 #[test]
+fn killed_sampled_run_resumes_byte_identical() {
+    let wd = workdir("dmdc-sampled-crash-wd");
+    const RUN: &[&str] = &[
+        "run",
+        "--workload",
+        "histo",
+        "--policy",
+        "dmdc-global",
+        "--scale",
+        "default",
+        "--sampled",
+        "--profile",
+    ];
+
+    // The uninterrupted reference run (no journaling involved).
+    let clean = dmdc(&wd, RUN);
+    assert!(
+        clean.status.success(),
+        "clean sampled run failed: {}",
+        stderr(&clean)
+    );
+    let reference = stdout(&clean);
+    assert!(
+        reference.contains("sampled") && reference.contains("estimates"),
+        "expected a sampled stat block, got: {reference}"
+    );
+
+    // The same run, journaled, aborted after 6 of its 24 per-window
+    // partial-progress envelopes have been sealed — mid-cell, so resume
+    // must continue from the envelope, not restart from scratch.
+    let mut crash_args = RUN.to_vec();
+    crash_args.extend([
+        "--run-id",
+        "sampled-kill",
+        "--inject-faults",
+        "kill-after=6",
+    ]);
+    let crashed = dmdc(&wd, &crash_args);
+    assert!(
+        !crashed.status.success(),
+        "the injected abort must kill the run"
+    );
+    let run_dir = wd.join("target/dmdc-runs/sampled-kill");
+    let samples = dmdc::core::sampling::sample_envelope_dir(&run_dir);
+    let envelopes = std::fs::read_dir(&samples)
+        .expect("samples dir exists")
+        .count();
+    assert!(
+        envelopes >= 1,
+        "the crashed cell must leave its partial-progress envelope behind"
+    );
+
+    // Resume: reload the envelope, run only the remaining windows, and
+    // reproduce the reference bytes exactly.
+    let resumed = dmdc(&wd, &["run", "--resume", "sampled-kill"]);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        stderr(&resumed)
+    );
+    assert!(
+        stderr(&resumed).contains("1 cells resumed"),
+        "resume must report the mid-cell continuation, got: {}",
+        stderr(&resumed)
+    );
+    assert_eq!(
+        stdout(&resumed),
+        reference,
+        "resumed sampled run must be byte-identical to the uninterrupted run"
+    );
+}
+
+#[test]
 fn completed_journaled_run_matches_unjournaled_run() {
     let wd = workdir("dmdc-journal-noop-wd");
     let clean = dmdc(&wd, SUITE);
