@@ -1,0 +1,17 @@
+fn main() {
+    let scale = dmdc_workloads::Scale::Full;
+    for w in dmdc_workloads::full_suite(scale) {
+        let code = dmdc_isa::BlockCode::compile(&w.program);
+        let mut emu = dmdc_isa::Emulator::new(&w.program);
+        let t = std::time::Instant::now();
+        emu.run_silent(&code, u64::MAX).unwrap();
+        let dt = t.elapsed();
+        println!(
+            "{:>12} retired {:>10} {:>8.2?} {:>6.2} ns/inst",
+            w.name,
+            emu.retired(),
+            dt,
+            dt.as_nanos() as f64 / emu.retired() as f64
+        );
+    }
+}

@@ -45,6 +45,7 @@ use dmdc_workloads::Workload;
 
 use crate::cell::CellResult;
 use crate::recovery::{self, RecoveryKind};
+use crate::sampling::Checkpoint;
 
 /// Version tag of the dependence-policy implementations in this crate
 /// (DMDC, YLA, bloom, checking queue). Bump together with semantic
@@ -308,23 +309,9 @@ impl CellCache {
     /// rejection.
     fn quarantine(&self, path: &Path, reason: &str) {
         self.corrupt.fetch_add(1, Ordering::Relaxed);
-        let qdir = self.quarantine_dir();
-        let moved = std::fs::create_dir_all(&qdir).is_ok()
-            && path
-                .file_name()
-                .is_some_and(|name| std::fs::rename(path, qdir.join(name)).is_ok());
-        if moved {
+        if quarantine_into(&self.quarantine_dir(), path, reason) {
             self.quarantined.fetch_add(1, Ordering::Relaxed);
-        } else {
-            let _ = std::fs::remove_file(path);
         }
-        recovery::record(
-            RecoveryKind::CacheQuarantined,
-            path.file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_else(|| path.display().to_string()),
-            reason,
-        );
     }
 
     /// Looks up a cell. The sealed envelope is verified before any
@@ -386,6 +373,201 @@ impl CellCache {
             quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Shared quarantine mechanics: move the rejected file into `qdir`
+/// (best-effort — delete it when the move fails, so a broken file can
+/// never be consulted twice) and record the rejection in the recovery
+/// ledger. Returns whether the move succeeded.
+fn quarantine_into(qdir: &Path, path: &Path, reason: &str) -> bool {
+    let moved = std::fs::create_dir_all(qdir).is_ok()
+        && path
+            .file_name()
+            .is_some_and(|name| std::fs::rename(path, qdir.join(name)).is_ok());
+    if !moved {
+        let _ = std::fs::remove_file(path);
+    }
+    recovery::record(
+        RecoveryKind::CacheQuarantined,
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string()),
+        reason,
+    );
+    moved
+}
+
+/// Format-version line of a persisted sampling checkpoint body. Bumping
+/// it quarantines every previously stored checkpoint at once.
+const CKPT_MAGIC: &str = "dmdc-ckpt v1";
+
+/// A content-addressed, persistent store of sampling [`Checkpoint`]s —
+/// the warm-run counterpart of [`CellCache`].
+///
+/// A sampled cell's checkpoints are a pure function of the simulator
+/// fingerprint, the workload's program bytes, the core config, the
+/// [`SampleSpec`](dmdc_ooo::SampleSpec) placement and the warming
+/// horizon — notably **not** of the dependence policy under test, whose
+/// structures a detailed window builds from scratch after the restore.
+/// The store keys on exactly those inputs (the caller passes them
+/// pre-rendered as `sample_desc`) plus the window index:
+///
+/// ```text
+/// key = fnv64( fingerprint ‖ workload digest ‖ sample_desc ‖ window )
+/// ```
+///
+/// Excluding the policy from the key is what makes checkpoints shareable:
+/// within one cold suite run, the first policy to fast-forward a workload
+/// populates the store and every other policy's cells restore from it. On
+/// a fully warm run no fast-forward happens at all.
+///
+/// Files live under `checkpoints/` beside the cell cache, one per key
+/// (`<key>.ckpt`), wrapped in the same [`seal`] envelope and held to the
+/// same discipline: verify before deserializing, quarantine anything
+/// damaged or stale to `checkpoints/quarantine/`, and regenerate
+/// transparently (the fast-forward simply runs).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    fingerprint: String,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    corrupt: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// A store under `root` (the cache root — checkpoints live in its
+    /// `checkpoints/` subdirectory) with the default fingerprint.
+    pub fn new(root: impl Into<PathBuf>) -> CheckpointStore {
+        CheckpointStore::with_fingerprint(root, default_fingerprint())
+    }
+
+    /// A store under `root` keying on an explicit fingerprint (tests use
+    /// this to prove a fingerprint bump re-runs every fast-forward).
+    pub fn with_fingerprint(
+        root: impl Into<PathBuf>,
+        fingerprint: impl Into<String>,
+    ) -> CheckpointStore {
+        CheckpointStore {
+            dir: root.into().join("checkpoints"),
+            fingerprint: fingerprint.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's directory (`<cache-root>/checkpoints`).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The key for one window's checkpoint. `sample_desc` must render
+    /// every input the checkpoint depends on besides the program: core
+    /// config, sampling spec, population and warming horizon.
+    pub fn key(&self, workload_digest: u64, sample_desc: &str, window: u32) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(self.fingerprint.as_bytes());
+        h.write_u64(workload_digest);
+        h.write(sample_desc.as_bytes());
+        h.write_u64(window as u64);
+        h.finish()
+    }
+
+    fn path_of(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.ckpt"))
+    }
+
+    /// Where rejected checkpoints are preserved for post-mortem
+    /// inspection.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    fn quarantine(&self, path: &Path, reason: &str) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        if quarantine_into(&self.quarantine_dir(), path, reason) {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks up window `window`'s checkpoint. The sealed envelope is
+    /// verified before any deserialization; damaged or stale entries
+    /// (wrong magic, wrong workload, undecodable body, window mismatch)
+    /// are quarantined and degrade to misses, so the fast-forward simply
+    /// re-runs.
+    pub fn load(&self, key: u64, expected_workload: &str, window: u32) -> Option<Checkpoint> {
+        let path = self.path_of(key);
+        let loaded = match std::fs::read_to_string(&path) {
+            Err(_) => None, // absent (or unreadable): a plain miss
+            Ok(text) => match unseal(&text) {
+                Err(e) => {
+                    self.quarantine(&path, e.label());
+                    None
+                }
+                Ok(body) => {
+                    let ck = decode_checkpoint_body(body, expected_workload, window);
+                    if ck.is_none() {
+                        self.quarantine(&path, "stale-record");
+                    }
+                    ck
+                }
+            },
+        };
+        match &loaded {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        loaded
+    }
+
+    /// Persists a freshly captured checkpoint, sealed and via tmp+rename.
+    /// I/O failures are swallowed: a store that cannot write costs a
+    /// re-fast-forward later, never a wrong result now.
+    pub fn store(&self, key: u64, workload: &str, checkpoint: &Checkpoint) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let body = format!("{CKPT_MAGIC}\nworkload {workload}\n{}", checkpoint.encode());
+        let path = self.path_of(key);
+        if write_sealed(&path, &body, tmp_tag(key)) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            crate::faults::on_cache_entry_written(&path);
+        }
+    }
+
+    /// Counters since this store handle was created.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Parses a stored checkpoint body: magic line, `workload <name>` guard,
+/// then [`Checkpoint::encode`] output, with the window index required to
+/// match and no trailing lines tolerated.
+fn decode_checkpoint_body(body: &str, expected_workload: &str, window: u32) -> Option<Checkpoint> {
+    let mut lines = body.lines();
+    if lines.next()? != CKPT_MAGIC {
+        return None;
+    }
+    if lines.next()?.strip_prefix("workload ")? != expected_workload {
+        return None;
+    }
+    let ck = Checkpoint::decode(&mut lines)?;
+    if ck.window != window || lines.next().is_some() {
+        return None;
+    }
+    Some(ck)
 }
 
 #[cfg(test)]

@@ -115,6 +115,29 @@ pub fn global_journal() -> Option<Arc<RunJournal>> {
         .clone()
 }
 
+/// Process-wide persistent checkpoint store (see
+/// [`CheckpointStore`](crate::cache::CheckpointStore)). The CLI installs
+/// one alongside the cell cache (unless `--no-cache`); with it, sampled
+/// cells restore their fast-forward checkpoints from the shared store
+/// instead of re-emulating.
+static GLOBAL_CHECKPOINTS: Mutex<Option<Arc<crate::cache::CheckpointStore>>> = Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide checkpoint store
+/// consulted by every subsequently executed sampled cell.
+pub fn set_global_checkpoint_store(store: Option<Arc<crate::cache::CheckpointStore>>) {
+    *GLOBAL_CHECKPOINTS
+        .lock()
+        .expect("checkpoint store poisoned") = store;
+}
+
+/// The process-wide checkpoint store, if one is installed.
+pub fn global_checkpoint_store() -> Option<Arc<crate::cache::CheckpointStore>> {
+    GLOBAL_CHECKPOINTS
+        .lock()
+        .expect("checkpoint store poisoned")
+        .clone()
+}
+
 /// Process-wide default for per-cell retries (how many times a panicking,
 /// timed-out or erroring cell is re-attempted before quarantine). The
 /// CLI's `--retries` flag sets this.
@@ -235,24 +258,37 @@ pub fn take_profile_totals() -> ProfileTotals {
     std::mem::take(&mut *PROFILE_TOTALS.lock().expect("profile totals poisoned"))
 }
 
-/// Folds one sampled cell's mode breakdown into the process-wide totals:
-/// how many instructions the functional fast-forward covered, how many
-/// cycles and commits the detailed windows simulated, and how the host
-/// time split between fast-forwarding and detailed windows. Called by
-/// the sampling driver once per sampled cell when profiling is on.
-pub(crate) fn record_sampling(
-    ff_insts: u64,
-    ff_nanos: u64,
-    window_nanos: u64,
-    window_cycles: u64,
-    window_committed: u64,
-) {
+/// One sampled cell's mode breakdown, folded into the process-wide
+/// [`ProfileTotals`] by the sampling driver when profiling is on: how
+/// many instructions the functional fast-forward covered (and how — whole
+/// compiled blocks vs. single-step fallbacks), how many cycles and
+/// commits the detailed windows simulated, and how the host time split
+/// between block compilation, fast-forwarding and detailed windows.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SamplingSample {
+    pub ff_insts: u64,
+    pub ff_nanos: u64,
+    pub compile_nanos: u64,
+    pub ff_blocks: u64,
+    pub ff_fallback_steps: u64,
+    pub ckpt_shared: u64,
+    pub window_nanos: u64,
+    pub window_cycles: u64,
+    pub window_committed: u64,
+}
+
+/// Folds one sampled cell's breakdown into the process-wide totals.
+pub(crate) fn record_sampling(sample: SamplingSample) {
     let mut totals = PROFILE_TOTALS.lock().expect("profile totals poisoned");
-    totals.ff_insts += ff_insts;
-    totals.ff_nanos += ff_nanos;
-    totals.window_nanos += window_nanos;
-    totals.window_cycles += window_cycles;
-    totals.window_committed += window_committed;
+    totals.ff_insts += sample.ff_insts;
+    totals.ff_nanos += sample.ff_nanos;
+    totals.compile_nanos += sample.compile_nanos;
+    totals.ff_blocks += sample.ff_blocks;
+    totals.ff_fallback_steps += sample.ff_fallback_steps;
+    totals.ckpt_shared += sample.ckpt_shared;
+    totals.window_nanos += sample.window_nanos;
+    totals.window_cycles += sample.window_cycles;
+    totals.window_committed += sample.window_committed;
     totals.sampled_cells += 1;
 }
 
@@ -279,6 +315,19 @@ pub struct ProfileTotals {
     pub ff_insts: u64,
     /// Host nanoseconds spent in functional fast-forward, summed.
     pub ff_nanos: u64,
+    /// Host nanoseconds spent pre-decoding programs into block code,
+    /// summed over sampled cells.
+    pub compile_nanos: u64,
+    /// Straight-line blocks / control transfers the silent-run engine
+    /// executed whole during fast-forward, summed.
+    pub ff_blocks: u64,
+    /// Fast-forward instructions that went through the single-step
+    /// fallback (partial blocks at stop boundaries), summed.
+    pub ff_fallback_steps: u64,
+    /// Windows whose checkpoint came from the in-process memo (shared
+    /// from an earlier cell in this run) instead of a fast-forward or the
+    /// persistent store, summed.
+    pub ckpt_shared: u64,
     /// Host nanoseconds spent in detailed sample windows, summed.
     pub window_nanos: u64,
     /// Cycles the detailed sample windows simulated, summed.
@@ -301,6 +350,10 @@ impl ProfileTotals {
             runs: 0,
             ff_insts: 0,
             ff_nanos: 0,
+            compile_nanos: 0,
+            ff_blocks: 0,
+            ff_fallback_steps: 0,
+            ckpt_shared: 0,
             window_nanos: 0,
             window_cycles: 0,
             window_committed: 0,
@@ -364,6 +417,14 @@ impl ProfileTotals {
                 self.ff_nanos as f64 / 1.0e6,
                 self.window_nanos as f64 / 1.0e6,
             );
+            let _ = writeln!(
+                out,
+                "[profile] sampling: fast-forward ran {} compiled blocks + {} single-step fallbacks; block compile {:.2} ms; {} in-memory checkpoint restores",
+                self.ff_blocks,
+                self.ff_fallback_steps,
+                self.compile_nanos as f64 / 1.0e6,
+                self.ckpt_shared,
+            );
         }
         out
     }
@@ -411,11 +472,15 @@ impl EmuOracle {
                 computed = true;
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 let w = &workloads[index];
+                // The oracle only needs the final state and retired count,
+                // so the block-compiled silent run (bit-identical to
+                // stepping; see `dmdc_isa::BlockCode`) does the whole
+                // emulation on the fast path.
+                let code = dmdc_isa::BlockCode::compile(&w.program);
                 let mut emu = Emulator::new(&w.program);
-                let retired = emu
-                    .run(u64::MAX)
+                emu.run_silent(&code, u64::MAX)
                     .map_err(|e| format!("{} must halt under emulation: {e}", w.name))?;
-                Ok((emu.state_checksum(), retired))
+                Ok((emu.state_checksum(), emu.retired()))
             })
             .clone();
         if !computed {

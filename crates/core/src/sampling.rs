@@ -28,6 +28,15 @@
 //! is byte-identical to an uninterrupted run because every window derives
 //! deterministically from its checkpoint.
 //!
+//! Fast-forward itself runs through [`BlockCode`] — the program
+//! pre-decoded into straight-line blocks, executed silently with
+//! bit-identical architectural results — and checkpoints persist beyond
+//! the run in the content-addressed
+//! [`CheckpointStore`](crate::cache::CheckpointStore): keyed on
+//! everything the checkpoint depends on *except* the policy (which the
+//! detailed windows rebuild from scratch), so policies share checkpoints
+//! within a cold run and a warm run fast-forwards nothing at all.
+//!
 //! Determinism contract: the master fast-forward, the window placement,
 //! the warming rules and the window simulations are all pure functions of
 //! `(workload, config, policy, options)` — a sampled cell, like an exact
@@ -35,28 +44,29 @@
 //! [`SimOptions`], so sampled and exact cells can never share a cache or
 //! journal key.
 
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use dmdc_isa::{Emulator, Inst, Program, Retired, SparseMemory};
+use dmdc_isa::{BlockCode, Emulator, Inst, Program, Retired, SilentObserver, SparseMemory};
 use dmdc_ooo::{
     to_q32, BranchPredictor, Btb, CoreConfig, MemoryHierarchy, SampleSpec, SamplingStats, SimError,
     SimOptions, SimStats, Simulator,
 };
-use dmdc_types::{AccessSize, Addr};
+use dmdc_types::Addr;
 use dmdc_workloads::Workload;
 
-use crate::cache::{workload_digest, write_sealed};
+use crate::cache::{workload_digest, write_sealed, Fnv64};
 use crate::cell::{CellError, CellResult, FailureKind};
 use crate::experiments::PolicyKind;
 
 /// Magic + version line of the persisted partial-progress envelope.
 const SAMPLE_MAGIC: &str = "dmdc-sample v1";
 
-/// Bytes per memory page and 64-bit words per page (must match
-/// `SparseMemory`'s page geometry: 4 KiB pages).
+/// Bytes per memory page (must match `SparseMemory`'s page geometry:
+/// 4 KiB pages).
 const PAGE_BYTES: u64 = 4096;
-const PAGE_WORDS: u64 = PAGE_BYTES / 8;
 
 /// Functional-warming horizon: how many retired instructions before each
 /// checkpoint warm the shadow cache hierarchy / branch predictor. The
@@ -106,9 +116,10 @@ impl Checkpoint {
         let mem = emu.memory();
         let mut pages = Vec::new();
         for base in mem.touched_pages() {
+            let bytes = mem.page_bytes(base).expect("touched page exists");
             let mut words = Vec::new();
-            for i in 0..PAGE_WORDS {
-                let v = mem.read(Addr(base.0 + 8 * i), AccessSize::B8);
+            for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+                let v = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
                 if i == 0 || v != 0 {
                     words.push((i as u32, v));
                 }
@@ -134,15 +145,21 @@ impl Checkpoint {
         }
     }
 
-    /// Rebuilds the memory image.
+    /// Rebuilds the memory image. Each page is assembled in a local
+    /// buffer and installed with one bulk write — this runs twice per
+    /// detailed window (simulator restore + reference replay), so the
+    /// word-at-a-time path would cost real milliseconds per cell.
     pub fn memory(&self) -> SparseMemory {
         let mut mem = SparseMemory::new();
+        let mut buf = vec![0u8; PAGE_BYTES as usize];
         for (base, words) in &self.pages {
+            buf.fill(0);
             for &(i, v) in words {
-                // Writing word 0 even when zero materializes the page,
-                // preserving the captured footprint exactly.
-                mem.write(Addr(base + 8 * i as u64), AccessSize::B8, v);
+                buf[8 * i as usize..8 * (i as usize + 1)].copy_from_slice(&v.to_le_bytes());
             }
+            // Bulk-writing the whole page materializes it even when all
+            // words are zero, preserving the captured footprint exactly.
+            mem.write_bytes(Addr(*base), &buf);
         }
         mem
     }
@@ -212,6 +229,19 @@ impl Checkpoint {
             let _ = writeln!(out, "{tag} {}", join(words));
         }
         out
+    }
+
+    /// Approximate in-memory footprint, used by the in-process memo's
+    /// byte-cap eviction. Counts the dominant heap payloads (page words
+    /// and exported microarchitectural words) plus a fixed allowance for
+    /// the register files and struct header; exactness is irrelevant — a
+    /// consistent estimate is all FIFO eviction needs.
+    pub fn approx_bytes(&self) -> usize {
+        let page_words: usize = self.pages.iter().map(|(_, w)| w.len()).sum();
+        let uarch_words =
+            self.l1i.len() + self.l1d.len() + self.l2.len() + self.bpred.len() + self.btb.len();
+        // Page entries are (u32, u64) pairs ≈ 16 bytes each with padding.
+        16 * page_words + 8 * uarch_words + 8 * 64 + 256
     }
 
     /// Parses [`Checkpoint::encode`] output from an iterator of lines
@@ -294,6 +324,67 @@ fn parse_array(body: &str) -> Option<[u64; 32]> {
     words.try_into().ok()
 }
 
+// ---------------------------------------------------------------------
+// In-process checkpoint memo: the RAM tier above the persistent
+// `CheckpointStore`. Checkpoints are policy-independent (see the key
+// derivation in `execute_sampled`), so within one process the first cell
+// to fast-forward a (workload, config, sampling) stream publishes its
+// checkpoints here and every other policy's cells restore instead of
+// re-emulating — even under `--no-cache`, which only disables the *disk*
+// tiers. Purely an accelerator: entries are exact `Checkpoint` values, a
+// miss (or an evicted entry) just re-runs the fast-forward, and the memo
+// dies with the process, so crash resume never depends on it.
+
+/// FIFO-evicted memo cap. Full-suite runs need well under this; the cap
+/// only guards pathological long-lived processes.
+const MEMO_CAP_BYTES: usize = 256 << 20;
+
+struct CkptMemo {
+    map: HashMap<u64, Arc<Checkpoint>>,
+    order: VecDeque<u64>,
+    bytes: usize,
+}
+
+static CKPT_MEMO: Mutex<Option<CkptMemo>> = Mutex::new(None);
+
+/// The memo key: the persistent store's key derivation minus the build
+/// fingerprint (meaningless within a single process).
+fn memo_key(workload_digest: u64, sample_desc: &str, window: u32) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(workload_digest);
+    h.write(sample_desc.as_bytes());
+    h.write_u64(window as u64);
+    h.finish()
+}
+
+fn memo_load(key: u64) -> Option<Arc<Checkpoint>> {
+    let guard = CKPT_MEMO.lock().expect("checkpoint memo poisoned");
+    guard.as_ref().and_then(|m| m.map.get(&key).cloned())
+}
+
+fn memo_publish(key: u64, ck: Arc<Checkpoint>) {
+    let mut guard = CKPT_MEMO.lock().expect("checkpoint memo poisoned");
+    let memo = guard.get_or_insert_with(|| CkptMemo {
+        map: HashMap::new(),
+        order: VecDeque::new(),
+        bytes: 0,
+    });
+    if memo.map.contains_key(&key) {
+        return;
+    }
+    memo.bytes += ck.approx_bytes();
+    memo.map.insert(key, ck);
+    memo.order.push_back(key);
+    while memo.bytes > MEMO_CAP_BYTES {
+        let Some(old) = memo.order.pop_front() else {
+            break;
+        };
+        if let Some(ck) = memo.map.remove(&old) {
+            memo.bytes = memo.bytes.saturating_sub(ck.approx_bytes());
+        }
+    }
+}
+
 /// The shadow structures warmed along the functional fast-forward, so a
 /// window's detailed simulation starts from trained caches and predictors
 /// instead of cold ones. The warming rules are deliberately simple (every
@@ -328,22 +419,43 @@ impl Warmer {
         Some(Warmer { hier, bpred, btb })
     }
 
-    /// Folds one retired instruction into the warm state.
+    /// Folds one retired instruction into the warm state. Delegates to
+    /// the [`SilentObserver`] hooks so this path and the block-compiled
+    /// [`Emulator::run_observed`] warming path share one set of rules.
     pub fn observe(&mut self, r: &Retired) {
-        self.hier.inst_access(Program::text_addr(r.pc));
+        SilentObserver::retire(self, r.pc);
         if let Some(span) = r.mem {
-            self.hier.data_access(span.addr);
+            SilentObserver::mem(self, span.addr);
         }
         match r.inst {
-            Inst::Branch { .. } => {
-                let taken = r.taken.unwrap_or(false);
-                let (_, snapshot) = self.bpred.predict(r.pc);
-                self.bpred.speculate(r.pc, taken);
-                self.bpred.update(r.pc, taken, snapshot);
-            }
-            Inst::Jalr { .. } => self.btb.insert(r.pc, r.next_pc),
+            Inst::Branch { .. } => SilentObserver::branch(self, r.pc, r.taken.unwrap_or(false)),
+            Inst::Jalr { .. } => SilentObserver::jalr(self, r.pc, r.next_pc),
             _ => {}
         }
+    }
+}
+
+impl SilentObserver for Warmer {
+    #[inline]
+    fn retire(&mut self, pc: u32) {
+        self.hier.inst_access(Program::text_addr(pc));
+    }
+
+    #[inline]
+    fn mem(&mut self, addr: Addr) {
+        self.hier.data_access(addr);
+    }
+
+    #[inline]
+    fn branch(&mut self, pc: u32, taken: bool) {
+        let (_, snapshot) = self.bpred.predict(pc);
+        self.bpred.speculate(pc, taken);
+        self.bpred.update(pc, taken, snapshot);
+    }
+
+    #[inline]
+    fn jalr(&mut self, pc: u32, next_pc: u32) {
+        self.btb.insert(pc, next_pc);
     }
 }
 
@@ -415,17 +527,38 @@ pub(crate) fn execute_sampled(
         });
     };
 
+    let digest = workload_digest(workload);
+
     // Partial-progress envelope (crash resume): locate it under the run
     // journal, keyed exactly like the cell itself.
     let envelope = crate::runner::global_journal().map(|journal| {
         let desc = format!("{config:?}|{policy_kind:?}|{opts:?}");
-        let key = journal.key(workload_digest(workload), &desc);
+        let key = journal.key(digest, &desc);
         let path = journal
             .run_dir()
             .join("samples")
             .join(format!("{key:016x}.ckpt"));
         (path, key)
     });
+
+    // Shared checkpoint key: checkpoints are a pure function of the
+    // program, config, sampling layout and warming horizon — notably NOT
+    // of the policy under test — so the description deliberately omits
+    // the policy. Within one cold run the first policy's cells populate
+    // the in-process memo (and the store, when installed) and every other
+    // policy restores from it; a warm run restores everything and
+    // fast-forwards nothing.
+    let sample_desc = format!(
+        "{config:?}|{:?}|pop {population}|horizon {WARM_HORIZON}",
+        opts.sampling
+    );
+    let store = crate::runner::global_checkpoint_store();
+
+    // Pre-decode the program once per cell; every fast-forward stretch
+    // below executes through the compiled blocks.
+    let t_compile = Instant::now();
+    let code = BlockCode::compile(&workload.program);
+    let compile_nanos = t_compile.elapsed().as_nanos() as u64;
 
     let mut deltas: Vec<Vec<u64>> = Vec::new();
     let mut pending: Option<Checkpoint> = None;
@@ -449,45 +582,106 @@ pub(crate) fn execute_sampled(
 
     let mut ff_insts = 0u64;
     let mut ff_nanos = 0u64;
+    let mut ff_blocks = 0u64;
+    let mut ff_fallback_steps = 0u64;
+    let mut ckpt_shared = 0u64;
     let mut window_nanos = 0u64;
     let first = deltas.len() as u64;
     for i in first..layout.windows {
         let checkpoint = match pending.take() {
-            Some(ck) => ck,
+            Some(ck) => Arc::new(ck),
             None => {
-                let target = layout.checkpoint_at(i);
-                let t0 = Instant::now();
-                // Warming horizon: only the last `WARM_HORIZON` retired
-                // instructions before a checkpoint warm the shadow
-                // structures; the stretch before that emulates silently.
-                // The rule is a pure function of position, so a resumed
-                // run (which restarts the master emulator at the previous
-                // checkpoint) reproduces the same warm state exactly.
-                let silent_until = target.saturating_sub(WARM_HORIZON);
-                if emu.retired() < silent_until {
-                    ff_insts += silent_until - emu.retired();
-                    match emu.run(silent_until) {
-                        Err(dmdc_isa::EmuError::InstructionLimit { .. }) | Ok(_) => {}
-                        Err(e) => {
-                            return Err(CellError::new(
-                                FailureKind::SimError,
-                                format!("{} fast-forward failed: {e}", workload.name),
-                            ))
-                        }
+                // In-process memo first (see `CkptMemo`): a hit means an
+                // earlier cell in this process — typically the same
+                // workload under a different policy — already produced
+                // this window's checkpoint.
+                let mkey = memo_key(digest, &sample_desc, i as u32);
+                let memoed =
+                    memo_load(mkey).and_then(|ck| Warmer::restore(&ck, config).map(|w| (ck, w)));
+                let ck = match memoed {
+                    Some((ck, w)) => {
+                        emu = ck.restore_emulator(&workload.program);
+                        warm = w;
+                        ckpt_shared += 1;
+                        ck
                     }
-                }
-                while emu.retired() < target {
-                    let r = emu.step().map_err(|e| {
-                        CellError::new(
-                            FailureKind::SimError,
-                            format!("{} fast-forward failed: {e}", workload.name),
-                        )
-                    })?;
-                    warm.observe(&r);
-                    ff_insts += 1;
-                }
-                ff_nanos += t0.elapsed().as_nanos() as u64;
-                let ck = Checkpoint::capture(i as u32, &emu, &warm);
+                    None => {
+                        // Shared store next: a hit replaces the
+                        // fast-forward entirely. The master emulator and
+                        // warm structures are restored from the stored
+                        // checkpoint (exactly as crash resume does), so a
+                        // later miss window fast-forwards from consistent
+                        // state.
+                        let stored = store.as_ref().and_then(|s| {
+                            let key = s.key(digest, &sample_desc, i as u32);
+                            s.load(key, workload.name, i as u32)
+                                .and_then(|ck| Warmer::restore(&ck, config).map(|w| (ck, w)))
+                        });
+                        let ck = match stored {
+                            Some((ck, w)) => {
+                                emu = ck.restore_emulator(&workload.program);
+                                warm = w;
+                                Arc::new(ck)
+                            }
+                            None => {
+                                let target = layout.checkpoint_at(i);
+                                let t0 = Instant::now();
+                                // Warming horizon: only the last
+                                // `WARM_HORIZON` retired instructions
+                                // before a checkpoint warm the shadow
+                                // structures; the stretch before that
+                                // emulates silently through the compiled
+                                // blocks. The rule is a pure function of
+                                // position, so a resumed run (which
+                                // restarts the master emulator at the
+                                // previous checkpoint) reproduces the
+                                // same warm state exactly.
+                                let silent_until = target.saturating_sub(WARM_HORIZON);
+                                if emu.retired() < silent_until {
+                                    ff_insts += silent_until - emu.retired();
+                                    match emu.run_silent(&code, silent_until) {
+                                        Ok(stats) => {
+                                            ff_blocks += stats.blocks;
+                                            ff_fallback_steps += stats.fallback_steps;
+                                        }
+                                        Err(e) => {
+                                            return Err(CellError::new(
+                                                FailureKind::SimError,
+                                                format!(
+                                                    "{} fast-forward failed: {e}",
+                                                    workload.name
+                                                ),
+                                            ))
+                                        }
+                                    }
+                                }
+                                // The warmed stretch runs through the
+                                // observed block executor — same events
+                                // as a step()+observe loop, none of the
+                                // per-step `Retired` overhead.
+                                ff_insts += target - emu.retired();
+                                emu.run_observed(&code, target, &mut warm).map_err(|e| {
+                                    CellError::new(
+                                        FailureKind::SimError,
+                                        format!("{} fast-forward failed: {e}", workload.name),
+                                    )
+                                })?;
+                                ff_nanos += t0.elapsed().as_nanos() as u64;
+                                let ck = Arc::new(Checkpoint::capture(i as u32, &emu, &warm));
+                                if let Some(s) = &store {
+                                    s.store(
+                                        s.key(digest, &sample_desc, i as u32),
+                                        workload.name,
+                                        &ck,
+                                    );
+                                }
+                                ck
+                            }
+                        };
+                        memo_publish(mkey, Arc::clone(&ck));
+                        ck
+                    }
+                };
                 if let Some((path, key)) = &envelope {
                     persist_partial(path, *key, &opts.sampling, population, &deltas, &ck);
                 }
@@ -506,15 +700,17 @@ pub(crate) fn execute_sampled(
         // Export order puts cycles first and committed second (see
         // `SimStats::export_values`), so the per-window deltas carry the
         // per-mode cycle counters directly.
-        let window_cycles = deltas.iter().map(|d| d[0]).sum();
-        let window_committed = deltas.iter().map(|d| d[1]).sum();
-        crate::runner::record_sampling(
+        crate::runner::record_sampling(crate::runner::SamplingSample {
             ff_insts,
             ff_nanos,
+            compile_nanos,
+            ff_blocks,
+            ff_fallback_steps,
+            ckpt_shared,
             window_nanos,
-            window_cycles,
-            window_committed,
-        );
+            window_cycles: deltas.iter().map(|d| d[0]).sum(),
+            window_committed: deltas.iter().map(|d| d[1]).sum(),
+        });
     }
     reduce(workload, &layout, population, &deltas).ok_or_else(|| {
         CellError::new(
@@ -592,20 +788,15 @@ fn run_window(
     wopts.max_commits = Some(layout.warmup + layout.measure);
     let b = sim.resume(wopts).map_err(sim_err)?;
     let mut reference = checkpoint.restore_emulator(&workload.program);
-    for _ in 0..b.stats.committed {
-        if reference.halted() {
-            break;
-        }
-        reference.step().map_err(|e| {
-            CellError::new(
-                FailureKind::SimError,
-                format!(
-                    "{} window {} reference replay failed: {e}",
-                    workload.name, checkpoint.window
-                ),
-            )
-        })?;
-    }
+    reference.run_for(b.stats.committed).map_err(|e| {
+        CellError::new(
+            FailureKind::SimError,
+            format!(
+                "{} window {} reference replay failed: {e}",
+                workload.name, checkpoint.window
+            ),
+        )
+    })?;
     if reference.state_checksum() != b.checksum {
         return Err(CellError::new(
             FailureKind::StateDivergence,
@@ -905,6 +1096,48 @@ mod tests {
         }
         assert_eq!(resumed.state_checksum(), straight.state_checksum());
         assert_eq!(resumed.pc(), straight.pc());
+    }
+
+    #[test]
+    fn checkpoint_store_roundtrips_and_keys_invalidate() {
+        use crate::cache::CheckpointStore;
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/dmdc-ckpt-store-unit-test");
+        let _ = std::fs::remove_dir_all(&root);
+        let (w, ck) = warm_checkpoint(2_000);
+        let digest = workload_digest(&w);
+        let store = CheckpointStore::with_fingerprint(&root, "fp-a");
+        let key = store.key(digest, "desc", ck.window);
+
+        assert!(store.load(key, w.name, ck.window).is_none(), "cold miss");
+        store.store(key, w.name, &ck);
+        assert_eq!(
+            store.load(key, w.name, ck.window).as_ref(),
+            Some(&ck),
+            "stored checkpoint must round-trip exactly"
+        );
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.stores), (1, 1, 1));
+
+        // Any keyed input moving moves the key: workload content,
+        // sampling description (config/spec/population/horizon), window
+        // index and the simulator fingerprint.
+        assert_ne!(key, store.key(digest ^ 1, "desc", ck.window));
+        assert_ne!(key, store.key(digest, "other-desc", ck.window));
+        assert_ne!(key, store.key(digest, "desc", ck.window + 1));
+        let bumped = CheckpointStore::with_fingerprint(&root, "fp-b");
+        assert_ne!(key, bumped.key(digest, "desc", ck.window));
+
+        // A checkpoint stored under a colliding key for a *different*
+        // workload or window is stale: quarantined, never returned.
+        assert!(store.load(key, "some-other-workload", ck.window).is_none());
+        let c = store.counters();
+        assert_eq!(c.corrupt, 1, "workload mismatch quarantines");
+        assert!(
+            store.load(key, w.name, ck.window).is_none(),
+            "the quarantined file must be gone"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

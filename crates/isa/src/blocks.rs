@@ -1,0 +1,1274 @@
+//! Block-compiled silent execution: the fast-forward engine behind
+//! statistical sampling.
+//!
+//! [`Emulator::step`] is built for observability — it returns a
+//! [`Retired`](crate::Retired) record (with a `MemSpan` for memory
+//! instructions and a taken flag for branches) per instruction, which the
+//! warming and audit layers consume. During a sampled run's *silent*
+//! fast-forward stretch nobody reads any of that: tens of millions of
+//! instructions are executed purely for their architectural effect. This
+//! module pre-decodes a [`Program`] once into straight-line runs of
+//! flattened [`MicroOp`]s and executes them in a tight loop that skips
+//! `Retired` construction, `MemSpan` building, per-step fetch
+//! bounds-checks and per-step halt re-checks.
+//!
+//! The compiled form resolves everything resolvable at compile time:
+//!
+//! * register operands become raw array indices (no `Reg` unwrapping);
+//! * immediates are pre-sign-extended to their 64-bit runtime form;
+//! * effective-address offsets are pre-widened and the natural-alignment
+//!   mask (`size - 1`) is pre-computed, so the per-access check is one
+//!   AND (the dynamic base register keeps full pre-validation static
+//!   offsets alone cannot provide);
+//! * `lui` and ALU-immediate ops reading `x0` fold to load-constant;
+//!   architectural no-ops (any op writing only `x0`, never-taken
+//!   same-register branches) fold to `Nop`; always-taken same-register
+//!   branches fold to unconditional jumps.
+//!
+//! **Equivalence contract**: executing `n` instructions through
+//! [`Emulator::run_silent`] leaves the emulator in *bit-identical* state
+//! (pc, retired count, halted flag, registers, memory, and therefore
+//! [`Emulator::state_checksum`]) to `n` [`Emulator::step`] calls, and
+//! raises the same [`EmuError`] at the same instruction. The differential
+//! proptest in `tests/block_equivalence.rs` pins this contract over random
+//! fuzz kernels and every registry workload.
+
+use dmdc_types::{AccessSize, Addr};
+
+use crate::emu::{fp_from_bits, fp_to_bits, fp_to_int, sign_extend, EmuError, Emulator};
+use crate::inst::{AluOp, BranchCond, FcmpCond, FpuOp, Inst};
+use crate::program::Program;
+
+/// One flattened micro-operation: an [`Inst`] with registers resolved to
+/// indices, immediates widened, effective-address forms fused and
+/// alignment masks pre-computed. Register fields are raw `[u64; 32]`
+/// indices; ops whose integer destination is `x0` are never emitted with
+/// `rd = 0` unless the variant's executor guards the write (loads and
+/// jumps, where the access or transfer must still happen).
+#[derive(Debug, Clone, Copy)]
+enum MicroOp {
+    /// No architectural effect (also: folded `x0`-destination ALU ops and
+    /// never-taken same-register branches).
+    Nop,
+    /// `rd = value` — folded `lui` and constant-operand ALU forms.
+    Const {
+        rd: u8,
+        value: u64,
+    },
+    /// `rd = rs1 + rs2`. The dominant ALU op gets its own dispatch arm so
+    /// executing it is one indirect jump, not a jump into [`MicroOp::Alu`]
+    /// followed by a second jump through [`AluOp::eval`]'s match.
+    Add {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    /// `rd = rs1 + imm` — the dominant immediate form (loop counters and
+    /// address bumps); see [`MicroOp::Add`] for why it is split out.
+    AddImm {
+        rd: u8,
+        rs1: u8,
+        imm: u64,
+    },
+    Alu {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    AluImm {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: u64,
+    },
+    /// 8-byte load — the dominant width gets a dedicated arm so the size
+    /// match inside [`SparseMemory::read`], the alignment mask and the
+    /// (vacuous at 8 bytes) sign extension all fold at compile time.
+    LoadD {
+        rd: u8,
+        base: u8,
+        offset: i64,
+    },
+    /// 8-byte store (see [`MicroOp::LoadD`]).
+    StoreD {
+        src: u8,
+        base: u8,
+        offset: i64,
+    },
+    /// 8-byte FP load (see [`MicroOp::LoadD`]).
+    FLoadD {
+        fd: u8,
+        base: u8,
+        offset: i64,
+    },
+    /// 8-byte FP store (see [`MicroOp::LoadD`]).
+    FStoreD {
+        src: u8,
+        base: u8,
+        offset: i64,
+    },
+    Load {
+        rd: u8,
+        base: u8,
+        offset: i64,
+        size: AccessSize,
+        signed: bool,
+        align_mask: u64,
+    },
+    Store {
+        src: u8,
+        base: u8,
+        offset: i64,
+        size: AccessSize,
+        align_mask: u64,
+    },
+    FLoad {
+        fd: u8,
+        base: u8,
+        offset: i64,
+        size: AccessSize,
+        align_mask: u64,
+    },
+    FStore {
+        src: u8,
+        base: u8,
+        offset: i64,
+        size: AccessSize,
+        align_mask: u64,
+    },
+    Fpu {
+        op: FpuOp,
+        fd: u8,
+        fs1: u8,
+        fs2: u8,
+    },
+    Fcmp {
+        cond: FcmpCond,
+        rd: u8,
+        fs1: u8,
+        fs2: u8,
+    },
+    IntToFp {
+        fd: u8,
+        rs: u8,
+    },
+    FpToInt {
+        rd: u8,
+        fs: u8,
+    },
+    // Control terminators: `run_len` is 0 at these pcs and the outer loop
+    // executes them individually.
+    /// `beq` — the common loop conditions get their own dispatch arms
+    /// (see [`MicroOp::Add`]); [`MicroOp::Branch`] keeps the rest.
+    BranchEq {
+        rs1: u8,
+        rs2: u8,
+        target: u32,
+    },
+    /// `bne` (see [`MicroOp::BranchEq`]).
+    BranchNe {
+        rs1: u8,
+        rs2: u8,
+        target: u32,
+    },
+    /// `blt`, signed (see [`MicroOp::BranchEq`]).
+    BranchLt {
+        rs1: u8,
+        rs2: u8,
+        target: u32,
+    },
+    Branch {
+        cond: BranchCond,
+        rs1: u8,
+        rs2: u8,
+        target: u32,
+    },
+    /// Unconditional jump (also: folded always-taken same-register
+    /// branches, with `rd = 0`).
+    Jal {
+        rd: u8,
+        target: u32,
+    },
+    Jalr {
+        rd: u8,
+        rs1: u8,
+    },
+    Halt,
+}
+
+impl MicroOp {
+    /// Whether this op terminates a straight-line run.
+    fn is_control(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::BranchEq { .. }
+                | MicroOp::BranchNe { .. }
+                | MicroOp::BranchLt { .. }
+                | MicroOp::Branch { .. }
+                | MicroOp::Jal { .. }
+                | MicroOp::Jalr { .. }
+                | MicroOp::Halt
+        )
+    }
+}
+
+/// Lowers one instruction to its flattened form, folding what is constant
+/// at compile time. Every fold preserves exact architectural semantics:
+/// the folded op retires, advances the pc and writes (or not) exactly as
+/// [`Emulator::step`] would.
+fn lower(inst: Inst) -> MicroOp {
+    match inst {
+        Inst::Nop => MicroOp::Nop,
+        Inst::Halt => MicroOp::Halt,
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            if rd.is_zero() {
+                MicroOp::Nop
+            } else if rs1.is_zero() && rs2.is_zero() {
+                MicroOp::Const {
+                    rd: rd.index() as u8,
+                    value: op.eval(0, 0),
+                }
+            } else if op == AluOp::Add {
+                MicroOp::Add {
+                    rd: rd.index() as u8,
+                    rs1: rs1.index() as u8,
+                    rs2: rs2.index() as u8,
+                }
+            } else {
+                MicroOp::Alu {
+                    op,
+                    rd: rd.index() as u8,
+                    rs1: rs1.index() as u8,
+                    rs2: rs2.index() as u8,
+                }
+            }
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let imm = imm as i64 as u64;
+            if rd.is_zero() {
+                MicroOp::Nop
+            } else if rs1.is_zero() {
+                MicroOp::Const {
+                    rd: rd.index() as u8,
+                    value: op.eval(0, imm),
+                }
+            } else if op == AluOp::Add {
+                MicroOp::AddImm {
+                    rd: rd.index() as u8,
+                    rs1: rs1.index() as u8,
+                    imm,
+                }
+            } else {
+                MicroOp::AluImm {
+                    op,
+                    rd: rd.index() as u8,
+                    rs1: rs1.index() as u8,
+                    imm,
+                }
+            }
+        }
+        Inst::Lui { rd, imm } => {
+            if rd.is_zero() {
+                MicroOp::Nop
+            } else {
+                MicroOp::Const {
+                    rd: rd.index() as u8,
+                    value: ((imm as i64) << 16) as u64,
+                }
+            }
+        }
+        Inst::Load {
+            size,
+            signed,
+            rd,
+            base,
+            offset,
+        } => {
+            if size == AccessSize::B8 {
+                // `signed` is vacuous at full width: sign_extend(x, B8) = x.
+                MicroOp::LoadD {
+                    rd: rd.index() as u8,
+                    base: base.index() as u8,
+                    offset: offset as i64,
+                }
+            } else {
+                MicroOp::Load {
+                    rd: rd.index() as u8,
+                    base: base.index() as u8,
+                    offset: offset as i64,
+                    size,
+                    signed,
+                    align_mask: size.bytes() - 1,
+                }
+            }
+        }
+        Inst::Store {
+            size,
+            src,
+            base,
+            offset,
+        } => {
+            if size == AccessSize::B8 {
+                MicroOp::StoreD {
+                    src: src.index() as u8,
+                    base: base.index() as u8,
+                    offset: offset as i64,
+                }
+            } else {
+                MicroOp::Store {
+                    src: src.index() as u8,
+                    base: base.index() as u8,
+                    offset: offset as i64,
+                    size,
+                    align_mask: size.bytes() - 1,
+                }
+            }
+        }
+        Inst::FLoad {
+            size,
+            fd,
+            base,
+            offset,
+        } => {
+            if size == AccessSize::B8 {
+                MicroOp::FLoadD {
+                    fd: fd.index() as u8,
+                    base: base.index() as u8,
+                    offset: offset as i64,
+                }
+            } else {
+                MicroOp::FLoad {
+                    fd: fd.index() as u8,
+                    base: base.index() as u8,
+                    offset: offset as i64,
+                    size,
+                    align_mask: size.bytes() - 1,
+                }
+            }
+        }
+        Inst::FStore {
+            size,
+            src,
+            base,
+            offset,
+        } => {
+            if size == AccessSize::B8 {
+                MicroOp::FStoreD {
+                    src: src.index() as u8,
+                    base: base.index() as u8,
+                    offset: offset as i64,
+                }
+            } else {
+                MicroOp::FStore {
+                    src: src.index() as u8,
+                    base: base.index() as u8,
+                    offset: offset as i64,
+                    size,
+                    align_mask: size.bytes() - 1,
+                }
+            }
+        }
+        Inst::Fpu { op, fd, fs1, fs2 } => MicroOp::Fpu {
+            op,
+            fd: fd.index() as u8,
+            fs1: fs1.index() as u8,
+            fs2: fs2.index() as u8,
+        },
+        Inst::Fcmp { cond, rd, fs1, fs2 } => {
+            if rd.is_zero() {
+                MicroOp::Nop
+            } else {
+                MicroOp::Fcmp {
+                    cond,
+                    rd: rd.index() as u8,
+                    fs1: fs1.index() as u8,
+                    fs2: fs2.index() as u8,
+                }
+            }
+        }
+        Inst::IntToFp { fd, rs } => MicroOp::IntToFp {
+            fd: fd.index() as u8,
+            rs: rs.index() as u8,
+        },
+        Inst::FpToInt { rd, fs } => {
+            if rd.is_zero() {
+                MicroOp::Nop
+            } else {
+                MicroOp::FpToInt {
+                    rd: rd.index() as u8,
+                    fs: fs.index() as u8,
+                }
+            }
+        }
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            if rs1 == rs2 {
+                // Same-register compare: the outcome is a compile-time
+                // constant (`a op a`). Taken folds to an unconditional
+                // jump, not-taken to a plain fall-through.
+                if cond.eval(0, 0) {
+                    MicroOp::Jal { rd: 0, target }
+                } else {
+                    MicroOp::Nop
+                }
+            } else {
+                let (rs1, rs2) = (rs1.index() as u8, rs2.index() as u8);
+                match cond {
+                    BranchCond::Eq => MicroOp::BranchEq { rs1, rs2, target },
+                    BranchCond::Ne => MicroOp::BranchNe { rs1, rs2, target },
+                    BranchCond::Lt => MicroOp::BranchLt { rs1, rs2, target },
+                    _ => MicroOp::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        target,
+                    },
+                }
+            }
+        }
+        Inst::Jal { rd, target } => MicroOp::Jal {
+            rd: rd.index() as u8,
+            target,
+        },
+        Inst::Jalr { rd, rs1 } => MicroOp::Jalr {
+            rd: rd.index() as u8,
+            rs1: rs1.index() as u8,
+        },
+    }
+}
+
+/// Counters from one [`Emulator::run_silent`] call: how much of the
+/// stretch executed as whole straight-line blocks versus the single-step
+/// fallback used for the partial block at the stop boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SilentStats {
+    /// Straight-line runs and control transfers executed whole.
+    pub blocks: u64,
+    /// Instructions executed through the [`Emulator::step`] fallback
+    /// (the partial block truncated by the retired-count target).
+    pub fallback_steps: u64,
+}
+
+impl SilentStats {
+    /// Folds another call's counters into this one.
+    pub fn merge(&mut self, other: SilentStats) {
+        self.blocks += other.blocks;
+        self.fallback_steps += other.fallback_steps;
+    }
+}
+
+/// What one pc held *before* lowering, for the observed executor: the
+/// compile-time folds erase whether an op was a conditional branch or an
+/// indirect jump, but the functional warmer must still train the branch
+/// predictor and BTB exactly as a `step()` stream would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstKind {
+    Other,
+    CondBranch,
+    IndirectJump,
+}
+
+/// A program pre-decoded for silent execution: one [`MicroOp`] per
+/// instruction index, the length of the straight-line run starting at
+/// each pc (0 at control terminators), and the original instruction kind
+/// (so folded branches still reach the observer). Compile once per
+/// program, reuse across every fast-forward over it.
+#[derive(Debug, Clone)]
+pub struct BlockCode {
+    ops: Vec<MicroOp>,
+    run_len: Vec<u32>,
+    kinds: Vec<InstKind>,
+}
+
+impl BlockCode {
+    /// Pre-decodes `program`. Cost is linear in the static instruction
+    /// count — negligible next to a single fast-forward over it.
+    pub fn compile(program: &Program) -> BlockCode {
+        let ops: Vec<MicroOp> = program.insts().iter().map(|&i| lower(i)).collect();
+        let kinds = program
+            .insts()
+            .iter()
+            .map(|i| match i {
+                Inst::Branch { .. } => InstKind::CondBranch,
+                Inst::Jalr { .. } => InstKind::IndirectJump,
+                _ => InstKind::Other,
+            })
+            .collect();
+        let mut run_len = vec![0u32; ops.len()];
+        for pc in (0..ops.len()).rev() {
+            if !ops[pc].is_control() {
+                run_len[pc] = 1 + if pc + 1 < ops.len() {
+                    run_len[pc + 1]
+                } else {
+                    0
+                };
+            }
+        }
+        BlockCode {
+            ops,
+            run_len,
+            kinds,
+        }
+    }
+
+    /// Static instruction count of the compiled program.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the compiled program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The silent-run driver behind [`Emulator::run_silent`]: executes until
+/// `target` total retired instructions or `halt`, whole blocks at a time,
+/// degrading to `step()` only for the partial block at the boundary.
+///
+/// The pc and retired count live in locals for the duration of the loop
+/// (synced back to the emulator at every exit, including faults), so the
+/// hot path never round-trips them through memory.
+pub(crate) fn run_silent(
+    emu: &mut Emulator<'_>,
+    code: &BlockCode,
+    target: u64,
+) -> Result<SilentStats, EmuError> {
+    debug_assert_eq!(
+        code.len(),
+        emu.program.insts().len(),
+        "BlockCode compiled from a different program"
+    );
+    let mut stats = SilentStats::default();
+    if emu.halted || emu.retired >= target {
+        return Ok(stats);
+    }
+    let ops = code.ops.as_slice();
+    let run_len = code.run_len.as_slice();
+    let mut pc = emu.pc;
+    let mut retired = emu.retired;
+    // Register indices below are always `(x & 31) as usize`: compiled
+    // indices are already < 32, so the mask is a no-op semantically, but
+    // it lets the optimizer drop the slice bounds check (and its panic
+    // branch) from every register access in the hot loop.
+    macro_rules! checked_ea {
+        ($i:expr, $base:expr, $offset:expr, $size:expr, $mask:expr) => {{
+            let addr = Addr(emu.int_regs[($base & 31) as usize]).wrapping_offset($offset);
+            if addr.0 & $mask != 0 {
+                // A `step()` sequence would fault with the pc and retired
+                // count advanced to the offending instruction.
+                emu.pc = pc + $i as u32;
+                emu.retired = retired + $i as u64;
+                return Err(EmuError::Misaligned {
+                    pc: emu.pc,
+                    addr,
+                    size: $size,
+                });
+            }
+            addr
+        }};
+    }
+    loop {
+        let pci = pc as usize;
+        let Some(&n) = run_len.get(pci) else {
+            emu.pc = pc;
+            emu.retired = retired;
+            return Err(EmuError::PcOutOfRange { pc });
+        };
+        let n = u64::from(n);
+        if n == 0 {
+            // Control terminator. Infallible: an out-of-range transfer
+            // target surfaces as `PcOutOfRange` on the *next* dispatch,
+            // exactly when a `step()` sequence would fail its fetch.
+            match ops[pci] {
+                MicroOp::Halt => {
+                    // pc stays on the halt instruction, matching `step()`.
+                    emu.halted = true;
+                    stats.blocks += 1;
+                    retired += 1;
+                    break;
+                }
+                MicroOp::BranchEq { rs1, rs2, target } => {
+                    pc = if emu.int_regs[(rs1 & 31) as usize] == emu.int_regs[(rs2 & 31) as usize] {
+                        target
+                    } else {
+                        pc + 1
+                    };
+                }
+                MicroOp::BranchNe { rs1, rs2, target } => {
+                    pc = if emu.int_regs[(rs1 & 31) as usize] != emu.int_regs[(rs2 & 31) as usize] {
+                        target
+                    } else {
+                        pc + 1
+                    };
+                }
+                MicroOp::BranchLt { rs1, rs2, target } => {
+                    pc = if (emu.int_regs[(rs1 & 31) as usize] as i64)
+                        < (emu.int_regs[(rs2 & 31) as usize] as i64)
+                    {
+                        target
+                    } else {
+                        pc + 1
+                    };
+                }
+                MicroOp::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    pc = if cond.eval(
+                        emu.int_regs[(rs1 & 31) as usize],
+                        emu.int_regs[(rs2 & 31) as usize],
+                    ) {
+                        target
+                    } else {
+                        pc + 1
+                    };
+                }
+                MicroOp::Jal { rd, target } => {
+                    if rd != 0 {
+                        emu.int_regs[(rd & 31) as usize] = (pc + 1) as u64;
+                    }
+                    pc = target;
+                }
+                MicroOp::Jalr { rd, rs1 } => {
+                    // Read the target before the link write: rd may alias
+                    // rs1.
+                    let target = emu.int_regs[(rs1 & 31) as usize] as u32;
+                    if rd != 0 {
+                        emu.int_regs[(rd & 31) as usize] = (pc + 1) as u64;
+                    }
+                    pc = target;
+                }
+                _ => unreachable!("straight-line ops have a non-zero run_len"),
+            }
+            stats.blocks += 1;
+            retired += 1;
+            if retired >= target {
+                break;
+            }
+            continue;
+        }
+        if n > target - retired {
+            // The block would overshoot the stop point: fall back to the
+            // observable interpreter for the truncated remainder so the
+            // loop stops exactly at `target`. (The remainder is all
+            // straight-line ops, so no halt can occur inside it.)
+            emu.pc = pc;
+            emu.retired = retired;
+            for _ in retired..target {
+                emu.step()?;
+                stats.fallback_steps += 1;
+            }
+            pc = emu.pc;
+            retired = emu.retired;
+            break;
+        }
+        // One full straight-line run of non-control ops. On success the pc
+        // and retired count advance past the whole slice; on a
+        // misalignment fault they advance to the faulting instruction
+        // exactly as a `step()` sequence would have left them.
+        for (i, op) in ops[pci..pci + n as usize].iter().enumerate() {
+            match *op {
+                MicroOp::Nop => {}
+                MicroOp::Const { rd, value } => emu.int_regs[(rd & 31) as usize] = value,
+                MicroOp::Add { rd, rs1, rs2 } => {
+                    emu.int_regs[(rd & 31) as usize] = emu.int_regs[(rs1 & 31) as usize]
+                        .wrapping_add(emu.int_regs[(rs2 & 31) as usize]);
+                }
+                MicroOp::AddImm { rd, rs1, imm } => {
+                    emu.int_regs[(rd & 31) as usize] =
+                        emu.int_regs[(rs1 & 31) as usize].wrapping_add(imm);
+                }
+                MicroOp::Alu { op, rd, rs1, rs2 } => {
+                    emu.int_regs[(rd & 31) as usize] = op.eval(
+                        emu.int_regs[(rs1 & 31) as usize],
+                        emu.int_regs[(rs2 & 31) as usize],
+                    );
+                }
+                MicroOp::AluImm { op, rd, rs1, imm } => {
+                    emu.int_regs[(rd & 31) as usize] =
+                        op.eval(emu.int_regs[(rs1 & 31) as usize], imm);
+                }
+                MicroOp::LoadD { rd, base, offset } => {
+                    let addr = checked_ea!(i, base, offset, AccessSize::B8, 7);
+                    let raw = emu.mem.read(addr, AccessSize::B8);
+                    if rd != 0 {
+                        emu.int_regs[(rd & 31) as usize] = raw;
+                    }
+                }
+                MicroOp::StoreD { src, base, offset } => {
+                    let addr = checked_ea!(i, base, offset, AccessSize::B8, 7);
+                    emu.mem
+                        .write(addr, AccessSize::B8, emu.int_regs[(src & 31) as usize]);
+                }
+                MicroOp::FLoadD { fd, base, offset } => {
+                    let addr = checked_ea!(i, base, offset, AccessSize::B8, 7);
+                    emu.fp_regs[(fd & 31) as usize] =
+                        f64::from_bits(emu.mem.read(addr, AccessSize::B8));
+                }
+                MicroOp::FStoreD { src, base, offset } => {
+                    let addr = checked_ea!(i, base, offset, AccessSize::B8, 7);
+                    emu.mem.write(
+                        addr,
+                        AccessSize::B8,
+                        emu.fp_regs[(src & 31) as usize].to_bits(),
+                    );
+                }
+                MicroOp::Load {
+                    rd,
+                    base,
+                    offset,
+                    size,
+                    signed,
+                    align_mask,
+                } => {
+                    let addr = checked_ea!(i, base, offset, size, align_mask);
+                    let raw = emu.mem.read(addr, size);
+                    if rd != 0 {
+                        emu.int_regs[(rd & 31) as usize] =
+                            if signed { sign_extend(raw, size) } else { raw };
+                    }
+                }
+                MicroOp::Store {
+                    src,
+                    base,
+                    offset,
+                    size,
+                    align_mask,
+                } => {
+                    let addr = checked_ea!(i, base, offset, size, align_mask);
+                    emu.mem.write(addr, size, emu.int_regs[(src & 31) as usize]);
+                }
+                MicroOp::FLoad {
+                    fd,
+                    base,
+                    offset,
+                    size,
+                    align_mask,
+                } => {
+                    let addr = checked_ea!(i, base, offset, size, align_mask);
+                    emu.fp_regs[(fd & 31) as usize] = fp_from_bits(emu.mem.read(addr, size), size);
+                }
+                MicroOp::FStore {
+                    src,
+                    base,
+                    offset,
+                    size,
+                    align_mask,
+                } => {
+                    let addr = checked_ea!(i, base, offset, size, align_mask);
+                    emu.mem.write(
+                        addr,
+                        size,
+                        fp_to_bits(emu.fp_regs[(src & 31) as usize], size),
+                    );
+                }
+                MicroOp::Fpu { op, fd, fs1, fs2 } => {
+                    emu.fp_regs[(fd & 31) as usize] = op.eval(
+                        emu.fp_regs[(fs1 & 31) as usize],
+                        emu.fp_regs[(fs2 & 31) as usize],
+                    );
+                }
+                MicroOp::Fcmp { cond, rd, fs1, fs2 } => {
+                    emu.int_regs[(rd & 31) as usize] = cond.eval(
+                        emu.fp_regs[(fs1 & 31) as usize],
+                        emu.fp_regs[(fs2 & 31) as usize],
+                    ) as u64;
+                }
+                MicroOp::IntToFp { fd, rs } => {
+                    emu.fp_regs[(fd & 31) as usize] =
+                        emu.int_regs[(rs & 31) as usize] as i64 as f64;
+                }
+                MicroOp::FpToInt { rd, fs } => {
+                    emu.int_regs[(rd & 31) as usize] = fp_to_int(emu.fp_regs[(fs & 31) as usize]);
+                }
+                MicroOp::BranchEq { .. }
+                | MicroOp::BranchNe { .. }
+                | MicroOp::BranchLt { .. }
+                | MicroOp::Branch { .. }
+                | MicroOp::Jal { .. }
+                | MicroOp::Jalr { .. }
+                | MicroOp::Halt => {
+                    unreachable!("control ops never appear inside a straight-line run")
+                }
+            }
+        }
+        pc += n as u32;
+        retired += n;
+        stats.blocks += 1;
+        if retired >= target {
+            break;
+        }
+    }
+    emu.pc = pc;
+    emu.retired = retired;
+    Ok(stats)
+}
+
+/// The retirement events a `step()` stream exposes, re-derived from the
+/// compiled form so [`Emulator::run_observed`] can drive functional
+/// warming without building [`Retired`](crate::Retired) records.
+///
+/// Call order per retired instruction is fixed: `retire`, then `mem` (for
+/// memory ops), then `branch`/`jalr` (for control ops) — the same order a
+/// consumer of `Retired` naturally observes its fields. A faulting
+/// instruction produces **no** callbacks, matching a `step()` loop where
+/// the error return pre-empts observation.
+pub trait SilentObserver {
+    /// Every retired instruction, in program order.
+    fn retire(&mut self, pc: u32);
+    /// Every committed memory access (integer and FP loads and stores).
+    fn mem(&mut self, addr: Addr);
+    /// Every *original* conditional branch with its outcome — including
+    /// branches the compiler folded to `Nop` (never taken) or an
+    /// unconditional jump (always taken).
+    fn branch(&mut self, pc: u32, taken: bool);
+    /// Every indirect jump with its resolved target.
+    fn jalr(&mut self, pc: u32, next_pc: u32);
+}
+
+/// The observed-run driver behind [`Emulator::run_observed`]: executes
+/// until `target` total retired instructions or `halt`, one pre-decoded
+/// micro-op at a time, reporting each retirement to `obs`. Architectural
+/// effects, stop conditions and fault positioning are bit-identical to a
+/// `step()` loop over the same stretch; the savings come from skipping
+/// per-step fetch checks and `Retired`/`MemSpan` construction, which the
+/// functional-warming loop never reads.
+pub(crate) fn run_observed<O: SilentObserver>(
+    emu: &mut Emulator<'_>,
+    code: &BlockCode,
+    target: u64,
+    obs: &mut O,
+) -> Result<(), EmuError> {
+    debug_assert_eq!(
+        code.len(),
+        emu.program.insts().len(),
+        "BlockCode compiled from a different program"
+    );
+    if emu.halted || emu.retired >= target {
+        return Ok(());
+    }
+    let ops = code.ops.as_slice();
+    let kinds = code.kinds.as_slice();
+    let mut pc = emu.pc;
+    let mut retired = emu.retired;
+    macro_rules! checked_ea {
+        ($base:expr, $offset:expr, $size:expr, $mask:expr) => {{
+            let addr = Addr(emu.int_regs[($base & 31) as usize]).wrapping_offset($offset);
+            if addr.0 & $mask != 0 {
+                emu.pc = pc;
+                emu.retired = retired;
+                return Err(EmuError::Misaligned {
+                    pc,
+                    addr,
+                    size: $size,
+                });
+            }
+            addr
+        }};
+    }
+    loop {
+        let pci = pc as usize;
+        let Some(&op) = ops.get(pci) else {
+            emu.pc = pc;
+            emu.retired = retired;
+            return Err(EmuError::PcOutOfRange { pc });
+        };
+        match op {
+            MicroOp::Nop => {
+                obs.retire(pc);
+                // A never-taken same-register branch folded to `Nop`
+                // still trains the predictor with its (constant) outcome.
+                if kinds[pci] == InstKind::CondBranch {
+                    obs.branch(pc, false);
+                }
+                pc += 1;
+            }
+            MicroOp::Const { rd, value } => {
+                obs.retire(pc);
+                emu.int_regs[(rd & 31) as usize] = value;
+                pc += 1;
+            }
+            MicroOp::Add { rd, rs1, rs2 } => {
+                obs.retire(pc);
+                emu.int_regs[(rd & 31) as usize] = emu.int_regs[(rs1 & 31) as usize]
+                    .wrapping_add(emu.int_regs[(rs2 & 31) as usize]);
+                pc += 1;
+            }
+            MicroOp::AddImm { rd, rs1, imm } => {
+                obs.retire(pc);
+                emu.int_regs[(rd & 31) as usize] =
+                    emu.int_regs[(rs1 & 31) as usize].wrapping_add(imm);
+                pc += 1;
+            }
+            MicroOp::Alu { op, rd, rs1, rs2 } => {
+                obs.retire(pc);
+                emu.int_regs[(rd & 31) as usize] = op.eval(
+                    emu.int_regs[(rs1 & 31) as usize],
+                    emu.int_regs[(rs2 & 31) as usize],
+                );
+                pc += 1;
+            }
+            MicroOp::AluImm { op, rd, rs1, imm } => {
+                obs.retire(pc);
+                emu.int_regs[(rd & 31) as usize] = op.eval(emu.int_regs[(rs1 & 31) as usize], imm);
+                pc += 1;
+            }
+            MicroOp::LoadD { rd, base, offset } => {
+                let addr = checked_ea!(base, offset, AccessSize::B8, 7);
+                obs.retire(pc);
+                obs.mem(addr);
+                let raw = emu.mem.read(addr, AccessSize::B8);
+                if rd != 0 {
+                    emu.int_regs[(rd & 31) as usize] = raw;
+                }
+                pc += 1;
+            }
+            MicroOp::StoreD { src, base, offset } => {
+                let addr = checked_ea!(base, offset, AccessSize::B8, 7);
+                obs.retire(pc);
+                obs.mem(addr);
+                emu.mem
+                    .write(addr, AccessSize::B8, emu.int_regs[(src & 31) as usize]);
+                pc += 1;
+            }
+            MicroOp::FLoadD { fd, base, offset } => {
+                let addr = checked_ea!(base, offset, AccessSize::B8, 7);
+                obs.retire(pc);
+                obs.mem(addr);
+                emu.fp_regs[(fd & 31) as usize] =
+                    f64::from_bits(emu.mem.read(addr, AccessSize::B8));
+                pc += 1;
+            }
+            MicroOp::FStoreD { src, base, offset } => {
+                let addr = checked_ea!(base, offset, AccessSize::B8, 7);
+                obs.retire(pc);
+                obs.mem(addr);
+                emu.mem.write(
+                    addr,
+                    AccessSize::B8,
+                    emu.fp_regs[(src & 31) as usize].to_bits(),
+                );
+                pc += 1;
+            }
+            MicroOp::Load {
+                rd,
+                base,
+                offset,
+                size,
+                signed,
+                align_mask,
+            } => {
+                let addr = checked_ea!(base, offset, size, align_mask);
+                obs.retire(pc);
+                obs.mem(addr);
+                let raw = emu.mem.read(addr, size);
+                if rd != 0 {
+                    emu.int_regs[(rd & 31) as usize] =
+                        if signed { sign_extend(raw, size) } else { raw };
+                }
+                pc += 1;
+            }
+            MicroOp::Store {
+                src,
+                base,
+                offset,
+                size,
+                align_mask,
+            } => {
+                let addr = checked_ea!(base, offset, size, align_mask);
+                obs.retire(pc);
+                obs.mem(addr);
+                emu.mem.write(addr, size, emu.int_regs[(src & 31) as usize]);
+                pc += 1;
+            }
+            MicroOp::FLoad {
+                fd,
+                base,
+                offset,
+                size,
+                align_mask,
+            } => {
+                let addr = checked_ea!(base, offset, size, align_mask);
+                obs.retire(pc);
+                obs.mem(addr);
+                emu.fp_regs[(fd & 31) as usize] = fp_from_bits(emu.mem.read(addr, size), size);
+                pc += 1;
+            }
+            MicroOp::FStore {
+                src,
+                base,
+                offset,
+                size,
+                align_mask,
+            } => {
+                let addr = checked_ea!(base, offset, size, align_mask);
+                obs.retire(pc);
+                obs.mem(addr);
+                emu.mem.write(
+                    addr,
+                    size,
+                    fp_to_bits(emu.fp_regs[(src & 31) as usize], size),
+                );
+                pc += 1;
+            }
+            MicroOp::Fpu { op, fd, fs1, fs2 } => {
+                obs.retire(pc);
+                emu.fp_regs[(fd & 31) as usize] = op.eval(
+                    emu.fp_regs[(fs1 & 31) as usize],
+                    emu.fp_regs[(fs2 & 31) as usize],
+                );
+                pc += 1;
+            }
+            MicroOp::Fcmp { cond, rd, fs1, fs2 } => {
+                obs.retire(pc);
+                emu.int_regs[(rd & 31) as usize] = cond.eval(
+                    emu.fp_regs[(fs1 & 31) as usize],
+                    emu.fp_regs[(fs2 & 31) as usize],
+                ) as u64;
+                pc += 1;
+            }
+            MicroOp::IntToFp { fd, rs } => {
+                obs.retire(pc);
+                emu.fp_regs[(fd & 31) as usize] = emu.int_regs[(rs & 31) as usize] as i64 as f64;
+                pc += 1;
+            }
+            MicroOp::FpToInt { rd, fs } => {
+                obs.retire(pc);
+                emu.int_regs[(rd & 31) as usize] = fp_to_int(emu.fp_regs[(fs & 31) as usize]);
+                pc += 1;
+            }
+            MicroOp::BranchEq { rs1, rs2, target } => {
+                let taken = emu.int_regs[(rs1 & 31) as usize] == emu.int_regs[(rs2 & 31) as usize];
+                obs.retire(pc);
+                obs.branch(pc, taken);
+                pc = if taken { target } else { pc + 1 };
+            }
+            MicroOp::BranchNe { rs1, rs2, target } => {
+                let taken = emu.int_regs[(rs1 & 31) as usize] != emu.int_regs[(rs2 & 31) as usize];
+                obs.retire(pc);
+                obs.branch(pc, taken);
+                pc = if taken { target } else { pc + 1 };
+            }
+            MicroOp::BranchLt { rs1, rs2, target } => {
+                let taken = (emu.int_regs[(rs1 & 31) as usize] as i64)
+                    < (emu.int_regs[(rs2 & 31) as usize] as i64);
+                obs.retire(pc);
+                obs.branch(pc, taken);
+                pc = if taken { target } else { pc + 1 };
+            }
+            MicroOp::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let taken = cond.eval(
+                    emu.int_regs[(rs1 & 31) as usize],
+                    emu.int_regs[(rs2 & 31) as usize],
+                );
+                obs.retire(pc);
+                obs.branch(pc, taken);
+                pc = if taken { target } else { pc + 1 };
+            }
+            MicroOp::Jal { rd, target } => {
+                obs.retire(pc);
+                // An always-taken same-register branch folded to a jump
+                // still trains the predictor (`rd` is 0 for those folds,
+                // so no link write happens).
+                if kinds[pci] == InstKind::CondBranch {
+                    obs.branch(pc, true);
+                }
+                if rd != 0 {
+                    emu.int_regs[(rd & 31) as usize] = (pc + 1) as u64;
+                }
+                pc = target;
+            }
+            MicroOp::Jalr { rd, rs1 } => {
+                let target = emu.int_regs[(rs1 & 31) as usize] as u32;
+                obs.retire(pc);
+                obs.jalr(pc, target);
+                if rd != 0 {
+                    emu.int_regs[(rd & 31) as usize] = (pc + 1) as u64;
+                }
+                pc = target;
+            }
+            MicroOp::Halt => {
+                obs.retire(pc);
+                // pc stays on the halt instruction, matching `step()`.
+                emu.halted = true;
+                retired += 1;
+                break;
+            }
+        }
+        retired += 1;
+        if retired >= target {
+            break;
+        }
+    }
+    emu.pc = pc;
+    emu.retired = retired;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    fn program(src: &str) -> Program {
+        Assembler::new().assemble(src).expect("assembles")
+    }
+
+    /// Steps `reference` and silently runs `fast` to the same retired
+    /// count, asserting bit-identical state at every block-size boundary.
+    fn assert_equivalent(p: &Program, targets: &[u64]) {
+        let code = BlockCode::compile(p);
+        for &t in targets {
+            let mut fast = Emulator::new(p);
+            let mut slow = Emulator::new(p);
+            let fast_res = fast.run_silent(&code, t);
+            let slow_res: Result<(), EmuError> = (|| {
+                while !slow.halted() && slow.retired() < t {
+                    slow.step()?;
+                }
+                Ok(())
+            })();
+            assert_eq!(
+                fast_res.err(),
+                slow_res.err(),
+                "error mismatch at target {t}"
+            );
+            assert_eq!(fast.pc(), slow.pc(), "pc mismatch at target {t}");
+            assert_eq!(fast.retired(), slow.retired(), "retired mismatch at {t}");
+            assert_eq!(fast.halted(), slow.halted(), "halted mismatch at {t}");
+            assert_eq!(
+                fast.state_checksum(),
+                slow.state_checksum(),
+                "state mismatch at target {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn straight_line_and_loops_match_step() {
+        let p = program(
+            "        li   x1, 100
+                     li   x2, 0
+             loop:   add  x2, x2, x1
+                     addi x1, x1, -1
+                     bne  x1, x0, loop
+                     halt",
+        );
+        assert_equivalent(&p, &[0, 1, 2, 3, 4, 5, 7, 100, 299, 300, 301, 302, 10_000]);
+    }
+
+    #[test]
+    fn memory_and_fp_match_step() {
+        let p = program(
+            "        li   x1, 0x1000
+                     li   x2, 9
+                     sw   x2, 0(x1)
+                     lw   x3, 0(x1)
+                     i2f  f1, x3
+                     fsqrt f2, f1
+                     fsd  f2, 8(x1)
+                     fld  f3, 8(x1)
+                     f2i  x4, f3
+                     fsw  f2, 16(x1)
+                     flw  f4, 16(x1)
+                     halt",
+        );
+        assert_equivalent(&p, &[0, 1, 3, 5, 6, 9, 11, 12, 13, 100]);
+    }
+
+    #[test]
+    fn misaligned_fault_is_identical() {
+        let p = program("li x1, 0x1001\nlw x2, 0(x1)\nhalt");
+        assert_equivalent(&p, &[1, 2, 3, 10]);
+    }
+
+    #[test]
+    fn call_and_indirect_jump_match_step() {
+        let p = program(
+            "        li   x10, 5
+                     jal  x31, double
+                     add  x11, x10, x0
+                     halt
+             double: add  x10, x10, x10
+                     jr   x31",
+        );
+        assert_equivalent(&p, &[0, 1, 2, 3, 4, 5, 6, 7, 100]);
+    }
+
+    #[test]
+    fn x0_folds_preserve_semantics() {
+        let p = program(
+            "        addi x0, x0, 5
+                     add  x1, x0, x0
+                     lui  x0, 7
+                     beq  x0, x0, over
+                     halt
+             over:   bne  x3, x3, over
+                     addi x2, x0, 42
+                     halt",
+        );
+        assert_equivalent(&p, &[0, 1, 2, 3, 4, 5, 6, 7, 8, 100]);
+    }
+
+    #[test]
+    fn pc_escape_errors_identically() {
+        // A program whose last instruction falls through past the text.
+        let p = program("addi x1, x0, 1\naddi x2, x0, 2");
+        assert_equivalent(&p, &[1, 2, 3, 10]);
+    }
+
+    #[test]
+    fn silent_stats_count_blocks_and_fallbacks() {
+        let p = program(
+            "        li   x1, 10
+                     li   x2, 0
+             loop:   add  x2, x2, x1
+                     addi x1, x1, -1
+                     bne  x1, x0, loop
+                     halt",
+        );
+        let code = BlockCode::compile(&p);
+        let mut emu = Emulator::new(&p);
+        // Stop mid-block: the first straight run is 4 ops (li/li/add/addi
+        // — the lowered bne terminates it), so a target of 3 must go
+        // through the step fallback.
+        let stats = emu.run_silent(&code, 3).unwrap();
+        assert_eq!(emu.retired(), 3);
+        assert_eq!(stats.blocks, 0);
+        assert_eq!(stats.fallback_steps, 3);
+        // Resuming to a block boundary executes whole blocks only.
+        let stats = emu.run_silent(&code, 5).unwrap();
+        assert_eq!(emu.retired(), 5);
+        assert!(stats.blocks >= 1);
+    }
+
+    #[test]
+    fn run_silent_is_stable_after_halt() {
+        let p = program("halt");
+        let code = BlockCode::compile(&p);
+        let mut emu = Emulator::new(&p);
+        emu.run_silent(&code, 10).unwrap();
+        assert!(emu.halted());
+        assert_eq!(emu.retired(), 1);
+        let stats = emu.run_silent(&code, 10).unwrap();
+        assert_eq!(
+            stats,
+            SilentStats::default(),
+            "halted emulator does nothing"
+        );
+        assert_eq!(emu.retired(), 1);
+    }
+}

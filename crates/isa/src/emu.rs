@@ -74,13 +74,16 @@ pub struct Retired {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Emulator<'p> {
-    program: &'p Program,
-    int_regs: [u64; Reg::COUNT],
-    fp_regs: [f64; FReg::COUNT],
-    mem: SparseMemory,
-    pc: u32,
-    halted: bool,
-    retired: u64,
+    // Fields are crate-visible so the block-compiled silent-run engine
+    // (`crate::blocks`) can execute directly against the architectural
+    // state; everything outside the crate goes through the accessors.
+    pub(crate) program: &'p Program,
+    pub(crate) int_regs: [u64; Reg::COUNT],
+    pub(crate) fp_regs: [f64; FReg::COUNT],
+    pub(crate) mem: SparseMemory,
+    pub(crate) pc: u32,
+    pub(crate) halted: bool,
+    pub(crate) retired: u64,
 }
 
 impl<'p> Emulator<'p> {
@@ -332,9 +335,16 @@ impl<'p> Emulator<'p> {
         })
     }
 
-    /// Runs until `halt` or `max_insts` retired instructions.
+    /// Runs until `halt` or until the **total** retired count reaches
+    /// `max_insts`.
     ///
-    /// Returns the number of retired instructions.
+    /// `max_insts` is a target for [`Emulator::retired`], *not* an
+    /// increment: on an emulator that has already retired `max_insts` or
+    /// more instructions this returns [`EmuError::InstructionLimit`]
+    /// immediately without executing anything. Use [`Emulator::run_for`]
+    /// to execute a further `n` instructions from the current position.
+    ///
+    /// Returns the total number of retired instructions.
     ///
     /// # Errors
     ///
@@ -350,6 +360,76 @@ impl<'p> Emulator<'p> {
             self.step()?;
         }
         Ok(self.retired)
+    }
+
+    /// Executes up to `n` further instructions from the current position
+    /// (the increment counterpart of [`Emulator::run`]'s total-target
+    /// semantics). Stops early at `halt` — that is a normal outcome here,
+    /// not an error.
+    ///
+    /// Returns how many instructions actually retired, which is less than
+    /// `n` exactly when the program halted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmuError`] from [`Emulator::step`].
+    pub fn run_for(&mut self, n: u64) -> Result<u64, EmuError> {
+        let start = self.retired;
+        let target = start.saturating_add(n);
+        while !self.halted && self.retired < target {
+            self.step()?;
+        }
+        Ok(self.retired - start)
+    }
+
+    /// Runs silently — no [`Retired`] records — until `halt` or until the
+    /// total retired count reaches `target`, executing whole pre-compiled
+    /// straight-line blocks from `code` and falling back to
+    /// [`Emulator::step`] only for the partial block at the boundary.
+    ///
+    /// Architectural state afterwards is bit-identical to stepping the
+    /// same stretch, including on error; reaching `target` is a normal
+    /// return (never [`EmuError::InstructionLimit`]), matching how the
+    /// sampling engine treats the end of a silent stretch. `code` must be
+    /// compiled from this emulator's program.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::PcOutOfRange`] and [`EmuError::Misaligned`] exactly as
+    /// [`Emulator::step`] would raise them.
+    pub fn run_silent(
+        &mut self,
+        code: &crate::blocks::BlockCode,
+        target: u64,
+    ) -> Result<crate::blocks::SilentStats, EmuError> {
+        crate::blocks::run_silent(self, code, target)
+    }
+
+    /// Runs until `halt` or until the total retired count reaches
+    /// `target`, reporting every retirement to `obs` — the fast
+    /// replacement for a `step()` + observe loop when the observer only
+    /// needs the events a [`SilentObserver`](crate::SilentObserver)
+    /// exposes, not full [`Retired`] records.
+    ///
+    /// Architectural state afterwards is bit-identical to stepping the
+    /// same stretch (including on error), the observer sees exactly the
+    /// events a `step()` stream would expose in the same order, and a
+    /// faulting instruction is not observed (a `step()` loop's error
+    /// return pre-empts observation the same way). Reaching `target` is a
+    /// normal return. `code` must be compiled from this emulator's
+    /// program.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::PcOutOfRange`] and [`EmuError::Misaligned`] exactly as
+    /// [`Emulator::step`] would raise them.
+    pub fn run_observed<O: crate::blocks::SilentObserver>(
+        &mut self,
+        code: &crate::blocks::BlockCode,
+        target: u64,
+        obs: &mut O,
+    ) -> Result<(), EmuError> {
+        crate::blocks::run_observed(self, code, target, obs)
     }
 }
 
@@ -559,6 +639,38 @@ mod tests {
         e.step().unwrap();
         assert_eq!(e.retired(), retired, "halt does not retire twice");
         assert_eq!(e.pc(), 0);
+    }
+
+    #[test]
+    fn run_is_a_total_target_and_run_for_an_increment() {
+        // Pins the boundary the sampler depends on at the warming-horizon
+        // edge: after `run(k)` stops with InstructionLimit the emulator
+        // has retired exactly k — not k-1, not k+1 — and a further
+        // `run(k)` on the same emulator executes nothing, while
+        // `run_for(n)` always advances by n from wherever it stands.
+        let p = Assembler::new()
+            .assemble("loop: addi x1, x1, 1\nj loop")
+            .unwrap();
+        let mut e = Emulator::new(&p);
+        let err = e.run(10).unwrap_err();
+        assert_eq!(err, EmuError::InstructionLimit { executed: 10 });
+        assert_eq!(e.retired(), 10, "run(k) stops at exactly k total");
+
+        // Same target again: a total, not an increment — nothing runs.
+        let err = e.run(10).unwrap_err();
+        assert_eq!(err, EmuError::InstructionLimit { executed: 10 });
+        assert_eq!(e.retired(), 10);
+
+        // The increment form advances by n from the current position.
+        assert_eq!(e.run_for(5).unwrap(), 5);
+        assert_eq!(e.retired(), 15);
+
+        // run_for stops quietly at halt and reports the shortfall.
+        let p = Assembler::new().assemble("addi x1, x1, 1\nhalt").unwrap();
+        let mut e = Emulator::new(&p);
+        assert_eq!(e.run_for(10).unwrap(), 2, "addi + halt then stop");
+        assert!(e.halted());
+        assert_eq!(e.run_for(10).unwrap(), 0, "halted emulator stays put");
     }
 
     #[test]

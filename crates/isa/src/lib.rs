@@ -14,6 +14,10 @@
 //! * [`Emulator`] — an architectural-level interpreter. The timing simulator
 //!   executes values through physical registers on its own; the emulator is
 //!   the *golden reference* that every timing run must match.
+//! * [`BlockCode`] — a program pre-decoded into straight-line runs of
+//!   flattened micro-ops, driven by [`Emulator::run_silent`]: the
+//!   bit-identical fast path the sampling engine uses to fast-forward
+//!   through the silent stretch before each detailed window.
 //!
 //! # Examples
 //!
@@ -36,6 +40,7 @@
 //! ```
 
 mod asm;
+mod blocks;
 mod emu;
 mod encode;
 mod inst;
@@ -44,6 +49,7 @@ mod program;
 mod reg;
 
 pub use asm::{AsmError, Assembler};
+pub use blocks::{BlockCode, SilentObserver, SilentStats};
 pub use emu::{
     arch_checksum, fp_from_bits, fp_to_bits, fp_to_int, sign_extend, EmuError, Emulator, Retired,
 };

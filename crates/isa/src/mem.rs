@@ -176,13 +176,20 @@ impl SparseMemory {
         let bytes = size.bytes() as usize;
         let off = (addr.0 as usize) & (PAGE_SIZE - 1);
         if off + bytes <= PAGE_SIZE {
-            // Single-page fast path: resolve the page once, read a slice.
+            // Single-page fast path: resolve the page once, then a
+            // fixed-width little-endian load (a dynamic-length slice copy
+            // would lower to a libc memcpy call per access).
             match self.page(addr.0 >> PAGE_SHIFT) {
-                Some(p) => {
-                    let mut buf = [0u8; 8];
-                    buf[..bytes].copy_from_slice(&p[off..off + bytes]);
-                    u64::from_le_bytes(buf)
-                }
+                Some(p) => match size {
+                    AccessSize::B1 => p[off] as u64,
+                    AccessSize::B2 => {
+                        u16::from_le_bytes(p[off..off + 2].try_into().unwrap()) as u64
+                    }
+                    AccessSize::B4 => {
+                        u32::from_le_bytes(p[off..off + 4].try_into().unwrap()) as u64
+                    }
+                    AccessSize::B8 => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+                },
                 None => 0,
             }
         } else {
@@ -200,9 +207,16 @@ impl SparseMemory {
         let bytes = size.bytes() as usize;
         let off = (addr.0 as usize) & (PAGE_SIZE - 1);
         if off + bytes <= PAGE_SIZE {
-            // Single-page fast path: resolve the page once, write a slice.
+            // Single-page fast path: resolve the page once, then a
+            // fixed-width little-endian store (see `read` on why not a
+            // dynamic-length slice copy).
             let p = self.page_mut(addr);
-            p[off..off + bytes].copy_from_slice(&value.to_le_bytes()[..bytes]);
+            match size {
+                AccessSize::B1 => p[off] = value as u8,
+                AccessSize::B2 => p[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+                AccessSize::B4 => p[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+                AccessSize::B8 => p[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+            }
         } else {
             for i in 0..size.bytes() {
                 self.write_byte(addr + i, (value >> (8 * i)) as u8);
@@ -270,6 +284,13 @@ impl SparseMemory {
             .into_iter()
             .map(|(no, _)| Addr(no << PAGE_SHIFT))
             .collect()
+    }
+
+    /// The raw bytes of the page containing `addr`, if it has been
+    /// touched. Bulk consumers (checkpoint capture) read whole pages
+    /// through this instead of issuing thousands of word-sized `read`s.
+    pub fn page_bytes(&self, addr: Addr) -> Option<&[u8]> {
+        self.page(addr.0 >> PAGE_SHIFT).map(|p| &p[..])
     }
 }
 

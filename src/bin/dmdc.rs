@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dmdc::core::cache::{default_cache_dir, default_fingerprint, CellCache};
+use dmdc::core::cache::{default_cache_dir, default_fingerprint, CellCache, CheckpointStore};
 use dmdc::core::experiments::{self, PolicyKind};
 use dmdc::core::faults::{self, FaultPlan};
 use dmdc::core::fuzz::{self, FuzzOptions};
@@ -193,6 +193,18 @@ fn report_profile() {
                 cache.dir().display(),
             );
         }
+        if let Some(store) = runner::global_checkpoint_store() {
+            let c = store.counters();
+            eprintln!(
+                "[profile] checkpoint store: {} hits, {} misses, {} stored, {} corrupt, {} quarantined ({})",
+                c.hits,
+                c.misses,
+                c.stores,
+                c.corrupt,
+                c.quarantined,
+                store.dir().display(),
+            );
+        }
         if let Some(journal) = runner::global_journal() {
             let c = journal.counters();
             eprintln!(
@@ -282,11 +294,14 @@ fn cmd_resume(run_id: &str) -> Result<(), String> {
     dispatch(&replay)
 }
 
-/// Installs the persistent cell cache (default location
-/// `target/dmdc-cache/`) unless `--no-cache` was given.
+/// Installs the persistent cell cache and the checkpoint store (both
+/// under `target/dmdc-cache/`) unless `--no-cache` was given.
 fn apply_cache(flags: &std::collections::HashMap<String, String>) {
     if !flags.contains_key("no-cache") {
         runner::set_global_cell_cache(Some(Arc::new(CellCache::new(default_cache_dir()))));
+        runner::set_global_checkpoint_store(Some(Arc::new(CheckpointStore::new(
+            default_cache_dir(),
+        ))));
     }
 }
 
@@ -422,6 +437,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         if opts.profile {
             runner::set_profile(true);
         }
+        // Single sampled runs bypass the engine (no cell cache lookups),
+        // but the sampling driver itself consults the checkpoint store —
+        // installing it makes repeat runs skip the fast-forward.
+        apply_cache(&flags);
         apply_recovery(&flags)?;
         apply_journal("run", args, &flags)?;
         let cell = experiments::run_workload(&workload, &config, &policy, opts);

@@ -6,6 +6,7 @@
 //! entry is never silently deserialized and never consulted twice.
 
 use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
 use std::sync::Arc;
 
 use dmdc::core::cache::{seal, CellCache};
@@ -137,4 +138,111 @@ fn stale_record_with_valid_seal() {
     damaged_entry_is_quarantined_and_regenerated("stale", |_| {
         seal("dmdc-cell v0 3\nworkload synthetic\n1 2 3\n").into_bytes()
     });
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint-store integrity: the sampled fast-forward checkpoints under
+// `checkpoints/` are held to the same discipline, proven end to end
+// against the real binary (the store is installed by the CLI).
+
+fn dmdc(cwd: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dmdc"))
+        .current_dir(cwd)
+        .args(args)
+        .output()
+        .expect("spawn dmdc")
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "dmdc failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The `[profile] checkpoint store: ...` line from a `--profile` run.
+fn store_line(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr)
+        .lines()
+        .find(|l| l.starts_with("[profile] checkpoint store:"))
+        .unwrap_or_else(|| {
+            panic!(
+                "no checkpoint-store profile line in: {}",
+                String::from_utf8_lossy(&out.stderr)
+            )
+        })
+        .to_string()
+}
+
+#[test]
+fn damaged_checkpoints_are_quarantined_and_regenerated() {
+    let wd = cache_dir("dmdc-ckpt-integrity-wd");
+    std::fs::create_dir_all(&wd).unwrap();
+    const RUN: &[&str] = &[
+        "run",
+        "--workload",
+        "histo",
+        "--policy",
+        "dmdc-global",
+        "--scale",
+        "default",
+        "--sampled",
+        "--profile",
+    ];
+
+    // Cold: every window misses, fast-forwards, and seals a checkpoint.
+    let cold = dmdc(&wd, RUN);
+    let reference = stdout(&cold);
+    assert!(
+        store_line(&cold).contains("0 hits, 24 misses, 24 stored, 0 corrupt"),
+        "cold run must populate the store, got: {}",
+        store_line(&cold)
+    );
+    let ckpt_dir = wd.join("target/dmdc-cache/checkpoints");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 24, "one sealed checkpoint per window");
+
+    // Damage three entries three different ways.
+    let truncated = std::fs::read(&entries[0]).unwrap();
+    std::fs::write(&entries[0], &truncated[..truncated.len() / 2]).unwrap();
+    let mut flipped = std::fs::read(&entries[1]).unwrap();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x04;
+    std::fs::write(&entries[1], flipped).unwrap();
+    std::fs::write(&entries[2], b"this was never a sealed checkpoint").unwrap();
+
+    // The damaged windows degrade to misses: quarantined, re-fast-forwarded
+    // and re-sealed, with the report still byte-identical.
+    let repair = dmdc(&wd, RUN);
+    assert_eq!(stdout(&repair), reference, "repair run drifted");
+    assert!(
+        store_line(&repair).contains("21 hits, 3 misses, 3 stored, 3 corrupt, 3 quarantined"),
+        "want quarantine-and-regenerate counters, got: {}",
+        store_line(&repair)
+    );
+    let quarantined = std::fs::read_dir(ckpt_dir.join("quarantine"))
+        .expect("quarantine dir exists")
+        .flatten()
+        .count();
+    assert_eq!(
+        quarantined, 3,
+        "damaged checkpoints preserved for post-mortem"
+    );
+
+    // The regenerated entries are trusted again: a third run is all hits.
+    let warm = dmdc(&wd, RUN);
+    assert_eq!(stdout(&warm), reference, "warm run drifted");
+    assert!(
+        store_line(&warm).contains("24 hits, 0 misses, 0 stored, 0 corrupt"),
+        "repaired store must serve every window, got: {}",
+        store_line(&warm)
+    );
 }

@@ -176,6 +176,75 @@ fn killed_sampled_run_resumes_byte_identical() {
 }
 
 #[test]
+fn killed_sampled_resume_prefers_shared_checkpoint_store() {
+    let wd = workdir("dmdc-sampled-store-crash-wd");
+    const RUN: &[&str] = &[
+        "run",
+        "--workload",
+        "histo",
+        "--policy",
+        "dmdc-global",
+        "--scale",
+        "default",
+        "--sampled",
+        "--profile",
+    ];
+
+    // A clean run populates the shared checkpoint store under
+    // target/dmdc-cache/checkpoints/ — one sealed entry per window.
+    let warmup = dmdc(&wd, RUN);
+    assert!(
+        warmup.status.success(),
+        "warmup failed: {}",
+        stderr(&warmup)
+    );
+    let reference = stdout(&warmup);
+    assert!(
+        stderr(&warmup).contains("24 stored"),
+        "warmup must populate the store, got: {}",
+        stderr(&warmup)
+    );
+
+    // The same run, journaled and killed mid-cell after 6 windows.
+    let mut crash_args = RUN.to_vec();
+    crash_args.extend(["--run-id", "store-kill", "--inject-faults", "kill-after=6"]);
+    let crashed = dmdc(&wd, &crash_args);
+    assert!(
+        !crashed.status.success(),
+        "the injected abort must kill the run"
+    );
+
+    // Resume re-dispatches the recorded argv, which re-installs the
+    // shared store: windows beyond the partial-progress envelope restore
+    // from it, so the resume fast-forwards nothing — and the report is
+    // still byte-identical to the uninterrupted run.
+    let resumed = dmdc(&wd, &["run", "--resume", "store-kill"]);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        stderr(&resumed)
+    );
+    assert_eq!(
+        stdout(&resumed),
+        reference,
+        "store-warm resume must be byte-identical to the uninterrupted run"
+    );
+    let err = stderr(&resumed);
+    assert!(
+        err.contains("0 insts fast-forwarded"),
+        "a store-warm resume must not fast-forward, got: {err}"
+    );
+    let store_line = err
+        .lines()
+        .find(|l| l.starts_with("[profile] checkpoint store:"))
+        .unwrap_or_else(|| panic!("no checkpoint-store profile line in: {err}"));
+    assert!(
+        store_line.contains("0 misses, 0 stored, 0 corrupt") && !store_line.contains(": 0 hits"),
+        "every remaining window must restore from the shared store, got: {store_line}"
+    );
+}
+
+#[test]
 fn completed_journaled_run_matches_unjournaled_run() {
     let wd = workdir("dmdc-journal-noop-wd");
     let clean = dmdc(&wd, SUITE);
