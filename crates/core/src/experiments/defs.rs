@@ -18,8 +18,8 @@
 //! text/JSON/CSV emitters.
 
 use dmdc_energy::EnergyModel;
-use dmdc_ooo::{CoreConfig, SimOptions, SimStats};
-use dmdc_workloads::{full_suite, Group, Scale, Workload};
+use dmdc_ooo::{run_multicore, CoreConfig, MultiCoreOptions, SimOptions, SimStats};
+use dmdc_workloads::{full_suite, mt_share, Group, Scale, Workload};
 
 use super::{
     chunk_by_variants, group_stat, group_stat_ci, run_matrix, CellResult, Experiment, Plan,
@@ -1253,6 +1253,231 @@ impl Experiment for Table6Exp {
             self.id(),
             table6_reduce(&DEFAULT_INVAL_RATES, &chunks).table(),
         )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multicore: organic coherence traffic next to the injected approximation.
+// ---------------------------------------------------------------------------
+
+/// Contention periods (private ALU instructions between shared-line
+/// rounds) the multicore experiment sweeps, sparsest first: smaller
+/// periods mean denser organic invalidation traffic.
+pub const DEFAULT_SHARING_PERIODS: [u32; 4] = [64, 16, 4, 1];
+
+/// Shared rounds per core in the organic sweep. Fixed rather than scaled:
+/// the organic runs are full-detail two-core simulations driven inline by
+/// the reducer, so they stay smoke-sized at every scale.
+const SHARING_ROUNDS: u32 = 300;
+
+/// One organic (really-coherent) two-core run.
+#[derive(Debug, Clone)]
+pub struct MulticoreRow {
+    /// Policy token ("baseline-coherent" / "dmdc-coherent").
+    pub policy: String,
+    /// Private instructions between shared rounds.
+    pub period: u32,
+    /// Measured invalidation deliveries per 1000 driver cycles.
+    pub invals_per_kcycle: f64,
+    /// Coherence replays per million committed instructions, both cores.
+    pub coherence_replays_per_m: f64,
+    /// Line ownership transfers on the bus (BusUpgr + BusRdX).
+    pub bus_transfers: u64,
+    /// Driver cycles to completion.
+    pub cycles: u64,
+}
+
+/// Multicore experiment data: the single-core injected sweep (Table 6's
+/// approximation of §6.2.4) next to the organic two-core MESI sweep the
+/// approximation stands in for.
+#[derive(Debug, Clone)]
+pub struct Multicore {
+    /// `(injected rate, DMDC coherence replays per 1M committed)` per
+    /// swept rate.
+    pub injected: Vec<(f64, f64)>,
+    /// Organic rows, contention-period-major, policy-minor.
+    pub organic: Vec<MulticoreRow>,
+}
+
+/// The injected half's cell matrix: exactly Table 6's DMDC-coherent
+/// columns (same config, policy and options), so the persistent cell
+/// cache shares these cells with `table6` verbatim.
+fn multicore_injected_variants(config: &CoreConfig, rates: &[f64]) -> Vec<Variant> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let opts = SimOptions {
+                inval_per_kcycle: rate,
+                inval_seed: 42,
+                ..SimOptions::default()
+            };
+            (config.clone(), PolicyKind::DmdcCoherent, opts)
+        })
+        .collect()
+}
+
+/// Runs the organic two-core sweep: every contention period under the
+/// coherent baseline and coherent DMDC, through the real MESI hub.
+fn multicore_organic(config: &CoreConfig, periods: &[u32]) -> Vec<MulticoreRow> {
+    let mut rows = Vec::new();
+    for &period in periods {
+        let kernel = mt_share(SHARING_ROUNDS, period);
+        for kind in [PolicyKind::BaselineCoherent, PolicyKind::DmdcCoherent] {
+            let policies = (0..kernel.programs.len())
+                .map(|_| kind.build(config))
+                .collect();
+            let opts = MultiCoreOptions {
+                seed: 7,
+                ..MultiCoreOptions::default()
+            };
+            let r = run_multicore(&kernel.program_refs(), config, policies, &opts)
+                .unwrap_or_else(|e| panic!("{} under {kind:?}: {e}", kernel.name));
+            assert!(
+                r.coherence_violations.is_empty(),
+                "{} under {kind:?}: {:?}",
+                kernel.name,
+                r.coherence_violations
+            );
+            let committed: u64 = r.cores.iter().map(|c| c.result.stats.committed).sum();
+            let coherence: u64 = r
+                .cores
+                .iter()
+                .map(|c| c.result.stats.policy.replays.coherence)
+                .sum();
+            rows.push(MulticoreRow {
+                policy: kind.token(),
+                period,
+                invals_per_kcycle: r.invals_per_kcycle(),
+                coherence_replays_per_m: coherence as f64 * 1e6 / committed.max(1) as f64,
+                bus_transfers: r.bus.bus_upgrades + r.bus.bus_read_x,
+                cycles: r.cycles,
+            });
+        }
+    }
+    rows
+}
+
+fn multicore_reduce(
+    rates: &[f64],
+    chunks: &[Vec<CellResult>],
+    organic: Vec<MulticoreRow>,
+) -> Multicore {
+    let injected = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let runs = &chunks[i];
+            let mean = runs
+                .iter()
+                .map(|r| r.stats.per_million(r.stats.policy.replays.coherence))
+                .sum::<f64>()
+                / runs.len().max(1) as f64;
+            (rate, mean)
+        })
+        .collect();
+    Multicore { injected, organic }
+}
+
+/// Regenerates the multicore comparison on an explicit workload set (the
+/// injected half) and contention periods (the organic half).
+pub fn multicore_on(
+    workloads: &[Workload],
+    config: &CoreConfig,
+    rates: &[f64],
+    periods: &[u32],
+) -> Multicore {
+    multicore_reduce(
+        rates,
+        &run_matrix(workloads, &multicore_injected_variants(config, rates)),
+        multicore_organic(config, periods),
+    )
+}
+
+/// Regenerates the multicore comparison at the given scale with the
+/// default rates and contention periods on config 2.
+pub fn multicore(scale: Scale) -> Multicore {
+    multicore_on(
+        &full_suite(scale),
+        &CoreConfig::config2(),
+        &DEFAULT_INVAL_RATES,
+        &DEFAULT_SHARING_PERIODS,
+    )
+}
+
+impl Multicore {
+    /// The rendered tables, injected sweep first.
+    pub fn tables(&self) -> Vec<Table> {
+        let mut inj = Table::new(
+            "Multicore A: DMDC replay rate under injected invalidations (1 core, Bernoulli model)",
+        );
+        inj.headers(["inv/1k cycles (injected)", "coherence replays /1M"]);
+        for &(rate, replays) in &self.injected {
+            inj.row([f1(rate), f1(replays)]);
+        }
+        let mut org =
+            Table::new("Multicore B: organic MESI traffic (2 cores, false-sharing kernel)");
+        org.headers([
+            "policy",
+            "period",
+            "inv/1k cycles (measured)",
+            "coherence replays /1M",
+            "bus transfers",
+            "cycles",
+        ]);
+        for r in &self.organic {
+            org.row([
+                r.policy.clone(),
+                r.period.to_string(),
+                f1(r.invals_per_kcycle),
+                f1(r.coherence_replays_per_m),
+                r.bus_transfers.to_string(),
+                r.cycles.to_string(),
+            ]);
+        }
+        vec![inj, org]
+    }
+
+    /// Renders both tables.
+    pub fn render(&self) -> String {
+        self.tables()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Registry entry for the multicore comparison.
+pub struct MulticoreExp;
+
+impl Experiment for MulticoreExp {
+    fn id(&self) -> &'static str {
+        "multicore"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§6.2.4 (external invalidations, organically generated)"
+    }
+
+    fn plan(&self, scale: Scale) -> Plan {
+        Plan::matrix(
+            full_suite(scale),
+            multicore_injected_variants(&CoreConfig::config2(), &DEFAULT_INVAL_RATES),
+        )
+    }
+
+    fn reduce(&self, cells: &[CellResult]) -> Report {
+        let chunks = chunk_by_variants(cells, DEFAULT_INVAL_RATES.len());
+        let m = multicore_reduce(
+            &DEFAULT_INVAL_RATES,
+            &chunks,
+            multicore_organic(&CoreConfig::config2(), &DEFAULT_SHARING_PERIODS),
+        );
+        let mut report = Report::new(self.id());
+        for t in m.tables() {
+            report.push(t);
+        }
+        report
     }
 }
 

@@ -289,6 +289,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &Table4Exp,
         &Table5Exp,
         &Table6Exp,
+        &MulticoreExp,
         &CheckingQueueAblationExp,
         &TableSizeAblationExp,
         &SafeLoadAblationExp,

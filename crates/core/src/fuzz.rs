@@ -15,16 +15,27 @@
 //! Real policies are expected to survive any budget; the [`Sabotage`]
 //! hook plants bugs (suppressed replay verdicts, stores forced safe) so
 //! the detect → shrink → replay loop itself stays tested.
+//!
+//! With [`FuzzOptions::threads`] > 1 the harness switches to multi-core
+//! torture: each case is `threads` independently generated kernels racing
+//! on the same fuzz data region under `run_multicore` with the coherence
+//! auditor on. Racy interleavings make the single-core emulator oracle
+//! meaningless there, so the failure signal becomes: panics, per-core
+//! audit violations, coherence-protocol violations (SWMR / transition
+//! legality / INV-bit sync), and run-to-run divergence of a nominally
+//! deterministic simulation. The shrinker reduces across every thread's
+//! instruction stream in turn, and repro files gain `threads` /
+//! `thread N` sections while staying backward compatible.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
-use dmdc_isa::Emulator;
+use dmdc_isa::{Emulator, Program};
 use dmdc_ooo::{
-    AuditKind, CheckOutcome, CommitInfo, CoreConfig, LoadQueue, MemDepPolicy, PolicyCtx,
-    SimOptions, Simulator, StoreResolution,
+    run_multicore, AuditKind, CheckOutcome, CommitInfo, CoreConfig, LoadQueue, MemDepPolicy,
+    MultiCoreOptions, MultiCoreResult, PolicyCtx, SimOptions, Simulator, StoreResolution,
 };
 use dmdc_types::{Addr, Age, MemSpan};
 use dmdc_workloads::{FuzzKernel, FuzzOp};
@@ -203,6 +214,11 @@ pub struct FuzzOptions {
     pub sabotage: Option<Sabotage>,
     /// Where `<seed>.repro` files land.
     pub out_dir: PathBuf,
+    /// Cores per case. 1 (the default) is the classic single-core loop
+    /// with the emulator oracle; 2+ races that many kernels under
+    /// `run_multicore` (policies must support coherence — see
+    /// [`FuzzOptions::mt_policies`]).
+    pub threads: usize,
 }
 
 impl FuzzOptions {
@@ -226,7 +242,16 @@ impl FuzzOptions {
             config: "2".to_string(),
             sabotage: None,
             out_dir: PathBuf::from("target/dmdc-fuzz"),
+            threads: 1,
         }
+    }
+
+    /// The policies multi-threaded torture runs by default: the two that
+    /// are built with coherence wired up. (Policies without coherence
+    /// support would flag the delivered invalidations as audit failures,
+    /// drowning the signal.)
+    pub fn mt_policies() -> Vec<PolicyKind> {
+        vec![PolicyKind::BaselineCoherent, PolicyKind::DmdcCoherent]
     }
 }
 
@@ -251,6 +276,14 @@ fn config_from_token(token: &str) -> Result<CoreConfig, String> {
     }
 }
 
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 /// Runs one kernel under one (possibly sabotaged) policy with the auditor
 /// on, returning how it failed — or `None` when the case is clean.
 fn run_case(
@@ -265,14 +298,9 @@ fn run_case(
     let workload = match panic::catch_unwind(AssertUnwindSafe(|| kernel.build())) {
         Ok(workload) => workload,
         Err(payload) => {
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "non-string panic payload".to_string());
             return Some(FuzzFailure {
                 kind: AuditKind::Panic.label().to_string(),
-                detail: format!("kernel does not build: {msg}"),
+                detail: format!("kernel does not build: {}", panic_message(payload)),
             });
         }
     };
@@ -290,14 +318,9 @@ fn run_case(
     }));
     let result = match outcome {
         Err(payload) => {
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "non-string panic payload".to_string());
             return Some(FuzzFailure {
                 kind: AuditKind::Panic.label().to_string(),
-                detail: msg,
+                detail: panic_message(payload),
             });
         }
         Ok(Err(e)) => {
@@ -342,38 +365,176 @@ fn run_case(
     None
 }
 
+/// Everything that must be bit-identical between two runs of the same
+/// multi-core case: driver cycles, the shared-memory checksum, and each
+/// core's architectural checksum.
+fn mt_digest(r: &MultiCoreResult) -> (u64, u64, Vec<u64>) {
+    (
+        r.cycles,
+        r.mem_checksum,
+        r.cores.iter().map(|c| c.result.checksum).collect(),
+    )
+}
+
+/// Runs one multi-threaded case — `kernels[i]` on core `i`, all racing on
+/// the shared fuzz data region — under one (possibly sabotaged) policy
+/// with the per-core auditors *and* the coherence auditor on.
+///
+/// Racy interleavings put the final state outside the single-core
+/// emulator's reach, so failure here means: a panic or driver error, a
+/// coherence-protocol violation, any core's audit report, or two
+/// identical runs not being bit-identical.
+fn run_case_mt(
+    kernels: &[FuzzKernel],
+    policy_kind: &PolicyKind,
+    config: &CoreConfig,
+    sabotage: Option<Sabotage>,
+) -> Option<FuzzFailure> {
+    let mut programs: Vec<Program> = Vec::with_capacity(kernels.len());
+    for kernel in kernels {
+        match panic::catch_unwind(AssertUnwindSafe(|| kernel.build())) {
+            Ok(workload) => programs.push(workload.program),
+            Err(payload) => {
+                return Some(FuzzFailure {
+                    kind: AuditKind::Panic.label().to_string(),
+                    detail: format!("kernel does not build: {}", panic_message(payload)),
+                });
+            }
+        }
+    }
+    let run_once = || -> Result<MultiCoreResult, FuzzFailure> {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            let refs: Vec<&Program> = programs.iter().collect();
+            let policies: Vec<Box<dyn MemDepPolicy>> = programs
+                .iter()
+                .map(|_| {
+                    let real = policy_kind.build(config);
+                    match sabotage {
+                        Some(mode) => {
+                            Box::new(SabotagedPolicy::new(real, mode)) as Box<dyn MemDepPolicy>
+                        }
+                        None => real,
+                    }
+                })
+                .collect();
+            let opts = MultiCoreOptions {
+                audit: true,
+                ..MultiCoreOptions::default()
+            };
+            run_multicore(&refs, config, policies, &opts)
+        }));
+        match outcome {
+            Err(payload) => Err(FuzzFailure {
+                kind: AuditKind::Panic.label().to_string(),
+                detail: panic_message(payload),
+            }),
+            Ok(Err(e)) => Err(FuzzFailure {
+                kind: AuditKind::Panic.label().to_string(),
+                detail: format!("multi-core simulation error: {e}"),
+            }),
+            Ok(Ok(result)) => Ok(result),
+        }
+    };
+    let first = match run_once() {
+        Ok(result) => result,
+        Err(failure) => return Some(failure),
+    };
+    if !first.coherence_violations.is_empty() {
+        return Some(FuzzFailure {
+            kind: "coherence".to_string(),
+            detail: first.coherence_violations.join("\n"),
+        });
+    }
+    for (core, outcome) in first.cores.iter().enumerate() {
+        if let Some(audit) = &outcome.result.audit {
+            if !audit.is_clean() {
+                let kind = audit.violations.first().map_or_else(
+                    || AuditKind::Panic.label().to_string(),
+                    |v| v.kind.label().to_string(),
+                );
+                return Some(FuzzFailure {
+                    kind,
+                    detail: format!("core {core}:\n{}", audit.render()),
+                });
+            }
+        }
+    }
+    // Determinism differential: the multi-core driver promises the same
+    // inputs produce the same run, bit for bit. Rerun and compare.
+    match run_once() {
+        Ok(second) if mt_digest(&second) == mt_digest(&first) => None,
+        Ok(second) => Some(FuzzFailure {
+            kind: "mt-divergence".to_string(),
+            detail: format!(
+                "two identical multi-core runs diverged: {:?} vs {:?}",
+                mt_digest(&first),
+                mt_digest(&second)
+            ),
+        }),
+        Err(failure) => Some(failure),
+    }
+}
+
+/// Single- vs multi-thread dispatch on the kernel count.
+fn run_threaded_case(
+    kernels: &[FuzzKernel],
+    policy_kind: &PolicyKind,
+    config: &CoreConfig,
+    sabotage: Option<Sabotage>,
+) -> Option<FuzzFailure> {
+    match kernels {
+        [one] => run_case(one, policy_kind, config, sabotage),
+        many => run_case_mt(many, policy_kind, config, sabotage),
+    }
+}
+
 fn fails_same(
-    kernel: &FuzzKernel,
+    kernels: &[FuzzKernel],
     policy_kind: &PolicyKind,
     config: &CoreConfig,
     sabotage: Option<Sabotage>,
     target_kind: &str,
 ) -> bool {
-    run_case(kernel, policy_kind, config, sabotage).is_some_and(|f| f.kind == target_kind)
+    run_threaded_case(kernels, policy_kind, config, sabotage).is_some_and(|f| f.kind == target_kind)
 }
 
-/// Delta-debugs `kernel` to a locally minimal one that still fails with
-/// `target_kind`: chunked op removal (halving chunk sizes), iteration
-/// reduction, then per-op operand simplification (`late`/`far`/`sub` off,
-/// width up to a full quad word).
+/// Delta-debugs every thread's kernel to a locally minimal set that still
+/// fails with `target_kind`: per thread, chunked op removal (halving chunk
+/// sizes), iteration reduction, then per-op operand simplification
+/// (`late`/`far`/`sub` off, width up to a full quad word). Threads are
+/// shrunk one at a time with the others held fixed; the thread count
+/// itself never changes (dropping a core changes the machine, not the
+/// kernel).
 fn shrink(
-    mut kernel: FuzzKernel,
+    mut kernels: Vec<FuzzKernel>,
     policy_kind: &PolicyKind,
     config: &CoreConfig,
     sabotage: Option<Sabotage>,
     target_kind: &str,
-) -> FuzzKernel {
-    let keeps = |k: &FuzzKernel| fails_same(k, policy_kind, config, sabotage, target_kind);
+) -> Vec<FuzzKernel> {
+    let keeps = |ks: &[FuzzKernel]| fails_same(ks, policy_kind, config, sabotage, target_kind);
+    for t in 0..kernels.len() {
+        kernels = shrink_thread(kernels, t, &keeps);
+    }
+    kernels
+}
 
-    let mut chunk = (kernel.ops.len() / 2).max(1);
+/// One thread's shrink pass: reduces `kernels[t]` while the other threads
+/// stay fixed.
+fn shrink_thread(
+    mut kernels: Vec<FuzzKernel>,
+    t: usize,
+    keeps: &dyn Fn(&[FuzzKernel]) -> bool,
+) -> Vec<FuzzKernel> {
+    let mut chunk = (kernels[t].ops.len() / 2).max(1);
     loop {
         let mut i = 0;
-        while i < kernel.ops.len() && kernel.ops.len() > 1 {
-            let mut cand = kernel.clone();
-            let end = (i + chunk).min(cand.ops.len());
-            cand.ops.drain(i..end);
-            if !cand.ops.is_empty() && keeps(&cand) {
-                kernel = cand;
+        while i < kernels[t].ops.len() && kernels[t].ops.len() > 1 {
+            let mut cand = kernels.clone();
+            let end = (i + chunk).min(cand[t].ops.len());
+            cand[t].ops.drain(i..end);
+            if !cand[t].ops.is_empty() && keeps(&cand) {
+                kernels = cand;
             } else {
                 i += chunk;
             }
@@ -385,21 +546,19 @@ fn shrink(
     }
 
     for iters in [1, 2, 4, 8, 16, 32, 64] {
-        if iters >= kernel.iters {
+        if iters >= kernels[t].iters {
             break;
         }
-        let cand = FuzzKernel {
-            ops: kernel.ops.clone(),
-            iters,
-        };
+        let mut cand = kernels.clone();
+        cand[t].iters = iters;
         if keeps(&cand) {
-            kernel = cand;
+            kernels = cand;
             break;
         }
     }
 
-    for i in 0..kernel.ops.len() {
-        let simplifications: Vec<FuzzOp> = match kernel.ops[i] {
+    for i in 0..kernels[t].ops.len() {
+        let simplifications: Vec<FuzzOp> = match kernels[t].ops[i] {
             FuzzOp::Store {
                 width,
                 slot,
@@ -464,17 +623,17 @@ fn shrink(
             FuzzOp::Branch { .. } | FuzzOp::Alu => vec![],
         };
         for simpler in simplifications {
-            if simpler == kernel.ops[i] {
+            if simpler == kernels[t].ops[i] {
                 continue;
             }
-            let mut cand = kernel.clone();
-            cand.ops[i] = simpler;
+            let mut cand = kernels.clone();
+            cand[t].ops[i] = simpler;
             if keeps(&cand) {
-                kernel = cand;
+                kernels = cand;
             }
         }
     }
-    kernel
+    kernels
 }
 
 /// A self-contained, replayable failure record: the exact (shrunk) kernel,
@@ -494,8 +653,11 @@ pub struct Repro {
     pub sabotage: Option<Sabotage>,
     /// Failure class ([`FuzzFailure::kind`]).
     pub kind: String,
-    /// The shrunk kernel.
+    /// The shrunk kernel (thread 0 when multi-threaded).
     pub kernel: FuzzKernel,
+    /// Threads 1.. of a multi-threaded case, already shrunk. Empty for
+    /// the classic single-core repro (and absent from its file format).
+    pub extra: Vec<FuzzKernel>,
 }
 
 impl Repro {
@@ -509,10 +671,20 @@ impl Repro {
         if let Some(s) = &self.sabotage {
             writeln!(out, "sabotage {}", s.token()).unwrap();
         }
+        if !self.extra.is_empty() {
+            writeln!(out, "threads {}", 1 + self.extra.len()).unwrap();
+        }
         writeln!(out, "failure {}", self.kind).unwrap();
         writeln!(out, "iters {}", self.kernel.iters).unwrap();
         for op in &self.kernel.ops {
             writeln!(out, "op {}", op.token()).unwrap();
+        }
+        for (i, k) in self.extra.iter().enumerate() {
+            writeln!(out, "thread {}", i + 1).unwrap();
+            writeln!(out, "iters {}", k.iters).unwrap();
+            for op in &k.ops {
+                writeln!(out, "op {}", op.token()).unwrap();
+            }
         }
         out
     }
@@ -530,7 +702,12 @@ impl Repro {
                 ops: Vec::new(),
                 iters: 1,
             },
+            extra: Vec::new(),
         };
+        // `iters` / `op` lines apply to the current thread: thread 0 until
+        // a `thread N` line opens the next one.
+        let mut cur = 0usize;
+        let mut declared_threads: Option<usize> = None;
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -547,21 +724,59 @@ impl Repro {
                 "policy" => repro.policy = rest.to_string(),
                 "config" => repro.config = rest.to_string(),
                 "sabotage" => repro.sabotage = Some(Sabotage::parse_token(rest)?),
+                "threads" => {
+                    let n: usize = rest.parse().map_err(|_| format!("bad threads `{rest}`"))?;
+                    if !(2..=8).contains(&n) {
+                        return Err(format!("threads must be 2..=8, got {n}"));
+                    }
+                    declared_threads = Some(n);
+                }
+                "thread" => {
+                    let n: usize = rest.parse().map_err(|_| format!("bad thread `{rest}`"))?;
+                    if n != cur + 1 {
+                        return Err(format!("thread sections out of order at `thread {n}`"));
+                    }
+                    repro.extra.push(FuzzKernel {
+                        ops: Vec::new(),
+                        iters: 1,
+                    });
+                    cur = n;
+                }
                 "failure" => repro.kind = rest.to_string(),
                 "iters" => {
-                    repro.kernel.iters = rest.parse().map_err(|_| format!("bad iters `{rest}`"))?;
+                    let iters = rest.parse().map_err(|_| format!("bad iters `{rest}`"))?;
+                    repro.thread_mut(cur).iters = iters;
                 }
-                "op" => repro.kernel.ops.push(FuzzOp::parse_token(rest)?),
+                "op" => {
+                    let op = FuzzOp::parse_token(rest)?;
+                    repro.thread_mut(cur).ops.push(op);
+                }
                 other => return Err(format!("unknown repro key `{other}`")),
             }
         }
         if repro.policy.is_empty() {
             return Err("repro missing policy".to_string());
         }
-        if repro.kernel.ops.is_empty() {
-            return Err("repro has no ops".to_string());
+        if let Some(n) = declared_threads {
+            if 1 + repro.extra.len() != n {
+                return Err(format!(
+                    "repro declares {n} threads but has {} thread sections",
+                    1 + repro.extra.len()
+                ));
+            }
+        }
+        if repro.kernel.ops.is_empty() || repro.extra.iter().any(|k| k.ops.is_empty()) {
+            return Err("repro has a thread with no ops".to_string());
         }
         Ok(repro)
+    }
+
+    fn thread_mut(&mut self, i: usize) -> &mut FuzzKernel {
+        if i == 0 {
+            &mut self.kernel
+        } else {
+            &mut self.extra[i - 1]
+        }
     }
 
     /// Re-runs the recorded case exactly; returns the failure it produced
@@ -569,24 +784,41 @@ impl Repro {
     pub fn replay(&self) -> Result<Option<FuzzFailure>, String> {
         let policy_kind = PolicyKind::parse_token(&self.policy)?;
         let config = config_from_token(&self.config)?;
-        Ok(run_case(&self.kernel, &policy_kind, &config, self.sabotage))
+        let mut kernels = vec![self.kernel.clone()];
+        kernels.extend(self.extra.iter().cloned());
+        Ok(run_threaded_case(
+            &kernels,
+            &policy_kind,
+            &config,
+            self.sabotage,
+        ))
     }
 }
 
-/// Runs the fuzz loop: for each kernel index in `0..budget`, generate the
-/// kernel and run it under every policy in turn. On the first failure,
-/// shrink it, write `<out_dir>/<seed>.repro`, and stop.
+/// Runs the fuzz loop: for each case index in `0..budget`, generate the
+/// kernel(s) — one per thread — and run them under every policy in turn.
+/// On the first failure, shrink it across every thread's stream, write
+/// `<out_dir>/<seed>.repro`, and stop.
 pub fn fuzz(opts: &FuzzOptions) -> Result<FuzzOutcome, String> {
     let config = config_from_token(&opts.config)?;
+    let threads = opts.threads.max(1) as u64;
+    if threads > 8 {
+        return Err(format!("--threads {threads} is past the 8-core cap"));
+    }
     let mut cases = 0u64;
     for index in 0..opts.budget {
-        let kernel = FuzzKernel::generate(opts.seed, index);
+        // Thread t of case i draws kernel i*threads+t, so the streams stay
+        // independent and every case is reproducible from (seed, index).
+        let kernels: Vec<FuzzKernel> = (0..threads)
+            .map(|t| FuzzKernel::generate(opts.seed, index * threads + t))
+            .collect();
         for policy_kind in &opts.policies {
             cases += 1;
-            let Some(failure) = run_case(&kernel, policy_kind, &config, opts.sabotage) else {
+            let Some(failure) = run_threaded_case(&kernels, policy_kind, &config, opts.sabotage)
+            else {
                 continue;
             };
-            let shrunk = shrink(kernel, policy_kind, &config, opts.sabotage, &failure.kind);
+            let mut shrunk = shrink(kernels, policy_kind, &config, opts.sabotage, &failure.kind);
             let repro = Repro {
                 seed: opts.seed,
                 index,
@@ -594,7 +826,8 @@ pub fn fuzz(opts: &FuzzOptions) -> Result<FuzzOutcome, String> {
                 config: opts.config.clone(),
                 sabotage: opts.sabotage,
                 kind: failure.kind,
-                kernel: shrunk,
+                kernel: shrunk.remove(0),
+                extra: shrunk,
             };
             let repro_path = write_repro(&opts.out_dir, &repro);
             return Ok(FuzzOutcome {
@@ -699,10 +932,70 @@ mod tests {
                 ],
                 iters: 17,
             },
+            extra: Vec::new(),
         };
         assert_eq!(Repro::parse(&repro.render()), Ok(repro));
         assert!(Repro::parse("seed 1\n").is_err(), "missing policy/ops");
         assert!(Repro::parse("warble 1\npolicy x\nop alu\n").is_err());
+    }
+
+    #[test]
+    fn multi_threaded_repro_round_trips_through_text() {
+        let store = FuzzOp::Store {
+            width: 8,
+            slot: 2,
+            sub: false,
+            late: false,
+            far: false,
+        };
+        let load = FuzzOp::Load {
+            width: 8,
+            slot: 2,
+            sub: false,
+            far: false,
+        };
+        let repro = Repro {
+            seed: 9,
+            index: 1,
+            policy: "dmdc-coherent".to_string(),
+            config: "2".to_string(),
+            sabotage: None,
+            kind: "coherence".to_string(),
+            kernel: FuzzKernel {
+                ops: vec![store, load],
+                iters: 3,
+            },
+            extra: vec![FuzzKernel {
+                ops: vec![load],
+                iters: 5,
+            }],
+        };
+        let text = repro.render();
+        assert!(text.contains("threads 2"), "{text}");
+        assert!(text.contains("thread 1"), "{text}");
+        assert_eq!(Repro::parse(&text), Ok(repro));
+        // Thread sections must arrive in order, with every thread nonempty.
+        assert!(Repro::parse("policy x\nop alu\nthread 2\nop alu\n").is_err());
+        assert!(Repro::parse("policy x\nthreads 2\nop alu\n").is_err());
+        assert!(Repro::parse("policy x\nop alu\nthread 1\niters 1\n").is_err());
+    }
+
+    #[test]
+    fn mt_real_policies_survive_a_small_budget() {
+        let opts = FuzzOptions {
+            budget: 3,
+            threads: 2,
+            policies: FuzzOptions::mt_policies(),
+            out_dir: std::env::temp_dir().join("dmdc-fuzz-test-mt-clean"),
+            ..FuzzOptions::new(23)
+        };
+        let outcome = fuzz(&opts).unwrap();
+        assert!(
+            outcome.failure.is_none(),
+            "coherent policy failed multi-core torture:\n{}",
+            outcome.failure.unwrap().render()
+        );
+        assert_eq!(outcome.cases, 3 * 2);
     }
 
     #[test]

@@ -158,6 +158,17 @@ impl<'p> Emulator<'p> {
         &self.mem
     }
 
+    /// Swaps this emulator's memory image with `other`.
+    ///
+    /// The multi-threaded reference executor ([`crate::threads`]) keeps one
+    /// *shared* memory for all cores and per-core emulators whose private
+    /// images are empty; a core steps by swapping the shared image in,
+    /// executing, and swapping it back out. The swap is O(1) (a `Vec`
+    /// pointer exchange inside [`SparseMemory`]).
+    pub fn swap_memory(&mut self, other: &mut SparseMemory) {
+        std::mem::swap(&mut self.mem, other);
+    }
+
     /// Whether the program has executed `halt`.
     pub fn halted(&self) -> bool {
         self.halted

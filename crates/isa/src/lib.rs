@@ -47,6 +47,7 @@ mod inst;
 mod mem;
 mod program;
 mod reg;
+mod threads;
 
 pub use asm::{AsmError, Assembler};
 pub use blocks::{BlockCode, SilentObserver, SilentStats};
@@ -58,3 +59,4 @@ pub use inst::{AluOp, BranchCond, FpuOp, Inst, InstClass};
 pub use mem::SparseMemory;
 pub use program::{Program, TEXT_BASE};
 pub use reg::{ArchReg, FReg, Reg};
+pub use threads::{enumerate_outcomes, EnumError, EnumLimits, SharedSystem};

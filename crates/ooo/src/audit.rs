@@ -65,6 +65,10 @@ pub enum AuditKind {
     LockstepValue,
     /// A policy's self-audit found its internal structures inconsistent.
     PolicyState,
+    /// An LQ entry carried an INV mark with no matching invalidation ever
+    /// injected or delivered (coherence invariant: LSQ INV bits must stay
+    /// consistent with the L1 directory's snoop stream).
+    InvBitSync,
     /// Final architectural state diverged from the oracle (used by the
     /// fuzz harness, which checks checksums itself).
     StateDivergence,
@@ -85,6 +89,7 @@ impl AuditKind {
             AuditKind::LockstepPc => "lockstep-pc",
             AuditKind::LockstepValue => "lockstep-value",
             AuditKind::PolicyState => "policy-state",
+            AuditKind::InvBitSync => "inv-bit-sync",
             AuditKind::StateDivergence => "state-divergence",
             AuditKind::Panic => "panic",
         }
@@ -102,6 +107,7 @@ impl AuditKind {
             AuditKind::LockstepPc,
             AuditKind::LockstepValue,
             AuditKind::PolicyState,
+            AuditKind::InvBitSync,
             AuditKind::StateDivergence,
             AuditKind::Panic,
         ]
@@ -251,6 +257,14 @@ impl<'p> Auditor<'p> {
 
     pub(crate) fn into_report(self) -> AuditReport {
         self.report
+    }
+
+    /// Turns off emulator-lockstep checking (invariant 6) while keeping
+    /// every other check. Multi-core runs use this: the per-core emulator
+    /// only knows this core's instruction stream, so with shared memory its
+    /// loads would diverge the moment a remote store lands.
+    pub(crate) fn disable_lockstep(&mut self) {
+        self.lockstep = false;
     }
 
     pub(crate) fn record(
@@ -417,6 +431,7 @@ mod tests {
             AuditKind::LockstepPc,
             AuditKind::LockstepValue,
             AuditKind::PolicyState,
+            AuditKind::InvBitSync,
             AuditKind::StateDivergence,
             AuditKind::Panic,
         ] {

@@ -8,9 +8,11 @@
 //! reaches architectural state, and the integration suite additionally
 //! compares the final state checksum against the functional emulator.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::fmt;
+use std::rc::Rc;
 
 use dmdc_isa::{arch_checksum, ArchReg, Inst, InstClass, Program, SparseMemory};
 use dmdc_types::{AccessSize, Addr, Age, Cycle, MemSpan, SplitMix64};
@@ -23,8 +25,9 @@ use crate::exec::{compute, extract_forwarded, load_value, store_raw};
 use crate::lsq::{
     CheckOutcome, CommitInfo, CommitKind, LoadQueue, MemDepPolicy, PolicyCtx, StoreQueue,
 };
+use crate::multicore::CoherenceHub;
 use crate::regs::{Operand, PhysReg, RegFiles, RegValue};
-use crate::stats::{SimProfile, SimStats};
+use crate::stats::{ReplayKind, SimProfile, SimStats};
 use crate::trace::{PipelineTrace, Stage};
 
 /// Statistical-sampling specification: how a sampled run carves the
@@ -222,6 +225,10 @@ struct RobEntry {
     forwarded: bool,
     issue_cycle: Option<Cycle>,
     misaligned: bool,
+    /// A cross-core invalidation hit this in-flight load's line after it
+    /// issued (multi-core runs only; never set single-core). The snooping
+    /// load queue replays it at commit if its value went stale.
+    xinv: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -314,6 +321,13 @@ pub struct Simulator<'p> {
     scratch_cands: Vec<Age>,
     prof: Option<Box<SimProfile>>,
     audit: Option<Box<Auditor<'p>>>,
+    // Multi-core wiring: `(core id, hub)` when this core's data accesses
+    // route through a coherent system instead of the private hierarchy.
+    coherence: Option<(usize, Rc<RefCell<CoherenceHub>>)>,
+    // Pages that received an invalidation (injected or delivered), kept
+    // only while the auditor runs: the INV-bit consistency invariant
+    // checks every marked LQ entry against this set.
+    seen_inval_pages: HashSet<u64>,
 }
 
 impl<'p> Simulator<'p> {
@@ -382,6 +396,8 @@ impl<'p> Simulator<'p> {
             scratch_cands: Vec::new(),
             prof: None,
             audit: None,
+            coherence: None,
+            seen_inval_pages: HashSet::new(),
             config,
         }
     }
@@ -728,7 +744,7 @@ impl<'p> Simulator<'p> {
                     );
                     let raw = store_raw(e.inst, self.rf.read(data_op));
                     self.mem.write(span.addr, span.size, raw);
-                    self.hier.data_access(span.addr);
+                    self.data_write_access(span.addr);
                     let info = CommitInfo {
                         age: e.age,
                         kind: CommitKind::Store,
@@ -757,7 +773,7 @@ impl<'p> Simulator<'p> {
                     // the architecturally correct bytes: the replay oracle.
                     let expected = self.mem.read(span.addr, span.size);
                     let value_correct = expected == raw;
-                    if !value_correct && e.safe_load && self.audit.is_some() {
+                    if !value_correct && e.safe_load && !e.xinv && self.audit.is_some() {
                         // Invariant 4: safe classification promised all older
                         // stores were resolved at issue, so the value was
                         // final then — staleness here breaks the promise no
@@ -769,6 +785,17 @@ impl<'p> Simulator<'p> {
                             Some(span),
                             format!("safe load got {raw:#x}, architectural {expected:#x}"),
                         );
+                    }
+                    if !value_correct && e.xinv {
+                        // A cross-core invalidation marked this load after
+                        // issue and its value really did go stale: the
+                        // snooping load queue replays it at commit
+                        // (POWER4-style), before the policy's check even
+                        // runs. Not a policy bug — remote stores are
+                        // invisible to local disambiguation.
+                        self.stats.policy.replays.record(ReplayKind::Coherence);
+                        self.replay_squash(e.age);
+                        break;
                     }
                     let info = CommitInfo {
                         age: e.age,
@@ -995,6 +1022,26 @@ impl<'p> Simulator<'p> {
                 s.span,
                 "SQ entry out of age order or without a ROB entry".to_string(),
             );
+        }
+        // INV-bit consistency (coherence invariant): every marked LQ entry
+        // must trace back to a real invalidation — injected or delivered by
+        // the hub — on its page. Page granularity is exact here: policies
+        // mark at line granularity and lines never straddle pages.
+        for l in self.lq.iter() {
+            if l.inv_marked
+                && !l
+                    .span
+                    .is_some_and(|s| self.seen_inval_pages.contains(&(s.addr.0 >> 12)))
+            {
+                aud.record(
+                    AuditKind::InvBitSync,
+                    cycle,
+                    l.age,
+                    0,
+                    l.span,
+                    "LQ entry marked invalidated with no matching invalidation".to_string(),
+                );
+            }
         }
         if let Some(msg) = self.policy.audit_self(&self.lq) {
             aud.record(
@@ -1413,7 +1460,7 @@ impl<'p> Simulator<'p> {
             }
             Path::Memory => {
                 self.ports_this_cycle += 1;
-                let latency = self.hier.data_access(ea);
+                let latency = self.data_read_access(ea);
                 let raw = self.mem.read(ea, size);
                 self.finish_load_issue(age, rob_idx, span, raw, latency, false, safe, misaligned)
             }
@@ -1679,6 +1726,7 @@ impl<'p> Simulator<'p> {
                 forwarded: false,
                 issue_cycle: None,
                 misaligned: false,
+                xinv: false,
             });
 
             if class == InstClass::Load {
@@ -1815,6 +1863,9 @@ impl<'p> Simulator<'p> {
         let page = self.footprint[self.rng.next_below(self.footprint.len() as u64) as usize];
         let lines_per_page = 4096 / line_bytes;
         let line_addr = Addr(page.0 + self.rng.next_below(lines_per_page) * line_bytes);
+        if self.audit.is_some() {
+            self.seen_inval_pages.insert(line_addr.0 >> 12);
+        }
         let replay = {
             let mut ctx = PolicyCtx {
                 cycle: self.cycle,
@@ -1827,6 +1878,142 @@ impl<'p> Simulator<'p> {
         if let Some(target) = replay {
             self.replay_squash(target);
         }
+    }
+
+    /// A data read on the timing path: routed through the coherence hub in
+    /// multi-core runs, the private hierarchy otherwise.
+    fn data_read_access(&mut self, addr: Addr) -> u64 {
+        match &self.coherence {
+            Some((core, hub)) => hub.borrow_mut().read(*core, addr),
+            None => self.hier.data_access(addr),
+        }
+    }
+
+    /// A data write (store commit): same routing as [`Self::data_read_access`].
+    fn data_write_access(&mut self, addr: Addr) -> u64 {
+        match &self.coherence {
+            Some((core, hub)) => hub.borrow_mut().write(*core, addr),
+            None => self.hier.data_access(addr),
+        }
+    }
+
+    // ----- multi-core driver hooks ------------------------------------------
+    //
+    // The round-robin driver in `multicore.rs` owns the shared memory and
+    // the hub; these pub(crate) hooks let it run the single-core machinery
+    // one cycle at a time with the shared image swapped in.
+
+    /// Routes this core's data accesses through a coherence hub as `core`.
+    pub(crate) fn set_coherence(&mut self, core: usize, hub: Rc<RefCell<CoherenceHub>>) {
+        self.coherence = Some((core, hub));
+    }
+
+    /// The multi-core counterpart of [`Simulator::run`]'s preamble: arms
+    /// tracing/profiling/auditing from `opts` and *empties the private
+    /// memory image* — the driver swaps the shared image in around each
+    /// step. Emulator-lockstep auditing is disabled (the per-core emulator
+    /// cannot see remote stores); all structural and policy invariants
+    /// still run.
+    pub(crate) fn mc_prepare(&mut self, opts: &SimOptions) {
+        self.rng = SplitMix64::new(opts.inval_seed);
+        self.trace = PipelineTrace::new(opts.trace_capacity);
+        self.commit_log = opts.collect_commit_log.then(Vec::new);
+        self.prof = opts.profile.then(Box::default);
+        self.audit = opts.audit.then(|| {
+            let mut a = Auditor::new(self.program, self.policy.name().to_string());
+            a.disable_lockstep();
+            Box::new(a)
+        });
+        self.mem = SparseMemory::new();
+    }
+
+    /// Swaps this core's memory image with `mem` (O(1)); the driver brackets
+    /// every step and the finalize with a swap-in/swap-out pair.
+    pub(crate) fn swap_mem(&mut self, mem: &mut SparseMemory) {
+        std::mem::swap(&mut self.mem, mem);
+    }
+
+    /// Runs one cycle of the pipeline — the body of [`Simulator::run_loop`]
+    /// without Bernoulli injection or event skipping (cores must advance
+    /// strictly one cycle per driver cycle to keep the interleaving
+    /// deterministic).
+    pub(crate) fn mc_step_cycle(&mut self, opts: &SimOptions) -> Result<(), SimError> {
+        if self.halted {
+            return Ok(());
+        }
+        if self.cycle.0 >= opts.max_cycles {
+            return Err(SimError::CycleLimit {
+                max_cycles: opts.max_cycles,
+                committed: self.stats.committed,
+            });
+        }
+        self.cycle.tick();
+        self.ports_this_cycle = 0;
+        if self.policy.has_cycle_hook() {
+            let mut ctx = PolicyCtx {
+                cycle: self.cycle,
+                energy: &mut self.stats.energy,
+                stats: &mut self.stats.policy,
+            };
+            self.policy.on_cycle(&mut ctx);
+        }
+        self.step_pipeline(opts.max_commits);
+        if self.halted || self.stopped_early {
+            return Ok(());
+        }
+        self.assert_no_deadlock();
+        if self.audit.is_some() {
+            self.audit_structures();
+        }
+        Ok(())
+    }
+
+    /// Delivers one cross-core invalidation: marks every in-flight issued
+    /// load to the line (`xinv`, the commit-time safety net), then hands the
+    /// event to the policy exactly as the Bernoulli injector does. Must be
+    /// called with the shared memory swapped in.
+    pub(crate) fn deliver_invalidation(&mut self, line_addr: Addr, line_bytes: u64) {
+        if self.audit.is_some() {
+            self.seen_inval_pages.insert(line_addr.0 >> 12);
+        }
+        let line = line_addr.cache_line(line_bytes);
+        for e in self.rob.iter_mut() {
+            if e.class == InstClass::Load
+                && e.load_raw.is_some()
+                && e.span
+                    .is_some_and(|s| s.addr.cache_line(line_bytes) == line)
+            {
+                e.xinv = true;
+            }
+        }
+        let replay = {
+            let mut ctx = PolicyCtx {
+                cycle: self.cycle,
+                energy: &mut self.stats.energy,
+                stats: &mut self.stats.policy,
+            };
+            self.policy
+                .on_invalidation(&mut ctx, line_addr, line_bytes, &mut self.lq)
+        };
+        if let Some(target) = replay {
+            self.replay_squash(target);
+        }
+    }
+
+    /// Whether this core has committed `halt`.
+    pub(crate) fn mc_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Final architectural integer registers (litmus observers).
+    pub(crate) fn arch_int_regs(&self) -> [u64; 32] {
+        self.rf.arch_int_values()
+    }
+
+    /// Finalizes a multi-core run (call with the shared memory swapped in
+    /// so the checksum covers it).
+    pub(crate) fn mc_finalize(&mut self) -> SimResult {
+        self.finalize()
     }
 }
 

@@ -38,6 +38,7 @@ mod config;
 mod core;
 mod exec;
 mod lsq;
+mod multicore;
 mod regs;
 mod stats;
 mod trace;
@@ -52,6 +53,10 @@ pub use exec::{compute, extract_forwarded, load_value, size_mask, store_raw, Exe
 pub use lsq::{
     CheckOutcome, CommitInfo, CommitKind, LoadEntry, LoadQueue, MemDepPolicy, PolicyCtx,
     StoreEntry, StoreQueue, StoreResolution,
+};
+pub use multicore::{
+    run_multicore, BusStats, CoreOutcome, MesiState, MultiCoreError, MultiCoreOptions,
+    MultiCoreResult,
 };
 pub use regs::{Operand, PhysReg, RegFiles, RegValue};
 pub use stats::{

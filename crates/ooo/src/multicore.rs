@@ -1,0 +1,993 @@
+//! The N-core system: MESI-coherent private L1Ds over a shared L2, a
+//! snooping interconnect, and the deterministic round-robin driver that
+//! steps the per-core simulators against one shared memory (DESIGN.md §15).
+//!
+//! # Model
+//!
+//! Each core keeps the single-core [`Simulator`] machinery intact — LSQ,
+//! policies, stats, auditor — but its *data* accesses route through a
+//! [`CoherenceHub`] instead of the private [`MemoryHierarchy`]: per-core
+//! MESI L1D directories over one shared L2, with bus events (BusRd, BusRdX,
+//! BusUpgr, writebacks) counted and invalidations delivered to every other
+//! core's load queue. Instruction fetch stays on the private hierarchy
+//! (cores never write code).
+//!
+//! # Consistency
+//!
+//! The system is sequentially consistent by construction:
+//!
+//! * Cores advance in deterministic round-robin lockstep; only the stepping
+//!   core touches shared memory, so each core's step is atomic with respect
+//!   to the others.
+//! * A store becomes visible at commit (it writes shared memory) and
+//!   broadcasts an invalidation to every other core (BusRdX / BusUpgr /
+//!   E→M upgrade — see below).
+//! * Invalidations queued for a core are drained at the start of its next
+//!   step, *before* it can commit anything, and mark every in-flight issued
+//!   load to the line (`xinv`). A marked load whose value no longer matches
+//!   memory at commit is replayed by the core (counted as a coherence
+//!   replay) no matter what the policy decided — the POWER4-style snooping
+//!   load queue \[22\] as a safety net under the pluggable policies.
+//!
+//! Every committed load therefore observes exactly the value of shared
+//! memory at its commit point, so the execution is equivalent to the
+//! interleaving of commits the driver produced — a sequentially consistent
+//! execution. The litmus harness checks observed outcomes against the
+//! operational reference ([`dmdc_isa::enumerate_outcomes`]).
+//!
+//! One deliberate deviation from textbook MESI: the E→M upgrade is *not*
+//! silent — it broadcasts an invalidation like BusUpgr (and is counted with
+//! the upgrades). A silent E→M would let a store hide from a remote core
+//! whose in-flight load read the line before silently evicting it, breaking
+//! the snooping-LQ guarantee; broadcasting closes the hole. M-hit stores
+//! stay silent, which is safe: acquiring M broadcast an invalidation, and
+//! any later remote read demotes M to S.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use dmdc_isa::{Program, SparseMemory};
+use dmdc_types::{Addr, SplitMix64};
+
+use crate::cache::Cache;
+use crate::config::CoreConfig;
+use crate::core::{SimError, SimOptions, SimResult, Simulator};
+use crate::lsq::MemDepPolicy;
+use crate::stats::CacheStats;
+
+/// MESI coherence states of one L1 line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MesiState {
+    /// Not present.
+    Invalid,
+    /// Clean, possibly in other caches.
+    Shared,
+    /// Clean, sole copy.
+    Exclusive,
+    /// Dirty, sole copy.
+    Modified,
+}
+
+impl MesiState {
+    fn letter(self) -> char {
+        match self {
+            MesiState::Invalid => 'I',
+            MesiState::Shared => 'S',
+            MesiState::Exclusive => 'E',
+            MesiState::Modified => 'M',
+        }
+    }
+}
+
+/// What caused a MESI state change — the rows of the legality table the
+/// auditor checks every transition against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cause {
+    /// A line filled on a local read miss.
+    ReadFill,
+    /// A line filled on a local write miss (BusRdX).
+    WriteFill,
+    /// A local store upgraded a resident clean line (BusUpgr / E→M).
+    Upgrade,
+    /// A remote read demoted this copy (supply / downgrade).
+    SnoopRead,
+    /// A remote write invalidated this copy.
+    SnoopWrite,
+    /// Capacity/conflict eviction.
+    Evict,
+}
+
+/// The MESI state-transition legality table. Everything not listed is a
+/// protocol bug.
+fn transition_legal(from: MesiState, to: MesiState, cause: Cause) -> bool {
+    use MesiState::*;
+    match cause {
+        Cause::ReadFill => from == Invalid && matches!(to, Shared | Exclusive),
+        Cause::WriteFill => from == Invalid && to == Modified,
+        Cause::Upgrade => matches!(from, Shared | Exclusive) && to == Modified,
+        Cause::SnoopRead => matches!(from, Modified | Exclusive) && to == Shared,
+        Cause::SnoopWrite => matches!(from, Modified | Exclusive | Shared) && to == Invalid,
+        Cause::Evict => from != Invalid && to == Invalid,
+    }
+}
+
+/// One core's private L1D directory: set-associative tags with true-LRU
+/// replacement and a MESI state per line. Stores whole line ids (not
+/// set-relative tags) so victims can be named for writeback.
+#[derive(Debug, Clone)]
+struct MesiL1 {
+    sets: u64,
+    ways: usize,
+    /// Line id per (set, way); u64::MAX = invalid.
+    lines: Vec<u64>,
+    states: Vec<MesiState>,
+    lru: Vec<u64>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl MesiL1 {
+    fn new(config: &crate::config::CacheConfig) -> MesiL1 {
+        let sets = config.sets();
+        let ways = config.ways as usize;
+        MesiL1 {
+            sets,
+            ways,
+            lines: vec![u64::MAX; sets as usize * ways],
+            states: vec![MesiState::Invalid; sets as usize * ways],
+            lru: vec![0; sets as usize * ways],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn base_of(&self, line: u64) -> usize {
+        (line & (self.sets - 1)) as usize * self.ways
+    }
+
+    /// Index of a *valid* copy of `line`, if resident.
+    fn find(&self, line: u64) -> Option<usize> {
+        let base = self.base_of(line);
+        (base..base + self.ways)
+            .find(|&i| self.lines[i] == line && self.states[i] != MesiState::Invalid)
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        self.lru[idx] = self.tick;
+    }
+
+    /// Fills `line` in state `state`, evicting the LRU way if the set is
+    /// full. Returns the evicted `(line, state)` when a valid victim was
+    /// displaced.
+    fn fill(&mut self, line: u64, state: MesiState) -> Option<(u64, MesiState)> {
+        let base = self.base_of(line);
+        let slot = (base..base + self.ways)
+            .find(|&i| self.states[i] == MesiState::Invalid)
+            .unwrap_or_else(|| {
+                (base..base + self.ways)
+                    .min_by_key(|&i| self.lru[i])
+                    .expect("ways > 0")
+            });
+        let victim = (self.states[slot] != MesiState::Invalid)
+            .then(|| (self.lines[slot], self.states[slot]));
+        self.lines[slot] = line;
+        self.states[slot] = state;
+        self.touch(slot);
+        victim
+    }
+}
+
+/// Bus / interconnect event counters for one multi-core run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Read misses that went to the bus (BusRd).
+    pub bus_reads: u64,
+    /// Write misses that went to the bus (BusRdX).
+    pub bus_read_x: u64,
+    /// Resident-line write upgrades (BusUpgr, including E→M).
+    pub bus_upgrades: u64,
+    /// Dirty lines written back to the shared L2.
+    pub writebacks: u64,
+    /// Invalidation messages delivered to remote cores' load queues.
+    pub invals_sent: u64,
+}
+
+/// The snooping interconnect: per-core MESI L1D directories, the shared L2,
+/// pending invalidation queues, and the coherence auditor (SWMR +
+/// transition legality).
+pub(crate) struct CoherenceHub {
+    line_bytes: u64,
+    l1_latency: u64,
+    l2: Cache,
+    memory_latency: u64,
+    l1: Vec<MesiL1>,
+    /// Invalidated line *addresses* awaiting delivery, per core.
+    pending: Vec<VecDeque<u64>>,
+    stats: BusStats,
+    audit: bool,
+    violations: Vec<String>,
+}
+
+impl CoherenceHub {
+    pub(crate) fn new(cores: usize, config: &CoreConfig, audit: bool) -> CoherenceHub {
+        CoherenceHub {
+            line_bytes: config.l1d.line_bytes,
+            l1_latency: config.l1d.latency,
+            l2: Cache::new(config.l2),
+            memory_latency: config.memory_latency,
+            l1: (0..cores).map(|_| MesiL1::new(&config.l1d)).collect(),
+            pending: (0..cores).map(|_| VecDeque::new()).collect(),
+            stats: BusStats::default(),
+            audit,
+            violations: Vec::new(),
+        }
+    }
+
+    /// The coherence line size (the L1D line).
+    pub(crate) fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    fn line_of(&self, addr: Addr) -> u64 {
+        addr.cache_line(self.line_bytes)
+    }
+
+    fn record_violation(&mut self, msg: String) {
+        if self.violations.len() < 32 {
+            self.violations.push(msg);
+        }
+    }
+
+    /// Applies one state change with the legality table consulted first
+    /// (audit mode only; the check is free when off).
+    fn set_state_checked(&mut self, core: usize, idx: usize, to: MesiState, cause: Cause) {
+        let from = self.l1[core].states[idx];
+        if self.audit && !transition_legal(from, to, cause) {
+            let line = self.l1[core].lines[idx];
+            self.record_violation(format!(
+                "illegal MESI transition {}→{} ({cause:?}) core {core} line {:#x}",
+                from.letter(),
+                to.letter(),
+                line * self.line_bytes,
+            ));
+        }
+        self.l1[core].states[idx] = to;
+    }
+
+    /// SWMR: at most one M/E holder of `line` system-wide, and an M/E
+    /// holder excludes every other valid copy.
+    fn check_swmr(&mut self, line: u64) {
+        if !self.audit {
+            return;
+        }
+        let mut owners = 0usize;
+        let mut valid = 0usize;
+        for l1 in &self.l1 {
+            if let Some(idx) = l1.find(line) {
+                valid += 1;
+                if matches!(l1.states[idx], MesiState::Modified | MesiState::Exclusive) {
+                    owners += 1;
+                }
+            }
+        }
+        if owners > 1 || (owners == 1 && valid > 1) {
+            self.record_violation(format!(
+                "SWMR violated on line {:#x}: {owners} owners among {valid} copies",
+                line * self.line_bytes
+            ));
+        }
+    }
+
+    /// Fills `line` into `core`'s L1 with the legality table consulted for
+    /// both the fill (I→`state`) and any eviction it forces (victim→I);
+    /// dirty victims write back to the shared L2.
+    fn fill_checked(&mut self, core: usize, line: u64, state: MesiState, cause: Cause) {
+        if self.audit && !transition_legal(MesiState::Invalid, state, cause) {
+            self.record_violation(format!(
+                "illegal MESI fill I→{} ({cause:?}) core {core} line {:#x}",
+                state.letter(),
+                line * self.line_bytes,
+            ));
+        }
+        if let Some((victim, victim_state)) = self.l1[core].fill(line, state) {
+            if self.audit && !transition_legal(victim_state, MesiState::Invalid, Cause::Evict) {
+                self.record_violation(format!(
+                    "illegal MESI eviction {}→I core {core} line {:#x}",
+                    victim_state.letter(),
+                    victim * self.line_bytes,
+                ));
+            }
+            if victim_state == MesiState::Modified {
+                self.stats.writebacks += 1;
+                self.l2.access(Addr(victim * self.line_bytes));
+            }
+        }
+    }
+
+    /// Broadcasts an invalidation for `line` from `from_core`: every other
+    /// core's L1 copy is invalidated and the line address is queued for
+    /// delivery into that core's load queue at its next step.
+    fn broadcast_invalidation(&mut self, from_core: usize, line: u64) {
+        for core in 0..self.l1.len() {
+            if core == from_core {
+                continue;
+            }
+            if let Some(idx) = self.l1[core].find(line) {
+                let state = self.l1[core].states[idx];
+                if state == MesiState::Modified {
+                    self.stats.writebacks += 1;
+                    self.l2.access(Addr(line * self.line_bytes));
+                }
+                self.set_state_checked(core, idx, MesiState::Invalid, Cause::SnoopWrite);
+            }
+            self.pending[core].push_back(line * self.line_bytes);
+            self.stats.invals_sent += 1;
+        }
+    }
+
+    /// A load from `core` to `addr`: returns the access latency.
+    pub(crate) fn read(&mut self, core: usize, addr: Addr) -> u64 {
+        let line = self.line_of(addr);
+        if let Some(idx) = self.l1[core].find(line) {
+            self.l1[core].touch(idx);
+            self.l1[core].stats.hits += 1;
+            return self.l1_latency;
+        }
+        self.l1[core].stats.misses += 1;
+        self.stats.bus_reads += 1;
+        // Snoop: a remote M supplies the data (via writeback) and demotes;
+        // a remote E demotes to S.
+        let mut sharers = false;
+        let mut remote_m = false;
+        for other in 0..self.l1.len() {
+            if other == core {
+                continue;
+            }
+            if let Some(idx) = self.l1[other].find(line) {
+                sharers = true;
+                match self.l1[other].states[idx] {
+                    MesiState::Modified => {
+                        remote_m = true;
+                        self.stats.writebacks += 1;
+                        self.l2.access(Addr(line * self.line_bytes));
+                        self.set_state_checked(other, idx, MesiState::Shared, Cause::SnoopRead);
+                    }
+                    MesiState::Exclusive => {
+                        self.set_state_checked(other, idx, MesiState::Shared, Cause::SnoopRead);
+                    }
+                    MesiState::Shared => {}
+                    MesiState::Invalid => unreachable!("find returns valid copies"),
+                }
+            }
+        }
+        let latency = if remote_m {
+            // Cache-to-cache through the shared L2.
+            self.l1_latency + self.l2.latency
+        } else if self.l2.access(addr) {
+            self.l1_latency + self.l2.latency
+        } else {
+            self.l1_latency + self.l2.latency + self.memory_latency
+        };
+        let state = if sharers {
+            MesiState::Shared
+        } else {
+            MesiState::Exclusive
+        };
+        self.fill_checked(core, line, state, Cause::ReadFill);
+        self.check_swmr(line);
+        latency
+    }
+
+    /// A store from `core` to `addr` (commit time): returns the latency.
+    pub(crate) fn write(&mut self, core: usize, addr: Addr) -> u64 {
+        let line = self.line_of(addr);
+        if let Some(idx) = self.l1[core].find(line) {
+            self.l1[core].touch(idx);
+            self.l1[core].stats.hits += 1;
+            match self.l1[core].states[idx] {
+                MesiState::Modified => return self.l1_latency,
+                // E→M and S→M both broadcast (see module docs on why the
+                // E upgrade is not silent here).
+                MesiState::Exclusive | MesiState::Shared => {
+                    self.stats.bus_upgrades += 1;
+                    self.set_state_checked(core, idx, MesiState::Modified, Cause::Upgrade);
+                    self.broadcast_invalidation(core, line);
+                    self.check_swmr(line);
+                    return self.l1_latency;
+                }
+                MesiState::Invalid => unreachable!("find returns valid copies"),
+            }
+        }
+        // Write miss: BusRdX fetches the line for ownership and
+        // invalidates every other copy.
+        self.l1[core].stats.misses += 1;
+        self.stats.bus_read_x += 1;
+        let remote_m = (0..self.l1.len()).any(|other| {
+            other != core
+                && self.l1[other]
+                    .find(line)
+                    .is_some_and(|idx| self.l1[other].states[idx] == MesiState::Modified)
+        });
+        self.broadcast_invalidation(core, line);
+        // Dirty cache-to-cache supply costs the same as an L2 hit but must
+        // not touch L2 state, hence the short-circuit.
+        let latency = if remote_m || self.l2.access(addr) {
+            self.l1_latency + self.l2.latency
+        } else {
+            self.l1_latency + self.l2.latency + self.memory_latency
+        };
+        self.fill_checked(core, line, MesiState::Modified, Cause::WriteFill);
+        self.check_swmr(line);
+        latency
+    }
+
+    /// Moves every invalidation queued for `core` into `out` (line-aligned
+    /// addresses, delivery order preserved).
+    pub(crate) fn drain(&mut self, core: usize, out: &mut Vec<u64>) {
+        out.extend(self.pending[core].drain(..));
+    }
+
+    fn l1_stats(&self, core: usize) -> CacheStats {
+        self.l1[core].stats
+    }
+}
+
+/// Run-control options for a multi-core run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiCoreOptions {
+    /// Hard limit on driver cycles.
+    pub max_cycles: u64,
+    /// Seed for the deterministic interleaving (per-core start skew and
+    /// round-robin rotation). Same seed + same inputs = same run, bit for
+    /// bit.
+    pub seed: u64,
+    /// Largest per-core start skew (cycles) drawn from the seed. Skews
+    /// diversify interleavings across seeds without breaking determinism.
+    pub max_skew: u64,
+    /// Run the per-core invariant auditors and the hub's coherence checks
+    /// (SWMR, transition legality, INV-bit consistency).
+    pub audit: bool,
+}
+
+impl Default for MultiCoreOptions {
+    fn default() -> MultiCoreOptions {
+        MultiCoreOptions {
+            max_cycles: 10_000_000,
+            seed: 1,
+            max_skew: 64,
+            audit: cfg!(feature = "audit"),
+        }
+    }
+}
+
+/// Why a multi-core run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiCoreError {
+    /// The driver cycle limit elapsed before every core halted.
+    CycleLimit {
+        /// The limit that was hit.
+        max_cycles: u64,
+        /// Total commits across cores by then.
+        committed: u64,
+    },
+    /// A core's own simulation failed.
+    Core {
+        /// Which core.
+        core: usize,
+        /// Its error.
+        error: SimError,
+    },
+}
+
+impl std::fmt::Display for MultiCoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiCoreError::CycleLimit {
+                max_cycles,
+                committed,
+            } => write!(
+                f,
+                "multicore cycle limit {max_cycles} reached after {committed} total commits"
+            ),
+            MultiCoreError::Core { core, error } => write!(f, "core {core}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiCoreError {}
+
+/// One core's outcome within a [`MultiCoreResult`].
+#[derive(Debug, Clone)]
+pub struct CoreOutcome {
+    /// The full single-core result (stats, audit report, ...). The
+    /// `checksum` covers this core's registers plus the *shared* memory.
+    pub result: SimResult,
+    /// Final architectural integer registers — the litmus harness reads
+    /// observer registers out of these.
+    pub int_regs: [u64; 32],
+}
+
+/// The outcome of a [`run_multicore`] call.
+#[derive(Debug, Clone)]
+pub struct MultiCoreResult {
+    /// Per-core outcomes, in core order.
+    pub cores: Vec<CoreOutcome>,
+    /// Interconnect event counters.
+    pub bus: BusStats,
+    /// The shared L2's hit/miss counters.
+    pub shared_l2: CacheStats,
+    /// Coherence-protocol violations found by the hub auditor (always
+    /// empty unless [`MultiCoreOptions::audit`] was set — and should be
+    /// empty even then).
+    pub coherence_violations: Vec<String>,
+    /// Driver cycles until the last core halted.
+    pub cycles: u64,
+    /// Checksum of the final shared memory.
+    pub mem_checksum: u64,
+}
+
+impl MultiCoreResult {
+    /// Reads observer registers as `(core, register)` pairs — the outcome
+    /// vector a litmus kernel is judged by.
+    pub fn observe(&self, observers: &[(usize, u8)]) -> Vec<u64> {
+        observers
+            .iter()
+            .map(|&(core, reg)| self.cores[core].int_regs[reg as usize])
+            .collect()
+    }
+
+    /// Total invalidations delivered per 1000 driver cycles — the organic
+    /// counterpart of the injected `inval_per_kcycle` knob.
+    pub fn invals_per_kcycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.bus.invals_sent as f64 * 1000.0 / self.cycles as f64
+    }
+}
+
+/// Runs `programs` on an N-core system (one program per core, one policy
+/// per core) against shared memory with MESI-coherent L1Ds.
+///
+/// Cores advance in round-robin lockstep: each driver cycle steps every
+/// non-halted core once, in an order rotated by the seed, with seed-derived
+/// per-core start skews. Invalidations produced by a core's committed
+/// stores are delivered to every other core at the start of that core's
+/// next step. The run is fully deterministic in (programs, config,
+/// policies, opts).
+///
+/// # Errors
+///
+/// [`MultiCoreError::CycleLimit`] if not every core halts in time;
+/// [`MultiCoreError::Core`] wraps a per-core failure.
+///
+/// # Panics
+///
+/// Panics if `policies` and `programs` differ in length, or on the same
+/// simulator-invariant violations as [`Simulator::run`].
+pub fn run_multicore(
+    programs: &[&Program],
+    config: &CoreConfig,
+    policies: Vec<Box<dyn MemDepPolicy>>,
+    opts: &MultiCoreOptions,
+) -> Result<MultiCoreResult, MultiCoreError> {
+    assert_eq!(
+        programs.len(),
+        policies.len(),
+        "one policy per core required"
+    );
+    assert!(!programs.is_empty(), "at least one core required");
+    let n = programs.len();
+    let hub = Rc::new(RefCell::new(CoherenceHub::new(n, config, opts.audit)));
+    let line_bytes = hub.borrow().line_bytes();
+
+    // Shared memory: the union of every program's data segments (the same
+    // construction as the reference executor's SharedSystem).
+    let mut shared = SparseMemory::new();
+    for p in programs {
+        for (base, bytes) in p.data_segments() {
+            shared.write_bytes(*base, bytes);
+        }
+    }
+
+    let sim_opts = SimOptions {
+        max_cycles: opts.max_cycles,
+        audit: opts.audit,
+        event_skipping: false,
+        ..SimOptions::default()
+    };
+    let mut sims: Vec<Simulator<'_>> = programs
+        .iter()
+        .zip(policies)
+        .map(|(p, policy)| Simulator::new(p, config.clone(), policy))
+        .collect();
+    for (i, sim) in sims.iter_mut().enumerate() {
+        sim.set_coherence(i, hub.clone());
+        sim.mc_prepare(&sim_opts);
+    }
+
+    let mut rng = SplitMix64::new(opts.seed);
+    let skews: Vec<u64> = (0..n)
+        .map(|_| {
+            if opts.max_skew == 0 {
+                0
+            } else {
+                rng.next_below(opts.max_skew + 1)
+            }
+        })
+        .collect();
+    let rotation = rng.next_below(n as u64) as usize;
+
+    let mut cycle = 0u64;
+    let mut inv_buf: Vec<u64> = Vec::new();
+    while sims.iter().any(|s| !s.mc_halted()) {
+        if cycle >= opts.max_cycles {
+            return Err(MultiCoreError::CycleLimit {
+                max_cycles: opts.max_cycles,
+                committed: sims.iter().map(|s| s.stats().committed).sum(),
+            });
+        }
+        cycle += 1;
+        for k in 0..n {
+            let i = (k + rotation) % n;
+            if cycle <= skews[i] || sims[i].mc_halted() {
+                continue;
+            }
+            inv_buf.clear();
+            hub.borrow_mut().drain(i, &mut inv_buf);
+            sims[i].swap_mem(&mut shared);
+            for &line_addr in &inv_buf {
+                sims[i].deliver_invalidation(Addr(line_addr), line_bytes);
+            }
+            let step = sims[i].mc_step_cycle(&sim_opts);
+            sims[i].swap_mem(&mut shared);
+            if let Err(error) = step {
+                return Err(MultiCoreError::Core { core: i, error });
+            }
+        }
+    }
+
+    let mut cores = Vec::with_capacity(n);
+    for (i, sim) in sims.iter_mut().enumerate() {
+        // Finalize with the shared memory in place so the per-core checksum
+        // covers the real committed state.
+        sim.swap_mem(&mut shared);
+        let mut result = sim.mc_finalize();
+        sim.swap_mem(&mut shared);
+        // The data path ran through the hub; surface its per-core L1D
+        // counters where single-core reports expect them.
+        result.stats.l1d = hub.borrow().l1_stats(i);
+        let int_regs = sim.arch_int_regs();
+        cores.push(CoreOutcome { result, int_regs });
+    }
+    drop(sims);
+    let hub = Rc::try_unwrap(hub)
+        .ok()
+        .expect("all simulators dropped their hub links")
+        .into_inner();
+    Ok(MultiCoreResult {
+        cores,
+        bus: hub.stats,
+        shared_l2: hub.l2.stats,
+        coherence_violations: hub.violations,
+        cycles: cycle,
+        mem_checksum: shared.checksum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselinePolicy;
+    use dmdc_isa::Assembler;
+
+    fn asm(src: &str) -> Program {
+        Assembler::new().assemble(src).expect("assembles")
+    }
+
+    fn small_l1() -> crate::config::CacheConfig {
+        crate::config::CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 2,
+        }
+    }
+
+    fn hub(cores: usize, audit: bool) -> CoherenceHub {
+        let mut config = CoreConfig::config2();
+        config.l1d = small_l1();
+        CoherenceHub::new(cores, &config, audit)
+    }
+
+    fn coherent_policies(n: usize, line_bytes: u64) -> Vec<Box<dyn MemDepPolicy>> {
+        (0..n)
+            .map(|_| Box::new(BaselinePolicy::with_coherence(line_bytes)) as Box<dyn MemDepPolicy>)
+            .collect()
+    }
+
+    #[test]
+    fn read_fills_exclusive_then_demotes_to_shared() {
+        let mut h = hub(2, true);
+        h.read(0, Addr(0x1000));
+        let idx = h.l1[0].find(0x1000 >> 6).unwrap();
+        assert_eq!(h.l1[0].states[idx], MesiState::Exclusive);
+        h.read(1, Addr(0x1000));
+        let idx0 = h.l1[0].find(0x1000 >> 6).unwrap();
+        let idx1 = h.l1[1].find(0x1000 >> 6).unwrap();
+        assert_eq!(h.l1[0].states[idx0], MesiState::Shared);
+        assert_eq!(h.l1[1].states[idx1], MesiState::Shared);
+        assert!(h.violations.is_empty(), "{:?}", h.violations);
+    }
+
+    #[test]
+    fn write_invalidates_remote_copies_and_queues_delivery() {
+        let mut h = hub(2, true);
+        h.read(1, Addr(0x2000)); // core 1 reads the line (E)
+        h.write(0, Addr(0x2000)); // core 0 writes it: BusRdX
+        assert!(h.l1[1].find(0x2000 >> 6).is_none(), "remote copy gone");
+        let idx = h.l1[0].find(0x2000 >> 6).unwrap();
+        assert_eq!(h.l1[0].states[idx], MesiState::Modified);
+        let mut out = Vec::new();
+        h.drain(1, &mut out);
+        assert_eq!(out, vec![0x2000]);
+        assert_eq!(h.stats.bus_read_x, 1);
+        assert_eq!(h.stats.invals_sent, 1);
+        assert!(h.violations.is_empty(), "{:?}", h.violations);
+    }
+
+    #[test]
+    fn upgrade_broadcasts_and_m_hits_are_silent() {
+        let mut h = hub(2, true);
+        h.read(0, Addr(0x3000)); // E
+        h.write(0, Addr(0x3000)); // E→M upgrade: broadcasts
+        assert_eq!(h.stats.bus_upgrades, 1);
+        let mut out = Vec::new();
+        h.drain(1, &mut out);
+        assert_eq!(out.len(), 1);
+        h.write(0, Addr(0x3000)); // M hit: silent
+        h.write(0, Addr(0x3008)); // same line: still silent
+        out.clear();
+        h.drain(1, &mut out);
+        assert!(out.is_empty(), "M hits must not broadcast");
+        assert_eq!(h.stats.bus_upgrades, 1);
+    }
+
+    #[test]
+    fn remote_modified_writes_back_on_read() {
+        let mut h = hub(2, true);
+        h.write(0, Addr(0x4000)); // core 0 owns M
+        let wb_before = h.stats.writebacks;
+        h.read(1, Addr(0x4000));
+        assert_eq!(h.stats.writebacks, wb_before + 1);
+        let idx0 = h.l1[0].find(0x4000 >> 6).unwrap();
+        assert_eq!(h.l1[0].states[idx0], MesiState::Shared);
+        assert!(h.violations.is_empty(), "{:?}", h.violations);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut h = hub(1, true);
+        // 512B 2-way 64B lines → 4 sets; three lines in one set evict LRU.
+        h.write(0, Addr(0));
+        h.read(0, Addr(256));
+        let wb_before = h.stats.writebacks;
+        h.read(0, Addr(512)); // evicts the dirty line at 0
+        assert_eq!(h.stats.writebacks, wb_before + 1);
+        assert!(h.violations.is_empty(), "{:?}", h.violations);
+    }
+
+    #[test]
+    fn transition_table_rejects_illegal_moves() {
+        use MesiState::*;
+        assert!(transition_legal(Invalid, Exclusive, Cause::ReadFill));
+        assert!(transition_legal(Shared, Modified, Cause::Upgrade));
+        assert!(transition_legal(Modified, Shared, Cause::SnoopRead));
+        assert!(transition_legal(Shared, Invalid, Cause::SnoopWrite));
+        assert!(!transition_legal(Shared, Exclusive, Cause::Upgrade));
+        assert!(!transition_legal(Invalid, Modified, Cause::ReadFill));
+        assert!(!transition_legal(Shared, Shared, Cause::SnoopRead));
+        assert!(!transition_legal(Invalid, Invalid, Cause::Evict));
+    }
+
+    #[test]
+    fn auditor_catches_forced_illegal_transition() {
+        let mut h = hub(2, true);
+        h.read(0, Addr(0x5000)); // E
+        let idx = h.l1[0].find(0x5000 >> 6).unwrap();
+        // Force a bogus transition through the checked setter.
+        h.set_state_checked(0, idx, MesiState::Exclusive, Cause::Upgrade);
+        assert_eq!(h.violations.len(), 1);
+        assert!(h.violations[0].contains("illegal MESI transition E→E"));
+    }
+
+    #[test]
+    fn auditor_catches_swmr_violation() {
+        let mut h = hub(2, true);
+        h.read(0, Addr(0x6000));
+        h.read(1, Addr(0x6000)); // both Shared
+                                 // Corrupt: promote both to Modified behind the protocol's back.
+        for core in 0..2 {
+            let idx = h.l1[core].find(0x6000 >> 6).unwrap();
+            h.l1[core].states[idx] = MesiState::Modified;
+        }
+        h.check_swmr(0x6000 >> 6);
+        assert!(h.violations.iter().any(|v| v.contains("SWMR violated")));
+    }
+
+    #[test]
+    fn two_cores_disjoint_work_halts_and_merges_memory() {
+        // Each core fills a disjoint slice of a shared page; the final
+        // shared memory must contain both halves.
+        let p0 = asm("li x1, 0x2000\nli x2, 0\nli x3, 8\n\
+                      loop: sd x2, 0(x1)\naddi x1, x1, 8\naddi x2, x2, 1\n\
+                      blt x2, x3, loop\nhalt");
+        let p1 = asm("li x1, 0x2100\nli x2, 100\nli x3, 108\n\
+                      loop: sd x2, 0(x1)\naddi x1, x1, 8\naddi x2, x2, 1\n\
+                      blt x2, x3, loop\nhalt");
+        let p0 = p0.with_data(Addr(0x2000), vec![0u8; 512]);
+        let config = CoreConfig::config2();
+        let line = config.l1d.line_bytes;
+        let r = run_multicore(
+            &[&p0, &p1],
+            &config,
+            coherent_policies(2, line),
+            &MultiCoreOptions {
+                audit: true,
+                ..MultiCoreOptions::default()
+            },
+        )
+        .expect("halts");
+        assert!(r.cores.iter().all(|c| c.result.halted));
+        assert!(
+            r.coherence_violations.is_empty(),
+            "{:?}",
+            r.coherence_violations
+        );
+        for c in &r.cores {
+            assert!(
+                c.result.audit.as_ref().expect("audited").is_clean(),
+                "{}",
+                c.result.audit.as_ref().unwrap().render()
+            );
+        }
+        assert!(r.bus.invals_sent > 0, "cross-line traffic on a shared page");
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn racing_writers_to_one_line_stay_coherent() {
+        // Both cores hammer the same line, each storing its *changing* loop
+        // counter into its own slot while reading the other's: every remote
+        // store commit makes the in-flight speculative loads stale, forcing
+        // coherence replays whose re-issued loads demote the remote M copy —
+        // sustained BusRd/BusUpgr ping-pong. Every committed load must still
+        // read the value memory holds at its commit point (the core panics
+        // otherwise), and the MESI auditor must stay clean.
+        let src = |own: u64, other: u64| {
+            format!(
+                "li x1, {own:#x}\nli x5, {other:#x}\nli x3, 0\nli x4, 400\n\
+                 loop: sd x3, 0(x1)\nld x6, 0(x5)\nadd x7, x7, x6\naddi x3, x3, 1\n\
+                 blt x3, x4, loop\nhalt"
+            )
+        };
+        let p0 = asm(&src(0x2000, 0x2008)).with_data(Addr(0x2000), vec![0u8; 64]);
+        let p1 = asm(&src(0x2008, 0x2000));
+        let config = CoreConfig::config2();
+        let line = config.l1d.line_bytes;
+        let r = run_multicore(
+            &[&p0, &p1],
+            &config,
+            coherent_policies(2, line),
+            &MultiCoreOptions {
+                audit: true,
+                seed: 3,
+                ..MultiCoreOptions::default()
+            },
+        )
+        .expect("halts");
+        assert!(
+            r.coherence_violations.is_empty(),
+            "{:?}",
+            r.coherence_violations
+        );
+        assert!(
+            r.bus.bus_upgrades + r.bus.bus_read_x > 10,
+            "line ping-pong expected, got {:?}",
+            r.bus
+        );
+        // Both cores' final slot values must be in shared memory.
+        assert_eq!(r.cores.len(), 2);
+        for c in &r.cores {
+            assert!(c.result.halted);
+            assert!(
+                c.result.audit.as_ref().expect("audited").is_clean(),
+                "{}",
+                c.result.audit.as_ref().unwrap().render()
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let p0 = asm("li x1, 0x2000\nli x2, 7\nsw x2, 0(x1)\nlw x3, 0(x1)\nhalt")
+            .with_data(Addr(0x2000), vec![0u8; 64]);
+        let p1 = asm("li x1, 0x2000\nlw x3, 0(x1)\nsw x3, 4(x1)\nhalt");
+        let config = CoreConfig::config2();
+        let line = config.l1d.line_bytes;
+        let opts = MultiCoreOptions {
+            seed: 42,
+            audit: false,
+            ..MultiCoreOptions::default()
+        };
+        let run = || {
+            run_multicore(&[&p0, &p1], &config, coherent_policies(2, line), &opts).expect("halts")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.mem_checksum, b.mem_checksum);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.bus, b.bus);
+        for (ca, cb) in a.cores.iter().zip(&b.cores) {
+            assert_eq!(ca.int_regs, cb.int_regs);
+            assert_eq!(ca.result.checksum, cb.result.checksum);
+            assert_eq!(ca.result.stats.cycles, cb.result.stats.cycles);
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_interleaving() {
+        // Not a hard guarantee for every kernel, but for a racy kernel a
+        // different skew should at least change the cycle picture.
+        let p0 = asm("li x1, 0x2000\nli x2, 1\nsw x2, 0(x1)\nsw x2, 4(x1)\nhalt")
+            .with_data(Addr(0x2000), vec![0u8; 64]);
+        let p1 = asm("li x1, 0x2000\nlw x20, 4(x1)\nlw x21, 0(x1)\nhalt");
+        let config = CoreConfig::config2();
+        let line = config.l1d.line_bytes;
+        let mut cycles = std::collections::BTreeSet::new();
+        for seed in 0..8 {
+            let r = run_multicore(
+                &[&p0, &p1],
+                &config,
+                coherent_policies(2, line),
+                &MultiCoreOptions {
+                    seed,
+                    audit: false,
+                    ..MultiCoreOptions::default()
+                },
+            )
+            .expect("halts");
+            cycles.insert(r.cores[1].result.stats.cycles);
+        }
+        assert!(cycles.len() > 1, "skews should vary the interleaving");
+    }
+
+    #[test]
+    fn single_core_multicore_run_matches_plain_simulator() {
+        // A 1-core "multi-core" run has no coherence traffic; its committed
+        // work must match the plain simulator architecturally.
+        let src = "li x1, 0x2000\nli x2, 0\nli x3, 20\n\
+                   loop: sd x2, 0(x1)\nld x4, 0(x1)\nadd x5, x5, x4\n\
+                   addi x2, x2, 1\nblt x2, x3, loop\nhalt";
+        let p = asm(src).with_data(Addr(0x2000), vec![0u8; 64]);
+        let config = CoreConfig::config2();
+        let line = config.l1d.line_bytes;
+        let r = run_multicore(
+            &[&p],
+            &config,
+            coherent_policies(1, line),
+            &MultiCoreOptions {
+                max_skew: 0,
+                audit: false,
+                ..MultiCoreOptions::default()
+            },
+        )
+        .expect("halts");
+        let mut sim = Simulator::new(&p, config.clone(), Box::new(BaselinePolicy::new()));
+        let plain = sim.run(SimOptions::default()).expect("halts");
+        assert_eq!(r.cores[0].result.stats.committed, plain.stats.committed);
+        assert_eq!(r.cores[0].result.checksum, plain.checksum);
+        assert_eq!(r.bus.invals_sent, 0);
+    }
+}

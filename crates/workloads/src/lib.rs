@@ -38,10 +38,12 @@
 
 mod fp;
 mod int;
+mod litmus;
 mod synth;
 
 use dmdc_isa::Program;
 
+pub use litmus::{litmus_suite, mt_share, LitmusKernel, SharingKernel};
 pub use synth::{FuzzKernel, FuzzOp, SyntheticKernel};
 
 /// Which suite a workload belongs to (the paper reports INT/FP averages).

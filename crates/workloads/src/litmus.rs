@@ -1,0 +1,318 @@
+//! Multi-threaded litmus kernels and false-sharing torture loops.
+//!
+//! The classic four-box litmus tests (MP, SB, LB, IRIW) pin down the
+//! consistency contract of the multi-core timing simulator: each kernel
+//! names the registers to observe and the outcome vectors a sequentially
+//! consistent machine must never produce. The harness in `tests/litmus.rs`
+//! checks the timing simulator's observed outcomes against the allowed set
+//! computed by `dmdc_isa::enumerate_outcomes` — the operational reference —
+//! and asserts the forbidden vectors never appear.
+//!
+//! [`mt_share`] builds the organic-contention counterpart: two cores
+//! ping-ponging a shared cache line at a controllable rate, the workload
+//! behind the `multicore` experiment's coherent-traffic sweep.
+
+use dmdc_isa::Program;
+use dmdc_types::Addr;
+
+use crate::build;
+use crate::Group;
+
+/// Address of the litmus variable conventionally called X.
+const X: u64 = 0x2000;
+/// Address of the litmus variable conventionally called Y (a different
+/// cache line from X under every line size the configs use).
+const Y: u64 = 0x2100;
+
+/// A named multi-threaded litmus test: one program per core, the
+/// `(core, register)` observer vector, and the outcomes sequential
+/// consistency forbids.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_workloads::litmus_suite;
+/// use dmdc_isa::{enumerate_outcomes, EnumLimits};
+///
+/// for k in litmus_suite() {
+///     let allowed =
+///         enumerate_outcomes(&k.program_refs(), &k.observers, EnumLimits::default()).unwrap();
+///     for f in &k.forbidden {
+///         assert!(!allowed.contains(f), "{}: {:?} must not be SC-reachable", k.name, f);
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LitmusKernel {
+    /// Conventional litmus-test name ("MP", "SB", ...).
+    pub name: &'static str,
+    /// One program per core.
+    pub programs: Vec<Program>,
+    /// `(core, integer register)` pairs read after every core halts.
+    pub observers: Vec<(usize, u8)>,
+    /// Observer vectors that must never occur under sequential consistency.
+    pub forbidden: Vec<Vec<u64>>,
+}
+
+impl LitmusKernel {
+    /// The programs as a slice-of-refs, the shape `run_multicore` and
+    /// `enumerate_outcomes` take.
+    pub fn program_refs(&self) -> Vec<&Program> {
+        self.programs.iter().collect()
+    }
+}
+
+fn prog(name: &'static str, src: &str) -> Program {
+    build(name, Group::Int, src).program
+}
+
+/// Backs both litmus variables with one zeroed data segment (attached to
+/// the first program; shared memory is the union of every core's segments).
+fn with_litmus_data(p: Program) -> Program {
+    p.with_data(Addr(X), vec![0u8; 512])
+}
+
+/// Message passing: P0 publishes data then a flag; P1 polls the flag then
+/// reads the data. Seeing the flag without the data (`[1, 0]`) is the
+/// canonical consistency violation.
+fn mp() -> LitmusKernel {
+    let p0 = with_litmus_data(prog(
+        "mp",
+        &format!(
+            "li x1, {X:#x}\nli x2, {Y:#x}\nli x3, 1\n\
+             sw x3, 0(x1)\nsw x3, 0(x2)\nhalt"
+        ),
+    ));
+    let p1 = prog(
+        "mp",
+        &format!("li x1, {X:#x}\nli x2, {Y:#x}\nlw x20, 0(x2)\nlw x21, 0(x1)\nhalt"),
+    );
+    LitmusKernel {
+        name: "MP",
+        programs: vec![p0, p1],
+        observers: vec![(1, 20), (1, 21)],
+        forbidden: vec![vec![1, 0]],
+    }
+}
+
+/// Store buffering: each core stores its own variable then loads the
+/// other's. Both loads reading the initial value (`[0, 0]`) requires the
+/// stores to pass their own core's loads — legal under TSO, never under SC.
+fn sb() -> LitmusKernel {
+    let body = |own: u64, other: u64| {
+        format!(
+            "li x1, {own:#x}\nli x2, {other:#x}\nli x3, 1\n\
+             sw x3, 0(x1)\nlw x20, 0(x2)\nhalt"
+        )
+    };
+    let p0 = with_litmus_data(prog("sb", &body(X, Y)));
+    let p1 = prog("sb", &body(Y, X));
+    LitmusKernel {
+        name: "SB",
+        programs: vec![p0, p1],
+        observers: vec![(0, 20), (1, 20)],
+        forbidden: vec![vec![0, 0]],
+    }
+}
+
+/// Load buffering: each core loads one variable then stores the other.
+/// Both loads returning 1 (`[1, 1]`) requires each load to read from a
+/// store that is program-order *after* the other load — a causal cycle.
+fn lb() -> LitmusKernel {
+    let body = |from: u64, to: u64| {
+        format!(
+            "li x1, {from:#x}\nli x2, {to:#x}\n\
+             lw x20, 0(x1)\nli x3, 1\nsw x3, 0(x2)\nhalt"
+        )
+    };
+    let p0 = with_litmus_data(prog("lb", &body(X, Y)));
+    let p1 = prog("lb", &body(Y, X));
+    LitmusKernel {
+        name: "LB",
+        programs: vec![p0, p1],
+        observers: vec![(0, 20), (1, 20)],
+        forbidden: vec![vec![1, 1]],
+    }
+}
+
+/// Independent reads of independent writes: two writers, two readers
+/// reading in opposite orders. The readers disagreeing on the write order
+/// (`[1, 0, 1, 0]`) violates the single total store order SC (and multi-
+/// copy atomicity) requires.
+fn iriw() -> LitmusKernel {
+    let writer = |addr: u64| format!("li x1, {addr:#x}\nli x3, 1\nsw x3, 0(x1)\nhalt");
+    let reader = |first: u64, second: u64| {
+        format!(
+            "li x1, {first:#x}\nli x2, {second:#x}\n\
+             lw x20, 0(x1)\nlw x21, 0(x2)\nhalt"
+        )
+    };
+    let p0 = with_litmus_data(prog("iriw", &writer(X)));
+    let p1 = prog("iriw", &writer(Y));
+    let p2 = prog("iriw", &reader(X, Y));
+    let p3 = prog("iriw", &reader(Y, X));
+    LitmusKernel {
+        name: "IRIW",
+        programs: vec![p0, p1, p2, p3],
+        observers: vec![(2, 20), (2, 21), (3, 20), (3, 21)],
+        forbidden: vec![vec![1, 0, 1, 0]],
+    }
+}
+
+/// The four classic litmus kernels: MP, SB, LB and IRIW (the last on four
+/// cores, the rest on two).
+pub fn litmus_suite() -> Vec<LitmusKernel> {
+    vec![mp(), sb(), lb(), iriw()]
+}
+
+/// A two-core false-sharing kernel: both cores share one cache line, each
+/// storing its changing loop counter into its own slot and summing the
+/// other's into `x28`. `period` ALU instructions of private work separate
+/// consecutive shared rounds, so smaller periods mean denser coherence
+/// traffic — the contention knob the `multicore` experiment sweeps.
+#[derive(Debug, Clone)]
+pub struct SharingKernel {
+    /// "mt_share_p{period}".
+    pub name: String,
+    /// One program per core (the shared line's data segment rides on the
+    /// first).
+    pub programs: Vec<Program>,
+    /// Private ALU instructions between shared rounds.
+    pub period: u32,
+}
+
+impl SharingKernel {
+    /// The programs as a slice-of-refs.
+    pub fn program_refs(&self) -> Vec<&Program> {
+        self.programs.iter().collect()
+    }
+}
+
+/// Builds a [`SharingKernel`] doing `iters` shared rounds with `period`
+/// private ALU instructions between them.
+///
+/// # Examples
+///
+/// ```
+/// use dmdc_workloads::mt_share;
+/// use dmdc_isa::SharedSystem;
+///
+/// let k = mt_share(50, 4);
+/// let mut sys = SharedSystem::new(&k.program_refs());
+/// while !sys.all_halted() {
+///     for i in 0..sys.num_cores() {
+///         sys.step_core(i).unwrap();
+///     }
+/// }
+/// ```
+pub fn mt_share(iters: u32, period: u32) -> SharingKernel {
+    let filler: String = (0..period).map(|_| "addi x28, x28, 1\n").collect();
+    let body = |own: u64, other: u64| {
+        format!(
+            "li x1, {own:#x}\nli x5, {other:#x}\nli x3, 0\nli x4, {iters}\n\
+             loop: {filler}sd x3, 0(x1)\nld x6, 0(x5)\nadd x28, x28, x6\n\
+             addi x3, x3, 1\nblt x3, x4, loop\nhalt"
+        )
+    };
+    let p0 = prog("mt_share", &body(X, X + 8)).with_data(Addr(X), vec![0u8; 64]);
+    let p1 = prog("mt_share", &body(X + 8, X));
+    SharingKernel {
+        name: format!("mt_share_p{period}"),
+        programs: vec![p0, p1],
+        period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmdc_isa::{enumerate_outcomes, EnumLimits, SharedSystem};
+
+    #[test]
+    fn suite_shape() {
+        let suite = litmus_suite();
+        let names: Vec<_> = suite.iter().map(|k| k.name).collect();
+        assert_eq!(names, ["MP", "SB", "LB", "IRIW"]);
+        for k in &suite {
+            assert_eq!(
+                k.programs.len(),
+                if k.name == "IRIW" { 4 } else { 2 },
+                "{}",
+                k.name
+            );
+            for f in &k.forbidden {
+                assert_eq!(f.len(), k.observers.len(), "{}", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_allows_sc_and_rejects_forbidden() {
+        for k in litmus_suite() {
+            let allowed =
+                enumerate_outcomes(&k.program_refs(), &k.observers, EnumLimits::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert!(!allowed.is_empty(), "{}: no outcomes", k.name);
+            for f in &k.forbidden {
+                assert!(
+                    !allowed.contains(f),
+                    "{}: forbidden {:?} is SC-reachable",
+                    k.name,
+                    f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_sets_contain_canonical_outcomes() {
+        let suite = litmus_suite();
+        let allowed_of = |name: &str| {
+            let k = suite.iter().find(|k| k.name == name).unwrap();
+            enumerate_outcomes(&k.program_refs(), &k.observers, EnumLimits::default()).unwrap()
+        };
+        // MP: fully-before and fully-after interleavings.
+        let mp = allowed_of("MP");
+        assert!(mp.contains(&vec![1, 1]));
+        assert!(mp.contains(&vec![0, 0]));
+        // SB: one store always precedes both loads, so at least one 1.
+        let sb = allowed_of("SB");
+        assert!(sb.contains(&vec![1, 1]));
+        assert!(sb.contains(&vec![0, 1]) && sb.contains(&vec![1, 0]));
+        // LB: loads before any store.
+        assert!(allowed_of("LB").contains(&vec![0, 0]));
+        // IRIW: both readers agreeing on the order is fine.
+        let iriw = allowed_of("IRIW");
+        assert!(iriw.contains(&vec![1, 1, 1, 1]));
+        assert!(iriw.contains(&vec![0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn mt_share_halts_and_checksums() {
+        let k = mt_share(30, 4);
+        assert_eq!(k.name, "mt_share_p4");
+        let mut sys = SharedSystem::new(&k.program_refs());
+        let mut guard = 0;
+        while !sys.all_halted() {
+            for i in 0..sys.num_cores() {
+                sys.step_core(i).unwrap();
+            }
+            guard += 1;
+            assert!(guard < 100_000, "mt_share did not halt");
+        }
+        // Round-robin stepping interleaves the counters; both sums must be
+        // nonzero (each core saw the other's progress).
+        assert!(sys.core(0).int_reg(28) > 0);
+        assert!(sys.core(1).int_reg(28) > 0);
+    }
+
+    #[test]
+    fn mt_share_period_scales_code_size() {
+        let tight = mt_share(10, 1);
+        let loose = mt_share(10, 64);
+        assert!(
+            loose.programs[0].len() > tight.programs[0].len() + 60,
+            "period adds private work"
+        );
+    }
+}

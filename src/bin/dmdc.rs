@@ -29,7 +29,7 @@ use dmdc::core::recovery;
 use dmdc::core::report::{fmt, OutputFormat, Report, Table};
 use dmdc::core::runner::{self, Engine, RunSpec};
 use dmdc::isa::{Assembler, Emulator};
-use dmdc::ooo::{CoreConfig, SampleSpec, SimOptions, Simulator};
+use dmdc::ooo::{run_multicore, CoreConfig, MultiCoreOptions, SampleSpec, SimOptions, Simulator};
 use dmdc::workloads::{full_suite, Scale, SyntheticKernel, Workload};
 
 fn main() -> ExitCode {
@@ -71,6 +71,7 @@ USAGE:
   dmdc run --workload <name> --policy <name> [--config 1|2|3]
            [--scale smoke|default|large|full] [--inval-rate R] [--trace N]
            [--profile] [--sampled|--exact] [--run-id ID]
+           [--inval-model injected|coherent] [--cores N] [--seed N]
   dmdc run --resume <run-id>
   dmdc suite --policy <name> [--config N] [--scale S] [--jobs N]
            [--format text|json|csv] [--no-cache] [--profile]
@@ -82,8 +83,16 @@ USAGE:
            [--sampled|--exact]
   dmdc asm <file.s>
   dmdc fuzz [--seed N] [--budget N] [--policy <name>] [--config N]
-           [--out DIR]
+           [--out DIR] [--threads N]
   dmdc fuzz --replay <file.repro>
+
+`dmdc run --inval-model coherent` races N copies (--cores, default 2) of
+the workload on shared memory behind MESI-coherent private L1s: the
+invalidations the policy sees are the other cores' write misses, not the
+Bernoulli injector (--inval-rate, the `injected` default that all
+experiments and golden outputs use). Coherent mode needs a
+coherence-capable policy (baseline-coherent or dmdc-coherent), is
+exact-only, and --seed varies the deterministic core interleaving.
 
 `dmdc fuzz` tortures the policies with seeded random kernels under the
 invariant auditor (differential against the in-order emulator). A run is
@@ -92,10 +101,15 @@ minimal reproducer written to <out>/<seed>.repro (default
 target/dmdc-fuzz/), which --replay re-executes exactly. --policy may be
 repeated or comma-separated; the default set covers each enforcement
 mechanism (baseline CAM, YLA filter, DMDC global/local, checking queue).
+--threads N (2..=8) switches to multi-core torture: N kernels race on
+the shared fuzz region under the coherence auditor, failures cover
+coherence violations and run-to-run divergence too, the shrinker reduces
+every thread's stream, and the default policies narrow to the two
+coherent builds.
 
 `dmdc list` enumerates the experiment registry (fig2..fig5,
-table2..table6, the ablations). `all` runs every registry entry in
-order; `ablations` runs the five ablation studies.
+table2..table6, multicore, the ablations). `all` runs every registry
+entry in order; `ablations` runs the five ablation studies.
 
 Worker count for suite/experiment: --jobs N, else the DMDC_JOBS
 environment variable, else the machine's available parallelism. Output
@@ -426,6 +440,42 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     opts.profile = flags.contains_key("profile");
 
+    // `--inval-model` picks where invalidations come from: `injected`
+    // (the default — the single-core Bernoulli injector, byte-identical
+    // to every previous release) or `coherent` (a real N-core MESI run
+    // where the *other cores'* write misses deliver them).
+    match flags.get("inval-model").map(String::as_str) {
+        None | Some("injected") => {
+            if flags.contains_key("cores") {
+                return Err("--cores needs --inval-model coherent".to_string());
+            }
+        }
+        Some("coherent") => {
+            if spec.enabled() {
+                return Err("--inval-model coherent is exact-only (drop --sampled)".to_string());
+            }
+            if opts.inval_per_kcycle != 0.0 {
+                return Err(
+                    "--inval-rate is the injected model; it cannot combine with \
+                     --inval-model coherent"
+                        .to_string(),
+                );
+            }
+            if opts.trace_capacity > 0 || opts.max_commits.is_some() {
+                return Err(
+                    "--trace/--max-commits are single-core flags (drop --inval-model coherent)"
+                        .to_string(),
+                );
+            }
+            return cmd_run_coherent(&workload, &policy, &config, &flags);
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown --inval-model `{other}` (injected or coherent)"
+            ));
+        }
+    }
+
     if spec.enabled() {
         if opts.trace_capacity > 0 {
             return Err("--trace needs an exact run (add --exact)".to_string());
@@ -460,6 +510,91 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     print_run_stats(&workload, &policy, &config, s);
     if let Some(profile) = &result.profile {
         print!("{}", profile.render(s));
+    }
+    Ok(())
+}
+
+/// `dmdc run --inval-model coherent`: N copies of the workload race on
+/// shared memory behind MESI-coherent private L1s, so the invalidations
+/// reaching the policy are organic cross-core write misses instead of
+/// Bernoulli noise.
+fn cmd_run_coherent(
+    workload: &Workload,
+    policy: &PolicyKind,
+    config: &CoreConfig,
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<(), String> {
+    if !matches!(
+        policy,
+        PolicyKind::BaselineCoherent | PolicyKind::DmdcCoherent
+    ) {
+        return Err(format!(
+            "policy {} is built without coherence support; use baseline-coherent \
+             or dmdc-coherent with --inval-model coherent",
+            policy.token()
+        ));
+    }
+    let cores: usize = match flags.get("cores") {
+        Some(n) => n.parse().map_err(|_| "bad --cores")?,
+        None => 2,
+    };
+    if !(2..=8).contains(&cores) {
+        return Err("--cores must be 2..=8".to_string());
+    }
+    let seed: u64 = match flags.get("seed") {
+        Some(n) => n.parse().map_err(|_| "bad --seed")?,
+        None => 1,
+    };
+    let programs: Vec<&dmdc::isa::Program> = (0..cores).map(|_| &workload.program).collect();
+    let policies = (0..cores).map(|_| policy.build(config)).collect();
+    let mc_opts = MultiCoreOptions {
+        seed,
+        audit: true,
+        ..MultiCoreOptions::default()
+    };
+    let r = run_multicore(&programs, config, policies, &mc_opts).map_err(|e| e.to_string())?;
+    if !r.coherence_violations.is_empty() {
+        return Err(format!(
+            "coherence violations:\n{}",
+            r.coherence_violations.join("\n")
+        ));
+    }
+    println!(
+        "workload {} under {policy:?} on {}, {cores} cores (coherent invalidations, seed {seed})",
+        workload.name, config.name
+    );
+    println!("  driver cycles {:>12}", r.cycles);
+    println!(
+        "  bus           {:>12}  reads / {} readX / {} upgrades / {} writebacks",
+        r.bus.bus_reads, r.bus.bus_read_x, r.bus.bus_upgrades, r.bus.writebacks
+    );
+    println!(
+        "  invals        {:>12}  delivered ({:.1} / 1k cycles)",
+        r.bus.invals_sent,
+        r.invals_per_kcycle()
+    );
+    println!(
+        "  L2            {:>12}  hits / {} misses",
+        r.shared_l2.hits, r.shared_l2.misses
+    );
+    println!("  mem checksum  {:#018x}", r.mem_checksum);
+    for (i, core) in r.cores.iter().enumerate() {
+        let s = &core.result.stats;
+        println!(
+            "  core {i}: {} cycles, {} committed (IPC {:.2}), {} replays \
+             ({} coherence), {} invalidations",
+            s.cycles,
+            s.committed,
+            s.ipc(),
+            s.replay_squashes,
+            s.policy.replays.coherence,
+            s.policy.invalidations
+        );
+        if let Some(audit) = &core.result.audit {
+            if !audit.is_clean() {
+                return Err(format!("core {i} audit:\n{}", audit.render()));
+            }
+        }
     }
     Ok(())
 }
@@ -662,14 +797,26 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
             },
             "out" => opts.out_dir = std::path::PathBuf::from(value),
             "replay" => replay_path = Some(value),
+            "threads" => {
+                let n: usize = value.parse().map_err(|_| "bad --threads")?;
+                if !(1..=8).contains(&n) {
+                    return Err("--threads must be 1..=8".to_string());
+                }
+                opts.threads = n;
+            }
             other => return Err(format!("unknown fuzz flag `--{other}`")),
         }
     }
 
     if let Some(path) = replay_path {
         let (repro, failure) = fuzz::replay_file(std::path::Path::new(&path))?;
+        let threads_note = if repro.extra.is_empty() {
+            String::new()
+        } else {
+            format!(" x {} threads", 1 + repro.extra.len())
+        };
         println!(
-            "replaying {path}: {} ops x {} iters, policy {}, config {}",
+            "replaying {path}: {} ops x {} iters{threads_note}, policy {}, config {}",
             repro.kernel.ops.len(),
             repro.kernel.iters,
             repro.policy,
@@ -689,6 +836,10 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
 
     if !policies.is_empty() {
         opts.policies = policies;
+    } else if opts.threads > 1 {
+        // Multi-core torture delivers real invalidations, so the default
+        // policy set narrows to the two coherence-capable builds.
+        opts.policies = FuzzOptions::mt_policies();
     }
     let outcome = fuzz::fuzz(&opts)?;
     match outcome.failure {
@@ -707,8 +858,13 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
             ))
         }
         None => {
+            let threads_note = if opts.threads > 1 {
+                format!(" x {} threads", opts.threads)
+            } else {
+                String::new()
+            };
             println!(
-                "fuzz: seed {}, {} cases clean ({} kernels x {} policies)",
+                "fuzz: seed {}, {} cases clean ({} kernels x {} policies{threads_note})",
                 opts.seed,
                 outcome.cases,
                 opts.budget,

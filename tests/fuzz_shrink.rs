@@ -65,6 +65,41 @@ fn fuzz_is_deterministic_per_seed() {
 }
 
 #[test]
+fn mt_planted_bug_is_found_shrunk_across_threads_and_replayable() {
+    // Same planted bug, but on a two-core machine with the coherent DMDC
+    // build: the torture loop must find it, ddmin must shrink *both*
+    // threads' streams, and the written repro (now carrying `threads 2`
+    // sections) must replay to the same failure class.
+    let opts = FuzzOptions {
+        budget: 30,
+        threads: 2,
+        policies: vec![PolicyKind::DmdcCoherent],
+        sabotage: Some(Sabotage::SuppressReplays { from: 0 }),
+        out_dir: std::env::temp_dir().join("dmdc-fuzz-shrink-mt"),
+        ..FuzzOptions::new(42)
+    };
+    let outcome = fuzz(&opts).unwrap();
+    let repro = outcome
+        .failure
+        .expect("planted bug must be found on 2 cores");
+    assert_eq!(repro.extra.len(), 1, "repro keeps both threads");
+    assert_eq!(repro.kind, AuditKind::MissedReplay.label());
+    let total_ops = repro.kernel.ops.len() + repro.extra[0].ops.len();
+    assert!(
+        total_ops <= 16,
+        "shrunk to {total_ops} ops across threads:\n{}",
+        repro.render()
+    );
+    assert!(repro.render().contains("threads 2"));
+
+    let path = outcome.repro_path.expect("repro file written");
+    let (parsed, failure) = replay_file(&path).unwrap();
+    assert_eq!(parsed, repro);
+    assert_eq!(failure.expect("still fails").kind, repro.kind);
+    let _ = std::fs::remove_dir_all(&opts.out_dir);
+}
+
+#[test]
 fn real_policies_pass_the_torture_loop() {
     // No sabotage: the default policy set must survive a fuzz budget with
     // zero auditor violations, panics, or emulator divergence.

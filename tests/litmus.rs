@@ -1,0 +1,129 @@
+//! Consistency litmus harness for the multi-core timing simulator.
+//!
+//! For each classic litmus kernel (MP, SB, LB, IRIW) the operational
+//! reference executor enumerates the outcomes sequential consistency
+//! allows. The timing simulator — out-of-order cores, MESI L1s, delayed
+//! invalidation checking — is then run across many deterministic
+//! interleavings (seeds vary the per-core start skew and round-robin
+//! rotation) under both coherence-capable policies, and every observed
+//! outcome must fall inside the reference's allowed set. The forbidden
+//! vectors (e.g. IRIW's non-causal `[1,0,1,0]`) must never appear: that
+//! is the end-to-end proof that speculative loads plus cross-core
+//! invalidations plus commit-time replay add up to SC.
+
+use std::collections::BTreeSet;
+
+use dmdc::core::experiments::PolicyKind;
+use dmdc::isa::{enumerate_outcomes, EnumLimits};
+use dmdc::ooo::{run_multicore, CoreConfig, MultiCoreOptions};
+use dmdc::workloads::litmus_suite;
+
+const SEEDS: u64 = 16;
+
+fn coherent_policies() -> [PolicyKind; 2] {
+    [PolicyKind::BaselineCoherent, PolicyKind::DmdcCoherent]
+}
+
+#[test]
+fn observed_outcomes_stay_inside_the_sc_reference() {
+    let config = CoreConfig::config2();
+    for kernel in litmus_suite() {
+        let allowed = enumerate_outcomes(
+            &kernel.program_refs(),
+            &kernel.observers,
+            EnumLimits::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: reference enumeration failed: {e}", kernel.name));
+        for f in &kernel.forbidden {
+            assert!(
+                !allowed.contains(f),
+                "{}: forbidden {f:?} is in the reference allowed set",
+                kernel.name
+            );
+        }
+        for policy in coherent_policies() {
+            let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+            for seed in 0..SEEDS {
+                let policies = kernel
+                    .programs
+                    .iter()
+                    .map(|_| policy.build(&config))
+                    .collect();
+                let opts = MultiCoreOptions {
+                    seed,
+                    audit: true,
+                    ..MultiCoreOptions::default()
+                };
+                let r = run_multicore(&kernel.program_refs(), &config, policies, &opts)
+                    .unwrap_or_else(|e| {
+                        panic!("{} seed {seed} under {policy:?}: {e}", kernel.name)
+                    });
+                assert!(
+                    r.coherence_violations.is_empty(),
+                    "{} seed {seed} under {policy:?}: {:?}",
+                    kernel.name,
+                    r.coherence_violations
+                );
+                for (core, outcome) in r.cores.iter().enumerate() {
+                    if let Some(audit) = &outcome.result.audit {
+                        assert!(
+                            audit.is_clean(),
+                            "{} seed {seed} core {core} under {policy:?}:\n{}",
+                            kernel.name,
+                            audit.render()
+                        );
+                    }
+                }
+                let observed = r.observe(&kernel.observers);
+                for f in &kernel.forbidden {
+                    assert_ne!(
+                        &observed, f,
+                        "{} seed {seed} under {policy:?}: forbidden outcome observed",
+                        kernel.name
+                    );
+                }
+                assert!(
+                    allowed.contains(&observed),
+                    "{} seed {seed} under {policy:?}: observed {observed:?} is outside \
+                     the SC allowed set {allowed:?}",
+                    kernel.name
+                );
+                seen.insert(observed);
+            }
+            assert!(
+                !seen.is_empty(),
+                "{} under {policy:?}: no outcomes observed",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn seeds_vary_the_interleaving() {
+    // The seeds exist to explore different timings; at least the cycle
+    // counts must differ across them, or the sweep is 16 copies of one
+    // interleaving.
+    let config = CoreConfig::config2();
+    let kernel = &litmus_suite()[0];
+    let mut cycle_counts: BTreeSet<u64> = BTreeSet::new();
+    for seed in 0..SEEDS {
+        let policies = kernel
+            .programs
+            .iter()
+            .map(|_| PolicyKind::DmdcCoherent.build(&config))
+            .collect();
+        let opts = MultiCoreOptions {
+            seed,
+            audit: false,
+            ..MultiCoreOptions::default()
+        };
+        let r = run_multicore(&kernel.program_refs(), &config, policies, &opts).unwrap();
+        cycle_counts.insert(r.cycles);
+    }
+    assert!(
+        cycle_counts.len() > 4,
+        "16 seeds produced only {} distinct timings",
+        cycle_counts.len()
+    );
+}
