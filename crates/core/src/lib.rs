@@ -19,7 +19,10 @@
 //! plan → run → reduce → emit pipeline — with [`runner`] (the parallel
 //! engine), [`cache`] (the persistent content-addressed cell cache),
 //! [`cell`] (the unified per-run metrics record) and [`report`] (tables
-//! and the text/JSON/CSV emitters) underneath.
+//! and the text/JSON/CSV emitters) underneath. [`service`] wraps the
+//! whole registry in a long-running HTTP/JSON daemon (`dmdc serve`) with
+//! a priority [`queue`] and [`flight`]-based single-flight coalescing of
+//! duplicate cells.
 //!
 //! # Examples
 //!
@@ -43,12 +46,15 @@ mod checking_queue;
 mod dmdc;
 pub mod experiments;
 pub mod faults;
+pub mod flight;
 pub mod fuzz;
 pub mod journal;
+pub mod queue;
 pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod sampling;
+pub mod service;
 mod yla;
 
 pub use bloom::{BloomPolicy, CountingBloom};

@@ -1,0 +1,140 @@
+//! Priority job queue for the simulation service.
+//!
+//! Orders pending work by priority (higher first) and, within a
+//! priority, by submission order (FIFO). Every push returns a ticket
+//! that can later cancel the entry if it has not yet been popped.
+//!
+//! The queue is a plain data structure — no locks, no condvars. The
+//! service wraps it in a `Mutex` and pairs it with a `Condvar` for
+//! blocking pops; keeping synchronization out of this type is what
+//! makes the ordering invariants directly property-testable
+//! (`crates/core/tests/queue_props.rs`).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap};
+
+/// A pending entry's position: priority descending, then ticket
+/// (submission order) ascending. `BTreeMap::pop_first` on this key
+/// yields the highest-priority, oldest entry.
+type Rank = (Reverse<u8>, u64);
+
+/// FIFO-within-priority queue with cancellation. See the module docs.
+#[derive(Debug, Default)]
+pub struct JobQueue<T> {
+    ordered: BTreeMap<Rank, T>,
+    by_ticket: HashMap<u64, Rank>,
+    next_ticket: u64,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue.
+    pub fn new() -> JobQueue<T> {
+        JobQueue {
+            ordered: BTreeMap::new(),
+            by_ticket: HashMap::new(),
+            next_ticket: 0,
+        }
+    }
+
+    /// Enqueues `item` at `priority` (255 = most urgent). Returns a
+    /// ticket usable with [`cancel`](JobQueue::cancel); tickets are
+    /// unique for the lifetime of the queue.
+    pub fn push(&mut self, priority: u8, item: T) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let rank = (Reverse(priority), ticket);
+        self.ordered.insert(rank, item);
+        self.by_ticket.insert(ticket, rank);
+        ticket
+    }
+
+    /// Removes and returns the highest-priority, oldest entry with its
+    /// ticket, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let ((_, ticket), item) = self.ordered.pop_first()?;
+        self.by_ticket.remove(&ticket);
+        Some((ticket, item))
+    }
+
+    /// Removes a still-pending entry by ticket. Returns `None` if the
+    /// ticket was already popped, cancelled, or never issued.
+    pub fn cancel(&mut self, ticket: u64) -> Option<T> {
+        let rank = self.by_ticket.remove(&ticket)?;
+        self.ordered.remove(&rank)
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    /// Pending entries in pop order, without removing them.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.ordered
+            .iter()
+            .map(|(&(_, ticket), item)| (ticket, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut q = JobQueue::new();
+        q.push(1, "a");
+        q.push(1, "b");
+        q.push(1, "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn higher_priority_pops_first() {
+        let mut q = JobQueue::new();
+        q.push(0, "low");
+        q.push(9, "high");
+        q.push(5, "mid");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, ["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn cancel_removes_only_pending() {
+        let mut q = JobQueue::new();
+        let a = q.push(1, "a");
+        let b = q.push(1, "b");
+        assert_eq!(q.cancel(b), Some("b"));
+        assert_eq!(q.cancel(b), None, "double cancel is a no-op");
+        let (ticket, item) = q.pop().unwrap();
+        assert_eq!((ticket, item), (a, "a"));
+        assert_eq!(q.cancel(a), None, "popped entries cannot be cancelled");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tickets_never_repeat() {
+        let mut q = JobQueue::new();
+        let a = q.push(1, 1);
+        q.pop();
+        let b = q.push(1, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iter_matches_pop_order() {
+        let mut q = JobQueue::new();
+        q.push(2, "x");
+        q.push(7, "y");
+        q.push(2, "z");
+        let peeked: Vec<_> = q.iter().map(|(_, &v)| v).collect();
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(peeked, popped);
+    }
+}

@@ -1,0 +1,199 @@
+//! A minimal std-only HTTP/1.1 layer for the simulation service.
+//!
+//! One request per connection (`Connection: close` both ways), bodies
+//! framed by `Content-Length`, no chunked encoding, no TLS: exactly the
+//! subset `dmdc serve`'s JSON wire format needs, in the offline-shim
+//! spirit of the repository (vendoring a real server is off the table,
+//! and the service's documents are all small). The same module provides
+//! the blocking [`request`] helper the `dmdc submit`/`status`/`metrics`
+//! client subcommands and the black-box test harness use, so both ends
+//! of the wire are pinned by the same code.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Largest request the server will read, headers plus body. Submissions
+/// are tiny; anything bigger is a confused or hostile client.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The request target, e.g. `/jobs/job-1`.
+    pub path: String,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+/// Reads one HTTP/1.1 request from a connection. Returns a human-readable
+/// error for anything malformed; the caller turns that into a 400.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(i) = find_header_end(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err("request too large".to_string());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed before headers completed".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-utf8 headers")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let path = parts.next().ok_or("missing path")?.to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_BYTES {
+        return Err("request body too large".to_string());
+    }
+    let body_start = header_end + 4;
+    let mut body = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8(body).map_err(|_| "non-utf8 body")?,
+    })
+}
+
+/// The `\r\n\r\n` boundary between headers and body, if received yet.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one response and closes the write side. Errors are swallowed —
+/// a client that hung up mid-response is its own problem, not the
+/// daemon's.
+pub fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Response",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// One blocking HTTP exchange: connect, send, read to EOF, return
+/// `(status, body)`. The client half of the wire — `dmdc submit` and the
+/// service tests speak through this.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let target = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("{addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr}: no address"))?;
+    let mut stream = TcpStream::connect_timeout(&target, Duration::from_secs(10))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\
+         connection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(body.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| e.to_string())?;
+    let text = String::from_utf8(raw).map_err(|_| "non-utf8 response".to_string())?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response (no header boundary)".to_string())?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line in `{head}`"))?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_response_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/echo");
+            respond(&mut stream, 200, &req.body);
+        });
+        let (status, body) = request(&addr, "POST", "/echo", Some("{\"x\": 1}")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"x\": 1}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "GET");
+            assert_eq!(req.body, "");
+            respond(&mut stream, 404, "{\"error\": \"nope\"}");
+        });
+        let (status, body) = request(&addr, "GET", "/missing", None).unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("nope"));
+        server.join().unwrap();
+    }
+}

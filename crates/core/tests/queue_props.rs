@@ -1,0 +1,133 @@
+//! Property tests for the service's priority [`JobQueue`]: under random
+//! interleavings of push/pop/cancel, the queue must never lose,
+//! duplicate or reorder work — every pushed item leaves the queue
+//! exactly once (popped, cancelled, or drained at the end), pops always
+//! yield the highest outstanding priority, and items of equal priority
+//! leave in FIFO order.
+//!
+//! The reference model is the obvious quadratic one: a flat list of
+//! `(priority, submission index, ticket, value)` scanned for max
+//! priority / min submission index on every pop.
+
+use dmdc_core::queue::JobQueue;
+use proptest::prelude::*;
+
+/// One pending item in the reference model.
+#[derive(Debug, Clone, PartialEq)]
+struct ModelItem {
+    priority: u8,
+    seq: usize,
+    ticket: u64,
+    value: u32,
+}
+
+/// What the model says the next pop must return.
+fn model_pop(pending: &mut Vec<ModelItem>) -> Option<ModelItem> {
+    let best = pending
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.priority
+                .cmp(&b.priority)
+                // Lower submission index wins within a priority: FIFO.
+                .then(b.seq.cmp(&a.seq))
+        })
+        .map(|(i, _)| i)?;
+    Some(pending.remove(best))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random push/pop/cancel interleavings agree with the model at
+    /// every step, and the final accounting balances exactly.
+    #[test]
+    fn queue_agrees_with_model_under_random_ops(
+        ops in prop::collection::vec((0u8..4, 0u8..8), 1..200),
+    ) {
+        let mut queue: JobQueue<u32> = JobQueue::new();
+        let mut pending: Vec<ModelItem> = Vec::new();
+        let mut last_ticket: Option<u64> = None;
+        let mut pushed = 0u32;
+        let mut left = 0u32; // popped + cancelled
+
+        for (i, &(kind, arg)) in ops.iter().enumerate() {
+            match kind {
+                // Two opcodes for push biases the mix toward non-empty
+                // queues, where pop/cancel ordering is actually tested.
+                0 | 1 => {
+                    let priority = arg * 36; // spread over 0..=252 with collisions
+                    let value = i as u32;
+                    let ticket = queue.push(priority, value);
+                    if let Some(prev) = last_ticket {
+                        prop_assert!(ticket > prev, "tickets must be strictly increasing");
+                    }
+                    last_ticket = Some(ticket);
+                    pending.push(ModelItem { priority, seq: i, ticket, value });
+                    pushed += 1;
+                }
+                2 => {
+                    let got = queue.pop();
+                    let want = model_pop(&mut pending);
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some((ticket, value)), Some(model)) => {
+                            prop_assert_eq!(ticket, model.ticket, "pop ticket");
+                            prop_assert_eq!(value, model.value, "pop order");
+                            left += 1;
+                        }
+                        (got, want) => {
+                            prop_assert!(false, "pop mismatch: queue {got:?}, model {want:?}");
+                        }
+                    }
+                }
+                _ => {
+                    if pending.is_empty() {
+                        // Cancelling a ticket that already left must be a no-op.
+                        if let Some(t) = last_ticket {
+                            prop_assert_eq!(queue.cancel(t), None);
+                        }
+                    } else {
+                        let victim = pending.remove(arg as usize % pending.len());
+                        prop_assert_eq!(
+                            queue.cancel(victim.ticket),
+                            Some(victim.value),
+                            "cancel returns the pending item"
+                        );
+                        left += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), pending.len(), "length tracks the model");
+        }
+
+        // iter() previews exactly the model's remaining pop order.
+        let preview: Vec<(u64, u32)> = queue.iter().map(|(t, v)| (t, *v)).collect();
+
+        // Drain: everything still pending leaves in model order, once.
+        let mut drained = Vec::new();
+        while let Some((ticket, value)) = queue.pop() {
+            let model = model_pop(&mut pending).expect("queue has more items than the model");
+            prop_assert_eq!(ticket, model.ticket, "drain ticket");
+            prop_assert_eq!(value, model.value, "drain order");
+            drained.push((ticket, value));
+            left += 1;
+        }
+        prop_assert_eq!(preview, drained, "iter() matches pop order");
+        prop_assert!(pending.is_empty(), "queue lost items the model still holds");
+        prop_assert!(queue.is_empty());
+        prop_assert_eq!(pushed, left, "every push leaves the queue exactly once");
+    }
+
+    /// Pure FIFO case: with one priority the queue is exactly a FIFO of
+    /// the submission order.
+    #[test]
+    fn single_priority_is_fifo(n in 1usize..64, priority in 0u8..255) {
+        let mut queue: JobQueue<usize> = JobQueue::new();
+        for v in 0..n {
+            queue.push(priority, v);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| queue.pop().map(|(_, v)| v)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+}

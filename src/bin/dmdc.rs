@@ -7,6 +7,10 @@
 //! dmdc suite --policy dmdc-global [--scale smoke|default|large]
 //! dmdc experiment <id>|ablations|all [--format text|json|csv] [--no-cache]
 //! dmdc asm path/to/program.s                  # assemble + emulate a file
+//! dmdc serve [--addr 127.0.0.1:8181] [--state-dir DIR] [--quota N]
+//! dmdc submit --workload histo --policy dmdc-global [--wait]
+//! dmdc status [--job job-1]                   # poll the daemon
+//! dmdc metrics                                # service counters
 //! ```
 //!
 //! `suite` and `experiment` consult the persistent content-addressed cell
@@ -28,6 +32,7 @@ use dmdc::core::journal::{default_runs_dir, RunJournal};
 use dmdc::core::recovery;
 use dmdc::core::report::{fmt, OutputFormat, Report, Table};
 use dmdc::core::runner::{self, Engine, RunSpec};
+use dmdc::core::service::{self, http, jobs, json, ServeOptions};
 use dmdc::isa::{Assembler, Emulator};
 use dmdc::ooo::{run_multicore, CoreConfig, MultiCoreOptions, SampleSpec, SimOptions, Simulator};
 use dmdc::workloads::{full_suite, Scale, SyntheticKernel, Workload};
@@ -59,6 +64,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -85,6 +94,15 @@ USAGE:
   dmdc fuzz [--seed N] [--budget N] [--policy <name>] [--config N]
            [--out DIR] [--threads N]
   dmdc fuzz --replay <file.repro>
+  dmdc serve [--addr 127.0.0.1:8181] [--state-dir DIR] [--quota N]
+           [--paused] [--jobs N]
+  dmdc submit [--addr A] --workload <name> --policy <name> [--config N]
+           [--scale S] [--inval-rate R] [--sampled] [--priority 0..255]
+           [--client NAME] [--wait]
+  dmdc submit [--addr A] --experiment <id> [--scale S] [--priority P]
+           [--client NAME] [--wait]
+  dmdc status [--addr A] [--job <id>]
+  dmdc metrics [--addr A]
 
 `dmdc run --inval-model coherent` races N copies (--cores, default 2) of
 the workload on shared memory behind MESI-coherent private L1s: the
@@ -128,6 +146,21 @@ the escape hatch forcing full detailed simulation at any scale. Sampled
 and exact runs never share cache or journal entries, and a sampled
 run with --run-id checkpoints windows so `dmdc run --resume` continues
 mid-cell after a crash.
+
+`dmdc serve` runs the registry as a long-lived HTTP/JSON daemon: clients
+POST jobs (one cell or a whole experiment), poll their status, and fetch
+the finished report — the same documents `--format json` prints. Jobs
+queue by --priority (higher first, FIFO within a priority); identical
+in-flight submissions coalesce onto one job; each client may hold at
+most --quota queued+running jobs (excess submissions get a structured
+429). Accepted jobs and finished results persist as sealed envelopes
+under --state-dir (default target/dmdc-serve/), so a killed daemon
+restarts with its unfinished queue intact and reproduces the same
+results. SIGTERM (or POST /shutdown) drains the queue gracefully.
+`dmdc submit/status/metrics` are the matching client commands; they
+read --addr or the DMDC_ADDR environment variable (default
+127.0.0.1:8181). `submit --wait` polls until the result is ready and
+prints it.
 
 --profile reports a per-stage host-time breakdown, the event-horizon
 loop's skipped-cycle counters, the cell-cache hit/miss/integrity totals,
@@ -873,6 +906,153 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// `dmdc serve`: run the long-lived simulation daemon (see the usage
+/// text and `dmdc::core::service` for the wire contract).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    apply_jobs(&flags)?;
+    apply_recovery(&flags)?;
+    let mut opts = ServeOptions::default();
+    if let Some(addr) = flags.get("addr") {
+        opts.addr = addr.clone();
+    }
+    if let Some(dir) = flags.get("state-dir") {
+        opts.state_dir = std::path::PathBuf::from(dir);
+    }
+    if let Some(quota) = flags.get("quota") {
+        opts.quota = quota
+            .parse()
+            .map_err(|_| "bad --quota (want a positive integer)")?;
+        if opts.quota == 0 {
+            return Err("--quota must be at least 1".to_string());
+        }
+    }
+    opts.paused = flags.contains_key("paused");
+    service::serve(&opts)
+}
+
+/// The daemon address for the client subcommands: `--addr`, else the
+/// `DMDC_ADDR` environment variable, else the default port.
+fn server_addr(flags: &std::collections::HashMap<String, String>) -> String {
+    flags
+        .get("addr")
+        .cloned()
+        .or_else(|| std::env::var("DMDC_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:8181".to_string())
+}
+
+/// `dmdc submit`: build the submission document from the same flags
+/// `dmdc run`/`experiment` take, POST it, print the server's reply (and
+/// with `--wait`, poll until the result is ready and print that).
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let addr = server_addr(&flags);
+    let scale = parse_scale(&flags)?;
+    let mut body = if let Some(id) = flags.get("experiment") {
+        format!(
+            "{{\"kind\": \"experiment\", \"id\": \"{}\", \"scale\": \"{}\"",
+            json::escape(id),
+            jobs::scale_token(scale)
+        )
+    } else {
+        let workload = flags
+            .get("workload")
+            .ok_or("--workload or --experiment is required")?;
+        let policy = parse_policy(flags.get("policy").ok_or("--policy is required")?)?;
+        let config = flags.get("config").map(String::as_str).unwrap_or("2");
+        if !matches!(config, "1" | "2" | "3") {
+            return Err(format!("unknown config `{config}` (1, 2 or 3)"));
+        }
+        let inval_rate: f64 = match flags.get("inval-rate") {
+            None => 0.0,
+            Some(r) => r.parse().map_err(|_| "bad --inval-rate")?,
+        };
+        format!(
+            "{{\"kind\": \"cell\", \"workload\": \"{}\", \"policy\": \"{}\", \
+             \"config\": {config}, \"scale\": \"{}\", \"inval_rate\": {inval_rate}, \
+             \"sampled\": {}",
+            json::escape(workload),
+            json::escape(&policy.token()),
+            jobs::scale_token(scale),
+            flags.contains_key("sampled")
+        )
+    };
+    if let Some(priority) = flags.get("priority") {
+        let p: u16 = priority.parse().map_err(|_| "bad --priority (0..=255)")?;
+        if p > 255 {
+            return Err("--priority must be 0..=255".to_string());
+        }
+        body.push_str(&format!(", \"priority\": {p}"));
+    }
+    if let Some(client) = flags.get("client") {
+        body.push_str(&format!(", \"client\": \"{}\"", json::escape(client)));
+    }
+    body.push('}');
+
+    let (status, reply) = http::request(&addr, "POST", "/jobs", Some(&body))?;
+    if status != 200 {
+        return Err(format!("server {addr} returned {status}: {}", reply.trim()));
+    }
+    print!("{reply}");
+    if !flags.contains_key("wait") {
+        return Ok(());
+    }
+    let doc = json::parse(&reply)?;
+    let id = doc
+        .get("id")
+        .and_then(|v| v.as_str())
+        .ok_or("server reply has no job id")?
+        .to_string();
+    loop {
+        let (status, payload) = http::request(&addr, "GET", &format!("/jobs/{id}/result"), None)?;
+        match status {
+            202 => std::thread::sleep(Duration::from_millis(200)),
+            200 => {
+                print!("{payload}");
+                return Ok(());
+            }
+            500 => {
+                print!("{payload}");
+                return Err(format!("job {id} failed"));
+            }
+            other => {
+                return Err(format!(
+                    "server {addr} returned {other}: {}",
+                    payload.trim()
+                ))
+            }
+        }
+    }
+}
+
+/// `dmdc status`: one job's status document (`--job`), or every job.
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let addr = server_addr(&flags);
+    let path = match flags.get("job") {
+        Some(id) => format!("/jobs/{id}"),
+        None => "/jobs".to_string(),
+    };
+    let (status, reply) = http::request(&addr, "GET", &path, None)?;
+    print!("{reply}");
+    if status != 200 {
+        return Err(format!("server {addr} returned {status}"));
+    }
+    Ok(())
+}
+
+/// `dmdc metrics`: the daemon's service/cache/single-flight counters.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let addr = server_addr(&flags);
+    let (status, reply) = http::request(&addr, "GET", "/metrics", None)?;
+    print!("{reply}");
+    if status != 200 {
+        return Err(format!("server {addr} returned {status}"));
+    }
+    Ok(())
 }
 
 fn cmd_asm(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,102 @@
+//! Every committed `BENCH_pr*.json` artifact must parse as strict JSON
+//! and carry the fields the benchmark record format promises, so a
+//! malformed or hand-mangled artifact fails CI instead of silently
+//! rotting. The parser is the service's own [`json`] module — the same
+//! code that rejects malformed submissions on the wire.
+//!
+//! [`json`]: dmdc::core::service::json
+
+use std::path::PathBuf;
+
+use dmdc::core::service::json::{self, Json};
+
+fn bench_files() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&root)
+        .expect("repo root")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_pr") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn bench_artifacts_exist() {
+    assert!(
+        !bench_files().is_empty(),
+        "no BENCH_pr*.json artifacts found — the discovery glob is broken"
+    );
+}
+
+#[test]
+fn every_bench_artifact_parses_with_required_fields() {
+    for path in bench_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"));
+
+        // The record header every artifact carries.
+        let pr = doc
+            .get("pr")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("{name}: missing numeric `pr`"));
+        let expected = format!("BENCH_pr{pr}.json");
+        assert_eq!(name, expected, "`pr` field disagrees with the filename");
+        for field in ["title", "date", "method"] {
+            let value = doc
+                .get(field)
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{name}: missing string `{field}`"));
+            assert!(!value.is_empty(), "{name}: `{field}` is empty");
+        }
+        let date = doc.get("date").and_then(Json::as_str).unwrap();
+        assert!(
+            date.len() == 10 && date.as_bytes()[4] == b'-' && date.as_bytes()[7] == b'-',
+            "{name}: `date` is not YYYY-MM-DD: {date}"
+        );
+        doc.get("host")
+            .and_then(Json::as_object)
+            .unwrap_or_else(|| panic!("{name}: missing object `host`"));
+
+        // Every number anywhere in the artifact must be finite — NaN and
+        // Infinity are not JSON and would mean a broken generator.
+        assert_finite(&doc, &name);
+    }
+}
+
+fn assert_finite(value: &Json, name: &str) {
+    match value {
+        Json::Num(n) => assert!(n.is_finite(), "{name}: non-finite number {n}"),
+        Json::Arr(items) => items.iter().for_each(|v| assert_finite(v, name)),
+        Json::Obj(members) => members.iter().for_each(|(_, v)| assert_finite(v, name)),
+        _ => {}
+    }
+}
+
+/// The parser itself rejects the corruption modes a truncated or
+/// hand-edited artifact produces, so the test above actually bites.
+#[test]
+fn parser_rejects_malformed_artifacts() {
+    for bad in [
+        "",
+        "{",
+        "{\"pr\": }",
+        "{\"pr\": 1,}",
+        "{\"pr\": 1} trailing",
+        "{\"pr\": 01}",
+        "{\"pr\": NaN}",
+        "{'pr': 1}",
+        "{\"pr\": 1 \"title\": \"x\"}",
+    ] {
+        assert!(
+            json::parse(bad).is_err(),
+            "parser accepted malformed input: {bad:?}"
+        );
+    }
+}

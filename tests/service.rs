@@ -1,0 +1,339 @@
+//! Black-box tests for `dmdc serve`, end to end against the real binary:
+//! boot the daemon on an ephemeral port, drive it over HTTP, and prove
+//! the service contract — submit/poll/fetch, single-flight coalescing of
+//! identical submissions, structured quota rejection, graceful drain,
+//! and kill-9-then-restart recovery with byte-identical results.
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use dmdc::core::service::http;
+use dmdc::core::service::json;
+
+/// A fresh state directory under `target/` for one test.
+fn state_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One running daemon. Killed on drop so a failing test can't leak a
+/// listener.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Boots `dmdc serve` on an ephemeral port and waits (with a
+    /// deadline) for the printed address.
+    fn boot(state: &Path, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_dmdc"))
+            .arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--state-dir")
+            .arg(state)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn dmdc serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let mut lines = std::io::BufReader::new(stdout).lines();
+            while let Some(Ok(line)) = lines.next() {
+                let _ = tx.send(line);
+            }
+        });
+        let deadline = Duration::from_secs(30);
+        let addr = loop {
+            let line = rx
+                .recv_timeout(deadline)
+                .expect("daemon prints its address before the deadline");
+            if let Some(addr) = line.strip_prefix("dmdc serve: listening on ") {
+                break addr.trim().to_string();
+            }
+        };
+        Daemon { child, addr }
+    }
+
+    fn post(&self, path: &str, body: &str) -> (u16, String) {
+        http::request(&self.addr, "POST", path, Some(body)).expect("POST")
+    }
+
+    fn get(&self, path: &str) -> (u16, String) {
+        http::request(&self.addr, "GET", path, None).expect("GET")
+    }
+
+    /// Polls `/jobs/<id>/result` until it leaves 202, returning the
+    /// final `(status, payload)`.
+    fn await_result(&self, id: &str) -> (u16, String) {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let (status, payload) = self.get(&format!("/jobs/{id}/result"));
+            if status != 202 {
+                return (status, payload);
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Graceful shutdown; returns true if the process exited cleanly.
+    fn shutdown(mut self) -> bool {
+        let _ = self.post("/shutdown", "");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.child.try_wait().expect("wait on daemon") {
+                Some(status) => return status.success(),
+                None if Instant::now() > deadline => return false,
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn cell_body(workload: &str, client: &str) -> String {
+    format!(
+        "{{\"kind\": \"cell\", \"workload\": \"{workload}\", \"policy\": \"baseline\", \
+         \"scale\": \"smoke\", \"client\": \"{client}\"}}"
+    )
+}
+
+fn metric(doc: &json::Json, group: &str, name: &str) -> u64 {
+    doc.get(group)
+        .and_then(|g| g.get(name))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("metrics missing {group}.{name}"))
+}
+
+#[test]
+fn submit_poll_fetch_roundtrip() {
+    let state = state_dir("dmdc-service-roundtrip");
+    let daemon = Daemon::boot(&state, &[]);
+
+    let (status, body) = daemon.get("/health");
+    assert_eq!((status, body.as_str()), (200, "{\"ok\": true}\n"));
+
+    let (status, reply) = daemon.post("/jobs", &cell_body("histo", "t"));
+    assert_eq!(status, 200, "{reply}");
+    let doc = json::parse(&reply).unwrap();
+    let id = doc.get("id").unwrap().as_str().unwrap().to_string();
+    assert_eq!(id, "job-1");
+
+    // The status document tracks the job through its lifecycle.
+    let (status, status_doc) = daemon.get(&format!("/jobs/{id}"));
+    assert_eq!(status, 200);
+    let doc = json::parse(&status_doc).unwrap();
+    assert!(matches!(
+        doc.get("state").unwrap().as_str().unwrap(),
+        "queued" | "running" | "done"
+    ));
+    assert_eq!(
+        doc.get("spec").unwrap().get("workload").unwrap().as_str(),
+        Some("histo")
+    );
+
+    // The result is the same report document `--format json` emits.
+    let (status, payload) = daemon.await_result(&id);
+    assert_eq!(status, 200, "{payload}");
+    let report = json::parse(&payload).unwrap();
+    assert_eq!(report.get("experiment").unwrap().as_str(), Some("cell"));
+    let tables = report.get("tables").unwrap().as_array().unwrap();
+    let rows = tables[0].get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows[0].as_array().unwrap()[0].as_str(), Some("histo"));
+
+    // Fetching again returns the identical stored bytes.
+    let (status, again) = daemon.get(&format!("/jobs/{id}/result"));
+    assert_eq!((status, again == payload), (200, true));
+
+    // Unknown ids and routes are structured errors.
+    assert_eq!(daemon.get("/jobs/job-999").0, 404);
+    assert_eq!(daemon.get("/jobs/job-999/result").0, 404);
+    assert_eq!(daemon.get("/no-such-route").0, 404);
+    assert_eq!(daemon.post("/jobs", "not json").0, 400);
+    assert_eq!(
+        daemon
+            .post("/jobs", "{\"kind\": \"cell\", \"workload\": \"nope\"}")
+            .0,
+        400
+    );
+
+    assert!(daemon.shutdown(), "graceful shutdown exits cleanly");
+}
+
+#[test]
+fn concurrent_identical_submissions_coalesce_to_one_job() {
+    const N: usize = 10;
+    let state = state_dir("dmdc-service-coalesce");
+    // Boot paused so every submission arrives while the job is queued —
+    // the coalescing window is open deterministically.
+    let daemon = Daemon::boot(&state, &["--paused"]);
+
+    let addr = daemon.addr.clone();
+    let replies: Vec<(u16, String)> = {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    http::request(&addr, "POST", "/jobs", Some(&cell_body("histo", "swarm")))
+                        .expect("POST /jobs")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    };
+
+    // Every reply names the same job; exactly one created it.
+    let mut created = 0;
+    for (status, reply) in &replies {
+        assert_eq!(*status, 200, "{reply}");
+        let doc = json::parse(reply).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("job-1"));
+        if doc.get("coalesced").unwrap().as_bool() == Some(false) {
+            created += 1;
+        }
+    }
+    assert_eq!(created, 1, "exactly one submission creates the job");
+
+    let (_, metrics) = daemon.get("/metrics");
+    let doc = json::parse(&metrics).unwrap();
+    assert_eq!(metric(&doc, "jobs", "submitted"), 1);
+    assert_eq!(metric(&doc, "jobs", "coalesced"), (N - 1) as u64);
+    assert_eq!(metric(&doc, "jobs", "queue_depth"), 1);
+
+    // Release the queue: the one job runs exactly one simulation.
+    assert_eq!(daemon.post("/queue/resume", "").0, 200);
+    let (status, _) = daemon.await_result("job-1");
+    assert_eq!(status, 200);
+    let (_, metrics) = daemon.get("/metrics");
+    let doc = json::parse(&metrics).unwrap();
+    assert_eq!(metric(&doc, "jobs", "completed"), 1);
+    assert_eq!(
+        metric(&doc, "cache", "stores"),
+        1,
+        "one simulation stored one cell"
+    );
+
+    assert!(daemon.shutdown());
+}
+
+#[test]
+fn over_quota_submission_is_a_structured_429() {
+    let state = state_dir("dmdc-service-quota");
+    let daemon = Daemon::boot(&state, &["--quota", "2", "--paused"]);
+
+    assert_eq!(daemon.post("/jobs", &cell_body("histo", "greedy")).0, 200);
+    assert_eq!(daemon.post("/jobs", &cell_body("saxpy", "greedy")).0, 200);
+    let (status, reply) = daemon.post("/jobs", &cell_body("crc", "greedy"));
+    assert_eq!(status, 429, "{reply}");
+    let doc = json::parse(&reply).unwrap();
+    assert_eq!(doc.get("error").unwrap().as_str(), Some("quota exceeded"));
+    assert_eq!(doc.get("client").unwrap().as_str(), Some("greedy"));
+    assert_eq!(doc.get("active").unwrap().as_u64(), Some(2));
+    assert_eq!(doc.get("limit").unwrap().as_u64(), Some(2));
+
+    // Quota is per client: another client still gets in. And identical
+    // submissions coalesce instead of consuming quota.
+    assert_eq!(daemon.post("/jobs", &cell_body("crc", "patient")).0, 200);
+    let (status, reply) = daemon.post("/jobs", &cell_body("histo", "greedy"));
+    assert_eq!(status, 200);
+    let doc = json::parse(&reply).unwrap();
+    assert_eq!(doc.get("coalesced").unwrap().as_bool(), Some(true));
+
+    let (_, metrics) = daemon.get("/metrics");
+    let doc = json::parse(&metrics).unwrap();
+    assert_eq!(metric(&doc, "jobs", "rejected"), 1);
+
+    assert!(daemon.shutdown());
+}
+
+#[test]
+fn kill9_then_restart_resumes_jobs_byte_identically() {
+    // Reference: an undisturbed daemon runs three jobs to completion.
+    let ref_state = state_dir("dmdc-service-restart-ref");
+    let reference = Daemon::boot(&ref_state, &[]);
+    let jobs = [("histo", "10"), ("saxpy", "200"), ("crc", "100")];
+    for (workload, priority) in jobs {
+        let body = format!(
+            "{{\"kind\": \"cell\", \"workload\": \"{workload}\", \"policy\": \"baseline\", \
+             \"scale\": \"smoke\", \"client\": \"r\", \"priority\": {priority}}}"
+        );
+        assert_eq!(reference.post("/jobs", &body).0, 200);
+    }
+    let expected: Vec<String> = (1..=3)
+        .map(|i| {
+            let (status, payload) = reference.await_result(&format!("job-{i}"));
+            assert_eq!(status, 200, "{payload}");
+            payload
+        })
+        .collect();
+    assert!(reference.shutdown());
+
+    // Victim: same three submissions land in a paused queue, then the
+    // daemon dies hard — SIGKILL, no drain, no cleanup.
+    let state = state_dir("dmdc-service-restart");
+    let victim = Daemon::boot(&state, &["--paused"]);
+    for (workload, priority) in jobs {
+        let body = format!(
+            "{{\"kind\": \"cell\", \"workload\": \"{workload}\", \"policy\": \"baseline\", \
+             \"scale\": \"smoke\", \"client\": \"r\", \"priority\": {priority}}}"
+        );
+        assert_eq!(victim.post("/jobs", &body).0, 200);
+    }
+    drop(victim); // kill -9
+
+    // Restart over the same state dir: the queue comes back and every
+    // job completes with bytes identical to the undisturbed run.
+    let revived = Daemon::boot(&state, &[]);
+    let (_, metrics) = revived.get("/metrics");
+    let doc = json::parse(&metrics).unwrap();
+    assert_eq!(metric(&doc, "jobs", "recovered"), 3);
+    for (i, expected) in expected.iter().enumerate() {
+        let id = format!("job-{}", i + 1);
+        let (status, payload) = revived.await_result(&id);
+        assert_eq!(status, 200, "{payload}");
+        assert_eq!(
+            &payload, expected,
+            "{id} must reproduce the reference bytes"
+        );
+    }
+
+    // New submissions continue the id sequence past the recovered jobs.
+    let (status, reply) = revived.post("/jobs", &cell_body("mm", "r"));
+    assert_eq!(status, 200);
+    let doc = json::parse(&reply).unwrap();
+    assert_eq!(doc.get("id").unwrap().as_str(), Some("job-4"));
+
+    assert!(revived.shutdown());
+}
+
+#[test]
+fn graceful_drain_finishes_queued_jobs_before_exit() {
+    let state = state_dir("dmdc-service-drain");
+    let daemon = Daemon::boot(&state, &["--paused"]);
+    assert_eq!(daemon.post("/jobs", &cell_body("histo", "d")).0, 200);
+    assert_eq!(daemon.post("/jobs", &cell_body("crc", "d")).0, 200);
+
+    // Shutdown with the queue paused and full: drain must override the
+    // pause, run both jobs, persist both results, then exit cleanly.
+    assert!(daemon.shutdown(), "drain exits cleanly");
+    for id in ["job-1", "job-2"] {
+        let path = state.join("results").join(format!("{id}.result"));
+        assert!(path.is_file(), "{id} result persisted during drain");
+    }
+}

@@ -1,0 +1,156 @@
+//! Golden snapshots of the service's wire documents: every JSON payload
+//! `dmdc serve` puts on the wire — submit replies, status documents,
+//! stored results, quota rejections, metrics — must stay byte-identical
+//! to the committed snapshots under `tests/golden/service/`.
+//!
+//! The documents are produced in-process through the same router the
+//! daemon serves from, against a deterministically staged job manager,
+//! so the snapshots pin the wire contract without any sockets involved.
+//! To regenerate after an intentional wire change:
+//!
+//! ```text
+//! DMDC_UPDATE_GOLDEN=1 cargo test --test service_wire
+//! ```
+
+use std::path::PathBuf;
+
+use dmdc::core::runner::{set_global_cell_cache, set_global_flight};
+use dmdc::core::service::http::Request;
+use dmdc::core::service::jobs::{self, JobManager};
+use dmdc::core::service::route;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/service")
+        .join(name)
+}
+
+/// Compares `actual` against the committed snapshot, or rewrites it
+/// when `DMDC_UPDATE_GOLDEN` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("DMDC_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "wire document `{name}` drifted from {} \
+         (regenerate with DMDC_UPDATE_GOLDEN=1 if intentional)",
+        path.display()
+    );
+}
+
+fn post(manager: &JobManager, body: &str) -> (u16, String) {
+    route(
+        &Request {
+            method: "POST".to_string(),
+            path: "/jobs".to_string(),
+            body: body.to_string(),
+        },
+        manager,
+    )
+}
+
+fn get(manager: &JobManager, path: &str) -> (u16, String) {
+    route(
+        &Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: String::new(),
+        },
+        manager,
+    )
+}
+
+const CELL: &str = r#"{"kind": "cell", "workload": "histo", "policy": "baseline", "scale": "smoke", "client": "alice"}"#;
+
+/// One test drives the whole staged lifecycle: the wire documents build
+/// on each other (coalescing needs the created job, the result needs the
+/// completion), and a single `#[test]` keeps the process-global cache
+/// and flight slots deterministic.
+#[test]
+fn wire_documents_match_golden_snapshots() {
+    // The metrics document includes cache/flight sections only when the
+    // process-globals are installed; pin both to absent.
+    set_global_cell_cache(None);
+    set_global_flight(None);
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("dmdc-service-wire-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let manager = JobManager::new(&dir, 2).unwrap();
+    manager.set_paused(true);
+
+    // Submit replies: created, coalesced, and the structured 429.
+    let (status, created) = post(&manager, CELL);
+    assert_eq!(status, 200);
+    check("submit-created.json", &created);
+
+    let (status, coalesced) = post(&manager, CELL);
+    assert_eq!(status, 200);
+    check("submit-coalesced.json", &coalesced);
+
+    let saxpy = CELL.replace("histo", "saxpy");
+    assert_eq!(post(&manager, &saxpy).0, 200); // fills alice's quota of 2
+    let (status, rejected) = post(&manager, &CELL.replace("histo", "crc"));
+    assert_eq!(status, 429);
+    check("submit-over-quota.json", &rejected);
+
+    // Status documents: one job, the full listing, the pending result.
+    let (status, job_status) = get(&manager, "/jobs/job-1");
+    assert_eq!(status, 200);
+    check("status-queued.json", &job_status);
+
+    let (status, listing) = get(&manager, "/jobs");
+    assert_eq!(status, 200);
+    check("jobs-list.json", &listing);
+
+    let (status, pending) = get(&manager, "/jobs/job-1/result");
+    assert_eq!(status, 202);
+    check("result-pending.json", &pending);
+
+    // The stored result for the real simulation: the same report JSON
+    // the CLI's `--format json` emits, fetched through the result route.
+    let spec = manager_spec();
+    let payload = jobs::execute(&spec).expect("cell simulates clean");
+    manager.complete("job-1", Ok(payload));
+    let (status, result) = get(&manager, "/jobs/job-1/result");
+    assert_eq!(status, 200);
+    check("result-cell.json", &result);
+
+    // A failed job stores a structured error document, served as a 500.
+    manager.complete(
+        "job-2",
+        Err("injected failure for the snapshot".to_string()),
+    );
+    let (status, failed) = get(&manager, "/jobs/job-2/result");
+    assert_eq!(status, 500);
+    check("result-failed.json", &failed);
+
+    // The metrics document over the staged state above.
+    let (status, metrics) = get(&manager, "/metrics");
+    assert_eq!(status, 200);
+    check("metrics.json", &metrics);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The spec matching [`CELL`], for executing the real simulation.
+fn manager_spec() -> jobs::JobSpec {
+    use dmdc::core::experiments::PolicyKind;
+    use dmdc::workloads::Scale;
+    jobs::JobSpec::Cell {
+        workload: "histo".to_string(),
+        policy: PolicyKind::Baseline,
+        config: 2,
+        scale: Scale::Smoke,
+        inval_rate: 0.0,
+        sampled: false,
+    }
+}
