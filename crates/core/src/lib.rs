@@ -43,6 +43,7 @@ mod bloom;
 pub mod cache;
 pub mod cell;
 mod checking_queue;
+pub mod distrib;
 mod dmdc;
 pub mod experiments;
 pub mod faults;

@@ -11,11 +11,17 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Largest request the server will read, headers plus body. Submissions
-/// are tiny; anything bigger is a confused or hostile client.
+use crate::cache::Fnv64;
+
+/// Largest request body the server will read. Submissions are tiny;
+/// anything bigger is a confused or hostile client.
 pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Largest header block the server will accumulate. Headers carry a
+/// request line and a content-length; 16 KiB is already generous.
+pub const MAX_HEADER_BYTES: usize = 16 << 10;
 
 /// One parsed request.
 #[derive(Debug, Clone)]
@@ -28,30 +34,91 @@ pub struct Request {
     pub body: String,
 }
 
-/// Reads one HTTP/1.1 request from a connection. Returns a human-readable
-/// error for anything malformed; the caller turns that into a 400.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+/// Why a request could not be read, classified so the server can answer
+/// with the right structured status instead of a blanket 400.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// Headers or body exceeded the size caps → 413.
+    TooLarge(String),
+    /// The client stalled past the connection's read deadline → 408.
+    Timeout(String),
+    /// Anything else malformed (truncation, bad framing, non-UTF-8) → 400.
+    Malformed(String),
+}
+
+impl ReadError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ReadError::TooLarge(_) => 413,
+            ReadError::Timeout(_) => 408,
+            ReadError::Malformed(_) => 400,
+        }
+    }
+
+    /// The human-readable specifics, for the structured error body.
+    pub fn message(&self) -> &str {
+        match self {
+            ReadError::TooLarge(m) | ReadError::Timeout(m) | ReadError::Malformed(m) => m,
+        }
+    }
+}
+
+/// Classifies one socket read error: a deadline expiry (`WouldBlock` on
+/// Unix timeouts, `TimedOut` elsewhere) is a stalled client, anything
+/// else is a broken one.
+fn classify_io(e: std::io::Error, during: &str) -> ReadError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            ReadError::Timeout(format!("read deadline expired {during}"))
+        }
+        _ => ReadError::Malformed(format!("read failed {during}: {e}")),
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> ReadError {
+    ReadError::Malformed(msg.into())
+}
+
+/// Reads one HTTP/1.1 request from a connection, classifying every way
+/// it can go wrong: oversized headers/bodies ([`ReadError::TooLarge`]),
+/// a client that stalls past the socket's read deadline
+/// ([`ReadError::Timeout`]), and plain malformation. The caller maps the
+/// classes to 413/408/400 via [`ReadError::status`].
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let header_end = loop {
         if let Some(i) = find_header_end(&buf) {
             break i;
         }
-        if buf.len() > MAX_REQUEST_BYTES {
-            return Err("request too large".to_string());
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::TooLarge(format!(
+                "headers exceed {MAX_HEADER_BYTES} bytes"
+            )));
         }
-        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| classify_io(e, "while reading headers"))?;
         if n == 0 {
-            return Err("connection closed before headers completed".to_string());
+            return Err(malformed("connection closed before headers completed"));
         }
         buf.extend_from_slice(&chunk[..n]);
     };
-    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-utf8 headers")?;
+    let head =
+        std::str::from_utf8(&buf[..header_end]).map_err(|_| malformed("non-utf8 headers"))?;
     let mut lines = head.split("\r\n");
-    let request_line = lines.next().ok_or("empty request")?;
+    let request_line = lines.next().ok_or_else(|| malformed("empty request"))?;
     let mut parts = request_line.split(' ');
-    let method = parts.next().ok_or("missing method")?.to_string();
-    let path = parts.next().ok_or("missing path")?.to_string();
+    let method = parts
+        .next()
+        .ok_or_else(|| malformed("missing method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| malformed("missing path"))?
+        .to_string();
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
@@ -59,19 +126,23 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| "bad content-length".to_string())?;
+                    .map_err(|_| malformed("bad content-length"))?;
             }
         }
     }
     if content_length > MAX_REQUEST_BYTES {
-        return Err("request body too large".to_string());
+        return Err(ReadError::TooLarge(format!(
+            "request body of {content_length} bytes exceeds {MAX_REQUEST_BYTES}"
+        )));
     }
     let body_start = header_end + 4;
     let mut body = buf[body_start.min(buf.len())..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| classify_io(e, "while reading the body"))?;
         if n == 0 {
-            return Err("connection closed mid-body".to_string());
+            return Err(malformed("connection closed mid-body"));
         }
         body.extend_from_slice(&chunk[..n]);
     }
@@ -79,7 +150,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     Ok(Request {
         method,
         path,
-        body: String::from_utf8(body).map_err(|_| "non-utf8 body")?,
+        body: String::from_utf8(body).map_err(|_| malformed("non-utf8 body"))?,
     })
 }
 
@@ -98,7 +169,9 @@ pub fn respond(stream: &mut TcpStream, status: u16, body: &str) {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         _ => "Response",
@@ -113,25 +186,115 @@ pub fn respond(stream: &mut TcpStream, status: u16, body: &str) {
     let _ = stream.flush();
 }
 
+/// A failed client exchange, flagged with whether retrying could help
+/// (the server refused or dropped the connection — it may simply not be
+/// up yet) or not (a protocol-level failure that will repeat).
+struct RequestError {
+    retryable: bool,
+    message: String,
+}
+
+impl RequestError {
+    fn fatal(message: impl Into<String>) -> RequestError {
+        RequestError {
+            retryable: false,
+            message: message.into(),
+        }
+    }
+}
+
+/// Classifies one client-side io error: connection refused/reset/aborted
+/// are transient server absence; everything else is fatal.
+fn classify_client_io(addr: &str, e: &std::io::Error) -> RequestError {
+    use std::io::ErrorKind;
+    RequestError {
+        retryable: matches!(
+            e.kind(),
+            ErrorKind::ConnectionRefused
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+        ),
+        message: format!("{addr}: {e}"),
+    }
+}
+
 /// One blocking HTTP exchange: connect, send, read to EOF, return
 /// `(status, body)`. The client half of the wire — `dmdc submit` and the
-/// service tests speak through this.
+/// service tests speak through this. Fails on the first connection
+/// error; see [`request_with_retry`] for the backoff variant.
 pub fn request(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
+    try_request(addr, method, path, body).map_err(|e| e.message)
+}
+
+/// Like [`request`], but retries connection-refused/reset with jittered
+/// exponential backoff until `max_wait` has elapsed — the client half of
+/// riding out a daemon that is still booting or briefly restarting.
+/// Protocol-level failures (a reachable server sending garbage) stay
+/// immediate. The terminal error names the attempts made and the time
+/// spent, so a misconfigured address reads as exactly that.
+pub fn request_with_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    max_wait: Duration,
+) -> Result<(u16, String), String> {
+    let start = Instant::now();
+    let mut attempt: u32 = 0;
+    loop {
+        let err = match try_request(addr, method, path, body) {
+            Ok(reply) => return Ok(reply),
+            Err(e) if e.retryable => e,
+            Err(e) => return Err(e.message),
+        };
+        attempt += 1;
+        let delay = retry_backoff(addr, attempt);
+        if start.elapsed() + delay > max_wait {
+            return Err(format!(
+                "{addr}: unreachable after {attempt} attempt(s) over {:.1}s \
+                 (last error: {}); is the server up?",
+                start.elapsed().as_secs_f64(),
+                err.message
+            ));
+        }
+        std::thread::sleep(delay);
+    }
+}
+
+/// Exponential backoff with deterministic jitter: 50 ms doubling to a
+/// 1.6 s cap, plus up to +50% derived from a hash of `(addr, attempt)` —
+/// no RNG, so tests replay exactly, but distinct clients still spread
+/// their reconnect storms.
+fn retry_backoff(addr: &str, attempt: u32) -> Duration {
+    let base = 50u64 << (attempt.saturating_sub(1)).min(5);
+    let mut h = Fnv64::new();
+    h.write(addr.as_bytes());
+    h.write_u64(attempt as u64);
+    let jitter = h.finish() % (base / 2 + 1);
+    Duration::from_millis(base + jitter)
+}
+
+fn try_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), RequestError> {
     let target = addr
         .to_socket_addrs()
-        .map_err(|e| format!("{addr}: {e}"))?
+        .map_err(|e| RequestError::fatal(format!("{addr}: {e}")))?
         .next()
-        .ok_or_else(|| format!("{addr}: no address"))?;
+        .ok_or_else(|| RequestError::fatal(format!("{addr}: no address")))?;
     let mut stream = TcpStream::connect_timeout(&target, Duration::from_secs(10))
-        .map_err(|e| format!("{addr}: {e}"))?;
+        .map_err(|e| classify_client_io(addr, &e))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| RequestError::fatal(e.to_string()))?;
     let body = body.unwrap_or("");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\
@@ -140,21 +303,24 @@ pub fn request(
     );
     stream
         .write_all(head.as_bytes())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| classify_client_io(addr, &e))?;
     stream
         .write_all(body.as_bytes())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| classify_client_io(addr, &e))?;
     let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).map_err(|e| e.to_string())?;
-    let text = String::from_utf8(raw).map_err(|_| "non-utf8 response".to_string())?;
-    let (head, payload) = text
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| "malformed response (no header boundary)".to_string())?;
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| classify_client_io(addr, &e))?;
+    let text =
+        String::from_utf8(raw).map_err(|_| RequestError::fatal("non-utf8 response".to_string()))?;
+    let (head, payload) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        RequestError::fatal("malformed response (no header boundary)".to_string())
+    })?;
     let status: u16 = head
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed status line in `{head}`"))?;
+        .ok_or_else(|| RequestError::fatal(format!("malformed status line in `{head}`")))?;
     Ok((status, payload.to_string()))
 }
 

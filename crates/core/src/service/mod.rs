@@ -41,7 +41,8 @@
 //! | `POST /shutdown`        | graceful drain, then exit                     |
 //!
 //! Status codes are part of the contract: 202 pending result, 404
-//! unknown id, 405 wrong method, 409 draining, 429 over quota, 500
+//! unknown id, 405 wrong method, 408 stalled client (read deadline),
+//! 409 draining, 413 oversized headers/body, 429 over quota, 500
 //! failed job / internal error.
 
 pub mod http;
@@ -188,17 +189,17 @@ pub fn serve(opts: &ServeOptions) -> Result<(), String> {
 }
 
 /// Serves one connection: read a request, route it, write one response.
+/// The per-connection read deadline plus the size caps in
+/// [`http::read_request`] mean one slow, stalled or oversized client
+/// costs a handler thread at most 30 seconds, answered with a structured
+/// 408/413/400 — it can never pin the accept loop.
 fn handle(mut stream: TcpStream, manager: &JobManager) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(e) => {
-            http::respond(
-                &mut stream,
-                400,
-                &format!("{{\"error\": \"{}\"}}\n", json::escape(&e)),
-            );
+            http::respond(&mut stream, e.status(), &error_body(e.message()));
             return;
         }
     };

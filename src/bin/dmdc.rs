@@ -8,6 +8,8 @@
 //! dmdc experiment <id>|ablations|all [--format text|json|csv] [--no-cache]
 //! dmdc asm path/to/program.s                  # assemble + emulate a file
 //! dmdc serve [--addr 127.0.0.1:8181] [--state-dir DIR] [--quota N]
+//! dmdc suite --policy dmdc-global --distrib --workers 3   # worker fleet
+//! dmdc worker --connect 127.0.0.1:9000                    # join a fleet
 //! dmdc submit --workload histo --policy dmdc-global [--wait]
 //! dmdc status [--job job-1]                   # poll the daemon
 //! dmdc metrics                                # service counters
@@ -25,6 +27,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dmdc::core::cache::{default_cache_dir, default_fingerprint, CellCache, CheckpointStore};
+use dmdc::core::distrib::{self, DistribOptions, PlanDescriptor};
 use dmdc::core::experiments::{self, PolicyKind};
 use dmdc::core::faults::{self, FaultPlan};
 use dmdc::core::fuzz::{self, FuzzOptions};
@@ -65,6 +68,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("asm") => cmd_asm(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
@@ -85,11 +89,14 @@ USAGE:
   dmdc suite --policy <name> [--config N] [--scale S] [--jobs N]
            [--format text|json|csv] [--no-cache] [--profile]
            [--run-id ID] [--retries N] [--cell-timeout MS]
-           [--sampled|--exact]
+           [--sampled|--exact] [--distrib [--workers N] [--lease-ttl MS]
+           [--poison-after N] [--grace MS] [--bind ADDR]]
   dmdc experiment <id|ablations|all> [--scale S] [--jobs N]
            [--format text|json|csv] [--no-cache] [--profile]
            [--run-id ID] [--retries N] [--cell-timeout MS]
-           [--sampled|--exact]
+           [--sampled|--exact] [--distrib [--workers N] [--lease-ttl MS]
+           [--poison-after N] [--grace MS] [--bind ADDR]]
+  dmdc worker --connect <addr> [--id NAME] [--inject-faults SPEC]
   dmdc asm <file.s>
   dmdc fuzz [--seed N] [--budget N] [--policy <name>] [--config N]
            [--out DIR] [--threads N]
@@ -98,9 +105,9 @@ USAGE:
            [--paused] [--jobs N]
   dmdc submit [--addr A] --workload <name> --policy <name> [--config N]
            [--scale S] [--inval-rate R] [--sampled] [--priority 0..255]
-           [--client NAME] [--wait]
+           [--client NAME] [--wait [--max-wait SECS]]
   dmdc submit [--addr A] --experiment <id> [--scale S] [--priority P]
-           [--client NAME] [--wait]
+           [--client NAME] [--wait [--max-wait SECS]]
   dmdc status [--addr A] [--job <id>]
   dmdc metrics [--addr A]
 
@@ -167,6 +174,24 @@ loop's skipped-cycle counters, the cell-cache hit/miss/integrity totals,
 journal replay counters and the recovery ledger (for suite/experiment:
 aggregated over all runs, printed to stderr so stdout stays
 byte-identical).
+
+Distributed execution: `--distrib` shards a suite or experiment across a
+lease-based worker fleet. The coordinator publishes the cell list as
+durable sealed lease records, spawns --workers local `dmdc worker`
+processes (0 with external workers attaching at the printed --bind
+address), and workers claim leases over HTTP, execute cells through the
+ordinary engine, publish into the shared content-addressed cache and
+heartbeat. A lease not heartbeated within --lease-ttl is reclaimed and
+re-issued with exponential backoff; a cell that killed --poison-after
+distinct workers is quarantined like any other cell failure. When the
+fleet goes quiet for --grace (default 2x the TTL) the coordinator
+degrades to local serial execution, so the run terminates even with
+every worker lost. The final report is assembled from the store in spec
+order and is byte-identical to the single-process run. --inject-faults
+gains distributed keys, forwarded to spawned workers:
+'worker-kill-after=N' (abort after N cells), 'drop-heartbeats=1',
+'stale-claim=MS' (sit on the first lease past its TTL), and
+'partial-upload=N' (truncate every Nth store write).
 
 Fault tolerance: each cell runs under panic isolation; a panicking or
 timed-out cell (--cell-timeout, wall-clock milliseconds per cell) is
@@ -373,6 +398,75 @@ fn apply_jobs(flags: &std::collections::HashMap<String, String>) -> Result<(), S
         runner::set_default_jobs(n);
     }
     Ok(())
+}
+
+/// Parses `--distrib` and its companions into [`DistribOptions`]; `None`
+/// when `--distrib` was not given. The `--inject-faults` spec is
+/// forwarded verbatim to spawned workers so the chaos keys fire in the
+/// processes they describe.
+fn parse_distrib(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<Option<DistribOptions>, String> {
+    if !flags.contains_key("distrib") {
+        return Ok(None);
+    }
+    let mut opts = DistribOptions {
+        workers: match flags.get("workers") {
+            Some(n) => n
+                .parse()
+                .map_err(|_| "bad --workers (want a non-negative integer)")?,
+            None => 2,
+        },
+        ..DistribOptions::default()
+    };
+    if let Some(ms) = flags.get("lease-ttl") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "bad --lease-ttl (want milliseconds)")?;
+        if ms < 50 {
+            return Err("--lease-ttl must be at least 50 milliseconds".to_string());
+        }
+        opts.lease_ttl = Duration::from_millis(ms);
+    }
+    if let Some(n) = flags.get("poison-after") {
+        opts.poison_after = n
+            .parse()
+            .map_err(|_| "bad --poison-after (want a positive integer)")?;
+        if opts.poison_after == 0 {
+            return Err("--poison-after must be at least 1".to_string());
+        }
+    }
+    opts.grace = match flags.get("grace") {
+        Some(ms) => {
+            Duration::from_millis(ms.parse().map_err(|_| "bad --grace (want milliseconds)")?)
+        }
+        None => opts.lease_ttl * 2,
+    };
+    if let Some(bind) = flags.get("bind") {
+        opts.bind = bind.clone();
+    }
+    if let Some(id) = flags.get("run-id") {
+        opts.run_id = id.clone();
+    }
+    opts.worker_faults = flags.get("inject-faults").cloned();
+    Ok(Some(opts))
+}
+
+/// `dmdc worker --connect <addr>`: join a coordinator's fleet and run
+/// cells until it reports the run complete. `--inject-faults` arms the
+/// distributed chaos keys in this process.
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let addr = flags
+        .get("connect")
+        .ok_or("--connect <addr> is required")?
+        .clone();
+    let id = flags
+        .get("id")
+        .cloned()
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    apply_recovery(&flags)?;
+    distrib::run_worker(&addr, &id)
 }
 
 fn parse_scale(flags: &std::collections::HashMap<String, String>) -> Result<Scale, String> {
@@ -698,7 +792,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     apply_profile(&flags);
     apply_cache(&flags);
     apply_recovery(&flags)?;
-    apply_sampling(&flags, scale)?;
+    let sampling = apply_sampling(&flags, scale)?;
     apply_journal("suite", args, &flags)?;
     let mut t = Table::new(format!("suite under {policy:?} on {}", config.name));
     t.headers([
@@ -710,11 +804,32 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         "safe loads",
     ]);
     let suite = full_suite(scale);
-    let specs: Vec<RunSpec> = (0..suite.len())
-        .map(|i| RunSpec::new(i, &config, policy.clone()))
-        .collect();
-    let engine = Engine::new(&suite);
-    let (runs, failures) = engine.run_all_recovered(&specs);
+    let (runs, failures) = match parse_distrib(&flags)? {
+        Some(dopts) => {
+            // The worker fleet rebuilds this exact matrix from the
+            // descriptor; the assembled cells feed the same table code.
+            let config_num: u8 = flags
+                .get("config")
+                .map(String::as_str)
+                .unwrap_or("2")
+                .parse()
+                .expect("validated by parse_config");
+            let desc = PlanDescriptor::Suite {
+                policy: policy.clone(),
+                config: config_num,
+                scale,
+                sampled: sampling.enabled(),
+            };
+            distrib::execute_plan_distributed(&desc, &dopts)?
+        }
+        None => {
+            let specs: Vec<RunSpec> = (0..suite.len())
+                .map(|i| RunSpec::new(i, &config, policy.clone()))
+                .collect();
+            let engine = Engine::new(&suite);
+            engine.run_all_recovered(&specs)
+        }
+    };
     for (w, r) in suite.iter().zip(&runs) {
         let Some(r) = r else { continue };
         let s = &r.stats;
@@ -775,8 +890,9 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     apply_profile(&flags);
     apply_cache(&flags);
     apply_recovery(&flags)?;
-    apply_sampling(&flags, scale)?;
+    let sampling = apply_sampling(&flags, scale)?;
     apply_journal("experiment", args, &flags)?;
+    let distrib_opts = parse_distrib(&flags)?;
     let ids: Vec<&str> = match which.as_str() {
         "all" => experiments::registry().iter().map(|e| e.id()).collect(),
         "ablations" => experiments::ABLATION_IDS.to_vec(),
@@ -786,7 +902,12 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     for id in ids {
         let exp = experiments::find_experiment(id)
             .ok_or_else(|| format!("unknown experiment `{id}` (see `dmdc list`)"))?;
-        let report = experiments::run_experiment(exp, scale);
+        let report = match &distrib_opts {
+            Some(dopts) => {
+                distrib::run_experiment_distributed(exp, scale, sampling.enabled(), dopts)?
+            }
+            None => experiments::run_experiment(exp, scale),
+        };
         quarantined += report.failures().len();
         print!("{}", report.emit(format));
     }
@@ -991,12 +1112,44 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     }
     body.push('}');
 
-    let (status, reply) = http::request(&addr, "POST", "/jobs", Some(&body))?;
+    // With `--wait` the whole interaction runs under one deadline
+    // (`--max-wait`, seconds): connection refused/reset retries with
+    // jittered exponential backoff instead of failing on the first
+    // blip, and a job that is still pending at the deadline ends with a
+    // clear terminal error rather than polling forever.
+    let wait = flags.contains_key("wait");
+    let max_wait = Duration::from_secs(match flags.get("max-wait") {
+        Some(s) => {
+            if !wait {
+                return Err("--max-wait needs --wait".to_string());
+            }
+            let s: u64 = s.parse().map_err(|_| "bad --max-wait (want seconds)")?;
+            if s == 0 {
+                return Err("--max-wait must be at least 1 second".to_string());
+            }
+            s
+        }
+        None => 600,
+    });
+    let deadline = std::time::Instant::now() + max_wait;
+    let remaining = |label: &str| -> Result<Duration, String> {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        if left.is_zero() {
+            return Err(format!("{label} after --max-wait {max_wait:?}; giving up"));
+        }
+        Ok(left)
+    };
+
+    let (status, reply) = if wait {
+        http::request_with_retry(&addr, "POST", "/jobs", Some(&body), max_wait)?
+    } else {
+        http::request(&addr, "POST", "/jobs", Some(&body))?
+    };
     if status != 200 {
         return Err(format!("server {addr} returned {status}: {}", reply.trim()));
     }
     print!("{reply}");
-    if !flags.contains_key("wait") {
+    if !wait {
         return Ok(());
     }
     let doc = json::parse(&reply)?;
@@ -1006,7 +1159,9 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         .ok_or("server reply has no job id")?
         .to_string();
     loop {
-        let (status, payload) = http::request(&addr, "GET", &format!("/jobs/{id}/result"), None)?;
+        let left = remaining(&format!("job {id} still pending"))?;
+        let (status, payload) =
+            http::request_with_retry(&addr, "GET", &format!("/jobs/{id}/result"), None, left)?;
         match status {
             202 => std::thread::sleep(Duration::from_millis(200)),
             200 => {

@@ -141,6 +141,184 @@ fn wire_documents_match_golden_snapshots() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Every hostile body must come back as a structured `{"error": ...}`
+/// document with a 4xx status — never a panic, never a hang. This is the
+/// fuzz-style sweep over the router; the raw-socket layer below covers
+/// what the router never sees.
+#[test]
+fn hostile_bodies_return_structured_errors() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("dmdc-service-wire-negative");
+    let _ = std::fs::remove_dir_all(&dir);
+    let manager = JobManager::new(&dir, 2).unwrap();
+    manager.set_paused(true);
+
+    let hostile_posts = [
+        "",                      // empty body
+        "{",                     // truncated JSON
+        "not json at all",       // not JSON
+        "[1, 2, 3]",             // wrong top-level type
+        r#"{"kind": "cell"}"#,   // missing fields
+        r#"{"kind": "teapot"}"#, // unknown kind
+        r#"{"kind": "cell", "workload": "histo", "policy": "nonsense", "scale": "smoke"}"#,
+        r#"{"kind": "cell", "workload": "histo", "policy": "baseline", "scale": "galactic"}"#,
+        r#"{"kind": "cell", "workload": "histo", "policy": "baseline", "scale": "smoke", "priority": 300}"#,
+        r#"{"kind": "cell", "workload": "histo", "policy": "baseline", "scale": "smoke", "priority": -1}"#,
+        r#"{"kind": "cell", "workload": "histo", "policy": "baseline", "scale": "smoke", "priority": 1.5}"#,
+        r#"{"kind": "cell", "workload": "histo", "policy": "baseline", "scale": "smoke", "priority": "high"}"#,
+        r#"{"kind": "cell", "workload": "histo", "policy": "baseline", "scale": "smoke", "client": ""}"#,
+        r#"{"kind": "experiment", "id": "no-such-figure", "scale": "smoke"}"#,
+        "{\"kind\": \"cell\", \"workload\": \"\u{0}\"}", // control bytes
+    ];
+    for body in hostile_posts {
+        let (status, reply) = post(&manager, body);
+        assert_eq!(status, 400, "body {body:?} must be a 400, got {reply:?}");
+        assert!(
+            reply.starts_with("{\"error\": "),
+            "body {body:?} must produce a structured error, got {reply:?}"
+        );
+    }
+
+    // Unknown routes and wrong methods: structured 404/405, never a panic.
+    let unknown = [
+        ("GET", "/"),
+        ("GET", "/nope"),
+        ("GET", "/jobs/../../etc/passwd"),
+        ("GET", "/jobs/job-999"),
+        ("GET", "/jobs/job-1/result/extra"),
+        ("POST", "/metrics"),
+        ("DELETE", "/jobs"),
+        ("BREW", "/jobs"),
+    ];
+    for (method, path) in unknown {
+        let (status, reply) = route(
+            &Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                body: String::new(),
+            },
+            &manager,
+        );
+        assert!(
+            matches!(status, 404 | 405),
+            "{method} {path} must be 404/405, got {status}: {reply:?}"
+        );
+        assert!(
+            reply.starts_with("{\"error\": "),
+            "{method} {path} must produce a structured error, got {reply:?}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The raw-socket layer: truncated requests, oversized headers/bodies
+/// and stalled clients must come back as classified [`ReadError`]s with
+/// the right status — 400, 413 and 408 — instead of pinning the accept
+/// thread or crashing it.
+#[test]
+fn raw_socket_abuse_is_classified_not_fatal() {
+    use dmdc::core::service::http::{read_request, ReadError, MAX_HEADER_BYTES};
+    use std::io::Write;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    // Each case: raw client bytes (then immediate close unless `stall`),
+    // and the status the classified error must map to.
+    struct Case {
+        name: &'static str,
+        bytes: Vec<u8>,
+        stall: bool,
+        status: u16,
+    }
+    let cases = vec![
+        Case {
+            name: "truncated body",
+            bytes: b"POST /jobs HTTP/1.1\r\ncontent-length: 50\r\n\r\n{\"kin".to_vec(),
+            stall: false,
+            status: 400,
+        },
+        Case {
+            name: "truncated header block",
+            bytes: b"POST /jobs HTTP/1.1\r\ncontent-le".to_vec(),
+            stall: false,
+            status: 400,
+        },
+        Case {
+            name: "empty connection",
+            bytes: Vec::new(),
+            stall: false,
+            status: 400,
+        },
+        Case {
+            name: "oversized declared body",
+            bytes: b"POST /jobs HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n".to_vec(),
+            stall: false,
+            status: 413,
+        },
+        Case {
+            name: "oversized header block",
+            bytes: {
+                let mut b = b"GET /jobs HTTP/1.1\r\nx-filler: ".to_vec();
+                b.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 1024));
+                b
+            },
+            stall: false,
+            status: 413,
+        },
+        Case {
+            name: "stalled client",
+            bytes: b"POST /jobs HTTP/1.1\r\n".to_vec(),
+            stall: true,
+            status: 408,
+        },
+    ];
+
+    for case in cases {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stall = case.stall;
+        let bytes = case.bytes.clone();
+        let client = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            s.write_all(&bytes).unwrap();
+            if stall {
+                // Hold the socket open, sending nothing, past the
+                // server's read deadline.
+                std::thread::sleep(Duration::from_millis(500));
+            }
+            drop(s);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let started = std::time::Instant::now();
+        let err = match read_request(&mut stream) {
+            Err(e) => e,
+            Ok(r) => panic!("{}: parsed {:?} from garbage", case.name, r.path),
+        };
+        assert_eq!(err.status(), case.status, "{}: got {err:?}", case.name);
+        assert!(
+            !err.message().is_empty(),
+            "{}: empty error message",
+            case.name
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "{}: read_request hung",
+            case.name
+        );
+        // ReadError statuses stay within the structured set.
+        assert!(matches!(
+            err,
+            ReadError::TooLarge(_) | ReadError::Timeout(_) | ReadError::Malformed(_)
+        ));
+        let _ = client.join();
+    }
+}
+
 /// The spec matching [`CELL`], for executing the real simulation.
 fn manager_spec() -> jobs::JobSpec {
     use dmdc::core::experiments::PolicyKind;
